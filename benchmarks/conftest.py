@@ -1,0 +1,26 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Every ``test_*`` here uses pytest-benchmark's ``benchmark`` fixture with a
+single round: the timed quantity is the experiment regeneration itself
+(which hits the on-disk result cache when warm).  Each run also records the
+rendered table/figure under ``results/`` so the repository keeps the latest
+reproduction artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def record(result) -> None:
+    """Persist an ExperimentResult's rendered text under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{result.id}.txt"
+    path.write_text(result.text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run *fn* exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Stall-vs-fallthrough bop policy (Section III-B): the stalling scheme is
+   SCD's default because the fast dispatch outweighs the bubbles on
+   shallow pipelines; fall-through degenerates to the slow path.
+2. OS context-switch JTE flushing (Section IV): flushing is cheap at
+   realistic scheduling quanta and only hurts under pathological churn.
+3. Indirect-predictor landscape (Related Work): the tagged target cache
+   and VBBI improve prediction but cannot remove the redundant dispatch
+   instructions, so SCD keeps a margin over both.
+"""
+
+from repro.harness.experiments import (
+    ablation_context_switch,
+    ablation_indirect_predictors,
+    ablation_stall_policy,
+)
+
+from conftest import record, run_once
+
+
+def test_stall_policy_beats_fallthrough(benchmark):
+    result = run_once(benchmark, ablation_stall_policy)
+    record(result)
+    stall = result.data["stall"]
+    fallthrough = result.data["fallthrough"]
+    # Fall-through never reaches the fast path: ~no speedup over baseline
+    # beyond losing the jump-table prediction churn.
+    assert stall > fallthrough
+    assert stall > 1.10
+    assert fallthrough < 1.10
+
+
+def test_context_switch_flushing_is_cheap(benchmark):
+    result = run_once(benchmark, ablation_context_switch)
+    record(result)
+    never = result.data["never"]
+    realistic = result.data["20000"]
+    pathological = result.data["1000"]
+    # Realistic quanta: indistinguishable from never switching.
+    assert abs(never - realistic) < 0.02
+    # Pathological churn: measurably worse, but SCD still wins.
+    assert pathological <= realistic + 1e-9
+    assert pathological > 1.0
+
+
+def test_predictors_cannot_match_scd(benchmark):
+    result = run_once(benchmark, ablation_indirect_predictors)
+    record(result)
+    assert result.data["scd"] > result.data["vbbi"]
+    assert result.data["scd"] > result.data["ttc"]
+    # Both predictor-only schemes still give real speedups.
+    assert result.data["vbbi"] > 1.0
+    assert result.data["ttc"] > 1.0
+
+
+def test_software_techniques_trail_scd(benchmark):
+    from repro.harness.experiments import ablation_software_techniques
+
+    result = run_once(benchmark, ablation_software_techniques)
+    record(result)
+    data = result.data
+    # Both software techniques remove instructions...
+    assert data["threaded"]["inst_ratio"] < 1.0
+    assert data["superinst"]["inst_ratio"] < 1.0
+    # ...but neither approaches SCD's cycle gains (Related Work claim).
+    assert data["scd"]["speedup"] > data["threaded"]["speedup"]
+    assert data["scd"]["speedup"] > data["superinst"]["speedup"]
+    # Superinstructions themselves stay in the "limited gains" regime.
+    assert data["superinst"]["speedup"] < 1.10
+
+
+def test_switch_policy_tradeoff(benchmark):
+    from repro.harness.experiments import ablation_switch_policy
+
+    result = run_once(benchmark, ablation_switch_policy)
+    record(result)
+    # Both policies keep SCD clearly profitable under heavy switching.
+    assert result.data["flush"] > 1.10
+    assert result.data["save"] > 1.10
+
+
+def test_optimal_cap_extension(benchmark):
+    from repro.harness.experiments import extension_optimal_cap
+
+    result = run_once(benchmark, extension_optimal_cap)
+    record(result)
+    for name, row in result.data.items():
+        # The tuned cap never loses to the baseline scheme.
+        assert row["speedup"] > 1.0, name
+        # Ternary search stays cheaper than the exhaustive sweep (8 sims).
+        assert row["evaluations"] <= 8

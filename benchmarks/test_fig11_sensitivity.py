@@ -1,0 +1,36 @@
+"""Figure 11: sensitivity to BTB size (a,b) and the JTE cap (c,d).
+
+Paper shape: SCD's benefit shrinks with smaller BTBs but remains clearly
+positive even at 64 entries; at the smallest BTB, capping the number of
+resident JTEs trades fast-path coverage against branch-target capacity.
+"""
+
+from repro.harness.experiments import figure11
+
+from conftest import record, run_once
+
+
+def test_figure11_btb_size_sensitivity(benchmark):
+    result = run_once(benchmark, figure11)
+    record(result)
+    for vm in ("lua", "js"):
+        by_size = result.data[f"{vm}_by_size"]
+        # "SCD still significantly outperforms the baseline even with a
+        # small BTB size (64)".
+        assert by_size[64] > 1.05
+        # The benefit at the default size is at least as large as at 64.
+        assert by_size[256] >= by_size[64] - 0.02
+        # All sizes show positive geomean gains.
+        assert all(v > 1.0 for v in by_size.values())
+
+
+def test_figure11_jte_cap_sensitivity(benchmark):
+    result = run_once(benchmark, figure11)
+    for vm in ("lua", "js"):
+        by_cap = result.data[f"{vm}_by_cap"]
+        # A tiny cap of 4 JTEs forfeits most of the fast path.
+        assert by_cap[4] < by_cap["inf"]
+        # A moderate cap (16) retains most of the benefit (the paper's
+        # "capping brings only modest speedups compared to [no cap]").
+        assert by_cap[16] > by_cap[4]
+        assert by_cap[16] > 1.0

@@ -1,0 +1,23 @@
+"""Figure 2: branch MPKI breakdown for the baseline Lua interpreter.
+
+Paper claim: most baseline branch mispredictions are attributable to the
+dispatch indirect jump.
+"""
+
+from repro.harness.experiments import figure2
+
+from conftest import record, run_once
+
+
+def test_figure2_dispatch_dominates_mispredictions(benchmark):
+    result = run_once(benchmark, figure2)
+    record(result)
+    workloads = result.data["workloads"]
+    dispatch = result.data["dispatch_mpki"]
+    other = result.data["other_mpki"]
+    assert len(workloads) == 11
+    for name, d, o in zip(workloads, dispatch, other):
+        # The paper's Figure 2: the dispatch jump dominates every benchmark.
+        assert d > o, f"{name}: dispatch {d} should dominate other {o}"
+        # Baseline interpreters live in the tens-of-MPKI regime.
+        assert 5.0 < d + o < 80.0, f"{name}: total MPKI {d + o} out of range"

@@ -1,0 +1,23 @@
+"""Figure 3: fraction of dynamic instructions spent in dispatcher code.
+
+Paper claim: "More than 25% of total instructions are spent on the
+dispatcher code" for the Lua interpreter (Rohou et al. report 16-33% for
+other VMs).
+"""
+
+from repro.core.results import geomean
+from repro.harness.experiments import figure3
+
+from conftest import record, run_once
+
+
+def test_figure3_dispatch_fraction(benchmark):
+    result = run_once(benchmark, figure3)
+    record(result)
+    fractions = result.data["fractions"]
+    assert len(fractions) == 11
+    # Every benchmark sits in the published 16-45% band.
+    for fraction in fractions:
+        assert 0.16 < fraction < 0.45
+    # "More than 25%" on average.
+    assert geomean(fractions) > 0.25

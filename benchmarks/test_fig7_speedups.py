@@ -1,0 +1,43 @@
+"""Figure 7: overall speedups of jump threading, VBBI and SCD.
+
+Paper shape (Cortex-A5-class simulator):
+  Lua: SCD +19.9% geomean (max +38.4%), VBBI +8.8%, jump threading -1.6%.
+  JS : SCD +14.1% geomean (max +37.2%), VBBI +5.3%, jump threading +7.3%.
+
+We assert the *shape*: SCD wins clearly on both VMs, beats VBBI by roughly
+2x, and lands in the published band.  (Our jump-threaded variant keeps a
+hot code footprint inside the 16 KB I-cache, so it does not reproduce the
+paper's Lua slowdown; see EXPERIMENTS.md.)
+"""
+
+from repro.harness.experiments import figure7
+
+from conftest import record, run_once
+
+
+def test_figure7_speedups(benchmark):
+    result = run_once(benchmark, figure7)
+    record(result)
+    for vm in ("lua", "js"):
+        speedups = result.data[vm]
+        geo = {scheme: speedups[scheme][-1] for scheme in speedups}
+        # SCD wins, decisively, on both interpreters.
+        assert geo["scd"] > geo["vbbi"]
+        assert geo["scd"] > geo["threaded"]
+        # SCD geomean in the paper's band (lua 19.9%, js 14.1%; ours +-7pp).
+        assert 1.10 < geo["scd"] < 1.30, (vm, geo["scd"])
+        # VBBI: modest gains only (the paper's core argument).
+        assert 1.01 < geo["vbbi"] < 1.15, (vm, geo["vbbi"])
+        # SCD beats the state-of-the-art predictor by a wide margin.
+        assert (geo["scd"] - 1) > 1.5 * (geo["vbbi"] - 1)
+
+
+def test_figure7_per_benchmark_maxima(benchmark):
+    result = run_once(benchmark, figure7)
+    for vm, paper_max in (("lua", 1.384), ("js", 1.372)):
+        scd = result.data[vm]["scd"][:-1]
+        # Every single benchmark gains from SCD...
+        assert min(scd) > 1.0
+        # ...and the best one approaches the paper's maximum band.
+        assert max(scd) > 1.17
+        assert max(scd) < paper_max + 0.08

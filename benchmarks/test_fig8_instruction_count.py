@@ -1,0 +1,38 @@
+"""Figure 8: normalized dynamic instruction count.
+
+Paper shape: SCD removes ~10.2% (Lua) / ~9.6% (JS) of all dynamic host
+instructions; VBBI removes none (it only predicts better); jump threading
+removes a few percent.
+"""
+
+from repro.harness.experiments import figure8
+
+from conftest import record, run_once
+
+
+def test_figure8_instruction_counts(benchmark):
+    result = run_once(benchmark, figure8)
+    record(result)
+    for vm in ("lua", "js"):
+        norm = result.data[vm]
+        scd_geo = norm["scd"][-1]
+        threaded_geo = norm["threaded"][-1]
+        vbbi_geo = norm["vbbi"][-1]
+        # VBBI executes exactly the baseline instruction stream.
+        assert vbbi_geo == 1.0
+        # SCD's reduction lands in the paper's band (about 10%, +-5pp).
+        assert 0.82 < scd_geo < 0.95, (vm, scd_geo)
+        # Jump threading saves less than SCD.
+        assert scd_geo < threaded_geo < 1.0
+        # Ordering per benchmark, not only in aggregate.
+        for i, value in enumerate(norm["scd"][:-1]):
+            assert value <= norm["threaded"][i] + 1e-9
+
+
+def test_figure8_scd_saving_biggest_for_short_handlers(benchmark):
+    """Loop-dense benchmarks (mandelbrot) save the most, as in Table IV."""
+    result = run_once(benchmark, figure8)
+    workloads = result.data["workloads"]
+    scd = dict(zip(workloads, result.data["lua"]["scd"]))
+    # mandelbrot was the paper's best saver (17.95% on FPGA).
+    assert scd["mandelbrot"] <= min(scd["fibo"], scd["binary-trees"]) + 0.02

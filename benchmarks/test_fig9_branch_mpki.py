@@ -1,0 +1,41 @@
+"""Figure 9: branch misprediction MPKI per scheme.
+
+Paper shape: SCD cuts Lua branch MPKI by ~70.6% (JS ~28.1%); VBBI achieves
+a comparable or larger cut (77.5% on Lua) but without the instruction-count
+benefit; the baseline stays high.
+"""
+
+from repro.harness.experiments import figure9
+
+from conftest import record, run_once
+
+
+def test_figure9_branch_mpki(benchmark):
+    result = run_once(benchmark, figure9)
+    record(result)
+    # Per-VM reduction bands from the paper: Lua -70.6%, JS -28.1% (the JS
+    # interpreter keeps its guest-level IFEQ/AND/OR and call/return
+    # mispredictions, which SCD does not touch).
+    bands = {"lua": 0.5, "js": 0.85}
+    for vm in ("lua", "js"):
+        series = result.data[vm]
+        base_geo = series["baseline"][-1]
+        scd_geo = series["scd"][-1]
+        vbbi_geo = series["vbbi"][-1]
+        # Baseline interpreters mispredict heavily.
+        assert base_geo > 10.0
+        # SCD removes a large share of mispredictions.
+        assert scd_geo < base_geo * bands[vm]
+        # VBBI removes at least as many dispatch mispredictions as SCD
+        # (paper: -77.5% vs -70.6% on Lua) but no instructions.
+        assert vbbi_geo <= scd_geo * 1.05
+        # Neither eliminates guest-level branches entirely.
+        assert scd_geo > 0.0
+
+
+def test_figure9_lua_reduction_band(benchmark):
+    result = run_once(benchmark, figure9)
+    series = result.data["lua"]
+    reduction = 1 - series["scd"][-1] / series["baseline"][-1]
+    # Paper: 70.6% for Lua; allow a generous band.
+    assert 0.55 < reduction <= 1.0

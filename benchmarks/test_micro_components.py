@@ -1,0 +1,100 @@
+"""Microbenchmarks of the substrate components (pytest-benchmark timing).
+
+These are conventional performance benchmarks (ops/second of the simulator
+building blocks), useful for tracking regressions in the hot paths that
+dominate end-to-end simulation time.
+"""
+
+import random
+
+from repro.isa import assemble
+from repro.native.model import ModelRunner, get_model
+from repro.uarch import Machine, cortex_a5
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import Cache
+from repro.uarch.predictors import TournamentPredictor
+from repro.vm.lua import LuaVM
+
+
+def test_btb_lookup_insert(benchmark):
+    btb = BranchTargetBuffer(entries=256, ways=2)
+    rng = random.Random(1)
+    pcs = [rng.randrange(0, 1 << 16) * 4 for _ in range(512)]
+
+    def work():
+        for pc in pcs:
+            if btb.lookup(pc) is None:
+                btb.insert(pc, pc + 8)
+
+    benchmark(work)
+
+
+def test_jte_lookup(benchmark):
+    btb = BranchTargetBuffer(entries=256, ways=2)
+    for opcode in range(47):
+        btb.insert_jte(opcode, 0x7000 + opcode * 64)
+
+    def work():
+        for opcode in range(47):
+            assert btb.lookup_jte(opcode) is not None
+
+    benchmark(work)
+
+
+def test_tournament_predictor(benchmark):
+    predictor = TournamentPredictor()
+    rng = random.Random(2)
+    stream = [(rng.randrange(0, 4096) * 4, rng.random() < 0.8) for _ in range(1024)]
+
+    def work():
+        for pc, taken in stream:
+            predictor.observe(pc, taken)
+
+    benchmark(work)
+
+
+def test_icache_line_stream(benchmark):
+    cache = Cache(16 * 1024, 2, 64)
+    lines = [(i * 7) % 1024 for i in range(2048)]
+
+    def work():
+        for line in lines:
+            cache.access_line(line)
+
+    benchmark(work)
+
+
+def test_assembler_throughput(benchmark):
+    text = "\n".join(
+        f"L{i}:\n    add r1, r2, r3\n    ldq r4, 0(r5)\n    beq r1, L{i}"
+        for i in range(100)
+    )
+    benchmark(lambda: assemble(text))
+
+
+def test_lua_vm_functional_rate(benchmark):
+    source = "var s = 0; for i = 1, 500 { s = s + i * i; } print(s);"
+    vm = LuaVM.from_source(source)
+
+    def work():
+        fresh = LuaVM.from_source(source)
+        return fresh.run()
+
+    assert benchmark(work) == ["41791750"]
+
+
+def test_end_to_end_replay_rate(benchmark):
+    """Guest steps per second through the full model stack."""
+    source = "var s = 0; for i = 1, 200 { s = s + i; } print(s);"
+    model = get_model("lua", "scd")
+
+    def work():
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm = LuaVM.from_source(source)
+        vm.run(trace=runner.on_event)
+        runner.finish()
+        return machine.finalize().instructions
+
+    assert benchmark(work) > 0

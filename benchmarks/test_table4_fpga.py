@@ -1,0 +1,48 @@
+"""Table IV: Lua on the RISC-V Rocket machine (FPGA-scale inputs).
+
+Paper geomeans: jump threading saves 4.84% of instructions for +0.01%
+speedup; SCD saves 10.44% of instructions for +12.04% speedup.  Individual
+jump-threading speedups range -11.1% (n-sieve) to +5.9%.
+"""
+
+from repro.core.results import geomean
+from repro.harness.experiments import table4
+
+from conftest import record, run_once
+
+
+def test_table4_fpga_shape(benchmark):
+    result = run_once(benchmark, table4)
+    record(result)
+    summary = result.data["summary"]
+    # SCD instruction savings near the paper's 10.44% (+-6pp).
+    assert 0.08 < summary["scd"]["savings"] < 0.20
+    # SCD speedup near the paper's 12.04% (+-10pp).
+    assert 0.08 < summary["scd"]["speedup"] < 0.26
+    # Jump threading saves a few percent of instructions (paper 4.84%)...
+    assert 0.02 < summary["threaded"]["savings"] < 0.07
+    # ...but buys far less cycle time than SCD (paper: ~0%).
+    assert summary["threaded"]["speedup"] < summary["scd"]["speedup"] * 0.8
+
+
+def test_table4_per_benchmark_invariants(benchmark):
+    result = run_once(benchmark, table4)
+    savings = result.data["savings"]
+    speedups = result.data["speedups"]
+    # SCD saves instructions on every benchmark (Table IV column 10).
+    assert all(s > 0.03 for s in savings["scd"])
+    # SCD speeds every benchmark up (Table IV column 11: 6.1%-22.7%).
+    assert all(s > 0.0 for s in speedups["scd"])
+    # SCD dominates threading everywhere on instruction savings.
+    for scd_saving, threaded_saving in zip(savings["scd"], savings["threaded"]):
+        assert scd_saving > threaded_saving
+
+
+def test_table4_mandelbrot_is_top_saver(benchmark):
+    """Paper: mandelbrot shows the largest SCD saving (17.95%) and
+    speedup (22.67%) on the FPGA."""
+    result = run_once(benchmark, table4)
+    workloads = result.data["workloads"]
+    scd_savings = dict(zip(workloads, result.data["savings"]["scd"]))
+    top3 = sorted(scd_savings, key=scd_savings.get, reverse=True)[:3]
+    assert "mandelbrot" in top3

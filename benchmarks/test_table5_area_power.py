@@ -1,0 +1,29 @@
+"""Table V: area/power overhead and the EDP headline.
+
+Paper: SCD adds +0.72% total area and +1.09% total power (BTB module:
++21.6% area, +11.7% power) and improves the Lua interpreter's EDP by 24.2%
+at the 12.04% FPGA geomean speedup.
+"""
+
+from repro.harness.experiments import table5
+
+from conftest import record, run_once
+
+
+def test_table5_area_power_edp(benchmark):
+    result = run_once(benchmark, table5)
+    record(result)
+    data = result.data
+    # Area/power deltas within a tight band of the paper's synthesis.
+    assert 0.005 < data["total_area_delta"] < 0.010     # paper 0.0072
+    assert 0.008 < data["total_power_delta"] < 0.014    # paper 0.0109
+    assert 0.17 < data["btb_area_delta"] < 0.26         # paper 0.216
+    assert 0.08 < data["btb_power_delta"] < 0.15        # paper 0.117
+    # EDP improvement: paper 24.2% at a 12.04% speedup.  Our measured
+    # speedup differs slightly, so test the band.
+    assert 0.15 < data["edp_improvement"] < 0.55
+
+
+def test_table5_uses_measured_speedup(benchmark):
+    result = run_once(benchmark, table5)
+    assert result.data["scd_speedup"] > 1.05

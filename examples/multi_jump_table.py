@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multiple jump tables: SCD on an interpreter with several dispatch sites.
+
+Section IV of the paper extends SCD to track *n* indirect jumps at once by
+replicating the (Rop, Rmask, Rbop-pc) register set and widening the J/B bit
+to an ID vector.  The JS-like interpreter exercises exactly this: its MAIN,
+FUNCALL and END_CASE dispatch sites each own a jump-table branch ID, while
+slow-path (UNCOVERED) exits bypass SCD entirely — the reason the paper's
+JavaScript speedups trail Lua's.
+
+This example runs one workload on the stack VM, reports per-site dispatch
+traffic, and shows what coverage costs by comparing against the Lua VM's
+single fully-covered dispatcher.
+"""
+
+import sys
+from collections import Counter
+
+from repro import simulate, speedup
+from repro.vm.js import JsVM
+from repro.vm.trace import Site
+from repro.workloads import workload
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "binary-trees"
+    source = workload(bench).source(scale="sim")
+
+    # Count dynamic dispatch-site usage with a bare trace run.
+    site_counts: Counter = Counter()
+    vm = JsVM.from_source(source)
+    vm.run(trace=lambda op, site, *rest: site_counts.update([site]))
+
+    total = sum(site_counts.values())
+    print(f"{bench!r} on the stack VM: {total:,} bytecodes dispatched via")
+    for site in Site:
+        share = site_counts.get(int(site), 0) / total
+        covered = "SCD-covered" if site is not Site.UNCOVERED else "NOT covered"
+        print(f"  {site.name:10} {share:>6.1%}  ({covered})")
+
+    uncovered_share = site_counts.get(int(Site.UNCOVERED), 0) / total
+
+    print("\ntiming on the Cortex-A5 model:")
+    rows = []
+    for vm_kind in ("js", "lua"):
+        base = simulate(bench, vm=vm_kind, scheme="baseline")
+        scd = simulate(bench, vm=vm_kind, scheme="scd")
+        rows.append((vm_kind, speedup(base, scd), scd.bop_hit_rate,
+                     scd.bop_hits + scd.bop_misses, scd.guest_steps))
+    for vm_kind, gain, hit_rate, bops, steps in rows:
+        print(
+            f"  {vm_kind:3}: SCD speedup {gain:.3f}x, bop hit rate {hit_rate:.1%}, "
+            f"bop attempts cover {bops / steps:.1%} of dispatches"
+        )
+
+    print(
+        f"\n{uncovered_share:.1%} of the stack VM's dispatches take slow paths"
+        " that SCD cannot annotate (Section III-C), while the register VM's"
+        " single dispatcher is fully covered — one reason the paper reports"
+        " 19.9% for Lua but 14.1% for JavaScript."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

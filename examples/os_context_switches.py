@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""OS interaction: the cost of flushing JTEs at context switches.
+
+Section IV: jump-table entries architecturally affect execution (unlike
+plain BTB entries, which are mere predictions), so on a context switch the
+OS either saves them or — the paper's preferred, cheaper policy — executes
+``jte.flush``.  After each switch the interpreter repopulates its JTEs
+through slow-path dispatches.
+
+This example sweeps the context-switch interval and shows how the bop hit
+rate and the SCD speedup degrade as scheduling gets choppier, including the
+pathological case of switching every few hundred bytecodes.
+"""
+
+import sys
+
+from repro import simulate, speedup, workload_names
+
+INTERVALS = (None, 50_000, 10_000, 2_000, 500, 100)
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "mandelbrot"
+    vm = sys.argv[2] if len(sys.argv) > 2 else "lua"
+    if bench not in workload_names():
+        print(f"unknown workload {bench!r}")
+        return 1
+
+    print(
+        f"JTE flushing on context switches, {bench!r} ({vm}):\n"
+        f"{'switch every':>14} {'bop hit rate':>13} {'JTE flushes':>12} "
+        f"{'SCD speedup':>12}"
+    )
+    for interval in INTERVALS:
+        base = simulate(
+            bench, vm=vm, scheme="baseline", context_switch_interval=interval
+        )
+        scd = simulate(
+            bench, vm=vm, scheme="scd", context_switch_interval=interval
+        )
+        label = "never" if interval is None else f"{interval} ops"
+        flushes = scd.to_dict().get("jte_inserts", 0)
+        print(
+            f"{label:>14} {scd.bop_hit_rate:>12.1%} "
+            f"{scd.jte_inserts:>12,} {speedup(base, scd):>12.3f}"
+        )
+
+    print(
+        "\nReading: each flush forces the interpreter through the slow path"
+        "\n(jru refills) once per live opcode; with realistic quanta the"
+        "\nrepopulation cost is negligible, exactly as Section IV argues."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

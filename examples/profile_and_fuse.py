@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Profile a workload's bytecode stream and evaluate superinstructions.
+
+The classic software answer to dispatch overhead (Ertl & Gregg, cited in
+the paper's Related Work) is to fuse hot adjacent bytecode pairs into
+superinstructions: one dispatch runs two handlers.  This example shows the
+whole pipeline a VM engineer would run:
+
+1. profile the dynamic opcode and pair mix of a workload;
+2. check how much of the stream the build's fused-pair table covers;
+3. measure superinstructions against jump threading and SCD.
+
+The punchline is the paper's: software fusion removes *dispatches* but not
+the per-dispatch redundant computation, and the fused bodies bloat the
+I-cache — SCD keeps a wide margin.
+
+Usage::
+
+    python examples/profile_and_fuse.py [workload] [vm]
+"""
+
+import sys
+
+from repro import simulate, speedup, workload_names
+from repro.native.model import get_model
+from repro.vm.profile import profile_workload
+
+
+def main() -> int:
+    bench = sys.argv[1] if len(sys.argv) > 1 else "mandelbrot"
+    vm = sys.argv[2] if len(sys.argv) > 2 else "lua"
+    if bench not in workload_names():
+        print(f"unknown workload {bench!r}")
+        return 1
+
+    profile = profile_workload(bench, vm=vm)
+    print(f"{bench!r} on the {vm} VM: {profile.steps:,} bytecodes\n")
+    print("hottest opcodes:")
+    for name, count in profile.top_opcodes(8):
+        print(f"  {name:12} {count:>8,}  ({count / profile.steps:6.1%})")
+    print("\nhottest adjacent pairs (superinstruction candidates):")
+    for name, count in profile.top_pairs(8):
+        print(f"  {name:24} {count:>8,}")
+
+    fused_pairs = list(get_model(vm, "superinst").fused)
+    coverage = profile.pair_coverage(fused_pairs)
+    print(
+        f"\nthis build fuses {len(fused_pairs)} pairs covering up to "
+        f"{coverage:.1%} of the dynamic stream"
+    )
+
+    print("\nmeasured on the Cortex-A5 model:")
+    base = simulate(bench, vm=vm, scheme="baseline")
+    print(f"  {'scheme':12} {'speedup':>8} {'inst ratio':>11} {'I$ MPKI':>8}")
+    for scheme in ("threaded", "superinst", "scd"):
+        result = simulate(bench, vm=vm, scheme=scheme)
+        print(
+            f"  {scheme:12} {speedup(base, result):>8.3f} "
+            f"{result.instructions / base.instructions:>11.3f} "
+            f"{result.icache_mpki:>8.2f}"
+        )
+    print(
+        "\nReading: superinstructions cut instructions but pay code bloat"
+        "\nand keep the per-dispatch decode/bound/calc work; SCD removes"
+        "\nthat work in hardware without touching the code layout."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""scd-repro: reproduction of Short-Circuit Dispatch (ISCA 2016).
+
+Short-Circuit Dispatch (SCD) overlays a VM interpreter's bytecode jump
+table onto the branch target buffer of an embedded in-order core, turning
+bytecode dispatch into a single ``bop`` instruction on the fast path.  This
+package reproduces the paper's system and evaluation from scratch in
+Python:
+
+* two production-style guest interpreters (Lua 5.3-like register VM,
+  SpiderMonkey-17-like stack VM) with a shared source language;
+* their native code expressed in a small host ISA, under three dispatch
+  code layouts (switch, jump threading, SCD) plus the VBBI predictor;
+* a cycle-approximate embedded-core model (BTB with the J/B-bit JTE
+  overlay, branch predictors, caches, TLBs, DRAM);
+* an area/power/EDP model;
+* the 11 Table III workloads and one harness entry per paper table/figure.
+
+Quickstart::
+
+    from repro import simulate, speedup
+    base = simulate("fibo", vm="lua", scheme="baseline")
+    scd = simulate("fibo", vm="lua", scheme="scd")
+    print(f"SCD speedup: {speedup(base, scd):.3f}x")
+"""
+
+from repro.core import SCHEMES, SimResult, geomean, scheme_parts, simulate, speedup
+from repro.uarch.config import CoreConfig, cortex_a5, cortex_a8, rocket
+from repro.workloads import WORKLOADS, workload, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simulate",
+    "speedup",
+    "geomean",
+    "scheme_parts",
+    "SCHEMES",
+    "SimResult",
+    "CoreConfig",
+    "cortex_a5",
+    "cortex_a8",
+    "rocket",
+    "WORKLOADS",
+    "workload",
+    "workload_names",
+    "__version__",
+]

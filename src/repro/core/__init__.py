@@ -1,0 +1,37 @@
+"""The paper's primary contribution, assembled.
+
+``repro.core`` couples the functional guest VMs, the native interpreter
+model and the embedded-core timing model into one call::
+
+    from repro.core import simulate
+    result = simulate("mandelbrot", vm="lua", scheme="scd")
+    print(result.cycles, result.branch_mpki)
+
+The four evaluation schemes of the paper are available:
+
+* ``"baseline"`` — canonical switch dispatch (Figure 1(a/b)).
+* ``"threaded"`` — jump threading (Figure 1(c), Rohou et al.).
+* ``"vbbi"`` — baseline code with the VBBI indirect predictor (Farooq et
+  al., HPCA 2010).
+* ``"scd"`` — Short-Circuit Dispatch (this paper).
+"""
+
+from repro.core.simulation import simulate, SCHEMES, scheme_parts
+from repro.core.results import SimResult, geomean, speedup
+from repro.core.tuning import (
+    CapTuningResult,
+    find_optimal_jte_cap,
+    sweep_jte_caps,
+)
+
+__all__ = [
+    "simulate",
+    "SCHEMES",
+    "scheme_parts",
+    "SimResult",
+    "geomean",
+    "speedup",
+    "CapTuningResult",
+    "find_optimal_jte_cap",
+    "sweep_jte_caps",
+]

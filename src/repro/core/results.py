@@ -1,0 +1,94 @@
+"""Result containers and metric helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated interpreter run.
+
+    All counters come from :class:`repro.uarch.stats.MachineStats`; the
+    guest-side fields record what the functional VM did.
+    """
+
+    vm: str
+    scheme: str
+    workload: str
+    config_name: str
+    scale: str
+    cycles: int
+    instructions: int
+    guest_steps: int
+    cpi: float
+    branch_mpki: float
+    icache_mpki: float
+    dcache_mpki: float
+    dispatch_fraction: float
+    bop_hits: int
+    bop_misses: int
+    jte_inserts: int
+    mispredicts_by_category: dict = field(default_factory=dict)
+    insts_by_category: dict = field(default_factory=dict)
+    cycle_breakdown: dict = field(default_factory=dict)
+    output: tuple = ()
+
+    @property
+    def bop_hit_rate(self) -> float:
+        total = self.bop_hits + self.bop_misses
+        return self.bop_hits / total if total else 0.0
+
+    def dispatch_mpki(self) -> float:
+        """Mispredictions of the dispatch indirect jump per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredicts_by_category.get("dispatch_jump", 0) / self.instructions
+
+    def to_dict(self) -> dict:
+        return {
+            "vm": self.vm,
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "config_name": self.config_name,
+            "scale": self.scale,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "guest_steps": self.guest_steps,
+            "cpi": self.cpi,
+            "branch_mpki": self.branch_mpki,
+            "icache_mpki": self.icache_mpki,
+            "dcache_mpki": self.dcache_mpki,
+            "dispatch_fraction": self.dispatch_fraction,
+            "bop_hits": self.bop_hits,
+            "bop_misses": self.bop_misses,
+            "jte_inserts": self.jte_inserts,
+            "mispredicts_by_category": dict(self.mispredicts_by_category),
+            "insts_by_category": dict(self.insts_by_category),
+            "cycle_breakdown": dict(self.cycle_breakdown),
+            "output": list(self.output),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        data = dict(data)
+        data["output"] = tuple(data.get("output", ()))
+        return cls(**data)
+
+
+def speedup(baseline: SimResult, candidate: SimResult) -> float:
+    """Cycle-count speedup of *candidate* over *baseline* (1.0 = equal)."""
+    if candidate.cycles == 0:
+        raise ValueError("candidate ran zero cycles")
+    return baseline.cycles / candidate.cycles
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,146 @@
+"""Top-level simulation driver.
+
+One :func:`simulate` call runs a workload functionally on the chosen guest
+VM while replaying its trace through the native interpreter model onto the
+embedded-core timing model, and returns a :class:`SimResult`.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import SimResult
+from repro.native.model import ModelRunner, get_model
+from repro.uarch.config import CoreConfig, cortex_a5
+from repro.uarch.pipeline import Machine
+from repro.vm.js import JsVM
+from repro.vm.lua import LuaVM
+from repro.workloads import workload as get_workload
+
+#: The paper's four evaluation schemes (Figures 7-10).
+SCHEMES = ("baseline", "threaded", "vbbi", "scd")
+
+
+def scheme_parts(scheme: str) -> tuple[str, str]:
+    """Map an evaluation scheme to (code strategy, indirect predictor).
+
+    VBBI is a *predictor*, not a code transformation: it runs the baseline
+    dispatch code with the hashed (PC ⊕ hint) BTB index.
+    """
+    mapping = {
+        "baseline": ("baseline", "btb"),
+        "threaded": ("threaded", "btb"),
+        "vbbi": ("baseline", "vbbi"),
+        "scd": ("scd", "btb"),
+        # Extra ablation schemes (not part of the paper's four): the tagged
+        # target cache of Chang et al. and the ITTAGE predictor of Seznec &
+        # Michaud.
+        "ttc": ("baseline", "ttc"),
+        "ittage": ("baseline", "ittage"),
+        "superinst": ("superinst", "btb"),
+        "cascaded": ("baseline", "cascaded"),
+    }
+    try:
+        return mapping[scheme]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {scheme!r}; expected one of {SCHEMES}"
+        ) from None
+
+
+def _make_vm(vm: str, source: str, max_steps: int):
+    if vm == "lua":
+        return LuaVM.from_source(source, max_steps=max_steps)
+    if vm == "js":
+        return JsVM.from_source(source, max_steps=max_steps)
+    raise ValueError(f"unknown vm {vm!r}; expected 'lua' or 'js'")
+
+
+def simulate(
+    workload: str,
+    vm: str = "lua",
+    scheme: str = "scd",
+    config: CoreConfig | None = None,
+    scale: str = "sim",
+    n: int | None = None,
+    source: str | None = None,
+    context_switch_interval: int | None = None,
+    context_switch_policy: str = "flush",
+    max_steps: int = 100_000_000,
+    check_output: bool = True,
+) -> SimResult:
+    """Run one (workload, vm, scheme, machine) combination.
+
+    Args:
+        workload: Table III benchmark name (or a label when *source* given).
+        vm: ``"lua"`` or ``"js"``.
+        scheme: one of :data:`SCHEMES`.
+        config: machine configuration (default: the Cortex-A5 simulator
+            machine of Table II).  ``indirect_scheme`` is overridden to
+            match *scheme*.
+        scale: ``"sim"`` or ``"fpga"`` input scale.
+        n: explicit input parameter (overrides *scale*).
+        source: raw scriptlet source (overrides the workload registry).
+        context_switch_interval: JTE/TLB/RAS flush period in guest
+            bytecodes (Section IV OS-interaction model).
+        context_switch_policy: ``"flush"`` (default) or ``"save"`` —
+            whether the OS flushes JTEs or saves/restores them.
+        max_steps: guest-step safety budget.
+        check_output: verify the VM output against the workload's Python
+            reference (skipped for raw sources or explicit *n*).
+
+    Returns:
+        A frozen :class:`SimResult`.
+    """
+    strategy, indirect = scheme_parts(scheme)
+    if config is None:
+        config = cortex_a5()
+    config = config.with_changes(indirect_scheme=indirect)
+
+    expected = None
+    if source is None:
+        bench = get_workload(workload)
+        source = bench.source(n=n, scale=scale)
+        if check_output and n is None:
+            expected = bench.expected_output(scale=scale)
+
+    guest = _make_vm(vm, source, max_steps)
+    machine = Machine(config)
+    model = get_model(vm, strategy)
+    runner = ModelRunner(
+        model,
+        machine,
+        context_switch_interval=context_switch_interval,
+        context_switch_policy=context_switch_policy,
+    )
+    runner.start()
+    output = guest.run(trace=runner.on_event)
+    runner.finish()
+
+    if expected is not None and list(output) != list(expected):
+        raise AssertionError(
+            f"{vm}/{workload}: functional output diverged from reference "
+            f"(first line: {output[:1]} != {expected[:1]})"
+        )
+
+    stats = machine.finalize()
+    return SimResult(
+        vm=vm,
+        scheme=scheme,
+        workload=workload,
+        config_name=config.name,
+        scale=scale if n is None else f"n={n}",
+        cycles=stats.cycles,
+        instructions=stats.instructions,
+        guest_steps=guest.steps,
+        cpi=stats.cpi,
+        branch_mpki=stats.branch_mpki,
+        icache_mpki=stats.icache_mpki,
+        dcache_mpki=stats.dcache_mpki,
+        dispatch_fraction=stats.dispatch_fraction(),
+        bop_hits=stats.bop_hits,
+        bop_misses=stats.bop_misses,
+        jte_inserts=stats.jte_inserts,
+        mispredicts_by_category=dict(stats.mispredicts_by_category),
+        insts_by_category=dict(stats.insts_by_category),
+        cycle_breakdown=dict(stats.cycle_breakdown),
+        output=tuple(output),
+    )

@@ -1,0 +1,140 @@
+"""JTE-cap auto-tuning — the paper's stated future work.
+
+Figure 11(c,d) shows that at small BTB sizes a cap on the number of
+resident jump-table entries can help some programs substantially while
+barely moving others; the paper "leave[s] selecting an optimal cap value
+for future work".  This module implements that selection: an exhaustive
+sweep (:func:`sweep_jte_caps`) and a cheaper golden-section-style search
+over the cap lattice (:func:`find_optimal_jte_cap`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.simulation import simulate
+from repro.uarch.config import CoreConfig, cortex_a5
+
+#: Default cap lattice: powers of two up to "effectively unbounded".
+DEFAULT_CAPS = (2, 4, 8, 16, 32, 64, None)
+
+
+@dataclass(frozen=True)
+class CapTuningResult:
+    """Outcome of a JTE-cap search for one (workload, vm, machine) triple.
+
+    Attributes:
+        workload / vm: what was tuned.
+        best_cap: cap with the fewest SCD cycles (``None`` = unbounded).
+        best_speedup: speedup over the *baseline* scheme at that cap.
+        cycles_by_cap: SCD cycle count per evaluated cap.
+        evaluations: number of simulations run.
+    """
+
+    workload: str
+    vm: str
+    best_cap: int | None
+    best_speedup: float
+    cycles_by_cap: dict = field(default_factory=dict)
+    evaluations: int = 0
+
+
+def _cap_key(cap: int | None):
+    return "inf" if cap is None else cap
+
+
+def sweep_jte_caps(
+    workload: str,
+    vm: str = "lua",
+    config: CoreConfig | None = None,
+    caps: tuple = DEFAULT_CAPS,
+    scale: str = "sim",
+) -> CapTuningResult:
+    """Evaluate every cap in *caps* and return the best.
+
+    The baseline run (for the speedup denominator) uses the same machine
+    with the cap left unbounded — caps only affect SCD.
+    """
+    if config is None:
+        config = cortex_a5()
+    baseline = simulate(workload, vm=vm, scheme="baseline", config=config, scale=scale)
+    cycles_by_cap: dict = {}
+    for cap in caps:
+        scd = simulate(
+            workload,
+            vm=vm,
+            scheme="scd",
+            config=config.with_changes(jte_cap=cap),
+            scale=scale,
+        )
+        cycles_by_cap[_cap_key(cap)] = scd.cycles
+    best_key = min(cycles_by_cap, key=cycles_by_cap.get)
+    best_cap = None if best_key == "inf" else best_key
+    return CapTuningResult(
+        workload=workload,
+        vm=vm,
+        best_cap=best_cap,
+        best_speedup=baseline.cycles / cycles_by_cap[best_key],
+        cycles_by_cap=cycles_by_cap,
+        evaluations=len(caps) + 1,
+    )
+
+
+def find_optimal_jte_cap(
+    workload: str,
+    vm: str = "lua",
+    config: CoreConfig | None = None,
+    caps: tuple = DEFAULT_CAPS,
+    scale: str = "sim",
+) -> CapTuningResult:
+    """Ternary search over the (unimodal in practice) cap lattice.
+
+    Cycle count as a function of the cap is typically bowl-shaped: tiny
+    caps forfeit fast-path coverage, huge caps evict branch targets.  A
+    ternary search needs ~2*log3(n) simulations instead of n.  Falls back
+    to returning whatever minimum it found; for guaranteed optimality use
+    :func:`sweep_jte_caps`.
+    """
+    if config is None:
+        config = cortex_a5()
+    baseline = simulate(workload, vm=vm, scheme="baseline", config=config, scale=scale)
+    lattice = list(caps)
+    cycles_by_cap: dict = {}
+    evaluations = 1
+
+    def measure(position: int) -> int:
+        nonlocal evaluations
+        cap = lattice[position]
+        key = _cap_key(cap)
+        if key not in cycles_by_cap:
+            result = simulate(
+                workload,
+                vm=vm,
+                scheme="scd",
+                config=config.with_changes(jte_cap=cap),
+                scale=scale,
+            )
+            cycles_by_cap[key] = result.cycles
+            evaluations += 1
+        return cycles_by_cap[key]
+
+    low, high = 0, len(lattice) - 1
+    while high - low > 2:
+        third = (high - low) // 3
+        mid1, mid2 = low + third, high - third
+        if measure(mid1) <= measure(mid2):
+            high = mid2
+        else:
+            low = mid1
+    for position in range(low, high + 1):
+        measure(position)
+    best_key = min(cycles_by_cap, key=cycles_by_cap.get)
+    best_cap = None if best_key == "inf" else best_key
+    return CapTuningResult(
+        workload=workload,
+        vm=vm,
+        best_cap=best_cap,
+        best_speedup=baseline.cycles / cycles_by_cap[best_key],
+        cycles_by_cap=cycles_by_cap,
+        evaluations=evaluations,
+    )

@@ -1,0 +1,22 @@
+"""Experiment harness: one entry per paper table/figure.
+
+Every experiment returns an :class:`~repro.harness.experiments.ExperimentResult`
+whose ``text`` attribute is the rendered ASCII table/figure and whose
+``data`` holds the raw numbers.  Results of individual simulations are
+cached on disk so that re-rendering a figure does not re-run the machine
+model.
+
+Command line::
+
+    python -m repro.harness figure7
+    python -m repro.harness all
+"""
+
+from repro.harness.experiments import (
+    ExperimentResult,
+    EXPERIMENTS,
+    run_experiment,
+    run_matrix,
+)
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "run_matrix"]

@@ -1,0 +1,96 @@
+"""On-disk cache of simulation results.
+
+A simulation is deterministic given (vm, scheme, workload, scale, machine
+configuration, model version), so its :class:`~repro.core.results.SimResult`
+can be cached.  The cache lives in ``~/.cache/scd-repro/`` (override with
+``SCD_REPRO_CACHE_DIR``); delete the directory or bump
+:data:`CACHE_VERSION` to invalidate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.results import SimResult
+from repro.uarch.config import CoreConfig
+
+#: Bump when the native model, uarch model or workloads change behaviour.
+CACHE_VERSION = 2
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("SCD_REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "scd-repro"
+
+
+def config_signature(config: CoreConfig) -> str:
+    """Stable textual signature of every timing-relevant config field."""
+    parts = [
+        config.name,
+        str(config.issue_width),
+        str(config.branch_penalty),
+        str(config.decode_redirect_penalty),
+        config.direction_predictor,
+        json.dumps(config.predictor_params, sort_keys=True),
+        f"{config.btb_entries}/{config.btb_ways}/{config.btb_policy}",
+        str(config.ras_depth),
+        f"ic{config.icache.size_bytes}w{config.icache.ways}",
+        f"dc{config.dcache.size_bytes}w{config.dcache.ways}",
+        f"l2{config.l2.size_bytes if config.l2 else 0}",
+        f"tlb{config.itlb_entries}/{config.dtlb_entries}/{config.tlb_miss_penalty}",
+        f"dram{config.dram.mt_per_s}/{config.dram.t_cl}",
+        config.indirect_scheme,
+        f"scd{config.scd_stall_policy}/{config.scd_stall_cycles}/{config.scd_tables}",
+        f"cap{config.jte_cap}",
+        f"clk{config.clock_mhz}",
+    ]
+    return ";".join(parts)
+
+
+class ResultCache:
+    """A simple JSON-file keyed store of simulation results."""
+
+    def __init__(self, name: str = "results"):
+        self.path = _cache_dir() / f"{name}-v{CACHE_VERSION}.json"
+        self._data: dict[str, dict] | None = None
+
+    def _load(self) -> dict[str, dict]:
+        if self._data is None:
+            if self.path.exists():
+                try:
+                    self._data = json.loads(self.path.read_text())
+                except (json.JSONDecodeError, OSError):
+                    self._data = {}
+            else:
+                self._data = {}
+        return self._data
+
+    def get(self, key: str) -> SimResult | None:
+        entry = self._load().get(key)
+        if entry is None:
+            return None
+        try:
+            return SimResult.from_dict(entry)
+        except TypeError:
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        data = self._load()
+        data[key] = result.to_dict()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(data))
+        tmp.replace(self.path)
+
+    def clear(self) -> None:
+        self._data = {}
+        if self.path.exists():
+            self.path.unlink()
+
+
+#: Process-wide default cache instance.
+DEFAULT_CACHE = ResultCache()

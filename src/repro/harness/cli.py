@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro.harness <experiment>``.
+
+Commands::
+
+    scd-repro list                 # available experiments / workloads
+    scd-repro run fibo --vm lua --scheme scd
+    scd-repro figure7              # any experiment id from the registry
+    scd-repro all                  # every experiment, in paper order
+    scd-repro report               # regenerate EXPERIMENTS.md content
+    scd-repro clear-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.simulation import SCHEMES, simulate
+from repro.harness.cache import DEFAULT_CACHE
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.uarch.config import CONFIG_PRESETS
+from repro.workloads import workload_names
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("\nworkloads:")
+    for name in workload_names():
+        print(f"  {name}")
+    print(
+        f"\nschemes: {', '.join(SCHEMES)} "
+        "(+ ttc, cascaded, ittage, superinst)"
+    )
+    print(f"machines: {', '.join(CONFIG_PRESETS)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = CONFIG_PRESETS[args.machine]()
+    result = simulate(
+        args.workload,
+        vm=args.vm,
+        scheme=args.scheme,
+        config=config,
+        scale=args.scale,
+    )
+    print(f"{args.vm}/{args.workload}/{args.scheme} on {args.machine}:")
+    print(f"  guest bytecodes : {result.guest_steps}")
+    print(f"  host insts      : {result.instructions}")
+    print(f"  cycles          : {result.cycles}  (CPI {result.cpi:.3f})")
+    print(f"  branch MPKI     : {result.branch_mpki:.2f}")
+    print(f"  icache MPKI     : {result.icache_mpki:.2f}")
+    print(f"  dispatch frac   : {result.dispatch_fraction * 100:.1f}%")
+    if result.bop_hits or result.bop_misses:
+        print(f"  bop hit rate    : {result.bop_hit_rate * 100:.2f}%")
+    if args.show_output:
+        print("  guest output:")
+        for line in result.output:
+            print(f"    {line}")
+    return 0
+
+
+def _cmd_experiment(name: str) -> int:
+    result = run_experiment(name)
+    print(result.text)
+    return 0
+
+
+def _cmd_all(_args) -> int:
+    for name in EXPERIMENTS:
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        print(run_experiment(name).text)
+        print()
+    return 0
+
+
+def _cmd_report(_args) -> int:
+    from repro.harness.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def _cmd_clear_cache(_args) -> int:
+    DEFAULT_CACHE.clear()
+    print(f"cleared {DEFAULT_CACHE.path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="scd-repro",
+        description="Short-Circuit Dispatch (ISCA 2016) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, workloads, schemes")
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument("workload", choices=workload_names())
+    run_parser.add_argument("--vm", choices=("lua", "js"), default="lua")
+    run_parser.add_argument(
+        "--scheme",
+        choices=SCHEMES + ("ttc", "cascaded", "ittage", "superinst"),
+        default="scd",
+    )
+    run_parser.add_argument(
+        "--machine", choices=tuple(CONFIG_PRESETS), default="cortex-a5"
+    )
+    run_parser.add_argument("--scale", choices=("sim", "fpga"), default="sim")
+    run_parser.add_argument("--show-output", action="store_true")
+
+    for name in EXPERIMENTS:
+        sub.add_parser(name, help=f"reproduce {name}")
+    sub.add_parser("all", help="run every experiment")
+    sub.add_parser("report", help="regenerate the EXPERIMENTS.md body")
+    sub.add_parser("clear-cache", help="drop cached simulation results")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "all":
+        return _cmd_all(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "clear-cache":
+        return _cmd_clear_cache(args)
+    return _cmd_experiment(args.command)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,92 @@
+"""ASCII rendering of tables and bar-chart "figures"."""
+
+from __future__ import annotations
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    title: str = "",
+    aligns: list[str] | None = None,
+) -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: column names.
+        rows: cell values (converted with ``str``; floats pre-format them).
+        title: optional title line above the table.
+        aligns: per-column ``"l"`` or ``"r"`` (default: first column left,
+            rest right).
+    """
+    if aligns is None:
+        aligns = ["l"] + ["r"] * (len(headers) - 1)
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def fmt_row(row):
+        parts = []
+        for i, cell in enumerate(row):
+            if aligns[i] == "l":
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def format_bar_chart(
+    labels: list[str],
+    series: dict[str, list[float]],
+    title: str = "",
+    width: int = 40,
+    value_format: str = "{:.3f}",
+    baseline: float | None = None,
+) -> str:
+    """Render grouped horizontal bars (one group per label).
+
+    Args:
+        labels: group labels (e.g. workload names).
+        series: series name -> one value per label.
+        width: bar width in characters for the maximum value.
+        value_format: how to print each value.
+        baseline: if given, a ``|`` marks this value on each bar scale.
+    """
+    all_values = [v for values in series.values() for v in values]
+    maximum = max(all_values) if all_values else 1.0
+    if maximum <= 0:
+        maximum = 1.0
+    name_width = max((len(n) for n in series), default=0)
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for index, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * max(0, round(width * value / maximum))
+            if baseline is not None:
+                marker = round(width * baseline / maximum)
+                bar_chars = list(bar.ljust(width))
+                if 0 <= marker < width:
+                    bar_chars[marker] = "|" if bar_chars[marker] == " " else bar_chars[marker]
+                bar = "".join(bar_chars).rstrip()
+            lines.append(
+                f"  {name.ljust(name_width)} {value_format.format(value).rjust(8)} {bar}"
+            )
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 1) -> str:
+    """Format a ratio as a signed percent string (0.102 -> '+10.2%')."""
+    return f"{value * 100:+.{digits}f}%"

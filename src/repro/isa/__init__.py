@@ -1,0 +1,44 @@
+"""Host instruction set for modelling interpreter native code.
+
+The paper measures *native* (host) instruction streams: the Alpha code of the
+Lua/SpiderMonkey dispatch loop on gem5, and RISC-V code on the Rocket FPGA
+model.  This package provides an equivalent from-scratch substrate: a small
+RISC-like 32-bit host ISA ("ember"), a two-pass assembler, and program /
+basic-block containers.  The SCD ISA extension of the paper (Table I) is part
+of the instruction set: ``setmask``, the ``.op`` load suffix, ``bop``,
+``jru`` and ``jte.flush``.
+
+Typical use::
+
+    from repro.isa import assemble
+    program = assemble('''
+    Fetch:
+        ldq   r5, 40(r14)
+        ldl.op r9, 0(r5)
+        bop
+    ''')
+    block = program.blocks[0]
+"""
+
+from repro.isa.instructions import (
+    Kind,
+    Instruction,
+    INSTRUCTION_SIZE,
+    is_control_flow,
+    mnemonic_kind,
+)
+from repro.isa.assembler import assemble, AssemblyError
+from repro.isa.program import Program, BasicBlock, ProgramLayout
+
+__all__ = [
+    "Kind",
+    "Instruction",
+    "INSTRUCTION_SIZE",
+    "is_control_flow",
+    "mnemonic_kind",
+    "assemble",
+    "AssemblyError",
+    "Program",
+    "BasicBlock",
+    "ProgramLayout",
+]

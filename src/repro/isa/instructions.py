@@ -1,0 +1,196 @@
+"""Instruction definitions for the ember host ISA.
+
+The ISA is deliberately small and RISC-like: fixed 4-byte instructions,
+register-register ALU operations, explicit loads/stores, direct conditional
+branches, direct and indirect jumps, calls/returns, and the five-entry SCD
+extension from Table I of the paper.
+
+Instructions here are *static* entities: a :class:`Instruction` is one slot
+in an assembled :class:`~repro.isa.program.Program`.  Dynamic behaviour
+(whether a branch was taken, which address a load touched) is supplied by the
+native interpreter model at simulation time; the timing model never needs a
+register file for host code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Size in bytes of every ember instruction (32-bit fixed-width encoding).
+INSTRUCTION_SIZE = 4
+
+
+class Kind(enum.IntEnum):
+    """Semantic class of a host instruction.
+
+    The timing model dispatches on this, not on the mnemonic: an ``add`` and
+    an ``xor`` cost the same, but a ``LOAD`` probes the D-cache and a
+    ``BRANCH`` consults the direction predictor.
+    """
+
+    ALU = 0          #: register-register / register-immediate arithmetic
+    LOAD = 1         #: memory read (may carry the ``.op`` SCD suffix)
+    STORE = 2        #: memory write
+    BRANCH = 3       #: conditional direct branch (predicted direction)
+    JUMP = 4         #: unconditional direct jump
+    JUMP_IND = 5     #: indirect jump through a register (BTB-predicted target)
+    CALL = 6         #: direct call (pushes the return-address stack)
+    CALL_IND = 7     #: indirect call
+    RET = 8          #: return (pops the return-address stack)
+    NOP = 9          #: no-operation / pipeline filler
+    SETMASK = 10     #: SCD: write the mask register ``Rmask``
+    BOP = 11         #: SCD: branch-on-opcode (BTB lookup keyed by ``Rop``)
+    JRU = 12         #: SCD: jump-register-with-JTE-update
+    JTE_FLUSH = 13   #: SCD: invalidate all jump-table entries in the BTB
+
+
+#: Kinds that terminate a basic block.
+_CONTROL_FLOW_KINDS = frozenset(
+    {
+        Kind.BRANCH,
+        Kind.JUMP,
+        Kind.JUMP_IND,
+        Kind.CALL,
+        Kind.CALL_IND,
+        Kind.RET,
+        Kind.BOP,
+        Kind.JRU,
+    }
+)
+
+#: Mnemonic -> kind table used by the assembler.  ALU mnemonics are a
+#: representative Alpha/RISC-V blend; the timing model only sees the kind.
+_MNEMONIC_KINDS: dict[str, Kind] = {
+    # ALU / data movement
+    "add": Kind.ALU,
+    "addq": Kind.ALU,
+    "sub": Kind.ALU,
+    "subq": Kind.ALU,
+    "mul": Kind.ALU,
+    "mulq": Kind.ALU,
+    "and": Kind.ALU,
+    "or": Kind.ALU,
+    "bis": Kind.ALU,
+    "xor": Kind.ALU,
+    "sll": Kind.ALU,
+    "srl": Kind.ALU,
+    "sra": Kind.ALU,
+    "cmp": Kind.ALU,
+    "cmpeq": Kind.ALU,
+    "cmplt": Kind.ALU,
+    "cmple": Kind.ALU,
+    "cmpule": Kind.ALU,
+    "lda": Kind.ALU,
+    "ldah": Kind.ALU,
+    "li": Kind.ALU,
+    "mov": Kind.ALU,
+    "s4addq": Kind.ALU,
+    "s8addq": Kind.ALU,
+    "sextb": Kind.ALU,
+    "sextw": Kind.ALU,
+    "zapnot": Kind.ALU,
+    "fadd": Kind.ALU,
+    "fsub": Kind.ALU,
+    "fmul": Kind.ALU,
+    "fdiv": Kind.ALU,
+    "fcmp": Kind.ALU,
+    "cvtif": Kind.ALU,
+    "cvtfi": Kind.ALU,
+    # memory
+    "ldq": Kind.LOAD,
+    "ldl": Kind.LOAD,
+    "ldw": Kind.LOAD,
+    "ldb": Kind.LOAD,
+    "ldbu": Kind.LOAD,
+    "fld": Kind.LOAD,
+    "stq": Kind.STORE,
+    "stl": Kind.STORE,
+    "stw": Kind.STORE,
+    "stb": Kind.STORE,
+    "fst": Kind.STORE,
+    # control flow
+    "beq": Kind.BRANCH,
+    "bne": Kind.BRANCH,
+    "blt": Kind.BRANCH,
+    "bge": Kind.BRANCH,
+    "ble": Kind.BRANCH,
+    "bgt": Kind.BRANCH,
+    "br": Kind.JUMP,
+    "jmp": Kind.JUMP_IND,
+    "jr": Kind.JUMP_IND,
+    "call": Kind.CALL,
+    "bsr": Kind.CALL,
+    "callr": Kind.CALL_IND,
+    "jsr": Kind.CALL_IND,
+    "ret": Kind.RET,
+    "nop": Kind.NOP,
+    # SCD extension (Table I of the paper)
+    "setmask": Kind.SETMASK,
+    "bop": Kind.BOP,
+    "jru": Kind.JRU,
+    "jte.flush": Kind.JTE_FLUSH,
+}
+
+
+def mnemonic_kind(mnemonic: str) -> Kind:
+    """Return the :class:`Kind` for *mnemonic*.
+
+    The ``.op`` suffix of SCD-annotated loads (``ldl.op``) is accepted and
+    stripped before lookup.
+
+    Raises:
+        KeyError: if the mnemonic is not part of the ISA.
+    """
+    base = mnemonic
+    if base.endswith(".op") and base != "jte.flush":
+        base = base[: -len(".op")]
+    return _MNEMONIC_KINDS[base]
+
+
+def is_control_flow(kind: Kind) -> bool:
+    """True if instructions of *kind* terminate a basic block."""
+    return kind in _CONTROL_FLOW_KINDS
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One static host instruction.
+
+    Attributes:
+        mnemonic: assembly mnemonic, without the ``.op`` suffix.
+        kind: semantic class used by the timing model.
+        operands: raw operand text (informational; the timing model does not
+            interpret host registers).
+        pc: byte address assigned at layout time.
+        target: resolved byte address of the label operand for direct
+            branches/jumps/calls, else ``None``.
+        target_label: symbolic target name for direct control flow.
+        op_suffix: True for ``<inst>.op`` loads, which deposit the loaded
+            bytecode into ``Rop`` after masking with ``Rmask``.
+        category: statistics bucket (e.g. ``"dispatch"``, ``"handler"``);
+            assigned per-block by the native interpreter model.
+    """
+
+    mnemonic: str
+    kind: Kind
+    operands: str = ""
+    pc: int = -1
+    target: int | None = None
+    target_label: str | None = None
+    op_suffix: bool = False
+    category: str = ""
+
+    def __str__(self) -> str:
+        suffix = ".op" if self.op_suffix else ""
+        text = f"{self.mnemonic}{suffix}"
+        if self.operands:
+            text += f" {self.operands}"
+        if self.target_label is not None:
+            text += f" -> {self.target_label}"
+        return text
+
+
+def make_nops(count: int) -> list[Instruction]:
+    """Build *count* NOP filler instructions (used in tests and padding)."""
+    return [Instruction("nop", Kind.NOP) for _ in range(count)]

@@ -1,0 +1,204 @@
+"""Program and basic-block containers for assembled host code.
+
+The timing model (:mod:`repro.uarch.pipeline`) is block-driven: it consumes
+:class:`BasicBlock` executions, each covering a straight-line run of host
+instructions with at most one terminating control transfer.  This module
+extracts those blocks from an assembled instruction list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Kind,
+    is_control_flow,
+)
+
+
+@dataclass(slots=True, eq=False)  # identity equality: blocks are unique
+class BasicBlock:
+    """A straight-line sequence of host instructions.
+
+    A block ends either at a control-flow instruction (which becomes
+    :attr:`term`) or just before the next label.  Counts that the timing
+    model needs every execution (instruction, load and store counts, PC
+    range) are precomputed.
+
+    Attributes:
+        name: label that starts the block, or ``"<parent>+N"`` when the block
+            begins at a fall-through point after control flow.
+        start_pc / end_pc: byte range ``[start_pc, end_pc)`` of the block.
+        instructions: the static instructions, terminator included.
+        term: the terminating control-flow instruction, or ``None`` when the
+            block simply falls through to the next one.
+        n_insts / n_loads / n_stores: precomputed instruction-mix counts.
+        category: statistics bucket of the block's first instruction.
+        has_op_load: True when the block contains an ``<inst>.op`` load (the
+            SCD bytecode fetch).
+        lines_cache / page_cache: fetch-footprint caches filled lazily by
+            the pipeline (64-byte lines, 4 KiB pages).
+    """
+
+    name: str
+    start_pc: int
+    instructions: list[Instruction]
+    term: Instruction | None = None
+    n_insts: int = 0
+    n_loads: int = 0
+    n_stores: int = 0
+    category: str = ""
+    has_op_load: bool = False
+    lines_cache: tuple | None = None
+    page_cache: int = -1
+
+    @property
+    def end_pc(self) -> int:
+        return self.start_pc + self.n_insts * INSTRUCTION_SIZE
+
+    @property
+    def fall_through_pc(self) -> int:
+        """PC of the instruction following the block in layout order."""
+        return self.end_pc
+
+    def __str__(self) -> str:
+        return f"<block {self.name} @0x{self.start_pc:x} n={self.n_insts}>"
+
+
+def _finalize(block: BasicBlock) -> BasicBlock:
+    block.n_insts = len(block.instructions)
+    block.n_loads = sum(1 for i in block.instructions if i.kind is Kind.LOAD)
+    block.n_stores = sum(1 for i in block.instructions if i.kind is Kind.STORE)
+    block.has_op_load = any(i.op_suffix for i in block.instructions)
+    last = block.instructions[-1]
+    block.term = last if is_control_flow(last.kind) else None
+    if block.instructions:
+        block.category = block.instructions[0].category
+    return block
+
+
+@dataclass
+class Program:
+    """An assembled host program: instructions, labels and basic blocks.
+
+    Attributes:
+        name: human-readable name.
+        base: byte address of the first instruction.
+        instructions: the full instruction list in layout order.
+        labels: label name -> byte address.
+        blocks: basic blocks in layout order (built on construction).
+    """
+
+    name: str
+    base: int
+    instructions: list[Instruction]
+    labels: dict[str, int]
+    blocks: list[BasicBlock] = field(default_factory=list)
+    _block_by_name: dict[str, BasicBlock] = field(default_factory=dict, repr=False)
+    _block_by_pc: dict[int, BasicBlock] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.instructions:
+            self._build_blocks()
+
+    def _build_blocks(self) -> None:
+        starts = {self.base}
+        for label_pc in self.labels.values():
+            starts.add(label_pc)
+        for inst in self.instructions:
+            if is_control_flow(inst.kind):
+                starts.add(inst.pc + INSTRUCTION_SIZE)
+
+        pc_to_label: dict[int, str] = {}
+        for label, pc in self.labels.items():
+            # Prefer the first label alphabetically for aliased addresses so
+            # the choice is deterministic.
+            if pc not in pc_to_label or label < pc_to_label[pc]:
+                pc_to_label[pc] = label
+
+        current: BasicBlock | None = None
+        parent_name = self.name
+        for inst in self.instructions:
+            if inst.pc in starts or current is None:
+                if current is not None and current.instructions:
+                    self._register(_finalize(current))
+                if inst.pc in pc_to_label:
+                    name = pc_to_label[inst.pc]
+                    parent_name = name
+                else:
+                    name = f"{parent_name}+0x{inst.pc - self.labels.get(parent_name, self.base):x}"
+                current = BasicBlock(name=name, start_pc=inst.pc, instructions=[])
+            current.instructions.append(inst)
+            if is_control_flow(inst.kind):
+                self._register(_finalize(current))
+                current = None
+        if current is not None and current.instructions:
+            self._register(_finalize(current))
+
+    def _register(self, block: BasicBlock) -> None:
+        self.blocks.append(block)
+        self._block_by_name[block.name] = block
+        self._block_by_pc[block.start_pc] = block
+
+    # -- lookup -----------------------------------------------------------
+
+    def block(self, name: str) -> BasicBlock:
+        """Return the block starting at label *name*."""
+        try:
+            return self._block_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no basic block named {name!r} in program {self.name!r}"
+            ) from None
+
+    def block_at(self, pc: int) -> BasicBlock:
+        """Return the block starting at byte address *pc*."""
+        try:
+            return self._block_by_pc[pc]
+        except KeyError:
+            raise KeyError(
+                f"no basic block at 0x{pc:x} in program {self.name!r}"
+            ) from None
+
+    def has_block(self, name: str) -> bool:
+        return name in self._block_by_name
+
+    @property
+    def size_bytes(self) -> int:
+        """Total code footprint in bytes."""
+        return len(self.instructions) * INSTRUCTION_SIZE
+
+    def successor(self, block: BasicBlock) -> BasicBlock:
+        """Return the fall-through successor of *block*."""
+        return self.block_at(block.fall_through_pc)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+class ProgramLayout:
+    """Concatenates assembly fragments into one address space.
+
+    Used by the native interpreter model to lay out the dispatcher followed
+    by every handler, with alignment between fragments, so that code-size
+    effects (e.g. the I-cache bloat of jump threading) appear naturally.
+    """
+
+    def __init__(self, base: int = 0x1_0000, align: int = 16):
+        if align % INSTRUCTION_SIZE:
+            raise ValueError(f"align must be a multiple of {INSTRUCTION_SIZE}")
+        self.base = base
+        self.align = align
+        self._chunks: list[str] = []
+
+    def add(self, text: str) -> None:
+        """Append an assembly fragment, aligned to the layout boundary."""
+        self._chunks.append(f".align {self.align}\n{text}")
+
+    def assemble(self, name: str = "layout") -> Program:
+        """Assemble all fragments into a single :class:`Program`."""
+        from repro.isa.assembler import assemble as _assemble
+
+        return _assemble("\n".join(self._chunks), base=self.base, name=name)

@@ -1,0 +1,35 @@
+"""Mini scripting language ("scriptlet") frontend.
+
+The benchmarks of the paper are Computer Language Benchmarks Game scripts
+written in Lua and JavaScript.  We write each benchmark once in a small
+dynamically-typed language and compile it to *both* interpreter VMs
+(register-based Lua-like and stack-based JS-like), which keeps the guest
+algorithm — and therefore the dynamic bytecode mix — identical across VMs.
+
+The language: first-class ints (arbitrary precision), floats, strings,
+booleans, nil, arrays and maps; global functions with recursion; ``if`` /
+``while`` / Lua-style numeric ``for``; ``..`` string concatenation (mapping
+onto Lua's CONCAT bytecode); a small builtin library.
+
+Example::
+
+    fn fib(n) {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+    print(fib(12));
+"""
+
+from repro.lang.lexer import tokenize, Token, TokenType, LexerError
+from repro.lang.parser import parse, ParseError
+from repro.lang import ast
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenType",
+    "LexerError",
+    "parse",
+    "ParseError",
+    "ast",
+]

@@ -1,0 +1,191 @@
+"""Abstract syntax tree for the scriptlet language.
+
+Nodes are plain frozen-ish dataclasses (mutable only where the compilers
+annotate them).  Every node records its source line for error reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Node:
+    line: int = field(default=0, kw_only=True)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Literal(Node):
+    """int / float / str / bool / None constant."""
+
+    value: object = None
+
+
+@dataclass(slots=True)
+class Name(Node):
+    id: str = ""
+
+
+@dataclass(slots=True)
+class BinOp(Node):
+    """Arithmetic/comparison/concat: one of
+    ``+ - * / // % .. == != < <= > >=``."""
+
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass(slots=True)
+class UnOp(Node):
+    """Unary ``-`` or ``not``."""
+
+    op: str = ""
+    operand: Node = None
+
+
+@dataclass(slots=True)
+class Logical(Node):
+    """Short-circuit ``and`` / ``or``."""
+
+    op: str = ""
+    left: Node = None
+    right: Node = None
+
+
+@dataclass(slots=True)
+class Call(Node):
+    """Direct call of a global function or builtin by name."""
+
+    callee: str = ""
+    args: list = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class Index(Node):
+    """``obj[key]`` read (or write target inside :class:`Assign`)."""
+
+    obj: Node = None
+    key: Node = None
+
+
+@dataclass(slots=True)
+class ArrayLit(Node):
+    items: list = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class MapLit(Node):
+    """``{key: value, ...}`` with string or expression keys."""
+
+    pairs: list = field(default_factory=list)  # list[(key_expr, value_expr)]
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(slots=True)
+class Block(Node):
+    statements: list = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class VarDecl(Node):
+    name: str = ""
+    value: Node = None
+
+
+@dataclass(slots=True)
+class Assign(Node):
+    """Assignment to a :class:`Name` or :class:`Index` target."""
+
+    target: Node = None
+    value: Node = None
+
+
+@dataclass(slots=True)
+class If(Node):
+    cond: Node = None
+    then: Block = None
+    orelse: Node = None  # Block, nested If, or None
+
+
+@dataclass(slots=True)
+class While(Node):
+    cond: Node = None
+    body: Block = None
+
+
+@dataclass(slots=True)
+class ForNum(Node):
+    """Lua-style numeric for: ``for i = start, stop, step { ... }``.
+
+    Iterates while ``i <= stop`` (or ``>=`` for negative step), inclusive,
+    exactly like Lua's FORPREP/FORLOOP semantics.
+    """
+
+    var: str = ""
+    start: Node = None
+    stop: Node = None
+    step: Node = None  # None means 1
+    body: Block = None
+
+
+@dataclass(slots=True)
+class Return(Node):
+    value: Node = None  # None returns nil
+
+
+@dataclass(slots=True)
+class Break(Node):
+    pass
+
+
+@dataclass(slots=True)
+class Continue(Node):
+    pass
+
+
+@dataclass(slots=True)
+class ExprStmt(Node):
+    expr: Node = None
+
+
+@dataclass(slots=True)
+class FuncDecl(Node):
+    name: str = ""
+    params: list = field(default_factory=list)
+    body: Block = None
+
+
+@dataclass(slots=True)
+class Module(Node):
+    """A whole script: function declarations plus top-level statements."""
+
+    body: list = field(default_factory=list)
+
+    def functions(self) -> list[FuncDecl]:
+        return [node for node in self.body if isinstance(node, FuncDecl)]
+
+    def top_level(self) -> list[Node]:
+        return [node for node in self.body if not isinstance(node, FuncDecl)]
+
+
+def walk(node: Node):
+    """Yield *node* and all descendants (pre-order)."""
+    yield node
+    for slot in node.__dataclass_fields__:
+        value = getattr(node, slot)
+        if isinstance(value, Node):
+            yield from walk(value)
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, Node):
+                    yield from walk(item)
+                elif isinstance(item, tuple):
+                    for element in item:
+                        if isinstance(element, Node):
+                            yield from walk(element)

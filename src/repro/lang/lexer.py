@@ -1,0 +1,219 @@
+"""Tokenizer for the scriptlet language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class LexerError(ValueError):
+    """Raised on malformed input with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class TokenType(enum.Enum):
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    NAME = "name"
+    KEYWORD = "keyword"
+    OP = "op"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "fn",
+        "var",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+        "true",
+        "false",
+        "nil",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = (
+    "..",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "//",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+    ":",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "0": "\0", "r": "\r"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        type: token class.
+        value: int/float for numbers, decoded text for strings, the
+            identifier / keyword / operator text otherwise.
+        line: 1-based source line.
+    """
+
+    type: TokenType
+    value: object
+    line: int
+
+    def matches(self, type_: TokenType, value: object = None) -> bool:
+        return self.type is type_ and (value is None or self.value == value)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, appending a single EOF token.
+
+    Raises:
+        LexerError: on unterminated strings, bad numbers or stray
+            characters.
+    """
+    tokens: list[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        ch = source[position]
+
+        if ch == "\n":
+            line += 1
+            position += 1
+            continue
+        if ch in " \t\r":
+            position += 1
+            continue
+        # '#' starts a comment ('//' is the floor-division operator).
+        if ch == "#":
+            while position < length and source[position] != "\n":
+                position += 1
+            continue
+
+        if ch.isdigit() or (
+            ch == "." and position + 1 < length and source[position + 1].isdigit()
+        ):
+            start = position
+            seen_dot = False
+            seen_exp = False
+            if source.startswith("0x", position) or source.startswith("0X", position):
+                position += 2
+                while position < length and source[position] in "0123456789abcdefABCDEF":
+                    position += 1
+                text = source[start:position]
+                try:
+                    tokens.append(Token(TokenType.INT, int(text, 16), line))
+                except ValueError:
+                    raise LexerError(f"bad hex literal {text!r}", line) from None
+                continue
+            while position < length:
+                c = source[position]
+                if c.isdigit():
+                    position += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # ".." is the concat operator, not a decimal point.
+                    if source.startswith("..", position):
+                        break
+                    seen_dot = True
+                    position += 1
+                elif c in "eE" and not seen_exp:
+                    seen_exp = True
+                    position += 1
+                    if position < length and source[position] in "+-":
+                        position += 1
+                else:
+                    break
+            text = source[start:position]
+            try:
+                if seen_dot or seen_exp:
+                    tokens.append(Token(TokenType.FLOAT, float(text), line))
+                else:
+                    tokens.append(Token(TokenType.INT, int(text), line))
+            except ValueError:
+                raise LexerError(f"bad number literal {text!r}", line) from None
+            continue
+
+        if ch == '"':
+            position += 1
+            chunks: list[str] = []
+            while True:
+                if position >= length:
+                    raise LexerError("unterminated string literal", line)
+                c = source[position]
+                if c == '"':
+                    position += 1
+                    break
+                if c == "\n":
+                    raise LexerError("newline inside string literal", line)
+                if c == "\\":
+                    position += 1
+                    if position >= length:
+                        raise LexerError("unterminated escape", line)
+                    escape = source[position]
+                    try:
+                        chunks.append(_ESCAPES[escape])
+                    except KeyError:
+                        raise LexerError(
+                            f"unknown escape \\{escape}", line
+                        ) from None
+                    position += 1
+                else:
+                    chunks.append(c)
+                    position += 1
+            tokens.append(Token(TokenType.STRING, "".join(chunks), line))
+            continue
+
+        if ch.isalpha() or ch == "_":
+            start = position
+            while position < length and (
+                source[position].isalnum() or source[position] == "_"
+            ):
+                position += 1
+            text = source[start:position]
+            if text in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, text, line))
+            else:
+                tokens.append(Token(TokenType.NAME, text, line))
+            continue
+
+        for operator in _OPERATORS:
+            if source.startswith(operator, position):
+                tokens.append(Token(TokenType.OP, operator, line))
+                position += len(operator)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line)
+
+    tokens.append(Token(TokenType.EOF, None, line))
+    return tokens

@@ -1,0 +1,359 @@
+"""Recursive-descent parser for the scriptlet language.
+
+Grammar (precedence low to high)::
+
+    module     := (funcdecl | statement)*
+    funcdecl   := 'fn' NAME '(' params? ')' block
+    statement  := vardecl | if | while | fornum | return | break | continue
+                | assign-or-exprstmt
+    vardecl    := 'var' NAME '=' expr ';'
+    fornum     := 'for' NAME '=' expr ',' expr (',' expr)? block
+    expr       := or
+    or         := and ('or' and)*
+    and        := not ('and' not)*
+    not        := 'not' not | comparison
+    comparison := concat (('=='|'!='|'<'|'<='|'>'|'>=') concat)?
+    concat     := additive ('..' additive)*        -- right associative
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    mult       := unary (('*'|'/'|'//'|'%') unary)*
+    unary      := '-' unary | postfix
+    postfix    := primary ('[' expr ']')*
+    primary    := literal | NAME | NAME '(' args ')' | '(' expr ')'
+                | '[' items ']' | '{' pairs '}'
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.lexer import Token, TokenType, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntax errors with a line number."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type is not TokenType.EOF:
+            self.position += 1
+        return token
+
+    def check(self, type_: TokenType, value: object = None) -> bool:
+        return self.current.matches(type_, value)
+
+    def accept(self, type_: TokenType, value: object = None) -> Token | None:
+        if self.check(type_, value):
+            return self.advance()
+        return None
+
+    def expect(self, type_: TokenType, value: object = None) -> Token:
+        if self.check(type_, value):
+            return self.advance()
+        want = value if value is not None else type_.value
+        raise ParseError(
+            f"expected {want!r}, found {self.current.value!r}", self.current.line
+        )
+
+    # -- module level -----------------------------------------------------
+
+    def parse_module(self) -> ast.Module:
+        body: list[ast.Node] = []
+        while not self.check(TokenType.EOF):
+            if self.check(TokenType.KEYWORD, "fn"):
+                body.append(self.funcdecl())
+            else:
+                body.append(self.statement())
+        return ast.Module(body=body, line=1)
+
+    def funcdecl(self) -> ast.FuncDecl:
+        line = self.expect(TokenType.KEYWORD, "fn").line
+        name = self.expect(TokenType.NAME).value
+        self.expect(TokenType.OP, "(")
+        params: list[str] = []
+        if not self.check(TokenType.OP, ")"):
+            params.append(self.expect(TokenType.NAME).value)
+            while self.accept(TokenType.OP, ","):
+                params.append(self.expect(TokenType.NAME).value)
+        self.expect(TokenType.OP, ")")
+        if len(set(params)) != len(params):
+            raise ParseError(f"duplicate parameter in fn {name!r}", line)
+        body = self.block()
+        return ast.FuncDecl(name=name, params=params, body=body, line=line)
+
+    # -- statements --------------------------------------------------------
+
+    def block(self) -> ast.Block:
+        line = self.expect(TokenType.OP, "{").line
+        statements: list[ast.Node] = []
+        while not self.check(TokenType.OP, "}"):
+            if self.check(TokenType.EOF):
+                raise ParseError("unterminated block", line)
+            statements.append(self.statement())
+        self.expect(TokenType.OP, "}")
+        return ast.Block(statements=statements, line=line)
+
+    def statement(self) -> ast.Node:
+        token = self.current
+        if token.matches(TokenType.KEYWORD, "var"):
+            return self.vardecl()
+        if token.matches(TokenType.KEYWORD, "if"):
+            return self.if_statement()
+        if token.matches(TokenType.KEYWORD, "while"):
+            return self.while_statement()
+        if token.matches(TokenType.KEYWORD, "for"):
+            return self.for_statement()
+        if token.matches(TokenType.KEYWORD, "return"):
+            self.advance()
+            value = None
+            if not self.check(TokenType.OP, ";"):
+                value = self.expression()
+            self.expect(TokenType.OP, ";")
+            return ast.Return(value=value, line=token.line)
+        if token.matches(TokenType.KEYWORD, "break"):
+            self.advance()
+            self.expect(TokenType.OP, ";")
+            return ast.Break(line=token.line)
+        if token.matches(TokenType.KEYWORD, "continue"):
+            self.advance()
+            self.expect(TokenType.OP, ";")
+            return ast.Continue(line=token.line)
+        if token.matches(TokenType.KEYWORD, "fn"):
+            raise ParseError("nested function declarations are not supported", token.line)
+        return self.assign_or_expr()
+
+    def vardecl(self) -> ast.VarDecl:
+        line = self.expect(TokenType.KEYWORD, "var").line
+        name = self.expect(TokenType.NAME).value
+        self.expect(TokenType.OP, "=")
+        value = self.expression()
+        self.expect(TokenType.OP, ";")
+        return ast.VarDecl(name=name, value=value, line=line)
+
+    def if_statement(self) -> ast.If:
+        line = self.expect(TokenType.KEYWORD, "if").line
+        self.expect(TokenType.OP, "(")
+        cond = self.expression()
+        self.expect(TokenType.OP, ")")
+        then = self.block()
+        orelse: ast.Node | None = None
+        if self.accept(TokenType.KEYWORD, "else"):
+            if self.check(TokenType.KEYWORD, "if"):
+                orelse = self.if_statement()
+            else:
+                orelse = self.block()
+        return ast.If(cond=cond, then=then, orelse=orelse, line=line)
+
+    def while_statement(self) -> ast.While:
+        line = self.expect(TokenType.KEYWORD, "while").line
+        self.expect(TokenType.OP, "(")
+        cond = self.expression()
+        self.expect(TokenType.OP, ")")
+        body = self.block()
+        return ast.While(cond=cond, body=body, line=line)
+
+    def for_statement(self) -> ast.ForNum:
+        line = self.expect(TokenType.KEYWORD, "for").line
+        var = self.expect(TokenType.NAME).value
+        self.expect(TokenType.OP, "=")
+        start = self.expression()
+        self.expect(TokenType.OP, ",")
+        stop = self.expression()
+        step = None
+        if self.accept(TokenType.OP, ","):
+            step = self.expression()
+        body = self.block()
+        return ast.ForNum(
+            var=var, start=start, stop=stop, step=step, body=body, line=line
+        )
+
+    def assign_or_expr(self) -> ast.Node:
+        line = self.current.line
+        expr = self.expression()
+        if self.accept(TokenType.OP, "="):
+            if not isinstance(expr, (ast.Name, ast.Index)):
+                raise ParseError("invalid assignment target", line)
+            value = self.expression()
+            self.expect(TokenType.OP, ";")
+            return ast.Assign(target=expr, value=value, line=line)
+        self.expect(TokenType.OP, ";")
+        return ast.ExprStmt(expr=expr, line=line)
+
+    # -- expressions --------------------------------------------------------
+
+    def expression(self) -> ast.Node:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Node:
+        left = self.and_expr()
+        while self.check(TokenType.KEYWORD, "or"):
+            line = self.advance().line
+            right = self.and_expr()
+            left = ast.Logical(op="or", left=left, right=right, line=line)
+        return left
+
+    def and_expr(self) -> ast.Node:
+        left = self.not_expr()
+        while self.check(TokenType.KEYWORD, "and"):
+            line = self.advance().line
+            right = self.not_expr()
+            left = ast.Logical(op="and", left=left, right=right, line=line)
+        return left
+
+    def not_expr(self) -> ast.Node:
+        if self.check(TokenType.KEYWORD, "not"):
+            line = self.advance().line
+            operand = self.not_expr()
+            return ast.UnOp(op="not", operand=operand, line=line)
+        return self.comparison()
+
+    _COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+    def comparison(self) -> ast.Node:
+        left = self.concat()
+        if self.current.type is TokenType.OP and self.current.value in self._COMPARISONS:
+            token = self.advance()
+            right = self.concat()
+            return ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def concat(self) -> ast.Node:
+        left = self.additive()
+        if self.check(TokenType.OP, ".."):
+            line = self.advance().line
+            right = self.concat()  # right associative, like Lua
+            return ast.BinOp(op="..", left=left, right=right, line=line)
+        return left
+
+    def additive(self) -> ast.Node:
+        left = self.multiplicative()
+        while self.current.type is TokenType.OP and self.current.value in ("+", "-"):
+            token = self.advance()
+            right = self.multiplicative()
+            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def multiplicative(self) -> ast.Node:
+        left = self.unary()
+        while self.current.type is TokenType.OP and self.current.value in (
+            "*",
+            "/",
+            "//",
+            "%",
+        ):
+            token = self.advance()
+            right = self.unary()
+            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def unary(self) -> ast.Node:
+        if self.check(TokenType.OP, "-"):
+            line = self.advance().line
+            operand = self.unary()
+            if isinstance(operand, ast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Literal(value=-operand.value, line=line)
+            return ast.UnOp(op="-", operand=operand, line=line)
+        return self.postfix()
+
+    def postfix(self) -> ast.Node:
+        expr = self.primary()
+        while self.check(TokenType.OP, "["):
+            line = self.advance().line
+            key = self.expression()
+            self.expect(TokenType.OP, "]")
+            expr = ast.Index(obj=expr, key=key, line=line)
+        return expr
+
+    def primary(self) -> ast.Node:
+        token = self.current
+        if token.type is TokenType.INT or token.type is TokenType.FLOAT:
+            self.advance()
+            return ast.Literal(value=token.value, line=token.line)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(value=token.value, line=token.line)
+        if token.matches(TokenType.KEYWORD, "true"):
+            self.advance()
+            return ast.Literal(value=True, line=token.line)
+        if token.matches(TokenType.KEYWORD, "false"):
+            self.advance()
+            return ast.Literal(value=False, line=token.line)
+        if token.matches(TokenType.KEYWORD, "nil"):
+            self.advance()
+            return ast.Literal(value=None, line=token.line)
+        if token.type is TokenType.NAME:
+            self.advance()
+            if self.check(TokenType.OP, "("):
+                self.advance()
+                args: list[ast.Node] = []
+                if not self.check(TokenType.OP, ")"):
+                    args.append(self.expression())
+                    while self.accept(TokenType.OP, ","):
+                        args.append(self.expression())
+                self.expect(TokenType.OP, ")")
+                return ast.Call(callee=token.value, args=args, line=token.line)
+            return ast.Name(id=token.value, line=token.line)
+        if token.matches(TokenType.OP, "("):
+            self.advance()
+            expr = self.expression()
+            self.expect(TokenType.OP, ")")
+            return expr
+        if token.matches(TokenType.OP, "["):
+            self.advance()
+            items: list[ast.Node] = []
+            if not self.check(TokenType.OP, "]"):
+                items.append(self.expression())
+                while self.accept(TokenType.OP, ","):
+                    items.append(self.expression())
+            self.expect(TokenType.OP, "]")
+            return ast.ArrayLit(items=items, line=token.line)
+        if token.matches(TokenType.OP, "{"):
+            self.advance()
+            pairs: list[tuple] = []
+            if not self.check(TokenType.OP, "}"):
+                pairs.append(self._map_pair())
+                while self.accept(TokenType.OP, ","):
+                    pairs.append(self._map_pair())
+            self.expect(TokenType.OP, "}")
+            return ast.MapLit(pairs=pairs, line=token.line)
+        raise ParseError(f"unexpected token {token.value!r}", token.line)
+
+    def _map_pair(self) -> tuple:
+        if self.current.type in (TokenType.NAME, TokenType.STRING):
+            key_token = self.advance()
+            key: ast.Node = ast.Literal(value=key_token.value, line=key_token.line)
+        elif self.accept(TokenType.OP, "["):
+            key = self.expression()
+            self.expect(TokenType.OP, "]")
+        else:
+            raise ParseError(
+                f"bad map key {self.current.value!r}", self.current.line
+            )
+        self.expect(TokenType.OP, ":")
+        value = self.expression()
+        return (key, value)
+
+
+def parse(source: str) -> ast.Module:
+    """Parse *source* into a :class:`repro.lang.ast.Module`.
+
+    Raises:
+        LexerError / ParseError: with 1-based line numbers.
+    """
+    return _Parser(tokenize(source)).parse_module()

@@ -1,0 +1,32 @@
+"""Native (host-instruction) model of each interpreter.
+
+The paper's measurements are properties of the interpreter's *native* code:
+how many host instructions the dispatch loop burns per bytecode, where its
+branches live, how big the code footprint is.  This package materialises
+that native code in the ember host ISA:
+
+* hand-written dispatcher assembly following Figure 1(b) (baseline switch
+  dispatch), Figure 1(c) (jump threading) and Figure 4 (SCD transform);
+* per-opcode handler code generated from instruction-mix specs
+  (:mod:`repro.native.specs`);
+* builtin stubs whose size scales with the work the builtin does;
+* a :class:`~repro.native.model.NativeInterpreterModel` that lays all of it
+  out in one address space and replays VM trace events onto a
+  :class:`~repro.uarch.pipeline.Machine`.
+"""
+
+from repro.native.specs import HandlerSpec, generate_handler_asm, generate_stub_asm
+from repro.native.model import (
+    NativeInterpreterModel,
+    ModelRunner,
+    DISPATCH_STRATEGIES,
+)
+
+__all__ = [
+    "HandlerSpec",
+    "generate_handler_asm",
+    "generate_stub_asm",
+    "NativeInterpreterModel",
+    "ModelRunner",
+    "DISPATCH_STRATEGIES",
+]

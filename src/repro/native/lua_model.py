@@ -1,0 +1,218 @@
+"""Native-code description of the Lua-like interpreter.
+
+Dispatcher assembly follows the paper exactly: the baseline is Figure 1(b)
+(fetch / decode / bound check / target-calculation + indirect jump, preceded
+by the loop-header housekeeping that real interpreters carry), the SCD
+version is Figure 4 (``ldl.op`` fetch + ``bop`` fast path, slow path ending
+in ``jru``), and jump threading replicates the dispatch tail into every
+handler per Figure 1(c).
+
+Handler instruction mixes approximate Lua 5.3's ``lvm.c`` handler sizes when
+compiled ``-O3`` for a RISC target: short register moves, type-checked
+arithmetic around 30 instructions, hash-table opcodes in the 40s, and frame
+setup/teardown (CALL/RETURN) around 100/70 with a host call to a
+``luaD_precall``-style helper.
+"""
+
+from __future__ import annotations
+
+from repro.native.specs import HandlerSpec
+from repro.vm.lua.opcodes import NUM_OPCODES, Op
+
+#: ``setmask`` value for the Lua interpreter (Section III-A).
+LUA_OPCODE_MASK = 0x3F
+
+#: Hot-chunk / inline-cold-region sizes for generated handler code.  Dense
+#: interleaving (a branch roughly every 7 hot instructions, with sizeable
+#: metamethod/error fallback regions in between) matches ``gcc -O3`` output
+#: for ``lvm.c`` and gives each hot handler a realistic multi-line I-cache
+#: footprint — the property that puts the 16 KB I-cache on a knife edge
+#: under jump threading's replicated tails (Figure 10).
+CHUNK_INSTS = 7
+COLD_INSTS = 28
+
+#: Single dispatch site (the paper applies one ``.op`` suffix to Lua).
+LUA_SITES = (0,)
+
+# Baseline dispatcher: loop header (4) + Figure 1(b)'s 13 instructions.
+BASELINE_DISPATCHER = """
+.category dispatch
+LoopHead_0:
+    ldq  r14, 0(r13)        # reload VM state pointer
+    and  r14, r14, r14      # hook/trap-flag check (folded)
+    cmpeq r14, 0, r12
+    add  r13, 0, r13
+Fetch_0:
+    ldq  r5, 40(r14)        # r5 = VM.pc
+    ldl  r9, 0(r5)          # r9 = *VM.pc  (the bytecode)
+    lda  r5, 4(r5)          # VM.pc++
+    stq  r5, 40(r14)
+Decode_0:
+    and  r9, 63, r2         # opcode = bytecode & 0x3F
+Bound_0:
+    cmpule r2, 46, r1       # bound check against NUM_OPCODES-1
+    beq  r1, OpError_0
+Calc_0:
+    ldah r7, 16(r3)         # jump-table base (high)
+    lda  r7, 8(r7)          # jump-table base (low)
+    s4addq r2, r7, r2       # entry address
+    ldl  r1, 0(r2)          # load target offset
+    addq r3, r1, r1         # absolute handler address
+    jmp  (r1)               # indirect dispatch jump
+OpError_0:
+    ret
+"""
+
+# SCD dispatcher: Figure 4.  Fast path is LoopHead+Fetch(+.op)+bop; the slow
+# path re-runs decode/bound/target-calc and installs the JTE via jru.
+SCD_DISPATCHER = """
+.category dispatch
+LoopHead_0:
+    ldq  r14, 0(r13)
+    and  r14, r14, r14
+    cmpeq r14, 0, r12
+    add  r13, 0, r13
+Fetch_0:
+    ldq  r5, 40(r14)
+    ldl.op r9, 0(r5)        # fetch bytecode and deposit masked opcode in Rop
+    lda  r5, 4(r5)
+    stq  r5, 40(r14)
+Bop_0:
+    bop                     # BTB lookup keyed by Rop.d
+Decode_0:
+    and  r9, 63, r2
+Bound_0:
+    cmpule r2, 46, r1
+    beq  r1, OpError_0
+Calc_0:
+    ldah r7, 16(r3)
+    lda  r7, 8(r7)
+    s4addq r2, r7, r2
+    ldl  r1, 0(r2)
+    addq r3, r1, r1
+    jru  (r1)               # jump and install (Rop.d -> target) JTE
+OpError_0:
+    ret
+"""
+
+# Jump-threaded dispatch tail, replicated at the end of every handler
+# (Figure 1(c)).  No bound check; the loop-header housekeeping and the
+# label-array indirection remain (Labels-as-Values keeps the same vmfetch
+# macro), so the per-iteration saving is the bound check plus the shared
+# back-jump — matching Table IV's ~4.8% instruction saving.
+THREADED_TAIL = """.category dispatch
+{name}_T:
+    ldq  r14, 0(r13)
+    and  r14, r14, r14
+    cmpeq r14, 0, r12
+    add  r13, 0, r13
+    ldq  r5, 40(r14)
+    ldl  r9, 0(r5)
+    lda  r5, 4(r5)
+    stq  r5, 40(r14)
+    and  r9, 63, r2
+    ldah r7, 16(r3)
+    lda  r7, 8(r7)
+    s4addq r2, r7, r2
+    ldl  r1, 0(r2)
+    addq r3, r1, r1
+    jmp  (r1)
+"""
+
+#: Handler instruction-mix table: one spec per Lua 5.3 opcode.  Opcodes the
+#: scriptlet compiler never emits still get handlers — they occupy I-cache
+#: space in the real interpreter too.
+HANDLER_SPECS: dict[int, HandlerSpec] = {
+    Op.MOVE: HandlerSpec(alu=9, loads=3, stores=2),
+    Op.LOADK: HandlerSpec(alu=7, loads=3, stores=2),
+    Op.LOADKX: HandlerSpec(alu=7, loads=3, stores=2),
+    Op.LOADBOOL: HandlerSpec(alu=7, loads=1, stores=2),
+    Op.LOADNIL: HandlerSpec(alu=7, loads=1, stores=2),
+    Op.GETUPVAL: HandlerSpec(alu=8, loads=4, stores=2),
+    Op.GETTABUP: HandlerSpec(alu=22, loads=10, stores=4),
+    Op.GETTABLE: HandlerSpec(alu=26, loads=12, stores=4),
+    Op.SETTABUP: HandlerSpec(alu=24, loads=10, stores=6),
+    Op.SETUPVAL: HandlerSpec(alu=8, loads=3, stores=3),
+    Op.SETTABLE: HandlerSpec(alu=28, loads=12, stores=6),
+    Op.NEWTABLE: HandlerSpec(alu=50, loads=14, stores=16),
+    Op.SELF: HandlerSpec(alu=26, loads=10, stores=4),
+    Op.ADD: HandlerSpec(alu=22, loads=5, stores=3),
+    Op.SUB: HandlerSpec(alu=22, loads=5, stores=3),
+    Op.MUL: HandlerSpec(alu=22, loads=5, stores=3),
+    Op.MOD: HandlerSpec(alu=28, loads=5, stores=3),
+    Op.POW: HandlerSpec(alu=34, loads=5, stores=3),
+    Op.DIV: HandlerSpec(alu=26, loads=5, stores=3),
+    Op.IDIV: HandlerSpec(alu=28, loads=5, stores=3),
+    Op.BAND: HandlerSpec(alu=18, loads=4, stores=3),
+    Op.BOR: HandlerSpec(alu=18, loads=4, stores=3),
+    Op.BXOR: HandlerSpec(alu=18, loads=4, stores=3),
+    Op.SHL: HandlerSpec(alu=20, loads=4, stores=3),
+    Op.SHR: HandlerSpec(alu=20, loads=4, stores=3),
+    Op.UNM: HandlerSpec(alu=12, loads=3, stores=3),
+    Op.BNOT: HandlerSpec(alu=12, loads=3, stores=3),
+    Op.NOT: HandlerSpec(alu=10, loads=3, stores=3),
+    Op.LEN: HandlerSpec(alu=14, loads=5, stores=3),
+    Op.CONCAT: HandlerSpec(alu=28, loads=8, stores=6, has_work_loop=True),
+    Op.JMP: HandlerSpec(alu=6, loads=1, stores=1),
+    Op.EQ: HandlerSpec(alu=18, loads=5, stores=0, guest_branch=True, taken_extra=3),
+    Op.LT: HandlerSpec(alu=16, loads=5, stores=0, guest_branch=True, taken_extra=3),
+    Op.LE: HandlerSpec(alu=16, loads=5, stores=0, guest_branch=True, taken_extra=3),
+    Op.TEST: HandlerSpec(alu=10, loads=3, stores=0, guest_branch=True, taken_extra=3),
+    Op.TESTSET: HandlerSpec(alu=12, loads=3, stores=2, guest_branch=True, taken_extra=3),
+    Op.CALL: HandlerSpec(alu=48, loads=16, stores=14, calls_out=True),
+    Op.TAILCALL: HandlerSpec(alu=44, loads=14, stores=12, calls_out=True),
+    Op.RETURN: HandlerSpec(alu=44, loads=14, stores=12),
+    Op.FORLOOP: HandlerSpec(alu=14, loads=4, stores=4, guest_branch=True, taken_extra=4),
+    Op.FORPREP: HandlerSpec(alu=12, loads=4, stores=4),
+    Op.TFORCALL: HandlerSpec(alu=40, loads=12, stores=10, calls_out=True),
+    Op.TFORLOOP: HandlerSpec(alu=12, loads=4, stores=4, guest_branch=True),
+    Op.SETLIST: HandlerSpec(alu=16, loads=6, stores=8, has_work_loop=True),
+    Op.CLOSURE: HandlerSpec(alu=56, loads=16, stores=16),
+    Op.VARARG: HandlerSpec(alu=20, loads=8, stores=8),
+    Op.EXTRAARG: HandlerSpec(alu=3, loads=0, stores=0),
+}
+
+assert len(HANDLER_SPECS) == NUM_OPCODES
+
+
+#: Bytecode pairs fused into superinstructions (Ertl & Gregg; Related
+#: Work).  Selected by dynamic pair profiling of the Table III workloads
+#: (see repro.vm.profile), restricted to straight-line handlers:
+#: branchy/call/variable-cost opcodes cannot be fused without
+#: duplicating continuation logic.
+FUSED_PAIRS: tuple = (
+    (Op.MUL, Op.ADD),
+    (Op.GETTABUP, Op.SUB),
+    (Op.GETTABUP, Op.MUL),
+    (Op.GETTABUP, Op.GETTABUP),
+    (Op.GETTABUP, Op.GETTABLE),
+    (Op.JMP, Op.GETTABUP),
+    (Op.ADD, Op.ADD),
+    (Op.MUL, Op.MUL),
+    (Op.ADD, Op.JMP),
+    (Op.GETTABUP, Op.MOVE),
+    (Op.GETTABUP, Op.ADD),
+    (Op.MOVE, Op.MOVE),
+    (Op.GETTABLE, Op.ADD),
+    (Op.ADD, Op.SETTABLE),
+    (Op.SUB, Op.GETTABLE),
+    (Op.SETTABLE, Op.GETTABUP),
+)
+
+
+def handler_name(op: int) -> str:
+    return f"H_{Op(op).name}"
+
+
+def dispatcher_text(strategy: str) -> str:
+    """Dispatcher assembly for *strategy* ("baseline"/"threaded" share)."""
+    if strategy == "scd":
+        return SCD_DISPATCHER
+    return BASELINE_DISPATCHER
+
+
+def handler_tail(strategy: str) -> str:
+    """The tail each handler ends with under *strategy*."""
+    if strategy == "threaded":
+        return "br {name}_T"
+    return "br LoopHead_0"

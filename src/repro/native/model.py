@@ -1,0 +1,525 @@
+"""Replay of VM trace events as native-code block executions.
+
+:class:`NativeInterpreterModel` assembles the complete native image of one
+interpreter under one dispatch strategy (dispatcher copies, all handlers,
+builtin stubs) and precomputes per-opcode runtime descriptors.
+:class:`ModelRunner` binds a model to a :class:`repro.uarch.pipeline.Machine`
+and replays the functional VM's trace events onto it — every event becomes
+the dispatch-block sequence of the strategy under test plus the opcode's
+handler blocks, with branch outcomes, JTE traffic and data addresses fed to
+the timing model.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.isa.program import BasicBlock, Program, ProgramLayout
+from repro.native import js_model, lua_model
+from repro.native.specs import (
+    HandlerSpec,
+    generate_handler_asm,
+    generate_stub_asm,
+    work_loop_iterations,
+)
+from repro.uarch.pipeline import Machine
+from repro.vm.builtins import BUILTINS
+from repro.vm.js.opcodes import exit_site as _js_exit_site
+from repro.vm.trace import CALLEE_BUILTIN, TAKEN_TRUE
+
+#: Strategies whose code layout differs.  VBBI is the baseline layout with
+#: the machine's ``indirect_scheme`` set to ``"vbbi"``; "superinst" is the
+#: baseline layout plus fused superinstruction handlers (Ertl & Gregg).
+DISPATCH_STRATEGIES = ("baseline", "threaded", "scd", "superinst")
+
+#: Synthetic address of the VM state structure (virtual PC slot etc.).
+_VM_STRUCT_PC_SLOT = 0x00F0_0028
+#: Guest bytecode stream region (sequential-ish fetch pattern).
+_GUEST_CODE_BASE = 0x00E0_0000
+
+
+class _DispatchRT:
+    """Precomputed blocks/PCs of one dispatcher copy (one site)."""
+
+    __slots__ = (
+        "head",
+        "fetch",
+        "operand",
+        "bop_block",
+        "decode",
+        "bound",
+        "calc",
+        "bound_pc",
+        "jump_pc",
+        "bop_pc",
+        "scd",
+    )
+
+    def __init__(self, program: Program, site: int, scd: bool):
+        self.head = program.block(f"LoopHead_{site}")
+        self.fetch = program.block(f"Fetch_{site}")
+        self.operand = (
+            program.block(f"Operand_{site}")
+            if program.has_block(f"Operand_{site}")
+            else None
+        )
+        self.scd = scd
+        if scd:
+            self.bop_block = program.block(f"Bop_{site}")
+            self.bop_pc = self.bop_block.term.pc
+        else:
+            self.bop_block = None
+            self.bop_pc = -1
+        self.decode = program.block(f"Decode_{site}")
+        self.bound = program.block(f"Bound_{site}")
+        self.bound_pc = self.bound.term.pc
+        self.calc = program.block(f"Calc_{site}")
+        self.jump_pc = self.calc.term.pc
+
+
+def _follow_chain(
+    program: Program, name: str, start_name: str
+) -> tuple[list, BasicBlock]:
+    """Walk a handler's hot-chunk chain.
+
+    Returns ``([(chunk_block, junction_branch_pc), ...], final_block)``:
+    chunks end in always-taken ``bne`` junctions over inline cold regions;
+    the final block carries the handler's real terminator (or falls through
+    to the work loop).
+    """
+    block = program.block(start_name)
+    chain: list = []
+    prefix = f"{name}_h"
+    while (
+        block.term is not None
+        and block.term.mnemonic == "bne"
+        and block.term.target_label is not None
+        and block.term.target_label.startswith(prefix)
+    ):
+        chain.append((block, block.term.pc))
+        block = program.block(block.term.target_label)
+    return chain, block
+
+
+class _HandlerRT:
+    """Precomputed blocks/PCs of one handler."""
+
+    __slots__ = (
+        "pc",
+        "chain",
+        "final",
+        "kind",
+        "branch_pc",
+        "nt",
+        "tk",
+        "work",
+        "work_pc",
+        "exit",
+        "ret_block",
+        "call_pc",
+        "tail_block",
+        "tail_jump_pc",
+        "static_insts",
+    )
+
+    def __init__(self, program: Program, name: str, spec: HandlerSpec, threaded: bool):
+        self.chain, self.final = _follow_chain(program, name, name)
+        first = self.chain[0][0] if self.chain else self.final
+        self.pc = first.start_pc
+        self.static_insts = spec.body_insts
+        self.nt = self.tk = self.work = self.exit = self.ret_block = None
+        self.branch_pc = self.work_pc = self.call_pc = -1
+        if spec.calls_out:
+            self.kind = "callout"
+            self.call_pc = self.final.term.pc
+            self.ret_block = program.block(f"{name}_r")
+        elif spec.has_work_loop:
+            self.kind = "workloop"
+            self.work = program.block(f"{name}_w")
+            self.work_pc = self.work.term.pc
+            self.exit = program.block(f"{name}_x")
+        elif spec.guest_branch:
+            self.kind = "branchy"
+            self.branch_pc = self.final.term.pc
+            self.nt = program.block(f"{name}_nt")
+            self.tk = program.block(f"{name}_tk")
+        else:
+            self.kind = "plain"
+        if threaded:
+            self.tail_block = program.block(f"{name}_T")
+            self.tail_jump_pc = self.tail_block.term.pc
+        else:
+            self.tail_block = None
+            self.tail_jump_pc = -1
+
+
+class _StubRT:
+    """Precomputed blocks of one builtin / precall stub."""
+
+    __slots__ = (
+        "pc",
+        "chain",
+        "final",
+        "work",
+        "work_pc",
+        "exit",
+        "ret_pc",
+        "entry_insts",
+    )
+
+    def __init__(self, program: Program, name: str):
+        label = f"B_{name}"
+        self.chain, self.final = _follow_chain(program, label, label)
+        first = self.chain[0][0] if self.chain else self.final
+        self.pc = first.start_pc
+        self.work = program.block(f"{label}_w")
+        self.work_pc = self.work.term.pc
+        self.exit = program.block(f"{label}_x")
+        self.ret_pc = self.exit.term.pc
+        self.entry_insts = (
+            sum(block.n_insts for block, _ in self.chain)
+            + self.final.n_insts
+            + self.exit.n_insts
+        )
+
+
+class NativeInterpreterModel:
+    """The assembled native image of one (vm_kind, strategy) pair.
+
+    Args:
+        vm_kind: ``"lua"`` or ``"js"``.
+        strategy: one of :data:`DISPATCH_STRATEGIES`.
+
+    Attributes:
+        program: the full assembled host program (dispatchers + all
+            handlers + stubs); its size drives the I-cache model.
+        opcode_mask: the interpreter's ``setmask`` value.
+        covered_sites: dispatch sites with SCD coverage.
+    """
+
+    def __init__(self, vm_kind: str, strategy: str):
+        if vm_kind not in ("lua", "js"):
+            raise ValueError(f"unknown vm_kind {vm_kind!r}")
+        if strategy not in DISPATCH_STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.vm_kind = vm_kind
+        self.strategy = strategy
+        backend = lua_model if vm_kind == "lua" else js_model
+        self.opcode_mask = (
+            lua_model.LUA_OPCODE_MASK if vm_kind == "lua" else js_model.JS_OPCODE_MASK
+        )
+        if vm_kind == "lua":
+            self.sites = (0,)
+            self.covered_sites = frozenset({0})
+        else:
+            self.sites = js_model.JS_ALL_SITES
+            self.covered_sites = frozenset(js_model.JS_COVERED_SITES)
+
+        # Superinstructions reuse the baseline dispatcher and tails; only
+        # the handler set differs (extra fused bodies below).
+        code_strategy = "baseline" if strategy == "superinst" else strategy
+        layout = ProgramLayout(base=0x1_0000, align=16)
+        layout.add(backend.dispatcher_text(code_strategy))
+        specs = backend.HANDLER_SPECS
+        chunk, cold = backend.CHUNK_INSTS, backend.COLD_INSTS
+        threaded = strategy == "threaded"
+        for op in sorted(specs):
+            name = backend.handler_name(op)
+            if vm_kind == "lua":
+                tail = lua_model.handler_tail(code_strategy)
+            else:
+                tail = js_model.handler_tail(code_strategy, int(_js_exit_site(op)))
+            text = generate_handler_asm(name, specs[op], tail, chunk=chunk, cold=cold)
+            if threaded:
+                tail_text = (
+                    lua_model.THREADED_TAIL if vm_kind == "lua" else js_model.THREADED_TAIL
+                )
+                text += tail_text.format(name=name)
+            layout.add(text)
+        fused_pairs: list = []
+        if strategy == "superinst":
+            # Fused bodies: the pair's concatenated work minus the elided
+            # store/reload of the intermediate state (2 instructions).
+            for first, second in backend.FUSED_PAIRS:
+                spec_a, spec_b = specs[first], specs[second]
+                if (
+                    spec_a.guest_branch or spec_a.has_work_loop or spec_a.calls_out
+                    or spec_b.guest_branch or spec_b.has_work_loop or spec_b.calls_out
+                ):
+                    continue
+                fused_spec = HandlerSpec(
+                    alu=max(1, spec_a.alu + spec_b.alu - 2),
+                    loads=spec_a.loads + spec_b.loads,
+                    stores=spec_a.stores + spec_b.stores,
+                )
+                name = f"F_{backend.handler_name(first)}__{backend.handler_name(second)}"
+                if vm_kind == "lua":
+                    tail = lua_model.handler_tail("baseline")
+                else:
+                    tail = js_model.handler_tail("baseline", int(_js_exit_site(second)))
+                layout.add(
+                    generate_handler_asm(name, fused_spec, tail, chunk=chunk, cold=cold)
+                )
+                fused_pairs.append((first, second, name, fused_spec))
+        for stub_name in tuple(BUILTINS) + ("_precall",):
+            layout.add(generate_stub_asm(stub_name, chunk=chunk, cold=cold))
+        self.program = layout.assemble(name=f"{vm_kind}-{strategy}")
+
+        self.dispatchers = {
+            site: _DispatchRT(
+                self.program,
+                site,
+                scd=(strategy == "scd" and site in self.covered_sites),
+            )
+            for site in self.sites
+        }
+        self.fused = {
+            (first, second): _HandlerRT(self.program, name, spec, False)
+            for first, second, name, spec in fused_pairs
+        }
+        self.handlers = {
+            op: _HandlerRT(self.program, backend.handler_name(op), specs[op], threaded)
+            for op in specs
+        }
+        self.stubs = {
+            stub_name: _StubRT(self.program, stub_name)
+            for stub_name in tuple(BUILTINS) + ("_precall",)
+        }
+
+    @property
+    def code_size_bytes(self) -> int:
+        return self.program.size_bytes
+
+
+@functools.lru_cache(maxsize=None)
+def get_model(vm_kind: str, strategy: str) -> NativeInterpreterModel:
+    """Cached model factory (assembly is reused across runs)."""
+    return NativeInterpreterModel(vm_kind, strategy)
+
+
+class ModelRunner:
+    """Replays one VM run's trace events onto a machine.
+
+    Usage::
+
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm.run(trace=runner.on_event)
+        runner.finish()
+
+    Args:
+        model: the native image to replay.
+        machine: the timing model.
+        context_switch_interval: flush JTEs (and TLBs/RAS) every N guest
+            bytecodes, modelling OS context switches (Section IV).
+            ``None`` disables switching.
+        context_switch_policy: ``"flush"`` (the paper's preferred policy,
+            re-populate through the slow path) or ``"save"`` (the OS saves
+            and restores JTEs, paying per-entry overhead instead).
+    """
+
+    def __init__(
+        self,
+        model: NativeInterpreterModel,
+        machine: Machine,
+        context_switch_interval: int | None = None,
+        context_switch_policy: str = "flush",
+    ):
+        if context_switch_policy not in ("flush", "save"):
+            raise ValueError(
+                f"unknown context-switch policy {context_switch_policy!r}"
+            )
+        self.model = model
+        self.machine = machine
+        self.context_switch_interval = context_switch_interval
+        self.context_switch_policy = context_switch_policy
+        self._prev_op: int | None = None
+        self._pending: tuple | None = None
+        self._events = 0
+        self._code_cursor = 0
+        self._is_scd = model.strategy == "scd"
+        self._is_threaded = model.strategy == "threaded"
+        self._is_superinst = model.strategy == "superinst"
+
+    def start(self) -> None:
+        """Program the SCD registers (``setmask`` per covered site)."""
+        if self._is_scd:
+            for site in self.model.covered_sites:
+                self.machine.scd.setmask(self.model.opcode_mask, table=site)
+
+    def finish(self) -> None:
+        """Interpreter-loop exit: drain any buffered event, flush JTEs."""
+        if self._pending is not None:
+            event, self._pending = self._pending, None
+            self._replay(*event)
+        if self._is_scd:
+            self.machine.jte_flush()
+
+    # -- event replay -------------------------------------------------------
+
+    def on_event(self, op, site, taken, callee, daddrs, builtin, cost) -> None:
+        """Consume one VM trace event.
+
+        Under the superinstruction strategy, events are buffered one deep so
+        adjacent bytecodes matching a fused pair dispatch once through the
+        fused handler; everything else replays immediately.
+        """
+        if not self._is_superinst:
+            self._replay(op, site, taken, callee, daddrs, builtin, cost)
+            return
+        event = (op, site, taken, callee, daddrs, builtin, cost)
+        pending = self._pending
+        if pending is None:
+            self._pending = event
+            return
+        fused_rt = self.model.fused.get((pending[0], op))
+        if fused_rt is not None:
+            self._pending = None
+            self._replay_fused(pending, event, fused_rt)
+        else:
+            self._pending = event
+            self._replay(*pending)
+
+    def _replay_fused(self, first, second, handler) -> None:
+        """One dispatch, two bytecodes: the superinstruction fast path."""
+        machine = self.machine
+        model = self.model
+        self._events += 2
+        interval = self.context_switch_interval
+        if interval and self._events % interval <= 1:
+            machine.context_switch(save_jtes=self.context_switch_policy == "save")
+        self._code_cursor = (self._code_cursor + 8) & 0x3FFF
+        fetch_daddrs = (_VM_STRUCT_PC_SLOT, _GUEST_CODE_BASE + self._code_cursor)
+
+        site = first[1] if first[1] in model.dispatchers else 0
+        dispatch = model.dispatchers[site]
+        machine.exec_block(dispatch.head)
+        machine.exec_block(dispatch.fetch, fetch_daddrs)
+        if dispatch.operand is not None:
+            machine.exec_block(dispatch.operand)
+        machine.exec_block(dispatch.decode)
+        machine.exec_block(dispatch.bound)
+        machine.cond_branch(dispatch.bound_pc, False, "bound_check")
+        machine.exec_block(dispatch.calc)
+        fused_opcode = 0x1_0000 | (first[0] << 8) | second[0]
+        machine.indirect_jump(
+            dispatch.jump_pc, handler.pc, hint=fused_opcode,
+            category="dispatch_jump",
+        )
+
+        daddrs = first[4] + second[4]
+        for chunk_block, junction_pc in handler.chain:
+            machine.exec_block(chunk_block, daddrs)
+            daddrs = ()
+            machine.cond_branch(junction_pc, True, "type_check")
+        machine.exec_block(handler.final, daddrs)
+        self._run_tail(handler.final)
+
+    def _replay(self, op, site, taken, callee, daddrs, builtin, cost) -> None:
+        machine = self.machine
+        model = self.model
+        handler = model.handlers[op]
+
+        self._events += 1
+        interval = self.context_switch_interval
+        if interval and self._events % interval == 0:
+            machine.context_switch(save_jtes=self.context_switch_policy == "save")
+
+        # Guest bytecode stream address: sequential with wraparound, giving
+        # the mostly-resident fetch behaviour of a small bytecode program.
+        self._code_cursor = (self._code_cursor + 4) & 0x3FFF
+        fetch_daddrs = (_VM_STRUCT_PC_SLOT, _GUEST_CODE_BASE + self._code_cursor)
+
+        # ---- dispatch phase ----
+        if self._is_threaded and self._prev_op is not None:
+            tail = model.handlers[self._prev_op]
+            machine.exec_block(tail.tail_block, fetch_daddrs)
+            machine.indirect_jump(
+                tail.tail_jump_pc, handler.pc, hint=op, category="dispatch_jump"
+            )
+        else:
+            dispatch = model.dispatchers[site if site in model.dispatchers else 0]
+            machine.exec_block(dispatch.head)
+            machine.exec_block(dispatch.fetch, fetch_daddrs)
+            if dispatch.operand is not None:
+                machine.exec_block(dispatch.operand)
+            if dispatch.scd:
+                machine.load_op(op & model.opcode_mask, table=site)
+                machine.exec_block(dispatch.bop_block)
+                target = machine.bop(dispatch.bop_pc, table=site)
+                if target is None:
+                    machine.exec_block(dispatch.decode)
+                    machine.exec_block(dispatch.bound)
+                    machine.cond_branch(dispatch.bound_pc, False, "bound_check")
+                    machine.exec_block(dispatch.calc)
+                    machine.jru(dispatch.jump_pc, handler.pc, table=site)
+            else:
+                machine.exec_block(dispatch.decode)
+                machine.exec_block(dispatch.bound)
+                machine.cond_branch(dispatch.bound_pc, False, "bound_check")
+                machine.exec_block(dispatch.calc)
+                machine.indirect_jump(
+                    dispatch.jump_pc, handler.pc, hint=op, category="dispatch_jump"
+                )
+        if self._is_threaded:
+            self._prev_op = op
+
+        # ---- handler phase ----
+        for chunk_block, junction_pc in handler.chain:
+            machine.exec_block(chunk_block, daddrs)
+            daddrs = ()
+            machine.cond_branch(junction_pc, True, "type_check")
+        machine.exec_block(handler.final, daddrs)
+
+        kind = handler.kind
+        if kind == "plain":
+            self._run_tail(handler.final)
+        elif kind == "branchy":
+            branch_taken = taken == TAKEN_TRUE
+            machine.cond_branch(handler.branch_pc, branch_taken, "guest_branch")
+            side = handler.tk if branch_taken else handler.nt
+            machine.exec_block(side)
+            self._run_tail(side)
+        elif kind == "workloop":
+            iterations = 1
+            if cost is not None:
+                iterations = max(1, work_loop_iterations(cost[0]))
+            for index in range(iterations):
+                machine.exec_block(handler.work)
+                machine.cond_branch(
+                    handler.work_pc, index < iterations - 1, "work_loop"
+                )
+            machine.exec_block(handler.exit)
+            self._run_tail(handler.exit)
+        else:  # callout
+            if callee == CALLEE_BUILTIN and builtin is not None:
+                stub = model.stubs[builtin]
+            else:
+                stub = model.stubs["_precall"]
+            return_pc = handler.ret_block.start_pc
+            machine.call(handler.call_pc, stub.pc, return_pc, indirect=True)
+            for chunk_block, junction_pc in stub.chain:
+                machine.exec_block(chunk_block)
+                machine.cond_branch(junction_pc, True, "type_check")
+            machine.exec_block(stub.final)
+            iterations = 1
+            if cost is not None:
+                iterations = max(1, work_loop_iterations(cost[0] - stub.entry_insts))
+            for index in range(iterations):
+                machine.exec_block(stub.work)
+                machine.cond_branch(stub.work_pc, index < iterations - 1, "work_loop")
+            machine.exec_block(stub.exit)
+            machine.ret(stub.ret_pc, return_pc)
+            machine.exec_block(handler.ret_block)
+            self._run_tail(handler.ret_block)
+
+    def _run_tail(self, block: BasicBlock) -> None:
+        """The handler's terminating jump back to the dispatcher.
+
+        Under jump threading the terminator jumps to the handler's own
+        replicated dispatch tail (executed at the next event).
+        """
+        term = block.term
+        machine = self.machine
+        if term is not None and term.target is not None:
+            machine.direct_jump(term.pc, term.target)

@@ -1,0 +1,262 @@
+"""Handler and builtin-stub code generation from instruction-mix specs.
+
+A :class:`HandlerSpec` describes one bytecode handler the way a profile of
+the real interpreter would: how many ALU operations, loads and stores its
+body executes, whether it contains a guest-conditional host branch (the
+comparison/branch bytecodes), and whether part of its work scales with the
+operand (CONCAT, SETLIST, builtin calls).
+
+Generated handlers model the *layout* of compiler output without
+profile-guided hot/cold splitting: the hot path is broken into chunks, each
+followed by an inline cold region (type-error and metamethod fallback code)
+that the hot path jumps over with an always-taken forward branch.  This is
+what ``gcc -O3`` emits for ``lvm.c``-style handlers and it matters: the hot
+path *touches* many more I-cache lines than its executed instruction count
+suggests, which is precisely why jump threading's replicated dispatch tails
+overflow a 16 KB embedded I-cache (paper Figure 10) while the baseline just
+fits.
+
+Block naming contract (used by :mod:`repro.native.model` at replay time):
+
+* ``{name}`` — first hot chunk; junction branches ``bne .., {name}_hN``
+  chain the remaining chunks.
+* ``{name}_w`` / ``{name}_x`` — work-loop body and exit (size-dependent
+  handlers).
+* ``{name}_nt`` / ``{name}_tk`` — fall-through / taken sides of the guest
+  branch.
+* ``{name}_r`` — post-call return block (``calls_out`` handlers).
+* ``B_{name}`` / ``B_{name}_w`` / ``B_{name}_x`` — builtin stub blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Instructions per iteration of a handler's dynamic work loop.
+WORK_LOOP_INSTS = 8
+#: Loads / stores per work-loop iteration.
+WORK_LOOP_LOADS = 2
+WORK_LOOP_STORES = 1
+
+#: Hot instructions per chunk before an inline cold region interrupts.
+DEFAULT_CHUNK = 10
+#: Cold (never-executed) instructions per inline region.
+DEFAULT_COLD = 12
+
+
+@dataclass(frozen=True)
+class HandlerSpec:
+    """Static instruction mix of one bytecode handler body.
+
+    Attributes:
+        alu: ALU/move instructions in the handler body (prologue operand
+            extraction included).
+        loads / stores: memory instructions in the body.
+        guest_branch: True when the handler contains a conditional host
+            branch whose direction is the guest-level outcome (EQ/LT/TEST/
+            FORLOOP in Lua; IFEQ/IFNE/AND/OR in JS).
+        taken_extra: extra ALU instructions on the taken side of the guest
+            branch (virtual-PC adjustment).
+        has_work_loop: True when part of the handler's work scales with the
+            data (CONCAT, SETLIST, NEWARRAY, builtin dispatch).
+        calls_out: True when the handler performs a host call (the CALL
+            bytecode's ``luaD_precall``-style helper; builtins run inside
+            the called stub).
+    """
+
+    alu: int = 8
+    loads: int = 2
+    stores: int = 1
+    guest_branch: bool = False
+    taken_extra: int = 2
+    has_work_loop: bool = False
+    calls_out: bool = False
+
+    @property
+    def body_insts(self) -> int:
+        return self.alu + self.loads + self.stores
+
+
+_ALU_PATTERN = (
+    "add r3, r4, r5",
+    "and r5, 255, r6",
+    "sll r6, 4, r7",
+    "lda r7, 8(r7)",
+    "cmplt r3, r7, r8",
+    "xor r5, r6, r9",
+    "srl r9, 2, r10",
+    "sub r10, r4, r11",
+)
+
+_COLD_PATTERN = (
+    "lda r16, 0(r13)",
+    "stq r9, 16(r16)",
+    "ldq r17, 24(r16)",
+    "add r17, 8, r17",
+    "sub r17, r4, r18",
+    "and r18, 7, r18",
+)
+
+
+def _body_lines(alu: int, loads: int, stores: int) -> list[str]:
+    """Interleave ALU, load and store instructions realistically."""
+    lines: list[str] = []
+    total = alu + loads + stores
+    remaining = {"alu": alu, "load": loads, "store": stores}
+    for position in range(total):
+        if remaining["load"] and position % 4 == 1:
+            kind = "load"
+        elif remaining["store"] and position % 6 == 5:
+            kind = "store"
+        elif remaining["alu"]:
+            kind = "alu"
+        else:
+            kind = max(remaining, key=lambda k: remaining[k])
+        if not remaining[kind]:
+            kind = max(remaining, key=lambda k: remaining[k])
+        remaining[kind] -= 1
+        if kind == "alu":
+            lines.append(_ALU_PATTERN[position % len(_ALU_PATTERN)])
+        elif kind == "load":
+            lines.append(f"ldq r{12 + position % 8}, {8 * (position % 6)}(r14)")
+        else:
+            lines.append(f"stq r{12 + position % 8}, {8 * (position % 6)}(r15)")
+    return lines
+
+
+def _cold_lines(count: int) -> list[str]:
+    lines = [_COLD_PATTERN[i % len(_COLD_PATTERN)] for i in range(count - 1)]
+    lines.append("ret")  # cold paths end in an error/fallback return
+    return lines
+
+
+def _chunked_body(
+    name: str,
+    alu: int,
+    loads: int,
+    stores: int,
+    chunk: int,
+    cold: int,
+) -> list[str]:
+    """Hot body split into chunks with inline cold regions between them.
+
+    Each junction is an always-taken forward branch (``bne``) over the cold
+    region; the executed junction instructions are deducted from the ALU
+    budget so the spec's total executed count is preserved.
+    """
+    body = _body_lines(alu, loads, stores)
+    if chunk <= 0 or len(body) <= chunk + 2:
+        return body
+    lines: list[str] = []
+    index = 0
+    junction = 0
+    while index < len(body):
+        lines += body[index : index + chunk]
+        index += chunk
+        if index < len(body) - 2:
+            body.pop()  # the junction branch replaces one body instruction
+            junction += 1
+            label = f"{name}_h{junction}"
+            lines.append(f"bne r2, {label}")
+            lines += _cold_lines(cold)
+            lines.append(f"{label}:")
+    return lines
+
+
+def generate_handler_asm(
+    name: str,
+    spec: HandlerSpec,
+    tail: str,
+    loop_label: str = "LoopHead_0",
+    chunk: int = DEFAULT_CHUNK,
+    cold: int = DEFAULT_COLD,
+) -> str:
+    """Expand *spec* into an assembly fragment for handler *name*.
+
+    Args:
+        name: handler label, e.g. ``H_ADD``.
+        spec: instruction mix.
+        tail: dispatch tail appended after the body, with ``{loop}`` and
+            ``{name}`` placeholders (``"br {loop}"`` for shared-dispatcher
+            strategies, ``"br {name}_T"`` for jump threading).
+        loop_label: label of the shared dispatcher.
+        chunk / cold: hot-chunk and inline-cold-region sizes.
+    """
+    lines = [f"{name}:", ".category handler"]
+    tail_text = tail.format(loop=loop_label, name=name)
+
+    if spec.calls_out:
+        lines += _chunked_body(name, spec.alu, spec.loads, spec.stores, chunk, cold)
+        lines.append("callr (r6)")
+        lines.append(f"{name}_r:")
+        lines += _body_lines(4, 1, 1)
+        lines.append(tail_text)
+        return "\n".join(lines) + "\n"
+
+    if spec.has_work_loop:
+        lines += _chunked_body(name, spec.alu, spec.loads, spec.stores, chunk, cold)
+        lines.append(f"{name}_w:")
+        lines += _body_lines(
+            WORK_LOOP_INSTS - WORK_LOOP_LOADS - WORK_LOOP_STORES - 1,
+            WORK_LOOP_LOADS,
+            WORK_LOOP_STORES,
+        )
+        lines.append(f"bne r8, {name}_w")
+        lines.append(f"{name}_x:")
+        lines.append("add r3, r4, r5")
+        lines.append(tail_text)
+        return "\n".join(lines) + "\n"
+
+    if spec.guest_branch:
+        # The not-taken side writes the result (3 instructions), paid for
+        # out of the body budget so executed counts match the spec.
+        lines += _chunked_body(
+            name,
+            max(1, spec.alu - 2),
+            spec.loads,
+            max(0, spec.stores - 1),
+            chunk,
+            cold,
+        )
+        lines.append(f"beq r8, {name}_tk")
+        lines.append(f"{name}_nt:")
+        lines += _body_lines(2, 0, 1)
+        lines.append(tail_text)
+        lines.append(f"{name}_tk:")
+        lines += _body_lines(spec.taken_extra, 0, 0)
+        lines.append(tail_text)
+        return "\n".join(lines) + "\n"
+
+    lines += _chunked_body(name, spec.alu, spec.loads, spec.stores, chunk, cold)
+    lines.append(tail_text)
+    return "\n".join(lines) + "\n"
+
+
+def generate_stub_asm(name: str, chunk: int = DEFAULT_CHUNK, cold: int = DEFAULT_COLD) -> str:
+    """Builtin stub: chunked entry, variable work loop, return.
+
+    The dynamic cost of a builtin call (from
+    :func:`repro.vm.builtins.builtin_cost`) is converted into work-loop
+    iterations at replay time.
+    """
+    label = f"B_{name}"
+    lines = [f"{label}:", ".category builtin"]
+    lines += _chunked_body(label, 12, 3, 2, chunk, cold)
+    lines.append(f"{label}_w:")
+    lines += _body_lines(
+        WORK_LOOP_INSTS - WORK_LOOP_LOADS - WORK_LOOP_STORES - 1,
+        WORK_LOOP_LOADS,
+        WORK_LOOP_STORES,
+    )
+    lines.append(f"bne r8, {label}_w")
+    lines.append(f"{label}_x:")
+    lines += _body_lines(4, 1, 1)
+    lines.append("ret")
+    return "\n".join(lines) + "\n"
+
+
+def work_loop_iterations(cost_insts: int) -> int:
+    """Iterations of the work loop needed to model *cost_insts* of work."""
+    if cost_insts <= 0:
+        return 0
+    return max(0, (cost_insts + WORK_LOOP_INSTS - 1) // WORK_LOOP_INSTS)

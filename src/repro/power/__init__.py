@@ -1,0 +1,25 @@
+"""Area / power / EDP model (Table V of the paper).
+
+The paper synthesises a RISC-V Rocket core with and without SCD using a
+TSMC 40 nm library.  We cannot run Design Compiler, so this package carries
+a component-level analytic model *calibrated to the paper's published
+baseline breakdown* (module areas/powers of Table V's baseline columns) and
+derives the SCD additions from first-principles bit counts: the J/B flag
+and second CAM match port on every BTB entry, the replicated
+(Rop, Rmask, Rbop-pc) register sets, the mask AND gate, and the bop PC
+comparators.
+"""
+
+from repro.power.model import (
+    AreaPowerModel,
+    ComponentEstimate,
+    ScdHardwareParams,
+    edp_improvement,
+)
+
+__all__ = [
+    "AreaPowerModel",
+    "ComponentEstimate",
+    "ScdHardwareParams",
+    "edp_improvement",
+]

@@ -1,0 +1,56 @@
+"""Cycle-approximate embedded-core microarchitecture models.
+
+This package is the substrate the paper's evaluation runs on: an in-order
+embedded pipeline with a branch target buffer (extended with the SCD J/B
+bit), direction predictors, return-address stack, I-/D-caches, TLBs and a
+DRAM latency model.  Three presets mirror the paper's Table II:
+
+* :func:`repro.uarch.config.cortex_a5` — the gem5 "simulator" machine
+  (4-stage, single issue, tournament predictor, 256-entry 2-way BTB).
+* :func:`repro.uarch.config.rocket` — the RISC-V Rocket "FPGA" machine
+  (5-stage, gshare-128, 62-entry fully-associative BTB).
+* :func:`repro.uarch.config.cortex_a8` — the higher-end dual-issue core of
+  Section VI-C2 (512-entry BTB, 32 KB I-cache, 256 KB L2).
+"""
+
+from repro.uarch.config import CoreConfig, cortex_a5, rocket, cortex_a8
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.predictors import (
+    BimodalPredictor,
+    CascadedPredictor,
+    GsharePredictor,
+    ItTagePredictor,
+    LocalPredictor,
+    ReturnAddressStack,
+    TaggedTargetCache,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+from repro.uarch.caches import Cache, Tlb
+from repro.uarch.memory import DramModel
+from repro.uarch.pipeline import Machine
+from repro.uarch.scd import ScdUnit
+from repro.uarch.stats import MachineStats
+
+__all__ = [
+    "CoreConfig",
+    "cortex_a5",
+    "rocket",
+    "cortex_a8",
+    "BranchTargetBuffer",
+    "BimodalPredictor",
+    "CascadedPredictor",
+    "ItTagePredictor",
+    "GsharePredictor",
+    "LocalPredictor",
+    "TournamentPredictor",
+    "ReturnAddressStack",
+    "TaggedTargetCache",
+    "make_direction_predictor",
+    "Cache",
+    "Tlb",
+    "DramModel",
+    "Machine",
+    "ScdUnit",
+    "MachineStats",
+]

@@ -1,0 +1,236 @@
+"""Branch target buffer with the SCD jump-table-entry (JTE) overlay.
+
+The paper's key mechanism (Section III-B): every BTB entry carries a *J/B
+bit*.  When set, the entry is a jump-table entry mapping an **opcode value**
+(the masked bytecode in ``Rop``) to a handler address; when clear, it is an
+ordinary PC-indexed branch-target entry.  ``bop`` searches only JTEs;
+ordinary prediction searches only BTB entries; ``jte.flush`` invalidates only
+JTEs.
+
+Replacement follows the paper's default policy: an incoming JTE may evict a
+BTB entry, but an incoming BTB entry may never evict a JTE.  A configurable
+cap bounds the number of resident JTEs (the Section IV / Figure 11(c,d)
+mitigation for small BTBs).
+"""
+
+from __future__ import annotations
+
+
+# Entry field indices (entries are small lists for speed).
+_VALID, _JTE, _KEY, _TARGET = 0, 1, 2, 3
+
+
+class BranchTargetBuffer:
+    """Set-associative BTB shared between branch targets and SCD JTEs.
+
+    Args:
+        entries: total entry count (must be ``sets * ways``).
+        ways: associativity; ``ways == entries`` gives a fully-associative
+            buffer (the Rocket configuration).
+        policy: ``"lru"`` or ``"rr"`` (round-robin) way replacement.
+        jte_cap: maximum simultaneous JTEs, or ``None`` for unbounded
+            (the paper's default "∞" setting).
+    """
+
+    def __init__(
+        self,
+        entries: int = 256,
+        ways: int = 2,
+        policy: str = "lru",
+        jte_cap: int | None = None,
+    ):
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if entries % ways:
+            raise ValueError(f"entries ({entries}) not divisible by ways ({ways})")
+        if policy not in ("lru", "rr"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.entries = entries
+        self.ways = ways
+        self.policy = policy
+        self.jte_cap = jte_cap
+        self.n_sets = entries // ways
+        self._set_mask = self.n_sets - 1
+        if self.n_sets & self._set_mask:
+            # Non-power-of-two set counts (e.g. the 62-entry Rocket BTB,
+            # fully associative so n_sets == 1) index by modulo instead.
+            self._set_mask = None
+        self._sets: list[list[list]] = [
+            [[False, False, 0, 0] for _ in range(ways)] for _ in range(self.n_sets)
+        ]
+        self._rr: list[int] = [0] * self.n_sets
+        self._jte_count = 0
+
+    # -- indexing ----------------------------------------------------------
+
+    def _index_pc(self, pc: int) -> int:
+        word = pc >> 2
+        if self._set_mask is not None:
+            return word & self._set_mask
+        return word % self.n_sets
+
+    def _index_jte(self, opcode: int) -> int:
+        if self._set_mask is not None:
+            return opcode & self._set_mask
+        return opcode % self.n_sets
+
+    @staticmethod
+    def _jte_key(branch_id: int, opcode: int) -> int:
+        return (branch_id << 32) | (opcode & 0xFFFF_FFFF)
+
+    # -- replacement helpers ------------------------------------------------
+
+    def _touch(self, ways: list[list], position: int) -> None:
+        """Promote a hit entry to MRU under LRU."""
+        if self.policy == "lru" and position:
+            entry = ways.pop(position)
+            ways.insert(0, entry)
+
+    def _victim(self, set_index: int, candidates: list[int]) -> int:
+        """Pick a victim way index among *candidates* (non-empty)."""
+        ways = self._sets[set_index]
+        for position in candidates:
+            if not ways[position][_VALID]:
+                return position
+        if self.policy == "rr":
+            # Round-robin over the candidate list.
+            self._rr[set_index] = (self._rr[set_index] + 1) % len(candidates)
+            return candidates[self._rr[set_index]]
+        # LRU: list order is recency order, so the last candidate is LRU.
+        return candidates[-1]
+
+    def _install(self, set_index: int, position: int, entry: list) -> None:
+        ways = self._sets[set_index]
+        victim = ways[position]
+        if victim[_VALID] and victim[_JTE]:
+            self._jte_count -= 1
+        if self.policy == "lru":
+            ways.pop(position)
+            ways.insert(0, entry)
+        else:
+            ways[position] = entry
+        if entry[_JTE]:
+            self._jte_count += 1
+
+    # -- BTB (PC-indexed) side ----------------------------------------------
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for the control transfer at *pc*, or ``None``."""
+        ways = self._sets[self._index_pc(pc)]
+        for position, entry in enumerate(ways):
+            if entry[_VALID] and not entry[_JTE] and entry[_KEY] == pc:
+                self._touch(ways, position)
+                return entry[_TARGET]
+        return None
+
+    def insert(self, pc: int, target: int) -> bool:
+        """Install / update the branch-target entry for *pc*.
+
+        Returns:
+            True if the entry is resident afterwards.  False when every way
+            of the set is occupied by JTEs, which (by the JTE-priority
+            policy) an ordinary entry may not evict.
+        """
+        set_index = self._index_pc(pc)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[_VALID] and not entry[_JTE] and entry[_KEY] == pc:
+                entry[_TARGET] = target
+                self._touch(ways, position)
+                return True
+        candidates = [
+            position
+            for position, entry in enumerate(ways)
+            if not (entry[_VALID] and entry[_JTE])
+        ]
+        if not candidates:
+            return False
+        position = self._victim(set_index, candidates)
+        self._install(set_index, position, [True, False, pc, target])
+        return True
+
+    # -- JTE (opcode-indexed) side -------------------------------------------
+
+    def lookup_jte(self, opcode: int, branch_id: int = 0) -> int | None:
+        """SCD fast path: target address for *opcode*, or ``None`` (bop miss)."""
+        key = self._jte_key(branch_id, opcode)
+        ways = self._sets[self._index_jte(opcode)]
+        for position, entry in enumerate(ways):
+            if entry[_VALID] and entry[_JTE] and entry[_KEY] == key:
+                self._touch(ways, position)
+                return entry[_TARGET]
+        return None
+
+    def insert_jte(self, opcode: int, target: int, branch_id: int = 0) -> bool:
+        """``jru``: install the (opcode -> target) jump-table entry.
+
+        JTEs evict ordinary BTB entries but respect :attr:`jte_cap`: at the
+        cap, a new JTE may only replace another JTE in its own set.
+
+        Returns:
+            True if the JTE is resident afterwards.
+        """
+        key = self._jte_key(branch_id, opcode)
+        set_index = self._index_jte(opcode)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[_VALID] and entry[_JTE] and entry[_KEY] == key:
+                entry[_TARGET] = target
+                self._touch(ways, position)
+                return True
+        at_cap = self.jte_cap is not None and self._jte_count >= self.jte_cap
+        if at_cap:
+            candidates = [
+                position
+                for position, entry in enumerate(ways)
+                if entry[_VALID] and entry[_JTE]
+            ]
+            if not candidates:
+                return False
+        else:
+            candidates = list(range(self.ways))
+        position = self._victim(set_index, candidates)
+        self._install(set_index, position, [True, True, key, target])
+        return True
+
+    def flush_jtes(self) -> int:
+        """``jte.flush``: invalidate every JTE.  Returns the count flushed."""
+        flushed = 0
+        for ways in self._sets:
+            for entry in ways:
+                if entry[_VALID] and entry[_JTE]:
+                    entry[_VALID] = False
+                    flushed += 1
+        self._jte_count -= flushed
+        return flushed
+
+    def flush_all(self) -> None:
+        """Invalidate everything (power-on state)."""
+        for ways in self._sets:
+            for entry in ways:
+                entry[_VALID] = False
+        self._jte_count = 0
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def jte_count(self) -> int:
+        """Number of resident JTEs."""
+        return self._jte_count
+
+    @property
+    def btb_entry_count(self) -> int:
+        """Number of resident ordinary branch-target entries."""
+        total = 0
+        for ways in self._sets:
+            for entry in ways:
+                if entry[_VALID] and not entry[_JTE]:
+                    total += 1
+        return total
+
+    def occupancy(self) -> dict:
+        return {
+            "entries": self.entries,
+            "jtes": self.jte_count,
+            "btb_entries": self.btb_entry_count,
+        }

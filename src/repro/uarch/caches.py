@@ -1,0 +1,143 @@
+"""Set-associative cache and TLB models.
+
+The timing model only needs hit/miss decisions and counts; contents are
+never stored.  Caches use true-LRU within a set (list order is recency
+order), matching Table II's "LRU replacement policy" for both machines.
+"""
+
+from __future__ import annotations
+
+
+class Cache:
+    """Set-associative cache with LRU replacement.
+
+    Args:
+        size_bytes: total capacity.
+        ways: associativity.
+        line_bytes: line size (Table II: 64 B for both machines).
+        name: label used in error messages and stats.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        line_bytes: int = 64,
+        name: str = "cache",
+    ):
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if size_bytes % (ways * line_bytes):
+            raise ValueError(
+                f"{name}: size {size_bytes} not divisible by ways*line "
+                f"({ways}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.line_shift = line_bytes.bit_length() - 1
+        if (1 << self.line_shift) != line_bytes:
+            raise ValueError(f"{name}: line size must be a power of two")
+        self.n_sets = size_bytes // (ways * line_bytes)
+        self._set_mask = self.n_sets - 1
+        if self.n_sets & self._set_mask:
+            raise ValueError(f"{name}: set count must be a power of two")
+        self._sets: list[list[int]] = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one byte address.  Returns True on hit."""
+        line = address >> self.line_shift
+        ways = self._sets[line & self._set_mask]
+        self.accesses += 1
+        if ways and ways[0] == line:  # MRU fast path
+            return True
+        try:
+            position = ways.index(line)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.ways:
+                ways.pop()
+            return False
+        if position:
+            ways.pop(position)
+            ways.insert(0, line)
+        return True
+
+    def access_line(self, line: int) -> bool:
+        """Access a pre-shifted line number (hot path for I-fetch)."""
+        ways = self._sets[line & self._set_mask]
+        self.accesses += 1
+        if ways and ways[0] == line:  # MRU fast path
+            return True
+        try:
+            position = ways.index(line)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.ways:
+                ways.pop()
+            return False
+        if position:
+            ways.pop(position)
+            ways.insert(0, line)
+        return True
+
+    def contains(self, address: int) -> bool:
+        """Non-updating probe (testing aid)."""
+        line = address >> self.line_shift
+        return line in self._sets[line & self._set_mask]
+
+    def flush(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Tlb:
+    """Small fully-associative TLB with LRU replacement.
+
+    Table II: 10-entry I-/D-TLBs on the simulator machine, 8-entry on the
+    FPGA machine.  Pages are 4 KiB.
+    """
+
+    PAGE_SHIFT = 12
+
+    def __init__(self, entries: int = 10, name: str = "tlb"):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.name = name
+        self.entries = entries
+        self._pages: list[int] = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate one byte address.  Returns True on hit."""
+        page = address >> self.PAGE_SHIFT
+        self.accesses += 1
+        try:
+            position = self._pages.index(page)
+        except ValueError:
+            self.misses += 1
+            self._pages.insert(0, page)
+            if len(self._pages) > self.entries:
+                self._pages.pop()
+            return False
+        if position:
+            self._pages.pop(position)
+            self._pages.insert(0, page)
+        return True
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,149 @@
+"""Machine configurations mirroring Table II of the paper.
+
+Three presets:
+
+* :func:`cortex_a5` — the gem5/MinorCPU "Simulator" column: single-issue
+  4-stage in-order core at 1 GHz, tournament predictor (512 global /
+  128 local), 256-entry 2-way BTB with round-robin replacement, 8-entry RAS,
+  16 KB/2-way I-cache, 32 KB/4-way D-cache, 3-cycle branch penalty,
+  DDR3-1600.
+* :func:`rocket` — the "FPGA" column: single-issue 5-stage RISC-V Rocket at
+  50 MHz, 128-entry gshare, 62-entry fully-associative BTB with LRU,
+  2-entry RAS, 16 KB/4-way caches, 2-cycle branch penalty, DDR3-1066.
+* :func:`cortex_a8` — Section VI-C2's higher-end core: dual-issue, 32 KB
+  4-way I-cache, 256 KB L2, 512-entry BTB.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.uarch.memory import DramTimings
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int = 64
+    hit_latency: int = 1  # extra cycles beyond the pipelined access
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Complete parameter bundle for one simulated machine.
+
+    Attributes mirror Table II plus the SCD-specific knobs of Sections III-B
+    and IV.  Instances are frozen; derive variants with :meth:`with_changes`.
+    """
+
+    name: str = "cortex-a5"
+    clock_mhz: float = 1000.0
+    issue_width: int = 1
+    pipeline_stages: int = 4
+    #: Effective mispredict cost: the architectural 3-cycle redirect of
+    #: Table II plus ~2 cycles of front-end refill (MinorCPU-style fetch
+    #: queue drain), which is what the misprediction actually costs.
+    branch_penalty: int = 5
+    #: Taken control transfer whose target misses the BTB: the front end
+    #: redirects after decode (~2 fetch bubbles on a 4-stage core).
+    decode_redirect_penalty: int = 2
+    direction_predictor: str = "tournament"
+    predictor_params: dict = field(default_factory=dict)
+    btb_entries: int = 256
+    btb_ways: int = 2
+    btb_policy: str = "rr"
+    ras_depth: int = 8
+    icache: CacheConfig = CacheConfig(16 * 1024, 2)
+    dcache: CacheConfig = CacheConfig(32 * 1024, 4)
+    l2: CacheConfig | None = None
+    l2_latency: int = 8
+    itlb_entries: int = 10
+    dtlb_entries: int = 10
+    tlb_miss_penalty: int = 20
+    dram: DramTimings = DramTimings(1600, 11, 11, 11, ranks=2)
+    indirect_scheme: str = "btb"      #: "btb" (baseline), "vbbi", "ttc", "ittage" or "cascaded"
+    # SCD knobs ----------------------------------------------------------
+    scd_stall_policy: str = "stall"   #: "stall" (default) or "fallthrough"
+    scd_stall_cycles: int = 2         #: bubbles while bop waits for Rop
+    scd_tables: int = 4               #: replicated (Rop, Rmask, Rbop-pc) sets
+    jte_cap: int | None = None        #: max resident JTEs (None = unbounded)
+
+    def with_changes(self, **changes) -> "CoreConfig":
+        """Return a copy with *changes* applied (frozen-dataclass replace)."""
+        return dataclasses.replace(self, **changes)
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent parameters."""
+        if self.issue_width <= 0:
+            raise ValueError("issue_width must be positive")
+        if self.branch_penalty < 0 or self.decode_redirect_penalty < 0:
+            raise ValueError("penalties must be non-negative")
+        if self.btb_entries % self.btb_ways:
+            raise ValueError("btb_entries must be divisible by btb_ways")
+        if self.indirect_scheme not in ("btb", "vbbi", "ttc", "ittage", "cascaded"):
+            raise ValueError(f"unknown indirect scheme {self.indirect_scheme!r}")
+        if self.scd_stall_policy not in ("stall", "fallthrough"):
+            raise ValueError(f"unknown stall policy {self.scd_stall_policy!r}")
+        if self.jte_cap is not None and self.jte_cap < 0:
+            raise ValueError("jte_cap must be None or non-negative")
+
+
+def cortex_a5() -> CoreConfig:
+    """The paper's simulator machine (Table II, left column)."""
+    return CoreConfig()
+
+
+def rocket() -> CoreConfig:
+    """The paper's FPGA machine (Table II, right column)."""
+    return CoreConfig(
+        name="rocket",
+        clock_mhz=50.0,
+        issue_width=1,
+        pipeline_stages=5,
+        branch_penalty=3,  # 2-cycle redirect + 1 refill bubble
+        decode_redirect_penalty=2,
+        direction_predictor="gshare",
+        predictor_params={"entries": 128},
+        btb_entries=62,
+        btb_ways=62,
+        btb_policy="lru",
+        ras_depth=2,
+        icache=CacheConfig(16 * 1024, 4, hit_latency=0),
+        dcache=CacheConfig(16 * 1024, 4, hit_latency=0),
+        itlb_entries=8,
+        dtlb_entries=8,
+        dram=DramTimings(1066, 7, 7, 7, ranks=1),
+    )
+
+
+def cortex_a8() -> CoreConfig:
+    """Section VI-C2's higher-performance dual-issue in-order core."""
+    return CoreConfig(
+        name="cortex-a8",
+        clock_mhz=1000.0,
+        issue_width=2,
+        pipeline_stages=13,
+        branch_penalty=6,
+        decode_redirect_penalty=2,
+        direction_predictor="tournament",
+        btb_entries=512,
+        btb_ways=2,
+        btb_policy="rr",
+        ras_depth=8,
+        icache=CacheConfig(32 * 1024, 4),
+        dcache=CacheConfig(32 * 1024, 4),
+        l2=CacheConfig(256 * 1024, 8),
+        l2_latency=8,
+    )
+
+
+#: Registry used by the CLI and the harness.
+CONFIG_PRESETS = {
+    "cortex-a5": cortex_a5,
+    "rocket": rocket,
+    "cortex-a8": cortex_a8,
+}

@@ -1,0 +1,91 @@
+"""DRAM latency model.
+
+A last-level miss pays a latency derived from the DDR3 timing parameters of
+Table II (tCL/tRCD/tRP in memory-clock cycles), converted to core cycles and
+adjusted for row-buffer locality: a hit in the open row pays only CAS
+latency, a row conflict pays precharge + activate + CAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DDR3 timing bundle.
+
+    Attributes:
+        mt_per_s: transfer rate (DDR3-1600 -> 1600 MT/s; I/O clock is half).
+        t_cl / t_rcd / t_rp: CAS, RAS-to-CAS and precharge delays, in memory
+            clock cycles.
+        ranks: rank count (affects nothing but reporting here).
+    """
+
+    mt_per_s: int = 1600
+    t_cl: int = 11
+    t_rcd: int = 11
+    t_rp: int = 11
+    ranks: int = 2
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.mt_per_s / 2.0
+
+
+class DramModel:
+    """Open-page DRAM with per-bank row tracking.
+
+    Args:
+        timings: DDR3 parameters.
+        core_clock_mhz: core frequency, used to convert memory-clock
+            latencies into core stall cycles.
+        banks: row-buffer count.
+        row_bytes: bytes per DRAM row.
+    """
+
+    def __init__(
+        self,
+        timings: DramTimings,
+        core_clock_mhz: float,
+        banks: int = 8,
+        row_bytes: int = 8192,
+    ):
+        if banks <= 0 or row_bytes <= 0:
+            raise ValueError("banks and row_bytes must be positive")
+        self.timings = timings
+        self.core_clock_mhz = core_clock_mhz
+        self.banks = banks
+        self.row_shift = row_bytes.bit_length() - 1
+        if (1 << self.row_shift) != row_bytes:
+            raise ValueError("row_bytes must be a power of two")
+        self._open_rows = [-1] * banks
+        scale = core_clock_mhz / timings.clock_mhz
+        # Fixed command/bus overhead of ~4 memory cycles covers burst time.
+        self._hit_cycles = max(1, round((timings.t_cl + 4) * scale))
+        self._miss_cycles = max(
+            1, round((timings.t_rcd + timings.t_cl + 4) * scale)
+        )
+        self._conflict_cycles = max(
+            1, round((timings.t_rp + timings.t_rcd + timings.t_cl + 4) * scale)
+        )
+        self.accesses = 0
+        self.row_hits = 0
+
+    def access(self, address: int) -> int:
+        """Return the core-cycle latency of a memory access at *address*."""
+        row = address >> self.row_shift
+        bank = row % self.banks
+        self.accesses += 1
+        open_row = self._open_rows[bank]
+        if open_row == row:
+            self.row_hits += 1
+            return self._hit_cycles
+        self._open_rows[bank] = row
+        if open_row < 0:
+            return self._miss_cycles
+        return self._conflict_cycles
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,372 @@
+"""Block-driven in-order pipeline timing model.
+
+The machine consumes basic-block executions produced by the native
+interpreter model (:mod:`repro.core.simulation` orchestrates) and accounts
+cycles the way the paper's Section II-A CPI formula decomposes them::
+
+    cycles = issue slots                     (instructions / width)
+           + I-cache / I-TLB stalls          (per fetched line)
+           + D-cache / D-TLB stalls          (per load/store)
+           + branch-resolution penalties     (mispredicted direction or
+                                              target; BTB miss on a taken
+                                              transfer redirects at decode)
+           + SCD bop stall bubbles           (Section III-B stall logic)
+
+Every penalty source is also counted in :class:`~repro.uarch.stats.MachineStats`
+so MPKI figures (Figures 2, 9, 10) fall out of the same run.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import BasicBlock
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import Cache, Tlb
+from repro.uarch.config import CoreConfig
+from repro.uarch.memory import DramModel
+from repro.uarch.predictors import (
+    CascadedPredictor,
+    ItTagePredictor,
+    ReturnAddressStack,
+    TaggedTargetCache,
+    make_direction_predictor,
+)
+from repro.uarch.scd import ScdUnit
+from repro.uarch.stats import MachineStats
+
+#: Multiplier mixing the VBBI hint value into the BTB key space; any odd
+#: constant that spreads opcodes across sets works.
+_VBBI_HASH = 0x9E3779B1
+
+
+class Machine:
+    """One simulated embedded core.
+
+    Args:
+        config: machine parameters (see :mod:`repro.uarch.config`).
+
+    The driver calls :meth:`exec_block` for every basic block the modelled
+    interpreter executes, then one of the control-transfer methods for the
+    block's terminator.  SCD interactions go through :meth:`bop`,
+    :meth:`jru` and :meth:`jte_flush`.
+    """
+
+    def __init__(self, config: CoreConfig):
+        config.validate()
+        self.config = config
+        self.stats = MachineStats()
+        self.predictor = make_direction_predictor(
+            config.direction_predictor, **config.predictor_params
+        )
+        self.btb = BranchTargetBuffer(
+            entries=config.btb_entries,
+            ways=config.btb_ways,
+            policy=config.btb_policy,
+            jte_cap=config.jte_cap,
+        )
+        self.ras = ReturnAddressStack(config.ras_depth)
+        self.ttc = TaggedTargetCache() if config.indirect_scheme == "ttc" else None
+        self.ittage = (
+            ItTagePredictor() if config.indirect_scheme == "ittage" else None
+        )
+        self.cascaded = (
+            CascadedPredictor() if config.indirect_scheme == "cascaded" else None
+        )
+        self.icache = Cache(
+            config.icache.size_bytes,
+            config.icache.ways,
+            config.icache.line_bytes,
+            name="icache",
+        )
+        self.dcache = Cache(
+            config.dcache.size_bytes,
+            config.dcache.ways,
+            config.dcache.line_bytes,
+            name="dcache",
+        )
+        self.l2 = (
+            Cache(config.l2.size_bytes, config.l2.ways, config.l2.line_bytes, "l2")
+            if config.l2
+            else None
+        )
+        self.itlb = Tlb(config.itlb_entries, name="itlb")
+        self.dtlb = Tlb(config.dtlb_entries, name="dtlb")
+        self.dram = DramModel(config.dram, config.clock_mhz)
+        self.scd = ScdUnit(self.btb, tables=config.scd_tables)
+        self._issue_width = config.issue_width
+        self._line_shift = self.icache.line_shift
+        self._last_ipage = -1
+        self._last_dpage = -1
+        # Deferred retirement accounting: per-block execution counts are
+        # folded into instruction/category totals by finalize().
+        self._block_counts: dict = {}
+        self._finalized = False
+        if self._line_shift != 6:
+            raise ValueError(
+                "the block line-footprint cache assumes 64-byte I-cache lines"
+            )
+
+    # -- stall helpers ---------------------------------------------------------
+
+    def _stall(self, cycles: int, reason: str) -> None:
+        if cycles:
+            self.stats.cycles += cycles
+            self.stats.cycle_breakdown[reason] += cycles
+
+    def _fill_latency(self, address: int) -> int:
+        """Latency of servicing an L1 miss at *address*."""
+        if self.l2 is not None:
+            if self.l2.access(address):
+                return self.config.l2_latency
+            return self.config.l2_latency + self.dram.access(address)
+        return self.dram.access(address)
+
+    # -- instruction execution ---------------------------------------------------
+
+    def exec_block(self, block: BasicBlock, daddrs: tuple = ()) -> None:
+        """Retire one basic block plus its data accesses.
+
+        Args:
+            block: the static block being executed.
+            daddrs: byte addresses of this execution's loads/stores (the
+                native model supplies them; order does not matter).
+
+        Instruction and category totals are accumulated as per-block
+        execution counts and folded in by :meth:`finalize` (hot-path
+        optimisation); cycles and miss events are exact as they happen.
+        """
+        counts = self._block_counts
+        counts[block] = counts.get(block, 0) + 1
+        stats = self.stats
+        width = self._issue_width
+        n = block.n_insts
+        stats.cycles += n if width == 1 else (n + width - 1) // width
+
+        # Instruction fetch: every line the block spans (cached footprint).
+        lines = block.lines_cache
+        if lines is None:
+            lines = tuple(
+                range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1)
+            )
+            block.lines_cache = lines
+            block.page_cache = block.start_pc >> Tlb.PAGE_SHIFT
+        if block.page_cache != self._last_ipage:
+            self._last_ipage = block.page_cache
+            if not self.itlb.access(block.start_pc):
+                stats.itlb_misses += 1
+                self._stall(self.config.tlb_miss_penalty, "itlb_stall")
+        icache = self.icache
+        for line in lines:
+            if not icache.access_line(line):
+                stats.icache_misses += 1
+                self._stall(
+                    self.config.icache.hit_latency
+                    + self._fill_latency(line << self._line_shift),
+                    "icache_stall",
+                )
+
+        # Data accesses.
+        if daddrs:
+            dcache = self.dcache
+            dcache_hit_latency = self.config.dcache.hit_latency
+            for address in daddrs:
+                dpage = address >> Tlb.PAGE_SHIFT
+                if dpage != self._last_dpage:
+                    self._last_dpage = dpage
+                    if not self.dtlb.access(address):
+                        stats.dtlb_misses += 1
+                        self._stall(self.config.tlb_miss_penalty, "dtlb_stall")
+                stats.dcache_accesses += 1
+                if not dcache.access(address):
+                    stats.dcache_misses += 1
+                    self._stall(
+                        dcache_hit_latency + self._fill_latency(address),
+                        "dcache_stall",
+                    )
+
+    def finalize(self) -> MachineStats:
+        """Fold deferred per-block counts into the statistics and return them.
+
+        Idempotent; call after the run (``simulate`` does) and before
+        reading instruction counts, MPKI values or the cycle breakdown.
+        """
+        stats = self.stats
+        stats.instructions = 0
+        stats.insts_by_category.clear()
+        stats.icache_accesses = self.icache.accesses
+        stats.icache_misses = self.icache.misses
+        by_category = stats.insts_by_category
+        for block, count in self._block_counts.items():
+            retired = block.n_insts * count
+            stats.instructions += retired
+            by_category[block.category] += retired
+        stalls = sum(
+            cycles
+            for reason, cycles in stats.cycle_breakdown.items()
+            if reason != "base"
+        )
+        stats.cycle_breakdown["base"] = stats.cycles - stalls
+        self._finalized = True
+        return stats
+
+    # -- control transfers ---------------------------------------------------------
+
+    def cond_branch(self, pc: int, taken: bool, category: str = "branch") -> bool:
+        """Resolve a conditional direct branch.  Returns True on mispredict."""
+        stats = self.stats
+        stats.branches += 1
+        if not self.predictor.observe(pc, taken):
+            stats.branch_mispredicts += 1
+            stats.mispredicts_by_category[category] += 1
+            self._stall(self.config.branch_penalty, "branch_penalty")
+            if taken:
+                self.btb.insert(pc, pc + 8)  # target value is opaque here
+            return True
+        if taken and self.btb.lookup(pc) is None:
+            # Predicted taken but the front end had no target: redirect at
+            # decode.  This is the JTE-contention cost of Section IV.
+            stats.btb_target_misses += 1
+            stats.mispredicts_by_category["btb_target_miss"] += 1
+            self._stall(self.config.decode_redirect_penalty, "branch_penalty")
+            self.btb.insert(pc, pc + 8)
+        return False
+
+    def direct_jump(self, pc: int, target: int) -> None:
+        """Unconditional direct jump: one decode bubble unless BTB-resident."""
+        if self.btb.lookup(pc) is None:
+            self.stats.btb_target_misses += 1
+            self.stats.mispredicts_by_category["btb_target_miss"] += 1
+            self._stall(self.config.decode_redirect_penalty, "branch_penalty")
+            self.btb.insert(pc, target)
+
+    def indirect_jump(
+        self,
+        pc: int,
+        target: int,
+        hint: int | None = None,
+        category: str = "indirect",
+    ) -> bool:
+        """Resolve an indirect jump.  Returns True on target mispredict.
+
+        The prediction scheme comes from the configuration:
+
+        * ``"btb"`` — last-target prediction, PC-indexed (baseline).
+        * ``"vbbi"`` — BTB indexed by PC ⊕ hash(hint); *hint* is the opcode
+          value, per Farooq et al.
+        * ``"ttc"`` — history-based tagged target cache.
+        """
+        stats = self.stats
+        stats.indirect_jumps += 1
+        scheme = self.config.indirect_scheme
+        if scheme == "vbbi" and hint is not None:
+            key = pc ^ ((hint * _VBBI_HASH) & 0xFFFF_FFFC)
+            predicted = self.btb.lookup(key)
+            if predicted != target:
+                self.btb.insert(key, target)
+        elif scheme == "ttc":
+            predicted = self.ttc.predict(pc)
+            self.ttc.update(pc, target)
+        elif scheme == "ittage":
+            predicted = self.ittage.predict(pc)
+            self.ittage.update(pc, target)
+        elif scheme == "cascaded":
+            predicted = self.cascaded.predict(pc)
+            self.cascaded.update(pc, target)
+        else:
+            predicted = self.btb.lookup(pc)
+            if predicted != target:
+                self.btb.insert(pc, target)
+        if predicted != target:
+            stats.indirect_mispredicts += 1
+            stats.mispredicts_by_category[category] += 1
+            self._stall(self.config.branch_penalty, "branch_penalty")
+            return True
+        return False
+
+    def call(self, pc: int, target: int, return_pc: int, indirect: bool = False) -> None:
+        """Direct or indirect call: pushes the RAS, predicts the target."""
+        self.ras.push(return_pc)
+        if indirect:
+            self.indirect_jump(pc, target, category="indirect_call")
+        else:
+            self.direct_jump(pc, target)
+
+    def ret(self, pc: int, return_pc: int) -> bool:
+        """Return: pops the RAS.  Returns True on mispredict."""
+        predicted = self.ras.pop()
+        if predicted != return_pc:
+            self.stats.ras_mispredicts += 1
+            self.stats.mispredicts_by_category["return"] += 1
+            self._stall(self.config.branch_penalty, "branch_penalty")
+            return True
+        return False
+
+    # -- SCD operations ---------------------------------------------------------------
+
+    def load_op(self, bytecode: int, table: int = 0) -> int:
+        """Model an ``<inst>.op`` load depositing into ``Rop``."""
+        return self.scd.load_op(bytecode, table)
+
+    def bop(self, pc: int, table: int = 0) -> int | None:
+        """Execute a ``bop``: returns the fast-path target or ``None``.
+
+        Under the default "stall" policy the front end waits for the in-
+        flight ``.op`` load, costing ``scd_stall_cycles`` bubbles but
+        enabling the fast path.  Under "fallthrough" the bop issues
+        immediately with ``Rop`` not yet valid and always takes the slow
+        path (Section III-B's first option).
+        """
+        if self.config.scd_stall_policy == "fallthrough":
+            self.stats.bop_misses += 1
+            return None
+        self._stall(self.config.scd_stall_cycles, "scd_stall")
+        self.stats.scd_stall_cycles += self.config.scd_stall_cycles
+        target = self.scd.bop(table)
+        if target is not None:
+            self.stats.bop_hits += 1
+        else:
+            self.stats.bop_misses += 1
+        return target
+
+    def jru(self, pc: int, target: int, table: int = 0) -> bool:
+        """Execute a ``jru``: indirect jump + JTE installation.
+
+        Returns True if the jump's target was mispredicted.
+        """
+        mispredicted = self.indirect_jump(pc, target, category="dispatch_jump")
+        if self.scd.jru(target, table):
+            self.stats.jte_inserts += 1
+        return mispredicted
+
+    def jte_flush(self) -> int:
+        flushed = self.scd.jte_flush()
+        self.stats.jte_flushes += 1
+        return flushed
+
+    def context_switch(self, save_jtes: bool = False) -> None:
+        """Model an OS context switch (Section IV).
+
+        Two policies for the architecturally-visible JTEs:
+
+        * ``save_jtes=False`` (the paper's preferred policy): execute
+          ``jte.flush``; the interpreter repopulates JTEs through slow-path
+          dispatches after resumption.
+        * ``save_jtes=True``: the OS saves and restores every JTE (and the
+          SCD registers), costing roughly a load+store pair per entry each
+          way but preserving the fast path immediately on resumption.
+
+        Either way the RAS empties and the TLBs lose their translations;
+        ``Rmask`` is saved/restored by the OS in both policies.
+        """
+        if save_jtes:
+            resident = self.btb.jte_count
+            # ~4 instructions per JTE per direction (read/format/store and
+            # reload/insert), charged as OS overhead cycles.
+            self._stall(8 * resident, "os_jte_save_restore")
+        else:
+            self.jte_flush()
+        while self.ras.pop() is not None:
+            pass
+        self.itlb.flush()
+        self.dtlb.flush()
+        self._last_ipage = -1
+        self._last_dpage = -1

@@ -1,0 +1,421 @@
+"""Branch direction predictors, return-address stack and indirect schemes.
+
+The simulator configuration of the paper (Table II) uses a tournament
+predictor (512-entry global, 128-entry local); the FPGA configuration uses a
+128-entry gshare.  VBBI [Farooq et al., HPCA 2010] — the paper's
+state-of-the-art comparison — is realised as a hashed (PC ⊕ hint) BTB index
+and lives in the pipeline; the tagged target cache (TTC) of Chang et al. is
+provided for completeness and ablations.
+"""
+
+from __future__ import annotations
+
+
+def _saturate_up(counter: int, maximum: int = 3) -> int:
+    return counter + 1 if counter < maximum else counter
+
+
+def _saturate_down(counter: int, minimum: int = 0) -> int:
+    return counter - 1 if counter > minimum else counter
+
+
+class BimodalPredictor:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 512):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._mask = entries - 1 if not (entries & (entries - 1)) else None
+        self._table = [2] * entries  # weakly taken
+
+    def _index(self, pc: int) -> int:
+        word = pc >> 2
+        if self._mask is not None:
+            return word & self._mask
+        return word % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        self._table[index] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one pass.  Returns True when correct."""
+        index = self._index(pc)
+        counter = self._table[index]
+        self._table[index] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+        return (counter >= 2) == taken
+
+
+class GsharePredictor:
+    """Global-history XOR PC indexed 2-bit counters (Rocket's 32 B predictor)."""
+
+    def __init__(self, entries: int = 128, history_bits: int | None = None):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.history_bits = (
+            history_bits if history_bits is not None else max(1, entries.bit_length() - 1)
+        )
+        self._history_mask = (1 << self.history_bits) - 1
+        self.history = 0
+        self._table = [2] * entries
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self.history) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self._table[index]
+        self._table[index] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one pass.  Returns True when correct."""
+        index = ((pc >> 2) ^ self.history) % self.entries
+        counter = self._table[index]
+        self._table[index] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+        self.history = ((self.history << 1) | int(taken)) & self._history_mask
+        return (counter >= 2) == taken
+
+
+class LocalPredictor:
+    """Two-level local predictor: per-PC history feeding a counter table."""
+
+    def __init__(self, entries: int = 128, history_bits: int = 10):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self.history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._histories = [0] * entries
+        self._counters = [2] * (1 << history_bits)
+
+    def _history_index(self, pc: int) -> int:
+        return (pc >> 2) % self.entries
+
+    def predict(self, pc: int) -> bool:
+        history = self._histories[self._history_index(pc)]
+        return self._counters[history] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        history_index = self._history_index(pc)
+        history = self._histories[history_index]
+        counter = self._counters[history]
+        self._counters[history] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+        self._histories[history_index] = (
+            (history << 1) | int(taken)
+        ) & self._history_mask
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one pass.  Returns True when correct."""
+        history_index = (pc >> 2) % self.entries
+        history = self._histories[history_index]
+        counter = self._counters[history]
+        self._counters[history] = (
+            _saturate_up(counter) if taken else _saturate_down(counter)
+        )
+        self._histories[history_index] = (
+            (history << 1) | int(taken)
+        ) & self._history_mask
+        return (counter >= 2) == taken
+
+
+class TournamentPredictor:
+    """Alpha-21264-style chooser between a global and a local component.
+
+    Matches the simulator configuration of Table II: a 512-entry global
+    (gshare) component and a 128-entry local component, with a choice table
+    trained toward whichever component was correct.
+    """
+
+    def __init__(
+        self,
+        global_entries: int = 512,
+        local_entries: int = 128,
+        choice_entries: int = 512,
+    ):
+        self.global_component = GsharePredictor(global_entries)
+        self.local_component = LocalPredictor(local_entries)
+        self.choice_entries = choice_entries
+        self._choice = [2] * choice_entries  # >=2 prefers global
+
+    def _choice_index(self, pc: int) -> int:
+        return (pc >> 2) % self.choice_entries
+
+    def predict(self, pc: int) -> bool:
+        if self._choice[self._choice_index(pc)] >= 2:
+            return self.global_component.predict(pc)
+        return self.local_component.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        global_correct = self.global_component.predict(pc) == taken
+        local_correct = self.local_component.predict(pc) == taken
+        if global_correct != local_correct:
+            index = self._choice_index(pc)
+            counter = self._choice[index]
+            self._choice[index] = (
+                _saturate_up(counter) if global_correct else _saturate_down(counter)
+            )
+        self.global_component.update(pc, taken)
+        self.local_component.update(pc, taken)
+
+    def observe(self, pc: int, taken: bool) -> bool:
+        """Predict and train in one pass.  Returns True when correct."""
+        use_global = self._choice[self._choice_index(pc)] >= 2
+        global_correct = self.global_component.observe(pc, taken)
+        local_correct = self.local_component.observe(pc, taken)
+        if global_correct != local_correct:
+            index = self._choice_index(pc)
+            counter = self._choice[index]
+            self._choice[index] = (
+                _saturate_up(counter) if global_correct else _saturate_down(counter)
+            )
+        return global_correct if use_global else local_correct
+
+
+def make_direction_predictor(spec: str, **overrides):
+    """Factory used by :class:`repro.uarch.config.CoreConfig`.
+
+    Args:
+        spec: ``"tournament"``, ``"gshare"``, ``"bimodal"`` or ``"local"``.
+        **overrides: constructor arguments for the chosen predictor.
+    """
+    factories = {
+        "tournament": TournamentPredictor,
+        "gshare": GsharePredictor,
+        "bimodal": BimodalPredictor,
+        "local": LocalPredictor,
+    }
+    try:
+        factory = factories[spec]
+    except KeyError:
+        raise ValueError(f"unknown direction predictor {spec!r}") from None
+    return factory(**overrides)
+
+
+class ReturnAddressStack:
+    """Bounded circular return-address stack.
+
+    Overflow wraps (overwriting the oldest entry) and underflow predicts
+    nothing — both behaviours of real shallow embedded RASes (2 entries on
+    Rocket, 8 on the A5 model).
+    """
+
+    def __init__(self, depth: int = 8):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self.depth = depth
+        self._stack: list[int] = []
+
+    def push(self, return_pc: int) -> None:
+        self._stack.append(return_pc)
+        if len(self._stack) > self.depth:
+            self._stack.pop(0)
+
+    def pop(self) -> int | None:
+        if self._stack:
+            return self._stack.pop()
+        return None
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+
+class TaggedTargetCache:
+    """History-based tagged target cache for indirect jumps (Chang et al.).
+
+    Indexed by PC XOR a path history of recent indirect targets; tagged so
+    different (PC, history) pairs do not alias silently.  Provided as an
+    ablation comparison point for VBBI and SCD.
+    """
+
+    def __init__(self, entries: int = 256, history_bits: int = 8):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.entries = entries
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+
+    def _index_tag(self, pc: int) -> tuple[int, int]:
+        key = (pc >> 2) ^ self.history
+        return key % self.entries, key
+
+    def predict(self, pc: int) -> int | None:
+        index, tag = self._index_tag(pc)
+        if self._tags[index] == tag:
+            return self._targets[index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        index, tag = self._index_tag(pc)
+        self._tags[index] = tag
+        self._targets[index] = target
+        self.history = ((self.history << 2) ^ (target >> 2)) & self._history_mask
+
+
+class ItTagePredictor:
+    """Simplified ITTAGE indirect-target predictor (Seznec & Michaud).
+
+    A tagless base table (last-target, PC-indexed) backed by several tagged
+    tables indexed with geometrically growing global-history lengths; the
+    longest matching component provides the prediction.  The paper cites
+    ITTAGE as "the most accurate branch predictor" among related work — we
+    provide it as an upper-bound comparison point for prediction-only
+    schemes (it still cannot remove the dispatch instructions SCD elides).
+    """
+
+    #: Geometric history lengths of the tagged components.
+    HISTORY_LENGTHS = (4, 8, 16, 32, 64)
+
+    def __init__(self, base_entries: int = 256, tagged_entries: int = 128):
+        if base_entries <= 0 or tagged_entries <= 0:
+            raise ValueError("table sizes must be positive")
+        self.base_entries = base_entries
+        self.tagged_entries = tagged_entries
+        self._base = [0] * base_entries
+        self._base_valid = [False] * base_entries
+        # Per component: parallel tag/target/confidence arrays.
+        self._tags = [[-1] * tagged_entries for _ in self.HISTORY_LENGTHS]
+        self._targets = [[0] * tagged_entries for _ in self.HISTORY_LENGTHS]
+        self._confidence = [[0] * tagged_entries for _ in self.HISTORY_LENGTHS]
+        self.history = 0
+
+    def _fold(self, pc: int, bits: int) -> int:
+        history = self.history & ((1 << bits) - 1)
+        folded = 0
+        while history:
+            folded ^= history & 0xFFFF
+            history >>= 16
+        return folded ^ (pc >> 2)
+
+    def _slot(self, component: int, pc: int) -> tuple[int, int]:
+        bits = self.HISTORY_LENGTHS[component]
+        key = self._fold(pc, bits)
+        index = key % self.tagged_entries
+        tag = (key // self.tagged_entries) & 0x3FF
+        return index, tag
+
+    def predict(self, pc: int) -> int | None:
+        """Target from the longest matching component, else the base table."""
+        for component in reversed(range(len(self.HISTORY_LENGTHS))):
+            index, tag = self._slot(component, pc)
+            if self._tags[component][index] == tag:
+                return self._targets[component][index]
+        base_index = (pc >> 2) % self.base_entries
+        if self._base_valid[base_index]:
+            return self._base[base_index]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Train the matching component; allocate one level up on a miss."""
+        provider = None
+        for component in reversed(range(len(self.HISTORY_LENGTHS))):
+            index, tag = self._slot(component, pc)
+            if self._tags[component][index] == tag:
+                provider = (component, index)
+                break
+        base_index = (pc >> 2) % self.base_entries
+        if provider is not None:
+            component, index = provider
+            if self._targets[component][index] == target:
+                if self._confidence[component][index] < 3:
+                    self._confidence[component][index] += 1
+            else:
+                if self._confidence[component][index] > 0:
+                    self._confidence[component][index] -= 1
+                else:
+                    self._targets[component][index] = target
+                # Mispredicted: allocate in a longer-history component.
+                if component + 1 < len(self.HISTORY_LENGTHS):
+                    up_index, up_tag = self._slot(component + 1, pc)
+                    if self._confidence[component + 1][up_index] == 0:
+                        self._tags[component + 1][up_index] = up_tag
+                        self._targets[component + 1][up_index] = target
+        else:
+            predicted = self._base[base_index] if self._base_valid[base_index] else None
+            if predicted != target:
+                # Allocate in the shortest tagged component.
+                index, tag = self._slot(0, pc)
+                if self._confidence[0][index] == 0:
+                    self._tags[0][index] = tag
+                    self._targets[0][index] = target
+        self._base[base_index] = target
+        self._base_valid[base_index] = True
+        self.history = ((self.history << 2) ^ (target >> 4)) & (1 << 64) - 1
+
+
+class CascadedPredictor:
+    """Two-stage cascaded indirect predictor (Driesen & Holzle, MICRO '98).
+
+    An economical hybrid: a tagless first-stage table predicts the last
+    target per PC; a tagged, history-indexed second stage is *only*
+    allocated for jumps the first stage mispredicts (filtering easy,
+    monomorphic jumps away from the expensive structure).
+    """
+
+    def __init__(self, stage1_entries: int = 256, stage2_entries: int = 256,
+                 history_bits: int = 6):
+        if stage1_entries <= 0 or stage2_entries <= 0:
+            raise ValueError("table sizes must be positive")
+        self.stage1_entries = stage1_entries
+        self.stage2_entries = stage2_entries
+        self._stage1 = [0] * stage1_entries
+        self._stage1_valid = [False] * stage1_entries
+        self._tags = [-1] * stage2_entries
+        self._targets = [0] * stage2_entries
+        self._history_mask = (1 << history_bits) - 1
+        self.history = 0
+
+    def _stage1_index(self, pc: int) -> int:
+        return (pc >> 2) % self.stage1_entries
+
+    def _stage2_slot(self, pc: int) -> tuple[int, int]:
+        key = (pc >> 2) ^ (self.history << 3)
+        return key % self.stage2_entries, key
+
+    def predict(self, pc: int) -> int | None:
+        index, tag = self._stage2_slot(pc)
+        if self._tags[index] == tag:
+            return self._targets[index]
+        s1 = self._stage1_index(pc)
+        if self._stage1_valid[s1]:
+            return self._stage1[s1]
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        predicted = self.predict(pc)
+        s1 = self._stage1_index(pc)
+        if predicted != target:
+            # Second stage is allocated only on first-stage failure —
+            # the "cascade" filter.
+            if self._stage1_valid[s1] and self._stage1[s1] != target:
+                index, tag = self._stage2_slot(pc)
+                self._tags[index] = tag
+                self._targets[index] = target
+        else:
+            index, tag = self._stage2_slot(pc)
+            if self._tags[index] == tag:
+                self._targets[index] = target
+        self._stage1[s1] = target
+        self._stage1_valid[s1] = True
+        self.history = ((self.history << 2) ^ (target >> 4)) & self._history_mask

@@ -1,0 +1,127 @@
+"""The SCD architectural register state and its BTB interactions.
+
+Implements the three registers of Section III-A, replicated ``n`` times for
+the multiple-jump-table extension of Section IV:
+
+* ``Rop`` — opcode register: a valid bit and a 32-bit data field written by
+  ``<inst>.op`` loads after masking with ``Rmask``.
+* ``Rmask`` — mask register written by ``setmask``.
+* ``Rbop-pc`` — PC of the dispatching indirect jump (book-keeping only in
+  this model: the driver identifies bop sites by table id).
+
+The unit owns the *architectural* part of SCD; the BTB overlay storage lives
+in :class:`repro.uarch.btb.BranchTargetBuffer`, which this unit queries and
+updates.  Hit/miss decisions made here are the single source of truth for
+both the executed path (fast vs. slow) and the timing model.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.btb import BranchTargetBuffer
+
+
+class ScdStateError(RuntimeError):
+    """Raised on architecturally invalid SCD usage (e.g. bad table id)."""
+
+
+class ScdUnit:
+    """SCD register file and BTB-overlay operations.
+
+    Args:
+        btb: the branch target buffer holding the JTE overlay.
+        tables: number of replicated register sets (jump tables tracked
+            simultaneously; Section IV suggests one-hot IDs, we use small
+            integers).
+    """
+
+    def __init__(self, btb: BranchTargetBuffer, tables: int = 4):
+        if tables <= 0:
+            raise ScdStateError("at least one SCD register set is required")
+        self.btb = btb
+        self.tables = tables
+        self._masks = [0xFFFF_FFFF] * tables
+        self._rop_valid = [False] * tables
+        self._rop_data = [0] * tables
+        self._rbop_pc = [-1] * tables
+
+    def _check(self, table: int) -> None:
+        if not 0 <= table < self.tables:
+            raise ScdStateError(
+                f"jump-table id {table} out of range (0..{self.tables - 1})"
+            )
+
+    # -- Table I instructions ------------------------------------------------
+
+    def setmask(self, mask: int, table: int = 0) -> None:
+        """``setmask Rn``: load the opcode-extraction mask."""
+        self._check(table)
+        self._masks[table] = mask & 0xFFFF_FFFF
+
+    def set_bop_pc(self, pc: int, table: int = 0) -> None:
+        """Record the PC of the bop site (``Rbop-pc``)."""
+        self._check(table)
+        self._rbop_pc[table] = pc
+
+    def load_op(self, bytecode: int, table: int = 0) -> int:
+        """``<inst>.op``: deposit the masked bytecode into ``Rop``.
+
+        Returns the extracted opcode (``Rop.d``).
+        """
+        self._check(table)
+        opcode = bytecode & self._masks[table]
+        self._rop_data[table] = opcode
+        self._rop_valid[table] = True
+        return opcode
+
+    def bop(self, table: int = 0) -> int | None:
+        """``bop``: BTB lookup keyed by ``Rop.d``.
+
+        Returns the handler target address on a hit (and invalidates
+        ``Rop``), or ``None`` on a miss / invalid ``Rop`` (the dispatcher
+        falls through to the slow path; ``Rop`` stays valid for ``jru``).
+        """
+        self._check(table)
+        if not self._rop_valid[table]:
+            return None
+        target = self.btb.lookup_jte(self._rop_data[table], table)
+        if target is not None:
+            self._rop_valid[table] = False
+        return target
+
+    def jru(self, target: int, table: int = 0) -> bool:
+        """``jru Rn``: jump and install a (``Rop.d`` -> target) JTE.
+
+        Returns True if a new JTE was installed (``Rop`` was valid and the
+        BTB accepted the entry).
+        """
+        self._check(table)
+        if not self._rop_valid[table]:
+            return False
+        installed = self.btb.insert_jte(self._rop_data[table], target, table)
+        self._rop_valid[table] = False
+        return installed
+
+    def jte_flush(self) -> int:
+        """``jte.flush``: drop every JTE and invalidate all ``Rop``s.
+
+        Returns the number of JTEs flushed.  Called at context switches and
+        interpreter exit (Section IV).
+        """
+        for table in range(self.tables):
+            self._rop_valid[table] = False
+        return self.btb.flush_jtes()
+
+    # -- inspection ------------------------------------------------------------
+
+    def rop(self, table: int = 0) -> tuple[bool, int]:
+        """Return (``Rop.v``, ``Rop.d``) for *table*."""
+        self._check(table)
+        return self._rop_valid[table], self._rop_data[table]
+
+    def mask(self, table: int = 0) -> int:
+        self._check(table)
+        return self._masks[table]
+
+    def bop_pc(self, table: int = 0) -> int:
+        self._check(table)
+        return self._rbop_pc[table]

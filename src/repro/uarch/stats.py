@@ -1,0 +1,138 @@
+"""Statistics counters for a simulated machine.
+
+Counters follow the paper's reporting units: MPKI (misses per
+kilo-instruction) for branch mispredictions and I-cache misses, dynamic
+instruction counts by category (Figure 3's dispatch fraction), and a cycle
+breakdown that attributes stall cycles to their source.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MachineStats:
+    """Mutable counter block updated by :class:`repro.uarch.pipeline.Machine`.
+
+    Attributes:
+        cycles: total simulated cycles.
+        instructions: total retired host instructions.
+        insts_by_category: instruction counts per statistics bucket
+            (``dispatch``, ``handler``, ...).
+        branches: dynamic conditional branches seen.
+        branch_mispredicts: direction mispredictions.
+        mispredicts_by_category: mispredictions bucketed by branch role
+            (``dispatch_jump``, ``guest_branch``, ``bound_check``, ...);
+            drives Figure 2.
+        indirect_jumps / indirect_mispredicts: dynamic indirect jumps and
+            their target mispredictions.
+        btb_target_misses: taken direct control transfers that missed the
+            BTB (the contention cost of JTE priority, Section IV).
+        ras_mispredicts: return-address-stack target mispredictions.
+        bop_hits / bop_misses: SCD fast-path vs. slow-path dispatches.
+        jte_inserts / jte_flushes: SCD BTB-overlay maintenance events.
+        scd_stall_cycles: bubbles inserted waiting for ``Rop`` (stall
+            policy, Section III-B).
+        icache_*/dcache_*: cache accesses and misses.
+        itlb_misses / dtlb_misses: TLB misses.
+        cycle_breakdown: cycles attributed to ``base``, ``branch_penalty``,
+            ``icache_stall``, ``dcache_stall``, ``scd_stall``.
+    """
+
+    cycles: int = 0
+    instructions: int = 0
+    insts_by_category: Counter = field(default_factory=Counter)
+    branches: int = 0
+    branch_mispredicts: int = 0
+    mispredicts_by_category: Counter = field(default_factory=Counter)
+    indirect_jumps: int = 0
+    indirect_mispredicts: int = 0
+    btb_target_misses: int = 0
+    ras_mispredicts: int = 0
+    bop_hits: int = 0
+    bop_misses: int = 0
+    jte_inserts: int = 0
+    jte_flushes: int = 0
+    scd_stall_cycles: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+    cycle_breakdown: Counter = field(default_factory=Counter)
+
+    # -- derived metrics ---------------------------------------------------
+
+    def mpki(self, events: int) -> float:
+        """Events per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * events / self.instructions
+
+    @property
+    def branch_mpki(self) -> float:
+        """All control-flow mispredictions per kilo-instruction.
+
+        Matches the paper's Figure 2/9 definition: conditional direction
+        mispredictions, indirect-target mispredictions, BTB target misses
+        for taken direct transfers and RAS mispredictions all redirect the
+        front end and are counted together.
+        """
+        total = (
+            self.branch_mispredicts
+            + self.indirect_mispredicts
+            + self.btb_target_misses
+            + self.ras_mispredicts
+        )
+        return self.mpki(total)
+
+    @property
+    def icache_mpki(self) -> float:
+        return self.mpki(self.icache_misses)
+
+    @property
+    def dcache_mpki(self) -> float:
+        return self.mpki(self.dcache_misses)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    def dispatch_fraction(self) -> float:
+        """Fraction of dynamic instructions spent in dispatcher code.
+
+        Figure 3 of the paper: all instructions between the interpreter loop
+        header and the indirect jump to a handler count as dispatch.
+        """
+        if not self.instructions:
+            return 0.0
+        dispatch = sum(
+            count
+            for category, count in self.insts_by_category.items()
+            if category.startswith("dispatch")
+        )
+        return dispatch / self.instructions
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary used by results and the harness."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "cpi": self.cpi,
+            "branch_mpki": self.branch_mpki,
+            "icache_mpki": self.icache_mpki,
+            "dcache_mpki": self.dcache_mpki,
+            "dispatch_fraction": self.dispatch_fraction(),
+            "bop_hits": self.bop_hits,
+            "bop_misses": self.bop_misses,
+            "insts_by_category": dict(self.insts_by_category),
+            "mispredicts_by_category": dict(self.mispredicts_by_category),
+            "cycle_breakdown": dict(self.cycle_breakdown),
+        }

@@ -1,0 +1,39 @@
+"""Guest virtual machines.
+
+Two production-interpreter stand-ins, mirroring the paper's evaluation
+targets:
+
+* :mod:`repro.vm.lua` — a register-based VM with Lua 5.3's 47 opcodes and
+  iABC instruction encoding (6-bit opcode in the low bits, masked out by the
+  dispatcher exactly as in Figure 1(b)).
+* :mod:`repro.vm.js` — a stack-based VM with SpiderMonkey-17-style
+  variable-length bytecodes and *multiple dispatch sites* (main loop,
+  FUNCALL tail, END_CASE macro), the property that limits SCD coverage in
+  Section III-C.
+
+Both compile the same scriptlet AST, so a benchmark runs identically on
+either VM while producing its own characteristic bytecode stream.
+"""
+
+from repro.vm.values import (
+    VmError,
+    VmTypeError,
+    is_truthy,
+    arith,
+    compare,
+    concat_values,
+    tostring,
+)
+from repro.vm.trace import TraceEvent, Site
+
+__all__ = [
+    "VmError",
+    "VmTypeError",
+    "is_truthy",
+    "arith",
+    "compare",
+    "concat_values",
+    "tostring",
+    "TraceEvent",
+    "Site",
+]

@@ -1,0 +1,229 @@
+"""Builtin (native) functions callable from guest code.
+
+Builtins model a script interpreter's C library: the functional side runs in
+Python here, and the native model charges each call a host-instruction cost
+via :func:`builtin_cost` so builtin-heavy scripts keep a realistic
+dispatch-to-work ratio.
+
+Every builtin takes ``(vm, args)`` where *vm* exposes at least an ``output``
+list (for ``print``).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.vm.values import (
+    VmError,
+    VmTypeError,
+    length_of,
+    tostring,
+    type_name,
+)
+
+
+def _number(value, name, position):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise VmTypeError(
+            f"bad argument #{position} to '{name}' "
+            f"(number expected, got {type_name(value)})"
+        )
+    return value
+
+
+def _int(value, name, position):
+    value = _number(value, name, position)
+    if isinstance(value, float):
+        if value != int(value):
+            raise VmTypeError(
+                f"bad argument #{position} to '{name}' "
+                "(number has no integer representation)"
+            )
+        value = int(value)
+    return value
+
+
+def _arity(args, name, minimum, maximum=None):
+    maximum = minimum if maximum is None else maximum
+    if not minimum <= len(args) <= maximum:
+        raise VmError(
+            f"wrong number of arguments to '{name}' "
+            f"(expected {minimum}..{maximum}, got {len(args)})"
+        )
+
+
+def bi_print(vm, args):
+    vm.output.append("\t".join(tostring(a) for a in args))
+    return None
+
+
+def bi_len(vm, args):
+    _arity(args, "len", 1)
+    return length_of(args[0])
+
+
+def bi_push(vm, args):
+    _arity(args, "push", 2)
+    array = args[0]
+    if not isinstance(array, list):
+        raise VmTypeError(f"bad argument #1 to 'push' (array expected)")
+    array.append(args[1])
+    return None
+
+
+def bi_pop(vm, args):
+    _arity(args, "pop", 1)
+    array = args[0]
+    if not isinstance(array, list):
+        raise VmTypeError(f"bad argument #1 to 'pop' (array expected)")
+    if not array:
+        raise VmError("pop from empty array")
+    return array.pop()
+
+
+def bi_floor(vm, args):
+    _arity(args, "floor", 1)
+    return math.floor(_number(args[0], "floor", 1))
+
+
+def bi_ceil(vm, args):
+    _arity(args, "ceil", 1)
+    return math.ceil(_number(args[0], "ceil", 1))
+
+
+def bi_sqrt(vm, args):
+    _arity(args, "sqrt", 1)
+    value = _number(args[0], "sqrt", 1)
+    if value < 0:
+        raise VmError("sqrt of negative number")
+    return math.sqrt(value)
+
+
+def bi_abs(vm, args):
+    _arity(args, "abs", 1)
+    return abs(_number(args[0], "abs", 1))
+
+
+def bi_min(vm, args):
+    _arity(args, "min", 2)
+    return min(_number(args[0], "min", 1), _number(args[1], "min", 2))
+
+
+def bi_max(vm, args):
+    _arity(args, "max", 2)
+    return max(_number(args[0], "max", 1), _number(args[1], "max", 2))
+
+
+def bi_chr(vm, args):
+    _arity(args, "chr", 1)
+    return chr(_int(args[0], "chr", 1))
+
+
+def bi_ord(vm, args):
+    _arity(args, "ord", 1)
+    value = args[0]
+    if not isinstance(value, str) or not value:
+        raise VmTypeError("bad argument #1 to 'ord' (non-empty string expected)")
+    return ord(value[0])
+
+
+def bi_substr(vm, args):
+    """substr(s, start, length): 0-based slice, clamped like Lua's sub."""
+    _arity(args, "substr", 3)
+    text = args[0]
+    if not isinstance(text, str):
+        raise VmTypeError("bad argument #1 to 'substr' (string expected)")
+    start = _int(args[1], "substr", 2)
+    count = _int(args[2], "substr", 3)
+    if start < 0 or count < 0:
+        raise VmError("substr start/length must be non-negative")
+    return text[start : start + count]
+
+
+def bi_tostring(vm, args):
+    _arity(args, "tostring", 1)
+    return tostring(args[0])
+
+
+def bi_tonumber(vm, args):
+    _arity(args, "tonumber", 1)
+    value = args[0]
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            try:
+                return float(value)
+            except ValueError:
+                return None
+    return None
+
+
+def bi_keys(vm, args):
+    """Sorted key array of a map (deterministic iteration order)."""
+    _arity(args, "keys", 1)
+    mapping = args[0]
+    if not isinstance(mapping, dict):
+        raise VmTypeError("bad argument #1 to 'keys' (map expected)")
+    return sorted(mapping.keys(), key=lambda k: (str(type(k)), str(k)))
+
+
+def bi_clock(vm, args):
+    """Deterministic pseudo-clock: guest step count (for benchmarks that
+    print elapsed work; never wall time, so runs are reproducible)."""
+    return vm.steps
+
+
+#: name -> (callable, cost_class).  Cost classes are interpreted by
+#: :func:`builtin_cost`.
+BUILTINS = {
+    "print": (bi_print, "io"),
+    "len": (bi_len, "tiny"),
+    "push": (bi_push, "small"),
+    "pop": (bi_pop, "small"),
+    "floor": (bi_floor, "tiny"),
+    "ceil": (bi_ceil, "tiny"),
+    "sqrt": (bi_sqrt, "fp"),
+    "abs": (bi_abs, "tiny"),
+    "min": (bi_min, "tiny"),
+    "max": (bi_max, "tiny"),
+    "chr": (bi_chr, "tiny"),
+    "ord": (bi_ord, "tiny"),
+    "substr": (bi_substr, "string"),
+    "tostring": (bi_tostring, "string"),
+    "tonumber": (bi_tonumber, "string"),
+    "keys": (bi_keys, "heavy"),
+    "clock": (bi_clock, "tiny"),
+}
+
+
+def builtin_names() -> tuple[str, ...]:
+    return tuple(BUILTINS)
+
+
+def builtin_cost(name: str, args: tuple, result: object) -> tuple[int, int, int]:
+    """Host-instruction cost (insts, loads, stores) of one builtin call.
+
+    Sizes follow the C code such a builtin would run: a fixed
+    prologue/epilogue plus per-element work for string and aggregate
+    operations.
+    """
+    cost_class = BUILTINS[name][1]
+    if cost_class == "tiny":
+        return (12, 2, 1)
+    if cost_class == "small":
+        return (18, 4, 3)
+    if cost_class == "fp":
+        return (24, 3, 1)
+    if cost_class == "io":
+        size = sum(len(tostring(a)) for a in args) if args else 1
+        return (30 + 2 * size, 6 + size // 4, 4 + size // 4)
+    if cost_class == "string":
+        size = len(result) if isinstance(result, str) else 8
+        return (20 + size, 4 + size // 8, 2 + size // 8)
+    if cost_class == "heavy":
+        size = len(result) if isinstance(result, list) else 8
+        return (40 + 6 * size, 8 + 2 * size, 4 + size)
+    raise VmError(f"unknown builtin cost class {cost_class!r}")

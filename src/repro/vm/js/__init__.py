@@ -1,0 +1,39 @@
+"""Stack-based guest VM modelled on SpiderMonkey 17.
+
+229 opcodes with variable-length encoding: a 1-byte opcode followed by 0-4
+operand bytes (so the SCD ``Rmask`` for this interpreter is ``0xFF``).  The
+interpreter reaches its dispatcher through *multiple paths* — the main loop,
+the FUNCALL tail and the common END_CASE macro, which SCD covers, plus
+slow-path handler exits it does not (Section III-C / VI-A1's explanation of
+the smaller JavaScript speedups).
+
+Public API mirrors :mod:`repro.vm.lua`::
+
+    from repro.vm.js import JsVM
+    vm = JsVM.from_source("print(1 + 2);")
+    output = vm.run()
+"""
+
+from repro.vm.js.opcodes import (
+    JsOp,
+    NUM_OPCODES,
+    OPCODE_MASK,
+    operand_bytes,
+    exit_site,
+    disassemble,
+)
+from repro.vm.js.compiler import compile_module_js, JsFunctionCode, JsCompileError
+from repro.vm.js.interp import JsVM
+
+__all__ = [
+    "JsOp",
+    "NUM_OPCODES",
+    "OPCODE_MASK",
+    "operand_bytes",
+    "exit_site",
+    "disassemble",
+    "compile_module_js",
+    "JsFunctionCode",
+    "JsCompileError",
+    "JsVM",
+]

@@ -1,0 +1,496 @@
+"""AST -> stack bytecode compiler for the JS-like VM.
+
+Emits SpiderMonkey-shaped code: short constant forms (``ZERO``/``ONE``/
+``INT8``/``INT32``), atom-indexed names, ``IFEQ``/``IFNE``/``GOTO`` with
+2-byte relative offsets, value-preserving ``AND``/``OR`` short-circuit
+jumps, ``SETLOCAL; POP`` statement endings and a ``LOOPHEAD`` marker at
+loop tops.
+
+Numeric ``for`` loops lower to explicit local/limit/step locals with an
+``ADD``/``SETLOCAL`` increment, mirroring what a JS compiler emits for
+``for (;;)`` — there is no FORLOOP-style fused opcode in a stack VM, which
+is one reason the two interpreters' bytecode mixes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.vm.builtins import BUILTINS
+from repro.vm.js.opcodes import JsOp, operand_bytes
+
+
+class JsCompileError(ValueError):
+    """Raised on semantic errors while compiling for the stack VM."""
+
+    def __init__(self, message: str, line: int = 0):
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+@dataclass
+class JsFunctionCode:
+    """One compiled function: encoded bytes plus decode acceleration.
+
+    Attributes:
+        name: function name ("main" for the top-level script).
+        nparams: parameter count (parameters occupy the first local slots).
+        code: the variable-length encoded bytecode.
+        atoms: constant/atom table (names, strings, doubles, big ints).
+        nlocals: local-slot count including parameters.
+        index: position in the module list (address-model base).
+        decoded: ``(op, arg)`` per instruction; jump args are converted to
+            *instruction indices* at finalize time.
+        lengths: encoded byte length per instruction (I-cache model input).
+    """
+
+    name: str
+    nparams: int
+    code: bytearray = field(default_factory=bytearray)
+    atoms: list = field(default_factory=list)
+    nlocals: int = 0
+    index: int = 0
+    decoded: list = field(default_factory=list)
+    lengths: list = field(default_factory=list)
+
+    def finalize(self) -> None:
+        offset_to_index: dict[int, int] = {}
+        raw: list[tuple[int, int | None, int]] = []
+        offset = 0
+        while offset < len(self.code):
+            op = self.code[offset]
+            width = operand_bytes(op)
+            arg = (
+                int.from_bytes(self.code[offset + 1 : offset + 1 + width],
+                               "little", signed=True)
+                if width
+                else None
+            )
+            offset_to_index[offset] = len(raw)
+            raw.append((op, arg, offset))
+            offset += 1 + width
+        jumps = {JsOp.GOTO, JsOp.IFEQ, JsOp.IFNE, JsOp.AND, JsOp.OR}
+        self.decoded = []
+        self.lengths = []
+        for op, arg, at in raw:
+            if op in jumps:
+                arg = offset_to_index[at + arg]
+            self.decoded.append((op, arg))
+            self.lengths.append(1 + operand_bytes(op))
+
+
+@dataclass
+class JsModule:
+    """All compiled functions; ``functions_list[0]`` is the main script."""
+
+    functions_list: list
+    functions: dict
+
+    @property
+    def main(self) -> JsFunctionCode:
+        return self.functions_list[0]
+
+
+@dataclass
+class _Loop:
+    break_positions: list = field(default_factory=list)
+    continue_positions: list = field(default_factory=list)
+    continue_target: int | None = None
+
+
+class _JsFunctionCompiler:
+    def __init__(self, name: str, params: list, is_main: bool, module_functions: set):
+        self.fn = JsFunctionCode(name=name, nparams=len(params))
+        self.is_main = is_main
+        self.module_functions = module_functions
+        self._atom_index: dict = {}
+        self.scopes: list[dict] = [{}]
+        self.nlocals = 0
+        self.loops: list[_Loop] = []
+        for param in params:
+            self._declare(param, 0)
+
+    # -- locals / atoms ----------------------------------------------------
+
+    def _declare(self, name: str, line: int) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise JsCompileError(f"duplicate declaration of {name!r}", line)
+        slot = self.nlocals
+        self.nlocals += 1
+        if self.nlocals > 0xFFF:
+            raise JsCompileError("too many locals")
+        scope[name] = slot
+        self.fn.nlocals = max(self.fn.nlocals, self.nlocals)
+        return slot
+
+    def _lookup(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def atom(self, value: object) -> int:
+        key = (type(value).__name__, value)
+        index = self._atom_index.get(key)
+        if index is None:
+            index = len(self.fn.atoms)
+            self.fn.atoms.append(value)
+            self._atom_index[key] = index
+            if index > 0x7FFF:
+                raise JsCompileError("atom table overflow")
+        return index
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, op: JsOp, arg: int | None = None) -> int:
+        """Append one instruction; returns its byte offset."""
+        at = len(self.fn.code)
+        width = operand_bytes(op)
+        self.fn.code.append(int(op))
+        if width:
+            if arg is None:
+                raise JsCompileError(f"{op.name} requires an operand")
+            self.fn.code.extend(arg.to_bytes(width, "little", signed=True))
+        elif arg is not None:
+            raise JsCompileError(f"{op.name} takes no operand")
+        return at
+
+    def emit_jump(self, op: JsOp) -> int:
+        """Emit a forward jump with placeholder offset; returns its offset."""
+        return self.emit(op, 0)
+
+    def patch_jump(self, at: int, target: int | None = None) -> None:
+        """Point the jump at byte offset *at* to *target* (default: here)."""
+        if target is None:
+            target = len(self.fn.code)
+        relative = target - at
+        self.fn.code[at + 1 : at + 3] = relative.to_bytes(2, "little", signed=True)
+
+    def here(self) -> int:
+        return len(self.fn.code)
+
+    # == statements ============================================================
+
+    def compile_block(self, block: ast.Block) -> None:
+        self.scopes.append({})
+        saved = self.nlocals
+        for statement in block.statements:
+            self.compile_statement(statement)
+        self.scopes.pop()
+        self.nlocals = saved
+
+    def compile_statement(self, node: ast.Node) -> None:
+        method = getattr(self, f"_stmt_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise JsCompileError(
+                f"cannot compile statement {type(node).__name__}", node.line
+            )
+        method(node)
+
+    def _stmt_vardecl(self, node: ast.VarDecl) -> None:
+        if self.is_main and len(self.scopes) == 1:
+            self.compile_expr(node.value)
+            self.emit(JsOp.SETGNAME, self.atom(node.name))
+            self.emit(JsOp.POP)
+            return
+        slot = self._declare(node.name, node.line)
+        self.compile_expr(node.value)
+        self.emit(JsOp.SETLOCAL, slot)
+        self.emit(JsOp.POP)
+
+    def _stmt_assign(self, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            self.compile_expr(node.value)
+            slot = self._lookup(target.id)
+            if slot is not None:
+                self.emit(JsOp.SETLOCAL, slot)
+            else:
+                self.emit(JsOp.SETGNAME, self.atom(target.id))
+            self.emit(JsOp.POP)
+            return
+        if isinstance(target, ast.Index):
+            self.compile_expr(target.obj)
+            self.compile_expr(target.key)
+            self.compile_expr(node.value)
+            self.emit(JsOp.SETELEM)
+            self.emit(JsOp.POP)
+            return
+        raise JsCompileError("invalid assignment target", node.line)
+
+    def _stmt_exprstmt(self, node: ast.ExprStmt) -> None:
+        self.compile_expr(node.expr)
+        self.emit(JsOp.POP)
+
+    def _stmt_if(self, node: ast.If) -> None:
+        self.compile_expr(node.cond)
+        else_jump = self.emit_jump(JsOp.IFEQ)
+        self.compile_block(node.then)
+        if node.orelse is not None:
+            end_jump = self.emit_jump(JsOp.GOTO)
+            self.patch_jump(else_jump)
+            if isinstance(node.orelse, ast.If):
+                self._stmt_if(node.orelse)
+            else:
+                self.compile_block(node.orelse)
+            self.patch_jump(end_jump)
+        else:
+            self.patch_jump(else_jump)
+
+    def _stmt_while(self, node: ast.While) -> None:
+        top = self.here()
+        self.emit(JsOp.LOOPHEAD)
+        self.compile_expr(node.cond)
+        exit_jump = self.emit_jump(JsOp.IFEQ)
+        loop = _Loop(continue_target=top)
+        self.loops.append(loop)
+        self.compile_block(node.body)
+        back = self.emit_jump(JsOp.GOTO)
+        self.patch_jump(back, top)
+        self.patch_jump(exit_jump)
+        for position in loop.break_positions:
+            self.patch_jump(position)
+        self.loops.pop()
+
+    def _stmt_fornum(self, node: ast.ForNum) -> None:
+        self.scopes.append({})
+        saved = self.nlocals
+        var_slot = self._declare(node.var, node.line)
+        limit_slot = self._declare(f".limit{len(self.loops)}", node.line)
+        step_slot = self._declare(f".step{len(self.loops)}", node.line)
+
+        step_value = 1
+        if node.step is not None:
+            if not (isinstance(node.step, ast.Literal)
+                    and isinstance(node.step.value, (int, float))
+                    and not isinstance(node.step.value, bool)):
+                raise JsCompileError(
+                    "the stack VM requires a literal 'for' step", node.line
+                )
+            step_value = node.step.value
+        if step_value == 0:
+            raise JsCompileError("'for' step must be non-zero", node.line)
+
+        for slot, expr in ((var_slot, node.start), (limit_slot, node.stop)):
+            self.compile_expr(expr)
+            self.emit(JsOp.SETLOCAL, slot)
+            self.emit(JsOp.POP)
+        self._push_number(step_value)
+        self.emit(JsOp.SETLOCAL, step_slot)
+        self.emit(JsOp.POP)
+
+        top = self.here()
+        self.emit(JsOp.LOOPHEAD)
+        self.emit(JsOp.GETLOCAL, var_slot)
+        self.emit(JsOp.GETLOCAL, limit_slot)
+        self.emit(JsOp.LE if step_value > 0 else JsOp.GE)
+        exit_jump = self.emit_jump(JsOp.IFEQ)
+
+        loop = _Loop()
+        self.loops.append(loop)
+        self.compile_block(node.body)
+        for position in loop.continue_positions:
+            self.patch_jump(position)
+        self.emit(JsOp.GETLOCAL, var_slot)
+        self.emit(JsOp.GETLOCAL, step_slot)
+        self.emit(JsOp.ADD)
+        self.emit(JsOp.SETLOCAL, var_slot)
+        self.emit(JsOp.POP)
+        back = self.emit_jump(JsOp.GOTO)
+        self.patch_jump(back, top)
+        self.patch_jump(exit_jump)
+        for position in loop.break_positions:
+            self.patch_jump(position)
+        self.loops.pop()
+        self.scopes.pop()
+        self.nlocals = saved
+
+    def _stmt_break(self, node: ast.Break) -> None:
+        if not self.loops:
+            raise JsCompileError("'break' outside a loop", node.line)
+        self.loops[-1].break_positions.append(self.emit_jump(JsOp.GOTO))
+
+    def _stmt_continue(self, node: ast.Continue) -> None:
+        if not self.loops:
+            raise JsCompileError("'continue' outside a loop", node.line)
+        loop = self.loops[-1]
+        position = self.emit_jump(JsOp.GOTO)
+        if loop.continue_target is not None:
+            self.patch_jump(position, loop.continue_target)
+        else:
+            loop.continue_positions.append(position)
+
+    def _stmt_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            self.emit(JsOp.UNDEFINED)
+        else:
+            self.compile_expr(node.value)
+        self.emit(JsOp.RETURN)
+
+    def _stmt_block(self, node: ast.Block) -> None:
+        self.compile_block(node)
+
+    # == expressions =============================================================
+
+    def compile_expr(self, node: ast.Node) -> None:
+        method = getattr(self, f"_expr_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise JsCompileError(
+                f"cannot compile expression {type(node).__name__}", node.line
+            )
+        method(node)
+
+    def _push_number(self, value: int | float) -> None:
+        if isinstance(value, int) and not isinstance(value, bool):
+            if value == 0:
+                self.emit(JsOp.ZERO)
+            elif value == 1:
+                self.emit(JsOp.ONE)
+            elif -128 <= value <= 127:
+                self.emit(JsOp.INT8, value)
+            elif -(2**31) <= value < 2**31:
+                self.emit(JsOp.INT32, value)
+            else:
+                self.emit(JsOp.DOUBLE, self.atom(value))
+        else:
+            self.emit(JsOp.DOUBLE, self.atom(value))
+
+    def _expr_literal(self, node: ast.Literal) -> None:
+        value = node.value
+        if value is None:
+            self.emit(JsOp.UNDEFINED)
+        elif value is True:
+            self.emit(JsOp.TRUE)
+        elif value is False:
+            self.emit(JsOp.FALSE)
+        elif isinstance(value, str):
+            self.emit(JsOp.STRING, self.atom(value))
+        else:
+            self._push_number(value)
+
+    def _expr_name(self, node: ast.Name) -> None:
+        slot = self._lookup(node.id)
+        if slot is not None:
+            self.emit(JsOp.GETLOCAL, slot)
+        else:
+            self.emit(JsOp.GETGNAME, self.atom(node.id))
+
+    _BINOPS = {
+        "+": JsOp.ADD,
+        "-": JsOp.SUB,
+        "*": JsOp.MUL,
+        "/": JsOp.DIV,
+        "//": JsOp.INTDIV,
+        "%": JsOp.MOD,
+        "..": JsOp.CONCAT,
+        "==": JsOp.EQ,
+        "!=": JsOp.NE,
+        "<": JsOp.LT,
+        "<=": JsOp.LE,
+        ">": JsOp.GT,
+        ">=": JsOp.GE,
+    }
+
+    def _expr_binop(self, node: ast.BinOp) -> None:
+        try:
+            op = self._BINOPS[node.op]
+        except KeyError:
+            raise JsCompileError(f"unknown operator {node.op!r}", node.line) from None
+        self.compile_expr(node.left)
+        self.compile_expr(node.right)
+        self.emit(op)
+
+    def _expr_unop(self, node: ast.UnOp) -> None:
+        self.compile_expr(node.operand)
+        if node.op == "-":
+            self.emit(JsOp.NEG)
+        elif node.op == "not":
+            self.emit(JsOp.NOT)
+        else:
+            raise JsCompileError(f"unknown unary operator {node.op!r}", node.line)
+
+    def _expr_logical(self, node: ast.Logical) -> None:
+        # SpiderMonkey's value-preserving short-circuit: AND jumps past the
+        # right operand when the left is falsey (keeping it on the stack),
+        # otherwise pops and evaluates the right operand.
+        self.compile_expr(node.left)
+        jump = self.emit_jump(JsOp.AND if node.op == "and" else JsOp.OR)
+        self.emit(JsOp.POP)
+        self.compile_expr(node.right)
+        self.patch_jump(jump)
+
+    def _expr_index(self, node: ast.Index) -> None:
+        self.compile_expr(node.obj)
+        self.compile_expr(node.key)
+        self.emit(JsOp.GETELEM)
+
+    def _expr_arraylit(self, node: ast.ArrayLit) -> None:
+        for item in node.items:
+            self.compile_expr(item)
+        if len(node.items) > 0x7FFF:
+            raise JsCompileError("array literal too long", node.line)
+        self.emit(JsOp.NEWARRAY, len(node.items))
+
+    def _expr_maplit(self, node: ast.MapLit) -> None:
+        self.emit(JsOp.NEWOBJECT, min(len(node.pairs), 0x7FFF))
+        for key_node, value_node in node.pairs:
+            self.compile_expr(key_node)
+            self.compile_expr(value_node)
+            self.emit(JsOp.INITELEM)
+
+    def _expr_call(self, node: ast.Call) -> None:
+        if node.callee == "len" and len(node.args) == 1:
+            self.compile_expr(node.args[0])
+            self.emit(JsOp.LENGTH, self.atom("length"))
+            return
+        if (
+            node.callee not in self.module_functions
+            and node.callee not in BUILTINS
+            and self._lookup(node.callee) is None
+        ):
+            raise JsCompileError(
+                f"call to undefined function {node.callee!r}", node.line
+            )
+        self.emit(JsOp.CALLGNAME, self.atom(node.callee))
+        for arg in node.args:
+            self.compile_expr(arg)
+        self.emit(JsOp.CALL, len(node.args))
+
+
+def _compile_one(
+    node: ast.FuncDecl | None, module: ast.Module, module_functions: set
+) -> JsFunctionCode:
+    if node is None:
+        compiler = _JsFunctionCompiler("main", [], True, module_functions)
+        for statement in module.top_level():
+            compiler.compile_statement(statement)
+        compiler.emit(JsOp.STOP)
+    else:
+        compiler = _JsFunctionCompiler(node.name, node.params, False, module_functions)
+        for statement in node.body.statements:
+            compiler.compile_statement(statement)
+        compiler.emit(JsOp.UNDEFINED)
+        compiler.emit(JsOp.RETURN)
+    compiler.fn.finalize()
+    return compiler.fn
+
+
+def compile_module_js(module: ast.Module) -> JsModule:
+    """Compile a parsed module for :class:`repro.vm.js.interp.JsVM`."""
+    function_names = {fn.name for fn in module.functions()}
+    for fn in module.functions():
+        if fn.name in BUILTINS:
+            raise JsCompileError(f"function {fn.name!r} shadows a builtin", fn.line)
+    main = _compile_one(None, module, function_names)
+    functions_list = [main]
+    functions: dict[str, JsFunctionCode] = {}
+    for fn in module.functions():
+        code = _compile_one(fn, module, function_names)
+        code.index = len(functions_list)
+        functions_list.append(code)
+        functions[fn.name] = code
+    return JsModule(functions_list=functions_list, functions=functions)

@@ -1,0 +1,355 @@
+"""Functional interpreter for the JS-like stack VM.
+
+Trace callback signature is shared with the Lua VM::
+
+    trace(op, site, taken, callee, daddrs, builtin, cost)
+
+``site`` here is *dynamic*: it reports the dispatch site through which this
+bytecode was fetched, i.e. the exit site of the previous handler
+(:func:`repro.vm.js.opcodes.exit_site`).  SCD covers the MAIN, FUNCALL and
+END_CASE sites (the three ``.op`` annotation points of Section III-C) but
+not the UNCOVERED slow paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.builtins import BUILTINS, builtin_cost
+from repro.vm.js.compiler import JsFunctionCode, JsModule, compile_module_js
+from repro.vm.js.opcodes import JsOp, exit_site
+from repro.vm.trace import (
+    AddressSpace,
+    CALLEE_BUILTIN,
+    CALLEE_NONE,
+    CALLEE_RETURN,
+    CALLEE_SCRIPT,
+    Site,
+    TAKEN_FALSE,
+    TAKEN_NONE,
+    TAKEN_TRUE,
+)
+from repro.vm.values import (
+    VmError,
+    arith,
+    compare,
+    concat_values,
+    index_get,
+    index_set,
+    is_truthy,
+    length_of,
+    negate,
+    tostring,
+)
+
+MAX_CALL_DEPTH = 220
+
+
+@dataclass
+class JsFunction:
+    code: JsFunctionCode
+
+    def __str__(self) -> str:
+        return f"function: {self.code.name}"
+
+
+@dataclass
+class JsBuiltin:
+    name: str
+
+    def __str__(self) -> str:
+        return f"builtin: {self.name}"
+
+
+class _Frame:
+    __slots__ = ("fn", "locals", "stack", "pc", "want_result")
+
+    def __init__(self, fn: JsFunctionCode, locals_: list):
+        self.fn = fn
+        self.locals = locals_
+        self.stack: list = []
+        self.pc = 0
+
+
+class JsVM:
+    """One stack-VM interpreter instance.
+
+    Args:
+        module: compiled functions.
+        max_steps: executed-bytecode budget.
+    """
+
+    def __init__(self, module: JsModule, max_steps: int = 100_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.globals: dict = {}
+        self.output: list[str] = []
+        self.steps = 0
+        self.addr = AddressSpace()
+        for name in BUILTINS:
+            self.globals[name] = JsBuiltin(name)
+        for name, fn in module.functions.items():
+            self.globals[name] = JsFunction(fn)
+
+    @classmethod
+    def from_source(cls, source: str, max_steps: int = 100_000_000) -> "JsVM":
+        from repro.lang import parse
+
+        return cls(compile_module_js(parse(source)), max_steps=max_steps)
+
+    def run(self, trace=None) -> list[str]:
+        """Execute the main script to completion; returns captured output."""
+        main = self.module.main
+        frames = [_Frame(main, [None] * max(main.nlocals, 1))]
+        addr = self.addr
+        globals_ = self.globals
+        max_steps = self.max_steps
+        site = int(Site.MAIN)
+
+        while frames:
+            frame = frames[-1]
+            code = frame.fn.decoded
+            atoms = frame.fn.atoms
+            locals_ = frame.locals
+            stack = frame.stack
+            pc = frame.pc
+            depth = len(frames) - 1
+            reload = False
+
+            while not reload:
+                op, arg = code[pc]
+                pc += 1
+                self.steps += 1
+                if self.steps > max_steps:
+                    raise VmError(f"step limit exceeded ({max_steps})")
+
+                taken = TAKEN_NONE
+                callee_kind = CALLEE_NONE
+                daddrs: tuple = ()
+                builtin_name = None
+                cost = None
+
+                if op == JsOp.GETLOCAL:
+                    stack.append(locals_[arg])
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, arg),
+                            addr.stack_slot(len(stack)),
+                        )
+                elif op == JsOp.SETLOCAL:
+                    locals_[arg] = stack[-1]
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, arg),)
+                elif op == JsOp.POP:
+                    stack.pop()
+                elif op == JsOp.DUP:
+                    stack.append(stack[-1])
+                elif op == JsOp.SWAP:
+                    stack[-1], stack[-2] = stack[-2], stack[-1]
+                elif op == JsOp.ZERO:
+                    stack.append(0)
+                elif op == JsOp.ONE:
+                    stack.append(1)
+                elif op == JsOp.INT8 or op == JsOp.INT32:
+                    stack.append(arg)
+                elif op == JsOp.DOUBLE or op == JsOp.STRING:
+                    stack.append(atoms[arg])
+                    if trace is not None:
+                        daddrs = (addr.const_slot(frame.fn.index, arg),)
+                elif op == JsOp.TRUE:
+                    stack.append(True)
+                elif op == JsOp.FALSE:
+                    stack.append(False)
+                elif op == JsOp.UNDEFINED:
+                    stack.append(None)
+                elif JsOp.EQ <= op <= JsOp.GE:
+                    right = stack.pop()
+                    left = stack.pop()
+                    stack.append(compare(_COMPARE_SYMBOL[op], left, right))
+                elif op == JsOp.ADD:
+                    right = stack.pop()
+                    left = stack.pop()
+                    if isinstance(left, str) or isinstance(right, str):
+                        stack.append(concat_values(left, right))
+                    else:
+                        stack.append(arith("+", left, right))
+                elif JsOp.SUB <= op <= JsOp.MOD:
+                    right = stack.pop()
+                    left = stack.pop()
+                    stack.append(arith(_ARITH_SYMBOL[op], left, right))
+                elif op == JsOp.INTDIV:
+                    right = stack.pop()
+                    left = stack.pop()
+                    stack.append(arith("//", left, right))
+                elif op == JsOp.CONCAT:
+                    right = stack.pop()
+                    left = stack.pop()
+                    stack.append(concat_values(left, right))
+                    if trace is not None:
+                        text = stack[-1]
+                        cost = (8 + len(text) // 4, 3, 1)
+                elif op == JsOp.NEG:
+                    stack.append(negate(stack.pop()))
+                elif op == JsOp.NOT:
+                    stack.append(not is_truthy(stack.pop()))
+                elif op == JsOp.GOTO:
+                    pc = arg
+                elif op == JsOp.IFEQ:
+                    condition = is_truthy(stack.pop())
+                    if not condition:
+                        pc = arg
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                elif op == JsOp.IFNE:
+                    condition = is_truthy(stack.pop())
+                    if condition:
+                        pc = arg
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                elif op == JsOp.AND:
+                    if not is_truthy(stack[-1]):
+                        pc = arg
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                elif op == JsOp.OR:
+                    if is_truthy(stack[-1]):
+                        pc = arg
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                elif op == JsOp.GETGNAME:
+                    name = atoms[arg]
+                    stack.append(globals_.get(name))
+                    if trace is not None:
+                        daddrs = (addr.global_slot(name),)
+                elif op == JsOp.SETGNAME:
+                    name = atoms[arg]
+                    globals_[name] = stack[-1]
+                    if trace is not None:
+                        daddrs = (addr.global_slot(name),)
+                elif op == JsOp.CALLGNAME:
+                    name = atoms[arg]
+                    stack.append(globals_.get(name))
+                    if trace is not None:
+                        daddrs = (addr.global_slot(name),)
+                elif op == JsOp.GETELEM:
+                    key = stack.pop()
+                    obj = stack.pop()
+                    stack.append(index_get(obj, key))
+                    if trace is not None:
+                        daddrs = (self._container_addr(obj, key),)
+                elif op == JsOp.SETELEM:
+                    value = stack.pop()
+                    key = stack.pop()
+                    obj = stack.pop()
+                    index_set(obj, key, value)
+                    stack.append(value)
+                    if trace is not None:
+                        daddrs = (self._container_addr(obj, key),)
+                elif op == JsOp.LENGTH:
+                    stack.append(length_of(stack.pop()))
+                elif op == JsOp.NEWARRAY:
+                    items = stack[len(stack) - arg :] if arg else []
+                    del stack[len(stack) - arg :]
+                    array = list(items)
+                    stack.append(array)
+                    if trace is not None:
+                        daddrs = (addr.object_base(array),)
+                        cost = (6 + 4 * arg, arg, arg)
+                elif op == JsOp.NEWOBJECT:
+                    stack.append({})
+                    if trace is not None:
+                        daddrs = (addr.object_base(stack[-1]),)
+                elif op == JsOp.INITELEM:
+                    value = stack.pop()
+                    key = stack.pop()
+                    obj = stack[-1]
+                    index_set(obj, key, value)
+                    if trace is not None:
+                        daddrs = (self._container_addr(obj, key),)
+                elif op == JsOp.CALL:
+                    argc = arg
+                    args = stack[len(stack) - argc :]
+                    del stack[len(stack) - argc :]
+                    callee = stack.pop()
+                    if isinstance(callee, JsBuiltin):
+                        callee_kind = CALLEE_BUILTIN
+                        builtin_name = callee.name
+                        fn = BUILTINS[callee.name][0]
+                        result = fn(self, args)
+                        stack.append(result)
+                        if trace is not None:
+                            cost = builtin_cost(callee.name, tuple(args), result)
+                            daddrs = (addr.stack_slot(len(stack)),)
+                    elif isinstance(callee, JsFunction):
+                        if len(frames) >= MAX_CALL_DEPTH:
+                            raise VmError("guest call stack overflow")
+                        callee_kind = CALLEE_SCRIPT
+                        child = callee.code
+                        child_locals = [None] * max(child.nlocals, 1)
+                        for position in range(min(child.nparams, len(args))):
+                            child_locals[position] = args[position]
+                        frame.pc = pc
+                        frames.append(_Frame(child, child_locals))
+                        reload = True
+                    else:
+                        raise VmError(
+                            f"attempt to call a non-function ({tostring(callee)})"
+                        )
+                elif op == JsOp.RETURN:
+                    callee_kind = CALLEE_RETURN
+                    result = stack.pop()
+                    frames.pop()
+                    if frames:
+                        frames[-1].stack.append(result)
+                    reload = True
+                elif op == JsOp.STOP:
+                    frames.pop()
+                    reload = True
+                elif op == JsOp.LOOPHEAD or op == JsOp.NOP:
+                    pass
+                else:
+                    raise VmError(
+                        f"opcode {JsOp(op).name} is defined but not generated "
+                        "by this compiler"
+                    )
+
+                if trace is not None:
+                    trace(op, site, taken, callee_kind, daddrs, builtin_name, cost)
+                site = int(_EXIT_SITES[op])
+                if reload:
+                    break
+            else:
+                continue
+        return self.output
+
+    def _container_addr(self, obj: object, key: object) -> int:
+        if isinstance(obj, list) and isinstance(key, int) and not isinstance(key, bool):
+            return self.addr.element(obj, key)
+        if isinstance(obj, (dict, str)):
+            return self.addr.map_slot(
+                obj, key if not isinstance(key, (list, dict)) else 0
+            )
+        return 0
+
+
+_COMPARE_SYMBOL = {
+    JsOp.EQ: "==",
+    JsOp.NE: "!=",
+    JsOp.LT: "<",
+    JsOp.LE: "<=",
+    JsOp.GT: ">",
+    JsOp.GE: ">=",
+}
+
+_ARITH_SYMBOL = {
+    JsOp.SUB: "-",
+    JsOp.MUL: "*",
+    JsOp.DIV: "/",
+    JsOp.MOD: "%",
+}
+
+from repro.vm.js.opcodes import _EXIT_SITES  # noqa: E402  (hot-loop lookup table)

@@ -1,0 +1,323 @@
+"""SpiderMonkey-17-style opcode table: 229 variable-length bytecodes.
+
+Section V of the paper: "It has 229 distinct bytecodes, and the dispatch
+loop takes 29 native instructions."  We define the full table (names follow
+SpiderMonkey's ``jsopcode.tbl``, including its UNUSED placeholder slots);
+the compiler emits a working subset, and two VM-extension opcodes (INTDIV,
+CONCAT) fill documented UNUSED slots so both guest VMs share one source
+language.
+
+Each opcode carries:
+
+* ``operand_bytes`` — 0, 1, 2 or 4 immediate bytes after the opcode byte.
+* ``exit_site`` — which dispatch site the opcode's handler uses to fetch
+  the *next* bytecode (Section III-C): the main loop, the FUNCALL tail,
+  the common END_CASE macro, or an SCD-uncovered slow path.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.vm.trace import Site
+
+#: Total distinct bytecodes (matches SpiderMonkey 17 as reported in §V).
+NUM_OPCODES = 229
+
+#: The opcode is the first byte of a variable-length bytecode.
+OPCODE_MASK = 0xFF
+
+# (name, operand_bytes, exit_site).  Order assigns numeric codes.
+_SPEC: list[tuple[str, int, Site]] = [
+    # 0-15: basics
+    ("NOP", 0, Site.END_CASE),
+    ("UNDEFINED", 0, Site.END_CASE),
+    ("POPV", 0, Site.END_CASE),
+    ("ENTERWITH", 2, Site.UNCOVERED),
+    ("LEAVEWITH", 0, Site.UNCOVERED),
+    ("RETURN", 0, Site.MAIN),
+    ("GOTO", 2, Site.MAIN),
+    ("IFEQ", 2, Site.MAIN),
+    ("IFNE", 2, Site.MAIN),
+    ("ARGUMENTS", 0, Site.UNCOVERED),
+    ("SWAP", 0, Site.END_CASE),
+    ("POPN", 2, Site.END_CASE),
+    ("DUP", 0, Site.END_CASE),
+    ("DUP2", 0, Site.END_CASE),
+    ("SETCONST", 2, Site.UNCOVERED),
+    ("BITOR", 0, Site.MAIN),
+    # 16-31: arithmetic / comparison
+    ("BITXOR", 0, Site.MAIN),
+    ("BITAND", 0, Site.MAIN),
+    ("EQ", 0, Site.MAIN),
+    ("NE", 0, Site.MAIN),
+    ("LT", 0, Site.MAIN),
+    ("LE", 0, Site.MAIN),
+    ("GT", 0, Site.MAIN),
+    ("GE", 0, Site.MAIN),
+    ("LSH", 0, Site.MAIN),
+    ("RSH", 0, Site.MAIN),
+    ("URSH", 0, Site.MAIN),
+    ("ADD", 0, Site.MAIN),
+    ("SUB", 0, Site.MAIN),
+    ("MUL", 0, Site.MAIN),
+    ("DIV", 0, Site.MAIN),
+    ("MOD", 0, Site.MAIN),
+    # 32-47
+    ("NOT", 0, Site.END_CASE),
+    ("BITNOT", 0, Site.MAIN),
+    ("NEG", 0, Site.MAIN),
+    ("POS", 0, Site.MAIN),
+    ("DELNAME", 2, Site.UNCOVERED),
+    ("DELPROP", 2, Site.UNCOVERED),
+    ("DELELEM", 0, Site.UNCOVERED),
+    ("TYPEOF", 0, Site.END_CASE),
+    ("VOID", 0, Site.END_CASE),
+    ("INCNAME", 2, Site.UNCOVERED),
+    ("DECNAME", 2, Site.UNCOVERED),
+    ("NAMEINC", 2, Site.UNCOVERED),
+    ("NAMEDEC", 2, Site.UNCOVERED),
+    ("INCPROP", 2, Site.UNCOVERED),
+    ("DECPROP", 2, Site.UNCOVERED),
+    ("PROPINC", 2, Site.UNCOVERED),
+    # 48-63
+    ("PROPDEC", 2, Site.UNCOVERED),
+    ("INCELEM", 0, Site.UNCOVERED),
+    ("DECELEM", 0, Site.UNCOVERED),
+    ("ELEMINC", 0, Site.UNCOVERED),
+    ("ELEMDEC", 0, Site.UNCOVERED),
+    ("GETPROP", 2, Site.MAIN),
+    ("SETPROP", 2, Site.MAIN),
+    ("GETELEM", 0, Site.MAIN),
+    ("SETELEM", 0, Site.MAIN),
+    ("CALLNAME", 2, Site.MAIN),
+    ("CALL", 2, Site.FUNCALL),
+    ("NAME", 2, Site.UNCOVERED),
+    ("DOUBLE", 2, Site.END_CASE),
+    ("STRING", 2, Site.END_CASE),
+    ("ZERO", 0, Site.END_CASE),
+    ("ONE", 0, Site.END_CASE),
+    # 64-79
+    ("NULL", 0, Site.END_CASE),
+    ("THIS", 0, Site.END_CASE),
+    ("FALSE", 0, Site.END_CASE),
+    ("TRUE", 0, Site.END_CASE),
+    ("OR", 2, Site.MAIN),
+    ("AND", 2, Site.MAIN),
+    ("TABLESWITCH", 4, Site.UNCOVERED),
+    ("LOOKUPSWITCH", 4, Site.UNCOVERED),
+    ("STRICTEQ", 0, Site.MAIN),
+    ("STRICTNE", 0, Site.MAIN),
+    ("ITER", 1, Site.UNCOVERED),
+    ("MOREITER", 0, Site.UNCOVERED),
+    ("ITERNEXT", 0, Site.UNCOVERED),
+    ("ENDITER", 0, Site.UNCOVERED),
+    ("FUNAPPLY", 2, Site.FUNCALL),
+    ("OBJECT", 2, Site.END_CASE),
+    # 80-95
+    ("POP", 0, Site.END_CASE),
+    ("NEW", 2, Site.FUNCALL),
+    ("SPREAD", 0, Site.UNCOVERED),
+    ("GETXPROP", 2, Site.UNCOVERED),
+    ("GETLOCAL", 2, Site.END_CASE),
+    ("SETLOCAL", 2, Site.END_CASE),
+    ("UINT16", 2, Site.END_CASE),
+    ("NEWINIT", 1, Site.UNCOVERED),
+    ("NEWARRAY", 2, Site.UNCOVERED),
+    ("NEWOBJECT", 2, Site.UNCOVERED),
+    ("ENDINIT", 0, Site.END_CASE),
+    ("INITPROP", 2, Site.UNCOVERED),
+    ("INITELEM", 0, Site.UNCOVERED),
+    ("INITELEM_ARRAY", 4, Site.UNCOVERED),
+    ("INITELEM_INC", 0, Site.UNCOVERED),
+    ("INITELEM_GETTER", 0, Site.UNCOVERED),
+    # 96-111
+    ("INITELEM_SETTER", 0, Site.UNCOVERED),
+    ("CALLSITEOBJ", 2, Site.UNCOVERED),
+    ("NEWARRAY_COPYONWRITE", 2, Site.UNCOVERED),
+    ("SUPERBASE", 0, Site.UNCOVERED),
+    ("GETARG", 2, Site.END_CASE),
+    ("SETARG", 2, Site.END_CASE),
+    ("INT8", 1, Site.END_CASE),
+    ("INT32", 4, Site.END_CASE),
+    ("LENGTH", 2, Site.MAIN),
+    ("HOLE", 0, Site.END_CASE),
+    ("FUNCALL", 2, Site.FUNCALL),
+    ("LOOPHEAD", 0, Site.END_CASE),
+    ("BINDNAME", 2, Site.UNCOVERED),
+    ("SETNAME", 2, Site.UNCOVERED),
+    ("THROW", 0, Site.UNCOVERED),
+    ("IN", 0, Site.MAIN),
+    # 112-127
+    ("INSTANCEOF", 0, Site.MAIN),
+    ("DEBUGGER", 0, Site.UNCOVERED),
+    ("GOSUB", 2, Site.UNCOVERED),
+    ("RETSUB", 0, Site.UNCOVERED),
+    ("EXCEPTION", 0, Site.UNCOVERED),
+    ("LINENO", 2, Site.END_CASE),
+    ("CONDSWITCH", 0, Site.UNCOVERED),
+    ("CASE", 2, Site.MAIN),
+    ("DEFAULT", 2, Site.MAIN),
+    ("EVAL", 2, Site.UNCOVERED),
+    ("ENUMELEM", 0, Site.UNCOVERED),
+    ("GETFUNNS", 0, Site.UNCOVERED),
+    ("UNDEFINEDPRIMITIVE", 0, Site.END_CASE),
+    ("DEFFUN", 2, Site.UNCOVERED),
+    ("DEFCONST", 2, Site.UNCOVERED),
+    ("DEFVAR", 2, Site.UNCOVERED),
+    # 128-143
+    ("LAMBDA", 2, Site.UNCOVERED),
+    ("CALLEE", 0, Site.END_CASE),
+    ("PICK", 1, Site.END_CASE),
+    ("TRY", 0, Site.END_CASE),
+    ("FINALLY", 0, Site.UNCOVERED),
+    ("GETALIASEDVAR", 2, Site.UNCOVERED),
+    ("SETALIASEDVAR", 2, Site.UNCOVERED),
+    ("UNUSED135", 0, Site.MAIN),
+    ("UNUSED136", 0, Site.MAIN),
+    ("UNUSED137", 0, Site.MAIN),
+    ("UNUSED138", 0, Site.MAIN),
+    ("UNUSED139", 0, Site.MAIN),
+    ("UNUSED140", 0, Site.MAIN),
+    ("UNUSED141", 0, Site.MAIN),
+    ("UNUSED142", 0, Site.MAIN),
+    ("SETINTRINSIC", 2, Site.UNCOVERED),
+    # 144-159
+    ("NAMEINTRINSIC", 2, Site.UNCOVERED),
+    ("BINDINTRINSIC", 2, Site.UNCOVERED),
+    ("INTDIV", 0, Site.MAIN),       # VM extension: scriptlet '//' operator
+    ("CONCAT", 0, Site.MAIN),       # VM extension: scriptlet '..' operator
+    ("DEFLOCALFUN", 2, Site.UNCOVERED),
+    ("ANONFUNOBJ", 2, Site.UNCOVERED),
+    ("NAMEDFUNOBJ", 2, Site.UNCOVERED),
+    ("SETLOCALPOP", 2, Site.END_CASE),
+    ("SETCALL", 2, Site.UNCOVERED),
+    ("GETGNAME", 2, Site.MAIN),
+    ("SETGNAME", 2, Site.MAIN),
+    ("BINDGNAME", 2, Site.MAIN),
+    ("REGEXP", 2, Site.UNCOVERED),
+    ("DEFXMLNS", 0, Site.UNCOVERED),
+    ("ANYNAME", 0, Site.UNCOVERED),
+    ("QNAMEPART", 2, Site.UNCOVERED),
+    # 160-175
+    ("QNAMECONST", 2, Site.UNCOVERED),
+    ("QNAME", 0, Site.UNCOVERED),
+    ("TOATTRNAME", 0, Site.UNCOVERED),
+    ("TOATTRVAL", 0, Site.UNCOVERED),
+    ("ADDATTRNAME", 0, Site.UNCOVERED),
+    ("ADDATTRVAL", 0, Site.UNCOVERED),
+    ("BINDXMLNAME", 0, Site.UNCOVERED),
+    ("SETXMLNAME", 0, Site.UNCOVERED),
+    ("XMLNAME", 0, Site.UNCOVERED),
+    ("DESCENDANTS", 0, Site.UNCOVERED),
+    ("FILTER", 2, Site.UNCOVERED),
+    ("ENDFILTER", 0, Site.UNCOVERED),
+    ("TOXML", 0, Site.UNCOVERED),
+    ("TOXMLLIST", 0, Site.UNCOVERED),
+    ("XMLTAGEXPR", 0, Site.UNCOVERED),
+    ("XMLELTEXPR", 0, Site.UNCOVERED),
+    # 176-191
+    ("NOTRACE", 0, Site.END_CASE),
+    ("XMLCDATA", 2, Site.UNCOVERED),
+    ("XMLCOMMENT", 2, Site.UNCOVERED),
+    ("XMLPI", 2, Site.UNCOVERED),
+    ("DELDESC", 0, Site.UNCOVERED),
+    ("CALLPROP", 2, Site.FUNCALL),
+    ("BLOCKCHAIN", 2, Site.END_CASE),
+    ("NULLBLOCKCHAIN", 0, Site.END_CASE),
+    ("UINT24", 4, Site.END_CASE),
+    ("INT24", 4, Site.END_CASE),
+    ("STOP", 0, Site.MAIN),
+    ("GETXELEM", 0, Site.UNCOVERED),
+    ("TYPEOFEXPR", 0, Site.END_CASE),
+    ("ENTERBLOCK", 2, Site.END_CASE),
+    ("LEAVEBLOCK", 2, Site.END_CASE),
+    ("IFCANTCALLTOP", 2, Site.MAIN),
+    # 192-207
+    ("RETRVAL", 0, Site.MAIN),
+    ("GETGVAR", 2, Site.MAIN),
+    ("SETGVAR", 2, Site.MAIN),
+    ("INCGVAR", 2, Site.UNCOVERED),
+    ("DECGVAR", 2, Site.UNCOVERED),
+    ("GVARINC", 2, Site.UNCOVERED),
+    ("GVARDEC", 2, Site.UNCOVERED),
+    ("REGEXPTEST", 0, Site.UNCOVERED),
+    ("DEFUPVAR", 2, Site.UNCOVERED),
+    ("CALLUPVAR", 2, Site.UNCOVERED),
+    ("DELGVAR", 2, Site.UNCOVERED),
+    ("GETUPVAR", 2, Site.UNCOVERED),
+    ("SETUPVAR", 2, Site.UNCOVERED),
+    ("CALLLOCAL", 2, Site.END_CASE),
+    ("CALLARG", 2, Site.END_CASE),
+    ("BINDLOCAL", 2, Site.END_CASE),
+    # 208-228
+    ("CALLGNAME", 2, Site.MAIN),
+    ("GENERATOR", 0, Site.UNCOVERED),
+    ("YIELD", 0, Site.UNCOVERED),
+    ("ARRAYPUSH", 2, Site.UNCOVERED),
+    ("GETHOLE", 0, Site.END_CASE),
+    ("SETHOLE", 0, Site.END_CASE),
+    ("DEFAULTVALUE", 0, Site.UNCOVERED),
+    ("TRACE", 0, Site.END_CASE),
+    ("REST", 0, Site.UNCOVERED),
+    ("TOID", 0, Site.END_CASE),
+    ("IMPLICITTHIS", 2, Site.END_CASE),
+    ("LOOPENTRY", 1, Site.END_CASE),
+    ("ACTUALSFILLED", 1, Site.UNCOVERED),
+    ("UNUSED221", 0, Site.MAIN),
+    ("UNUSED222", 0, Site.MAIN),
+    ("UNUSED223", 0, Site.MAIN),
+    ("CONDITIONALJUMP", 2, Site.MAIN),
+    ("LABEL", 2, Site.END_CASE),
+    ("UNUSED226", 0, Site.MAIN),
+    ("POPFIXUP", 0, Site.END_CASE),
+    ("DEBUGLEAVEBLOCK", 0, Site.END_CASE),
+]
+
+assert len(_SPEC) == NUM_OPCODES, f"opcode table has {len(_SPEC)} entries"
+
+JsOp = enum.IntEnum("JsOp", {name: code for code, (name, _, _) in enumerate(_SPEC)})
+JsOp.__doc__ = "The 229 bytecodes of the JS-like stack VM."
+
+_OPERAND_BYTES = tuple(spec[1] for spec in _SPEC)
+_EXIT_SITES = tuple(spec[2] for spec in _SPEC)
+
+
+def operand_bytes(op: int) -> int:
+    """Immediate-operand byte count following the opcode byte."""
+    return _OPERAND_BYTES[op]
+
+
+def exit_site(op: int) -> Site:
+    """Dispatch site the handler of *op* uses to fetch the next bytecode."""
+    return _EXIT_SITES[op]
+
+
+def instruction_length(op: int) -> int:
+    """Total encoded length (opcode byte + operands)."""
+    return 1 + _OPERAND_BYTES[op]
+
+
+def disassemble(code: bytes, atoms: list | None = None) -> list[str]:
+    """Render encoded bytecode as one string per instruction."""
+    lines = []
+    offset = 0
+    while offset < len(code):
+        op = code[offset]
+        width = _OPERAND_BYTES[op]
+        operand = int.from_bytes(
+            code[offset + 1 : offset + 1 + width], "little", signed=True
+        ) if width else None
+        name = JsOp(op).name
+        if operand is None:
+            lines.append(f"{offset:5d}  {name}")
+        elif atoms is not None and name in ("STRING", "NAME", "GETGNAME", "SETGNAME",
+                                            "CALLGNAME", "DOUBLE", "GETPROP", "SETPROP"):
+            try:
+                lines.append(f"{offset:5d}  {name} {operand} ({atoms[operand]!r})")
+            except (IndexError, TypeError):
+                lines.append(f"{offset:5d}  {name} {operand}")
+        else:
+            lines.append(f"{offset:5d}  {name} {operand}")
+        offset += 1 + width
+    return lines

@@ -1,0 +1,45 @@
+"""Register-based guest VM modelled on Lua 5.3.
+
+47 opcodes (the exact Lua 5.3 set), iABC/iABx/iAsBx 32-bit instruction
+encoding with the opcode in the 6 least-significant bits — which is why the
+paper's Lua dispatcher masks with ``0x0000003F`` (Section III-A's ``setmask``
+example).
+
+Public API::
+
+    from repro.vm.lua import LuaVM, compile_module
+    vm = LuaVM.from_source("print(1 + 2);")
+    output = vm.run()            # functional execution
+    vm2 = LuaVM.from_source(src)
+    vm2.run(trace=callback)      # emits one event per executed bytecode
+"""
+
+from repro.vm.lua.opcodes import (
+    Op,
+    NUM_OPCODES,
+    OPCODE_MASK,
+    encode_abc,
+    encode_abx,
+    encode_asbx,
+    decode,
+    disassemble,
+    RK_CONST_BIT,
+)
+from repro.vm.lua.compiler import compile_module, LuaProto, CompileError
+from repro.vm.lua.interp import LuaVM
+
+__all__ = [
+    "Op",
+    "NUM_OPCODES",
+    "OPCODE_MASK",
+    "encode_abc",
+    "encode_abx",
+    "encode_asbx",
+    "decode",
+    "disassemble",
+    "RK_CONST_BIT",
+    "compile_module",
+    "LuaProto",
+    "CompileError",
+    "LuaVM",
+]

@@ -1,0 +1,612 @@
+"""AST -> Lua 5.3 bytecode compiler.
+
+Follows the code shapes of the reference Lua compiler: RK operands for
+constants, skip-next-JMP comparison idiom (``EQ``/``LT``/``LE`` with an A
+flag), ``TEST``/``JMP`` for truthiness, ``FORPREP``/``FORLOOP`` numeric
+loops, consecutive-register ``CONCAT`` chains and ``SETLIST`` array
+construction.
+
+Scoping model: function parameters and ``var`` declarations inside functions
+are register locals with block scoping; ``var`` at the top level of a script
+declares a *global* (script-language idiom), accessed via
+``GETTABUP``/``SETTABUP`` against the globals table (upvalue 0, ``_ENV``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast
+from repro.vm.builtins import BUILTINS
+from repro.vm.lua.opcodes import (
+    Op,
+    RK_CONST_BIT,
+    RK_MAX_REG,
+    decode,
+    encode_abc,
+    encode_abx,
+    encode_asbx,
+)
+
+#: Register-file ceiling per function (Lua's MAXSTACK is 250).
+MAX_REGISTERS = 200
+
+
+class CompileError(ValueError):
+    """Raised on semantic errors (bad targets, register overflow, ...)."""
+
+    def __init__(self, message: str, line: int = 0):
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+@dataclass
+class LuaProto:
+    """A compiled function prototype.
+
+    Attributes:
+        name: function name ("main" for the top-level chunk).
+        nparams: declared parameter count.
+        code: raw 32-bit instruction words.
+        constants: constant table.
+        max_regs: high-water register usage (frame size).
+        index: position in the module's proto list (stable address base).
+        decoded: pre-decoded ``(op, a, b, c, bx, sbx)`` tuples.
+    """
+
+    name: str
+    nparams: int
+    code: list = field(default_factory=list)
+    constants: list = field(default_factory=list)
+    max_regs: int = 2
+    index: int = 0
+    decoded: list = field(default_factory=list)
+
+    def finalize(self) -> None:
+        self.decoded = [decode(word) for word in self.code]
+
+
+@dataclass
+class CompiledModule:
+    """All prototypes of one script: ``protos[0]`` is the main chunk."""
+
+    protos: list
+    functions: dict  # name -> LuaProto
+
+    @property
+    def main(self) -> LuaProto:
+        return self.protos[0]
+
+
+@dataclass
+class _Loop:
+    break_jumps: list = field(default_factory=list)
+    continue_jumps: list = field(default_factory=list)
+    continue_target: int | None = None  # set for while loops (top of cond)
+
+
+class _FunctionCompiler:
+    def __init__(self, name: str, params: list, is_main: bool, module_functions: set):
+        self.proto = LuaProto(name=name, nparams=len(params))
+        self.is_main = is_main
+        self.module_functions = module_functions
+        self._const_index: dict = {}
+        self.scopes: list[dict] = [{}]
+        self.free_reg = 0
+        self.loops: list[_Loop] = []
+        for param in params:
+            self.scopes[0][param] = self._reserve(1)
+
+    # -- registers ---------------------------------------------------------
+
+    def _reserve(self, count: int) -> int:
+        base = self.free_reg
+        self.free_reg += count
+        if self.free_reg > MAX_REGISTERS:
+            raise CompileError(
+                f"function {self.proto.name!r} needs more than "
+                f"{MAX_REGISTERS} registers"
+            )
+        self.proto.max_regs = max(self.proto.max_regs, self.free_reg)
+        return base
+
+    def _release_to(self, mark: int) -> None:
+        self.free_reg = mark
+
+    # -- scopes ------------------------------------------------------------
+
+    def _push_scope(self) -> int:
+        self.scopes.append({})
+        return self.free_reg
+
+    def _pop_scope(self, mark: int) -> None:
+        self.scopes.pop()
+        self._release_to(mark)
+
+    def _declare_local(self, name: str, line: int) -> int:
+        scope = self.scopes[-1]
+        if name in scope:
+            raise CompileError(f"duplicate declaration of {name!r}", line)
+        register = self._reserve(1)
+        scope[name] = register
+        return register
+
+    def _lookup_local(self, name: str) -> int | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, op: Op, a: int, b: int = 0, c: int = 0) -> int:
+        self.proto.code.append(encode_abc(op, a, b, c))
+        return len(self.proto.code) - 1
+
+    def emit_abx(self, op: Op, a: int, bx: int) -> int:
+        self.proto.code.append(encode_abx(op, a, bx))
+        return len(self.proto.code) - 1
+
+    def emit_asbx(self, op: Op, a: int, sbx: int) -> int:
+        self.proto.code.append(encode_asbx(op, a, sbx))
+        return len(self.proto.code) - 1
+
+    def emit_jump(self) -> int:
+        """Emit a JMP with a placeholder offset, to be patched."""
+        return self.emit_asbx(Op.JMP, 0, 0)
+
+    def patch_jump(self, index: int, target: int | None = None) -> None:
+        """Point the JMP/FORPREP at *index* to *target* (default: here)."""
+        if target is None:
+            target = len(self.proto.code)
+        op, a, _b, _c, _bx, _sbx = decode(self.proto.code[index])
+        self.proto.code[index] = encode_asbx(Op(op), a, target - (index + 1))
+
+    def here(self) -> int:
+        return len(self.proto.code)
+
+    # -- constants ------------------------------------------------------------
+
+    def add_const(self, value: object) -> int:
+        key = (type(value).__name__, value)
+        index = self._const_index.get(key)
+        if index is None:
+            index = len(self.proto.constants)
+            self.proto.constants.append(value)
+            self._const_index[key] = index
+        return index
+
+    def rk(self, node: ast.Node) -> int | None:
+        """RK operand for *node* if it is a small-index constant."""
+        if isinstance(node, ast.Literal):
+            index = self.add_const(node.value)
+            if index <= 0xFF:
+                return RK_CONST_BIT | index
+        return None
+
+    def _rk_or_reg(self, node: ast.Node) -> tuple[int, int]:
+        """Return (rk_operand, register_mark_to_release)."""
+        rk = self.rk(node)
+        if rk is not None:
+            return rk, self.free_reg
+        mark = self.free_reg
+        register = self.expr_any(node)
+        if register > RK_MAX_REG:
+            raise CompileError("expression register exceeds RK range")
+        return register, mark
+
+    # == statements ============================================================
+
+    def compile_block(self, block: ast.Block) -> None:
+        mark = self._push_scope()
+        for statement in block.statements:
+            self.compile_statement(statement)
+        self._pop_scope(mark)
+
+    def compile_statement(self, node: ast.Node) -> None:
+        method = getattr(self, f"_stmt_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise CompileError(f"cannot compile statement {type(node).__name__}", node.line)
+        method(node)
+
+    def _stmt_vardecl(self, node: ast.VarDecl) -> None:
+        if self.is_main and len(self.scopes) == 1:
+            # Top-level var declares a global.
+            self._assign_global(node.name, node.value)
+            return
+        register = self._declare_local(node.name, node.line)
+        self.expr_to_reg(node.value, register)
+
+    def _assign_global(self, name: str, value: ast.Node) -> None:
+        mark = self.free_reg
+        value_rk, _ = self._rk_or_reg(value)
+        key_rk = RK_CONST_BIT | self.add_const(name)
+        if (key_rk & ~RK_CONST_BIT) > 0xFF:
+            raise CompileError(f"too many constants for global {name!r}")
+        self.emit(Op.SETTABUP, 0, key_rk, value_rk)
+        self._release_to(mark)
+
+    def _stmt_assign(self, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            register = self._lookup_local(target.id)
+            if register is not None:
+                self.expr_to_reg(node.value, register)
+            else:
+                self._assign_global(target.id, node.value)
+            return
+        if isinstance(target, ast.Index):
+            mark = self.free_reg
+            obj_reg = self.expr_any(target.obj)
+            key_rk, _ = self._rk_or_reg(target.key)
+            value_rk, _ = self._rk_or_reg(node.value)
+            self.emit(Op.SETTABLE, obj_reg, key_rk, value_rk)
+            self._release_to(mark)
+            return
+        raise CompileError("invalid assignment target", node.line)
+
+    def _stmt_exprstmt(self, node: ast.ExprStmt) -> None:
+        mark = self.free_reg
+        if isinstance(node.expr, ast.Call):
+            self.compile_call(node.expr, want_result=False)
+        else:
+            self.expr_any(node.expr)
+        self._release_to(mark)
+
+    def _stmt_if(self, node: ast.If) -> None:
+        else_jumps = self.cond_jump(node.cond, jump_if=False)
+        self.compile_block(node.then)
+        if node.orelse is not None:
+            end_jump = self.emit_jump()
+            for jump in else_jumps:
+                self.patch_jump(jump)
+            if isinstance(node.orelse, ast.If):
+                self._stmt_if(node.orelse)
+            else:
+                self.compile_block(node.orelse)
+            self.patch_jump(end_jump)
+        else:
+            for jump in else_jumps:
+                self.patch_jump(jump)
+
+    def _stmt_while(self, node: ast.While) -> None:
+        top = self.here()
+        exit_jumps = self.cond_jump(node.cond, jump_if=False)
+        loop = _Loop(continue_target=top)
+        self.loops.append(loop)
+        self.compile_block(node.body)
+        back = self.emit_jump()
+        self.patch_jump(back, top)
+        for jump in exit_jumps + loop.break_jumps:
+            self.patch_jump(jump)
+        self.loops.pop()
+
+    def _stmt_fornum(self, node: ast.ForNum) -> None:
+        mark = self._push_scope()
+        base = self._reserve(4)  # internal index, limit, step, visible var
+        self.expr_to_reg(node.start, base)
+        self.expr_to_reg(node.stop, base + 1)
+        if node.step is None:
+            self.emit_abx(Op.LOADK, base + 2, self.add_const(1))
+        else:
+            self.expr_to_reg(node.step, base + 2)
+        self.scopes[-1][node.var] = base + 3
+        prep = self.emit_asbx(Op.FORPREP, base, 0)
+        body_start = self.here()
+        loop = _Loop()
+        self.loops.append(loop)
+        self.compile_block(node.body)
+        for jump in loop.continue_jumps:
+            self.patch_jump(jump)
+        forloop = self.emit_asbx(Op.FORLOOP, base, body_start - (self.here() + 1))
+        self.patch_jump(prep, forloop)
+        for jump in loop.break_jumps:
+            self.patch_jump(jump)
+        self.loops.pop()
+        self._pop_scope(mark)
+
+    def _stmt_break(self, node: ast.Break) -> None:
+        if not self.loops:
+            raise CompileError("'break' outside a loop", node.line)
+        self.loops[-1].break_jumps.append(self.emit_jump())
+
+    def _stmt_continue(self, node: ast.Continue) -> None:
+        if not self.loops:
+            raise CompileError("'continue' outside a loop", node.line)
+        loop = self.loops[-1]
+        if loop.continue_target is not None:
+            jump = self.emit_jump()
+            self.patch_jump(jump, loop.continue_target)
+        else:
+            loop.continue_jumps.append(self.emit_jump())
+
+    def _stmt_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            self.emit(Op.RETURN, 0, 1, 0)
+            return
+        mark = self.free_reg
+        register = self.expr_any(node.value)
+        self.emit(Op.RETURN, register, 2, 0)
+        self._release_to(mark)
+
+    def _stmt_block(self, node: ast.Block) -> None:
+        self.compile_block(node)
+
+    # == conditions =============================================================
+
+    #: comparison -> (opcode, swap_operands, a_flag_for_skip_on_true)
+    _COMPARE_OPS = {
+        "==": (Op.EQ, False, 0),
+        "!=": (Op.EQ, False, 1),
+        "<": (Op.LT, False, 0),
+        "<=": (Op.LE, False, 0),
+        ">": (Op.LT, True, 0),
+        ">=": (Op.LE, True, 0),
+    }
+
+    def cond_jump(self, node: ast.Node, jump_if: bool) -> list[int]:
+        """Emit a test for *node*; the returned JMP indices fire when the
+        condition evaluates to *jump_if*.
+
+        Skip-next semantics: ``EQ/LT/LE A B C`` advances the virtual PC by
+        one (skipping the following JMP) when the raw comparison result
+        differs from A; ``TEST A _ C`` skips when ``bool(R(A)) != C``.
+        """
+        if isinstance(node, ast.UnOp) and node.op == "not":
+            return self.cond_jump(node.operand, not jump_if)
+
+        if isinstance(node, ast.BinOp) and node.op in self._COMPARE_OPS:
+            op, swap, a_flag = self._COMPARE_OPS[node.op]
+            if jump_if:
+                a_flag ^= 1
+            mark = self.free_reg
+            left, right = (node.right, node.left) if swap else (node.left, node.right)
+            b_rk, _ = self._rk_or_reg(left)
+            c_rk, _ = self._rk_or_reg(right)
+            self.emit(op, a_flag, b_rk, c_rk)
+            self._release_to(mark)
+            return [self.emit_jump()]
+
+        if isinstance(node, ast.Logical):
+            if (node.op == "and") == (not jump_if):
+                # and/jump-false, or/jump-true: both operands feed the exit.
+                jumps = self.cond_jump(node.left, jump_if)
+                jumps += self.cond_jump(node.right, jump_if)
+                return jumps
+            # and/jump-true, or/jump-false: left short-circuits past right.
+            skip = self.cond_jump(node.left, not jump_if)
+            jumps = self.cond_jump(node.right, jump_if)
+            for jump in skip:
+                self.patch_jump(jump)
+            return jumps
+
+        if isinstance(node, ast.Literal):
+            truthy = node.value is not None and node.value is not False
+            if truthy == jump_if:
+                return [self.emit_jump()]
+            return []
+
+        mark = self.free_reg
+        register = self.expr_any(node)
+        self._release_to(mark)
+        self.emit(Op.TEST, register, 0, 0 if not jump_if else 1)
+        return [self.emit_jump()]
+
+    # == expressions =============================================================
+
+    def expr_any(self, node: ast.Node) -> int:
+        """Compile *node*, returning the register holding its value.
+
+        Locals are returned in place (no copy); everything else lands in a
+        fresh temporary.
+        """
+        if isinstance(node, ast.Name):
+            register = self._lookup_local(node.id)
+            if register is not None:
+                return register
+        register = self._reserve(1)
+        self.expr_to_reg(node, register)
+        return register
+
+    def expr_to_reg(self, node: ast.Node, dest: int) -> None:
+        """Compile *node*, leaving its value in register *dest*."""
+        method = getattr(self, f"_expr_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise CompileError(f"cannot compile expression {type(node).__name__}", node.line)
+        method(node, dest)
+
+    def _expr_literal(self, node: ast.Literal, dest: int) -> None:
+        value = node.value
+        if value is None:
+            self.emit(Op.LOADNIL, dest, 0, 0)
+        elif value is True:
+            self.emit(Op.LOADBOOL, dest, 1, 0)
+        elif value is False:
+            self.emit(Op.LOADBOOL, dest, 0, 0)
+        else:
+            self.emit_abx(Op.LOADK, dest, self.add_const(value))
+
+    def _expr_name(self, node: ast.Name, dest: int) -> None:
+        register = self._lookup_local(node.id)
+        if register is not None:
+            if register != dest:
+                self.emit(Op.MOVE, dest, register, 0)
+            return
+        key_rk = RK_CONST_BIT | self.add_const(node.id)
+        self.emit(Op.GETTABUP, dest, 0, key_rk)
+
+    _ARITH_OPS = {
+        "+": Op.ADD,
+        "-": Op.SUB,
+        "*": Op.MUL,
+        "/": Op.DIV,
+        "//": Op.IDIV,
+        "%": Op.MOD,
+    }
+
+    def _expr_binop(self, node: ast.BinOp, dest: int) -> None:
+        if node.op in self._ARITH_OPS:
+            mark = self.free_reg
+            b_rk, _ = self._rk_or_reg(node.left)
+            c_rk, _ = self._rk_or_reg(node.right)
+            self.emit(self._ARITH_OPS[node.op], dest, b_rk, c_rk)
+            self._release_to(mark)
+            return
+        if node.op == "..":
+            # Flatten the right-associative chain into consecutive registers.
+            items: list[ast.Node] = []
+            cursor: ast.Node = node
+            while isinstance(cursor, ast.BinOp) and cursor.op == "..":
+                items.append(cursor.left)
+                cursor = cursor.right
+            items.append(cursor)
+            mark = self.free_reg
+            base = self._reserve(len(items))
+            for offset, item in enumerate(items):
+                self.expr_to_reg(item, base + offset)
+            self.emit(Op.CONCAT, dest, base, base + len(items) - 1)
+            self._release_to(mark)
+            return
+        if node.op in self._COMPARE_OPS:
+            # Value-producing comparison: the LOADBOOL skip idiom.
+            true_jumps = self.cond_jump(node, jump_if=True)
+            self.emit(Op.LOADBOOL, dest, 0, 1)  # C=1: skip the next one
+            for jump in true_jumps:
+                self.patch_jump(jump)
+            self.emit(Op.LOADBOOL, dest, 1, 0)
+            return
+        raise CompileError(f"unknown binary operator {node.op!r}", node.line)
+
+    def _expr_unop(self, node: ast.UnOp, dest: int) -> None:
+        mark = self.free_reg
+        operand = self.expr_any(node.operand)
+        self._release_to(mark)
+        if node.op == "-":
+            self.emit(Op.UNM, dest, operand, 0)
+        elif node.op == "not":
+            self.emit(Op.NOT, dest, operand, 0)
+        else:
+            raise CompileError(f"unknown unary operator {node.op!r}", node.line)
+
+    def _expr_logical(self, node: ast.Logical, dest: int) -> None:
+        # a and b -> eval a into dest; if falsey keep it, else eval b.
+        # a or b  -> eval a into dest; if truthy keep it, else eval b.
+        self.expr_to_reg(node.left, dest)
+        # TEST skips the JMP when bool(R[dest]) != C.  For "or" we fall into
+        # b when a is falsey (skip when false -> C=1); for "and" when a is
+        # truthy (skip when true -> C=0).
+        self.emit(Op.TEST, dest, 0, 1 if node.op == "or" else 0)
+        end_jump = self.emit_jump()
+        self.expr_to_reg(node.right, dest)
+        self.patch_jump(end_jump)
+
+    def _expr_index(self, node: ast.Index, dest: int) -> None:
+        mark = self.free_reg
+        obj_reg = self.expr_any(node.obj)
+        key_rk, _ = self._rk_or_reg(node.key)
+        self.emit(Op.GETTABLE, dest, obj_reg, key_rk)
+        self._release_to(mark)
+
+    def _expr_arraylit(self, node: ast.ArrayLit, dest: int) -> None:
+        # SETLIST A B C reads the batch from R[A+1..A+B], so the table must
+        # sit at the top of the register stack while batches are built.  If
+        # dest is not top-of-stack (e.g. re-assigning an older local), build
+        # in a fresh temporary and MOVE.
+        if self.free_reg != dest + 1:
+            mark = self.free_reg
+            temp = self._reserve(1)
+            self._expr_arraylit(node, temp)
+            self.emit(Op.MOVE, dest, temp, 0)
+            self._release_to(mark)
+            return
+        self.emit(Op.NEWTABLE, dest, min(len(node.items), 0x1FF), 0)
+        batch = 50  # Lua's LFIELDS_PER_FLUSH
+        for start in range(0, len(node.items), batch):
+            chunk = node.items[start : start + batch]
+            base = self._reserve(len(chunk))
+            for offset, item in enumerate(chunk):
+                self.expr_to_reg(item, base + offset)
+            self.emit(Op.SETLIST, dest, len(chunk), start // batch + 1)
+            self._release_to(dest + 1)
+
+    def _expr_maplit(self, node: ast.MapLit, dest: int) -> None:
+        # C > 0 marks the new table as a map (hash part only).
+        self.emit(Op.NEWTABLE, dest, 0, min(max(len(node.pairs), 1), 0x1FF))
+        for key_node, value_node in node.pairs:
+            mark = self.free_reg
+            key_rk, _ = self._rk_or_reg(key_node)
+            value_rk, _ = self._rk_or_reg(value_node)
+            self.emit(Op.SETTABLE, dest, key_rk, value_rk)
+            self._release_to(mark)
+
+    def _expr_call(self, node: ast.Call, dest: int) -> None:
+        result = self.compile_call(node, want_result=True)
+        if result != dest:
+            self.emit(Op.MOVE, dest, result, 0)
+
+    def compile_call(self, node: ast.Call, want_result: bool) -> int:
+        """Compile a call; returns the register holding the result."""
+        if node.callee == "len" and len(node.args) == 1:
+            mark = self.free_reg
+            operand = self.expr_any(node.args[0])
+            self._release_to(mark)
+            dest = self._reserve(1)
+            self.emit(Op.LEN, dest, operand, 0)
+            return dest
+        if (
+            node.callee not in self.module_functions
+            and node.callee not in BUILTINS
+            and self._lookup_local(node.callee) is None
+        ):
+            raise CompileError(f"call to undefined function {node.callee!r}", node.line)
+        base = self._reserve(1)
+        key_rk = RK_CONST_BIT | self.add_const(node.callee)
+        self.emit(Op.GETTABUP, base, 0, key_rk)
+        for offset, arg in enumerate(node.args):
+            register = self._reserve(1)
+            if register != base + 1 + offset:
+                raise CompileError("call argument registers not consecutive")
+            self.expr_to_reg(arg, register)
+        self.emit(Op.CALL, base, len(node.args) + 1, 2 if want_result else 1)
+        self._release_to(base + 1)
+        return base
+
+
+def compile_function(
+    node: ast.FuncDecl | None,
+    module: ast.Module,
+    is_main: bool,
+    module_functions: set,
+) -> LuaProto:
+    """Compile one function (or the main chunk when *node* is None)."""
+    if node is None:
+        compiler = _FunctionCompiler("main", [], True, module_functions)
+        for statement in module.top_level():
+            compiler.compile_statement(statement)
+    else:
+        compiler = _FunctionCompiler(node.name, node.params, False, module_functions)
+        for statement in node.body.statements:
+            compiler.compile_statement(statement)
+    compiler.emit(Op.RETURN, 0, 1, 0)
+    return compiler.proto
+
+
+def compile_module(module: ast.Module) -> CompiledModule:
+    """Compile a parsed module into prototypes for :class:`LuaVM`."""
+    function_names = {fn.name for fn in module.functions()}
+    for fn in module.functions():
+        if fn.name in BUILTINS:
+            raise CompileError(f"function {fn.name!r} shadows a builtin", fn.line)
+    main = compile_function(None, module, True, function_names)
+    protos = [main]
+    functions: dict[str, LuaProto] = {}
+    for fn in module.functions():
+        proto = compile_function(fn, module, False, function_names)
+        proto.index = len(protos)
+        protos.append(proto)
+        functions[fn.name] = proto
+    for proto in protos:
+        proto.finalize()
+    return CompiledModule(protos=protos, functions=functions)

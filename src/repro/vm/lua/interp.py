@@ -1,0 +1,430 @@
+"""Functional interpreter for the Lua-like register VM.
+
+Executes the bytecode produced by :mod:`repro.vm.lua.compiler` with Lua 5.3
+semantics and optionally emits one trace event per executed bytecode.  The
+trace callback drives the native interpreter model::
+
+    trace(op, site, taken, callee, daddrs, builtin, cost)
+
+* ``op`` — the 6-bit opcode (the JTE key under SCD).
+* ``site`` — dispatch site; always ``Site.MAIN`` for Lua (single dispatcher).
+* ``taken`` — handler-internal guest-conditional branch outcome
+  (``TAKEN_NONE`` for straight-line handlers).
+* ``callee`` — ``CALLEE_SCRIPT`` / ``CALLEE_BUILTIN`` / ``CALLEE_RETURN``
+  for control opcodes, else ``CALLEE_NONE``.
+* ``daddrs`` — synthetic guest data addresses for the D-cache model.
+* ``builtin`` — builtin name on builtin calls.
+* ``cost`` — (insts, loads, stores) extra work for size-dependent builtins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.builtins import BUILTINS, builtin_cost
+from repro.vm.lua.compiler import CompiledModule, LuaProto, compile_module
+from repro.vm.lua.opcodes import Op, RK_CONST_BIT
+from repro.vm.trace import (
+    AddressSpace,
+    CALLEE_BUILTIN,
+    CALLEE_NONE,
+    CALLEE_RETURN,
+    CALLEE_SCRIPT,
+    Site,
+    TAKEN_FALSE,
+    TAKEN_NONE,
+    TAKEN_TRUE,
+)
+from repro.vm.values import (
+    VmError,
+    arith,
+    compare,
+    concat_values,
+    index_get,
+    index_set,
+    is_truthy,
+    length_of,
+    negate,
+    tostring,
+)
+
+#: Maximum guest call depth (the paper's scripts recurse modestly).
+MAX_CALL_DEPTH = 220
+
+
+@dataclass
+class LuaFunction:
+    """A first-class script function (prototype, no upvalues)."""
+
+    proto: LuaProto
+
+    def __str__(self) -> str:
+        return f"function: {self.proto.name}"
+
+
+@dataclass
+class Builtin:
+    """A native builtin bound into the globals table."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"builtin: {self.name}"
+
+
+class _Frame:
+    __slots__ = ("proto", "regs", "pc", "ret_reg", "want_result")
+
+    def __init__(self, proto: LuaProto, regs: list, ret_reg: int, want_result: bool):
+        self.proto = proto
+        self.regs = regs
+        self.pc = 0
+        self.ret_reg = ret_reg
+        self.want_result = want_result
+
+
+class LuaVM:
+    """One interpreter instance: globals, output buffer and step budget.
+
+    Args:
+        module: compiled prototypes.
+        max_steps: executed-bytecode budget; exceeded -> :class:`VmError`.
+    """
+
+    def __init__(self, module: CompiledModule, max_steps: int = 100_000_000):
+        self.module = module
+        self.max_steps = max_steps
+        self.globals: dict = {}
+        self.output: list[str] = []
+        self.steps = 0
+        self.addr = AddressSpace()
+        for name in BUILTINS:
+            self.globals[name] = Builtin(name)
+        for name, proto in module.functions.items():
+            self.globals[name] = LuaFunction(proto)
+
+    @classmethod
+    def from_source(cls, source: str, max_steps: int = 100_000_000) -> "LuaVM":
+        from repro.lang import parse
+
+        return cls(compile_module(parse(source)), max_steps=max_steps)
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, trace=None) -> list[str]:
+        """Execute the main chunk to completion; returns captured output."""
+        main = self.module.main
+        frames = [_Frame(main, [None] * max(main.max_regs, 2), -1, False)]
+        addr = self.addr
+        globals_ = self.globals
+        max_steps = self.max_steps
+
+        while frames:
+            frame = frames[-1]
+            proto = frame.proto
+            code = proto.decoded
+            consts = proto.constants
+            regs = frame.regs
+            pc = frame.pc
+            depth = len(frames) - 1
+            reload = False
+
+            while not reload:
+                op, a, b, c, bx, sbx = code[pc]
+                pc += 1
+                self.steps += 1
+                if self.steps > max_steps:
+                    raise VmError(f"step limit exceeded ({max_steps})")
+
+                taken = TAKEN_NONE
+                callee_kind = CALLEE_NONE
+                daddrs: tuple = ()
+                builtin_name = None
+                cost = None
+
+                if op == Op.MOVE:
+                    regs[a] = regs[b]
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, b), addr.frame_slot(depth, a))
+                elif op == Op.LOADK:
+                    regs[a] = consts[bx]
+                    if trace is not None:
+                        daddrs = (
+                            addr.const_slot(proto.index, bx),
+                            addr.frame_slot(depth, a),
+                        )
+                elif op == Op.LOADBOOL:
+                    regs[a] = bool(b)
+                    if c:
+                        pc += 1
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, a),)
+                elif op == Op.LOADNIL:
+                    for offset in range(b + 1):
+                        regs[a + offset] = None
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, a),)
+                elif op == Op.GETTABUP:
+                    key = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    regs[a] = globals_.get(key)
+                    if trace is not None:
+                        daddrs = (addr.global_slot(str(key)), addr.frame_slot(depth, a))
+                elif op == Op.SETTABUP:
+                    key = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    value = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    globals_[key] = value
+                    if trace is not None:
+                        daddrs = (addr.global_slot(str(key)),)
+                elif op == Op.GETTABLE:
+                    obj = regs[b]
+                    key = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    regs[a] = index_get(obj, key)
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, b),
+                            self._container_addr(obj, key),
+                            addr.frame_slot(depth, a),
+                        )
+                elif op == Op.SETTABLE:
+                    obj = regs[a]
+                    key = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    value = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    index_set(obj, key, value)
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, a),
+                            self._container_addr(obj, key),
+                        )
+                elif op == Op.NEWTABLE:
+                    # C (hash-size hint) > 0 marks a map; arrays use B only.
+                    regs[a] = {} if c else []
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, a),
+                            addr.object_base(regs[a]),
+                        )
+                elif Op.ADD <= op <= Op.IDIV and op != Op.POW:
+                    left = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    right = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    regs[a] = arith(_ARITH_SYMBOL[op], left, right)
+                    if trace is not None:
+                        daddrs = (
+                            self._rk_addr(depth, proto.index, b),
+                            self._rk_addr(depth, proto.index, c),
+                            addr.frame_slot(depth, a),
+                        )
+                elif op == Op.POW:
+                    left = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    right = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    regs[a] = float(left) ** float(right)
+                elif Op.BAND <= op <= Op.SHR:
+                    left = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    right = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    regs[a] = _int_bitop(op, left, right)
+                elif op == Op.UNM:
+                    regs[a] = negate(regs[b])
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, b), addr.frame_slot(depth, a))
+                elif op == Op.BNOT:
+                    regs[a] = ~_require_int(regs[b])
+                elif op == Op.NOT:
+                    regs[a] = not is_truthy(regs[b])
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, b), addr.frame_slot(depth, a))
+                elif op == Op.LEN:
+                    regs[a] = length_of(regs[b])
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, b), addr.frame_slot(depth, a))
+                elif op == Op.CONCAT:
+                    text = regs[b]
+                    for slot in range(b + 1, c + 1):
+                        text = concat_values(text, regs[slot])
+                    regs[a] = text
+                    if trace is not None:
+                        daddrs = tuple(
+                            addr.frame_slot(depth, slot) for slot in range(b, c + 1)
+                        )
+                        cost = (6 * (c - b) + len(text) // 4, c - b + 1, 1)
+                elif op == Op.JMP:
+                    pc += sbx
+                elif op == Op.EQ or op == Op.LT or op == Op.LE:
+                    left = consts[b & 0xFF] if b & RK_CONST_BIT else regs[b]
+                    right = consts[c & 0xFF] if c & RK_CONST_BIT else regs[c]
+                    result = compare(_COMPARE_SYMBOL[op], left, right)
+                    if result != bool(a):
+                        pc += 1
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                    if trace is not None:
+                        daddrs = (
+                            self._rk_addr(depth, proto.index, b),
+                            self._rk_addr(depth, proto.index, c),
+                        )
+                elif op == Op.TEST:
+                    if is_truthy(regs[a]) != bool(c):
+                        pc += 1
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                    if trace is not None:
+                        daddrs = (addr.frame_slot(depth, a),)
+                elif op == Op.TESTSET:
+                    if is_truthy(regs[b]) == bool(c):
+                        regs[a] = regs[b]
+                        taken = TAKEN_FALSE
+                    else:
+                        pc += 1
+                        taken = TAKEN_TRUE
+                elif op == Op.CALL:
+                    callee = regs[a]
+                    args = regs[a + 1 : a + b]
+                    if isinstance(callee, Builtin):
+                        callee_kind = CALLEE_BUILTIN
+                        builtin_name = callee.name
+                        fn = BUILTINS[callee.name][0]
+                        result = fn(self, args)
+                        if c >= 2:
+                            regs[a] = result
+                        if trace is not None:
+                            cost = builtin_cost(callee.name, tuple(args), result)
+                            daddrs = (addr.frame_slot(depth, a),)
+                    elif isinstance(callee, LuaFunction):
+                        if len(frames) >= MAX_CALL_DEPTH:
+                            raise VmError("guest call stack overflow")
+                        callee_kind = CALLEE_SCRIPT
+                        child = callee.proto
+                        child_regs = [None] * max(child.max_regs, 2)
+                        for position in range(child.nparams):
+                            if position < len(args):
+                                child_regs[position] = args[position]
+                        frame.pc = pc
+                        frames.append(_Frame(child, child_regs, a, c >= 2))
+                        reload = True
+                        if trace is not None:
+                            daddrs = (addr.frame_slot(depth, a),)
+                    else:
+                        raise VmError(
+                            f"attempt to call a non-function ({tostring(callee)})"
+                        )
+                elif op == Op.RETURN:
+                    callee_kind = CALLEE_RETURN
+                    result = regs[a] if b >= 2 else None
+                    frames.pop()
+                    if frames:
+                        caller = frames[-1]
+                        if frame.want_result:
+                            caller.regs[frame.ret_reg] = result
+                        reload = True
+                        if trace is not None:
+                            daddrs = (addr.frame_slot(depth, a),) if b >= 2 else ()
+                    else:
+                        reload = True
+                elif op == Op.FORPREP:
+                    start = _require_number(regs[a])
+                    step = _require_number(regs[a + 2])
+                    _require_number(regs[a + 1])
+                    regs[a] = start - step
+                    pc += sbx
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, a),
+                            addr.frame_slot(depth, a + 2),
+                        )
+                elif op == Op.FORLOOP:
+                    step = regs[a + 2]
+                    value = regs[a] + step
+                    regs[a] = value
+                    limit = regs[a + 1]
+                    if (value <= limit) if step > 0 else (value >= limit):
+                        pc += sbx
+                        regs[a + 3] = value
+                        taken = TAKEN_TRUE
+                    else:
+                        taken = TAKEN_FALSE
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, a),
+                            addr.frame_slot(depth, a + 1),
+                            addr.frame_slot(depth, a + 3),
+                        )
+                elif op == Op.SETLIST:
+                    table = regs[a]
+                    if not isinstance(table, list):
+                        raise VmError("SETLIST target is not an array")
+                    start = (c - 1) * 50
+                    for offset in range(b):
+                        index_set(table, start + offset, regs[a + 1 + offset])
+                    if trace is not None:
+                        daddrs = (
+                            addr.frame_slot(depth, a),
+                            addr.element(table, start),
+                        )
+                        cost = (4 * b, b, b)
+                else:
+                    raise VmError(
+                        f"opcode {Op(op).name} is defined but not generated "
+                        "by this compiler"
+                    )
+
+                if trace is not None:
+                    trace(op, Site.MAIN, taken, callee_kind, daddrs, builtin_name, cost)
+                if reload:
+                    break
+            else:
+                continue
+        return self.output
+
+    # -- address helpers -------------------------------------------------------
+
+    def _rk_addr(self, depth: int, proto_index: int, rk: int) -> int:
+        if rk & RK_CONST_BIT:
+            return self.addr.const_slot(proto_index, rk & 0xFF)
+        return self.addr.frame_slot(depth, rk)
+
+    def _container_addr(self, obj: object, key: object) -> int:
+        if isinstance(obj, list) and isinstance(key, int) and not isinstance(key, bool):
+            return self.addr.element(obj, key)
+        if isinstance(obj, (dict, str)):
+            return self.addr.map_slot(obj, key if not isinstance(key, (list, dict)) else 0)
+        return self.addr.object_base(obj) if isinstance(obj, (list, dict)) else 0
+
+
+_ARITH_SYMBOL = {
+    Op.ADD: "+",
+    Op.SUB: "-",
+    Op.MUL: "*",
+    Op.MOD: "%",
+    Op.DIV: "/",
+    Op.IDIV: "//",
+}
+
+_COMPARE_SYMBOL = {Op.EQ: "==", Op.LT: "<", Op.LE: "<="}
+
+
+def _require_number(value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise VmError("'for' initial value must be a number")
+    return value
+
+
+def _require_int(value):
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise VmError("bitwise operand must be an integer")
+    return value
+
+
+def _int_bitop(op: int, left, right):
+    left = _require_int(left)
+    right = _require_int(right)
+    if op == Op.BAND:
+        return left & right
+    if op == Op.BOR:
+        return left | right
+    if op == Op.BXOR:
+        return left ^ right
+    if op == Op.SHL:
+        return left << right
+    if op == Op.SHR:
+        return left >> right
+    raise VmError("bad bitop")

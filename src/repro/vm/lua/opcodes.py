@@ -1,0 +1,162 @@
+"""Lua 5.3 opcode set and 32-bit instruction encoding.
+
+Layout (Lua 5.3's ``lopcodes.h``)::
+
+    31        23        14  13    6  5      0
+    +----------+----------+--------+--------+
+    |    B     |    C     |   A    | opcode |   iABC
+    |         Bx          |   A    | opcode |   iABx
+    |        sBx          |   A    | opcode |   iAsBx
+    +---------------------+--------+--------+
+
+The opcode sits in the 6 least-significant bits, so the dispatcher extracts
+it with ``bytecode & 0x3F`` — the exact mask the paper programs into
+``Rmask`` for Lua.  B and C are 9-bit RK operands: values with bit 8 set
+(``RK_CONST_BIT``) index the constant table.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of distinct Lua 5.3 bytecodes (Section V: "Lua has 47 distinct
+#: bytecodes").
+NUM_OPCODES = 47
+
+#: The dispatcher's opcode-extraction mask (``setmask`` value for Lua).
+OPCODE_MASK = 0x3F
+
+#: Bit marking a 9-bit RK operand as a constant-table index.
+RK_CONST_BIT = 0x100
+
+#: Maximum register index encodable in an RK operand.
+RK_MAX_REG = 0xFF
+
+#: Bias of the signed sBx field (18 bits).
+SBX_BIAS = (1 << 17) - 1
+
+_A_SHIFT, _C_SHIFT, _B_SHIFT = 6, 14, 23
+_A_MAX, _BC_MAX, _BX_MAX = 0xFF, 0x1FF, 0x3FFFF
+
+
+class Op(enum.IntEnum):
+    """The 47 Lua 5.3 opcodes, numbered as in ``lopcodes.h``."""
+
+    MOVE = 0
+    LOADK = 1
+    LOADKX = 2
+    LOADBOOL = 3
+    LOADNIL = 4
+    GETUPVAL = 5
+    GETTABUP = 6
+    GETTABLE = 7
+    SETTABUP = 8
+    SETUPVAL = 9
+    SETTABLE = 10
+    NEWTABLE = 11
+    SELF = 12
+    ADD = 13
+    SUB = 14
+    MUL = 15
+    MOD = 16
+    POW = 17
+    DIV = 18
+    IDIV = 19
+    BAND = 20
+    BOR = 21
+    BXOR = 22
+    SHL = 23
+    SHR = 24
+    UNM = 25
+    BNOT = 26
+    NOT = 27
+    LEN = 28
+    CONCAT = 29
+    JMP = 30
+    EQ = 31
+    LT = 32
+    LE = 33
+    TEST = 34
+    TESTSET = 35
+    CALL = 36
+    TAILCALL = 37
+    RETURN = 38
+    FORLOOP = 39
+    FORPREP = 40
+    TFORCALL = 41
+    TFORLOOP = 42
+    SETLIST = 43
+    CLOSURE = 44
+    VARARG = 45
+    EXTRAARG = 46
+
+
+assert len(Op) == NUM_OPCODES
+
+#: Opcodes encoded iABx (18-bit unsigned Bx).
+ABX_OPCODES = frozenset({Op.LOADK, Op.LOADKX, Op.CLOSURE, Op.EXTRAARG})
+
+#: Opcodes encoded iAsBx (18-bit signed sBx).
+ASBX_OPCODES = frozenset({Op.JMP, Op.FORLOOP, Op.FORPREP, Op.TFORLOOP})
+
+
+def _check_range(value: int, maximum: int, what: str) -> int:
+    if not 0 <= value <= maximum:
+        raise ValueError(f"{what} {value} out of range 0..{maximum}")
+    return value
+
+
+def encode_abc(op: Op, a: int, b: int, c: int) -> int:
+    """Encode an iABC instruction word."""
+    _check_range(a, _A_MAX, "A")
+    _check_range(b, _BC_MAX, "B")
+    _check_range(c, _BC_MAX, "C")
+    return int(op) | (a << _A_SHIFT) | (c << _C_SHIFT) | (b << _B_SHIFT)
+
+
+def encode_abx(op: Op, a: int, bx: int) -> int:
+    """Encode an iABx instruction word."""
+    _check_range(a, _A_MAX, "A")
+    _check_range(bx, _BX_MAX, "Bx")
+    return int(op) | (a << _A_SHIFT) | (bx << _C_SHIFT)
+
+
+def encode_asbx(op: Op, a: int, sbx: int) -> int:
+    """Encode an iAsBx instruction word (signed 18-bit sBx)."""
+    bx = sbx + SBX_BIAS
+    _check_range(bx, _BX_MAX, "sBx+bias")
+    return encode_abx(op, a, bx)
+
+
+def decode(word: int) -> tuple[int, int, int, int, int, int]:
+    """Decode an instruction word to ``(op, a, b, c, bx, sbx)``.
+
+    All five operand views are returned; the interpreter picks the ones the
+    opcode's format defines.
+    """
+    op = word & OPCODE_MASK
+    a = (word >> _A_SHIFT) & _A_MAX
+    c = (word >> _C_SHIFT) & _BC_MAX
+    b = (word >> _B_SHIFT) & _BC_MAX
+    bx = (word >> _C_SHIFT) & _BX_MAX
+    return op, a, b, c, bx, bx - SBX_BIAS
+
+
+def _rk_str(value: int) -> str:
+    if value & RK_CONST_BIT:
+        return f"K{value & ~RK_CONST_BIT}"
+    return f"R{value}"
+
+
+def disassemble(word: int) -> str:
+    """Human-readable rendering of one instruction word."""
+    op, a, b, c, bx, sbx = decode(word)
+    try:
+        name = Op(op).name
+    except ValueError:
+        return f"<bad opcode {op}>"
+    if op in ABX_OPCODES:
+        return f"{name} R{a} {bx}"
+    if op in ASBX_OPCODES:
+        return f"{name} R{a} {sbx:+d}"
+    return f"{name} R{a} {_rk_str(b)} {_rk_str(c)}"

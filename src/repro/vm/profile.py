@@ -1,0 +1,94 @@
+"""Guest bytecode profiling utilities.
+
+The tools a VM engineer reaches for before applying dispatch optimisations:
+dynamic opcode histograms, adjacent-pair histograms (the input to
+superinstruction selection), and dispatch-site mixes for the stack VM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.vm.js import JsOp, JsVM
+from repro.vm.lua import LuaVM
+from repro.vm.lua.opcodes import Op as LuaOp
+from repro.vm.trace import Site
+
+
+@dataclass
+class BytecodeProfile:
+    """Dynamic execution profile of one VM run.
+
+    Attributes:
+        vm: ``"lua"`` or ``"js"``.
+        steps: total bytecodes executed.
+        opcodes: opcode -> dynamic count.
+        pairs: (opcode, next_opcode) -> dynamic count.
+        sites: dispatch site -> dynamic count.
+    """
+
+    vm: str
+    steps: int = 0
+    opcodes: Counter = field(default_factory=Counter)
+    pairs: Counter = field(default_factory=Counter)
+    sites: Counter = field(default_factory=Counter)
+
+    def _name(self, op: int) -> str:
+        enum_type = LuaOp if self.vm == "lua" else JsOp
+        return enum_type(op).name
+
+    def top_opcodes(self, count: int = 10) -> list[tuple[str, int]]:
+        """Most-executed opcodes as (name, count) pairs."""
+        return [(self._name(op), n) for op, n in self.opcodes.most_common(count)]
+
+    def top_pairs(self, count: int = 10) -> list[tuple[str, int]]:
+        """Most-frequent adjacent opcode pairs (superinstruction candidates)."""
+        return [
+            (f"{self._name(a)}+{self._name(b)}", n)
+            for (a, b), n in self.pairs.most_common(count)
+        ]
+
+    def site_mix(self) -> dict[str, float]:
+        """Dispatch-site shares (sums to 1.0)."""
+        total = sum(self.sites.values()) or 1
+        return {
+            Site(site).name: self.sites[site] / total for site in sorted(self.sites)
+        }
+
+    def pair_coverage(self, pairs) -> float:
+        """Fraction of dynamic steps covered by fusing *pairs* greedily.
+
+        An upper bound on superinstruction benefit: each fused occurrence
+        removes one dispatch.  Overlapping occurrences are counted
+        conservatively (a step participates in at most one fusion).
+        """
+        if not self.steps:
+            return 0.0
+        covered = sum(self.pairs.get(tuple(pair), 0) for pair in pairs)
+        return min(1.0, 2 * covered / self.steps)
+
+
+def profile_source(source: str, vm: str = "lua", max_steps: int = 50_000_000) -> BytecodeProfile:
+    """Run *source* on the chosen VM and collect its dynamic profile."""
+    profile = BytecodeProfile(vm=vm)
+    previous: list = [None]
+
+    def trace(op, site, taken, callee, daddrs, builtin, cost):
+        profile.opcodes[op] += 1
+        profile.sites[site] += 1
+        if previous[0] is not None:
+            profile.pairs[(previous[0], op)] += 1
+        previous[0] = op
+
+    guest = (LuaVM if vm == "lua" else JsVM).from_source(source, max_steps=max_steps)
+    guest.run(trace=trace)
+    profile.steps = guest.steps
+    return profile
+
+
+def profile_workload(name: str, vm: str = "lua", scale: str = "sim") -> BytecodeProfile:
+    """Profile one Table III workload."""
+    from repro.workloads import workload
+
+    return profile_source(workload(name).source(scale=scale), vm=vm)

@@ -1,0 +1,136 @@
+"""Trace event vocabulary shared by the guest VMs and the native model.
+
+A functional VM run optionally emits one event per executed bytecode.  The
+native interpreter model (:mod:`repro.native`) turns each event into the
+host-instruction blocks the real interpreter would execute: a dispatch
+sequence (depending on the strategy under test) plus the opcode's handler
+blocks.
+
+Events are plain tuples in the hot path; :class:`TraceEvent` is the
+documented facade used by tests and tools.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Site(enum.IntEnum):
+    """Which dispatch site fetched the next bytecode (Section III-C).
+
+    The Lua interpreter has a single dispatcher; SpiderMonkey fetches at the
+    main loop, after FUNCALL-style opcodes, and in the common END_CASE
+    macro, and additionally reaches the dispatcher through slow paths SCD
+    does not cover.
+    """
+
+    MAIN = 0
+    FUNCALL = 1
+    END_CASE = 2
+    UNCOVERED = 3
+
+
+# Callee / control-transfer classes carried in an event's `callee` slot.
+CALLEE_NONE = 0      #: ordinary opcode
+CALLEE_SCRIPT = 1    #: guest call into a script function (frame push)
+CALLEE_BUILTIN = 2   #: guest call into a native builtin (host call/ret)
+CALLEE_RETURN = 3    #: guest return (frame pop)
+
+# `taken` slot values for opcodes containing a guest-conditional host branch.
+TAKEN_NONE = -1
+TAKEN_FALSE = 0
+TAKEN_TRUE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One executed guest bytecode.
+
+    Attributes:
+        op: numeric opcode (key for the jump table / JTE).
+        site: dispatch site that fetched this bytecode.
+        taken: guest-conditional branch outcome inside the handler
+            (``TAKEN_NONE`` when the handler is straight-line).
+        callee: ``CALLEE_*`` class for call/return opcodes.
+        daddrs: guest data addresses touched (drives the D-cache model).
+        builtin: builtin name for ``CALLEE_BUILTIN`` events, else ``None``.
+        cost: optional (insts, loads, stores) extra work hint, used for
+            size-dependent builtins.
+    """
+
+    op: int
+    site: int = Site.MAIN
+    taken: int = TAKEN_NONE
+    callee: int = CALLEE_NONE
+    daddrs: tuple = ()
+    builtin: str | None = None
+    cost: tuple | None = None
+
+
+class AddressSpace:
+    """Synthetic guest data-address allocator.
+
+    The D-cache model needs addresses with realistic locality, not real
+    pointers.  Frames, constants, globals and heap objects live in disjoint
+    regions; heap objects get bump-allocated 64 KiB regions so distinct
+    tables map to distinct cache sets while elements of one table stay
+    local.
+    """
+
+    FRAME_BASE = 0x0100_0000
+    CONST_BASE = 0x0200_0000
+    GLOBAL_BASE = 0x0300_0000
+    HEAP_BASE = 0x0400_0000
+    STACK_BASE = 0x0500_0000  # JS operand stack
+    VALUE_SIZE = 16           # a boxed TValue: payload + type tag
+    HEAP_REGION = 64 * 1024
+
+    def __init__(self):
+        self._heap_next = self.HEAP_BASE
+        self._object_bases: dict[int, int] = {}
+
+    def frame_slot(self, depth: int, slot: int) -> int:
+        """Address of register/local *slot* of the frame at *depth*."""
+        return self.FRAME_BASE + ((depth & 0xFF) * 256 + slot) * self.VALUE_SIZE
+
+    def const_slot(self, proto_index: int, index: int) -> int:
+        return self.CONST_BASE + (proto_index & 0xFF) * 0x1000 + index * self.VALUE_SIZE
+
+    def global_slot(self, name: str) -> int:
+        # Stable across runs (Python's str hash is randomized; use a simple
+        # deterministic fold instead).
+        digest = 0
+        for ch in name:
+            digest = (digest * 131 + ord(ch)) & 0xFFFF
+        return self.GLOBAL_BASE + (digest & 0xFFF) * self.VALUE_SIZE
+
+    def stack_slot(self, depth: int) -> int:
+        """JS operand-stack slot address."""
+        return self.STACK_BASE + (depth & 0x3FF) * self.VALUE_SIZE
+
+    def object_base(self, obj: object) -> int:
+        """Base address of a heap object (table/array/string buffer)."""
+        key = id(obj)
+        base = self._object_bases.get(key)
+        if base is None:
+            base = self._heap_next
+            self._heap_next += self.HEAP_REGION
+            self._object_bases[key] = base
+        return base
+
+    def element(self, obj: object, index: int) -> int:
+        """Address of array element *index* of *obj*."""
+        return self.object_base(obj) + (index % 4096) * self.VALUE_SIZE
+
+    def map_slot(self, obj: object, key: object) -> int:
+        """Address of the hash slot for *key* in map *obj*."""
+        if isinstance(key, str):
+            digest = 0
+            for ch in key:
+                digest = (digest * 131 + ord(ch)) & 0xFFFF_FFFF
+        elif isinstance(key, float):
+            digest = int(key * 2654435761) & 0xFFFF_FFFF
+        else:
+            digest = int(key) & 0xFFFF_FFFF
+        return self.object_base(obj) + (digest % 1024) * self.VALUE_SIZE

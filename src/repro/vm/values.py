@@ -1,0 +1,210 @@
+"""Dynamic value semantics shared by both guest VMs.
+
+Guest values map onto Python values: ``int`` (arbitrary precision, like a
+bignum-equipped Lua), ``float``, ``str``, ``bool``, ``None`` (nil), ``list``
+(array) and ``dict`` (map).  Semantics follow Lua 5.3 where the two source
+languages differ: ``/`` always yields a float, ``//`` floors, ``..``
+concatenates with number-to-string coercion, and only ``nil``/``false`` are
+falsey.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class VmError(RuntimeError):
+    """Guest-visible runtime error."""
+
+
+class VmTypeError(VmError):
+    """Operation applied to operands of the wrong guest type."""
+
+
+def type_name(value: object) -> str:
+    """Guest-facing type name of *value*."""
+    if value is None:
+        return "nil"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (int, float)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, list):
+        return "array"
+    if isinstance(value, dict):
+        return "map"
+    return type(value).__name__
+
+
+def is_truthy(value: object) -> bool:
+    """Lua truthiness: only nil and false are falsey (0 and "" are true)."""
+    return value is not None and value is not False
+
+
+def _require_number(value: object, op: str) -> int | float:
+    # bool is an int subclass in Python; guests must not treat it as one.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise VmTypeError(f"attempt to perform '{op}' on a {type_name(value)}")
+    return value
+
+
+def arith(op: str, left: object, right: object):
+    """Binary arithmetic: one of ``+ - * / // %``.
+
+    ``/`` always produces a float; ``//`` and ``%`` follow Lua's
+    floored-division semantics (Python's happen to match).
+    """
+    a = _require_number(left, op)
+    b = _require_number(right, op)
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if b == 0 and isinstance(a, int) and isinstance(b, int):
+            raise VmError("attempt to divide by zero")
+        return a / b
+    if op == "//":
+        if b == 0:
+            raise VmError("attempt to perform 'n//0'")
+        result = a // b
+        return result if isinstance(a, int) and isinstance(b, int) else float(result)
+    if op == "%":
+        if b == 0:
+            raise VmError("attempt to perform 'n%%0'")
+        return a % b
+    raise VmError(f"unknown arithmetic operator {op!r}")
+
+
+def negate(value: object):
+    """Unary minus."""
+    return -_require_number(value, "unm")
+
+
+def compare(op: str, left: object, right: object) -> bool:
+    """Comparison: ``== != < <= > >=``.
+
+    Equality never raises (mixed types compare unequal); ordering requires
+    two numbers or two strings, like Lua.
+    """
+    if op == "==":
+        return _raw_equal(left, right)
+    if op == "!=":
+        return not _raw_equal(left, right)
+    ordered = (
+        (isinstance(left, (int, float)) and not isinstance(left, bool)
+         and isinstance(right, (int, float)) and not isinstance(right, bool))
+        or (isinstance(left, str) and isinstance(right, str))
+    )
+    if not ordered:
+        raise VmTypeError(
+            f"attempt to compare {type_name(left)} with {type_name(right)}"
+        )
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise VmError(f"unknown comparison operator {op!r}")
+
+
+def _raw_equal(left: object, right: object) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return left is right
+    if left is None or right is None:
+        return left is right
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left == right
+    if type(left) is not type(right):
+        return False
+    if isinstance(left, (list, dict)):
+        return left is right  # reference equality, like Lua tables
+    return left == right
+
+
+def tostring(value: object) -> str:
+    """Guest string conversion (used by ``print``, ``..`` and tostring)."""
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e16 and not math.isinf(value):
+            return f"{value:.1f}"
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, list):
+        return f"array: 0x{id(value):x}"
+    if isinstance(value, dict):
+        return f"map: 0x{id(value):x}"
+    return str(value)
+
+
+def concat_values(left: object, right: object) -> str:
+    """The ``..`` operator: string/number operands only."""
+    for value in (left, right):
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            raise VmTypeError(f"attempt to concatenate a {type_name(value)}")
+    return tostring(left) + tostring(right)
+
+
+def index_get(obj: object, key: object):
+    """``obj[key]`` read.  Arrays are 0-indexed; missing map keys give nil."""
+    if isinstance(obj, list):
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise VmTypeError(f"array index must be an integer, got {type_name(key)}")
+        if 0 <= key < len(obj):
+            return obj[key]
+        return None
+    if isinstance(obj, dict):
+        if isinstance(key, (list, dict)):
+            raise VmTypeError("map key must be immutable")
+        return obj.get(key)
+    if isinstance(obj, str):
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise VmTypeError("string index must be an integer")
+        if 0 <= key < len(obj):
+            return obj[key]
+        return None
+    raise VmTypeError(f"attempt to index a {type_name(obj)}")
+
+
+def index_set(obj: object, key: object, value: object) -> None:
+    """``obj[key] = value`` write.  Arrays auto-extend by one (push-like)."""
+    if isinstance(obj, list):
+        if isinstance(key, bool) or not isinstance(key, int):
+            raise VmTypeError(f"array index must be an integer, got {type_name(key)}")
+        if 0 <= key < len(obj):
+            obj[key] = value
+        elif key == len(obj):
+            obj.append(value)
+        else:
+            raise VmError(f"array index {key} out of range (len {len(obj)})")
+        return
+    if isinstance(obj, dict):
+        if isinstance(key, (list, dict)):
+            raise VmTypeError("map key must be immutable")
+        obj[key] = value
+        return
+    raise VmTypeError(f"attempt to index a {type_name(obj)}")
+
+
+def length_of(value: object) -> int:
+    """The ``len`` builtin / Lua LEN opcode."""
+    if isinstance(value, (list, dict, str)):
+        return len(value)
+    raise VmTypeError(f"attempt to get length of a {type_name(value)}")

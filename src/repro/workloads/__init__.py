@@ -1,0 +1,19 @@
+"""The paper's 11 benchmark scripts (Table III).
+
+Each workload is written once in the scriptlet language and compiled to
+both guest VMs.  Two input scales exist per benchmark, mirroring the
+paper's "Simulator" and "FPGA" columns — scaled down (documented in
+DESIGN.md / EXPERIMENTS.md) because the substrate here is a Python cycle
+model, not a gem5 binary or an FPGA.  A pure-Python reference
+implementation accompanies every workload so tests can check functional
+correctness of both VMs against ground truth.
+"""
+
+from repro.workloads.registry import (
+    Workload,
+    WORKLOADS,
+    workload,
+    workload_names,
+)
+
+__all__ = ["Workload", "WORKLOADS", "workload", "workload_names"]

@@ -1,0 +1,439 @@
+"""Workload registry: sources, input scales and Python reference outputs.
+
+The reference implementations mirror the scriptlet sources operation for
+operation (same arithmetic order, same formatting through
+:func:`repro.vm.values.tostring`), so both guest VMs can be validated
+against ground truth, not merely against each other.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.vm.values import tostring
+from repro.workloads import sources
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One Table III benchmark.
+
+    Attributes:
+        name: benchmark name as in the paper.
+        description: Table III's description column.
+        template: scriptlet source with an ``@N@`` placeholder.
+        sim_n: input for the "Simulator" configuration (scaled down).
+        fpga_n: input for the "FPGA" configuration (scaled down, but kept
+            strictly larger than ``sim_n`` as in the paper).
+        reference: Python function computing the expected output lines.
+    """
+
+    name: str
+    description: str
+    template: str
+    sim_n: int
+    fpga_n: int
+    reference: object
+
+    def source(self, n: int | None = None, scale: str = "sim") -> str:
+        if n is None:
+            n = self.sim_n if scale == "sim" else self.fpga_n
+        return self.template.replace("@N@", str(n))
+
+    def expected_output(self, n: int | None = None, scale: str = "sim") -> list[str]:
+        if n is None:
+            n = self.sim_n if scale == "sim" else self.fpga_n
+        return self.reference(n)
+
+
+# -- reference implementations ------------------------------------------------
+
+
+def _ref_binary_trees(maxd: int) -> list[str]:
+    def make(d):
+        if d == 0:
+            return [None, None]
+        return [make(d - 1), make(d - 1)]
+
+    def check(t):
+        if t[0] is None:
+            return 1
+        return 1 + check(t[0]) + check(t[1])
+
+    out = []
+    out.append(
+        f"stretch tree of depth {maxd + 1}\t check: {check(make(maxd + 1))}"
+    )
+    longlived = make(maxd)
+    for d in range(2, maxd + 1, 2):
+        iterations = 2 ** (maxd - d + 2)
+        total = sum(check(make(d)) for _ in range(iterations))
+        out.append(f"{iterations}\t trees of depth {d}\t check: {total}")
+    out.append(f"long lived tree of depth {maxd}\t check: {check(longlived)}")
+    return out
+
+
+def _ref_fannkuch(n: int) -> list[str]:
+    perm1 = list(range(n))
+    count = [0] * n
+    maxflips = 0
+    checksum = 0
+    permcount = 0
+    r = n
+    while True:
+        while r != 1:
+            count[r - 1] = r
+            r -= 1
+        perm = perm1[:]
+        flips = 0
+        k = perm[0]
+        while k != 0:
+            perm[: k + 1] = perm[k::-1]
+            flips += 1
+            k = perm[0]
+        maxflips = max(maxflips, flips)
+        checksum += flips if permcount % 2 == 0 else -flips
+        while True:
+            if r == n:
+                return [str(checksum), f"Pfannkuchen({n}) = {maxflips}"]
+            p0 = perm1[0]
+            perm1[:r] = perm1[1 : r + 1]
+            perm1[r] = p0
+            count[r] -= 1
+            if count[r] > 0:
+                break
+            r += 1
+        permcount += 1
+
+
+def _ref_k_nucleotide(n: int) -> list[str]:
+    seed = 42
+    bases = "ACGT"
+    chars = []
+    for _ in range(n):
+        seed = (seed * 3877 + 29573) % 139968
+        chars.append(bases[seed % 4])
+    dna = "".join(chars)
+
+    def count_kmers(k):
+        counts: dict[str, int] = {}
+        for i in range(len(dna) - k + 1):
+            kmer = dna[i : i + k]
+            counts[kmer] = counts.get(kmer, 0) + 1
+        return counts
+
+    def sort_key(key):
+        return (str(type(key)), str(key))
+
+    out = []
+    for k in (1, 2):
+        counts = count_kmers(k)
+        for key in sorted(counts, key=sort_key):
+            out.append(f"{key} {counts[key]}")
+    c3 = count_kmers(3)
+    out.append(f"GGT count: {tostring(c3.get('GGT'))}")
+    return out
+
+
+def _ref_mandelbrot(size: int) -> list[str]:
+    maxiter = 50
+    inside_count = 0
+    bit_acc = 0
+    acc = 0
+    for y in range(size):
+        ci = 2.0 * y / size - 1.0
+        for x in range(size):
+            cr = 2.0 * x / size - 1.5
+            zr = zi = 0.0
+            inside = True
+            for _ in range(maxiter):
+                zr2 = zr * zr
+                zi2 = zi * zi
+                if zr2 + zi2 > 4.0:
+                    inside = False
+                    break
+                zi = 2.0 * zr * zi + ci
+                zr = zr2 - zi2 + cr
+            bit_acc *= 2
+            if inside:
+                inside_count += 1
+                bit_acc += 1
+            if (x + 1) % 8 == 0:
+                acc += bit_acc
+                bit_acc = 0
+        acc += bit_acc
+        bit_acc = 0
+    return ["P4", f"{size} {size}", f"inside: {inside_count} acc: {acc}"]
+
+
+def _ref_n_body(steps: int) -> list[str]:
+    PI = 3.141592653589793
+    SOLAR_MASS = 4.0 * PI * PI
+    DAYS = 365.24
+    x = [0.0, 4.84143144246472090, 8.34336671824457987, 12.894369562139131, 15.379697114850917]
+    y = [0.0, -1.16032004402742839, 4.12479856412430479, -15.111151401698631, -25.919314609987964]
+    z = [0.0, -0.103622044471123109, -0.403523417114321381, -0.223307578892655734, 0.179258772950371181]
+    vx = [0.0, 0.00166007664274403694, -0.00276742510726862411, 0.00296460137564761618, 0.00268067772490389322]
+    vy = [0.0, 0.00769901118419740425, 0.00499852801234917238, 0.00237847173959480950, 0.00162824170038242295]
+    vz = [0.0, -0.0000690460016972063023, 0.0000230417297573763929, -0.0000296589568540237556, -0.0000951592254519715870]
+    mass = [1.0, 0.000954791938424326609, 0.000285885980666130812, 0.0000436624404335156298, 0.0000515138902046611451]
+    nb = 5
+    for i in range(nb):
+        vx[i] = vx[i] * DAYS
+        vy[i] = vy[i] * DAYS
+        vz[i] = vz[i] * DAYS
+        mass[i] = mass[i] * SOLAR_MASS
+    px = py = pz = 0.0
+    for i in range(nb):
+        px = px + vx[i] * mass[i]
+        py = py + vy[i] * mass[i]
+        pz = pz + vz[i] * mass[i]
+    vx[0] = 0.0 - px / SOLAR_MASS
+    vy[0] = 0.0 - py / SOLAR_MASS
+    vz[0] = 0.0 - pz / SOLAR_MASS
+
+    def energy():
+        e = 0.0
+        for i in range(nb):
+            e = e + 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i])
+            for j in range(i + 1, nb):
+                dx = x[i] - x[j]
+                dy = y[i] - y[j]
+                dz = z[i] - z[j]
+                e = e - mass[i] * mass[j] / math.sqrt(dx * dx + dy * dy + dz * dz)
+        return e
+
+    out = [tostring(energy())]
+    dt = 0.01
+    for _ in range(steps):
+        for i in range(nb):
+            for j in range(i + 1, nb):
+                dx = x[i] - x[j]
+                dy = y[i] - y[j]
+                dz = z[i] - z[j]
+                d2 = dx * dx + dy * dy + dz * dz
+                mag = dt / (d2 * math.sqrt(d2))
+                vx[i] = vx[i] - dx * mass[j] * mag
+                vy[i] = vy[i] - dy * mass[j] * mag
+                vz[i] = vz[i] - dz * mass[j] * mag
+                vx[j] = vx[j] + dx * mass[i] * mag
+                vy[j] = vy[j] + dy * mass[i] * mag
+                vz[j] = vz[j] + dz * mass[i] * mag
+        for i in range(nb):
+            x[i] = x[i] + dt * vx[i]
+            y[i] = y[i] + dt * vy[i]
+            z[i] = z[i] + dt * vz[i]
+    out.append(tostring(energy()))
+    return out
+
+
+def _ref_spectral_norm(n: int) -> list[str]:
+    def A(i, j):
+        return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1)
+
+    def mulAv(v):
+        return [sum(A(i, j) * v[j] for j in range(n)) for i in range(n)]
+
+    def mulAtv(v):
+        return [sum(A(j, i) * v[j] for j in range(n)) for i in range(n)]
+
+    u = [1.0] * n
+    v = [0.0] * n
+    for _ in range(10):
+        v = mulAtv(mulAv(u))
+        u = mulAtv(mulAv(v))
+    vBv = sum(u[i] * v[i] for i in range(n))
+    vv = sum(v[i] * v[i] for i in range(n))
+    return [tostring(math.sqrt(vBv / vv))]
+
+
+def _ref_n_sieve(m: int) -> list[str]:
+    def nsieve(limit):
+        flags = [True] * (limit + 1)
+        count = 0
+        for i in range(2, limit + 1):
+            if flags[i]:
+                count += 1
+                for k in range(i + i, limit + 1, i):
+                    flags[k] = False
+        return count
+
+    return [
+        f"Primes up to {m} {nsieve(m)}",
+        f"Primes up to {m // 2} {nsieve(m // 2)}",
+    ]
+
+
+def _ref_random(n: int) -> list[str]:
+    seed = 42
+    result = 0.0
+    for _ in range(n):
+        seed = (seed * 3877 + 29573) % 139968
+        result = 100.0 * seed / 139968
+    return [tostring(result)]
+
+
+def _ref_fibo(n: int) -> list[str]:
+    def fib(k):
+        return k if k < 2 else fib(k - 1) + fib(k - 2)
+
+    return [str(fib(n))]
+
+
+def _ref_ackermann(n: int) -> list[str]:
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(1_000_000)
+    try:
+        def ack(m, k):
+            if m == 0:
+                return k + 1
+            if k == 0:
+                return ack(m - 1, 1)
+            return ack(m - 1, ack(m, k - 1))
+
+        return [f"Ack(3,{n}): {ack(3, n)}"]
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+
+def _ref_pidigits(ndigits: int) -> list[str]:
+    q, r, t, k, n, l = 1, 0, 1, 1, 3, 3
+    produced = 0
+    line = ""
+    out = []
+    while produced < ndigits:
+        if 4 * q + r - t < n * t:
+            line += str(n)
+            produced += 1
+            if produced % 10 == 0:
+                out.append(f"{line}\t:{produced}")
+                line = ""
+            nr = 10 * (r - n * t)
+            n = ((10 * (3 * q + r)) // t) - 10 * n
+            q *= 10
+            r = nr
+        else:
+            nr = (2 * q + r) * l
+            nn = (q * (7 * k) + 2 + (r * l)) // (t * l)
+            q *= k
+            t *= l
+            l += 2
+            k += 1
+            n = nn
+            r = nr
+    if line:
+        out.append(f"{line}\t:{produced}")
+    return out
+
+
+#: Registry ordered as in Table III.  Descriptions are the paper's.
+WORKLOADS: dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload(
+            "binary-trees",
+            "Allocate and deallocate many binary trees",
+            sources.BINARY_TREES,
+            sim_n=4,
+            fpga_n=6,
+            reference=_ref_binary_trees,
+        ),
+        Workload(
+            "fannkuch-redux",
+            "Indexed-access to tiny integer-sequence",
+            sources.FANNKUCH_REDUX,
+            sim_n=6,
+            fpga_n=7,
+            reference=_ref_fannkuch,
+        ),
+        Workload(
+            "k-nucleotide",
+            "Repeatedly update hashtables and k-nucleotide strings",
+            sources.K_NUCLEOTIDE,
+            sim_n=240,
+            fpga_n=700,
+            reference=_ref_k_nucleotide,
+        ),
+        Workload(
+            "mandelbrot",
+            "Generate Mandelbrot set portable bitmap file",
+            sources.MANDELBROT,
+            sim_n=12,
+            fpga_n=24,
+            reference=_ref_mandelbrot,
+        ),
+        Workload(
+            "n-body",
+            "Double-precision N-body simulation",
+            sources.N_BODY,
+            sim_n=60,
+            fpga_n=220,
+            reference=_ref_n_body,
+        ),
+        Workload(
+            "spectral-norm",
+            "Eigenvalue using the power method",
+            sources.SPECTRAL_NORM,
+            sim_n=8,
+            fpga_n=16,
+            reference=_ref_spectral_norm,
+        ),
+        Workload(
+            "n-sieve",
+            "Count the prime numbers from 2 to M (Sieve of Eratosthenes)",
+            sources.N_SIEVE,
+            sim_n=1200,
+            fpga_n=4000,
+            reference=_ref_n_sieve,
+        ),
+        Workload(
+            "random",
+            "Generate random numbers",
+            sources.RANDOM,
+            sim_n=2500,
+            fpga_n=9000,
+            reference=_ref_random,
+        ),
+        Workload(
+            "fibo",
+            "Calculate Fibonacci number",
+            sources.FIBO,
+            sim_n=13,
+            fpga_n=17,
+            reference=_ref_fibo,
+        ),
+        Workload(
+            "ackermann",
+            "Ackermann function benchmark",
+            sources.ACKERMANN,
+            sim_n=3,
+            fpga_n=4,
+            reference=_ref_ackermann,
+        ),
+        Workload(
+            "pidigits",
+            "Streaming arbitrary-precision arithmetic",
+            sources.PIDIGITS,
+            sim_n=40,
+            fpga_n=120,
+            reference=_ref_pidigits,
+        ),
+    ]
+}
+
+
+def workload(name: str) -> Workload:
+    """Look up one workload by its paper name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(WORKLOADS)}"
+        ) from None
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(WORKLOADS)

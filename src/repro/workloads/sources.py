@@ -1,0 +1,387 @@
+"""Scriptlet sources for the 11 Table III benchmarks.
+
+Each source is a template with ``@N@`` replaced by the input parameter.
+The algorithms are the Computer Language Benchmarks Game versions the paper
+uses, scaled to Python-cycle-model-friendly inputs.  ``pidigits`` relies on
+the VMs' arbitrary-precision integers (streaming spigot), exactly as the
+paper's Lua build relied on a bignum-capable interpreter.
+"""
+
+BINARY_TREES = """
+fn make_tree(d) {
+    if (d == 0) { return [nil, nil]; }
+    return [make_tree(d - 1), make_tree(d - 1)];
+}
+fn check_tree(t) {
+    if (t[0] == nil) { return 1; }
+    return 1 + check_tree(t[0]) + check_tree(t[1]);
+}
+fn pow2(n) {
+    var r = 1;
+    for i = 1, n { r = r * 2; }
+    return r;
+}
+var maxd = @N@;
+var stretch = make_tree(maxd + 1);
+print("stretch tree of depth " .. (maxd + 1) .. "\\t check: " .. check_tree(stretch));
+var longlived = make_tree(maxd);
+for d = 2, maxd, 2 {
+    var iterations = pow2(maxd - d + 2);
+    var check = 0;
+    for i = 1, iterations {
+        check = check + check_tree(make_tree(d));
+    }
+    print(iterations .. "\\t trees of depth " .. d .. "\\t check: " .. check);
+}
+print("long lived tree of depth " .. maxd .. "\\t check: " .. check_tree(longlived));
+"""
+
+FANNKUCH_REDUX = """
+fn fannkuch(n) {
+    var perm1 = [];
+    var perm = [];
+    var count = [];
+    for i = 0, n - 1 {
+        perm1[i] = i;
+        perm[i] = 0;
+        count[i] = 0;
+    }
+    var maxflips = 0;
+    var checksum = 0;
+    var permcount = 0;
+    var r = n;
+    var done = false;
+    while (not done) {
+        while (r != 1) {
+            count[r - 1] = r;
+            r = r - 1;
+        }
+        for i = 0, n - 1 { perm[i] = perm1[i]; }
+        var flips = 0;
+        var k = perm[0];
+        while (k != 0) {
+            var i = 0;
+            var j = k;
+            while (i < j) {
+                var t = perm[i];
+                perm[i] = perm[j];
+                perm[j] = t;
+                i = i + 1;
+                j = j - 1;
+            }
+            flips = flips + 1;
+            k = perm[0];
+        }
+        if (flips > maxflips) { maxflips = flips; }
+        if (permcount % 2 == 0) { checksum = checksum + flips; }
+        else { checksum = checksum - flips; }
+        var advanced = false;
+        while (not advanced) {
+            if (r == n) {
+                done = true;
+                advanced = true;
+            } else {
+                var p0 = perm1[0];
+                for i = 0, r - 1 { perm1[i] = perm1[i + 1]; }
+                perm1[r] = p0;
+                count[r] = count[r] - 1;
+                if (count[r] > 0) { advanced = true; }
+                else { r = r + 1; }
+            }
+        }
+        permcount = permcount + 1;
+    }
+    print(checksum);
+    print("Pfannkuchen(" .. n .. ") = " .. maxflips);
+}
+fannkuch(@N@);
+"""
+
+K_NUCLEOTIDE = """
+fn gen_dna(n) {
+    var seed = 42;
+    var bases = "ACGT";
+    var s = "";
+    for i = 1, n {
+        seed = (seed * 3877 + 29573) % 139968;
+        s = s .. substr(bases, seed % 4, 1);
+    }
+    return s;
+}
+fn count_kmers(s, k) {
+    var counts = {};
+    var last = len(s) - k;
+    for i = 0, last {
+        var kmer = substr(s, i, k);
+        var c = counts[kmer];
+        if (c == nil) { counts[kmer] = 1; }
+        else { counts[kmer] = c + 1; }
+    }
+    return counts;
+}
+fn report(counts, total) {
+    var ks = keys(counts);
+    for i = 0, len(ks) - 1 {
+        print(ks[i] .. " " .. counts[ks[i]]);
+    }
+}
+var dna = gen_dna(@N@);
+var c1 = count_kmers(dna, 1);
+report(c1, len(dna));
+var c2 = count_kmers(dna, 2);
+report(c2, len(dna) - 1);
+var c3 = count_kmers(dna, 3);
+print("GGT count: " .. tostring(c3["GGT"]));
+"""
+
+MANDELBROT = """
+var size = @N@;
+var maxiter = 50;
+var inside_count = 0;
+var bit_acc = 0;
+var acc = 0;
+for y = 0, size - 1 {
+    var ci = 2.0 * y / size - 1.0;
+    for x = 0, size - 1 {
+        var cr = 2.0 * x / size - 1.5;
+        var zr = 0.0;
+        var zi = 0.0;
+        var i = 0;
+        var inside = true;
+        while (i < maxiter) {
+            var zr2 = zr * zr;
+            var zi2 = zi * zi;
+            if (zr2 + zi2 > 4.0) { inside = false; break; }
+            zi = 2.0 * zr * zi + ci;
+            zr = zr2 - zi2 + cr;
+            i = i + 1;
+        }
+        bit_acc = bit_acc * 2;
+        if (inside) {
+            inside_count = inside_count + 1;
+            bit_acc = bit_acc + 1;
+        }
+        if ((x + 1) % 8 == 0) {
+            acc = acc + bit_acc;
+            bit_acc = 0;
+        }
+    }
+    acc = acc + bit_acc;
+    bit_acc = 0;
+}
+print("P4");
+print(size .. " " .. size);
+print("inside: " .. inside_count .. " acc: " .. acc);
+"""
+
+N_BODY = """
+var PI = 3.141592653589793;
+var SOLAR_MASS = 4.0 * PI * PI;
+var DAYS = 365.24;
+var x = [0.0, 4.84143144246472090, 8.34336671824457987, 12.894369562139131, 15.379697114850917];
+var y = [0.0, -1.16032004402742839, 4.12479856412430479, -15.111151401698631, -25.919314609987964];
+var z = [0.0, -0.103622044471123109, -0.403523417114321381, -0.223307578892655734, 0.179258772950371181];
+var vx = [0.0, 0.00166007664274403694, -0.00276742510726862411, 0.00296460137564761618, 0.00268067772490389322];
+var vy = [0.0, 0.00769901118419740425, 0.00499852801234917238, 0.00237847173959480950, 0.00162824170038242295];
+var vz = [0.0, -0.0000690460016972063023, 0.0000230417297573763929, -0.0000296589568540237556, -0.0000951592254519715870];
+var mass = [1.0, 0.000954791938424326609, 0.000285885980666130812, 0.0000436624404335156298, 0.0000515138902046611451];
+var nb = 5;
+fn scale_units() {
+    for i = 0, nb - 1 {
+        vx[i] = vx[i] * DAYS;
+        vy[i] = vy[i] * DAYS;
+        vz[i] = vz[i] * DAYS;
+        mass[i] = mass[i] * SOLAR_MASS;
+    }
+    var px = 0.0;
+    var py = 0.0;
+    var pz = 0.0;
+    for i = 0, nb - 1 {
+        px = px + vx[i] * mass[i];
+        py = py + vy[i] * mass[i];
+        pz = pz + vz[i] * mass[i];
+    }
+    vx[0] = 0.0 - px / SOLAR_MASS;
+    vy[0] = 0.0 - py / SOLAR_MASS;
+    vz[0] = 0.0 - pz / SOLAR_MASS;
+}
+fn energy() {
+    var e = 0.0;
+    for i = 0, nb - 1 {
+        e = e + 0.5 * mass[i] * (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+        for j = i + 1, nb - 1 {
+            var dx = x[i] - x[j];
+            var dy = y[i] - y[j];
+            var dz = z[i] - z[j];
+            e = e - mass[i] * mass[j] / sqrt(dx * dx + dy * dy + dz * dz);
+        }
+    }
+    return e;
+}
+fn advance(dt) {
+    for i = 0, nb - 1 {
+        for j = i + 1, nb - 1 {
+            var dx = x[i] - x[j];
+            var dy = y[i] - y[j];
+            var dz = z[i] - z[j];
+            var d2 = dx * dx + dy * dy + dz * dz;
+            var mag = dt / (d2 * sqrt(d2));
+            vx[i] = vx[i] - dx * mass[j] * mag;
+            vy[i] = vy[i] - dy * mass[j] * mag;
+            vz[i] = vz[i] - dz * mass[j] * mag;
+            vx[j] = vx[j] + dx * mass[i] * mag;
+            vy[j] = vy[j] + dy * mass[i] * mag;
+            vz[j] = vz[j] + dz * mass[i] * mag;
+        }
+    }
+    for i = 0, nb - 1 {
+        x[i] = x[i] + dt * vx[i];
+        y[i] = y[i] + dt * vy[i];
+        z[i] = z[i] + dt * vz[i];
+    }
+}
+scale_units();
+print(energy());
+for step = 1, @N@ {
+    advance(0.01);
+}
+print(energy());
+"""
+
+SPECTRAL_NORM = """
+fn A(i, j) {
+    return 1.0 / ((i + j) * (i + j + 1) / 2 + i + 1);
+}
+fn mulAv(n, v, av) {
+    for i = 0, n - 1 {
+        var s = 0.0;
+        for j = 0, n - 1 { s = s + A(i, j) * v[j]; }
+        av[i] = s;
+    }
+}
+fn mulAtv(n, v, atv) {
+    for i = 0, n - 1 {
+        var s = 0.0;
+        for j = 0, n - 1 { s = s + A(j, i) * v[j]; }
+        atv[i] = s;
+    }
+}
+fn mulAtAv(n, v, out, tmp) {
+    mulAv(n, v, tmp);
+    mulAtv(n, tmp, out);
+}
+var n = @N@;
+var u = [];
+var v = [];
+var tmp = [];
+for i = 0, n - 1 {
+    u[i] = 1.0;
+    v[i] = 0.0;
+    tmp[i] = 0.0;
+}
+for i = 1, 10 {
+    mulAtAv(n, u, v, tmp);
+    mulAtAv(n, v, u, tmp);
+}
+var vBv = 0.0;
+var vv = 0.0;
+for i = 0, n - 1 {
+    vBv = vBv + u[i] * v[i];
+    vv = vv + v[i] * v[i];
+}
+print(sqrt(vBv / vv));
+"""
+
+N_SIEVE = """
+fn nsieve(m) {
+    var flags = [];
+    for i = 0, m { flags[i] = true; }
+    var count = 0;
+    for i = 2, m {
+        if (flags[i]) {
+            count = count + 1;
+            var k = i + i;
+            while (k <= m) {
+                flags[k] = false;
+                k = k + i;
+            }
+        }
+    }
+    return count;
+}
+var m = @N@;
+print("Primes up to " .. m .. " " .. nsieve(m));
+print("Primes up to " .. (m // 2) .. " " .. nsieve(m // 2));
+"""
+
+RANDOM = """
+var IM = 139968;
+var IA = 3877;
+var IC = 29573;
+var seed = 42;
+fn gen_random(maxv) {
+    seed = (seed * IA + IC) % IM;
+    return maxv * seed / IM;
+}
+var n = @N@;
+var result = 0.0;
+for i = 1, n {
+    result = gen_random(100.0);
+}
+print(result);
+"""
+
+FIBO = """
+fn fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+print(fib(@N@));
+"""
+
+ACKERMANN = """
+fn ack(m, n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+print("Ack(3," .. @N@ .. "): " .. ack(3, @N@));
+"""
+
+PIDIGITS = """
+var q = 1;
+var r = 0;
+var t = 1;
+var k = 1;
+var n = 3;
+var l = 3;
+var produced = 0;
+var line = "";
+var ndigits = @N@;
+while (produced < ndigits) {
+    if (4 * q + r - t < n * t) {
+        line = line .. n;
+        produced = produced + 1;
+        if (produced % 10 == 0) {
+            print(line .. "\\t:" .. produced);
+            line = "";
+        }
+        var nr = 10 * (r - n * t);
+        n = ((10 * (3 * q + r)) // t) - 10 * n;
+        q = q * 10;
+        r = nr;
+    } else {
+        var nr = (2 * q + r) * l;
+        var nn = (q * (7 * k) + 2 + (r * l)) // (t * l);
+        q = q * k;
+        t = t * l;
+        l = l + 2;
+        k = k + 1;
+        n = nn;
+        r = nr;
+    }
+}
+if (len(line) > 0) {
+    print(line .. "\\t:" .. produced);
+}
+"""

@@ -1,0 +1,35 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vm.js import JsVM
+from repro.vm.lua import LuaVM
+
+
+def run_lua(source: str, max_steps: int = 5_000_000) -> list[str]:
+    """Run scriptlet *source* on the Lua-like VM, returning output lines."""
+    return LuaVM.from_source(source, max_steps=max_steps).run()
+
+
+def run_js(source: str, max_steps: int = 5_000_000) -> list[str]:
+    """Run scriptlet *source* on the JS-like VM, returning output lines."""
+    return JsVM.from_source(source, max_steps=max_steps).run()
+
+
+def run_both(source: str, max_steps: int = 5_000_000) -> list[str]:
+    """Run on both VMs, assert identical output, return it."""
+    lua_out = run_lua(source, max_steps)
+    js_out = run_js(source, max_steps)
+    assert lua_out == js_out, f"VM divergence:\nlua={lua_out}\njs ={js_out}"
+    return lua_out
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    """A ResultCache isolated to the test's tmp directory."""
+    monkeypatch.setenv("SCD_REPRO_CACHE_DIR", str(tmp_path))
+    from repro.harness.cache import ResultCache
+
+    return ResultCache("test")

@@ -1,0 +1,139 @@
+"""Integration tests for the top-level simulation driver."""
+
+import pytest
+
+from repro.core import SCHEMES, SimResult, geomean, scheme_parts, simulate, speedup
+from repro.uarch.config import cortex_a5, rocket
+
+
+@pytest.fixture(scope="module")
+def fibo_results():
+    """One small run per scheme, shared across this module's tests."""
+    return {
+        scheme: simulate("fibo", vm="lua", scheme=scheme, n=10, check_output=False)
+        for scheme in SCHEMES
+    }
+
+
+class TestSchemeParts:
+    def test_mapping(self):
+        assert scheme_parts("baseline") == ("baseline", "btb")
+        assert scheme_parts("threaded") == ("threaded", "btb")
+        assert scheme_parts("vbbi") == ("baseline", "vbbi")
+        assert scheme_parts("scd") == ("scd", "btb")
+        assert scheme_parts("ttc") == ("baseline", "ttc")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            scheme_parts("magic")
+
+
+class TestSimulate:
+    def test_result_fields(self, fibo_results):
+        result = fibo_results["baseline"]
+        assert result.vm == "lua"
+        assert result.workload == "fibo"
+        assert result.scale == "n=10"
+        assert result.cycles > result.instructions > result.guest_steps
+        assert result.output == ("55",)
+        assert 0.0 < result.dispatch_fraction < 0.6
+
+    def test_scd_beats_baseline(self, fibo_results):
+        assert speedup(fibo_results["baseline"], fibo_results["scd"]) > 1.05
+
+    def test_scd_cuts_instructions(self, fibo_results):
+        assert (
+            fibo_results["scd"].instructions
+            < fibo_results["baseline"].instructions
+        )
+
+    def test_vbbi_same_instructions_fewer_mispredicts(self, fibo_results):
+        base, vbbi = fibo_results["baseline"], fibo_results["vbbi"]
+        assert vbbi.instructions == base.instructions
+        assert vbbi.branch_mpki < base.branch_mpki
+
+    def test_bop_stats_only_for_scd(self, fibo_results):
+        assert fibo_results["scd"].bop_hits > 0
+        assert fibo_results["baseline"].bop_hits == 0
+
+    def test_output_verified_against_reference(self):
+        result = simulate("fibo", vm="lua", scheme="baseline")
+        assert list(result.output) == ["233"]  # fib(13)
+
+    def test_js_vm(self):
+        result = simulate("fibo", vm="js", scheme="scd", n=10, check_output=False)
+        assert result.output == ("55",)
+        assert result.vm == "js"
+
+    def test_unknown_vm(self):
+        with pytest.raises(ValueError, match="unknown vm"):
+            simulate("fibo", vm="ruby")
+
+    def test_raw_source(self):
+        result = simulate(
+            "custom", vm="lua", scheme="scd", source="print(6 * 7);"
+        )
+        assert result.output == ("42",)
+        assert result.workload == "custom"
+
+    def test_rocket_config(self):
+        result = simulate(
+            "fibo", vm="lua", scheme="scd", config=rocket(), n=10,
+            check_output=False,
+        )
+        assert result.config_name == "rocket"
+
+    def test_context_switches_reduce_bop_hit_rate(self):
+        smooth = simulate("fibo", vm="lua", scheme="scd", n=11, check_output=False)
+        choppy = simulate(
+            "fibo", vm="lua", scheme="scd", n=11, check_output=False,
+            context_switch_interval=100,
+        )
+        assert choppy.bop_hit_rate < smooth.bop_hit_rate
+        assert choppy.cycles > smooth.cycles
+
+    def test_jte_cap_config(self):
+        config = cortex_a5().with_changes(jte_cap=2)
+        result = simulate("fibo", vm="lua", scheme="scd", n=10,
+                          check_output=False, config=config)
+        # With only 2 resident JTEs, many dispatches fall to the slow path.
+        assert result.bop_misses > result.guest_steps * 0.1
+
+    def test_deterministic(self):
+        a = simulate("fibo", vm="lua", scheme="scd", n=10, check_output=False)
+        b = simulate("fibo", vm="lua", scheme="scd", n=10, check_output=False)
+        assert a == b
+
+
+class TestSimResult:
+    def test_roundtrip(self, fibo_results):
+        result = fibo_results["scd"]
+        clone = SimResult.from_dict(result.to_dict())
+        assert clone == result
+
+    def test_dispatch_mpki(self, fibo_results):
+        base = fibo_results["baseline"]
+        assert 0 < base.dispatch_mpki() <= base.branch_mpki
+
+    def test_speedup_zero_cycles_guard(self, fibo_results):
+        import dataclasses
+
+        broken = dataclasses.replace(fibo_results["scd"], cycles=0)
+        with pytest.raises(ValueError):
+            speedup(fibo_results["baseline"], broken)
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_non_positive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,113 @@
+"""Cross-VM equivalence: both guest VMs must compute identical outputs.
+
+The benchmarks rely on this property (one source, two interpreters), so it
+gets both example-based and property-based coverage.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import run_both, run_js, run_lua
+
+PROGRAMS = [
+    "print(((1 + 2) * 3 - 4) // 2 % 3);",
+    "var x = 10; while (x > 0) { x = x - 3; } print(x);",
+    'var s = ""; for i = 1, 5 { s = s .. i .. ","; } print(s);',
+    "fn gcd(a, b) { if (b == 0) { return a; } return gcd(b, a % b); } print(gcd(48, 36));",
+    "var a = []; for i = 0, 9 { a[i] = i * i; } var t = 0; for i = 0, 9 { t = t + a[i]; } print(t);",
+    'var m = {}; m["k"] = 1; m[2] = "two"; print(m["k"] .. m[2]);',
+    "print(1 < 2 and 3 >= 3 or false);",
+    "print(not (nil or false));",
+    "var n = 0; for i = 1, 100 { if (i % 7 == 0) { n = n + 1; } } print(n);",
+    "print(sqrt(2.0) * sqrt(2.0));",
+    "print(min(3, max(1, 2)));",
+    'print(substr("abcdef", 2, 3));',
+    "print(floor(-2.5) .. \" \" .. ceil(-2.5));",
+    "var big = 1; for i = 1, 25 { big = big * 3; } print(big);",
+    'print(chr(ord("A") + 1));',
+    "fn apply_twice(x) { return x + x; } print(apply_twice(apply_twice(3)));",
+    "var x = 5; x = x; print(x);",
+    "print(0.1 + 0.2);",
+    "print(len([]) + len({}) + len(\"\"));",
+    "var q = nil; if (q == nil) { q = 1; } print(q);",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_cross_vm_programs(source):
+    run_both(source)
+
+
+class TestCrossVmArithmeticProperty:
+    @staticmethod
+    def _literal(value):
+        if isinstance(value, float):
+            return repr(value)
+        return str(value)
+
+    @given(
+        a=st.integers(-50, 50),
+        b=st.integers(1, 30),
+        c=st.integers(-20, 20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_integer_expressions(self, a, b, c):
+        source = f"print(({a} + {c}) * {b}); print({a} % {b}); print({a} // {b});"
+        run_both(source)
+
+    @given(
+        a=st.floats(-100, 100, allow_nan=False),
+        b=st.floats(0.5, 100, allow_nan=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_float_expressions(self, a, b):
+        source = f"print({a!r} + {b!r}); print({a!r} * {b!r}); print({a!r} / {b!r});"
+        run_both(source)
+
+    @given(
+        values=st.lists(st.integers(-9, 9), min_size=1, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_array_sums(self, values):
+        items = ", ".join(str(v) for v in values)
+        source = (
+            f"var a = [{items}]; var s = 0; "
+            f"for i = 0, len(a) - 1 {{ s = s + a[i]; }} print(s);"
+        )
+        assert run_both(source) == [str(sum(values))]
+
+    @given(
+        start=st.integers(-10, 10),
+        stop=st.integers(-10, 10),
+        step=st.integers(-4, 4).filter(lambda s: s != 0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_for_loop_trip_counts(self, start, stop, step):
+        source = (
+            f"var n = 0; for i = {start}, {stop}, {step} {{ n = n + 1; }} print(n);"
+        )
+        # Lua numeric-for semantics (inclusive limit).
+        expected = 0
+        i = start
+        while (i <= stop) if step > 0 else (i >= stop):
+            expected += 1
+            i += step
+        assert run_both(source) == [str(expected)]
+
+    @given(text=st.text(alphabet="abcXYZ09 ", max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_string_roundtrip(self, text):
+        source = f'print("{text}" .. len("{text}"));'
+        assert run_both(source) == [text + str(len(text))]
+
+
+def test_step_counts_differ_between_vms():
+    # Same program, different bytecode mixes: the stack VM takes more steps.
+    source = "var s = 0; for i = 1, 50 { s = s + i; } print(s);"
+    from repro.vm.js import JsVM
+    from repro.vm.lua import LuaVM
+
+    lua = LuaVM.from_source(source)
+    js = JsVM.from_source(source)
+    assert lua.run() == js.run()
+    assert js.steps > lua.steps

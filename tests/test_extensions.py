@@ -1,0 +1,133 @@
+"""Tests for the extension features beyond the paper's core evaluation.
+
+* ITTAGE indirect prediction (Related Work upper bound).
+* JTE save/restore context-switch policy (Section IV alternative).
+* Automatic JTE-cap selection (the paper's stated future work).
+"""
+
+import pytest
+
+from repro.core.simulation import simulate
+from repro.core.tuning import DEFAULT_CAPS, find_optimal_jte_cap, sweep_jte_caps
+from repro.native.model import ModelRunner, get_model
+from repro.uarch import Machine, cortex_a5
+from repro.uarch.predictors import ItTagePredictor
+
+
+class TestItTage:
+    def test_learns_stable_target(self):
+        predictor = ItTagePredictor()
+        for _ in range(8):
+            predictor.update(0x100, 0x700)
+        assert predictor.predict(0x100) == 0x700
+
+    def test_learns_history_correlated_targets(self):
+        predictor = ItTagePredictor()
+        # Target alternates deterministically: history should capture it.
+        targets = [0x700, 0x800] * 200
+        hits = 0
+        for target in targets:
+            if predictor.predict(0x100) == target:
+                hits += 1
+            predictor.update(0x100, target)
+        assert hits > len(targets) * 0.6
+
+    def test_beats_last_target_on_patterned_stream(self):
+        from repro.uarch.btb import BranchTargetBuffer
+
+        predictor = ItTagePredictor()
+        btb = BranchTargetBuffer(entries=256, ways=2)
+        pattern = [0x700, 0x800, 0x900] * 150
+        ittage_hits = btb_hits = 0
+        for target in pattern:
+            if predictor.predict(0x100) == target:
+                ittage_hits += 1
+            predictor.update(0x100, target)
+            if btb.lookup(0x100) == target:
+                btb_hits += 1
+            else:
+                btb.insert(0x100, target)
+        assert ittage_hits > btb_hits
+
+    def test_cold_predicts_none(self):
+        assert ItTagePredictor().predict(0x100) is None
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ItTagePredictor(base_entries=0)
+
+    def test_scheme_reduces_mpki_end_to_end(self):
+        base = simulate("fibo", scheme="baseline", n=10, check_output=False)
+        ittage = simulate("fibo", scheme="ittage", n=10, check_output=False)
+        assert ittage.branch_mpki < base.branch_mpki * 0.7
+        # Prediction-only: instruction count unchanged.
+        assert ittage.instructions == base.instructions
+
+    def test_scd_still_faster_than_ittage(self):
+        ittage = simulate("fibo", scheme="ittage", n=11, check_output=False)
+        scd = simulate("fibo", scheme="scd", n=11, check_output=False)
+        assert scd.cycles < ittage.cycles
+
+
+class TestSwitchPolicy:
+    def test_save_preserves_hit_rate(self):
+        flush = simulate(
+            "fibo", scheme="scd", n=11, check_output=False,
+            context_switch_interval=150, context_switch_policy="flush",
+        )
+        save = simulate(
+            "fibo", scheme="scd", n=11, check_output=False,
+            context_switch_interval=150, context_switch_policy="save",
+        )
+        assert save.bop_hit_rate > flush.bop_hit_rate
+
+    def test_save_policy_charges_overhead(self):
+        machine = Machine(cortex_a5())
+        machine.load_op(5)
+        machine.bop(0x100)
+        machine.jru(0x120, 0x7000)
+        machine.context_switch(save_jtes=True)
+        assert machine.btb.jte_count == 1  # preserved
+        assert machine.stats.cycle_breakdown["os_jte_save_restore"] > 0
+
+    def test_invalid_policy_rejected(self):
+        model = get_model("lua", "scd")
+        with pytest.raises(ValueError, match="context-switch policy"):
+            ModelRunner(model, Machine(cortex_a5()), context_switch_policy="drop")
+
+
+class TestCapTuning:
+    @pytest.fixture(scope="class")
+    def small_config(self):
+        return cortex_a5().with_changes(btb_entries=64)
+
+    def test_sweep_evaluates_all_caps(self, small_config):
+        result = sweep_jte_caps(
+            "fibo", config=small_config, caps=(4, 16, None)
+        )
+        assert set(result.cycles_by_cap) == {4, 16, "inf"}
+        assert result.evaluations == 4
+        assert result.best_speedup > 1.0
+
+    def test_sweep_best_is_minimum(self, small_config):
+        result = sweep_jte_caps("fibo", config=small_config, caps=(4, 16, None))
+        best_key = "inf" if result.best_cap is None else result.best_cap
+        assert result.cycles_by_cap[best_key] == min(result.cycles_by_cap.values())
+
+    def test_search_agrees_with_sweep(self, small_config):
+        caps = (2, 4, 8, 16, None)
+        swept = sweep_jte_caps("fibo", config=small_config, caps=caps)
+        searched = find_optimal_jte_cap("fibo", config=small_config, caps=caps)
+        best_key = "inf" if searched.best_cap is None else searched.best_cap
+        # The searched optimum must be within 2% of the true optimum.
+        true_best = min(swept.cycles_by_cap.values())
+        assert searched.cycles_by_cap[best_key] <= true_best * 1.02
+
+    def test_search_cheaper_than_sweep(self, small_config):
+        searched = find_optimal_jte_cap("fibo", config=small_config)
+        assert searched.evaluations <= len(DEFAULT_CAPS) + 1
+
+    def test_default_caps_sorted_with_inf_last(self):
+        assert DEFAULT_CAPS[-1] is None
+        numeric = DEFAULT_CAPS[:-1]
+        assert list(numeric) == sorted(numeric)

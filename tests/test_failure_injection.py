@@ -1,0 +1,103 @@
+"""Failure-injection tests: the stack must fail loudly and recover cleanly."""
+
+import pytest
+
+from repro.core.simulation import simulate
+from repro.native.model import ModelRunner, get_model
+from repro.uarch import Machine, cortex_a5
+from repro.vm.lua import LuaVM
+from repro.vm.values import VmError
+
+
+class TestGuestFaults:
+    def test_guest_error_propagates_through_simulation(self):
+        with pytest.raises(VmError, match="divide by zero"):
+            simulate("crash", vm="lua", scheme="scd", source="print(1 / 0);")
+
+    def test_step_limit_respected_under_full_stack(self):
+        with pytest.raises(VmError, match="step limit"):
+            simulate(
+                "spin", vm="lua", scheme="scd",
+                source="while (true) { }", max_steps=2_000,
+            )
+
+    def test_machine_state_usable_after_guest_fault(self):
+        """A guest fault mid-run leaves the machine consistent (finalize
+        still balances its books)."""
+        model = get_model("lua", "scd")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm = LuaVM.from_source("var i = 0; while (true) { i = i + 1; }",
+                               max_steps=500)
+        with pytest.raises(VmError):
+            vm.run(trace=runner.on_event)
+        runner.finish()
+        stats = machine.finalize()
+        assert stats.instructions > 0
+        assert stats.cycles >= stats.instructions
+        breakdown_total = sum(stats.cycle_breakdown.values())
+        assert breakdown_total == stats.cycles
+
+
+class TestHostFaults:
+    def test_trace_callback_exception_propagates(self):
+        calls = [0]
+
+        def bomb(*_args):
+            calls[0] += 1
+            if calls[0] == 10:
+                raise RuntimeError("injected")
+
+        vm = LuaVM.from_source("var s = 0; for i = 1, 100 { s = s + i; }")
+        with pytest.raises(RuntimeError, match="injected"):
+            vm.run(trace=bomb)
+
+    def test_unknown_opcode_event_rejected(self):
+        model = get_model("lua", "baseline")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        with pytest.raises(KeyError):
+            runner.on_event(99, 0, -1, 0, (), None, None)  # no opcode 99
+
+    def test_reference_mismatch_detected(self):
+        """check_output catches functional regressions loudly."""
+        from repro.workloads import workload
+
+        bench = workload("fibo")
+        original = bench.reference
+        try:
+            object.__setattr__(bench, "reference", lambda n: ["wrong"])
+            with pytest.raises(AssertionError, match="diverged"):
+                simulate("fibo", vm="lua", scheme="baseline")
+        finally:
+            object.__setattr__(bench, "reference", original)
+
+
+class TestCacheFaults:
+    def test_cache_poisoning_is_contained(self, tmp_cache):
+        """A corrupted cache entry falls back to recomputation-compatible
+        behaviour (returns None rather than a broken object)."""
+        import json
+
+        from repro.harness.experiments import cached_simulate
+
+        result = cached_simulate(
+            "fibo", "lua", "scd", cache=tmp_cache, n=8, check_output=False
+        )
+        data = json.loads(tmp_cache.path.read_text())
+        key = next(iter(data))
+        data[key] = {"garbage": True}
+        tmp_cache.path.write_text(json.dumps(data))
+        tmp_cache._data = None  # force reload
+        assert tmp_cache.get(key) is None
+
+    def test_interrupted_write_leaves_no_partial_file(self, tmp_cache):
+        from repro.harness.experiments import cached_simulate
+
+        cached_simulate("fibo", "lua", "scd", cache=tmp_cache, n=8,
+                        check_output=False)
+        # The temp-file + rename protocol leaves no .tmp droppings.
+        leftovers = list(tmp_cache.path.parent.glob("*.tmp"))
+        assert leftovers == []

@@ -1,0 +1,146 @@
+"""Tests for the harness: tables, cache, experiments, CLI."""
+
+import json
+
+import pytest
+
+from repro.harness.cache import ResultCache, config_signature
+from repro.harness.experiments import cached_simulate, run_matrix
+from repro.harness.tables import format_bar_chart, format_table, pct
+from repro.uarch.config import cortex_a5, rocket
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "--" in lines[1]
+        assert lines[2].startswith("a")
+
+    def test_alignment(self):
+        text = format_table(["n", "v"], [["x", 5]], aligns=["l", "r"])
+        row = text.splitlines()[-1]
+        assert row.endswith("5")
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = format_bar_chart(
+            ["w1"], {"scd": [2.0], "vbbi": [1.0]}, width=20
+        )
+        lines = text.splitlines()
+        scd_bar = next(l for l in lines if "scd" in l)
+        vbbi_bar = next(l for l in lines if "vbbi" in l)
+        assert scd_bar.count("#") == 2 * vbbi_bar.count("#")
+
+    def test_handles_zero(self):
+        text = format_bar_chart(["w"], {"s": [0.0]})
+        assert "0.000" in text
+
+
+def test_pct():
+    assert pct(0.102) == "+10.2%"
+    assert pct(-0.016) == "-1.6%"
+    assert pct(0.0484, 2) == "+4.84%"
+
+
+class TestConfigSignature:
+    def test_differs_across_presets(self):
+        assert config_signature(cortex_a5()) != config_signature(rocket())
+
+    def test_sensitive_to_btb_size(self):
+        assert config_signature(cortex_a5()) != config_signature(
+            cortex_a5().with_changes(btb_entries=64)
+        )
+
+    def test_sensitive_to_jte_cap(self):
+        assert config_signature(cortex_a5()) != config_signature(
+            cortex_a5().with_changes(jte_cap=4)
+        )
+
+    def test_stable(self):
+        assert config_signature(cortex_a5()) == config_signature(cortex_a5())
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_cache):
+        result = cached_simulate(
+            "fibo", "lua", "scd", scale="sim", cache=tmp_cache,
+            n=8, check_output=False,
+        )
+        again = cached_simulate(
+            "fibo", "lua", "scd", scale="sim", cache=tmp_cache,
+            n=8, check_output=False,
+        )
+        assert again == result
+        assert tmp_cache.path.exists()
+
+    def test_get_missing(self, tmp_cache):
+        assert tmp_cache.get("nope") is None
+
+    def test_clear(self, tmp_cache):
+        result = cached_simulate(
+            "fibo", "lua", "scd", cache=tmp_cache, n=8, check_output=False
+        )
+        tmp_cache.clear()
+        assert not tmp_cache.path.exists()
+        assert tmp_cache.get("anything") is None
+
+    def test_corrupt_file_recovers(self, tmp_cache):
+        tmp_cache.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_cache.path.write_text("{not json")
+        assert tmp_cache.get("x") is None
+
+    def test_none_cache_bypasses(self):
+        result = cached_simulate(
+            "fibo", "lua", "baseline", cache=None, n=8, check_output=False
+        )
+        assert result.output == ("21",)
+
+
+class TestRunMatrix:
+    def test_shape(self, tmp_cache):
+        matrix = run_matrix(
+            "lua", ("baseline", "scd"), workloads=("fibo",), cache=tmp_cache
+        )
+        assert set(matrix) == {("fibo", "baseline"), ("fibo", "scd")}
+        assert matrix[("fibo", "scd")].cycles < matrix[("fibo", "baseline")].cycles
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure7" in out
+        assert "mandelbrot" in out
+
+    def test_run(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "fibo", "--vm", "lua", "--scheme", "scd"]) == 0
+        out = capsys.readouterr().out
+        assert "bop hit rate" in out
+        assert "cycles" in out
+
+    def test_run_show_output(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "fibo", "--show-output"]) == 0
+        assert "233" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        from repro.harness.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,42 @@
+"""Unit tests for the report helpers (generation itself runs in benchmarks)."""
+
+from repro.harness.experiments import PAPER
+from repro.harness.report import _comparison_table, _verdict
+
+
+class TestVerdict:
+    def test_match_within_band(self):
+        assert _verdict(0.10, 0.12, band=0.05) == "MATCH"
+
+    def test_same_direction_outside_band(self):
+        assert _verdict(0.10, 0.30, band=0.05) == "same direction"
+
+    def test_diverges_on_sign_flip(self):
+        assert _verdict(-0.05, 0.10, band=0.02) == "DIVERGES"
+
+    def test_zero_paper_value(self):
+        assert _verdict(0.0, 0.1, band=0.01) == "n/a"
+
+
+class TestComparisonTable:
+    def test_renders(self):
+        text = _comparison_table([["x", "+1.0%", "+1.2%", "MATCH"]])
+        assert "quantity" in text
+        assert "MATCH" in text
+
+
+class TestPaperConstants:
+    def test_headline_numbers_present(self):
+        # The abstract's headline claims must be encoded for the report.
+        assert PAPER["fig7_lua"]["scd"] == 0.199
+        assert PAPER["fig7_js"]["scd"] == 0.141
+        assert PAPER["table5_edp_improvement"] == 0.242
+        assert PAPER["table5_area_delta"] == 0.0072
+
+    def test_vbbi_numbers(self):
+        assert PAPER["fig7_lua"]["vbbi"] == 0.088
+        assert PAPER["fig7_js"]["vbbi"] == 0.053
+
+    def test_table4_numbers(self):
+        assert PAPER["table4_scd_savings"] == 0.1044
+        assert PAPER["table4_scd_speedup"] == 0.1204

@@ -1,0 +1,133 @@
+"""Unit tests for the two-pass assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, Kind, assemble
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        program = assemble("add r1, r2, r3\nsub r4, r5, r6\n")
+        assert len(program) == 2
+        assert program.instructions[0].mnemonic == "add"
+        assert program.instructions[1].kind is Kind.ALU
+
+    def test_pcs_sequential(self):
+        program = assemble("add r1, r2, r3\nnop\nnop\n", base=0x1000)
+        assert [i.pc for i in program.instructions] == [0x1000, 0x1004, 0x1008]
+
+    def test_comments_stripped(self):
+        program = assemble("add r1, r2, r3  # comment\nnop ; other comment\n")
+        assert len(program) == 2
+
+    def test_blank_lines_ignored(self):
+        program = assemble("\n\nadd r1, r2, r3\n\n\n")
+        assert len(program) == 1
+
+
+class TestLabels:
+    def test_label_resolution(self):
+        program = assemble(
+            """
+            Top:
+                add r1, r2, r3
+                beq r1, Top
+            """
+        )
+        branch = program.instructions[1]
+        assert branch.target == program.labels["Top"]
+        assert branch.target_label == "Top"
+
+    def test_forward_reference(self):
+        program = assemble("br End\nnop\nEnd:\nret\n")
+        assert program.instructions[0].target == program.labels["End"]
+
+    def test_label_with_instruction_on_same_line(self):
+        program = assemble("Start: add r1, r2, r3\n")
+        assert program.labels["Start"] == program.base
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("A:\nB:\nnop\n")
+        assert program.labels["A"] == program.labels["B"]
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("X:\nnop\nX:\nnop\n")
+
+    def test_unresolved_label_raises(self):
+        with pytest.raises(AssemblyError, match="unresolved"):
+            assemble("br Nowhere\n")
+
+
+class TestDirectives:
+    def test_align_pads_with_nops(self):
+        program = assemble("nop\n.align 16\nadd r1, r2, r3\n", base=0x1000)
+        add = next(i for i in program.instructions if i.mnemonic == "add")
+        assert add.pc % 16 == 0
+        nops = [i for i in program.instructions if i.mnemonic == "nop"]
+        assert len(nops) == 4  # 1 explicit + 3 padding
+
+    def test_align_noop_when_aligned(self):
+        program = assemble(".align 16\nadd r1, r2, r3\n", base=0x1000)
+        assert len(program) == 1
+
+    def test_align_bad_boundary(self):
+        with pytest.raises(AssemblyError, match="multiple"):
+            assemble(".align 3\n")
+
+    def test_align_missing_arg(self):
+        with pytest.raises(AssemblyError, match="argument"):
+            assemble(".align\n")
+
+    def test_category_applies_to_following(self):
+        program = assemble(
+            ".category dispatch\nadd r1, r2, r3\n.category handler\nnop\n"
+        )
+        assert program.instructions[0].category == "dispatch"
+        assert program.instructions[1].category == "handler"
+
+
+class TestScdSyntax:
+    def test_op_suffix_on_load(self):
+        program = assemble("ldl.op r9, 0(r5)\n")
+        inst = program.instructions[0]
+        assert inst.op_suffix
+        assert inst.kind is Kind.LOAD
+        assert inst.mnemonic == "ldl"
+
+    def test_op_suffix_on_alu_rejected(self):
+        with pytest.raises(AssemblyError, match="only valid on loads"):
+            assemble("add.op r1, r2, r3\n")
+
+    def test_bop_jru_flush(self):
+        program = assemble("bop\njru (r1)\njte.flush\nsetmask r7\n")
+        kinds = [i.kind for i in program.instructions]
+        assert kinds == [Kind.BOP, Kind.JRU, Kind.JTE_FLUSH, Kind.SETMASK]
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("bogus r1\n")
+
+    def test_error_carries_line_number(self):
+        try:
+            assemble("nop\nbogus r1\n")
+        except AssemblyError as err:
+            assert err.line_no == 2
+        else:
+            pytest.fail("expected AssemblyError")
+
+    def test_branch_without_label(self):
+        with pytest.raises(AssemblyError, match="target label"):
+            assemble("beq\n")
+
+    def test_branch_to_register_rejected(self):
+        with pytest.raises(AssemblyError, match="direct label"):
+            assemble("br (r1)\n")
+
+
+def test_base_address_respected():
+    program = assemble("nop\n", base=0x4_0000)
+    assert program.base == 0x4_0000
+    assert program.instructions[0].pc == 0x4_0000

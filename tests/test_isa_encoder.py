@@ -1,0 +1,116 @@
+"""Tests for binary encoding of host instructions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Kind, assemble
+from repro.isa.encoder import (
+    EncodingError,
+    decode_instruction,
+    decode_program,
+    encode_instruction,
+    encode_program,
+)
+from repro.isa.instructions import Instruction
+
+
+class TestInstructionRoundtrip:
+    def test_alu(self):
+        inst = Instruction("add", Kind.ALU, "r1, r2, r3", pc=0x1000)
+        decoded = decode_instruction(encode_instruction(inst), 0x1000)
+        assert decoded.mnemonic == "add"
+        assert decoded.kind is Kind.ALU
+
+    def test_op_suffix_preserved(self):
+        inst = Instruction("ldl", Kind.LOAD, pc=0x1000, op_suffix=True)
+        decoded = decode_instruction(encode_instruction(inst), 0x1000)
+        assert decoded.op_suffix
+
+    def test_branch_target_relative(self):
+        inst = Instruction(
+            "beq", Kind.BRANCH, pc=0x1000, target=0x1040, target_label="X"
+        )
+        word = encode_instruction(inst)
+        # Decoding at a different PC keeps the displacement relative.
+        decoded = decode_instruction(word, 0x2000)
+        assert decoded.target == 0x2040
+
+    def test_backward_branch(self):
+        inst = Instruction("br", Kind.JUMP, pc=0x1040, target=0x1000)
+        decoded = decode_instruction(encode_instruction(inst), 0x1040)
+        assert decoded.target == 0x1000
+
+    def test_displacement_overflow(self):
+        inst = Instruction("br", Kind.JUMP, pc=0, target=4 * (1 << 13))
+        with pytest.raises(EncodingError, match="displacement"):
+            encode_instruction(inst)
+
+    def test_scd_instructions(self):
+        for mnemonic, kind in (
+            ("bop", Kind.BOP),
+            ("jru", Kind.JRU),
+            ("jte.flush", Kind.JTE_FLUSH),
+            ("setmask", Kind.SETMASK),
+        ):
+            inst = Instruction(mnemonic, kind, pc=0)
+            decoded = decode_instruction(encode_instruction(inst), 0)
+            assert decoded.mnemonic == mnemonic
+            assert decoded.kind is kind
+
+
+class TestProgramRoundtrip:
+    SOURCE = """
+    Loop:
+        ldq r5, 40(r14)
+        ldl.op r9, 0(r5)
+        bop
+        and r9, 63, r2
+        cmpule r2, 45, r1
+        beq r1, Loop
+        jru (r1)
+        ret
+    """
+
+    def test_roundtrip_structure(self):
+        program = assemble(self.SOURCE)
+        decoded = decode_program(encode_program(program), base=program.base)
+        assert len(decoded) == len(program)
+        for original, restored in zip(program.instructions, decoded.instructions):
+            assert original.mnemonic == restored.mnemonic
+            assert original.kind == restored.kind
+            assert original.op_suffix == restored.op_suffix
+            assert original.target == restored.target
+
+    def test_blocks_reconstructed(self):
+        program = assemble(self.SOURCE)
+        decoded = decode_program(encode_program(program), base=program.base)
+        # Control-flow structure survives: same number of basic blocks.
+        assert len(decoded.blocks) == len(program.blocks)
+
+    def test_four_bytes_per_instruction(self):
+        program = assemble(self.SOURCE)
+        assert len(encode_program(program)) == 4 * len(program)
+
+    def test_bad_length(self):
+        with pytest.raises(EncodingError, match="multiple of 4"):
+            decode_program(b"\x00" * 6)
+
+
+_MNEMONICS = st.sampled_from(
+    ["add", "sub", "ldq", "stq", "and", "sll", "cmpeq", "nop", "lda"]
+)
+
+
+@given(st.lists(_MNEMONICS, min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_straightline_roundtrip_property(mnemonics):
+    text = "\n".join(f"{m} r1, r2, r3" if m not in ("ldq", "stq")
+                     else f"{m} r1, 0(r2)" for m in mnemonics)
+    program = assemble(text)
+    decoded = decode_program(encode_program(program), base=program.base)
+    assert [i.mnemonic for i in decoded.instructions] == [
+        i.mnemonic for i in program.instructions
+    ]
+    assert [i.kind for i in decoded.instructions] == [
+        i.kind for i in program.instructions
+    ]

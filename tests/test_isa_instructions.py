@@ -1,0 +1,99 @@
+"""Unit tests for the host ISA instruction definitions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    Kind,
+    is_control_flow,
+    make_nops,
+    mnemonic_kind,
+)
+
+
+class TestMnemonicKind:
+    def test_alu(self):
+        assert mnemonic_kind("add") is Kind.ALU
+        assert mnemonic_kind("s4addq") is Kind.ALU
+        assert mnemonic_kind("fmul") is Kind.ALU
+
+    def test_memory(self):
+        assert mnemonic_kind("ldq") is Kind.LOAD
+        assert mnemonic_kind("ldbu") is Kind.LOAD
+        assert mnemonic_kind("stq") is Kind.STORE
+
+    def test_control_flow(self):
+        assert mnemonic_kind("beq") is Kind.BRANCH
+        assert mnemonic_kind("br") is Kind.JUMP
+        assert mnemonic_kind("jmp") is Kind.JUMP_IND
+        assert mnemonic_kind("call") is Kind.CALL
+        assert mnemonic_kind("callr") is Kind.CALL_IND
+        assert mnemonic_kind("ret") is Kind.RET
+
+    def test_scd_extension(self):
+        assert mnemonic_kind("setmask") is Kind.SETMASK
+        assert mnemonic_kind("bop") is Kind.BOP
+        assert mnemonic_kind("jru") is Kind.JRU
+        assert mnemonic_kind("jte.flush") is Kind.JTE_FLUSH
+
+    def test_op_suffix_stripped(self):
+        assert mnemonic_kind("ldl.op") is Kind.LOAD
+        assert mnemonic_kind("ldbu.op") is Kind.LOAD
+
+    def test_jte_flush_not_op_suffixed(self):
+        # 'jte.flush' ends in neither '.op' handling path.
+        assert mnemonic_kind("jte.flush") is Kind.JTE_FLUSH
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            mnemonic_kind("frobnicate")
+
+
+class TestIsControlFlow:
+    @pytest.mark.parametrize(
+        "kind",
+        [Kind.BRANCH, Kind.JUMP, Kind.JUMP_IND, Kind.CALL, Kind.CALL_IND,
+         Kind.RET, Kind.BOP, Kind.JRU],
+    )
+    def test_terminators(self, kind):
+        assert is_control_flow(kind)
+
+    @pytest.mark.parametrize(
+        "kind", [Kind.ALU, Kind.LOAD, Kind.STORE, Kind.NOP, Kind.SETMASK,
+                 Kind.JTE_FLUSH]
+    )
+    def test_non_terminators(self, kind):
+        assert not is_control_flow(kind)
+
+
+class TestInstruction:
+    def test_str_plain(self):
+        inst = Instruction("add", Kind.ALU, "r1, r2, r3")
+        assert str(inst) == "add r1, r2, r3"
+
+    def test_str_op_suffix(self):
+        inst = Instruction("ldl", Kind.LOAD, "r9, 0(r5)", op_suffix=True)
+        assert str(inst).startswith("ldl.op")
+
+    def test_str_with_target(self):
+        inst = Instruction("beq", Kind.BRANCH, "r1, Out", target_label="Out")
+        assert "-> Out" in str(inst)
+
+    def test_default_fields(self):
+        inst = Instruction("nop", Kind.NOP)
+        assert inst.pc == -1
+        assert inst.target is None
+        assert not inst.op_suffix
+
+
+def test_make_nops():
+    nops = make_nops(5)
+    assert len(nops) == 5
+    assert all(n.kind is Kind.NOP for n in nops)
+    # Each NOP is a distinct object (mutation safety).
+    assert nops[0] is not nops[1]
+
+
+def test_instruction_size():
+    assert INSTRUCTION_SIZE == 4

@@ -1,0 +1,118 @@
+"""Unit tests for program/basic-block containers."""
+
+import pytest
+
+from repro.isa import Kind, ProgramLayout, assemble
+
+DISPATCHER = """
+Head:
+    add r1, r2, r3
+    ldq r5, 0(r4)
+Fetch:
+    ldl r9, 0(r5)
+    stq r9, 8(r5)
+Bound:
+    cmpule r9, 45, r1
+    beq r1, Error
+Calc:
+    s4addq r9, r7, r2
+    jmp (r2)
+Error:
+    ret
+"""
+
+
+class TestBlockExtraction:
+    def test_blocks_split_at_labels(self):
+        program = assemble(DISPATCHER)
+        names = [b.name for b in program.blocks]
+        assert names == ["Head", "Fetch", "Bound", "Calc", "Error"]
+
+    def test_terminators(self):
+        program = assemble(DISPATCHER)
+        assert program.block("Head").term is None  # falls through
+        assert program.block("Bound").term.kind is Kind.BRANCH
+        assert program.block("Calc").term.kind is Kind.JUMP_IND
+        assert program.block("Error").term.kind is Kind.RET
+
+    def test_counts(self):
+        program = assemble(DISPATCHER)
+        fetch = program.block("Fetch")
+        assert fetch.n_insts == 2
+        assert fetch.n_loads == 1
+        assert fetch.n_stores == 1
+
+    def test_block_after_control_flow_without_label(self):
+        program = assemble("A:\nbeq r1, A\nadd r1, r2, r3\n")
+        assert len(program.blocks) == 2
+        # The fall-through block gets a synthesized name.
+        assert program.blocks[1].name.startswith("A+")
+
+    def test_block_pc_range(self):
+        program = assemble(DISPATCHER, base=0x1000)
+        head = program.block("Head")
+        assert head.start_pc == 0x1000
+        assert head.end_pc == 0x1008
+        assert head.fall_through_pc == program.block("Fetch").start_pc
+
+    def test_has_op_load_flag(self):
+        program = assemble("X:\nldl.op r9, 0(r5)\nbop\n")
+        assert program.block("X").has_op_load
+
+
+class TestLookups:
+    def test_block_by_name_missing(self):
+        program = assemble(DISPATCHER)
+        with pytest.raises(KeyError, match="no basic block named"):
+            program.block("Missing")
+
+    def test_block_at_pc(self):
+        program = assemble(DISPATCHER, base=0x2000)
+        assert program.block_at(0x2000).name == "Head"
+
+    def test_block_at_bad_pc(self):
+        program = assemble(DISPATCHER)
+        with pytest.raises(KeyError):
+            program.block_at(0xDEAD)
+
+    def test_has_block(self):
+        program = assemble(DISPATCHER)
+        assert program.has_block("Calc")
+        assert not program.has_block("Nope")
+
+    def test_successor(self):
+        program = assemble(DISPATCHER)
+        assert program.successor(program.block("Head")).name == "Fetch"
+
+    def test_size_bytes(self):
+        program = assemble(DISPATCHER)
+        assert program.size_bytes == len(program) * 4
+
+
+class TestCategoryOnBlocks:
+    def test_block_category_from_first_instruction(self):
+        program = assemble(".category dispatch\nX:\nadd r1, r2, r3\nret\n")
+        assert program.block("X").category == "dispatch"
+
+
+class TestProgramLayout:
+    def test_fragments_aligned(self):
+        layout = ProgramLayout(base=0x1_0000, align=16)
+        layout.add("A:\nnop\n")
+        layout.add("B:\nnop\n")
+        program = layout.assemble()
+        assert program.labels["A"] % 16 == 0
+        assert program.labels["B"] % 16 == 0
+        assert program.labels["B"] > program.labels["A"]
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramLayout(align=6)
+
+    def test_labels_shared_across_fragments(self):
+        layout = ProgramLayout()
+        layout.add("A:\nbr B\n")
+        layout.add("B:\nret\n")
+        program = layout.assemble()
+        jump = program.block("A").term
+        assert jump.target == program.labels["B"]

@@ -1,0 +1,145 @@
+"""White-box tests of the JS compiler's encoding and jump patching."""
+
+import pytest
+
+from repro.lang import parse
+from repro.vm.js import JsCompileError, JsOp, JsVM, compile_module_js
+from repro.vm.js.opcodes import operand_bytes
+
+
+def decoded_of(source, fn="main"):
+    module = compile_module_js(parse(source))
+    target = module.main if fn == "main" else module.functions[fn]
+    return target
+
+
+class TestConstantEncodings:
+    @pytest.mark.parametrize(
+        "literal,op",
+        [
+            ("0", JsOp.ZERO),
+            ("1", JsOp.ONE),
+            ("100", JsOp.INT8),
+            ("-5", JsOp.INT8),
+            ("40000", JsOp.INT32),
+            ("2.5", JsOp.DOUBLE),
+            ('"hi"', JsOp.STRING),
+            ("true", JsOp.TRUE),
+            ("false", JsOp.FALSE),
+            ("nil", JsOp.UNDEFINED),
+        ],
+    )
+    def test_shortest_form_chosen(self, literal, op):
+        code = decoded_of(f"var x = {literal};")
+        ops = [o for o, _a in code.decoded]
+        assert op in ops
+
+    def test_bigint_goes_through_atom_table(self):
+        code = decoded_of(f"var x = {10**30};")
+        assert 10**30 in code.atoms
+
+    def test_atoms_interned(self):
+        code = decoded_of('print("a"); print("a"); print("a");')
+        assert code.atoms.count("a") == 1
+
+    def test_int_and_float_atoms_distinct(self):
+        code = decoded_of(f"var x = {2**40}; var y = {float(2**40)};")
+        ints = [a for a in code.atoms if isinstance(a, int) and not isinstance(a, bool)]
+        floats = [a for a in code.atoms if isinstance(a, float)]
+        assert len(ints) == 1 and len(floats) == 1
+
+
+class TestEncodingIntegrity:
+    def test_lengths_partition_code(self):
+        code = decoded_of("fn f(a) { return a * 2; } print(f(21));")
+        assert sum(code.lengths) == len(code.code)
+
+    def test_every_byte_reachable_by_decode(self):
+        code = decoded_of("var s = 0; for i = 1, 3 { s = s + i; } print(s);")
+        offset = 0
+        count = 0
+        while offset < len(code.code):
+            op = code.code[offset]
+            offset += 1 + operand_bytes(op)
+            count += 1
+        assert offset == len(code.code)
+        assert count == len(code.decoded)
+
+    def test_operand_round_trip_signed(self):
+        code = decoded_of("var x = -120;")
+        int8s = [(o, a) for o, a in code.decoded if o == JsOp.INT8]
+        assert int8s == [(JsOp.INT8, -120)]
+
+
+class TestJumpPatching:
+    def test_ifeq_jumps_past_then_block(self):
+        code = decoded_of("if (false) { print(1); } print(2);")
+        for index, (op, arg) in enumerate(code.decoded):
+            if op == JsOp.IFEQ:
+                target_op = code.decoded[arg][0]
+                # Lands after the then-block, not inside it.
+                assert arg > index
+                return
+        pytest.fail("no IFEQ found")
+
+    def test_while_goto_backwards(self):
+        code = decoded_of("var i = 0; while (i < 2) { i = i + 1; }")
+        gotos = [
+            (index, arg)
+            for index, (op, arg) in enumerate(code.decoded)
+            if op == JsOp.GOTO
+        ]
+        assert any(arg < index for index, arg in gotos)
+
+    def test_and_or_jump_targets_valid(self):
+        code = decoded_of("var x = (1 and 2) or 3;")
+        for op, arg in code.decoded:
+            if op in (JsOp.AND, JsOp.OR):
+                assert 0 <= arg < len(code.decoded)
+
+    def test_break_targets_loop_end(self):
+        source = "for i = 1, 10 { if (i == 2) { break; } } print(9);"
+        assert JsVM.from_source(source).run() == ["9"]
+
+
+class TestScopes:
+    def test_block_locals_released(self):
+        code = decoded_of(
+            "fn f() { if (true) { var a = 1; } if (true) { var b = 2; } }",
+            fn="f",
+        )
+        # a and b reuse the same slot; nlocals stays small.
+        assert code.nlocals <= 1 or code.nlocals <= 2
+
+    def test_for_loop_hidden_locals(self):
+        code = decoded_of("fn f() { for i = 1, 3 { } }", fn="f")
+        # visible var + limit + step.
+        assert code.nlocals == 3
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(JsCompileError, match="duplicate"):
+            compile_module_js(parse("fn f() { var a = 1; var a = 2; }"))
+
+
+class TestErrors:
+    def test_operand_required(self):
+        from repro.vm.js.compiler import _JsFunctionCompiler
+
+        compiler = _JsFunctionCompiler("t", [], False, set())
+        with pytest.raises(JsCompileError, match="requires an operand"):
+            compiler.emit(JsOp.GETLOCAL)
+
+    def test_no_operand_allowed(self):
+        from repro.vm.js.compiler import _JsFunctionCompiler
+
+        compiler = _JsFunctionCompiler("t", [], False, set())
+        with pytest.raises(JsCompileError, match="takes no operand"):
+            compiler.emit(JsOp.POP, 3)
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(JsCompileError, match="undefined function"):
+            compile_module_js(parse("ghost();"))
+
+    def test_builtin_shadow_rejected(self):
+        with pytest.raises(JsCompileError, match="shadows a builtin"):
+            compile_module_js(parse("fn sqrt(x) { }"))

@@ -1,0 +1,111 @@
+"""Execute hand-assembled stack bytecode: opcodes the compiler never emits."""
+
+import pytest
+
+from repro.vm.js.compiler import JsFunctionCode, JsModule
+from repro.vm.js.interp import JsVM
+from repro.vm.js.opcodes import JsOp, operand_bytes
+from repro.vm.values import VmError
+
+
+def build(words):
+    """Encode a list of (op, arg-or-None) into a runnable main function."""
+    code = bytearray()
+    for op, arg in words:
+        code.append(int(op))
+        width = operand_bytes(op)
+        if width:
+            code.extend(int(arg).to_bytes(width, "little", signed=True))
+    fn = JsFunctionCode(name="main", nparams=0, code=code, nlocals=4)
+    fn.finalize()
+    return JsModule(functions_list=[fn], functions={})
+
+
+def run(words, atoms=()):
+    module = build(words)
+    module.main.atoms = list(atoms)
+    vm = JsVM(module)
+    vm.run()
+    return vm
+
+
+class TestStackShuffles:
+    def test_dup(self):
+        vm = run(
+            [
+                (JsOp.INT8, 21),
+                (JsOp.DUP, None),
+                (JsOp.ADD, None),
+                (JsOp.SETGNAME, 0),
+                (JsOp.POP, None),
+                (JsOp.STOP, None),
+            ],
+            atoms=["result"],
+        )
+        assert vm.globals["result"] == 42
+
+    def test_swap(self):
+        vm = run(
+            [
+                (JsOp.INT8, 10),
+                (JsOp.INT8, 3),
+                (JsOp.SWAP, None),
+                (JsOp.SUB, None),  # after swap: 3 - 10
+                (JsOp.SETGNAME, 0),
+                (JsOp.POP, None),
+                (JsOp.STOP, None),
+            ],
+            atoms=["result"],
+        )
+        assert vm.globals["result"] == -7
+
+    def test_nop_and_loophead_are_inert(self):
+        vm = run(
+            [
+                (JsOp.NOP, None),
+                (JsOp.LOOPHEAD, None),
+                (JsOp.ONE, None),
+                (JsOp.SETGNAME, 0),
+                (JsOp.POP, None),
+                (JsOp.STOP, None),
+            ],
+            atoms=["result"],
+        )
+        assert vm.globals["result"] == 1
+
+
+class TestJumpEncodings:
+    def test_ifne_jumps_on_truthy(self):
+        # Layout: TRUE@0, IFNE@1(3B), ZERO@4, SETGNAME@5(3B), POP@8, STOP@9.
+        # IFNE's operand is relative to its own start: 9 - 1 = 8.
+        vm = run(
+            [
+                (JsOp.TRUE, None),
+                (JsOp.IFNE, 8),
+                (JsOp.ZERO, None),    # skipped
+                (JsOp.SETGNAME, 0),   # skipped
+                (JsOp.POP, None),     # skipped
+                (JsOp.STOP, None),
+            ],
+            atoms=["result"],
+        )
+        assert "result" not in vm.globals
+
+
+class TestUnimplemented:
+    @pytest.mark.parametrize(
+        "op", [JsOp.TABLESWITCH, JsOp.THROW, JsOp.ITER, JsOp.GENERATOR,
+               JsOp.DELPROP, JsOp.UNUSED135]
+    )
+    def test_raises_not_generated(self, op):
+        words = [(op, 0 if operand_bytes(op) else None), (JsOp.STOP, None)]
+        with pytest.raises(VmError, match="not generated"):
+            run(words)
+
+
+class TestStrictOps:
+    def test_stricteq_on_compiler_path_not_needed(self):
+        # STRICTEQ exists in the table but is not emitted; executing it
+        # raises (documented behaviour for unused opcodes).
+        with pytest.raises(VmError):
+            run([(JsOp.STRICTEQ, None), (JsOp.STOP, None)])

@@ -1,0 +1,107 @@
+"""Unit tests for the JS-like VM's opcode table and encoding."""
+
+import pytest
+
+from repro.vm.js.opcodes import (
+    NUM_OPCODES,
+    OPCODE_MASK,
+    JsOp,
+    disassemble,
+    exit_site,
+    instruction_length,
+    operand_bytes,
+)
+from repro.vm.trace import Site
+
+
+def test_exactly_229_opcodes():
+    # Section V: SpiderMonkey 17 "has 229 distinct bytecodes".
+    assert NUM_OPCODES == 229
+    assert len(JsOp) == 229
+
+
+def test_mask_is_one_byte():
+    assert OPCODE_MASK == 0xFF
+
+
+def test_contiguous_numbering():
+    codes = sorted(int(op) for op in JsOp)
+    assert codes == list(range(229))
+
+
+class TestOperandWidths:
+    def test_zero_operand(self):
+        assert operand_bytes(JsOp.POP) == 0
+        assert operand_bytes(JsOp.ADD) == 0
+
+    def test_one_byte(self):
+        assert operand_bytes(JsOp.INT8) == 1
+
+    def test_two_bytes(self):
+        assert operand_bytes(JsOp.GOTO) == 2
+        assert operand_bytes(JsOp.GETLOCAL) == 2
+        assert operand_bytes(JsOp.STRING) == 2
+
+    def test_four_bytes(self):
+        assert operand_bytes(JsOp.INT32) == 4
+
+    def test_instruction_length(self):
+        assert instruction_length(JsOp.POP) == 1
+        assert instruction_length(JsOp.INT32) == 5
+
+    def test_variable_length_encoding_exists(self):
+        # The whole point: bytecodes are variable length (unlike Lua).
+        widths = {operand_bytes(op) for op in JsOp}
+        assert {0, 1, 2, 4} <= widths
+
+
+class TestExitSites:
+    def test_call_ops_exit_via_funcall_site(self):
+        assert exit_site(JsOp.CALL) is Site.FUNCALL
+        assert exit_site(JsOp.FUNCALL) is Site.FUNCALL
+        assert exit_site(JsOp.NEW) is Site.FUNCALL
+
+    def test_short_ops_exit_via_end_case(self):
+        assert exit_site(JsOp.ZERO) is Site.END_CASE
+        assert exit_site(JsOp.POP) is Site.END_CASE
+        assert exit_site(JsOp.GETLOCAL) is Site.END_CASE
+
+    def test_slow_ops_are_uncovered(self):
+        assert exit_site(JsOp.NEWARRAY) is Site.UNCOVERED
+        assert exit_site(JsOp.INITELEM) is Site.UNCOVERED
+
+    def test_main_loop_ops(self):
+        assert exit_site(JsOp.ADD) is Site.MAIN
+        assert exit_site(JsOp.GOTO) is Site.MAIN
+
+    def test_all_sites_used(self):
+        sites = {exit_site(op) for op in JsOp}
+        assert sites == {Site.MAIN, Site.FUNCALL, Site.END_CASE, Site.UNCOVERED}
+
+
+class TestDisassemble:
+    def test_simple_sequence(self):
+        code = bytes([JsOp.ZERO, JsOp.ONE, JsOp.ADD])
+        lines = disassemble(code)
+        assert len(lines) == 3
+        assert "ZERO" in lines[0] and "ADD" in lines[2]
+
+    def test_operand_rendering(self):
+        code = bytes([JsOp.INT8, 0x2A])
+        (line,) = disassemble(code)
+        assert "INT8 42" in line
+
+    def test_signed_operand(self):
+        code = bytes([JsOp.INT8]) + (-5).to_bytes(1, "little", signed=True)
+        (line,) = disassemble(code)
+        assert "INT8 -5" in line
+
+    def test_atom_annotation(self):
+        code = bytes([JsOp.STRING, 0, 0])
+        (line,) = disassemble(code, atoms=["hello"])
+        assert "'hello'" in line
+
+    def test_offsets_advance_by_length(self):
+        code = bytes([JsOp.INT32, 0, 0, 0, 0, JsOp.POP])
+        lines = disassemble(code)
+        assert lines[1].strip().startswith("5")

@@ -1,0 +1,188 @@
+"""Behavioural tests for the JS-like stack VM."""
+
+import pytest
+
+from repro.lang import parse
+from repro.vm.js import JsCompileError, JsOp, JsVM, compile_module_js
+from repro.vm.trace import CALLEE_BUILTIN, CALLEE_SCRIPT, Site
+from repro.vm.values import VmError
+
+from conftest import run_js
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        assert run_js("print(2 * (3 + 4));") == ["14"]
+
+    def test_division_semantics_match_lua(self):
+        assert run_js("print(1 / 2); print(7 // 2); print(-7 % 3);") == [
+            "0.5", "3", "2",
+        ]
+
+    def test_string_concat(self):
+        assert run_js('print("n=" .. 42);') == ["n=42"]
+
+    def test_small_int_encodings(self):
+        # ZERO / ONE / INT8 / INT32 / DOUBLE-atom paths all work.
+        assert run_js("print(0 + 1 + 100 + 100000 + 10000000000);") == ["10000100101"]
+
+    def test_negative_int8(self):
+        assert run_js("var x = -100; print(x);") == ["-100"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        assert run_js('if (2 > 3) { print("a"); } else { print("b"); }') == ["b"]
+
+    def test_while(self):
+        assert run_js("var i = 0; while (i < 3) { i = i + 1; } print(i);") == ["3"]
+
+    def test_for_inclusive(self):
+        assert run_js("var s = 0; for i = 1, 4 { s = s + i; } print(s);") == ["10"]
+
+    def test_for_negative_step(self):
+        assert run_js("var s = \"\"; for i = 3, 1, -1 { s = s .. i; } print(s);") == ["321"]
+
+    def test_break_continue(self):
+        src = """
+        var s = 0;
+        for i = 1, 10 { if (i == 3) { continue; } if (i == 6) { break; } s = s + i; }
+        print(s);
+        """
+        assert run_js(src) == ["12"]  # 1+2+4+5
+
+    def test_non_literal_step_rejected(self):
+        with pytest.raises(JsCompileError, match="literal 'for' step"):
+            JsVM.from_source("var st = 2; for i = 1, 10, st { }")
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(JsCompileError, match="non-zero"):
+            JsVM.from_source("for i = 1, 10, 0 { }")
+
+
+class TestLogic:
+    def test_value_preserving_and_or(self):
+        assert run_js("print(nil or 7); print(false and 1); print(2 and 3);") == [
+            "7", "false", "3",
+        ]
+
+    def test_short_circuit_no_call(self):
+        src = """
+        fn boom() { print("BOOM"); return 1; }
+        var x = false and boom();
+        print(x);
+        """
+        assert run_js(src) == ["false"]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run_js(
+            "fn fact(n) { if (n == 0) { return 1; } return n * fact(n - 1); } print(fact(6));"
+        ) == ["720"]
+
+    def test_call_depth_limit(self):
+        vm = JsVM.from_source("fn f() { return f(); } print(f());")
+        with pytest.raises(VmError, match="stack overflow"):
+            vm.run()
+
+    def test_step_limit(self):
+        vm = JsVM.from_source("while (true) { }", max_steps=500)
+        with pytest.raises(VmError, match="step limit"):
+            vm.run()
+
+    def test_runtime_call_of_non_function(self):
+        vm = JsVM.from_source("fn f() { var g = 1; return g(); } print(f());")
+        with pytest.raises(VmError, match="non-function"):
+            vm.run()
+
+
+class TestDataStructures:
+    def test_arrays(self):
+        assert run_js("var a = [5, 6]; a[0] = 9; print(a[0] + a[1]);") == ["15"]
+
+    def test_maps(self):
+        assert run_js('var m = {x: 1}; m["y"] = 2; print(m["x"] + m["y"]);') == ["3"]
+
+    def test_len_compiles_to_length(self):
+        module = compile_module_js(parse("var a = [1]; print(len(a));"))
+        ops = [op for op, _arg in module.main.decoded]
+        assert JsOp.LENGTH in ops
+
+
+class TestCompiledShape:
+    def test_stack_vm_lowers_for_loops(self):
+        # No fused FORLOOP opcode: explicit ADD/SETLOCAL increment.
+        module = compile_module_js(parse("for i = 1, 3 { }"))
+        ops = [op for op, _arg in module.main.decoded]
+        assert JsOp.LOOPHEAD in ops
+        assert JsOp.IFEQ in ops
+        assert JsOp.GOTO in ops
+        assert JsOp.ADD in ops
+
+    def test_setlocal_followed_by_pop(self):
+        module = compile_module_js(parse("fn f() { var x = 1; }"))
+        fn = module.functions["f"]
+        ops = [op for op, _arg in fn.decoded]
+        at = ops.index(JsOp.SETLOCAL)
+        assert ops[at + 1] == JsOp.POP
+
+    def test_main_ends_with_stop(self):
+        module = compile_module_js(parse("var x = 1;"))
+        assert module.main.decoded[-1][0] == JsOp.STOP
+
+    def test_functions_end_with_return(self):
+        module = compile_module_js(parse("fn f() { }"))
+        ops = [op for op, _arg in module.functions["f"].decoded]
+        assert ops[-1] == JsOp.RETURN
+
+    def test_jump_args_become_instruction_indices(self):
+        module = compile_module_js(parse("if (true) { print(1); }"))
+        for op, arg in module.main.decoded:
+            if op in (JsOp.GOTO, JsOp.IFEQ, JsOp.IFNE, JsOp.AND, JsOp.OR):
+                assert 0 <= arg < len(module.main.decoded)
+
+    def test_variable_length_encoding(self):
+        module = compile_module_js(parse("var x = 1000;"))
+        assert sum(module.main.lengths) == len(module.main.code)
+        assert len(set(module.main.lengths)) > 1
+
+
+class TestTrace:
+    def _trace(self, source):
+        events = []
+        vm = JsVM.from_source(source)
+        vm.run(trace=lambda *a: events.append(a))
+        return vm, events
+
+    def test_one_event_per_step(self):
+        vm, events = self._trace("var s = 0; for i = 1, 10 { s = s + i; } print(s);")
+        assert len(events) == vm.steps
+
+    def test_multiple_dispatch_sites_exercised(self):
+        _vm, events = self._trace(
+            "fn f(x) { return x + 1; } var a = [1]; print(f(a[0]));"
+        )
+        sites = {e[1] for e in events}
+        assert Site.MAIN in sites
+        assert Site.END_CASE in sites
+        assert Site.FUNCALL in sites
+
+    def test_uncovered_site_reached_by_array_code(self):
+        _vm, events = self._trace("var a = [1, 2]; a[0] = 3;")
+        assert any(e[1] == Site.UNCOVERED for e in events)
+
+    def test_site_is_previous_ops_exit(self):
+        _vm, events = self._trace("print(0);")
+        # First event is dispatched from the MAIN loop entry.
+        assert events[0][1] == Site.MAIN
+
+    def test_ifeq_taken_flag(self):
+        _vm, events = self._trace("if (false) { print(1); }")
+        ifeqs = [e for e in events if e[0] == JsOp.IFEQ]
+        assert ifeqs and ifeqs[0][2] == 1  # branch taken (condition false)
+
+    def test_callee_kinds(self):
+        _vm, events = self._trace("fn f() { return 1; } print(f());")
+        kinds = {e[3] for e in events}
+        assert CALLEE_SCRIPT in kinds and CALLEE_BUILTIN in kinds

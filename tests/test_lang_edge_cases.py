@@ -1,0 +1,159 @@
+"""Edge-case behaviour across the language frontend and both VMs."""
+
+import pytest
+
+from repro.vm.values import VmError, VmTypeError
+
+from conftest import run_both, run_js, run_lua
+
+
+class TestNumericEdges:
+    def test_float_int_equality(self):
+        assert run_both("print(1 == 1.0);") == ["true"]
+
+    def test_negative_zero_modulo(self):
+        assert run_both("print(-4 % 3); print(4 % -3);") == ["2", "-2"]
+
+    def test_huge_exponent_floats(self):
+        assert run_both("print(1e300 * 10.0);") == run_both("print(1e301);")
+
+    def test_chained_division(self):
+        assert run_both("print(100 / 5 / 2);") == ["10.0"]
+
+    def test_integer_overflow_free(self):
+        # Arbitrary precision: no wraparound at 2^63.
+        assert run_both(f"print({2**62} * 4);") == [str(2**64)]
+
+    def test_mixed_precision_loop(self):
+        src = "var x = 1; for i = 1, 5 { x = x * 2.5; } print(x);"
+        assert run_both(src) == [repr(2.5**5)]
+
+
+class TestStringEdges:
+    def test_empty_string_ops(self):
+        assert run_both('print(len("")); print("" .. "");') == ["0", ""]
+
+    def test_escape_roundtrip(self):
+        assert run_both(r'print("a\tb");') == ["a\tb"]
+
+    def test_string_comparison(self):
+        assert run_both('print("abc" < "abd"); print("Z" < "a");') == [
+            "true", "true",
+        ]
+
+    def test_concat_precedence_with_comparison(self):
+        assert run_both('print("ab" == "a" .. "b");') == ["true"]
+
+
+class TestCollectionEdges:
+    def test_array_of_arrays_identity(self):
+        src = """
+        var inner = [1];
+        var outer = [inner, inner];
+        outer[0][0] = 9;
+        print(outer[1][0]);
+        """
+        assert run_both(src) == ["9"]
+
+    def test_map_mixed_key_types(self):
+        src = """
+        var m = {};
+        m[1] = "int";
+        m["1"] = "str";
+        print(m[1] .. " " .. m["1"]);
+        """
+        assert run_both(src) == ["int str"]
+
+    def test_array_growth_one_by_one(self):
+        src = """
+        var a = [];
+        for i = 0, 99 { a[i] = i; }
+        print(len(a) .. " " .. a[99]);
+        """
+        assert run_both(src) == ["100 99"]
+
+    def test_push_pop_as_stack(self):
+        src = """
+        var s = [];
+        push(s, 1); push(s, 2); push(s, 3);
+        print(pop(s) .. pop(s) .. pop(s) .. len(s));
+        """
+        assert run_both(src) == ["3210"]
+
+
+class TestErrorParity:
+    """Both VMs must raise on the same erroneous programs."""
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "print(1 < nil);",          # order with nil
+            "print(nil .. 1);",         # concat nil
+            "var a = [1]; a[5] = 0;",   # sparse array write
+            "print(len(5));",           # length of number
+            "var a = [1]; print(a[true]);",  # bool index
+        ],
+    )
+    def test_both_raise(self, source):
+        with pytest.raises((VmError, VmTypeError)):
+            run_lua(source)
+        with pytest.raises((VmError, VmTypeError)):
+            run_js(source)
+
+    def test_documented_plus_on_string_divergence(self):
+        """'+' on strings is the one semantic split: the Lua-like VM raises
+        (arithmetic only), the JS-like VM concatenates (ToString coercion).
+        Portable scriptlet code uses '..' for concatenation."""
+        with pytest.raises(VmTypeError):
+            run_lua('print("a" + 1);')
+        assert run_js('print("a" + 1);') == ["a1"]
+
+    def test_division_by_zero_both(self):
+        for runner in (run_lua, run_js):
+            with pytest.raises(VmError):
+                runner("print(1 // 0);")
+
+
+class TestControlFlowEdges:
+    def test_empty_blocks_everywhere(self):
+        src = "if (true) { } else { } while (false) { } for i = 1, 0 { } print(1);"
+        assert run_both(src) == ["1"]
+
+    def test_deeply_nested_blocks(self):
+        src = "var x = 0;" + "if (true) { " * 12 + "x = 7;" + " }" * 12 + " print(x);"
+        assert run_both(src) == ["7"]
+
+    def test_loop_variable_scoping(self):
+        src = """
+        fn f() {
+            var total = 0;
+            for i = 1, 3 { total = total + i; }
+            for i = 1, 3 { total = total + i; }
+            return total;
+        }
+        print(f());
+        """
+        assert run_both(src) == ["12"]
+
+    def test_return_inside_nested_loop(self):
+        src = """
+        fn find(limit) {
+            for i = 2, limit {
+                for j = 2, i - 1 {
+                    if (i % j == 0) { break; }
+                    if (j * j > i) { return i; }
+                }
+            }
+            return 0;
+        }
+        print(find(30));
+        """
+        assert run_both(src)
+
+    def test_while_with_complex_condition(self):
+        src = """
+        var a = 0; var b = 10;
+        while (a < 5 and b > 5 or false) { a = a + 1; b = b - 1; }
+        print(a .. " " .. b);
+        """
+        assert run_both(src) == ["5 5"]

@@ -1,0 +1,126 @@
+"""Unit tests for the scriptlet lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexerError, Token, TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.INT, 42)]
+
+    def test_float(self):
+        assert kinds("3.25") == [(TokenType.FLOAT, 3.25)]
+
+    def test_float_exponent(self):
+        assert kinds("1e3") == [(TokenType.FLOAT, 1000.0)]
+        assert kinds("2.5e-2") == [(TokenType.FLOAT, 0.025)]
+
+    def test_hex(self):
+        assert kinds("0x3F") == [(TokenType.INT, 0x3F)]
+
+    def test_leading_dot(self):
+        assert kinds(".5") == [(TokenType.FLOAT, 0.5)]
+
+    def test_number_then_concat_operator(self):
+        # '..' must not be eaten as a decimal point.
+        tokens = kinds('1 .. 2')
+        assert tokens == [
+            (TokenType.INT, 1),
+            (TokenType.OP, ".."),
+            (TokenType.INT, 2),
+        ]
+
+    def test_number_directly_followed_by_concat(self):
+        tokens = kinds('1..2')
+        assert tokens == [
+            (TokenType.INT, 1),
+            (TokenType.OP, ".."),
+            (TokenType.INT, 2),
+        ]
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds('"hello"') == [(TokenType.STRING, "hello")]
+
+    def test_escapes(self):
+        assert kinds(r'"a\tb\nc\\d\"e"') == [(TokenType.STRING, 'a\tb\nc\\d"e')]
+
+    def test_unterminated(self):
+        with pytest.raises(LexerError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexerError, match="newline"):
+            tokenize('"ab\ncd"')
+
+    def test_unknown_escape(self):
+        with pytest.raises(LexerError, match="unknown escape"):
+            tokenize(r'"\q"')
+
+
+class TestIdentifiersAndKeywords:
+    def test_name(self):
+        assert kinds("foo_bar2") == [(TokenType.NAME, "foo_bar2")]
+
+    @pytest.mark.parametrize(
+        "kw", ["fn", "var", "if", "else", "while", "for", "return", "break",
+               "continue", "true", "false", "nil", "and", "or", "not"]
+    )
+    def test_keyword(self, kw):
+        assert kinds(kw) == [(TokenType.KEYWORD, kw)]
+
+    def test_keyword_prefix_is_name(self):
+        assert kinds("iffy") == [(TokenType.NAME, "iffy")]
+
+
+class TestOperators:
+    def test_maximal_munch(self):
+        assert [v for _, v in kinds("<= == != >= // ..")] == [
+            "<=", "==", "!=", ">=", "//", "..",
+        ]
+
+    def test_floor_div_not_comment(self):
+        # '//' is an operator; '#' starts comments.
+        assert [v for _, v in kinds("7 // 2")] == [7, "//", 2]
+
+    def test_all_single_chars(self):
+        text = "( ) { } [ ] , ; : = < > + - * / %"
+        values = [v for _, v in kinds(text)]
+        assert values == text.split()
+
+
+class TestCommentsAndLines:
+    def test_comment_to_eol(self):
+        assert kinds("1 # two three\n2") == [(TokenType.INT, 1), (TokenType.INT, 2)]
+
+    def test_line_numbers(self):
+        tokens = tokenize("1\n2\n\n3")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 4]
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestTokenMatches:
+    def test_matches_type_only(self):
+        token = Token(TokenType.INT, 5, 1)
+        assert token.matches(TokenType.INT)
+        assert not token.matches(TokenType.NAME)
+
+    def test_matches_type_and_value(self):
+        token = Token(TokenType.OP, "+", 1)
+        assert token.matches(TokenType.OP, "+")
+        assert not token.matches(TokenType.OP, "-")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError, match="unexpected character"):
+        tokenize("a ~ b")

@@ -1,0 +1,206 @@
+"""Unit tests for the scriptlet parser."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.parser import ParseError
+
+
+def first_stmt(source):
+    return parse(source).body[0]
+
+
+def expr_of(source):
+    node = first_stmt(source)
+    assert isinstance(node, ast.ExprStmt)
+    return node.expr
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        node = expr_of("1 + 2 * 3;")
+        assert isinstance(node, ast.BinOp) and node.op == "+"
+        assert isinstance(node.right, ast.BinOp) and node.right.op == "*"
+
+    def test_parentheses(self):
+        node = expr_of("(1 + 2) * 3;")
+        assert node.op == "*"
+        assert node.left.op == "+"
+
+    def test_comparison_binds_looser_than_concat(self):
+        node = expr_of('"a" .. "b" == "ab";')
+        assert node.op == "=="
+        assert isinstance(node.left, ast.BinOp) and node.left.op == ".."
+
+    def test_concat_right_associative(self):
+        node = expr_of('"a" .. "b" .. "c";')
+        assert node.op == ".."
+        assert isinstance(node.right, ast.BinOp) and node.right.op == ".."
+
+    def test_unary_minus_folds_literal(self):
+        node = expr_of("-5;")
+        assert isinstance(node, ast.Literal) and node.value == -5
+
+    def test_unary_minus_on_expr(self):
+        node = expr_of("-x;")
+        assert isinstance(node, ast.UnOp) and node.op == "-"
+
+    def test_not_and_or_precedence(self):
+        node = expr_of("not a and b or c;")
+        assert isinstance(node, ast.Logical) and node.op == "or"
+        assert node.left.op == "and"
+        assert isinstance(node.left.left, ast.UnOp)
+
+    def test_call_with_args(self):
+        node = expr_of("f(1, x, g());")
+        assert isinstance(node, ast.Call)
+        assert node.callee == "f"
+        assert len(node.args) == 3
+        assert isinstance(node.args[2], ast.Call)
+
+    def test_indexing_chains(self):
+        node = expr_of("a[1][2];")
+        assert isinstance(node, ast.Index)
+        assert isinstance(node.obj, ast.Index)
+
+    def test_array_literal(self):
+        node = expr_of("[1, 2, 3];")
+        assert isinstance(node, ast.ArrayLit)
+        assert len(node.items) == 3
+
+    def test_empty_array(self):
+        node = expr_of("[];")
+        assert node.items == []
+
+    def test_map_literal_name_keys(self):
+        node = expr_of("{a: 1, b: 2};")
+        assert isinstance(node, ast.MapLit)
+        assert node.pairs[0][0].value == "a"
+
+    def test_map_literal_computed_key(self):
+        node = expr_of("{[x + 1]: 2};")
+        assert isinstance(node.pairs[0][0], ast.BinOp)
+
+    def test_literals(self):
+        assert expr_of("true;").value is True
+        assert expr_of("false;").value is False
+        assert expr_of("nil;").value is None
+        assert expr_of('"s";').value == "s"
+
+
+class TestStatements:
+    def test_var_decl(self):
+        node = first_stmt("var x = 1;")
+        assert isinstance(node, ast.VarDecl)
+        assert node.name == "x"
+
+    def test_assignment_to_name(self):
+        node = first_stmt("x = 1;")
+        assert isinstance(node, ast.Assign)
+        assert isinstance(node.target, ast.Name)
+
+    def test_assignment_to_index(self):
+        node = first_stmt("a[0] = 1;")
+        assert isinstance(node.target, ast.Index)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError, match="assignment target"):
+            parse("1 + 2 = 3;")
+
+    def test_if_else_chain(self):
+        node = first_stmt("if (a) { } else if (b) { } else { }")
+        assert isinstance(node, ast.If)
+        assert isinstance(node.orelse, ast.If)
+        assert isinstance(node.orelse.orelse, ast.Block)
+
+    def test_while(self):
+        node = first_stmt("while (x < 3) { x = x + 1; }")
+        assert isinstance(node, ast.While)
+        assert len(node.body.statements) == 1
+
+    def test_for_default_step(self):
+        node = first_stmt("for i = 1, 10 { }")
+        assert isinstance(node, ast.ForNum)
+        assert node.step is None
+
+    def test_for_explicit_step(self):
+        node = first_stmt("for i = 10, 1, -2 { }")
+        assert isinstance(node.step, ast.Literal)
+        assert node.step.value == -2
+
+    def test_return_with_and_without_value(self):
+        module = parse("fn f() { return; } fn g() { return 1; }")
+        f, g = module.functions()
+        assert f.body.statements[0].value is None
+        assert g.body.statements[0].value.value == 1
+
+    def test_break_continue(self):
+        module = parse("while (true) { break; continue; }")
+        body = module.body[0].body.statements
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("var x = 1")
+
+
+class TestFunctions:
+    def test_funcdecl(self):
+        module = parse("fn add(a, b) { return a + b; }")
+        fn = module.functions()[0]
+        assert fn.name == "add"
+        assert fn.params == ["a", "b"]
+
+    def test_no_params(self):
+        fn = parse("fn f() { }").functions()[0]
+        assert fn.params == []
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ParseError, match="duplicate parameter"):
+            parse("fn f(a, a) { }")
+
+    def test_nested_fn_rejected(self):
+        with pytest.raises(ParseError, match="nested function"):
+            parse("fn f() { fn g() { } }")
+
+    def test_module_partition(self):
+        module = parse("fn f() { } var x = 1; fn g() { }")
+        assert len(module.functions()) == 2
+        assert len(module.top_level()) == 1
+
+
+class TestWalk:
+    def test_walk_visits_all(self):
+        module = parse("fn f(a) { return a + 1; } print(f(2));")
+        names = [n for n in ast.walk(module) if isinstance(n, ast.Name)]
+        assert any(n.id == "a" for n in names)
+        calls = [n for n in ast.walk(module) if isinstance(n, ast.Call)]
+        assert {c.callee for c in calls} == {"print", "f"}
+
+    def test_walk_visits_map_pairs(self):
+        module = parse("var m = {a: g()};")
+        calls = [n for n in ast.walk(module) if isinstance(n, ast.Call)]
+        assert calls and calls[0].callee == "g"
+
+
+class TestErrors:
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError, match="unterminated block"):
+            parse("fn f() { var x = 1;")
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError, match="unexpected token"):
+            parse("var x = ;")
+
+    def test_error_reports_line(self):
+        try:
+            parse("var x = 1;\nvar y = ;")
+        except ParseError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected ParseError")
+
+    def test_bad_map_key(self):
+        with pytest.raises(ParseError, match="bad map key"):
+            parse("var m = {1: 2};")

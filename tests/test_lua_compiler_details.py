@@ -1,0 +1,166 @@
+"""White-box tests of the Lua compiler's code shapes and RK discipline."""
+
+import pytest
+
+from repro.lang import parse
+from repro.vm.lua import CompileError, LuaVM, Op, compile_module
+from repro.vm.lua.opcodes import RK_CONST_BIT, decode
+
+
+def ops_of(source, proto="main"):
+    module = compile_module(parse(source))
+    target = module.main if proto == "main" else module.functions[proto]
+    return [decode(w) for w in target.code]
+
+
+class TestRkOperands:
+    def test_small_constants_inline_as_rk(self):
+        decoded = ops_of("var x = 0; x = x + 1;")
+        adds = [d for d in decoded if d[0] == Op.ADD]
+        # Interned constant 1 referenced through an RK operand.
+        assert adds and adds[0][3] & RK_CONST_BIT
+
+    def test_constants_interned(self):
+        module = compile_module(parse("print(7 + 7 + 7);"))
+        assert module.main.constants.count(7) == 1
+
+    def test_distinct_types_not_merged(self):
+        module = compile_module(parse("print(1 / 1.0);"))
+        constants = module.main.constants
+        assert 1 in constants and 1.0 in constants
+        ints = [c for c in constants if isinstance(c, int) and not isinstance(c, bool)]
+        floats = [c for c in constants if isinstance(c, float)]
+        assert len(ints) == 1 and len(floats) == 1
+
+    def test_true_and_one_distinct(self):
+        # bool/int interning must not conflate True with 1.
+        src = "var a = true; var b = 1; print(a); print(b);"
+        assert LuaVM.from_source(src).run() == ["true", "1"]
+
+
+class TestRegisterDiscipline:
+    def test_temporaries_released(self):
+        # A long statement sequence must not grow the frame unboundedly.
+        statements = "\n".join(f"x = x + {i};" for i in range(1, 60))
+        module = compile_module(parse(f"fn f() {{ var x = 0; {statements} return x; }}"))
+        assert module.functions["f"].max_regs < 12
+
+    def test_deep_expression_nesting(self):
+        expr = "1"
+        for _ in range(30):
+            expr = f"({expr} + 1)"
+        out = LuaVM.from_source(f"print({expr});").run()
+        assert out == ["31"]
+
+    def test_register_overflow_detected(self):
+        expr = " .. ".join(f'"{i}"' for i in range(230))
+        with pytest.raises(CompileError, match="registers"):
+            compile_module(parse(f"var s = {expr};"))
+
+    def test_params_occupy_first_registers(self):
+        module = compile_module(parse("fn f(a, b, c) { return c; }"))
+        proto = module.functions["f"]
+        assert proto.nparams == 3
+        # RETURN reads R2 (the third parameter).
+        returns = [decode(w) for w in proto.code if w & 0x3F == Op.RETURN]
+        assert returns[0][1] == 2
+
+
+class TestJumpPatching:
+    def test_while_backward_jump(self):
+        decoded = ops_of("var i = 0; while (i < 3) { i = i + 1; }")
+        jumps = [(i, d) for i, d in enumerate(decoded) if d[0] == Op.JMP]
+        assert any(d[5] < 0 for _i, d in jumps)  # a backward JMP exists
+
+    def test_if_without_else_single_forward_jump(self):
+        decoded = ops_of("if (1 < 2) { print(1); }")
+        jumps = [d for d in decoded if d[0] == Op.JMP]
+        assert all(d[5] >= 0 for d in jumps)
+
+    def test_forprep_points_at_forloop(self):
+        decoded = ops_of("for i = 1, 3 { print(i); }")
+        prep_index = next(i for i, d in enumerate(decoded) if d[0] == Op.FORPREP)
+        prep_sbx = decoded[prep_index][5]
+        target = prep_index + 1 + prep_sbx
+        assert decoded[target][0] == Op.FORLOOP
+
+    def test_forloop_jumps_back_to_body(self):
+        decoded = ops_of("for i = 1, 3 { print(i); }")
+        loop_index = next(i for i, d in enumerate(decoded) if d[0] == Op.FORLOOP)
+        sbx = decoded[loop_index][5]
+        assert sbx < 0
+
+
+class TestGlobalsVsLocals:
+    def test_top_level_var_becomes_global(self):
+        decoded = ops_of("var g = 1;")
+        assert any(d[0] == Op.SETTABUP for d in decoded)
+
+    def test_function_var_is_register_local(self):
+        module = compile_module(parse("fn f() { var x = 1; return x; }"))
+        ops = [w & 0x3F for w in module.functions["f"].code]
+        assert Op.SETTABUP not in ops
+
+    def test_global_read_in_function(self):
+        module = compile_module(parse("var g = 1; fn f() { return g; }"))
+        ops = [w & 0x3F for w in module.functions["f"].code]
+        assert Op.GETTABUP in ops
+
+
+class TestCallShapes:
+    def test_call_abc_fields(self):
+        decoded = ops_of("fn f(a, b) { return a; } print(f(1, 2));", proto="main")
+        calls = [d for d in decoded if d[0] == Op.CALL]
+        # f(1,2): B = nargs+1 = 3; result wanted: C = 2.
+        assert any(d[2] == 3 and d[3] == 2 for d in calls)
+
+    def test_statement_call_discards_result(self):
+        decoded = ops_of("fn f() { } f();")
+        calls = [d for d in decoded if d[0] == Op.CALL]
+        assert any(d[3] == 1 for d in calls)  # C=1: no results
+
+    def test_nested_call_argument(self):
+        src = "fn f(x) { return x + 1; } print(f(f(f(0))));"
+        assert LuaVM.from_source(src).run() == ["3"]
+
+
+class TestLogicalCompilation:
+    def test_and_or_testset_shapes(self):
+        decoded = ops_of("var a = 1; var b = a and 2; var c = a or 3;")
+        tests = [d for d in decoded if d[0] == Op.TEST]
+        assert len(tests) == 2
+        # and: skip-JMP when truthy (C=0); or: skip when falsey (C=1).
+        assert {d[3] for d in tests} == {0, 1}
+
+    def test_deeply_mixed_logic(self):
+        src = "print((1 and nil) or (false or 5) and 6);"
+        assert LuaVM.from_source(src).run() == ["6"]
+
+
+class TestEdgeCases:
+    def test_empty_program(self):
+        assert LuaVM.from_source("").run() == []
+
+    def test_only_functions_no_toplevel(self):
+        assert LuaVM.from_source("fn f() { return 1; }").run() == []
+
+    def test_return_at_top_level_of_function_body(self):
+        src = "fn f() { return 1; return 2; } print(f());"
+        assert LuaVM.from_source(src).run() == ["1"]
+
+    def test_loadnil(self):
+        # Locals initialised to nil use LOADNIL (globals go through an RK
+        # constant instead).
+        module = compile_module(parse("fn f() { var x = nil; return x; }"))
+        ops = [w & 0x3F for w in module.functions["f"].code]
+        assert Op.LOADNIL in ops
+
+    def test_self_assignment_no_move(self):
+        module = compile_module(parse("fn f(a) { a = a; return a; }"))
+        # MOVE with identical src/dst registers is elided.
+        moves = [
+            decode(w)
+            for w in module.functions["f"].code
+            if w & 0x3F == Op.MOVE
+        ]
+        assert all(m[1] != m[2] for m in moves)

@@ -1,0 +1,119 @@
+"""Unit tests for Lua opcode encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.lua.opcodes import (
+    ABX_OPCODES,
+    ASBX_OPCODES,
+    NUM_OPCODES,
+    OPCODE_MASK,
+    Op,
+    RK_CONST_BIT,
+    SBX_BIAS,
+    decode,
+    disassemble,
+    encode_abc,
+    encode_abx,
+    encode_asbx,
+)
+
+
+def test_exactly_47_opcodes():
+    # Section V: "Lua has 47 distinct bytecodes".
+    assert NUM_OPCODES == 47
+    assert len(Op) == 47
+
+
+def test_opcode_numbering_matches_lua53():
+    assert Op.MOVE == 0
+    assert Op.ADD == 13
+    assert Op.JMP == 30
+    assert Op.CALL == 36
+    assert Op.RETURN == 38
+    assert Op.FORLOOP == 39
+    assert Op.EXTRAARG == 46
+
+
+def test_mask_is_six_bits():
+    # The paper's setmask example for Lua: 0x0000003F.
+    assert OPCODE_MASK == 0x3F
+    assert NUM_OPCODES <= OPCODE_MASK + 1
+
+
+class TestEncodeDecode:
+    def test_abc_roundtrip(self):
+        word = encode_abc(Op.ADD, 3, 0x1F2, 0x045)
+        op, a, b, c, _bx, _sbx = decode(word)
+        assert (op, a, b, c) == (Op.ADD, 3, 0x1F2, 0x045)
+
+    def test_opcode_in_low_bits(self):
+        word = encode_abc(Op.GETTABLE, 0xFF, 0x1FF, 0x1FF)
+        assert word & OPCODE_MASK == Op.GETTABLE
+
+    def test_abx_roundtrip(self):
+        word = encode_abx(Op.LOADK, 7, 12345)
+        op, a, _b, _c, bx, _sbx = decode(word)
+        assert (op, a, bx) == (Op.LOADK, 7, 12345)
+
+    def test_asbx_roundtrip_negative(self):
+        word = encode_asbx(Op.JMP, 0, -42)
+        *_rest, sbx = decode(word)
+        assert sbx == -42
+
+    def test_asbx_roundtrip_positive(self):
+        word = encode_asbx(Op.FORLOOP, 4, 100)
+        *_rest, sbx = decode(word)
+        assert sbx == 100
+
+    def test_sbx_extremes(self):
+        assert decode(encode_asbx(Op.JMP, 0, -SBX_BIAS))[-1] == -SBX_BIAS
+        assert decode(encode_asbx(Op.JMP, 0, SBX_BIAS + 1))[-1] == SBX_BIAS + 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_abc(Op.ADD, 256, 0, 0)
+        with pytest.raises(ValueError):
+            encode_abc(Op.ADD, 0, 512, 0)
+        with pytest.raises(ValueError):
+            encode_abx(Op.LOADK, 0, 1 << 18)
+        with pytest.raises(ValueError):
+            encode_asbx(Op.JMP, 0, SBX_BIAS + 2)
+
+    @given(
+        op=st.sampled_from(list(Op)),
+        a=st.integers(0, 0xFF),
+        b=st.integers(0, 0x1FF),
+        c=st.integers(0, 0x1FF),
+    )
+    def test_abc_roundtrip_property(self, op, a, b, c):
+        word = encode_abc(op, a, b, c)
+        assert 0 <= word < 2**32
+        got_op, got_a, got_b, got_c, _bx, _sbx = decode(word)
+        assert (got_op, got_a, got_b, got_c) == (op, a, b, c)
+
+    @given(op=st.sampled_from(sorted(ASBX_OPCODES)), a=st.integers(0, 0xFF),
+           sbx=st.integers(-SBX_BIAS, SBX_BIAS + 1))
+    def test_asbx_roundtrip_property(self, op, a, sbx):
+        word = encode_asbx(op, a, sbx)
+        got = decode(word)
+        assert got[0] == op and got[1] == a and got[5] == sbx
+
+
+class TestDisassemble:
+    def test_abc_form(self):
+        text = disassemble(encode_abc(Op.ADD, 1, 2, RK_CONST_BIT | 3))
+        assert text == "ADD R1 R2 K3"
+
+    def test_abx_form(self):
+        assert disassemble(encode_abx(Op.LOADK, 0, 5)) == "LOADK R0 5"
+
+    def test_asbx_form(self):
+        assert disassemble(encode_asbx(Op.JMP, 0, -3)) == "JMP R0 -3"
+
+    def test_bad_opcode(self):
+        assert "bad opcode" in disassemble(63)
+
+
+def test_format_sets_disjoint():
+    assert not (ABX_OPCODES & ASBX_OPCODES)

@@ -1,0 +1,319 @@
+"""Behavioural tests for the Lua-like register VM."""
+
+import pytest
+
+from repro.lang import parse
+from repro.vm.lua import CompileError, LuaVM, Op, compile_module
+from repro.vm.trace import CALLEE_BUILTIN, CALLEE_RETURN, CALLEE_SCRIPT, Site
+from repro.vm.values import VmError
+
+from conftest import run_lua
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert run_lua("print(1 + 2 * 3);") == ["7"]
+
+    def test_division_semantics(self):
+        assert run_lua("print(1 / 2); print(7 // 2); print(7 % 3);") == [
+            "0.5", "3", "1",
+        ]
+
+    def test_unary_minus(self):
+        assert run_lua("var x = 5; print(-x);") == ["-5"]
+
+    def test_bignum(self):
+        assert run_lua("var x = 1; for i = 1, 40 { x = x * 10; } print(x);") == [
+            "1" + "0" * 40
+        ]
+
+    def test_float_formatting(self):
+        assert run_lua("print(4.0); print(2.5);") == ["4.0", "2.5"]
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "if (1 < 2) { print(1); } else { print(2); }"
+        assert run_lua(src) == ["1"]
+
+    def test_else_if_chain(self):
+        src = """
+        var x = 2;
+        if (x == 1) { print("one"); }
+        else if (x == 2) { print("two"); }
+        else { print("many"); }
+        """
+        assert run_lua(src) == ["two"]
+
+    def test_while_loop(self):
+        assert run_lua("var i = 0; while (i < 4) { i = i + 1; } print(i);") == ["4"]
+
+    def test_for_inclusive(self):
+        assert run_lua("var s = 0; for i = 1, 5 { s = s + i; } print(s);") == ["15"]
+
+    def test_for_negative_step(self):
+        assert run_lua("var out = \"\"; for i = 3, 1, -1 { out = out .. i; } print(out);") == ["321"]
+
+    def test_for_step_skips(self):
+        assert run_lua("var n = 0; for i = 0, 10, 3 { n = n + 1; } print(n);") == ["4"]
+
+    def test_for_zero_trip(self):
+        assert run_lua("var n = 0; for i = 5, 1 { n = n + 1; } print(n);") == ["0"]
+
+    def test_break_and_continue(self):
+        src = """
+        var s = 0;
+        for i = 1, 10 {
+            if (i % 2 == 0) { continue; }
+            if (i > 7) { break; }
+            s = s + i;
+        }
+        print(s);
+        """
+        assert run_lua(src) == ["16"]  # 1+3+5+7
+
+    def test_continue_in_while(self):
+        src = """
+        var i = 0; var s = 0;
+        while (i < 5) { i = i + 1; if (i == 3) { continue; } s = s + i; }
+        print(s);
+        """
+        assert run_lua(src) == ["12"]
+
+    def test_nested_loops_break_inner_only(self):
+        src = """
+        var n = 0;
+        for i = 1, 3 { for j = 1, 10 { if (j == 2) { break; } n = n + 1; } }
+        print(n);
+        """
+        assert run_lua(src) == ["3"]
+
+
+class TestLogic:
+    def test_and_or_values(self):
+        assert run_lua("print(nil or 5); print(false and 9); print(1 and 2);") == [
+            "5", "false", "2",
+        ]
+
+    def test_short_circuit(self):
+        # boom() would raise; short-circuit must avoid the call.
+        src = """
+        fn boom() { print("BOOM"); return true; }
+        var x = false and boom();
+        var y = true or boom();
+        print(x); print(y);
+        """
+        assert run_lua(src) == ["false", "true"]
+
+    def test_not(self):
+        assert run_lua("print(not nil); print(not 0);") == ["true", "false"]
+
+    def test_comparison_as_value(self):
+        assert run_lua("var b = 3 > 2; print(b); print(2 > 3);") == ["true", "false"]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        assert run_lua(
+            "fn f(n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } print(f(10));"
+        ) == ["55"]
+
+    def test_mutual_recursion(self):
+        src = """
+        fn is_even(n) { if (n == 0) { return true; } return is_odd(n - 1); }
+        fn is_odd(n) { if (n == 0) { return false; } return is_even(n - 1); }
+        print(is_even(10)); print(is_odd(7));
+        """
+        assert run_lua(src) == ["true", "true"]
+
+    def test_return_nil_by_default(self):
+        assert run_lua("fn f() { } print(f());") == ["nil"]
+
+    def test_args_beyond_params_dropped(self):
+        assert run_lua("fn f(a) { return a; } print(f(1));") == ["1"]
+
+    def test_missing_args_are_nil(self):
+        assert run_lua("fn f(a, b) { return b; } print(f(1));") == ["nil"]
+
+    def test_call_depth_limit(self):
+        vm = LuaVM.from_source("fn f(n) { return f(n + 1); } print(f(0));")
+        with pytest.raises(VmError, match="stack overflow"):
+            vm.run()
+
+    def test_call_non_function_at_runtime(self):
+        # A local can hold anything; calling a non-function fails at runtime.
+        vm = LuaVM.from_source("fn f() { var g = 5; return g(); } print(f());")
+        with pytest.raises(VmError, match="call a non-function"):
+            vm.run()
+
+    def test_unknown_callee_rejected_at_compile_time(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            LuaVM.from_source("print(notdefined());")
+
+    def test_step_limit(self):
+        vm = LuaVM.from_source("var i = 0; while (true) { i = i + 1; }", max_steps=1000)
+        with pytest.raises(VmError, match="step limit"):
+            vm.run()
+
+
+class TestDataStructures:
+    def test_array_ops(self):
+        src = """
+        var a = [1, 2, 3];
+        a[0] = 10;
+        a[3] = 4;
+        print(a[0] + a[3]); print(len(a));
+        """
+        assert run_lua(src) == ["14", "4"]
+
+    def test_large_array_literal_setlist_batches(self):
+        items = ", ".join(str(i) for i in range(120))
+        src = f"var a = [{items}]; print(a[0]); print(a[60]); print(a[119]); print(len(a));"
+        assert run_lua(src) == ["0", "60", "119", "120"]
+
+    def test_array_literal_into_reassigned_local(self):
+        # Exercises the MOVE path when the target is not top-of-stack.
+        src = """
+        fn f() {
+            var a = [0];
+            var b = 5;
+            a = [7, 8];
+            return a[1] + b;
+        }
+        print(f());
+        """
+        assert run_lua(src) == ["13"]
+
+    def test_map_ops(self):
+        src = """
+        var m = {a: 1, b: 2};
+        m["c"] = m["a"] + m["b"];
+        print(m["c"]); print(m["zz"]); print(len(m));
+        """
+        assert run_lua(src) == ["3", "nil", "3"]
+
+    def test_nested_structures(self):
+        src = """
+        var grid = [[1, 2], [3, 4]];
+        print(grid[1][0]);
+        grid[0][1] = 9;
+        print(grid[0][1]);
+        """
+        assert run_lua(src) == ["3", "9"]
+
+    def test_concat_chain(self):
+        assert run_lua('print("a" .. 1 .. "b" .. 2.5);') == ["a1b2.5"]
+
+
+class TestScoping:
+    def test_locals_shadow_globals(self):
+        src = """
+        var x = 1;
+        fn f() { var x = 2; return x; }
+        print(f()); print(x);
+        """
+        assert run_lua(src) == ["2", "1"]
+
+    def test_function_reads_global(self):
+        src = "var g = 10; fn f() { return g + 1; } print(f());"
+        assert run_lua(src) == ["11"]
+
+    def test_function_writes_global(self):
+        src = "var g = 0; fn bump() { g = g + 1; } bump(); bump(); print(g);"
+        assert run_lua(src) == ["2"]
+
+    def test_block_scoping(self):
+        src = """
+        fn f() {
+            var x = 1;
+            if (true) { var y = 2; x = x + y; }
+            if (true) { var y = 30; x = x + y; }
+            return x;
+        }
+        print(f());
+        """
+        assert run_lua(src) == ["33"]
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            LuaVM.from_source("fn f() { var a = 1; var a = 2; }")
+
+
+class TestCompilerErrors:
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break"):
+            LuaVM.from_source("break;")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            LuaVM.from_source("ghost(1);")
+
+    def test_builtin_shadow_rejected(self):
+        with pytest.raises(CompileError, match="shadows a builtin"):
+            LuaVM.from_source("fn print(x) { }")
+
+
+class TestTrace:
+    def _trace(self, source):
+        events = []
+        vm = LuaVM.from_source(source)
+        vm.run(trace=lambda *a: events.append(a))
+        return vm, events
+
+    def test_one_event_per_step(self):
+        vm, events = self._trace("var s = 0; for i = 1, 20 { s = s + i; } print(s);")
+        assert len(events) == vm.steps
+
+    def test_all_events_main_site(self):
+        _vm, events = self._trace("print(1 + 2);")
+        assert all(e[1] == Site.MAIN for e in events)
+
+    def test_callee_kinds_present(self):
+        _vm, events = self._trace("fn f() { return 1; } print(f());")
+        kinds = {e[3] for e in events}
+        assert CALLEE_SCRIPT in kinds
+        assert CALLEE_BUILTIN in kinds
+        assert CALLEE_RETURN in kinds
+
+    def test_forloop_taken_pattern(self):
+        _vm, events = self._trace("for i = 1, 3 { }")
+        forloops = [e for e in events if e[0] == Op.FORLOOP]
+        assert [e[2] for e in forloops] == [1, 1, 1, 0]  # 3 taken + exit
+
+    def test_builtin_cost_attached(self):
+        _vm, events = self._trace('print("hello");')
+        call_events = [e for e in events if e[3] == CALLEE_BUILTIN]
+        assert call_events and call_events[0][6] is not None
+
+    def test_daddrs_are_ints(self):
+        _vm, events = self._trace("var a = [1]; a[0] = a[0] + 1;")
+        for event in events:
+            assert all(isinstance(addr, int) for addr in event[4])
+
+
+class TestCompiledShape:
+    def test_comparison_uses_skip_idiom(self):
+        module = compile_module(parse("if (1 < 2) { print(1); }"))
+        ops = [w & 0x3F for w in module.main.code]
+        assert Op.LT in ops
+        assert Op.JMP in ops
+
+    def test_fornum_uses_forprep_forloop(self):
+        module = compile_module(parse("for i = 1, 3 { }"))
+        ops = [w & 0x3F for w in module.main.code]
+        assert Op.FORPREP in ops and Op.FORLOOP in ops
+
+    def test_len_builtin_compiles_to_len_opcode(self):
+        module = compile_module(parse("var a = [1]; print(len(a));"))
+        ops = [w & 0x3F for w in module.main.code]
+        assert Op.LEN in ops
+
+    def test_concat_single_instruction_for_chain(self):
+        module = compile_module(parse('var s = "a" .. "b" .. "c";'))
+        ops = [w & 0x3F for w in module.main.code]
+        assert ops.count(Op.CONCAT) == 1
+
+    def test_every_proto_ends_with_return(self):
+        module = compile_module(parse("fn f() { } var x = 1;"))
+        for proto in module.protos:
+            assert proto.code[-1] & 0x3F == Op.RETURN

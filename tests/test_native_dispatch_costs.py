@@ -1,0 +1,128 @@
+"""Regression tests pinning the per-event dispatch instruction costs.
+
+The paper's arithmetic hangs on these numbers: how many host instructions
+each dispatch strategy spends per bytecode, and how many SCD's fast path
+saves.  These tests execute exactly one guest bytecode per configuration
+and count the dispatch-category instructions, so any accidental change to
+the dispatcher assembly shows up immediately.
+"""
+
+import pytest
+
+from repro.native.model import ModelRunner, get_model
+from repro.uarch import Machine, cortex_a5
+from repro.vm.trace import CALLEE_NONE, Site, TAKEN_NONE
+
+
+def dispatch_insts_per_event(vm_kind, strategy, events):
+    """Replay *events* and return dispatch instructions per event."""
+    model = get_model(vm_kind, strategy)
+    machine = Machine(cortex_a5())
+    runner = ModelRunner(model, machine)
+    runner.start()
+    some_plain_op = 13 if vm_kind == "lua" else 27  # ADD in both tables
+    for event in events:
+        runner.on_event(*event)
+    runner.finish()
+    stats = machine.finalize()
+    return stats.insts_by_category.get("dispatch", 0)
+
+
+def plain_event(op, site=int(Site.MAIN)):
+    return (op, site, TAKEN_NONE, CALLEE_NONE, (), None, None)
+
+
+LUA_ADD = 13  # Op.ADD
+JS_ADD = 27   # JsOp.ADD
+
+
+class TestLuaDispatchCosts:
+    def test_baseline_dispatch_is_17_instructions(self):
+        # Loop header (4) + Figure 1(b)'s fetch 4 / decode 1 / bound 2 /
+        # target-calc 5 + jmp 1 = 17 per bytecode.
+        cost = dispatch_insts_per_event("lua", "baseline", [plain_event(LUA_ADD)])
+        assert cost == 17
+
+    def test_scd_slow_path_runs_full_dispatcher_plus_bop(self):
+        # First dispatch of an opcode: fetch+bop miss, then the slow path.
+        cost = dispatch_insts_per_event("lua", "scd", [plain_event(LUA_ADD)])
+        assert cost == 18  # 17 + the bop attempt
+
+    def test_scd_fast_path_is_9_instructions(self):
+        two = dispatch_insts_per_event(
+            "lua", "scd", [plain_event(LUA_ADD), plain_event(LUA_ADD)]
+        )
+        fast_path = two - 18
+        # Figure 4's fast path: header 4 + fetch 4 (with .op) + bop 1.
+        assert fast_path == 9
+
+    def test_scd_saves_8_instructions_per_dispatch(self):
+        baseline = dispatch_insts_per_event(
+            "lua", "baseline", [plain_event(LUA_ADD)] * 50
+        )
+        scd = dispatch_insts_per_event("lua", "scd", [plain_event(LUA_ADD)] * 50)
+        per_event_saving = (baseline - scd) / 50
+        assert 7.5 < per_event_saving < 8.5
+
+    def test_threaded_tail_is_15_instructions(self):
+        # After the entry dispatch, each event runs the previous handler's
+        # replicated 15-instruction tail.
+        many = dispatch_insts_per_event(
+            "lua", "threaded", [plain_event(LUA_ADD)] * 51
+        )
+        first = dispatch_insts_per_event("lua", "threaded", [plain_event(LUA_ADD)])
+        assert (many - first) % 50 == 0
+        assert (many - first) // 50 == 15
+
+
+class TestJsDispatchCosts:
+    def test_baseline_main_dispatch_is_29_instructions(self):
+        # Section V: "the dispatch loop takes 29 native instructions".
+        cost = dispatch_insts_per_event("js", "baseline", [plain_event(JS_ADD)])
+        assert cost == 29
+
+    def test_end_case_dispatch_is_shorter(self):
+        main = dispatch_insts_per_event("js", "baseline", [plain_event(JS_ADD)])
+        end_case = dispatch_insts_per_event(
+            "js", "baseline", [plain_event(JS_ADD, site=int(Site.END_CASE))]
+        )
+        assert end_case < main
+
+    def test_uncovered_site_pays_full_dispatch_under_scd(self):
+        covered = dispatch_insts_per_event(
+            "js", "scd", [plain_event(JS_ADD)] * 2
+        )
+        uncovered = dispatch_insts_per_event(
+            "js", "scd", [plain_event(JS_ADD, site=int(Site.UNCOVERED))] * 2
+        )
+        assert uncovered > covered
+
+    def test_scd_fast_path_saves_on_covered_sites(self):
+        baseline = dispatch_insts_per_event(
+            "js", "baseline", [plain_event(JS_ADD)] * 40
+        )
+        scd = dispatch_insts_per_event("js", "scd", [plain_event(JS_ADD)] * 40)
+        assert scd < baseline * 0.65
+
+
+class TestDispatchFractionConsistency:
+    def test_figure1b_shape_in_program(self):
+        """The baseline Lua dispatcher mirrors Figure 1(b)'s block shape."""
+        model = get_model("lua", "baseline")
+        dispatch = model.dispatchers[0]
+        assert dispatch.fetch.n_insts == 4       # ldq/ldl/lda/stq
+        assert dispatch.decode.n_insts == 1      # and r9, 63, r2
+        assert dispatch.bound.n_insts == 2       # cmpule + beq
+        assert dispatch.calc.n_insts == 6        # 5 calc + jmp
+        assert dispatch.fetch.n_loads == 2
+        assert dispatch.fetch.n_stores == 1
+
+    def test_figure4_op_suffix_present(self):
+        model = get_model("lua", "scd")
+        assert model.dispatchers[0].fetch.has_op_load
+        assert not get_model("lua", "baseline").dispatchers[0].fetch.has_op_load
+
+    def test_masks_match_paper(self):
+        # Section III-A: Lua mask 0x3F; JS opcode byte mask 0xFF.
+        assert get_model("lua", "scd").opcode_mask == 0x3F
+        assert get_model("js", "scd").opcode_mask == 0xFF

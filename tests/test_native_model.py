@@ -1,0 +1,195 @@
+"""Integration tests for the native interpreter model and event replay."""
+
+import pytest
+
+from repro.native.model import (
+    DISPATCH_STRATEGIES,
+    ModelRunner,
+    NativeInterpreterModel,
+    get_model,
+)
+from repro.uarch import Machine, cortex_a5, rocket
+from repro.vm.js import JsVM
+from repro.vm.lua import LuaVM, Op
+from repro.vm.trace import Site
+
+SIMPLE = "var s = 0; for i = 1, 30 { s = s + i; } print(s);"
+CALLS = "fn f(n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } print(f(10));"
+
+
+def replay(vm_kind, strategy, source, config=None):
+    model = get_model(vm_kind, strategy)
+    machine = Machine(config or cortex_a5())
+    runner = ModelRunner(model, machine)
+    runner.start()
+    vm = (LuaVM if vm_kind == "lua" else JsVM).from_source(source)
+    output = vm.run(trace=runner.on_event)
+    runner.finish()
+    return vm, machine, machine.finalize(), output
+
+
+class TestModelConstruction:
+    @pytest.mark.parametrize("vm_kind", ["lua", "js"])
+    @pytest.mark.parametrize("strategy", DISPATCH_STRATEGIES)
+    def test_builds(self, vm_kind, strategy):
+        model = get_model(vm_kind, strategy)
+        assert model.code_size_bytes > 4096
+        n_ops = 47 if vm_kind == "lua" else 229
+        assert len(model.handlers) == n_ops
+
+    def test_lua_single_site(self):
+        model = get_model("lua", "baseline")
+        assert set(model.dispatchers) == {0}
+        assert model.covered_sites == {0}
+
+    def test_js_four_sites_three_covered(self):
+        model = get_model("js", "scd")
+        assert set(model.dispatchers) == {0, 1, 2, 3}
+        assert model.covered_sites == {0, 1, 2}
+        assert model.dispatchers[0].scd
+        assert not model.dispatchers[int(Site.UNCOVERED)].scd
+
+    def test_masks(self):
+        assert get_model("lua", "scd").opcode_mask == 0x3F
+        assert get_model("js", "scd").opcode_mask == 0xFF
+
+    def test_threaded_bigger_than_baseline(self):
+        for vm_kind in ("lua", "js"):
+            assert (
+                get_model(vm_kind, "threaded").code_size_bytes
+                > get_model(vm_kind, "baseline").code_size_bytes
+            )
+
+    def test_handler_kinds(self):
+        model = get_model("lua", "baseline")
+        assert model.handlers[Op.ADD].kind == "plain"
+        assert model.handlers[Op.LT].kind == "branchy"
+        assert model.handlers[Op.CONCAT].kind == "workloop"
+        assert model.handlers[Op.CALL].kind == "callout"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            NativeInterpreterModel("python", "baseline")
+        with pytest.raises(ValueError):
+            NativeInterpreterModel("lua", "turbo")
+
+    def test_model_cache_returns_same_object(self):
+        assert get_model("lua", "scd") is get_model("lua", "scd")
+
+
+class TestReplayBasics:
+    @pytest.mark.parametrize("vm_kind", ["lua", "js"])
+    @pytest.mark.parametrize("strategy", DISPATCH_STRATEGIES)
+    def test_replay_runs_and_counts(self, vm_kind, strategy):
+        vm, _machine, stats, output = replay(vm_kind, strategy, SIMPLE)
+        assert output == ["465"]
+        assert stats.instructions > vm.steps * 10  # many host insts per step
+        assert stats.cycles >= stats.instructions
+
+    def test_functional_result_independent_of_strategy(self):
+        outputs = {
+            strategy: replay("lua", strategy, CALLS)[3][0]
+            for strategy in DISPATCH_STRATEGIES
+        }
+        assert set(outputs.values()) == {"55"}
+
+    def test_dispatch_category_populated(self):
+        _vm, _machine, stats, _out = replay("lua", "baseline", SIMPLE)
+        assert stats.insts_by_category["dispatch"] > 0
+        assert stats.insts_by_category["handler"] > 0
+
+    def test_builtin_category_populated(self):
+        _vm, _machine, stats, _out = replay("lua", "baseline", 'print("x");')
+        assert stats.insts_by_category["builtin"] > 0
+
+
+class TestScdReplay:
+    def test_bop_hits_dominate_after_warmup(self):
+        _vm, machine, stats, _out = replay("lua", "scd", SIMPLE)
+        assert stats.bop_hits > stats.bop_misses * 5
+        assert stats.jte_inserts == stats.bop_misses
+
+    def test_jtes_resident_during_run_flushed_at_exit(self):
+        model = get_model("lua", "scd")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm = LuaVM.from_source(SIMPLE)
+        vm.run(trace=runner.on_event)
+        assert machine.btb.jte_count > 0
+        runner.finish()
+        assert machine.btb.jte_count == 0
+
+    def test_scd_reduces_instructions(self):
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, scd, _o = replay("lua", "scd", SIMPLE)
+        assert scd.instructions < base.instructions * 0.95
+
+    def test_scd_reduces_dispatch_mispredicts(self):
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, scd, _o = replay("lua", "scd", SIMPLE)
+        assert (
+            scd.mispredicts_by_category.get("dispatch_jump", 0)
+            < base.mispredicts_by_category.get("dispatch_jump", 1)
+        )
+
+    def test_js_uncovered_sites_bypass_scd(self):
+        source = "var a = [1, 2, 3]; a[0] = a[1] + a[2]; print(a[0]);"
+        _vm, _machine, stats, _out = replay("js", "scd", source)
+        # Array construction dispatches through the uncovered path: those
+        # events must not produce bop activity.
+        assert stats.bop_misses + stats.bop_hits < _vm.steps
+
+    def test_context_switch_interval_causes_flushes(self):
+        model = get_model("lua", "scd")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine, context_switch_interval=50)
+        runner.start()
+        vm = LuaVM.from_source(SIMPLE)
+        vm.run(trace=runner.on_event)
+        runner.finish()
+        assert machine.stats.jte_flushes > 2
+
+    def test_stall_cycles_accumulate(self):
+        _vm, _machine, stats, _out = replay("lua", "scd", SIMPLE)
+        assert stats.scd_stall_cycles > 0
+
+
+class TestThreadedReplay:
+    def test_threaded_reduces_instructions(self):
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, threaded, _o = replay("lua", "threaded", SIMPLE)
+        assert threaded.instructions < base.instructions
+
+    def test_threaded_reduces_dispatch_mispredicts(self):
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, threaded, _o = replay("lua", "threaded", SIMPLE)
+        assert (
+            threaded.mispredicts_by_category["dispatch_jump"]
+            < base.mispredicts_by_category["dispatch_jump"]
+        )
+
+    def test_threaded_dispatch_fraction_lower(self):
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, threaded, _o = replay("lua", "threaded", SIMPLE)
+        assert threaded.dispatch_fraction() < base.dispatch_fraction()
+
+
+class TestVbbiReplay:
+    def test_vbbi_removes_most_dispatch_mispredicts(self):
+        config = cortex_a5().with_changes(indirect_scheme="vbbi")
+        _vm, _m, base, _o = replay("lua", "baseline", SIMPLE)
+        _vm, _m, vbbi, _o = replay("lua", "baseline", SIMPLE, config=config)
+        assert (
+            vbbi.mispredicts_by_category["dispatch_jump"]
+            < base.mispredicts_by_category["dispatch_jump"] * 0.2
+        )
+        # VBBI does NOT reduce instruction count (the paper's key point).
+        assert vbbi.instructions == base.instructions
+
+
+class TestRocketReplay:
+    def test_runs_on_rocket_config(self):
+        _vm, _machine, stats, output = replay("lua", "scd", SIMPLE, config=rocket())
+        assert output == ["465"]
+        assert stats.bop_hits > 0

@@ -1,0 +1,155 @@
+"""Unit tests for handler/stub code generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Kind, assemble
+from repro.native.specs import (
+    WORK_LOOP_INSTS,
+    HandlerSpec,
+    generate_handler_asm,
+    generate_stub_asm,
+    work_loop_iterations,
+)
+
+
+def executed_hot_path_insts(program, name):
+    """Count instructions on the hot path: follow the junction chain."""
+    total = 0
+    block = program.block(name)
+    while True:
+        total += block.n_insts
+        term = block.term
+        if (
+            term is not None
+            and term.mnemonic == "bne"
+            and term.target_label
+            and term.target_label.startswith(f"{name}_h")
+        ):
+            block = program.block(term.target_label)
+            continue
+        return total, block
+
+
+class TestPlainHandler:
+    def test_assembles(self):
+        spec = HandlerSpec(alu=20, loads=5, stores=3)
+        text = generate_handler_asm("H_X", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        assert program.has_block("H_X")
+
+    def test_executed_count_matches_spec(self):
+        """Junction branches must not inflate the executed instruction count."""
+        spec = HandlerSpec(alu=22, loads=5, stores=3)
+        text = generate_handler_asm("H_X", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        total, final = executed_hot_path_insts(program, "H_X")
+        # +1 for the tail jump on the final block.
+        assert total == spec.body_insts + 1
+        assert final.term.kind is Kind.JUMP
+
+    def test_cold_regions_not_on_hot_path(self):
+        spec = HandlerSpec(alu=30, loads=6, stores=4)
+        text = generate_handler_asm("H_X", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        total, _final = executed_hot_path_insts(program, "H_X")
+        # The program contains far more instructions than the hot path.
+        assert len(program) > total + 10
+
+    @given(
+        alu=st.integers(4, 80),
+        loads=st.integers(0, 20),
+        stores=st.integers(0, 12),
+        chunk=st.integers(3, 16),
+        cold=st.integers(4, 48),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_count_preservation_property(self, alu, loads, stores, chunk, cold):
+        spec = HandlerSpec(alu=alu, loads=loads, stores=stores)
+        text = generate_handler_asm(
+            "H_P", spec, "br {loop}", "Loop", chunk=chunk, cold=cold
+        )
+        program = assemble("Loop:\nret\n" + text)
+        total, _ = executed_hot_path_insts(program, "H_P")
+        assert total == spec.body_insts + 1  # body + tail jump
+
+
+class TestBranchyHandler:
+    def test_blocks_present(self):
+        spec = HandlerSpec(alu=16, loads=5, stores=0, guest_branch=True)
+        text = generate_handler_asm("H_LT", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        assert program.has_block("H_LT_nt")
+        assert program.has_block("H_LT_tk")
+
+    def test_chain_ends_in_guest_beq(self):
+        spec = HandlerSpec(alu=16, loads=5, stores=0, guest_branch=True)
+        text = generate_handler_asm("H_LT", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        _total, final = executed_hot_path_insts(program, "H_LT")
+        assert final.term.mnemonic == "beq"
+        assert final.term.target_label == "H_LT_tk"
+
+    def test_taken_extra_size(self):
+        spec = HandlerSpec(alu=16, guest_branch=True, taken_extra=5)
+        text = generate_handler_asm("H_B", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        assert program.block("H_B_tk").n_insts == 5 + 1  # + tail jump
+
+
+class TestWorkLoopHandler:
+    def test_blocks_present(self):
+        spec = HandlerSpec(alu=20, loads=6, stores=4, has_work_loop=True)
+        text = generate_handler_asm("H_C", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        work = program.block("H_C_w")
+        assert work.term.mnemonic == "bne"
+        assert work.term.target_label == "H_C_w"  # backward self-loop
+        assert work.n_insts == WORK_LOOP_INSTS
+        assert program.block("H_C_x").term.kind is Kind.JUMP
+
+
+class TestCalloutHandler:
+    def test_ends_with_indirect_call(self):
+        spec = HandlerSpec(alu=40, loads=10, stores=8, calls_out=True)
+        text = generate_handler_asm("H_CALL", spec, "br {loop}", "Loop")
+        program = assemble("Loop:\nret\n" + text)
+        _total, final = executed_hot_path_insts(program, "H_CALL")
+        assert final.term.kind is Kind.CALL_IND
+        ret_block = program.block("H_CALL_r")
+        assert ret_block.term.kind is Kind.JUMP
+
+
+class TestStub:
+    def test_stub_structure(self):
+        program = assemble(generate_stub_asm("sqrt"))
+        assert program.has_block("B_sqrt")
+        work = program.block("B_sqrt_w")
+        assert work.term.mnemonic == "bne"
+        exit_block = program.block("B_sqrt_x")
+        assert exit_block.term.kind is Kind.RET
+
+
+class TestWorkLoopIterations:
+    def test_zero_or_negative(self):
+        assert work_loop_iterations(0) == 0
+        assert work_loop_iterations(-5) == 0
+
+    def test_rounds_up(self):
+        assert work_loop_iterations(1) == 1
+        assert work_loop_iterations(WORK_LOOP_INSTS) == 1
+        assert work_loop_iterations(WORK_LOOP_INSTS + 1) == 2
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_models_at_least_requested_work(self, cost):
+        iterations = work_loop_iterations(cost)
+        assert iterations * WORK_LOOP_INSTS >= cost
+        assert iterations <= cost // WORK_LOOP_INSTS + 1
+
+
+class TestThreadedTailNaming:
+    def test_tail_placeholder_substitution(self):
+        spec = HandlerSpec(alu=8)
+        text = generate_handler_asm("H_Z", spec, "br {name}_T", "Loop")
+        assert "br H_Z_T" in text

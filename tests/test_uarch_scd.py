@@ -1,0 +1,95 @@
+"""Unit tests for the SCD register unit (Table I semantics)."""
+
+import pytest
+
+from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.scd import ScdStateError, ScdUnit
+
+
+@pytest.fixture
+def unit():
+    return ScdUnit(BranchTargetBuffer(entries=64, ways=2), tables=3)
+
+
+class TestSetmask:
+    def test_mask_applied_on_load_op(self, unit):
+        unit.setmask(0x3F)
+        opcode = unit.load_op(0xABC1_234E)  # low 6 bits = 0x0E (ADD in Lua)
+        assert opcode == 0x0E
+        valid, data = unit.rop()
+        assert valid and data == 0x0E
+
+    def test_default_mask_is_full_word(self, unit):
+        assert unit.mask() == 0xFFFF_FFFF
+
+    def test_mask_truncated_to_32_bits(self, unit):
+        unit.setmask(0x1_0000_00FF)
+        assert unit.mask() == 0xFF
+
+    def test_per_table_masks(self, unit):
+        unit.setmask(0x3F, table=0)
+        unit.setmask(0xFF, table=1)
+        assert unit.load_op(0x1CE, table=0) == 0x0E
+        assert unit.load_op(0x1CE, table=1) == 0xCE
+
+
+class TestBopJru:
+    def test_bop_invalid_rop_misses(self, unit):
+        assert unit.bop() is None
+
+    def test_slow_path_then_fast_path(self, unit):
+        unit.setmask(0x3F)
+        unit.load_op(13)
+        assert unit.bop() is None       # no JTE yet: slow path
+        valid, _ = unit.rop()
+        assert valid                    # Rop stays valid for jru
+        assert unit.jru(0x7000)         # installs the JTE, invalidates Rop
+        assert not unit.rop()[0]
+        unit.load_op(13)
+        assert unit.bop() == 0x7000     # fast path
+        assert not unit.rop()[0]        # bop hit invalidates Rop
+
+    def test_jru_without_valid_rop_is_noop(self, unit):
+        assert not unit.jru(0x7000)
+        assert unit.btb.jte_count == 0
+
+    def test_tables_are_independent(self, unit):
+        unit.load_op(5, table=0)
+        unit.jru(0x100, table=0)
+        unit.load_op(5, table=1)
+        unit.jru(0x200, table=1)
+        unit.load_op(5, table=0)
+        assert unit.bop(table=0) == 0x100
+        unit.load_op(5, table=1)
+        assert unit.bop(table=1) == 0x200
+
+    def test_bop_pc_tracking(self, unit):
+        unit.set_bop_pc(0x1234, table=2)
+        assert unit.bop_pc(table=2) == 0x1234
+        assert unit.bop_pc(table=0) == -1
+
+
+class TestFlush:
+    def test_flush_invalidates_rops_and_jtes(self, unit):
+        unit.load_op(5)
+        unit.jru(0x100)
+        unit.load_op(6)                 # valid Rop at flush time
+        flushed = unit.jte_flush()
+        assert flushed == 1
+        assert not unit.rop()[0]
+        unit.load_op(5)
+        assert unit.bop() is None
+
+
+class TestErrors:
+    def test_table_range_checked(self, unit):
+        with pytest.raises(ScdStateError):
+            unit.load_op(1, table=3)
+        with pytest.raises(ScdStateError):
+            unit.setmask(0, table=-1)
+        with pytest.raises(ScdStateError):
+            unit.bop(table=99)
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ScdStateError):
+            ScdUnit(BranchTargetBuffer(8, 2), tables=0)

@@ -1,0 +1,75 @@
+"""Unit tests for the statistics container."""
+
+import pytest
+
+from repro.uarch.stats import MachineStats
+
+
+class TestMpki:
+    def test_zero_instructions(self):
+        stats = MachineStats()
+        assert stats.mpki(100) == 0.0
+        assert stats.branch_mpki == 0.0
+
+    def test_mpki_scale(self):
+        stats = MachineStats()
+        stats.instructions = 10_000
+        assert stats.mpki(10) == 1.0
+
+    def test_branch_mpki_sums_all_redirect_sources(self):
+        stats = MachineStats()
+        stats.instructions = 1_000
+        stats.branch_mispredicts = 2
+        stats.indirect_mispredicts = 3
+        stats.btb_target_misses = 4
+        stats.ras_mispredicts = 1
+        assert stats.branch_mpki == pytest.approx(10.0)
+
+    def test_cache_mpkis(self):
+        stats = MachineStats()
+        stats.instructions = 2_000
+        stats.icache_misses = 4
+        stats.dcache_misses = 6
+        assert stats.icache_mpki == pytest.approx(2.0)
+        assert stats.dcache_mpki == pytest.approx(3.0)
+
+
+class TestRates:
+    def test_ipc_cpi(self):
+        stats = MachineStats()
+        stats.instructions = 100
+        stats.cycles = 200
+        assert stats.ipc == 0.5
+        assert stats.cpi == 2.0
+
+    def test_empty_rates(self):
+        stats = MachineStats()
+        assert stats.ipc == 0.0
+        assert stats.cpi == 0.0
+
+
+class TestDispatchFraction:
+    def test_counts_dispatch_prefixed_categories(self):
+        stats = MachineStats()
+        stats.instructions = 100
+        stats.insts_by_category["dispatch"] = 20
+        stats.insts_by_category["dispatch_tail"] = 10
+        stats.insts_by_category["handler"] = 70
+        assert stats.dispatch_fraction() == pytest.approx(0.30)
+
+    def test_zero(self):
+        assert MachineStats().dispatch_fraction() == 0.0
+
+
+class TestSnapshot:
+    def test_plain_types(self):
+        stats = MachineStats()
+        stats.instructions = 10
+        stats.cycles = 20
+        stats.insts_by_category["handler"] = 10
+        stats.cycle_breakdown["base"] = 20
+        snap = stats.snapshot()
+        assert snap["instructions"] == 10
+        assert isinstance(snap["insts_by_category"], dict)
+        assert isinstance(snap["cycle_breakdown"], dict)
+        assert snap["cpi"] == 2.0

@@ -1,0 +1,153 @@
+"""Unit tests for the builtin library."""
+
+import pytest
+
+from repro.vm.builtins import BUILTINS, builtin_cost, builtin_names
+from repro.vm.values import VmError, VmTypeError
+
+
+class _FakeVM:
+    def __init__(self):
+        self.output = []
+        self.steps = 7
+
+
+def call(name, *args):
+    return BUILTINS[name][0](_FakeVM(), list(args))
+
+
+class TestPrint:
+    def test_print_joins_with_tab(self):
+        vm = _FakeVM()
+        BUILTINS["print"][0](vm, [1, "a", None])
+        assert vm.output == ["1\ta\tnil"]
+
+    def test_print_empty(self):
+        vm = _FakeVM()
+        BUILTINS["print"][0](vm, [])
+        assert vm.output == [""]
+
+
+class TestCollections:
+    def test_len(self):
+        assert call("len", [1, 2, 3]) == 3
+
+    def test_push_appends(self):
+        array = [1]
+        BUILTINS["push"][0](_FakeVM(), [array, 2])
+        assert array == [1, 2]
+
+    def test_push_non_array(self):
+        with pytest.raises(VmTypeError):
+            call("push", {}, 1)
+
+    def test_pop(self):
+        array = [1, 2]
+        assert BUILTINS["pop"][0](_FakeVM(), [array]) == 2
+        assert array == [1]
+
+    def test_pop_empty(self):
+        with pytest.raises(VmError, match="empty"):
+            call("pop", [])
+
+    def test_keys_sorted_deterministically(self):
+        keys = call("keys", {"b": 1, "a": 2, "c": 3})
+        assert keys == ["a", "b", "c"]
+
+    def test_keys_non_map(self):
+        with pytest.raises(VmTypeError):
+            call("keys", [1])
+
+
+class TestMath:
+    def test_floor_ceil(self):
+        assert call("floor", 2.7) == 2
+        assert call("ceil", 2.1) == 3
+        assert call("floor", -2.5) == -3
+
+    def test_sqrt(self):
+        assert call("sqrt", 9) == 3.0
+
+    def test_sqrt_negative(self):
+        with pytest.raises(VmError, match="negative"):
+            call("sqrt", -1)
+
+    def test_abs_min_max(self):
+        assert call("abs", -4) == 4
+        assert call("min", 2, 5) == 2
+        assert call("max", 2, 5) == 5
+
+    def test_number_required(self):
+        with pytest.raises(VmTypeError, match="number expected"):
+            call("floor", "x")
+
+    def test_arity_checked(self):
+        with pytest.raises(VmError, match="wrong number of arguments"):
+            call("sqrt", 1, 2)
+
+
+class TestStrings:
+    def test_chr_ord(self):
+        assert call("chr", 65) == "A"
+        assert call("ord", "A") == 65
+
+    def test_ord_empty(self):
+        with pytest.raises(VmTypeError):
+            call("ord", "")
+
+    def test_substr(self):
+        assert call("substr", "hello", 1, 3) == "ell"
+
+    def test_substr_clamps(self):
+        assert call("substr", "hi", 1, 100) == "i"
+
+    def test_substr_negative(self):
+        with pytest.raises(VmError):
+            call("substr", "hi", -1, 2)
+
+    def test_substr_float_integral(self):
+        assert call("substr", "hello", 1.0, 2.0) == "el"
+
+    def test_substr_float_fractional(self):
+        with pytest.raises(VmTypeError, match="integer"):
+            call("substr", "hello", 1.5, 2)
+
+    def test_tostring(self):
+        assert call("tostring", None) == "nil"
+        assert call("tostring", 2.0) == "2.0"
+
+    def test_tonumber(self):
+        assert call("tonumber", "42") == 42
+        assert call("tonumber", "2.5") == 2.5
+        assert call("tonumber", "zzz") is None
+        assert call("tonumber", 7) == 7
+        assert call("tonumber", []) is None
+
+
+class TestClock:
+    def test_clock_returns_steps(self):
+        assert call("clock") == 7
+
+
+class TestCostModel:
+    def test_every_builtin_has_cost(self):
+        for name in builtin_names():
+            insts, loads, stores = builtin_cost(name, (1,), 1)
+            assert insts > 0
+            assert loads >= 0
+            assert stores >= 0
+
+    def test_io_cost_scales_with_output(self):
+        small = builtin_cost("print", ("x",), None)
+        large = builtin_cost("print", ("x" * 500,), None)
+        assert large[0] > small[0]
+
+    def test_string_cost_scales_with_result(self):
+        small = builtin_cost("substr", ("abc", 0, 1), "a")
+        large = builtin_cost("substr", ("abc" * 100, 0, 250), "a" * 250)
+        assert large[0] > small[0]
+
+    def test_heavy_cost_scales_with_keys(self):
+        small = builtin_cost("keys", ({},), [])
+        large = builtin_cost("keys", ({},), list(range(50)))
+        assert large[0] > small[0]

@@ -1,0 +1,91 @@
+"""Unit tests for the trace vocabulary and synthetic address space."""
+
+from repro.vm.trace import (
+    AddressSpace,
+    CALLEE_BUILTIN,
+    CALLEE_NONE,
+    CALLEE_RETURN,
+    CALLEE_SCRIPT,
+    Site,
+    TAKEN_FALSE,
+    TAKEN_NONE,
+    TAKEN_TRUE,
+    TraceEvent,
+)
+
+
+class TestConstants:
+    def test_sites(self):
+        assert list(Site) == [Site.MAIN, Site.FUNCALL, Site.END_CASE, Site.UNCOVERED]
+        assert Site.MAIN == 0
+
+    def test_callee_values_distinct(self):
+        assert len({CALLEE_NONE, CALLEE_SCRIPT, CALLEE_BUILTIN, CALLEE_RETURN}) == 4
+
+    def test_taken_values(self):
+        assert TAKEN_NONE == -1
+        assert TAKEN_FALSE == 0
+        assert TAKEN_TRUE == 1
+
+
+class TestTraceEvent:
+    def test_defaults(self):
+        event = TraceEvent(op=13)
+        assert event.site == Site.MAIN
+        assert event.taken == TAKEN_NONE
+        assert event.callee == CALLEE_NONE
+        assert event.daddrs == ()
+        assert event.builtin is None
+
+
+class TestAddressSpace:
+    def test_regions_disjoint(self):
+        space = AddressSpace()
+        frame = space.frame_slot(0, 0)
+        const = space.const_slot(0, 0)
+        glob = space.global_slot("x")
+        stack = space.stack_slot(0)
+        heap = space.object_base([])
+        regions = [a >> 24 for a in (frame, const, glob, stack, heap)]
+        assert len(set(regions)) == 5
+
+    def test_frame_slots_value_sized(self):
+        space = AddressSpace()
+        assert (
+            space.frame_slot(0, 1) - space.frame_slot(0, 0)
+            == AddressSpace.VALUE_SIZE
+        )
+
+    def test_frames_disjoint_by_depth(self):
+        space = AddressSpace()
+        assert space.frame_slot(1, 0) - space.frame_slot(0, 0) == 256 * 16
+
+    def test_object_bases_stable_and_distinct(self):
+        space = AddressSpace()
+        a, b = [], []
+        assert space.object_base(a) == space.object_base(a)
+        assert space.object_base(a) != space.object_base(b)
+        assert abs(space.object_base(b) - space.object_base(a)) == (
+            AddressSpace.HEAP_REGION
+        )
+
+    def test_elements_local_to_object(self):
+        space = AddressSpace()
+        array = [0] * 100
+        base = space.object_base(array)
+        assert space.element(array, 0) == base
+        assert space.element(array, 10) == base + 160
+
+    def test_map_slot_deterministic(self):
+        space = AddressSpace()
+        mapping = {}
+        assert space.map_slot(mapping, "key") == space.map_slot(mapping, "key")
+        # Different key types accepted.
+        space.map_slot(mapping, 42)
+        space.map_slot(mapping, 2.5)
+
+    def test_global_slot_deterministic_across_instances(self):
+        # Must not depend on randomized str hashing.
+        a = AddressSpace().global_slot("print")
+        b = AddressSpace().global_slot("print")
+        assert a == b

@@ -1,0 +1,243 @@
+"""Unit tests for guest value semantics."""
+
+import pytest
+
+from repro.vm.values import (
+    VmError,
+    VmTypeError,
+    arith,
+    compare,
+    concat_values,
+    index_get,
+    index_set,
+    is_truthy,
+    length_of,
+    negate,
+    tostring,
+    type_name,
+)
+
+
+class TestTruthiness:
+    def test_nil_false_are_falsey(self):
+        assert not is_truthy(None)
+        assert not is_truthy(False)
+
+    def test_zero_and_empty_are_truthy(self):
+        # Lua semantics: only nil and false are falsey.
+        assert is_truthy(0)
+        assert is_truthy("")
+        assert is_truthy(0.0)
+        assert is_truthy([])
+        assert is_truthy({})
+
+
+class TestArith:
+    def test_int_add(self):
+        assert arith("+", 2, 3) == 5
+
+    def test_div_always_float(self):
+        result = arith("/", 6, 3)
+        assert result == 2.0
+        assert isinstance(result, float)
+
+    def test_idiv_floors(self):
+        assert arith("//", 7, 2) == 3
+        assert arith("//", -7, 2) == -4
+
+    def test_idiv_float_operand_gives_float(self):
+        assert arith("//", 7.0, 2) == 3.0
+        assert isinstance(arith("//", 7.0, 2), float)
+
+    def test_mod_floored(self):
+        assert arith("%", 7, 3) == 1
+        assert arith("%", -7, 3) == 2  # Lua floored modulo
+
+    def test_div_by_zero_int(self):
+        with pytest.raises(VmError, match="divide by zero"):
+            arith("/", 1, 0)
+
+    def test_idiv_by_zero(self):
+        with pytest.raises(VmError):
+            arith("//", 1, 0)
+
+    def test_mod_by_zero(self):
+        with pytest.raises(VmError):
+            arith("%", 1, 0)
+
+    def test_arith_on_string_raises(self):
+        with pytest.raises(VmTypeError, match="string"):
+            arith("+", "a", 1)
+
+    def test_arith_on_bool_raises(self):
+        # bool is not a number in the guest, despite Python subclassing.
+        with pytest.raises(VmTypeError, match="boolean"):
+            arith("+", True, 1)
+
+    def test_bignum(self):
+        assert arith("*", 10**30, 10**30) == 10**60
+
+    def test_negate(self):
+        assert negate(5) == -5
+        with pytest.raises(VmTypeError):
+            negate("x")
+
+
+class TestCompare:
+    def test_numeric_ordering(self):
+        assert compare("<", 1, 2)
+        assert compare("<=", 2, 2)
+        assert compare(">", 3, 2)
+        assert compare(">=", 2, 2)
+
+    def test_mixed_int_float(self):
+        assert compare("==", 1, 1.0)
+        assert compare("<", 1, 1.5)
+
+    def test_string_ordering(self):
+        assert compare("<", "abc", "abd")
+
+    def test_equality_across_types_is_false(self):
+        assert not compare("==", 1, "1")
+        assert compare("!=", 1, "1")
+
+    def test_nil_equality(self):
+        assert compare("==", None, None)
+        assert not compare("==", None, 0)
+
+    def test_bool_not_equal_to_one(self):
+        assert not compare("==", True, 1)
+        assert not compare("==", False, 0)
+
+    def test_reference_equality_for_aggregates(self):
+        a = [1]
+        assert compare("==", a, a)
+        assert not compare("==", [1], [1])
+
+    def test_ordering_mixed_types_raises(self):
+        with pytest.raises(VmTypeError, match="compare"):
+            compare("<", 1, "a")
+
+    def test_ordering_nil_raises(self):
+        with pytest.raises(VmTypeError):
+            compare("<", None, None)
+
+
+class TestToString:
+    def test_nil(self):
+        assert tostring(None) == "nil"
+
+    def test_bools(self):
+        assert tostring(True) == "true"
+        assert tostring(False) == "false"
+
+    def test_integral_float_gets_decimal(self):
+        assert tostring(2.0) == "2.0"
+
+    def test_non_integral_float_repr(self):
+        assert tostring(0.5) == "0.5"
+
+    def test_int(self):
+        assert tostring(123) == "123"
+
+    def test_aggregates_show_identity(self):
+        assert tostring([]).startswith("array: 0x")
+        assert tostring({}).startswith("map: 0x")
+
+    def test_nan(self):
+        assert tostring(float("nan")) == "nan"
+
+
+class TestConcat:
+    def test_strings(self):
+        assert concat_values("a", "b") == "ab"
+
+    def test_number_coercion(self):
+        assert concat_values("x=", 5) == "x=5"
+        assert concat_values(1, 2) == "12"
+
+    def test_bool_raises(self):
+        with pytest.raises(VmTypeError, match="concatenate"):
+            concat_values("a", True)
+
+    def test_nil_raises(self):
+        with pytest.raises(VmTypeError):
+            concat_values(None, "a")
+
+
+class TestIndexing:
+    def test_array_read(self):
+        assert index_get([10, 20], 1) == 20
+
+    def test_array_out_of_range_is_nil(self):
+        assert index_get([10], 5) is None
+
+    def test_array_write(self):
+        a = [1, 2]
+        index_set(a, 0, 9)
+        assert a == [9, 2]
+
+    def test_array_append_at_len(self):
+        a = [1]
+        index_set(a, 1, 2)
+        assert a == [1, 2]
+
+    def test_array_write_beyond_len_raises(self):
+        with pytest.raises(VmError, match="out of range"):
+            index_set([1], 5, 0)
+
+    def test_array_non_int_key_raises(self):
+        with pytest.raises(VmTypeError, match="integer"):
+            index_get([1], "a")
+        with pytest.raises(VmTypeError):
+            index_get([1], True)
+
+    def test_map_read_missing_is_nil(self):
+        assert index_get({"a": 1}, "b") is None
+
+    def test_map_write(self):
+        m = {}
+        index_set(m, "k", 7)
+        assert m == {"k": 7}
+
+    def test_map_mutable_key_raises(self):
+        with pytest.raises(VmTypeError, match="immutable"):
+            index_set({}, [], 1)
+
+    def test_string_indexing(self):
+        assert index_get("abc", 1) == "b"
+        assert index_get("abc", 9) is None
+
+    def test_index_non_container_raises(self):
+        with pytest.raises(VmTypeError, match="index"):
+            index_get(5, 0)
+        with pytest.raises(VmTypeError):
+            index_set(5, 0, 1)
+
+
+class TestLength:
+    def test_lengths(self):
+        assert length_of([1, 2]) == 2
+        assert length_of({"a": 1}) == 1
+        assert length_of("abc") == 3
+
+    def test_length_of_number_raises(self):
+        with pytest.raises(VmTypeError, match="length"):
+            length_of(5)
+
+
+class TestTypeName:
+    @pytest.mark.parametrize(
+        "value,name",
+        [
+            (None, "nil"),
+            (True, "boolean"),
+            (1, "number"),
+            (1.5, "number"),
+            ("s", "string"),
+            ([], "array"),
+            ({}, "map"),
+        ],
+    )
+    def test_names(self, value, name):
+        assert type_name(value) == name

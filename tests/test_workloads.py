@@ -1,0 +1,117 @@
+"""Functional validation of the 11 Table III workloads on both VMs."""
+
+import pytest
+
+from repro.vm.js import JsVM
+from repro.vm.lua import LuaVM
+from repro.workloads import WORKLOADS, workload, workload_names
+
+ALL = list(workload_names())
+
+
+def test_eleven_workloads():
+    assert len(ALL) == 11
+
+
+def test_paper_names_present():
+    expected = {
+        "binary-trees", "fannkuch-redux", "k-nucleotide", "mandelbrot",
+        "n-body", "spectral-norm", "n-sieve", "random", "fibo",
+        "ackermann", "pidigits",
+    }
+    assert set(ALL) == expected
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(KeyError, match="unknown workload"):
+        workload("quicksort")
+
+
+def test_fpga_inputs_strictly_larger():
+    for bench in WORKLOADS.values():
+        assert bench.fpga_n > bench.sim_n, bench.name
+
+
+def test_source_substitution():
+    bench = workload("fibo")
+    assert "@N@" not in bench.source(scale="sim")
+    assert f"fib({bench.sim_n})" in bench.source(scale="sim")
+    assert f"fib({bench.fpga_n})" in bench.source(scale="fpga")
+    assert "fib(99)" in bench.source(n=99)
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_lua_matches_reference(name):
+    bench = workload(name)
+    vm = LuaVM.from_source(bench.source(scale="sim"))
+    assert vm.run() == bench.expected_output(scale="sim")
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_js_matches_reference(name):
+    bench = workload(name)
+    vm = JsVM.from_source(bench.source(scale="sim"))
+    assert vm.run() == bench.expected_output(scale="sim")
+
+
+class TestKnownValues:
+    """Spot-check against published ground truth, not just our reference."""
+
+    def test_fibo(self):
+        assert workload("fibo").expected_output(n=20) == ["6765"]
+
+    def test_fannkuch_known(self):
+        # Known CLBG values: Pfannkuchen(6) = 10, checksum 49.
+        out = workload("fannkuch-redux").expected_output(n=6)
+        assert out == ["49", "Pfannkuchen(6) = 10"]
+
+    def test_fannkuch_7(self):
+        out = workload("fannkuch-redux").expected_output(n=7)
+        assert out == ["228", "Pfannkuchen(7) = 16"]
+
+    def test_ackermann_value(self):
+        # Ack(3, n) = 2^(n+3) - 3.
+        out = workload("ackermann").expected_output(n=3)
+        assert out == ["Ack(3,3): 61"]
+
+    def test_pidigits_prefix(self):
+        out = workload("pidigits").expected_output(n=20)
+        assert out[0].startswith("3141592653")
+        assert out[1].startswith("5897932384")
+
+    def test_nsieve_prime_counts(self):
+        out = workload("n-sieve").expected_output(n=1000)
+        assert out[0] == "Primes up to 1000 168"
+        assert out[1] == "Primes up to 500 95"
+
+    def test_spectral_norm_converges(self):
+        (value,) = workload("spectral-norm").expected_output(n=16)
+        assert abs(float(value) - 1.274) < 0.01
+
+    def test_nbody_energy_roughly_conserved(self):
+        before, after = workload("n-body").expected_output(n=60)
+        assert abs(float(before) - float(after)) < 1e-3
+        assert float(before) < 0  # bound system
+
+    def test_binary_trees_check_values(self):
+        out = workload("binary-trees").expected_output(n=4)
+        # A perfect binary tree of depth d has 2^(d+1) - 1 nodes.
+        assert out[0].endswith("check: 63")  # stretch depth 5
+        assert out[-1].endswith("check: 31")  # long-lived depth 4
+
+    def test_mandelbrot_header(self):
+        out = workload("mandelbrot").expected_output(n=12)
+        assert out[0] == "P4"
+        assert out[1] == "12 12"
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self):
+        bench = workload("random")
+        first = LuaVM.from_source(bench.source(scale="sim")).run()
+        second = LuaVM.from_source(bench.source(scale="sim")).run()
+        assert first == second
+
+    def test_descriptions_from_table3(self):
+        assert "hashtable" in workload("k-nucleotide").description
+        assert "N-body" in workload("n-body").description
