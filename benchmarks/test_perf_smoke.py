@@ -1,0 +1,84 @@
+"""Dispatch-throughput smoke benchmark and regression guard.
+
+Measures the replay hot path (events/sec through ``simulate``) and the
+cold-cache wall time of a small grid at ``-j 1`` vs ``-j 4``, writes the
+numbers to ``BENCH_dispatch.json`` at the repo root, and asserts a
+*generous* events/sec floor so CI catches an order-of-magnitude hot-path
+regression without flaking on slow runners.  Set ``SCD_SKIP_PERF_GUARD=1``
+to record numbers without asserting (e.g. under coverage or emulation).
+
+Run explicitly (not part of the tier-1 suite)::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/test_perf_smoke.py
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.core.simulation import simulate
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SimJob, run_jobs
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_dispatch.json"
+
+#: Extremely generous floor — the replay path does ~30k events/s on a
+#: single 2020s laptop core; anything under this means the hot path
+#: regressed by an order of magnitude (or the runner is pathological,
+#: in which case set SCD_SKIP_PERF_GUARD=1).
+MIN_EVENTS_PER_S = 3000.0
+
+GRID = tuple(
+    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", 10)))
+    for w in ("fibo", "n-sieve", "random", "pidigits")
+    for scheme in ("baseline", "scd")
+)
+
+
+def _grid_wall(workers: int, root: Path) -> float:
+    cache = ResultCache(f"perf-j{workers}", root=root)
+    start = time.perf_counter()
+    run_jobs(GRID, workers=workers, cache=cache)
+    return time.perf_counter() - start
+
+
+def test_dispatch_throughput_guard(tmp_path):
+    # Warm the model assembly so we measure replay, not setup.
+    simulate("n-body", vm="lua", scheme="scd", n=50, check_output=False)
+
+    metrics: dict = {}
+    simulate("n-body", vm="lua", scheme="scd", scale="sim", metrics=metrics)
+
+    wall_j1 = _grid_wall(1, tmp_path)
+    wall_j4 = _grid_wall(4, tmp_path)
+
+    record = {
+        "hot_path": {
+            "workload": "n-body (lua, scd, sim scale)",
+            "events": metrics["events"],
+            "wall_s": round(metrics["wall_s"], 3),
+            "events_per_s": round(metrics["events_per_s"], 1),
+            "sims_per_s": round(1.0 / metrics["wall_s"], 3),
+        },
+        "fanout_cold_cache": {
+            "grid_points": len(GRID),
+            "wall_s_j1": round(wall_j1, 3),
+            "wall_s_j4": round(wall_j4, 3),
+            "speedup_j4_over_j1": round(wall_j1 / wall_j4, 3),
+            "cpu_count": os.cpu_count(),
+        },
+        "guard": {
+            "min_events_per_s": MIN_EVENTS_PER_S,
+            "skipped": bool(os.environ.get("SCD_SKIP_PERF_GUARD")),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    if os.environ.get("SCD_SKIP_PERF_GUARD"):
+        return
+    assert metrics["events_per_s"] >= MIN_EVENTS_PER_S, (
+        f"replay hot path regressed: {metrics['events_per_s']:.0f} events/s "
+        f"< {MIN_EVENTS_PER_S:.0f} (see {BENCH_PATH.name})"
+    )

@@ -7,6 +7,8 @@ embedded-core timing model, and returns a :class:`SimResult`.
 
 from __future__ import annotations
 
+import time
+
 from repro.core.results import SimResult
 from repro.native.model import ModelRunner, get_model
 from repro.uarch.config import CoreConfig, cortex_a5
@@ -66,6 +68,7 @@ def simulate(
     context_switch_policy: str = "flush",
     max_steps: int = 100_000_000,
     check_output: bool = True,
+    metrics: dict | None = None,
 ) -> SimResult:
     """Run one (workload, vm, scheme, machine) combination.
 
@@ -86,10 +89,15 @@ def simulate(
         max_steps: guest-step safety budget.
         check_output: verify the VM output against the workload's Python
             reference (skipped for raw sources or explicit *n*).
+        metrics: optional dict that receives per-run throughput metadata
+            (``wall_s``, ``events``, ``events_per_s``).  Kept out of
+            :class:`SimResult` so the cached, deterministic experiment
+            numbers never depend on wall-clock time.
 
     Returns:
         A frozen :class:`SimResult`.
     """
+    wall_start = time.perf_counter()
     strategy, indirect = scheme_parts(scheme)
     if config is None:
         config = cortex_a5()
@@ -122,6 +130,11 @@ def simulate(
         )
 
     stats = machine.finalize()
+    if metrics is not None:
+        wall = time.perf_counter() - wall_start
+        metrics["wall_s"] = wall
+        metrics["events"] = runner.events
+        metrics["events_per_s"] = runner.events / wall if wall > 0 else 0.0
     return SimResult(
         vm=vm,
         scheme=scheme,

@@ -18,5 +18,22 @@ from repro.harness.experiments import (
     run_experiment,
     run_matrix,
 )
+from repro.harness.parallel import (
+    METRICS,
+    SimJob,
+    SimJobError,
+    run_jobs,
+    set_default_workers,
+)
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment", "run_matrix"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "METRICS",
+    "SimJob",
+    "SimJobError",
+    "run_experiment",
+    "run_jobs",
+    "run_matrix",
+    "set_default_workers",
+]

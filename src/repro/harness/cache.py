@@ -3,21 +3,34 @@
 A simulation is deterministic given (vm, scheme, workload, scale, machine
 configuration, model version), so its :class:`~repro.core.results.SimResult`
 can be cached.  The cache lives in ``~/.cache/scd-repro/`` (override with
-``SCD_REPRO_CACHE_DIR``); delete the directory or bump
-:data:`CACHE_VERSION` to invalidate.
+``SCD_REPRO_CACHE_DIR``); run ``scd-repro clear-cache``, delete the
+directory, or bump :data:`CACHE_VERSION` to invalidate.
+
+Layout (v3+): one JSON file per entry under ``<root>/v<N>/<name>/``, named
+by a hash of the key.  Writes go through a per-process temp file and
+``os.replace``, so any number of worker processes (see
+:mod:`repro.harness.parallel`) can populate one cache directory
+concurrently without locks, and a torn or corrupt entry is read back as a
+miss rather than poisoning the run.  Earlier versions used one monolithic
+``results-v2.json`` that was re-serialized in full on every ``put`` and
+corrupted under concurrent writers; bumping :data:`CACHE_VERSION` makes
+those files invisible (and :meth:`ResultCache.clear` deletes them).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
 from pathlib import Path
 
 from repro.core.results import SimResult
-from repro.uarch.config import CoreConfig
+from repro.uarch.config import CoreConfig, cortex_a5
 
-#: Bump when the native model, uarch model or workloads change behaviour.
-CACHE_VERSION = 2
+#: Bump when the native model, uarch model, workloads or the cache layout
+#: change behaviour.  v3 introduced the sharded per-entry layout.
+CACHE_VERSION = 3
 
 
 def _cache_dir() -> Path:
@@ -51,45 +64,118 @@ def config_signature(config: CoreConfig) -> str:
     return ";".join(parts)
 
 
+def sim_cache_key(
+    vm: str,
+    scheme: str,
+    workload: str,
+    scale: str,
+    config: CoreConfig | None,
+    kwargs: dict | None = None,
+) -> str:
+    """Canonical cache key of one simulation.
+
+    ``config=None`` resolves to the default :func:`cortex_a5` before the
+    signature is taken, so the default and an explicit instance share one
+    entry.  Extra keyword arguments are canonicalized with
+    ``json.dumps(..., sort_keys=True)`` so dict-valued values and argument
+    order can neither alias distinct runs nor miss identical ones.
+    """
+    if config is None:
+        config = cortex_a5()
+    extras = json.dumps(dict(kwargs or {}), sort_keys=True, default=repr)
+    return "|".join(
+        [vm, scheme, workload, scale, config_signature(config), extras]
+    )
+
+
 class ResultCache:
-    """A simple JSON-file keyed store of simulation results."""
+    """A sharded, concurrency-safe keyed store of simulation results.
 
-    def __init__(self, name: str = "results"):
-        self.path = _cache_dir() / f"{name}-v{CACHE_VERSION}.json"
-        self._data: dict[str, dict] | None = None
+    Args:
+        name: store name (sub-directory under the versioned cache root).
+        root: cache root directory; defaults to ``SCD_REPRO_CACHE_DIR`` or
+            ``~/.cache/scd-repro``.  Pool workers receive the parent's
+            resolved root explicitly so every process shards into the same
+            directory.
 
-    def _load(self) -> dict[str, dict]:
-        if self._data is None:
-            if self.path.exists():
-                try:
-                    self._data = json.loads(self.path.read_text())
-                except (json.JSONDecodeError, OSError):
-                    self._data = {}
-            else:
-                self._data = {}
-        return self._data
+    Attributes:
+        path: the store's entry directory.
+        hits / misses: per-instance probe counters (the harness summary
+            reports them).
+    """
+
+    def __init__(self, name: str = "results", root: str | Path | None = None):
+        self.name = name
+        self.root = Path(root) if root is not None else _cache_dir()
+        self.path = self.root / f"v{CACHE_VERSION}" / name
+        self.hits = 0
+        self.misses = 0
+        # Per-key memo of *hits only*.  Entries are immutable once written
+        # (simulations are deterministic), so replaying a previously-read
+        # value is always correct — but a miss is never memoized, so
+        # entries written concurrently by other processes are picked up on
+        # the next probe.  (The pre-v3 monolithic cache memoized the whole
+        # file, going permanently stale against other writers.)
+        self._memo: dict[str, SimResult] = {}
+
+    def entry_path(self, key: str) -> Path:
+        """The entry file that *key* shards to."""
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.path / f"{digest}.json"
 
     def get(self, key: str) -> SimResult | None:
-        entry = self._load().get(key)
-        if entry is None:
-            return None
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.hits += 1
+            return memo
         try:
-            return SimResult.from_dict(entry)
-        except TypeError:
+            entry = json.loads(self.entry_path(key).read_text())
+            if entry.get("key") != key:
+                raise ValueError("entry key mismatch")
+            result = SimResult.from_dict(entry["result"])
+        except (OSError, ValueError, TypeError, KeyError):
+            # Missing, torn, corrupt, hash-collided or schema-mismatched
+            # entries all read as misses.
+            self.misses += 1
             return None
+        self._memo[key] = result
+        self.hits += 1
+        return result
 
     def put(self, key: str, result: SimResult) -> None:
-        data = self._load()
-        data[key] = result.to_dict()
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self.path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(data))
-        tmp.replace(self.path)
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "result": result.to_dict()})
+        # Unique temp name per process; os.replace is atomic within the
+        # directory, so concurrent writers of the same key just race to
+        # install identical bytes.
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self._memo[key] = result
 
     def clear(self) -> None:
-        self._data = {}
-        if self.path.exists():
+        """Drop every entry, stale ``*.tmp`` leftovers and any legacy
+        monolithic cache files for this store name."""
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.path.is_dir():
+            shutil.rmtree(self.path, ignore_errors=True)
+        elif self.path.exists():
             self.path.unlink()
+        for legacy in self.root.glob(f"{self.name}-v*.*"):
+            try:
+                legacy.unlink()
+            except OSError:
+                pass
 
 
 #: Process-wide default cache instance.

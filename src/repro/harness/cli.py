@@ -14,10 +14,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.simulation import SCHEMES, simulate
 from repro.harness.cache import DEFAULT_CACHE
 from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.parallel import METRICS, set_default_workers
 from repro.uarch.config import CONFIG_PRESETS
 from repro.workloads import workload_names
 
@@ -63,16 +65,22 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_experiment(name: str) -> int:
+    METRICS.reset()
+    start = time.perf_counter()
     result = run_experiment(name)
     print(result.text)
+    print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
     return 0
 
 
 def _cmd_all(_args) -> int:
+    METRICS.reset()
+    start = time.perf_counter()
     for name in EXPERIMENTS:
         print(f"=== {name} " + "=" * max(0, 66 - len(name)))
         print(run_experiment(name).text)
         print()
+    print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
     return 0
 
 
@@ -93,6 +101,15 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="scd-repro",
         description="Short-Circuit Dispatch (ISCA 2016) reproduction harness",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for experiment fan-out "
+        "(default: SCD_REPRO_JOBS or the CPU count; 1 = in-process)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -119,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("clear-cache", help="drop cached simulation results")
 
     args = parser.parse_args(argv)
+    if args.jobs is not None:
+        set_default_workers(args.jobs)
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

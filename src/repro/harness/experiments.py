@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.results import SimResult, geomean
-from repro.core.simulation import simulate
-from repro.harness.cache import DEFAULT_CACHE, ResultCache, config_signature
+from repro.harness.cache import DEFAULT_CACHE, ResultCache
+from repro.harness.parallel import SimJob, execute_job, run_jobs
 from repro.harness.tables import format_bar_chart, format_table, pct
 from repro.power.model import AreaPowerModel, edp_improvement
 from repro.uarch.config import CoreConfig, cortex_a5, cortex_a8, rocket
@@ -70,17 +70,11 @@ def cached_simulate(
     **kwargs,
 ) -> SimResult:
     """:func:`repro.core.simulate` with disk caching."""
-    if config is None:
-        config = cortex_a5()
-    if cache is None:
-        return simulate(workload, vm=vm, scheme=scheme, config=config, scale=scale, **kwargs)
-    extras = ";".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
-    key = "|".join([vm, scheme, workload, scale, config_signature(config), extras])
-    hit = cache.get(key)
-    if hit is not None:
-        return hit
-    result = simulate(workload, vm=vm, scheme=scheme, config=config, scale=scale, **kwargs)
-    cache.put(key, result)
+    job = SimJob(
+        workload, vm, scheme, config=config, scale=scale,
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+    result, _ = execute_job(job, cache)
     return result
 
 
@@ -91,18 +85,28 @@ def run_matrix(
     scale: str = "sim",
     workloads: tuple[str, ...] | None = None,
     cache: ResultCache | None = DEFAULT_CACHE,
+    workers: int | None = None,
     **kwargs,
 ) -> dict:
-    """Run every (workload, scheme) pair; returns ``{(wl, scheme): result}``."""
+    """Run every (workload, scheme) pair; returns ``{(wl, scheme): result}``.
+
+    Cache misses fan out across *workers* processes (default: the CLI
+    ``-j`` flag / ``SCD_REPRO_JOBS`` / CPU count); results are keyed and
+    ordered independently of completion order.
+    """
     if workloads is None:
         workloads = workload_names()
-    results = {}
-    for name in workloads:
-        for scheme in schemes:
-            results[(name, scheme)] = cached_simulate(
-                name, vm, scheme, config=config, scale=scale, cache=cache, **kwargs
-            )
-    return results
+    extras = tuple(sorted(kwargs.items()))
+    jobs = [
+        SimJob(name, vm, scheme, config=config, scale=scale, kwargs=extras)
+        for name in workloads
+        for scheme in schemes
+    ]
+    results = run_jobs(jobs, workers=workers, cache=cache)
+    return {
+        (job.workload, job.scheme): result
+        for job, result in zip(jobs, results)
+    }
 
 
 _ALL_SCHEMES = ("baseline", "threaded", "vbbi", "scd")
@@ -134,8 +138,10 @@ def figure2(vm: str = "lua", cache=DEFAULT_CACHE) -> ExperimentResult:
     workloads = workload_names()
     rows = []
     dispatch_series, other_series = [], []
-    for name in workloads:
-        result = cached_simulate(name, vm, "baseline", cache=cache)
+    results = run_jobs(
+        [SimJob(name, vm, "baseline") for name in workloads], cache=cache
+    )
+    for name, result in zip(workloads, results):
         dispatch = result.dispatch_mpki()
         total = result.branch_mpki
         other = max(0.0, total - dispatch)
@@ -173,8 +179,10 @@ def figure3(vm: str = "lua", cache=DEFAULT_CACHE) -> ExperimentResult:
     workloads = workload_names()
     fractions = []
     rows = []
-    for name in workloads:
-        result = cached_simulate(name, vm, "baseline", cache=cache)
+    results = run_jobs(
+        [SimJob(name, vm, "baseline") for name in workloads], cache=cache
+    )
+    for name, result in zip(workloads, results):
         fractions.append(result.dispatch_fraction)
         rows.append([name, f"{result.dispatch_fraction * 100:.1f}%"])
     mean = geomean(fractions)
@@ -196,9 +204,18 @@ def figure3(vm: str = "lua", cache=DEFAULT_CACHE) -> ExperimentResult:
 
 
 def _per_vm_matrices(cache=DEFAULT_CACHE) -> dict:
-    return {
-        vm: run_matrix(vm, _ALL_SCHEMES, cache=cache) for vm in ("lua", "js")
-    }
+    # Both VMs' grids go into one batch so the pool sees every miss at once.
+    jobs = [
+        SimJob(name, vm, scheme)
+        for vm in ("lua", "js")
+        for name in workload_names()
+        for scheme in _ALL_SCHEMES
+    ]
+    results = run_jobs(jobs, cache=cache)
+    matrices: dict = {"lua": {}, "js": {}}
+    for job, result in zip(jobs, results):
+        matrices[job.vm][(job.workload, job.scheme)] = result
+    return matrices
 
 
 def figure7(cache=DEFAULT_CACHE) -> ExperimentResult:
@@ -410,19 +427,45 @@ JTE_CAPS = (4, 16, None)
 
 
 def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
-    """Sensitivity to BTB size (a,b) and to the JTE cap at BTB=64 (c,d)."""
+    """Sensitivity to BTB size (a,b) and to the JTE cap at BTB=64 (c,d).
+
+    Both sweeps for both VMs are submitted as one :func:`run_jobs` batch;
+    duplicated points (e.g. the BTB=64 baselines shared between the size
+    and cap sweeps) dedupe by cache key and simulate once.
+    """
     workloads = list(workload_names())
     data: dict = {"sizes": list(BTB_SIZES), "caps": [c if c else "inf" for c in JTE_CAPS]}
+    small = cortex_a5().with_changes(btb_entries=64)
+
+    jobs: list[SimJob] = []
+    labels: list[tuple] = []
+
+    def add(label, w, vm, scheme, config):
+        jobs.append(SimJob(w, vm, scheme, config=config))
+        labels.append(label + (w,))
+
+    for vm in ("lua", "js"):
+        for size in BTB_SIZES:
+            config = cortex_a5().with_changes(btb_entries=size)
+            for w in workloads:
+                add((vm, "size", size, "baseline"), w, vm, "baseline", config)
+                add((vm, "size", size, "scd"), w, vm, "scd", config)
+        for cap in JTE_CAPS:
+            config = small.with_changes(jte_cap=cap)
+            for w in workloads:
+                add((vm, "cap", cap, "baseline"), w, vm, "baseline", small)
+                add((vm, "cap", cap, "scd"), w, vm, "scd", config)
+    lookup = dict(zip(labels, run_jobs(jobs, cache=cache)))
+
     chunks = []
     for vm in ("lua", "js"):
         by_size = {}
         for size in BTB_SIZES:
-            config = cortex_a5().with_changes(btb_entries=size)
-            values = []
-            for w in workloads:
-                base = cached_simulate(w, vm, "baseline", config=config, cache=cache)
-                scd = cached_simulate(w, vm, "scd", config=config, cache=cache)
-                values.append(base.cycles / scd.cycles)
+            values = [
+                lookup[(vm, "size", size, "baseline", w)].cycles
+                / lookup[(vm, "size", size, "scd", w)].cycles
+                for w in workloads
+            ]
             by_size[size] = geomean(values)
         data[f"{vm}_by_size"] = by_size
         rows = [[str(size), f"{by_size[size]:.3f}"] for size in BTB_SIZES]
@@ -435,14 +478,12 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
         )
 
         by_cap = {}
-        small = cortex_a5().with_changes(btb_entries=64)
         for cap in JTE_CAPS:
-            config = small.with_changes(jte_cap=cap)
-            values = []
-            for w in workloads:
-                base = cached_simulate(w, vm, "baseline", config=small, cache=cache)
-                scd = cached_simulate(w, vm, "scd", config=config, cache=cache)
-                values.append(base.cycles / scd.cycles)
+            values = [
+                lookup[(vm, "cap", cap, "baseline", w)].cycles
+                / lookup[(vm, "cap", cap, "scd", w)].cycles
+                for w in workloads
+            ]
             by_cap[cap if cap else "inf"] = geomean(values)
         data[f"{vm}_by_cap"] = by_cap
         rows = [[str(cap), f"{value:.3f}"] for cap, value in by_cap.items()]

@@ -1,0 +1,291 @@
+"""Process-pool fan-out for independent simulations.
+
+Every paper figure/table is a grid of independent, deterministic
+simulations, so regenerating one is embarrassingly parallel.  This module
+provides the scheduling layer:
+
+* :class:`SimJob` — a picklable descriptor of one grid point.
+* :func:`run_jobs` — run a batch of jobs, fanning cache misses out to a
+  :class:`~concurrent.futures.ProcessPoolExecutor` and returning results
+  in input order regardless of completion order.  ``workers=1`` (or a
+  single miss) degrades gracefully to in-process execution; a crashed or
+  failed grid point raises :class:`SimJobError` naming its
+  ``(vm, scheme, workload)`` key instead of hanging the run.
+* :data:`METRICS` — per-process throughput counters (simulations run,
+  cache hits, trace events replayed, summed simulation wall time) that the
+  CLI prints after each experiment.
+
+Workers share one sharded cache directory (see
+:mod:`repro.harness.cache`); its atomic per-entry writes make concurrent
+population safe without locks.  Under the ``fork`` start method the parent
+assembles every needed native model before the pool spins up, so workers
+inherit them copy-on-write instead of re-assembling per process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+
+from repro.core.results import SimResult
+from repro.core.simulation import scheme_parts, simulate
+from repro.harness.cache import DEFAULT_CACHE, ResultCache, sim_cache_key
+from repro.native.model import get_model
+from repro.uarch.config import CoreConfig, cortex_a5
+
+#: Process-wide worker-count override, installed by the CLI's ``-j`` flag.
+DEFAULT_WORKERS: int | None = None
+
+
+def set_default_workers(workers: int | None) -> None:
+    """Install *workers* as the process-wide default for :func:`run_jobs`."""
+    global DEFAULT_WORKERS
+    DEFAULT_WORKERS = workers
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an explicit/default/environment worker count (>= 1).
+
+    Priority: explicit argument, :func:`set_default_workers` (the CLI
+    ``-j`` flag), the ``SCD_REPRO_JOBS`` environment variable, then
+    ``os.cpu_count()``.
+    """
+    if workers is None:
+        workers = DEFAULT_WORKERS
+    if workers is None:
+        env = os.environ.get("SCD_REPRO_JOBS", "")
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                workers = None
+    if workers is None:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+@dataclass
+class ThroughputMetrics:
+    """Aggregated run counters for the harness summary line."""
+
+    sims: int = 0
+    cache_hits: int = 0
+    events: int = 0
+    sim_wall_s: float = 0.0
+
+    def record_hit(self) -> None:
+        self.cache_hits += 1
+
+    def record_sim(self, meta: dict) -> None:
+        self.sims += 1
+        self.events += int(meta.get("events", 0))
+        self.sim_wall_s += float(meta.get("wall_s", 0.0))
+
+    def reset(self) -> None:
+        self.sims = 0
+        self.cache_hits = 0
+        self.events = 0
+        self.sim_wall_s = 0.0
+
+    def summary(self, wall_s: float | None = None) -> str:
+        """One-line human summary, e.g. for the CLI footer."""
+        parts = [f"{self.sims} simulated + {self.cache_hits} cached"]
+        if self.sims and self.sim_wall_s > 0:
+            rate = self.events / self.sim_wall_s
+            parts.append(f"{self.events:,} events @ {rate:,.0f} events/s")
+        if wall_s is not None:
+            parts.append(f"wall {wall_s:.2f}s")
+        return "[" + "; ".join(parts) + "]"
+
+
+#: Per-process metrics sink (the parent aggregates worker metadata here).
+METRICS = ThroughputMetrics()
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One grid point: everything a worker needs to run a simulation.
+
+    ``kwargs`` is a tuple of ``(name, value)`` pairs (rather than a dict)
+    so the job stays hashable-friendly and cheap to pickle; order does not
+    matter for the cache key (see
+    :func:`repro.harness.cache.sim_cache_key`).
+    """
+
+    workload: str
+    vm: str
+    scheme: str
+    config: CoreConfig | None = None
+    scale: str = "sim"
+    kwargs: tuple = field(default=())
+
+    @property
+    def key3(self) -> tuple[str, str, str]:
+        """The human-facing grid key reported on failure."""
+        return (self.vm, self.scheme, self.workload)
+
+    def resolved_config(self) -> CoreConfig:
+        return self.config if self.config is not None else cortex_a5()
+
+    def cache_key(self) -> str:
+        return sim_cache_key(
+            self.vm, self.scheme, self.workload, self.scale, self.config,
+            dict(self.kwargs),
+        )
+
+
+class SimJobError(RuntimeError):
+    """A grid point failed; carries its ``(vm, scheme, workload)`` key."""
+
+    def __init__(self, job: SimJob, detail: str):
+        self.job = job
+        self.key = job.key3
+        super().__init__(
+            f"simulation job (vm={job.vm!r}, scheme={job.scheme!r}, "
+            f"workload={job.workload!r}) failed:\n{detail}"
+        )
+
+
+def execute_job(
+    job: SimJob, cache: ResultCache | None = None
+) -> tuple[SimResult, dict]:
+    """Run one job in-process, consulting and populating *cache*.
+
+    Returns ``(result, meta)`` where *meta* carries the throughput
+    metadata of :func:`repro.core.simulation.simulate` plus a ``cached``
+    flag.  Records into :data:`METRICS`.
+    """
+    key = job.cache_key()
+    if cache is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            METRICS.record_hit()
+            return hit, {"cached": True}
+    meta: dict = {}
+    result = simulate(
+        job.workload,
+        vm=job.vm,
+        scheme=job.scheme,
+        config=job.resolved_config(),
+        scale=job.scale,
+        metrics=meta,
+        **dict(job.kwargs),
+    )
+    if cache is not None:
+        cache.put(key, result)
+    METRICS.record_sim(meta)
+    meta["cached"] = False
+    return result, meta
+
+
+def _pool_run(job: SimJob, cache_name: str | None, cache_root: str | None):
+    """Worker-process body.  Never raises: failures come back as values so
+    the parent can surface the grid key instead of a bare pool traceback."""
+    try:
+        cache = None
+        if cache_name is not None:
+            cache = ResultCache(cache_name, root=cache_root)
+        result, meta = execute_job(job, cache)
+        return ("ok", result, meta)
+    except BaseException:
+        return ("error", traceback.format_exc(), {})
+
+
+def _prewarm_models(jobs) -> None:
+    """Assemble every needed native model in the parent before forking.
+
+    Under ``fork`` the pool workers inherit the parent's ``get_model``
+    LRU cache copy-on-write, so assembly happens once per host instead of
+    once per worker.  Under ``spawn`` workers cannot inherit it; skip.
+    """
+    try:
+        if multiprocessing.get_start_method() != "fork":
+            return
+    except ValueError:  # pragma: no cover - exotic platforms
+        return
+    needed = {(job.vm, scheme_parts(job.scheme)[0]) for job in jobs}
+    for vm, strategy in sorted(needed):
+        get_model(vm, strategy)
+
+
+def run_jobs(
+    jobs,
+    workers: int | None = None,
+    cache: ResultCache | None = DEFAULT_CACHE,
+) -> list[SimResult]:
+    """Run every job and return results in input order.
+
+    Jobs whose cache key is already resolved (on disk, or duplicated
+    within the batch) are not re-simulated.  Remaining misses run on a
+    process pool of :func:`resolve_workers` workers — or in-process when
+    that resolves to 1 or there is at most one miss.
+
+    Raises:
+        SimJobError: a grid point raised or its worker died; the error
+            names the failing ``(vm, scheme, workload)`` key.
+    """
+    jobs = list(jobs)
+    workers = resolve_workers(workers)
+    sinks: dict[str, list[int]] = {}
+    resolved: dict[str, SimResult] = {}
+    misses: list[tuple[str, SimJob]] = []
+    for index, job in enumerate(jobs):
+        key = job.cache_key()
+        slots = sinks.get(key)
+        if slots is not None:
+            slots.append(index)
+            continue
+        sinks[key] = [index]
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            METRICS.record_hit()
+            resolved[key] = hit
+        else:
+            misses.append((key, job))
+
+    if misses and (workers <= 1 or len(misses) == 1):
+        for key, job in misses:
+            try:
+                result, _ = execute_job(job, cache)
+            except Exception as exc:
+                raise SimJobError(job, f"{type(exc).__name__}: {exc}") from exc
+            resolved[key] = result
+    elif misses:
+        _prewarm_models(job for _, job in misses)
+        cache_name = cache.name if cache is not None else None
+        cache_root = str(cache.root) if cache is not None else None
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
+        try:
+            futures = {
+                pool.submit(_pool_run, job, cache_name, cache_root): (key, job)
+                for key, job in misses
+            }
+            for future in as_completed(futures):
+                key, job = futures[future]
+                try:
+                    status, payload, meta = future.result()
+                except Exception as exc:
+                    # BrokenProcessPool & friends: the worker died without
+                    # reporting (OOM-kill, segfault) — name the grid point.
+                    raise SimJobError(
+                        job, f"worker died: {type(exc).__name__}: {exc}"
+                    ) from exc
+                if status != "ok":
+                    raise SimJobError(job, payload)
+                resolved[key] = payload
+                if meta.get("cached"):
+                    METRICS.record_hit()
+                else:
+                    METRICS.record_sim(meta)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    results: list[SimResult] = [None] * len(jobs)  # type: ignore[list-item]
+    for key, indices in sinks.items():
+        result = resolved[key]
+        for index in indices:
+            results[index] = result
+    return results

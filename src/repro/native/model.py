@@ -53,6 +53,8 @@ class _DispatchRT:
         "jump_pc",
         "bop_pc",
         "scd",
+        "slow_blocks",
+        "pre_branch",
     )
 
     def __init__(self, program: Program, site: int, scd: bool):
@@ -75,6 +77,21 @@ class _DispatchRT:
         self.bound_pc = self.bound.term.pc
         self.calc = program.block(f"Calc_{site}")
         self.jump_pc = self.calc.term.pc
+        # Flat per-phase block tuples for the replay hot path: the blocks
+        # retired together on the SCD slow path and on the non-SCD path
+        # (operand decode included) between fetch and the bound check.
+        self.slow_blocks = (self.decode, self.bound)
+        operand_blocks = (self.operand,) if self.operand is not None else ()
+        self.pre_branch = operand_blocks + self.slow_blocks
+
+
+def _tail_of(block: BasicBlock) -> tuple | None:
+    """Precompute `_run_tail`'s work: (pc, target) of the block's
+    terminating direct jump, or ``None`` when it falls through."""
+    term = block.term
+    if term is not None and term.target is not None:
+        return (term.pc, term.target)
+    return None
 
 
 def _follow_chain(
@@ -120,31 +137,44 @@ class _HandlerRT:
         "tail_block",
         "tail_jump_pc",
         "static_insts",
+        "final_tail",
+        "tk_tail",
+        "nt_tail",
+        "exit_tail",
+        "ret_tail",
     )
 
     def __init__(self, program: Program, name: str, spec: HandlerSpec, threaded: bool):
-        self.chain, self.final = _follow_chain(program, name, name)
+        chain, self.final = _follow_chain(program, name, name)
+        self.chain = tuple(chain)
         first = self.chain[0][0] if self.chain else self.final
         self.pc = first.start_pc
         self.static_insts = spec.body_insts
         self.nt = self.tk = self.work = self.exit = self.ret_block = None
         self.branch_pc = self.work_pc = self.call_pc = -1
+        self.final_tail = self.tk_tail = self.nt_tail = None
+        self.exit_tail = self.ret_tail = None
         if spec.calls_out:
             self.kind = "callout"
             self.call_pc = self.final.term.pc
             self.ret_block = program.block(f"{name}_r")
+            self.ret_tail = _tail_of(self.ret_block)
         elif spec.has_work_loop:
             self.kind = "workloop"
             self.work = program.block(f"{name}_w")
             self.work_pc = self.work.term.pc
             self.exit = program.block(f"{name}_x")
+            self.exit_tail = _tail_of(self.exit)
         elif spec.guest_branch:
             self.kind = "branchy"
             self.branch_pc = self.final.term.pc
             self.nt = program.block(f"{name}_nt")
             self.tk = program.block(f"{name}_tk")
+            self.tk_tail = _tail_of(self.tk)
+            self.nt_tail = _tail_of(self.nt)
         else:
             self.kind = "plain"
+            self.final_tail = _tail_of(self.final)
         if threaded:
             self.tail_block = program.block(f"{name}_T")
             self.tail_jump_pc = self.tail_block.term.pc
@@ -169,7 +199,8 @@ class _StubRT:
 
     def __init__(self, program: Program, name: str):
         label = f"B_{name}"
-        self.chain, self.final = _follow_chain(program, label, label)
+        chain, self.final = _follow_chain(program, label, label)
+        self.chain = tuple(chain)
         first = self.chain[0][0] if self.chain else self.final
         self.pc = first.start_pc
         self.work = program.block(f"{label}_w")
@@ -285,10 +316,70 @@ class NativeInterpreterModel:
             stub_name: _StubRT(self.program, stub_name)
             for stub_name in tuple(BUILTINS) + ("_precall",)
         }
+        self._plans: dict[tuple[int, int], tuple] = {}
 
     @property
     def code_size_bytes(self) -> int:
         return self.program.size_bytes
+
+    def replay_plan(self, op: int, site: int) -> tuple:
+        """The flat per-(opcode, site) replay recipe.
+
+        Everything the per-event hot path would otherwise look up through
+        dicts and attribute chains — the resolved dispatcher copy, the
+        handler, its chunk chain and the kind-specific terminator data —
+        precomputed once per model into one tuple:
+        ``(dispatch, handler, chain, final, kind_code, tail)`` where the
+        shape of *tail* depends on *kind_code* (see
+        :meth:`ModelRunner._replay`).  Plans are static per model, so they
+        are shared by every run replaying onto it.
+        """
+        plan = self._plans.get((op, site))
+        if plan is None:
+            handler = self.handlers[op]
+            dispatch = self.dispatchers.get(site) or self.dispatchers[0]
+            kind = handler.kind
+            if kind == "plain":
+                code, tail = 0, handler.final_tail
+            elif kind == "branchy":
+                code = 1
+                tail = (
+                    handler.branch_pc,
+                    handler.tk,
+                    handler.tk_tail,
+                    handler.nt,
+                    handler.nt_tail,
+                )
+            elif kind == "workloop":
+                code = 2
+                tail = (
+                    handler.work,
+                    handler.work_pc,
+                    handler.exit,
+                    handler.exit_tail,
+                )
+            else:  # callout
+                code = 3
+                tail = (
+                    handler.call_pc,
+                    handler.ret_block,
+                    handler.ret_block.start_pc,
+                    handler.ret_tail,
+                )
+            plan = (dispatch, handler, handler.chain, handler.final, code, tail)
+            self._plans[(op, site)] = plan
+        return plan
+
+    def prepare_plans(self) -> None:
+        """Pre-build the plan for every (opcode, known dispatch site) pair.
+
+        Unknown raw sites still resolve lazily (they fall back to
+        dispatcher 0 with a distinct cache slot), but after this call the
+        steady-state hot path never takes the build branch.
+        """
+        for op in self.handlers:
+            for site in self.dispatchers:
+                self.replay_plan(op, site)
 
 
 @functools.lru_cache(maxsize=None)
@@ -333,19 +424,32 @@ class ModelRunner:
         self.machine = machine
         self.context_switch_interval = context_switch_interval
         self.context_switch_policy = context_switch_policy
-        self._prev_op: int | None = None
+        self._prev_handler: _HandlerRT | None = None
         self._pending: tuple | None = None
         self._events = 0
         self._code_cursor = 0
         self._is_scd = model.strategy == "scd"
         self._is_threaded = model.strategy == "threaded"
         self._is_superinst = model.strategy == "superinst"
+        self._opcode_mask = model.opcode_mask
+        # The VM calls the trace hook once per guest bytecode; bind it to
+        # the replay body directly (no per-event forwarding call) unless
+        # the strategy needs the one-deep fusion buffer.
+        self.on_event = (
+            self._on_event_buffered if self._is_superinst else self._replay
+        )
+
+    @property
+    def events(self) -> int:
+        """Guest trace events replayed so far."""
+        return self._events
 
     def start(self) -> None:
-        """Program the SCD registers (``setmask`` per covered site)."""
+        """Program the SCD registers and pre-build the replay plans."""
         if self._is_scd:
             for site in self.model.covered_sites:
                 self.machine.scd.setmask(self.model.opcode_mask, table=site)
+        self.model.prepare_plans()
 
     def finish(self) -> None:
         """Interpreter-loop exit: drain any buffered event, flush JTEs."""
@@ -357,16 +461,10 @@ class ModelRunner:
 
     # -- event replay -------------------------------------------------------
 
-    def on_event(self, op, site, taken, callee, daddrs, builtin, cost) -> None:
-        """Consume one VM trace event.
-
-        Under the superinstruction strategy, events are buffered one deep so
+    def _on_event_buffered(self, op, site, taken, callee, daddrs, builtin, cost) -> None:
+        """Superinstruction trace hook: events are buffered one deep so
         adjacent bytecodes matching a fused pair dispatch once through the
-        fused handler; everything else replays immediately.
-        """
-        if not self._is_superinst:
-            self._replay(op, site, taken, callee, daddrs, builtin, cost)
-            return
+        fused handler; everything else replays immediately."""
         event = (op, site, taken, callee, daddrs, builtin, cost)
         pending = self._pending
         if pending is None:
@@ -416,9 +514,15 @@ class ModelRunner:
         self._run_tail(handler.final)
 
     def _replay(self, op, site, taken, callee, daddrs, builtin, cost) -> None:
+        # Hot path: one call per guest bytecode, millions per simulation.
+        # All static structure comes precomputed from the model's replay
+        # plan; machine entry points are bound to locals once per event.
+        dispatch, handler, chain, final, kind, tail = self.model.replay_plan(
+            op, site
+        )
         machine = self.machine
-        model = self.model
-        handler = model.handlers[op]
+        exec_block = machine.exec_block
+        cond_branch = machine.cond_branch
 
         self._events += 1
         interval = self.context_switch_interval
@@ -427,91 +531,93 @@ class ModelRunner:
 
         # Guest bytecode stream address: sequential with wraparound, giving
         # the mostly-resident fetch behaviour of a small bytecode program.
-        self._code_cursor = (self._code_cursor + 4) & 0x3FFF
-        fetch_daddrs = (_VM_STRUCT_PC_SLOT, _GUEST_CODE_BASE + self._code_cursor)
+        self._code_cursor = cursor = (self._code_cursor + 4) & 0x3FFF
+        fetch_daddrs = (_VM_STRUCT_PC_SLOT, _GUEST_CODE_BASE + cursor)
 
         # ---- dispatch phase ----
-        if self._is_threaded and self._prev_op is not None:
-            tail = model.handlers[self._prev_op]
-            machine.exec_block(tail.tail_block, fetch_daddrs)
+        prev = self._prev_handler
+        if prev is not None:  # threaded, after the first bytecode
+            exec_block(prev.tail_block, fetch_daddrs)
             machine.indirect_jump(
-                tail.tail_jump_pc, handler.pc, hint=op, category="dispatch_jump"
+                prev.tail_jump_pc, handler.pc, hint=op, category="dispatch_jump"
             )
         else:
-            dispatch = model.dispatchers[site if site in model.dispatchers else 0]
-            machine.exec_block(dispatch.head)
-            machine.exec_block(dispatch.fetch, fetch_daddrs)
-            if dispatch.operand is not None:
-                machine.exec_block(dispatch.operand)
+            exec_block(dispatch.head)
+            exec_block(dispatch.fetch, fetch_daddrs)
             if dispatch.scd:
-                machine.load_op(op & model.opcode_mask, table=site)
-                machine.exec_block(dispatch.bop_block)
+                if dispatch.operand is not None:
+                    exec_block(dispatch.operand)
+                machine.load_op(op & self._opcode_mask, table=site)
+                exec_block(dispatch.bop_block)
                 target = machine.bop(dispatch.bop_pc, table=site)
                 if target is None:
-                    machine.exec_block(dispatch.decode)
-                    machine.exec_block(dispatch.bound)
-                    machine.cond_branch(dispatch.bound_pc, False, "bound_check")
-                    machine.exec_block(dispatch.calc)
+                    machine.exec_blocks(dispatch.slow_blocks)
+                    cond_branch(dispatch.bound_pc, False, "bound_check")
+                    exec_block(dispatch.calc)
                     machine.jru(dispatch.jump_pc, handler.pc, table=site)
             else:
-                machine.exec_block(dispatch.decode)
-                machine.exec_block(dispatch.bound)
-                machine.cond_branch(dispatch.bound_pc, False, "bound_check")
-                machine.exec_block(dispatch.calc)
+                machine.exec_blocks(dispatch.pre_branch)
+                cond_branch(dispatch.bound_pc, False, "bound_check")
+                exec_block(dispatch.calc)
                 machine.indirect_jump(
                     dispatch.jump_pc, handler.pc, hint=op, category="dispatch_jump"
                 )
         if self._is_threaded:
-            self._prev_op = op
+            self._prev_handler = handler
 
         # ---- handler phase ----
-        for chunk_block, junction_pc in handler.chain:
-            machine.exec_block(chunk_block, daddrs)
+        for chunk_block, junction_pc in chain:
+            exec_block(chunk_block, daddrs)
             daddrs = ()
-            machine.cond_branch(junction_pc, True, "type_check")
-        machine.exec_block(handler.final, daddrs)
+            cond_branch(junction_pc, True, "type_check")
+        exec_block(final, daddrs)
 
-        kind = handler.kind
-        if kind == "plain":
-            self._run_tail(handler.final)
-        elif kind == "branchy":
+        if kind == 0:  # plain; tail = final's terminating jump or None
+            if tail is not None:
+                machine.direct_jump(tail[0], tail[1])
+        elif kind == 1:  # branchy; tail = (branch_pc, tk, tk_tail, nt, nt_tail)
             branch_taken = taken == TAKEN_TRUE
-            machine.cond_branch(handler.branch_pc, branch_taken, "guest_branch")
-            side = handler.tk if branch_taken else handler.nt
-            machine.exec_block(side)
-            self._run_tail(side)
-        elif kind == "workloop":
+            cond_branch(tail[0], branch_taken, "guest_branch")
+            if branch_taken:
+                side, side_tail = tail[1], tail[2]
+            else:
+                side, side_tail = tail[3], tail[4]
+            exec_block(side)
+            if side_tail is not None:
+                machine.direct_jump(side_tail[0], side_tail[1])
+        elif kind == 2:  # workloop; tail = (work, work_pc, exit, exit_tail)
+            work, work_pc, exit_block, exit_tail = tail
             iterations = 1
             if cost is not None:
                 iterations = max(1, work_loop_iterations(cost[0]))
             for index in range(iterations):
-                machine.exec_block(handler.work)
-                machine.cond_branch(
-                    handler.work_pc, index < iterations - 1, "work_loop"
-                )
-            machine.exec_block(handler.exit)
-            self._run_tail(handler.exit)
-        else:  # callout
+                exec_block(work)
+                cond_branch(work_pc, index < iterations - 1, "work_loop")
+            exec_block(exit_block)
+            if exit_tail is not None:
+                machine.direct_jump(exit_tail[0], exit_tail[1])
+        else:  # callout; tail = (call_pc, ret_block, return_pc, ret_tail)
+            call_pc, ret_block, return_pc, ret_tail = tail
             if callee == CALLEE_BUILTIN and builtin is not None:
-                stub = model.stubs[builtin]
+                stub = self.model.stubs[builtin]
             else:
-                stub = model.stubs["_precall"]
-            return_pc = handler.ret_block.start_pc
-            machine.call(handler.call_pc, stub.pc, return_pc, indirect=True)
+                stub = self.model.stubs["_precall"]
+            machine.call(call_pc, stub.pc, return_pc, indirect=True)
             for chunk_block, junction_pc in stub.chain:
-                machine.exec_block(chunk_block)
-                machine.cond_branch(junction_pc, True, "type_check")
-            machine.exec_block(stub.final)
+                exec_block(chunk_block)
+                cond_branch(junction_pc, True, "type_check")
+            exec_block(stub.final)
             iterations = 1
             if cost is not None:
                 iterations = max(1, work_loop_iterations(cost[0] - stub.entry_insts))
             for index in range(iterations):
-                machine.exec_block(stub.work)
-                machine.cond_branch(stub.work_pc, index < iterations - 1, "work_loop")
-            machine.exec_block(stub.exit)
+                exec_block(stub.work)
+                cond_branch(stub.work_pc, index < iterations - 1, "work_loop")
+            exec_block(stub.exit)
             machine.ret(stub.ret_pc, return_pc)
-            machine.exec_block(handler.ret_block)
-            self._run_tail(handler.ret_block)
+            exec_block(ret_block)
+            if ret_tail is not None:
+                machine.direct_jump(ret_tail[0], ret_tail[1])
 
     def _run_tail(self, block: BasicBlock) -> None:
         """The handler's terminating jump back to the dispatcher.

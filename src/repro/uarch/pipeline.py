@@ -183,6 +183,45 @@ class Machine:
                         "dcache_stall",
                     )
 
+    def exec_blocks(self, blocks: tuple) -> None:
+        """Retire several data-access-free blocks back to back.
+
+        Accounting is identical to calling :meth:`exec_block` on each
+        element in order with empty ``daddrs``; batching exists purely to
+        cut per-event Python call overhead on the replay hot path (the
+        dispatch-slow-path and operand blocks of every guest bytecode).
+        """
+        counts = self._block_counts
+        stats = self.stats
+        width = self._issue_width
+        icache = self.icache
+        itlb = self.itlb
+        config = self.config
+        for block in blocks:
+            counts[block] = counts.get(block, 0) + 1
+            n = block.n_insts
+            stats.cycles += n if width == 1 else (n + width - 1) // width
+            lines = block.lines_cache
+            if lines is None:
+                lines = tuple(
+                    range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1)
+                )
+                block.lines_cache = lines
+                block.page_cache = block.start_pc >> Tlb.PAGE_SHIFT
+            if block.page_cache != self._last_ipage:
+                self._last_ipage = block.page_cache
+                if not itlb.access(block.start_pc):
+                    stats.itlb_misses += 1
+                    self._stall(config.tlb_miss_penalty, "itlb_stall")
+            for line in lines:
+                if not icache.access_line(line):
+                    stats.icache_misses += 1
+                    self._stall(
+                        config.icache.hit_latency
+                        + self._fill_latency(line << self._line_shift),
+                        "icache_stall",
+                    )
+
     def finalize(self) -> MachineStats:
         """Fold deferred per-block counts into the statistics and return them.
 

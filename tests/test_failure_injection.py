@@ -83,15 +83,29 @@ class TestCacheFaults:
 
         from repro.harness.experiments import cached_simulate
 
-        result = cached_simulate(
+        cached_simulate(
             "fibo", "lua", "scd", cache=tmp_cache, n=8, check_output=False
         )
-        data = json.loads(tmp_cache.path.read_text())
-        key = next(iter(data))
-        data[key] = {"garbage": True}
-        tmp_cache.path.write_text(json.dumps(data))
-        tmp_cache._data = None  # force reload
-        assert tmp_cache.get(key) is None
+        entries = list(tmp_cache.path.glob("*.json"))
+        assert entries, "simulation should have written a sharded entry"
+        key = json.loads(entries[0].read_text())["key"]
+        entries[0].write_text('{"garbage": tru')  # torn mid-write
+        fresh = type(tmp_cache)(tmp_cache.name)  # no memo carried over
+        assert fresh.get(key) is None
+
+    def test_entry_key_mismatch_reads_as_miss(self, tmp_cache):
+        """A hash-collided (or hand-edited) entry whose embedded key does
+        not match the probe key is ignored rather than served."""
+        from repro.core.simulation import simulate
+
+        result = simulate("fibo", "lua", "scd", n=8, check_output=False)
+        tmp_cache.put("key-a", result)
+        path = tmp_cache.entry_path("key-a")
+        # Graft key-a's entry file onto key-b's shard slot.
+        tmp_cache.entry_path("key-b").write_text(path.read_text())
+        fresh = type(tmp_cache)(tmp_cache.name)
+        assert fresh.get("key-b") is None
+        assert fresh.get("key-a") == result
 
     def test_interrupted_write_leaves_no_partial_file(self, tmp_cache):
         from repro.harness.experiments import cached_simulate
@@ -99,5 +113,5 @@ class TestCacheFaults:
         cached_simulate("fibo", "lua", "scd", cache=tmp_cache, n=8,
                         check_output=False)
         # The temp-file + rename protocol leaves no .tmp droppings.
-        leftovers = list(tmp_cache.path.parent.glob("*.tmp"))
+        leftovers = list(tmp_cache.path.glob("*.tmp"))
         assert leftovers == []

@@ -1,0 +1,186 @@
+"""Tests for the process-pool fan-out layer and the sharded result cache.
+
+Covers the concurrency-sensitive properties the serial harness tests
+cannot: parallel/serial numeric identity and ordering, failure
+propagation with grid-point naming, concurrent cache population from
+multiple processes, and tolerance of torn cache entries.
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.core.simulation import simulate
+from repro.harness.cache import ResultCache, sim_cache_key
+from repro.harness.parallel import (
+    METRICS,
+    SimJob,
+    SimJobError,
+    execute_job,
+    resolve_workers,
+    run_jobs,
+    set_default_workers,
+)
+from repro.uarch.config import cortex_a5
+
+#: Tiny but non-trivial grid: two schemes x two workloads at explicit n.
+SMALL = tuple(
+    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", 8)))
+    for w in ("fibo", "n-sieve")
+    for scheme in ("baseline", "scd")
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_parallel_state():
+    METRICS.reset()
+    set_default_workers(None)
+    yield
+    set_default_workers(None)
+
+
+class TestSimJob:
+    def test_cache_key_matches_canonical(self):
+        job = SimJob("fibo", "lua", "scd", kwargs=(("n", 8),))
+        assert job.cache_key() == sim_cache_key(
+            "lua", "scd", "fibo", "sim", None, {"n": 8}
+        )
+
+    def test_default_config_aliases_explicit(self):
+        implicit = SimJob("fibo", "lua", "scd")
+        explicit = SimJob("fibo", "lua", "scd", config=cortex_a5())
+        assert implicit.cache_key() == explicit.cache_key()
+
+    def test_kwargs_order_does_not_matter(self):
+        a = sim_cache_key("lua", "scd", "fibo", "sim", None, {"n": 8, "check_output": False})
+        b = sim_cache_key("lua", "scd", "fibo", "sim", None, {"check_output": False, "n": 8})
+        assert a == b
+
+    def test_distinct_kwargs_distinct_keys(self):
+        a = sim_cache_key("lua", "scd", "fibo", "sim", None, {"n": 8})
+        b = sim_cache_key("lua", "scd", "fibo", "sim", None, {"n": 9})
+        assert a != b
+
+
+class TestRunJobs:
+    def test_workers1_matches_direct_simulate(self, tmp_cache):
+        (result,) = run_jobs([SMALL[0]], workers=1, cache=tmp_cache)
+        direct = simulate("fibo", vm="lua", scheme="baseline", n=8, check_output=False)
+        assert result == direct
+
+    def test_parallel_matches_serial_in_order(self, tmp_path):
+        serial = run_jobs(
+            SMALL, workers=1, cache=ResultCache("serial", root=tmp_path)
+        )
+        parallel = run_jobs(
+            SMALL, workers=2, cache=ResultCache("parallel", root=tmp_path)
+        )
+        assert parallel == serial
+        for job, result in zip(SMALL, parallel):
+            assert (result.workload, result.scheme) == (job.workload, job.scheme)
+
+    def test_batch_dedupes_repeated_jobs(self, tmp_cache):
+        job = SMALL[0]
+        results = run_jobs([job, job, job], workers=1, cache=tmp_cache)
+        assert results[0] == results[1] == results[2]
+        assert METRICS.sims == 1
+
+    def test_pool_populates_shared_cache(self, tmp_cache):
+        run_jobs(SMALL, workers=2, cache=tmp_cache)
+        again = ResultCache(tmp_cache.name)
+        for job in SMALL:
+            assert again.get(job.cache_key()) is not None
+
+    def test_failure_names_grid_point_serial(self, tmp_cache):
+        bad = SimJob("no-such-workload", "lua", "scd")
+        with pytest.raises(SimJobError) as err:
+            run_jobs([bad], workers=1, cache=tmp_cache)
+        assert err.value.key == ("lua", "scd", "no-such-workload")
+        assert "no-such-workload" in str(err.value)
+
+    def test_failure_names_grid_point_pool(self, tmp_cache):
+        bad = SimJob("no-such-workload", "lua", "scd")
+        with pytest.raises(SimJobError) as err:
+            run_jobs([SMALL[0], bad], workers=2, cache=tmp_cache)
+        assert err.value.key == ("lua", "scd", "no-such-workload")
+
+    def test_resolve_workers_priority(self, monkeypatch):
+        assert resolve_workers(3) == 3
+        set_default_workers(2)
+        assert resolve_workers() == 2
+        set_default_workers(None)
+        monkeypatch.setenv("SCD_REPRO_JOBS", "5")
+        assert resolve_workers() == 5
+        monkeypatch.setenv("SCD_REPRO_JOBS", "junk")
+        assert resolve_workers() >= 1
+
+
+def _worker_put(root, name, job_args):
+    cache = ResultCache(name, root=root)
+    job = SimJob(*job_args, kwargs=(("check_output", False), ("n", 8)))
+    execute_job(job, cache)
+
+
+class TestConcurrentCache:
+    def test_two_processes_share_one_store(self, tmp_path):
+        """Two processes populating one cache directory concurrently: no
+        corruption, both entries (including a raced duplicate) readable."""
+        ctx = multiprocessing.get_context()
+        grids = [
+            [("fibo", "lua", "baseline"), ("fibo", "lua", "scd")],
+            [("n-sieve", "lua", "baseline"), ("fibo", "lua", "scd")],
+        ]
+        procs = [
+            ctx.Process(target=_worker_put, args=(str(tmp_path), "shared", g[i]))
+            for g in grids
+            for i in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        cache = ResultCache("shared", root=tmp_path)
+        for w, vm, scheme in {g[i] for g in grids for i in range(2)}:
+            key = sim_cache_key(vm, scheme, w, "sim", None,
+                                {"check_output": False, "n": 8})
+            result = cache.get(key)
+            assert result is not None
+            assert (result.workload, result.scheme) == (w, scheme)
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_cache):
+        result = simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+        tmp_cache.put("some-key", result)
+        tmp_cache.entry_path("some-key").write_text('{"key": "some-key", "res')
+        fresh = ResultCache(tmp_cache.name)
+        assert fresh.get("some-key") is None
+        fresh.put("some-key", result)  # recovers by overwriting
+        assert ResultCache(tmp_cache.name).get("some-key") == result
+
+    def test_miss_is_not_memoized(self, tmp_cache):
+        """An entry written by another process after a miss is picked up
+        on the next probe (the pre-v3 cache memoized the whole file and
+        went permanently stale)."""
+        result = simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+        reader = ResultCache(tmp_cache.name)
+        assert reader.get("late-key") is None
+        tmp_cache.put("late-key", result)  # "another process" writes
+        assert reader.get("late-key") == result
+
+    def test_clear_removes_entries_and_tmp_strays(self, tmp_cache):
+        result = simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+        tmp_cache.put("k", result)
+        stray = tmp_cache.entry_path("k").with_suffix(".json.999.tmp")
+        stray.write_text("partial")
+        tmp_cache.clear()
+        assert not tmp_cache.path.exists()
+        assert not stray.exists()
+        assert tmp_cache.get("k") is None
+
+    def test_entry_payload_is_self_describing(self, tmp_cache):
+        result = simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+        tmp_cache.put("k", result)
+        payload = json.loads(tmp_cache.entry_path("k").read_text())
+        assert payload["key"] == "k"
+        assert payload["result"]["workload"] == "fibo"
