@@ -1,11 +1,13 @@
 """Dispatch-throughput smoke benchmark and regression guard.
 
-Measures the replay hot path (events/sec through ``simulate``) and the
-cold-cache wall time of a small grid at ``-j 1`` vs ``-j 4``, writes the
-numbers to ``BENCH_dispatch.json`` at the repo root, and asserts a
-*generous* events/sec floor so CI catches an order-of-magnitude hot-path
-regression without flaking on slow runners.  Set ``SCD_SKIP_PERF_GUARD=1``
-to record numbers without asserting (e.g. under coverage or emulation).
+Measures the replay hot path (events/sec through ``simulate``), the
+cold-cache wall time of a small grid at ``-j 1`` vs ``-j 4``, and the
+cold-record vs warm-replay wall time of a trace-cached sweep; writes the
+numbers to ``BENCH_dispatch.json`` at the repo root, and asserts
+*generous* floors (events/sec, trace-replay speedup) so CI catches an
+order-of-magnitude regression without flaking on slow runners.  Set
+``SCD_SKIP_PERF_GUARD=1`` to record numbers without asserting (e.g.
+under coverage or emulation).
 
 Run explicitly (not part of the tier-1 suite)::
 
@@ -19,10 +21,23 @@ from pathlib import Path
 
 from repro.core.simulation import simulate
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import SimJob, run_jobs
+from repro.harness.parallel import METRICS, SimJob, run_jobs
+from repro.vm.capture import set_default_trace_mode
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_dispatch.json"
+
+
+def _update_bench(section: str, payload: dict) -> None:
+    """Merge one section into BENCH_dispatch.json (tests are independent)."""
+    record = {}
+    if BENCH_PATH.exists():
+        try:
+            record = json.loads(BENCH_PATH.read_text())
+        except ValueError:
+            record = {}
+    record[section] = payload
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
 #: Extremely generous floor — the replay path does ~30k events/s on a
 #: single 2020s laptop core; anything under this means the hot path
@@ -33,6 +48,23 @@ MIN_EVENTS_PER_S = 3000.0
 GRID = tuple(
     SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", 10)))
     for w in ("fibo", "n-sieve", "random", "pidigits")
+    for scheme in ("baseline", "scd")
+)
+
+#: A warm trace-cache sweep must beat re-interpreting the same grid by at
+#: least this factor (measured ~5.7x on one core; the floor leaves room
+#: for slow runners).
+MIN_TRACE_SPEEDUP = 3.0
+
+#: The same 8 (workload, scheme) points as GRID at steady-state input
+#: sizes: long enough that the guest-interpretation cost the trace cache
+#: removes — and, on ``random``, the steady-state memo — actually shows.
+#: ``random`` runs >100 loop iterations per 4096-event memo chunk, so the
+#: memo engages after its first key lap; the other three are
+#: recursion/array/bignum shaped and exercise the plain replay path.
+TRACE_GRID = tuple(
+    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", n)))
+    for w, n in (("fibo", 14), ("n-sieve", 200), ("random", 24000), ("pidigits", 40))
     for scheme in ("baseline", "scd")
 )
 
@@ -54,31 +86,97 @@ def test_dispatch_throughput_guard(tmp_path):
     wall_j1 = _grid_wall(1, tmp_path)
     wall_j4 = _grid_wall(4, tmp_path)
 
-    record = {
-        "hot_path": {
-            "workload": "n-body (lua, scd, sim scale)",
-            "events": metrics["events"],
-            "wall_s": round(metrics["wall_s"], 3),
-            "events_per_s": round(metrics["events_per_s"], 1),
-            "sims_per_s": round(1.0 / metrics["wall_s"], 3),
-        },
-        "fanout_cold_cache": {
-            "grid_points": len(GRID),
-            "wall_s_j1": round(wall_j1, 3),
-            "wall_s_j4": round(wall_j4, 3),
-            "speedup_j4_over_j1": round(wall_j1 / wall_j4, 3),
-            "cpu_count": os.cpu_count(),
-        },
-        "guard": {
-            "min_events_per_s": MIN_EVENTS_PER_S,
-            "skipped": bool(os.environ.get("SCD_SKIP_PERF_GUARD")),
-        },
-    }
-    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    _update_bench("hot_path", {
+        "workload": "n-body (lua, scd, sim scale)",
+        "events": metrics["events"],
+        "wall_s": round(metrics["wall_s"], 3),
+        "events_per_s": round(metrics["events_per_s"], 1),
+        "sims_per_s": round(1.0 / metrics["wall_s"], 3),
+    })
+    _update_bench("fanout_cold_cache", {
+        "grid_points": len(GRID),
+        "wall_s_j1": round(wall_j1, 3),
+        "wall_s_j4": round(wall_j4, 3),
+        "speedup_j4_over_j1": round(wall_j1 / wall_j4, 3),
+        "cpu_count": os.cpu_count(),
+    })
+    _update_bench("guard", {
+        "min_events_per_s": MIN_EVENTS_PER_S,
+        "min_trace_speedup": MIN_TRACE_SPEEDUP,
+        "skipped": bool(os.environ.get("SCD_SKIP_PERF_GUARD")),
+    })
 
     if os.environ.get("SCD_SKIP_PERF_GUARD"):
         return
     assert metrics["events_per_s"] >= MIN_EVENTS_PER_S, (
         f"replay hot path regressed: {metrics['events_per_s']:.0f} events/s "
+        f"< {MIN_EVENTS_PER_S:.0f} (see {BENCH_PATH.name})"
+    )
+
+
+def test_trace_replay_speedup(tmp_path):
+    """Cold-record vs warm-replay sweep over the 8-point TRACE_GRID.
+
+    The cold sweep interprets every grid point while recording traces;
+    the warm sweep resolves the same points from the recorded traces
+    (distinct result-cache names, shared root, so result-cache hits
+    cannot mask the comparison).  Asserts byte-identical results, a
+    blended >= MIN_TRACE_SPEEDUP, and a replay-throughput floor.
+    """
+    # Warm the model assembly so the cold sweep measures interpretation.
+    simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+
+    try:
+        METRICS.reset()
+        set_default_trace_mode("record")
+        start = time.perf_counter()
+        cold = run_jobs(
+            TRACE_GRID, workers=1,
+            cache=ResultCache("perf-trace-cold", root=tmp_path),
+        )
+        wall_cold = time.perf_counter() - start
+        events_interpreted = METRICS.events_interpreted
+
+        METRICS.reset()
+        set_default_trace_mode("replay")
+        start = time.perf_counter()
+        warm = run_jobs(
+            TRACE_GRID, workers=1,
+            cache=ResultCache("perf-trace-warm", root=tmp_path),
+        )
+        wall_warm = time.perf_counter() - start
+    finally:
+        set_default_trace_mode(None)
+
+    # Replay must be invisible in the numbers: byte-identical stats.
+    assert warm == cold
+
+    speedup = wall_cold / wall_warm if wall_warm > 0 else float("inf")
+    replay_rate = (
+        METRICS.events_replayed / METRICS.replay_wall_s
+        if METRICS.replay_wall_s > 0 else 0.0
+    )
+    _update_bench("trace_replay", {
+        "grid_points": len(TRACE_GRID),
+        "events": METRICS.events_replayed,
+        "wall_s_cold_record": round(wall_cold, 3),
+        "wall_s_warm_replay": round(wall_warm, 3),
+        "speedup_warm_over_cold": round(speedup, 3),
+        "events_interpreted_cold": events_interpreted,
+        "replay_events_per_s": round(replay_rate, 1),
+        "memo_events_skipped": METRICS.memo_events,
+    })
+
+    # The memo must engage on the steady-state loop points.
+    assert METRICS.memo_events > 0
+
+    if os.environ.get("SCD_SKIP_PERF_GUARD"):
+        return
+    assert speedup >= MIN_TRACE_SPEEDUP, (
+        f"warm trace replay only {speedup:.2f}x over cold interpretation "
+        f"< {MIN_TRACE_SPEEDUP:.1f}x (see {BENCH_PATH.name})"
+    )
+    assert replay_rate >= MIN_EVENTS_PER_S, (
+        f"trace replay throughput regressed: {replay_rate:.0f} events/s "
         f"< {MIN_EVENTS_PER_S:.0f} (see {BENCH_PATH.name})"
     )

@@ -12,7 +12,15 @@ import time
 from repro.core.results import SimResult
 from repro.native.model import ModelRunner, get_model
 from repro.uarch.config import CoreConfig, cortex_a5
-from repro.uarch.pipeline import Machine
+from repro.uarch.pipeline import Machine, SteadyStateMemo
+from repro.vm.capture import (
+    TraceMissError,
+    TraceRecorder,
+    replay_events,
+    replay_events_memo,
+    resolve_trace_mode,
+    trace_key,
+)
 from repro.vm.js import JsVM
 from repro.vm.lua import LuaVM
 from repro.workloads import workload as get_workload
@@ -69,6 +77,9 @@ def simulate(
     max_steps: int = 100_000_000,
     check_output: bool = True,
     metrics: dict | None = None,
+    trace_store=None,
+    trace_mode: str | None = None,
+    replay_memo: bool = True,
 ) -> SimResult:
     """Run one (workload, vm, scheme, machine) combination.
 
@@ -90,9 +101,27 @@ def simulate(
         check_output: verify the VM output against the workload's Python
             reference (skipped for raw sources or explicit *n*).
         metrics: optional dict that receives per-run throughput metadata
-            (``wall_s``, ``events``, ``events_per_s``).  Kept out of
+            (``wall_s``, ``events``, ``events_per_s``, ``replayed``,
+            ``memo_hits``, ``memo_events``).  Kept out of
             :class:`SimResult` so the cached, deterministic experiment
             numbers never depend on wall-clock time.
+        trace_store: optional :class:`repro.harness.cache.TraceStore`.
+            When given, the functional event stream is recorded on the
+            first run of a (vm, source) pair and replayed — skipping VM
+            interpretation entirely — on every subsequent run, regardless
+            of scheme or machine configuration (the stream depends on
+            neither).  ``None`` (the default) keeps ``simulate`` pure:
+            no trace files are read or written.
+        trace_mode: ``"auto"`` (replay if recorded, else record),
+            ``"record"`` (force re-interpretation and overwrite),
+            ``"replay"`` (require a recorded trace, raise
+            :class:`~repro.vm.capture.TraceMissError` otherwise) or
+            ``"off"``.  ``None`` defers to
+            :func:`repro.vm.capture.resolve_trace_mode` (CLI flags /
+            ``SCD_REPRO_TRACE`` / ``"auto"``).
+        replay_memo: enable the steady-state timing memo on replayed runs
+            (exact by construction; set False for the belt-and-braces
+            event-by-event replay path).
 
     Returns:
         A frozen :class:`SimResult`.
@@ -110,7 +139,7 @@ def simulate(
         if check_output and n is None:
             expected = bench.expected_output(scale=scale)
 
-    guest = _make_vm(vm, source, max_steps)
+    mode = resolve_trace_mode(trace_mode) if trace_store is not None else "off"
     machine = Machine(config)
     model = get_model(vm, strategy)
     runner = ModelRunner(
@@ -120,7 +149,37 @@ def simulate(
         context_switch_policy=context_switch_policy,
     )
     runner.start()
-    output = guest.run(trace=runner.on_event)
+
+    recorded = None
+    key = None
+    if mode != "off":
+        key = trace_key(vm, source, max_steps)
+        if mode != "record":
+            recorded = trace_store.get(key)
+        if recorded is None and mode == "replay":
+            raise TraceMissError(
+                f"no recorded trace for {vm}/{workload} "
+                "(run once with --record or trace_mode='auto' first)"
+            )
+    memo = None
+    if recorded is not None:
+        # Replay the recorded columns; the guest VM never runs.
+        if replay_memo:
+            memo = SteadyStateMemo(machine, runner)
+            replay_events_memo(recorded, runner, memo)
+        else:
+            replay_events(recorded, runner.on_event)
+        output = list(recorded.output)
+        guest_steps = recorded.guest_steps
+    else:
+        guest = _make_vm(vm, source, max_steps)
+        if mode != "off":
+            recorder = TraceRecorder(runner.on_event)
+            output = guest.run(trace=recorder.hook)
+            trace_store.put(key, recorder.seal(output, guest.steps))
+        else:
+            output = guest.run(trace=runner.on_event)
+        guest_steps = guest.steps
     runner.finish()
 
     if expected is not None and list(output) != list(expected):
@@ -135,6 +194,9 @@ def simulate(
         metrics["wall_s"] = wall
         metrics["events"] = runner.events
         metrics["events_per_s"] = runner.events / wall if wall > 0 else 0.0
+        metrics["replayed"] = recorded is not None
+        metrics["memo_hits"] = memo.hits if memo is not None else 0
+        metrics["memo_events"] = memo.events_skipped if memo is not None else 0
     return SimResult(
         vm=vm,
         scheme=scheme,
@@ -143,7 +205,7 @@ def simulate(
         scale=scale if n is None else f"n={n}",
         cycles=stats.cycles,
         instructions=stats.instructions,
-        guest_steps=guest.steps,
+        guest_steps=guest_steps,
         cpi=stats.cpi,
         branch_mpki=stats.branch_mpki,
         icache_mpki=stats.icache_mpki,

@@ -27,6 +27,7 @@ from pathlib import Path
 
 from repro.core.results import SimResult
 from repro.uarch.config import CoreConfig, cortex_a5
+from repro.vm.capture import RecordedTrace, TraceFormatError
 
 #: Bump when the native model, uarch model, workloads or the cache layout
 #: change behaviour.  v3 introduced the sharded per-entry layout.
@@ -178,5 +179,77 @@ class ResultCache:
                 pass
 
 
-#: Process-wide default cache instance.
+class TraceStore:
+    """A sharded, concurrency-safe store of recorded VM trace streams.
+
+    Shares the v3 cache layout and write discipline of
+    :class:`ResultCache` — one file per entry named by a hash of the key,
+    temp-file + ``os.replace`` writes — but holds the columnar binary
+    artifacts of :mod:`repro.vm.capture` (``.bin`` entries) instead of
+    JSON results.  Keys come from :func:`repro.vm.capture.trace_key` and
+    embed the trace-format version, so a format bump invalidates stale
+    traces rather than misreading them; corrupt, truncated or
+    version-mismatched files read back as a miss (the
+    :class:`~repro.vm.capture.TraceFormatError` contract).
+    """
+
+    def __init__(self, name: str = "traces", root: str | Path | None = None):
+        self.name = name
+        self.root = Path(root) if root is not None else _cache_dir()
+        self.path = self.root / f"v{CACHE_VERSION}" / name
+        self.hits = 0
+        self.misses = 0
+        # Hits-only memo, mirroring ResultCache: traces are immutable once
+        # written, but a miss is never memoized so concurrent recorders
+        # are picked up on the next probe.
+        self._memo: dict[str, RecordedTrace] = {}
+
+    def entry_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.path / f"{digest}.bin"
+
+    def get(self, key: str) -> RecordedTrace | None:
+        memo = self._memo.get(key)
+        if memo is not None:
+            self.hits += 1
+            return memo
+        try:
+            trace = RecordedTrace.from_bytes(self.entry_path(key).read_bytes())
+            if trace.key != key:
+                raise TraceFormatError("entry key mismatch")
+        except (OSError, TraceFormatError):
+            self.misses += 1
+            return None
+        self._memo[key] = trace
+        self.hits += 1
+        return trace
+
+    def put(self, key: str, trace: RecordedTrace) -> None:
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = trace.to_bytes(key=key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        self._memo[key] = trace
+
+    def clear(self) -> None:
+        self._memo.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.path.is_dir():
+            shutil.rmtree(self.path, ignore_errors=True)
+        elif self.path.exists():
+            self.path.unlink()
+
+
+#: Process-wide default cache instances.
 DEFAULT_CACHE = ResultCache()
+DEFAULT_TRACE_STORE = TraceStore()

@@ -17,10 +17,11 @@ import sys
 import time
 
 from repro.core.simulation import SCHEMES, simulate
-from repro.harness.cache import DEFAULT_CACHE
+from repro.harness.cache import DEFAULT_CACHE, DEFAULT_TRACE_STORE
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.parallel import METRICS, set_default_workers
 from repro.uarch.config import CONFIG_PRESETS
+from repro.vm.capture import set_default_trace_mode
 from repro.workloads import workload_names
 
 
@@ -87,13 +88,20 @@ def _cmd_all(_args) -> int:
 def _cmd_report(_args) -> int:
     from repro.harness.report import generate_report
 
+    METRICS.reset()
+    start = time.perf_counter()
     print(generate_report())
+    # The summary's "trace reuse" part shows the per-sweep time saved by
+    # replaying recorded event streams instead of re-interpreting.
+    print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
     return 0
 
 
 def _cmd_clear_cache(_args) -> int:
     DEFAULT_CACHE.clear()
+    DEFAULT_TRACE_STORE.clear()
     print(f"cleared {DEFAULT_CACHE.path}")
+    print(f"cleared {DEFAULT_TRACE_STORE.path}")
     return 0
 
 
@@ -110,6 +118,22 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="worker processes for experiment fan-out "
         "(default: SCD_REPRO_JOBS or the CPU count; 1 = in-process)",
+    )
+    trace_group = parser.add_mutually_exclusive_group()
+    trace_group.add_argument(
+        "--record",
+        action="store_true",
+        help="re-interpret every workload and overwrite its recorded trace",
+    )
+    trace_group.add_argument(
+        "--replay",
+        action="store_true",
+        help="require recorded traces (error on any missing one)",
+    )
+    trace_group.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable trace recording/replay for this invocation",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -133,11 +157,19 @@ def main(argv: list[str] | None = None) -> int:
         sub.add_parser(name, help=f"reproduce {name}")
     sub.add_parser("all", help="run every experiment")
     sub.add_parser("report", help="regenerate the EXPERIMENTS.md body")
-    sub.add_parser("clear-cache", help="drop cached simulation results")
+    sub.add_parser(
+        "clear-cache", help="drop cached simulation results and recorded traces"
+    )
 
     args = parser.parse_args(argv)
     if args.jobs is not None:
         set_default_workers(args.jobs)
+    if args.record:
+        set_default_trace_mode("record")
+    elif args.replay:
+        set_default_trace_mode("replay")
+    elif args.no_trace_cache:
+        set_default_trace_mode("off")
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":

@@ -32,9 +32,15 @@ from dataclasses import dataclass, field
 
 from repro.core.results import SimResult
 from repro.core.simulation import scheme_parts, simulate
-from repro.harness.cache import DEFAULT_CACHE, ResultCache, sim_cache_key
+from repro.harness.cache import (
+    DEFAULT_CACHE,
+    ResultCache,
+    TraceStore,
+    sim_cache_key,
+)
 from repro.native.model import get_model
 from repro.uarch.config import CoreConfig, cortex_a5
+from repro.vm.capture import resolve_trace_mode
 
 #: Process-wide worker-count override, installed by the CLI's ``-j`` flag.
 DEFAULT_WORKERS: int | None = None
@@ -51,8 +57,13 @@ def resolve_workers(workers: int | None = None) -> int:
 
     Priority: explicit argument, :func:`set_default_workers` (the CLI
     ``-j`` flag), the ``SCD_REPRO_JOBS`` environment variable, then
-    ``os.cpu_count()``.
+    ``os.cpu_count()``.  The result is capped at ``os.cpu_count()``:
+    these are CPU-bound simulations, so oversubscribing a small host only
+    adds pool and context-switch overhead (``-j 4`` on a 1-CPU box used
+    to post a 0.88x "speedup"); the cap also lets the single-worker case
+    fall back to in-process execution in :func:`run_jobs`.
     """
+    cpus = os.cpu_count() or 1
     if workers is None:
         workers = DEFAULT_WORKERS
     if workers is None:
@@ -63,8 +74,8 @@ def resolve_workers(workers: int | None = None) -> int:
             except ValueError:
                 workers = None
     if workers is None:
-        workers = os.cpu_count() or 1
-    return max(1, int(workers))
+        workers = cpus
+    return max(1, min(int(workers), cpus))
 
 
 @dataclass
@@ -75,20 +86,52 @@ class ThroughputMetrics:
     cache_hits: int = 0
     events: int = 0
     sim_wall_s: float = 0.0
+    events_replayed: int = 0
+    events_interpreted: int = 0
+    replay_wall_s: float = 0.0
+    interp_wall_s: float = 0.0
+    memo_events: int = 0
 
     def record_hit(self) -> None:
         self.cache_hits += 1
 
     def record_sim(self, meta: dict) -> None:
         self.sims += 1
-        self.events += int(meta.get("events", 0))
-        self.sim_wall_s += float(meta.get("wall_s", 0.0))
+        events = int(meta.get("events", 0))
+        wall = float(meta.get("wall_s", 0.0))
+        self.events += events
+        self.sim_wall_s += wall
+        if meta.get("replayed"):
+            self.events_replayed += events
+            self.replay_wall_s += wall
+            self.memo_events += int(meta.get("memo_events", 0))
+        else:
+            self.events_interpreted += events
+            self.interp_wall_s += wall
 
     def reset(self) -> None:
         self.sims = 0
         self.cache_hits = 0
         self.events = 0
         self.sim_wall_s = 0.0
+        self.events_replayed = 0
+        self.events_interpreted = 0
+        self.replay_wall_s = 0.0
+        self.interp_wall_s = 0.0
+        self.memo_events = 0
+
+    def trace_savings_s(self) -> float | None:
+        """Estimated wall time the sweep saved by replaying recorded
+        traces instead of re-interpreting: replayed events priced at this
+        run's observed interpreting rate, minus what replay actually cost.
+        ``None`` when no interpreted run provides a rate to compare with.
+        """
+        if not self.events_replayed:
+            return 0.0
+        if not self.events_interpreted or self.interp_wall_s <= 0:
+            return None
+        interp_rate = self.events_interpreted / self.interp_wall_s
+        return self.events_replayed / interp_rate - self.replay_wall_s
 
     def summary(self, wall_s: float | None = None) -> str:
         """One-line human summary, e.g. for the CLI footer."""
@@ -96,6 +139,17 @@ class ThroughputMetrics:
         if self.sims and self.sim_wall_s > 0:
             rate = self.events / self.sim_wall_s
             parts.append(f"{self.events:,} events @ {rate:,.0f} events/s")
+        if self.events_replayed:
+            reuse = (
+                f"trace reuse: {self.events_replayed:,} events replayed vs "
+                f"{self.events_interpreted:,} interpreted"
+            )
+            saved = self.trace_savings_s()
+            if saved is not None:
+                reuse += f", ~{saved:.1f}s saved"
+            if self.memo_events:
+                reuse += f" ({self.memo_events:,} memoized)"
+            parts.append(reuse)
         if wall_s is not None:
             parts.append(f"wall {wall_s:.2f}s")
         return "[" + "; ".join(parts) + "]"
@@ -150,9 +204,18 @@ class SimJobError(RuntimeError):
 
 
 def execute_job(
-    job: SimJob, cache: ResultCache | None = None
+    job: SimJob,
+    cache: ResultCache | None = None,
+    trace_store: TraceStore | None = None,
+    trace_mode: str | None = None,
 ) -> tuple[SimResult, dict]:
     """Run one job in-process, consulting and populating *cache*.
+
+    When a result cache is present and no *trace_store* is given, a
+    :class:`TraceStore` sharing the cache's root is wired in, so the
+    first simulation of each (vm, workload) pair records its event stream
+    and every later scheme/config replays it instead of re-interpreting
+    (see :mod:`repro.vm.capture`).
 
     Returns ``(result, meta)`` where *meta* carries the throughput
     metadata of :func:`repro.core.simulation.simulate` plus a ``cached``
@@ -164,6 +227,8 @@ def execute_job(
         if hit is not None:
             METRICS.record_hit()
             return hit, {"cached": True}
+    if trace_store is None and cache is not None:
+        trace_store = TraceStore(root=cache.root)
     meta: dict = {}
     result = simulate(
         job.workload,
@@ -172,6 +237,8 @@ def execute_job(
         config=job.resolved_config(),
         scale=job.scale,
         metrics=meta,
+        trace_store=trace_store,
+        trace_mode=trace_mode,
         **dict(job.kwargs),
     )
     if cache is not None:
@@ -181,14 +248,19 @@ def execute_job(
     return result, meta
 
 
-def _pool_run(job: SimJob, cache_name: str | None, cache_root: str | None):
+def _pool_run(
+    job: SimJob,
+    cache_name: str | None,
+    cache_root: str | None,
+    trace_mode: str | None = None,
+):
     """Worker-process body.  Never raises: failures come back as values so
     the parent can surface the grid key instead of a bare pool traceback."""
     try:
         cache = None
         if cache_name is not None:
             cache = ResultCache(cache_name, root=cache_root)
-        result, meta = execute_job(job, cache)
+        result, meta = execute_job(job, cache, trace_mode=trace_mode)
         return ("ok", result, meta)
     except BaseException:
         return ("error", traceback.format_exc(), {})
@@ -246,10 +318,14 @@ def run_jobs(
         else:
             misses.append((key, job))
 
+    trace_mode = resolve_trace_mode()
     if misses and (workers <= 1 or len(misses) == 1):
+        trace_store = TraceStore(root=cache.root) if cache is not None else None
         for key, job in misses:
             try:
-                result, _ = execute_job(job, cache)
+                result, _ = execute_job(
+                    job, cache, trace_store=trace_store, trace_mode=trace_mode
+                )
             except Exception as exc:
                 raise SimJobError(job, f"{type(exc).__name__}: {exc}") from exc
             resolved[key] = result
@@ -260,7 +336,9 @@ def run_jobs(
         pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
         try:
             futures = {
-                pool.submit(_pool_run, job, cache_name, cache_root): (key, job)
+                pool.submit(
+                    _pool_run, job, cache_name, cache_root, trace_mode
+                ): (key, job)
                 for key, job in misses
             }
             for future in as_completed(futures):

@@ -459,6 +459,33 @@ class ModelRunner:
         if self._is_scd:
             self.machine.jte_flush()
 
+    # -- steady-state replay memo support -----------------------------------
+
+    def replay_digest(self) -> tuple:
+        """Replay-visible runner state for the steady-state memo.
+
+        Covers everything that can change how a future event replays: the
+        guest-code fetch cursor, the context-switch phase (the interval
+        check only reads ``_events`` modulo the interval), the threaded
+        previous handler and the superinstruction fusion buffer.
+        """
+        interval = self.context_switch_interval
+        return (
+            self._code_cursor,
+            self._events % interval if interval else 0,
+            self._prev_handler,
+            self._pending,
+        )
+
+    def memo_end_state(self) -> tuple:
+        """State installed by :meth:`apply_memo_end` on a memo hit."""
+        return (self._code_cursor, self._prev_handler, self._pending)
+
+    def apply_memo_end(self, end_state: tuple, n_events: int) -> None:
+        """Skip *n_events* replayed events, installing their end state."""
+        self._events += n_events
+        self._code_cursor, self._prev_handler, self._pending = end_state
+
     # -- event replay -------------------------------------------------------
 
     def _on_event_buffered(self, op, site, taken, callee, daddrs, builtin, cost) -> None:

@@ -213,6 +213,30 @@ class BranchTargetBuffer:
 
     # -- inspection -----------------------------------------------------------
 
+    def state_digest(self) -> tuple:
+        """Structural snapshot: every entry (in recency order under LRU)
+        plus the round-robin pointers.  Equal digests guarantee identical
+        future lookup/replacement behaviour."""
+        return (
+            tuple(
+                tuple(entry) for ways in self._sets for entry in ways
+            ),
+            tuple(self._rr),
+        )
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a state captured by :meth:`state_digest`."""
+        entries, rr = digest
+        ways = self.ways
+        self._sets = [
+            [list(entry) for entry in entries[base : base + ways]]
+            for base in range(0, len(entries), ways)
+        ]
+        self._rr = list(rr)
+        self._jte_count = sum(
+            1 for entry in entries if entry[_VALID] and entry[_JTE]
+        )
+
     @property
     def jte_count(self) -> int:
         """Number of resident JTEs."""

@@ -95,6 +95,17 @@ class Cache:
         for ways in self._sets:
             ways.clear()
 
+    def state_digest(self) -> tuple:
+        """Structural snapshot of the replacement state (tags in recency
+        order per set); counters excluded.  Two equal digests mean every
+        future access sequence behaves identically."""
+        return tuple(tuple(ways) for ways in self._sets)
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a replacement state captured by :meth:`state_digest`
+        (counters are left untouched)."""
+        self._sets = [list(ways) for ways in digest]
+
     @property
     def miss_rate(self) -> float:
         return self.misses / self.accesses if self.accesses else 0.0
@@ -137,6 +148,14 @@ class Tlb:
 
     def flush(self) -> None:
         self._pages.clear()
+
+    def state_digest(self) -> tuple:
+        """Resident pages in recency order; counters excluded."""
+        return tuple(self._pages)
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a state captured by :meth:`state_digest`."""
+        self._pages = list(digest)
 
     @property
     def miss_rate(self) -> float:

@@ -86,6 +86,14 @@ class DramModel:
             return self._miss_cycles
         return self._conflict_cycles
 
+    def state_digest(self) -> tuple:
+        """Open row per bank; counters excluded."""
+        return tuple(self._open_rows)
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a state captured by :meth:`state_digest`."""
+        self._open_rows = list(digest)
+
     @property
     def row_hit_rate(self) -> float:
         return self.row_hits / self.accesses if self.accesses else 0.0

@@ -247,6 +247,129 @@ class Machine:
         self._finalized = True
         return stats
 
+    # -- steady-state replay memo support ---------------------------------------
+
+    def state_digest(self) -> tuple:
+        """Structural snapshot of every behaviour-affecting mutable
+        component: predictor tables, BTB entries (including JTEs and
+        round-robin pointers), RAS, caches, TLBs, DRAM open rows and the
+        SCD registers — everything whose content can change a *future*
+        hit/miss/predict decision.  Counters are deliberately excluded
+        (they are handled by :meth:`counter_delta`).
+
+        Digests are full structural tuples, not hashes, so equality is
+        exact by construction: two runs of the same event chunk from equal
+        digests retire identical cycles and counter increments.
+        """
+        parts = [
+            self._last_ipage,
+            self._last_dpage,
+            self.predictor.state_digest(),
+            self.btb.state_digest(),
+            self.ras.state_digest(),
+            self.icache.state_digest(),
+            self.dcache.state_digest(),
+            self.l2.state_digest() if self.l2 is not None else None,
+            self.itlb.state_digest(),
+            self.dtlb.state_digest(),
+            self.dram.state_digest(),
+            self.scd.state_digest(),
+            self.ttc.state_digest() if self.ttc is not None else None,
+            self.ittage.state_digest() if self.ittage is not None else None,
+            self.cascaded.state_digest() if self.cascaded is not None else None,
+        ]
+        return tuple(parts)
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a state captured by :meth:`state_digest` on this same
+        machine (counters are left untouched; the memo applies those as
+        deltas)."""
+        (self._last_ipage, self._last_dpage, predictor, btb, ras, icache,
+         dcache, l2, itlb, dtlb, dram, scd, ttc, ittage, cascaded) = digest
+        self.predictor.restore_state(predictor)
+        self.btb.restore_state(btb)
+        self.ras.restore_state(ras)
+        self.icache.restore_state(icache)
+        self.dcache.restore_state(dcache)
+        if l2 is not None:
+            self.l2.restore_state(l2)
+        self.itlb.restore_state(itlb)
+        self.dtlb.restore_state(dtlb)
+        self.dram.restore_state(dram)
+        self.scd.restore_state(scd)
+        if ttc is not None:
+            self.ttc.restore_state(ttc)
+        if ittage is not None:
+            self.ittage.restore_state(ittage)
+        if cascaded is not None:
+            self.cascaded.restore_state(cascaded)
+
+    def counter_snapshot(self) -> tuple:
+        """Every counter the memo must replay as a delta: the stats block,
+        the deferred per-block retirement counts, and the component-local
+        access/miss counters ``finalize`` folds in afterwards."""
+        l2 = self.l2
+        return (
+            self.stats.counter_snapshot(),
+            dict(self._block_counts),
+            (
+                self.icache.accesses, self.icache.misses,
+                self.dcache.accesses, self.dcache.misses,
+                l2.accesses if l2 is not None else 0,
+                l2.misses if l2 is not None else 0,
+                self.itlb.accesses, self.itlb.misses,
+                self.dtlb.accesses, self.dtlb.misses,
+                self.dram.accesses, self.dram.row_hits,
+            ),
+        )
+
+    def counter_delta(self, before: tuple) -> tuple:
+        stats_before, blocks_before, flat_before = before
+        blocks = self._block_counts
+        block_delta = tuple(
+            (block, count - blocks_before.get(block, 0))
+            for block, count in blocks.items()
+            if count != blocks_before.get(block, 0)
+        )
+        l2 = self.l2
+        flat_now = (
+            self.icache.accesses, self.icache.misses,
+            self.dcache.accesses, self.dcache.misses,
+            l2.accesses if l2 is not None else 0,
+            l2.misses if l2 is not None else 0,
+            self.itlb.accesses, self.itlb.misses,
+            self.dtlb.accesses, self.dtlb.misses,
+            self.dram.accesses, self.dram.row_hits,
+        )
+        flat_delta = tuple(now - prev for now, prev in zip(flat_now, flat_before))
+        return (
+            self.stats.counter_delta(stats_before),
+            block_delta,
+            flat_delta,
+        )
+
+    def apply_counter_delta(self, delta: tuple) -> None:
+        stats_delta, block_delta, flat_delta = delta
+        self.stats.apply_counter_delta(stats_delta)
+        counts = self._block_counts
+        for block, increment in block_delta:
+            counts[block] = counts.get(block, 0) + increment
+        (ic_a, ic_m, dc_a, dc_m, l2_a, l2_m,
+         it_a, it_m, dt_a, dt_m, dr_a, dr_h) = flat_delta
+        self.icache.accesses += ic_a
+        self.icache.misses += ic_m
+        self.dcache.accesses += dc_a
+        self.dcache.misses += dc_m
+        if self.l2 is not None:
+            self.l2.accesses += l2_a
+            self.l2.misses += l2_m
+        self.itlb.accesses += it_a
+        self.itlb.misses += it_m
+        self.dtlb.accesses += dt_a
+        self.dtlb.misses += dt_m
+        self.dram.accesses += dr_a
+        self.dram.row_hits += dr_h
+
     # -- control transfers ---------------------------------------------------------
 
     def cond_branch(self, pc: int, taken: bool, category: str = "branch") -> bool:
@@ -409,3 +532,116 @@ class Machine:
         self.dtlb.flush()
         self._last_ipage = -1
         self._last_dpage = -1
+
+
+class SteadyStateMemo:
+    """Steady-state timing memo for recorded-trace replay.
+
+    Exactness argument: replaying an event chunk is a deterministic
+    function of (chunk content, machine mutable state, runner replay
+    state); its effect splits into a state transition and monotonic
+    counter increments, both pure functions of that input.  :meth:`commit`
+    memoizes the *transition*: the entry stores the begin digest, the
+    counter delta, the machine end digest and the runner end state.
+    :meth:`try_apply` replays the memo only when the current full digest
+    equals the stored begin digest — the chunk would deterministically
+    drive the machine to exactly the stored end state and retire exactly
+    the stored counter increments, so installing the end state
+    (:meth:`Machine.restore_state`) and adding the delta is byte-identical
+    to re-simulating.  Steady-state interpreter loops reach a small set of
+    recurring (chunk content, begin state) pairs even when the chunk size
+    is not a multiple of the loop period (the begin state simply carries
+    the loop phase, and recurring content implies recurring phase);
+    warm-up and phase changes miss and run normally, so the memo can
+    change no counter (the identity test in ``tests/test_trace_capture.py``
+    asserts this per scheme).
+
+    The entry table is capped at :attr:`MAX_ENTRIES` distinct chunk keys
+    (steady-state streams cycle through a handful; the cap only bounds
+    memory on long non-repetitive traces, whose chunks would never hit
+    anyway).  Entries hold two full state digests (~tens of KB), so the
+    cap bounds the memo at a few MB.
+
+    Digests are structural tuples of a few thousand small ints; building
+    one costs microseconds against milliseconds of chunk simulation, so a
+    hit is a large constant-factor win.
+    """
+
+    #: Maximum distinct chunk keys memoized (first come, first kept).
+    MAX_ENTRIES = 512
+
+    __slots__ = (
+        "machine",
+        "runner",
+        "hits",
+        "misses",
+        "events_skipped",
+        "_entries",
+        "_probe_digest",
+        "_begin_digest",
+        "_begin_counters",
+    )
+
+    def __init__(self, machine: Machine, runner):
+        self.machine = machine
+        self.runner = runner
+        self.hits = 0
+        self.misses = 0
+        self.events_skipped = 0
+        self._entries: dict = {}
+        self._probe_digest: tuple | None = None
+        self._begin_digest: tuple | None = None
+        self._begin_counters: tuple | None = None
+
+    def _digest(self) -> tuple:
+        return (self.machine.state_digest(), self.runner.replay_digest())
+
+    def try_apply(self, key: bytes, n_events: int) -> bool:
+        """Apply the memoized effect of chunk *key* if the current state
+        matches the entry's begin state.  Returns True when applied."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self._probe_digest = None
+            return False
+        digest = self._digest()
+        begin_digest, counter_delta, machine_end, runner_end = entry
+        if digest != begin_digest:
+            # Nothing mutates between this probe and the caller's begin();
+            # stash the digest so begin() does not recompute it.
+            self._probe_digest = digest
+            return False
+        self.machine.apply_counter_delta(counter_delta)
+        if machine_end is not None:
+            self.machine.restore_state(machine_end)
+        self.runner.apply_memo_end(runner_end, n_events)
+        self.hits += 1
+        self.events_skipped += n_events
+        return True
+
+    def begin(self) -> None:
+        """Snapshot state and counters before simulating a chunk live."""
+        probe = self._probe_digest
+        self._begin_digest = probe if probe is not None else self._digest()
+        self._probe_digest = None
+        self._begin_counters = self.machine.counter_snapshot()
+
+    def commit(self, key: bytes) -> None:
+        """Memoize the transition of the chunk just simulated live."""
+        self.misses += 1
+        begin_digest = self._begin_digest
+        self._begin_digest = None
+        if begin_digest is None:
+            return
+        entries = self._entries
+        if key not in entries and len(entries) >= self.MAX_ENTRIES:
+            self._begin_counters = None
+            return
+        end = self.machine.state_digest()
+        entries[key] = (
+            begin_digest,
+            self.machine.counter_delta(self._begin_counters),
+            # None marks a fixed point: try_apply skips the restore.
+            None if end == begin_digest[0] else end,
+            self.runner.memo_end_state(),
+        )
+        self._begin_counters = None

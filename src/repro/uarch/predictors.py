@@ -54,6 +54,12 @@ class BimodalPredictor:
         )
         return (counter >= 2) == taken
 
+    def state_digest(self) -> tuple:
+        return (tuple(self._table),)
+
+    def restore_state(self, digest: tuple) -> None:
+        self._table = list(digest[0])
+
 
 class GsharePredictor:
     """Global-history XOR PC indexed 2-bit counters (Rocket's 32 B predictor)."""
@@ -92,6 +98,13 @@ class GsharePredictor:
         )
         self.history = ((self.history << 1) | int(taken)) & self._history_mask
         return (counter >= 2) == taken
+
+    def state_digest(self) -> tuple:
+        return (self.history, tuple(self._table))
+
+    def restore_state(self, digest: tuple) -> None:
+        self.history = digest[0]
+        self._table = list(digest[1])
 
 
 class LocalPredictor:
@@ -136,6 +149,13 @@ class LocalPredictor:
             (history << 1) | int(taken)
         ) & self._history_mask
         return (counter >= 2) == taken
+
+    def state_digest(self) -> tuple:
+        return (tuple(self._histories), tuple(self._counters))
+
+    def restore_state(self, digest: tuple) -> None:
+        self._histories = list(digest[0])
+        self._counters = list(digest[1])
 
 
 class TournamentPredictor:
@@ -190,6 +210,18 @@ class TournamentPredictor:
             )
         return global_correct if use_global else local_correct
 
+    def state_digest(self) -> tuple:
+        return (
+            self.global_component.state_digest(),
+            self.local_component.state_digest(),
+            tuple(self._choice),
+        )
+
+    def restore_state(self, digest: tuple) -> None:
+        self.global_component.restore_state(digest[0])
+        self.local_component.restore_state(digest[1])
+        self._choice = list(digest[2])
+
 
 def make_direction_predictor(spec: str, **overrides):
     """Factory used by :class:`repro.uarch.config.CoreConfig`.
@@ -235,6 +267,12 @@ class ReturnAddressStack:
             return self._stack.pop()
         return None
 
+    def state_digest(self) -> tuple:
+        return tuple(self._stack)
+
+    def restore_state(self, digest: tuple) -> None:
+        self._stack = list(digest)
+
     def __len__(self) -> int:
         return len(self._stack)
 
@@ -271,6 +309,14 @@ class TaggedTargetCache:
         self._tags[index] = tag
         self._targets[index] = target
         self.history = ((self.history << 2) ^ (target >> 2)) & self._history_mask
+
+    def state_digest(self) -> tuple:
+        return (self.history, tuple(self._tags), tuple(self._targets))
+
+    def restore_state(self, digest: tuple) -> None:
+        self.history = digest[0]
+        self._tags = list(digest[1])
+        self._targets = list(digest[2])
 
 
 class ItTagePredictor:
@@ -363,6 +409,24 @@ class ItTagePredictor:
         self._base_valid[base_index] = True
         self.history = ((self.history << 2) ^ (target >> 4)) & (1 << 64) - 1
 
+    def state_digest(self) -> tuple:
+        return (
+            self.history,
+            tuple(self._base),
+            tuple(self._base_valid),
+            tuple(tuple(tags) for tags in self._tags),
+            tuple(tuple(targets) for targets in self._targets),
+            tuple(tuple(conf) for conf in self._confidence),
+        )
+
+    def restore_state(self, digest: tuple) -> None:
+        self.history = digest[0]
+        self._base = list(digest[1])
+        self._base_valid = list(digest[2])
+        self._tags = [list(tags) for tags in digest[3]]
+        self._targets = [list(targets) for targets in digest[4]]
+        self._confidence = [list(conf) for conf in digest[5]]
+
 
 class CascadedPredictor:
     """Two-stage cascaded indirect predictor (Driesen & Holzle, MICRO '98).
@@ -419,3 +483,19 @@ class CascadedPredictor:
         self._stage1[s1] = target
         self._stage1_valid[s1] = True
         self.history = ((self.history << 2) ^ (target >> 4)) & self._history_mask
+
+    def state_digest(self) -> tuple:
+        return (
+            self.history,
+            tuple(self._stage1),
+            tuple(self._stage1_valid),
+            tuple(self._tags),
+            tuple(self._targets),
+        )
+
+    def restore_state(self, digest: tuple) -> None:
+        self.history = digest[0]
+        self._stage1 = list(digest[1])
+        self._stage1_valid = list(digest[2])
+        self._tags = list(digest[3])
+        self._targets = list(digest[4])

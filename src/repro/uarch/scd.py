@@ -113,6 +113,22 @@ class ScdUnit:
 
     # -- inspection ------------------------------------------------------------
 
+    def state_digest(self) -> tuple:
+        """Architectural register state (the BTB overlay digests itself)."""
+        return (
+            tuple(self._masks),
+            tuple(self._rop_valid),
+            tuple(self._rop_data),
+            tuple(self._rbop_pc),
+        )
+
+    def restore_state(self, digest: tuple) -> None:
+        """Install a state captured by :meth:`state_digest`."""
+        self._masks = list(digest[0])
+        self._rop_valid = list(digest[1])
+        self._rop_data = list(digest[2])
+        self._rbop_pc = list(digest[3])
+
     def rop(self, table: int = 0) -> tuple[bool, int]:
         """Return (``Rop.v``, ``Rop.d``) for *table*."""
         self._check(table)

@@ -11,6 +11,38 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 
+#: Plain-int counter fields, in a fixed order for snapshot/delta tuples.
+SCALAR_FIELDS = (
+    "cycles",
+    "instructions",
+    "branches",
+    "branch_mispredicts",
+    "indirect_jumps",
+    "indirect_mispredicts",
+    "btb_target_misses",
+    "ras_mispredicts",
+    "bop_hits",
+    "bop_misses",
+    "jte_inserts",
+    "jte_flushes",
+    "scd_stall_cycles",
+    "icache_accesses",
+    "icache_misses",
+    "dcache_accesses",
+    "dcache_misses",
+    "itlb_misses",
+    "dtlb_misses",
+)
+
+
+def _counter_diff(after: Counter, before: dict) -> dict:
+    """Per-key increase of a monotonic counter since *before*."""
+    return {
+        key: value - before.get(key, 0)
+        for key, value in after.items()
+        if value != before.get(key, 0)
+    }
+
 
 @dataclass
 class MachineStats:
@@ -119,6 +151,50 @@ class MachineStats:
             if category.startswith("dispatch")
         )
         return dispatch / self.instructions
+
+    # -- delta support (steady-state replay memo) --------------------------
+
+    def counter_snapshot(self) -> tuple:
+        """Capture every counter (scalars + Counter buckets) for
+        :meth:`counter_delta`.  All counters are monotonic during a run."""
+        return (
+            tuple(getattr(self, name) for name in SCALAR_FIELDS),
+            dict(self.insts_by_category),
+            dict(self.mispredicts_by_category),
+            dict(self.cycle_breakdown),
+        )
+
+    def counter_delta(self, before: tuple) -> tuple:
+        """The increase of every counter since *before* (a
+        :meth:`counter_snapshot`)."""
+        scalars_before, insts_before, misp_before, cycle_before = before
+        scalars = tuple(
+            getattr(self, name) - prev
+            for name, prev in zip(SCALAR_FIELDS, scalars_before)
+        )
+        return (
+            scalars,
+            _counter_diff(self.insts_by_category, insts_before),
+            _counter_diff(self.mispredicts_by_category, misp_before),
+            _counter_diff(self.cycle_breakdown, cycle_before),
+        )
+
+    def apply_counter_delta(self, delta: tuple) -> None:
+        """Add a :meth:`counter_delta` as one batched increment.
+
+        ``apply_counter_delta(m.counter_delta(s))`` after re-simulating the
+        same chunk from the same state is byte-identical to the
+        re-simulation (counters are plain sums)."""
+        scalars, insts_delta, misp_delta, cycle_delta = delta
+        for name, increment in zip(SCALAR_FIELDS, scalars):
+            if increment:
+                setattr(self, name, getattr(self, name) + increment)
+        if insts_delta:
+            self.insts_by_category.update(insts_delta)
+        if misp_delta:
+            self.mispredicts_by_category.update(misp_delta)
+        if cycle_delta:
+            self.cycle_breakdown.update(cycle_delta)
 
     def snapshot(self) -> dict:
         """Plain-dict summary used by results and the harness."""

@@ -31,6 +31,11 @@ class Site(enum.IntEnum):
     UNCOVERED = 3
 
 
+# Positional order of the trace-hook arguments / TraceEvent fields.  The
+# columnar capture format (repro.vm.capture) serializes one column (or one
+# interned id column) per field, in this order.
+EVENT_FIELDS = ("op", "site", "taken", "callee", "daddrs", "builtin", "cost")
+
 # Callee / control-transfer classes carried in an event's `callee` slot.
 CALLEE_NONE = 0      #: ordinary opcode
 CALLEE_SCRIPT = 1    #: guest call into a script function (frame push)

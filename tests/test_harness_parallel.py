@@ -106,6 +106,8 @@ class TestRunJobs:
         assert err.value.key == ("lua", "scd", "no-such-workload")
 
     def test_resolve_workers_priority(self, monkeypatch):
+        # Pin the cap high so priority semantics are observable on any host.
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 8)
         assert resolve_workers(3) == 3
         set_default_workers(2)
         assert resolve_workers() == 2
@@ -114,6 +116,21 @@ class TestRunJobs:
         assert resolve_workers() == 5
         monkeypatch.setenv("SCD_REPRO_JOBS", "junk")
         assert resolve_workers() >= 1
+
+    def test_resolve_workers_capped_at_cpu_count(self, monkeypatch):
+        """Oversubscribing a small host only adds pool overhead (the PR-1
+        bench posted a 0.88x "speedup" at -j4 on one CPU), so every source
+        of a worker count is capped at os.cpu_count()."""
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 2)
+        assert resolve_workers(16) == 2
+        set_default_workers(16)
+        assert resolve_workers() == 2
+        set_default_workers(None)
+        monkeypatch.setenv("SCD_REPRO_JOBS", "16")
+        assert resolve_workers() == 2
+        monkeypatch.delenv("SCD_REPRO_JOBS")
+        assert resolve_workers() == 2
+        assert resolve_workers(0) == 1
 
 
 def _worker_put(root, name, job_args):
