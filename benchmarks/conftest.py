@@ -11,7 +11,19 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full experiment: mark them all slow.
+
+    Deselect with ``pytest benchmarks -m "not slow"``; the tier-1 suite
+    (``testpaths = tests``) never collects them in the first place.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 def record(result) -> None:

@@ -80,6 +80,8 @@ def simulate(
     trace_store=None,
     trace_mode: str | None = None,
     replay_memo: bool = True,
+    machine_factory=None,
+    probe=None,
 ) -> SimResult:
     """Run one (workload, vm, scheme, machine) combination.
 
@@ -122,6 +124,12 @@ def simulate(
         replay_memo: enable the steady-state timing memo on replayed runs
             (exact by construction; set False for the belt-and-braces
             event-by-event replay path).
+        machine_factory: callable building the timing machine from the
+            resolved :class:`CoreConfig` (default :class:`Machine`).  The
+            verify subsystem passes an instrumented subclass here.
+        probe: optional callable invoked as ``probe(machine, runner)``
+            after the machine is finalized and before the result is built
+            — the invariant-checker hook.  Must not mutate either.
 
     Returns:
         A frozen :class:`SimResult`.
@@ -140,7 +148,7 @@ def simulate(
             expected = bench.expected_output(scale=scale)
 
     mode = resolve_trace_mode(trace_mode) if trace_store is not None else "off"
-    machine = Machine(config)
+    machine = (machine_factory or Machine)(config)
     model = get_model(vm, strategy)
     runner = ModelRunner(
         model,
@@ -189,6 +197,8 @@ def simulate(
         )
 
     stats = machine.finalize()
+    if probe is not None:
+        probe(machine, runner)
     if metrics is not None:
         wall = time.perf_counter() - wall_start
         metrics["wall_s"] = wall

@@ -97,6 +97,29 @@ def _cmd_report(_args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    from repro.verify import DifferentialRunner, minimize_and_record
+
+    runner = DifferentialRunner(
+        seed=args.seed,
+        iters=args.iters,
+        pool_every=args.pool_every,
+        progress=lambda line: print(line, flush=True),
+    )
+    start = time.perf_counter()
+    report = runner.run()
+    print(report.summary())
+    print(f"({time.perf_counter() - start:.1f}s)", file=sys.stderr)
+    if report.ok:
+        return 0
+    for discrepancy in report.discrepancies:
+        print(f"FAIL {discrepancy.describe()}", file=sys.stderr)
+    if not args.no_shrink:
+        for path in minimize_and_record(report.discrepancies):
+            print(f"minimized regression written to {path}", file=sys.stderr)
+    return 1
+
+
 def _cmd_clear_cache(_args) -> int:
     DEFAULT_CACHE.clear()
     DEFAULT_TRACE_STORE.clear()
@@ -153,6 +176,35 @@ def main(argv: list[str] | None = None) -> int:
     run_parser.add_argument("--scale", choices=("sim", "fpga"), default="sim")
     run_parser.add_argument("--show-output", action="store_true")
 
+    verify_parser = sub.add_parser(
+        "verify",
+        help="differential verification: fuzz generated guest programs "
+        "across every scheme, execution path and VM",
+    )
+    verify_parser.add_argument(
+        "--seed", type=int, default=0, help="base program seed (default 0)"
+    )
+    verify_parser.add_argument(
+        "--iters",
+        type=int,
+        default=50,
+        metavar="N",
+        help="number of generated programs (default 50)",
+    )
+    verify_parser.add_argument(
+        "--pool-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="serial-vs-pool equivalence check every K programs "
+        "(0 disables; default 10)",
+    )
+    verify_parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing them into tests/corpus/",
+    )
+
     for name in EXPERIMENTS:
         sub.add_parser(name, help=f"reproduce {name}")
     sub.add_parser("all", help="run every experiment")
@@ -178,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_all(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
     return _cmd_experiment(args.command)

@@ -22,6 +22,7 @@ Example::
 
 from repro.lang.lexer import tokenize, Token, TokenType, LexerError
 from repro.lang.parser import parse, ParseError
+from repro.lang.unparse import unparse
 from repro.lang import ast
 
 __all__ = [
@@ -31,5 +32,6 @@ __all__ = [
     "LexerError",
     "parse",
     "ParseError",
+    "unparse",
     "ast",
 ]

@@ -1,0 +1,171 @@
+"""Render a scriptlet AST back to parseable source text.
+
+The inverse of :func:`repro.lang.parser.parse`, up to formatting:
+``parse(unparse(parse(src)))`` is structurally identical to
+``parse(src)`` for every valid program.  The verify subsystem
+(:mod:`repro.verify`) generates random :mod:`repro.lang.ast` modules and
+relies on this renderer to feed them to both guest VMs; the round-trip
+property is asserted by ``tests/test_verify.py``.
+
+Expressions are parenthesized conservatively (every non-atomic operand is
+wrapped), which keeps the renderer independent of the grammar's precedence
+table at the cost of a few redundant parentheses.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+
+_STRING_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\t": "\\t",
+    "\r": "\\r",
+    "\0": "\\0",
+}
+
+
+def _string(text: str) -> str:
+    chunks = ['"']
+    for ch in text:
+        chunks.append(_STRING_ESCAPES.get(ch, ch))
+    chunks.append('"')
+    return "".join(chunks)
+
+
+def _literal(value: object) -> str:
+    if value is None:
+        return "nil"
+    if value is True:
+        return "true"
+    if value is False:
+        return "false"
+    if isinstance(value, str):
+        return _string(value)
+    if isinstance(value, float):
+        # repr() keeps full precision; ensure the token re-lexes as FLOAT.
+        text = repr(value)
+        if "." not in text and "e" not in text and "E" not in text:
+            text += ".0"
+        return text
+    if isinstance(value, int):
+        return str(value)
+    raise TypeError(f"cannot render literal {value!r}")
+
+
+def _atom(node: ast.Node) -> str:
+    """Render an expression, parenthesized unless syntactically atomic."""
+    text = _expr(node)
+    if isinstance(node, (ast.Name, ast.Call, ast.Index, ast.ArrayLit, ast.MapLit)):
+        return text
+    if isinstance(node, ast.Literal):
+        value = node.value
+        # Negative numeric literals re-lex as unary minus; parenthesize so
+        # they cannot change the parse of e.g. ``a - -1``.
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return text
+        if value >= 0:
+            return text
+    return f"({text})"
+
+
+def _expr(node: ast.Node) -> str:
+    if isinstance(node, ast.Literal):
+        return _literal(node.value)
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.BinOp):
+        return f"{_atom(node.left)} {node.op} {_atom(node.right)}"
+    if isinstance(node, ast.Logical):
+        return f"{_atom(node.left)} {node.op} {_atom(node.right)}"
+    if isinstance(node, ast.UnOp):
+        operator = "not " if node.op == "not" else node.op
+        return f"{operator}{_atom(node.operand)}"
+    if isinstance(node, ast.Call):
+        args = ", ".join(_expr(arg) for arg in node.args)
+        return f"{node.callee}({args})"
+    if isinstance(node, ast.Index):
+        return f"{_atom(node.obj)}[{_expr(node.key)}]"
+    if isinstance(node, ast.ArrayLit):
+        return "[" + ", ".join(_expr(item) for item in node.items) + "]"
+    if isinstance(node, ast.MapLit):
+        pairs = []
+        for key, value in node.pairs:
+            if isinstance(key, ast.Literal) and isinstance(key.value, str):
+                pairs.append(f"{_string(key.value)}: {_expr(value)}")
+            else:
+                pairs.append(f"[{_expr(key)}]: {_expr(value)}")
+        return "{" + ", ".join(pairs) + "}"
+    raise TypeError(f"cannot render expression node {type(node).__name__}")
+
+
+def _statements(statements: list, indent: int, lines: list) -> None:
+    for statement in statements:
+        _statement(statement, indent, lines)
+
+
+def _block(block: ast.Block, indent: int, lines: list, header: str) -> None:
+    pad = "    " * indent
+    lines.append(f"{pad}{header} {{")
+    _statements(block.statements, indent + 1, lines)
+    lines.append(f"{pad}}}")
+
+
+def _statement(node: ast.Node, indent: int, lines: list) -> None:
+    pad = "    " * indent
+    if isinstance(node, ast.VarDecl):
+        lines.append(f"{pad}var {node.name} = {_expr(node.value)};")
+    elif isinstance(node, ast.Assign):
+        lines.append(f"{pad}{_expr(node.target)} = {_expr(node.value)};")
+    elif isinstance(node, ast.ExprStmt):
+        lines.append(f"{pad}{_expr(node.expr)};")
+    elif isinstance(node, ast.Return):
+        if node.value is None:
+            lines.append(f"{pad}return;")
+        else:
+            lines.append(f"{pad}return {_expr(node.value)};")
+    elif isinstance(node, ast.Break):
+        lines.append(f"{pad}break;")
+    elif isinstance(node, ast.Continue):
+        lines.append(f"{pad}continue;")
+    elif isinstance(node, ast.If):
+        _if_chain(node, indent, lines)
+    elif isinstance(node, ast.While):
+        _block(node.body, indent, lines, f"while ({_expr(node.cond)})")
+    elif isinstance(node, ast.ForNum):
+        header = f"for {node.var} = {_expr(node.start)}, {_expr(node.stop)}"
+        if node.step is not None:
+            header += f", {_expr(node.step)}"
+        _block(node.body, indent, lines, header)
+    elif isinstance(node, ast.FuncDecl):
+        params = ", ".join(node.params)
+        _block(node.body, indent, lines, f"fn {node.name}({params})")
+    elif isinstance(node, ast.Block):
+        # Bare blocks do not exist in the grammar; splice the statements.
+        _statements(node.statements, indent, lines)
+    else:
+        raise TypeError(f"cannot render statement node {type(node).__name__}")
+
+
+def _if_chain(node: ast.If, indent: int, lines: list) -> None:
+    pad = "    " * indent
+    lines.append(f"{pad}if ({_expr(node.cond)}) {{")
+    _statements(node.then.statements, indent + 1, lines)
+    orelse = node.orelse
+    while isinstance(orelse, ast.If):
+        lines.append(f"{pad}}} else if ({_expr(orelse.cond)}) {{")
+        _statements(orelse.then.statements, indent + 1, lines)
+        orelse = orelse.orelse
+    if orelse is not None:
+        lines.append(f"{pad}}} else {{")
+        _statements(orelse.statements, indent + 1, lines)
+    lines.append(f"{pad}}}")
+
+
+def unparse(module: ast.Module) -> str:
+    """Render *module* as source text the parser accepts."""
+    lines: list[str] = []
+    for node in module.body:
+        _statement(node, 0, lines)
+    return "\n".join(lines) + "\n"

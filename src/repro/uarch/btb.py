@@ -213,6 +213,41 @@ class BranchTargetBuffer:
 
     # -- inspection -----------------------------------------------------------
 
+    def check_invariants(self) -> None:
+        """Verify internal consistency; raises ``AssertionError`` on drift.
+
+        Checked structurally (used by :mod:`repro.verify.invariants` after
+        every SCD BTB interaction):
+
+        * the incremental ``_jte_count`` equals a full recount;
+        * the JTE population never exceeds ``jte_cap``;
+        * every set holds exactly ``ways`` ways;
+        * no two valid entries of a set share a (kind, key) pair.
+        """
+        recount = 0
+        for set_index, ways in enumerate(self._sets):
+            assert len(ways) == self.ways, (
+                f"set {set_index} holds {len(ways)} ways, expected {self.ways}"
+            )
+            seen = set()
+            for entry in ways:
+                if not entry[_VALID]:
+                    continue
+                if entry[_JTE]:
+                    recount += 1
+                identity = (entry[_JTE], entry[_KEY])
+                assert identity not in seen, (
+                    f"duplicate {'JTE' if entry[_JTE] else 'BTB'} key "
+                    f"{entry[_KEY]:#x} in set {set_index}"
+                )
+                seen.add(identity)
+        assert recount == self._jte_count, (
+            f"JTE recount {recount} != incremental count {self._jte_count}"
+        )
+        assert self.jte_cap is None or recount <= self.jte_cap, (
+            f"JTE population {recount} exceeds cap {self.jte_cap}"
+        )
+
     def state_digest(self) -> tuple:
         """Structural snapshot: every entry (in recency order under LRU)
         plus the round-robin pointers.  Equal digests guarantee identical

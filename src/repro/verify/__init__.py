@@ -1,0 +1,68 @@
+"""Differential verification subsystem.
+
+Seeded random guest programs (:mod:`repro.verify.generator`) are executed
+through every (scheme x execution-path x VM) combination the harness
+supports (:mod:`repro.verify.differential`) under microarchitectural
+invariant checks (:mod:`repro.verify.invariants`); failures are minimized
+(:mod:`repro.verify.shrink`) into the committed regression corpus at
+``tests/corpus/``.
+
+Entry points: ``python -m repro.harness verify --seed S --iters N`` and
+``tests/test_verify.py`` / ``tests/test_corpus.py``.
+"""
+
+from repro.verify.differential import (
+    PATHS,
+    VERIFY_MAX_STEPS,
+    DifferentialRunner,
+    Discrepancy,
+    VerifyReport,
+    run_verify,
+)
+from repro.verify.generator import (
+    SIZE_PROFILES,
+    GeneratedProgram,
+    ProgramGenerator,
+    generate_program,
+)
+from repro.verify.invariants import (
+    CheckedMachine,
+    InvariantViolation,
+    check_dispatch_log,
+    check_result,
+    end_state_probe,
+)
+from repro.verify.shrink import (
+    CORPUS_DIR,
+    load_corpus,
+    minimize,
+    minimize_and_record,
+    same_failure_predicate,
+    shrink_source,
+    write_corpus_entry,
+)
+
+__all__ = [
+    "PATHS",
+    "VERIFY_MAX_STEPS",
+    "DifferentialRunner",
+    "Discrepancy",
+    "VerifyReport",
+    "run_verify",
+    "SIZE_PROFILES",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "generate_program",
+    "CheckedMachine",
+    "InvariantViolation",
+    "check_dispatch_log",
+    "check_result",
+    "end_state_probe",
+    "CORPUS_DIR",
+    "load_corpus",
+    "minimize",
+    "minimize_and_record",
+    "same_failure_predicate",
+    "shrink_source",
+    "write_corpus_entry",
+]

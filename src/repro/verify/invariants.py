@@ -1,0 +1,284 @@
+"""Microarchitectural invariant checks for verified simulation runs.
+
+Three layers, all driven by :mod:`repro.verify.differential`:
+
+* :func:`check_result` — invariants expressible on a frozen
+  :class:`~repro.core.results.SimResult` alone (cycle accounting sums to
+  total cycles, scheme-appropriate SCD counters, sane cache figures).
+* :func:`end_state_probe` — a ``simulate(probe=...)`` hook inspecting the
+  machine after the run retires (caches count misses within accesses, the
+  BTB is structurally consistent, every JTE is gone and every ``Rop`` is
+  invalid after the final ``jte.flush``).
+* :class:`CheckedMachine` + :func:`check_dispatch_log` — an instrumented
+  :class:`~repro.uarch.pipeline.Machine` that logs every SCD interaction
+  so the *handler-sequence oracle* can assert the paper's core semantic
+  claim: the bop fast path and the jru slow path retire exactly the
+  handler the dispatch table maps each opcode to, in event order
+  (Section III — SCD must be semantically invisible).
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import Machine
+
+
+class InvariantViolation(AssertionError):
+    """A microarchitectural invariant failed during or after a run."""
+
+
+class CheckedMachine(Machine):
+    """A :class:`Machine` that logs and self-checks its SCD traffic.
+
+    Every ``bop``/``jru``/``jte_flush`` appends one entry to
+    :attr:`dispatch_log` — ``("bop", table, opcode, target)``,
+    ``("jru", table, opcode, target, installed)`` or
+    ``("flush", flushed_count)`` — and re-validates the BTB's structural
+    invariants plus the JTE cap immediately, so a violation surfaces at
+    the exact interaction that caused it rather than at end of run.
+    """
+
+    def __init__(self, config: CoreConfig):
+        super().__init__(config)
+        self.dispatch_log: list = []
+
+    def _check_btb(self, context: str) -> None:
+        try:
+            self.btb.check_invariants()
+        except AssertionError as exc:
+            raise InvariantViolation(f"after {context}: {exc}") from exc
+
+    def bop(self, pc: int, table: int = 0):
+        valid, opcode = self.scd.rop(table)
+        target = super().bop(pc, table)
+        self.dispatch_log.append(("bop", table, opcode if valid else None, target))
+        self._check_btb("bop")
+        return target
+
+    def jru(self, pc: int, target: int, table: int = 0) -> bool:
+        valid, opcode = self.scd.rop(table)
+        inserts_before = self.stats.jte_inserts
+        mispredicted = super().jru(pc, target, table)
+        installed = self.stats.jte_inserts > inserts_before
+        self.dispatch_log.append(
+            ("jru", table, opcode if valid else None, target, installed)
+        )
+        self._check_btb("jru")
+        cap = self.config.jte_cap
+        if cap is not None and self.btb.jte_count > cap:
+            raise InvariantViolation(
+                f"jru left {self.btb.jte_count} JTEs resident, cap is {cap}"
+            )
+        return mispredicted
+
+    def jte_flush(self) -> int:
+        resident = self.btb.jte_count
+        flushed = super().jte_flush()
+        self.dispatch_log.append(("flush", flushed))
+        if flushed != resident:
+            raise InvariantViolation(
+                f"jte_flush flushed {flushed} JTEs but {resident} were resident"
+            )
+        if self.btb.jte_count != 0:
+            raise InvariantViolation(
+                f"jte_flush left {self.btb.jte_count} JTEs resident"
+            )
+        for table in range(self.scd.tables):
+            valid, _ = self.scd.rop(table)
+            if valid:
+                raise InvariantViolation(
+                    f"jte_flush left Rop[{table}] valid"
+                )
+        self._check_btb("jte_flush")
+        return flushed
+
+
+def check_result(result, scheme: str) -> None:
+    """Invariants on a frozen :class:`~repro.core.results.SimResult`.
+
+    Raises :class:`InvariantViolation` when:
+
+    * the per-reason cycle breakdown does not sum to total cycles;
+    * any breakdown bucket is negative;
+    * a non-SCD scheme reports bop/JTE activity, or an SCD run with
+      events reports none;
+    * the run retired no instructions or cycles.
+    """
+    label = f"{result.vm}/{result.scheme}/{result.workload}"
+    breakdown_total = sum(result.cycle_breakdown.values())
+    if breakdown_total != result.cycles:
+        raise InvariantViolation(
+            f"{label}: cycle breakdown sums to {breakdown_total}, "
+            f"total cycles are {result.cycles}"
+        )
+    for reason, cycles in result.cycle_breakdown.items():
+        if cycles < 0:
+            raise InvariantViolation(
+                f"{label}: negative cycle bucket {reason!r} = {cycles}"
+            )
+    if result.cycles <= 0 or result.instructions <= 0:
+        raise InvariantViolation(
+            f"{label}: empty run (cycles={result.cycles}, "
+            f"instructions={result.instructions})"
+        )
+    scd_activity = result.bop_hits + result.bop_misses + result.jte_inserts
+    if scheme != "scd" and scd_activity:
+        raise InvariantViolation(
+            f"{label}: non-SCD scheme reports SCD activity "
+            f"(bop_hits={result.bop_hits}, bop_misses={result.bop_misses}, "
+            f"jte_inserts={result.jte_inserts})"
+        )
+    if scheme == "scd" and result.guest_steps > 0 and not scd_activity:
+        raise InvariantViolation(f"{label}: SCD run retired no bop/jru traffic")
+
+
+def end_state_probe(machine: Machine, runner) -> None:
+    """``simulate(probe=...)`` hook: end-of-run machine-state invariants.
+
+    * every cache/TLB counts ``0 <= misses <= accesses``;
+    * the finalized stats mirror the component counters they are derived
+      from (I-cache, D-cache, TLBs);
+    * the BTB is structurally consistent and respects the JTE cap;
+    * after the interpreter-exit ``jte.flush`` of an SCD run, no JTE is
+      resident and every ``Rop`` is invalid.
+    """
+    stats = machine.stats
+    components = (
+        ("icache", machine.icache),
+        ("dcache", machine.dcache),
+        ("itlb", machine.itlb),
+        ("dtlb", machine.dtlb),
+    )
+    if machine.l2 is not None:
+        components += (("l2", machine.l2),)
+    for name, component in components:
+        if not 0 <= component.misses <= component.accesses:
+            raise InvariantViolation(
+                f"{name}: misses ({component.misses}) outside "
+                f"[0, accesses={component.accesses}]"
+            )
+    mirrored = (
+        ("icache_accesses", stats.icache_accesses, machine.icache.accesses),
+        ("icache_misses", stats.icache_misses, machine.icache.misses),
+        ("dcache_accesses", stats.dcache_accesses, machine.dcache.accesses),
+        ("dcache_misses", stats.dcache_misses, machine.dcache.misses),
+        ("itlb_misses", stats.itlb_misses, machine.itlb.misses),
+        ("dtlb_misses", stats.dtlb_misses, machine.dtlb.misses),
+    )
+    for name, stat_value, component_value in mirrored:
+        if stat_value != component_value:
+            raise InvariantViolation(
+                f"stats.{name} = {stat_value} but the component counted "
+                f"{component_value}"
+            )
+    try:
+        machine.btb.check_invariants()
+    except AssertionError as exc:
+        raise InvariantViolation(f"end-of-run BTB check: {exc}") from exc
+    if runner.model.strategy == "scd":
+        if machine.btb.jte_count != 0:
+            raise InvariantViolation(
+                f"{machine.btb.jte_count} JTEs resident after the "
+                "interpreter-exit jte.flush"
+            )
+        for table in range(machine.scd.tables):
+            valid, _ = machine.scd.rop(table)
+            if valid:
+                raise InvariantViolation(
+                    f"Rop[{table}] still valid after the interpreter-exit "
+                    "jte.flush"
+                )
+
+
+def check_dispatch_log(machine: CheckedMachine, recorded, model) -> None:
+    """The handler-sequence oracle (SCD semantic invisibility).
+
+    Walks the recorded event stream in lockstep with the machine's SCD
+    dispatch log and asserts, for every event at an SCD-covered site:
+
+    * exactly one ``bop`` was issued, keyed by the event's masked opcode;
+    * a ``bop`` hit jumped directly to the handler
+      :meth:`~repro.native.model.NativeInterpreterModel.replay_plan` maps
+      the (opcode, site) pair to;
+    * a ``bop`` miss fell through to exactly one ``jru`` that jumped to —
+      and installed a JTE for — that same handler.
+
+    Together with the architectural-result equality of the differential
+    runner this is the paper's core claim: the fast path and the slow
+    path retire the same handler sequence.
+    """
+    strategy = model.strategy
+    if strategy != "scd":
+        raise ValueError("the dispatch-log oracle only applies to scheme 'scd'")
+    covered = model.covered_sites
+    mask = model.opcode_mask
+    log = machine.dispatch_log
+    cursor = 0
+    for index, (op, site, _taken, _callee, _daddrs, _builtin, _cost) in enumerate(
+        recorded.iter_events()
+    ):
+        if site not in covered:
+            continue
+        expected_handler = model.replay_plan(op, site)[1].pc
+        expected_opcode = op & mask
+
+        # Skip interleaved flushes (context switches).
+        while cursor < len(log) and log[cursor][0] == "flush":
+            cursor += 1
+        if cursor >= len(log) or log[cursor][0] != "bop":
+            raise InvariantViolation(
+                f"event {index}: expected a bop, log has "
+                f"{log[cursor] if cursor < len(log) else 'nothing'}"
+            )
+        _, table, opcode, target = log[cursor]
+        cursor += 1
+        if table != site:
+            raise InvariantViolation(
+                f"event {index}: bop on table {table}, event site is {site}"
+            )
+        if opcode is not None and opcode != expected_opcode:
+            raise InvariantViolation(
+                f"event {index}: bop keyed by Rop={opcode:#x}, event opcode "
+                f"is {expected_opcode:#x}"
+            )
+        if target is not None:
+            # Fast path: the predicted-and-taken target IS the handler.
+            if target != expected_handler:
+                raise InvariantViolation(
+                    f"event {index}: bop hit jumped to {target:#x}, handler "
+                    f"for opcode {expected_opcode:#x} is {expected_handler:#x}"
+                )
+            continue
+        # Slow path: the very next SCD interaction must be the jru that
+        # retires this event's handler and installs its JTE.
+        while cursor < len(log) and log[cursor][0] == "flush":
+            cursor += 1
+        if cursor >= len(log) or log[cursor][0] != "jru":
+            raise InvariantViolation(
+                f"event {index}: bop missed but no jru followed (log has "
+                f"{log[cursor] if cursor < len(log) else 'nothing'})"
+            )
+        _, table, opcode, target, _installed = log[cursor]
+        cursor += 1
+        if table != site:
+            raise InvariantViolation(
+                f"event {index}: jru on table {table}, event site is {site}"
+            )
+        if opcode is not None and opcode != expected_opcode:
+            raise InvariantViolation(
+                f"event {index}: jru keyed by Rop={opcode:#x}, event opcode "
+                f"is {expected_opcode:#x}"
+            )
+        if target != expected_handler:
+            raise InvariantViolation(
+                f"event {index}: jru (slow path) jumped to {target:#x}, "
+                f"handler for opcode {expected_opcode:#x} is "
+                f"{expected_handler:#x}"
+            )
+    while cursor < len(log) and log[cursor][0] == "flush":
+        cursor += 1
+    if cursor != len(log):
+        raise InvariantViolation(
+            f"{len(log) - cursor} unconsumed SCD interactions after the "
+            "last covered event"
+        )

@@ -1,0 +1,260 @@
+"""Greedy minimization of failing generated programs.
+
+When the differential runner finds a discrepancy, the generated program
+is usually hundreds of statements long.  :func:`shrink_source` deletes
+statements (at every nesting depth, from the end of each block first)
+and tightens loop bounds as long as a caller-supplied predicate keeps
+reporting the *same* failure, iterating to a fixpoint.  Candidates that
+merely change the failure (for example, a deletion that makes the
+program stop compiling) are rejected, so the minimized program still
+reproduces the original bug.
+
+:func:`write_corpus_entry` writes the survivor into the committed
+regression corpus at ``tests/corpus/``; ``tests/test_corpus.py`` replays
+every corpus file through the differential checks on each pytest run.
+"""
+
+from __future__ import annotations
+
+import copy
+import re
+from pathlib import Path
+
+from repro.lang import parse, unparse
+from repro.lang.ast import Block, ForNum, FuncDecl, If, Literal, Module, While
+
+#: Repository-relative home of the regression corpus.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def _blocks(module: Module):
+    """Yield every statement list in the tree (module body last-first)."""
+    pending = [module.body]
+    while pending:
+        statements = pending.pop()
+        yield statements
+        for node in statements:
+            if isinstance(node, FuncDecl) and node.body is not None:
+                pending.append(node.body.statements)
+            elif isinstance(node, (While, ForNum)) and node.body is not None:
+                pending.append(node.body.statements)
+            elif isinstance(node, Block):
+                pending.append(node.statements)
+            elif isinstance(node, If):
+                if node.then is not None:
+                    pending.append(node.then.statements)
+                orelse = node.orelse
+                while isinstance(orelse, If):
+                    if orelse.then is not None:
+                        pending.append(orelse.then.statements)
+                    orelse = orelse.orelse
+                if isinstance(orelse, Block):
+                    pending.append(orelse.statements)
+
+
+def _loop_bounds(module: Module):
+    """Yield every literal ForNum stop expression in the tree."""
+    for statements in _blocks(module):
+        for node in statements:
+            if (
+                isinstance(node, ForNum)
+                and isinstance(node.stop, Literal)
+                and isinstance(node.stop.value, int)
+                and not isinstance(node.stop.value, bool)
+            ):
+                yield node
+
+
+def shrink_source(source: str, still_fails, max_rounds: int = 20) -> str:
+    """Greedily minimize *source* while ``still_fails(candidate)`` holds.
+
+    Args:
+        source: program text that currently fails.
+        still_fails: predicate on candidate source text; must be True for
+            *source* itself (checked) and is re-evaluated for every
+            mutation.  The caller bakes "fails the same way" in here.
+        max_rounds: fixpoint iteration bound (each round re-walks the
+            whole tree).
+
+    Returns:
+        The smallest failing variant found (at worst *source* unchanged).
+    """
+    if not still_fails(source):
+        raise ValueError("shrink_source needs a failing input to start from")
+    module = parse(source)
+    best = unparse(module)
+
+    def attempt(candidate_module: Module) -> bool:
+        nonlocal module, best
+        try:
+            candidate = unparse(candidate_module)
+        except Exception:
+            return False
+        if candidate == best:
+            return False
+        if still_fails(candidate):
+            module, best = candidate_module, candidate
+            return True
+        return False
+
+    for _ in range(max_rounds):
+        changed = False
+        # Statement deletion, innermost blocks and trailing statements
+        # first (epilogue prints usually carry the mismatch, so deletions
+        # that keep failing tend to be the setup noise near the end).
+        block_index = 0
+        while True:
+            # Deletions can remove whole nested blocks, so the block list
+            # is re-enumerated on every step; indices that slide between
+            # rounds are caught by the fixpoint loop.
+            blocks = list(_blocks(module))
+            if block_index >= len(blocks):
+                break
+            position = len(blocks[block_index]) - 1
+            while position >= 0:
+                candidate_module = copy.deepcopy(module)
+                candidate_blocks = list(_blocks(candidate_module))
+                if block_index < len(candidate_blocks) and position < len(
+                    candidate_blocks[block_index]
+                ):
+                    del candidate_blocks[block_index][position]
+                    if attempt(candidate_module):
+                        changed = True
+                position -= 1
+            block_index += 1
+        # Loop-bound reduction: halve literal trip counts.
+        for loop_index, _ in enumerate(_loop_bounds(module)):
+            candidate_module = copy.deepcopy(module)
+            loops = list(_loop_bounds(candidate_module))
+            if loop_index >= len(loops):
+                continue
+            stop = loops[loop_index].stop
+            if abs(stop.value) <= 1:
+                continue
+            stop.value //= 2
+            if attempt(candidate_module):
+                changed = True
+        if not changed:
+            break
+    return best
+
+
+def same_failure_predicate(runner, kind: str, detail: str = ""):
+    """Build a ``still_fails`` predicate around a DifferentialRunner.
+
+    A candidate passes when the runner reports at least one discrepancy
+    of the original *kind*; for ``kind == "error"`` the exception name
+    (the ``detail`` prefix up to the first colon) must match too, so a
+    deletion that introduces an unrelated ``CompileError`` is rejected
+    rather than mistaken for the original failure.
+    """
+    error_name = detail.split(":", 1)[0] if kind == "error" else None
+
+    def still_fails(candidate: str) -> bool:
+        for found in runner.check_source(candidate):
+            if found.kind != kind:
+                continue
+            if error_name is not None and not found.detail.startswith(error_name):
+                continue
+            return True
+        return False
+
+    return still_fails
+
+
+def minimize(discrepancy, max_rounds: int = 8):
+    """Shrink one :class:`~repro.verify.differential.Discrepancy`.
+
+    The re-check runner is narrowed to the failing VM and scheme (plus the
+    recording scheme) so each shrink probe costs a handful of simulations
+    rather than the full cross-product.  Returns the minimized source (the
+    original source when the failure stops reproducing).
+    """
+    from repro.core.simulation import SCHEMES
+    from repro.verify.differential import DifferentialRunner
+
+    vms = ("lua", "js") if discrepancy.vm == "*" else (discrepancy.vm,)
+    if discrepancy.scheme in ("*", SCHEMES[0]):
+        schemes = SCHEMES if discrepancy.scheme == "*" else (SCHEMES[0],)
+    else:
+        schemes = (SCHEMES[0], discrepancy.scheme)
+    runner = DifferentialRunner(vms=vms, schemes=schemes, pool_every=0)
+    predicate = same_failure_predicate(
+        runner, discrepancy.kind, discrepancy.detail
+    )
+    try:
+        return shrink_source(
+            discrepancy.source, predicate, max_rounds=max_rounds
+        )
+    except ValueError:
+        # Not reproducible under the narrowed runner (e.g. a pool-only or
+        # flaky failure): keep the original program.
+        return discrepancy.source
+
+
+def minimize_and_record(
+    discrepancies, corpus_dir: Path | None = None, max_rounds: int = 8
+):
+    """Shrink failures and commit them to the regression corpus.
+
+    One corpus entry per (seed, kind) pair — the remaining discrepancies
+    of a program are usually echoes of the same root cause.  Returns the
+    list of paths written.
+    """
+    written = []
+    seen = set()
+    for discrepancy in discrepancies:
+        identity = (discrepancy.seed, discrepancy.kind)
+        if identity in seen or not discrepancy.source:
+            continue
+        seen.add(identity)
+        minimized = minimize(discrepancy, max_rounds=max_rounds)
+        written.append(
+            write_corpus_entry(
+                minimized,
+                discrepancy.seed,
+                discrepancy.kind,
+                discrepancy.detail,
+                corpus_dir=corpus_dir,
+            )
+        )
+    return written
+
+
+def write_corpus_entry(
+    source: str,
+    seed: int,
+    kind: str,
+    detail: str,
+    corpus_dir: Path | None = None,
+) -> Path:
+    """Write a minimized failing program into the regression corpus.
+
+    The file is self-describing: a ``#`` comment header records the seed,
+    failure kind and first line of detail, followed by the program text.
+    Returns the path written.
+    """
+    corpus_dir = Path(corpus_dir) if corpus_dir is not None else CORPUS_DIR
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "-", kind.lower()).strip("-") or "failure"
+    path = corpus_dir / f"seed{seed}-{slug}.src"
+    first_line = detail.splitlines()[0] if detail else ""
+    header = (
+        f"# verify regression: seed={seed} kind={kind}\n"
+        f"# {first_line}\n"
+    )
+    path.write_text(header + source)
+    return path
+
+
+def load_corpus(corpus_dir: Path | None = None):
+    """Yield ``(path, source)`` for every committed corpus program."""
+    corpus_dir = Path(corpus_dir) if corpus_dir is not None else CORPUS_DIR
+    if not corpus_dir.is_dir():
+        return
+    for path in sorted(corpus_dir.glob("*.src")):
+        text = path.read_text()
+        body = "\n".join(
+            line for line in text.splitlines() if not line.startswith("#")
+        )
+        yield path, body.strip() + "\n"

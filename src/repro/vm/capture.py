@@ -324,6 +324,37 @@ class RecordedTrace:
             if column and (min(column) < minimum or max(column) >= pool_len):
                 raise TraceFormatError(f"column {name!r} indexes out of range")
 
+    # -- inspection --------------------------------------------------------
+
+    def iter_events(self):
+        """Yield every event as the 7-tuple the trace hook receives.
+
+        Resolves the interned id columns back to their pooled values —
+        ``(op, site, taken, callee, daddrs, builtin, cost)`` — so
+        inspection code (e.g. :mod:`repro.verify.invariants`) can walk a
+        recorded stream without driving a runner.
+        """
+        daddr_pool, builtin_pool, cost_pool = _replay_pools(self)
+        columns = self.columns
+        for op, site, taken, callee, daddr_id, builtin_id, cost_id in zip(
+            columns["ops"],
+            columns["sites"],
+            columns["takens"],
+            columns["callees"],
+            columns["daddr_ids"],
+            columns["builtin_ids"],
+            columns["cost_ids"],
+        ):
+            yield (
+                op,
+                site,
+                taken,
+                callee,
+                daddr_pool[daddr_id],
+                builtin_pool[builtin_id],
+                cost_pool[cost_id],
+            )
+
     # -- memo support ------------------------------------------------------
 
     def chunk_keys(self, chunk_events: int = MEMO_CHUNK_EVENTS) -> list:

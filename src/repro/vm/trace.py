@@ -94,6 +94,13 @@ class AddressSpace:
     def __init__(self):
         self._heap_next = self.HEAP_BASE
         self._object_bases: dict[int, int] = {}
+        # Pin every object we have handed a region to.  ``id()`` is only
+        # unique among *live* objects: without the pin, a dead table's id
+        # can be recycled for a new one, aliasing it onto the old region —
+        # and whether that happens depends on allocator history, making
+        # the data-address stream nondeterministic across runs in one
+        # process (found by ``repro.harness verify``).
+        self._pins: list = []
 
     def frame_slot(self, depth: int, slot: int) -> int:
         """Address of register/local *slot* of the frame at *depth*."""
@@ -122,6 +129,7 @@ class AddressSpace:
             base = self._heap_next
             self._heap_next += self.HEAP_REGION
             self._object_bases[key] = base
+            self._pins.append(obj)
         return base
 
     def element(self, obj: object, index: int) -> int:

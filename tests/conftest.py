@@ -7,6 +7,19 @@ import pytest
 from repro.vm.js import JsVM
 from repro.vm.lua import LuaVM
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+except ImportError:
+    pass
+else:
+    # One deterministic profile for the whole suite: examples are derived
+    # from the test function itself rather than a random seed, so a green
+    # run is reproducible and a red run fails identically on re-run.
+    _hypothesis_settings.register_profile(
+        "deterministic", derandomize=True, deadline=None
+    )
+    _hypothesis_settings.load_profile("deterministic")
+
 
 def run_lua(source: str, max_steps: int = 5_000_000) -> list[str]:
     """Run scriptlet *source* on the Lua-like VM, returning output lines."""

@@ -1,0 +1,165 @@
+"""Result-cache key canonicalization properties (repro.harness.cache).
+
+The sharded cache is only sound if (1) logically-equal configurations
+canonicalize to the same key, (2) *any* timing-relevant field change
+changes the key, and (3) key -> shard-file assignment is stable across
+processes (workers of one pool must agree on entry paths).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cache import (
+    ResultCache,
+    config_signature,
+    sim_cache_key,
+)
+from repro.harness.parallel import SimJob
+from repro.uarch.config import CONFIG_PRESETS, cortex_a5
+
+#: One override per timing-relevant scalar field of CoreConfig.
+_FIELD_OVERRIDES = {
+    "issue_width": 2,
+    "branch_penalty": 17,
+    "decode_redirect_penalty": 9,
+    "direction_predictor": "taken",
+    "btb_entries": 128,
+    "btb_ways": 4,
+    "ras_depth": 5,
+    "itlb_entries": 64,
+    "dtlb_entries": 64,
+    "tlb_miss_penalty": 99,
+    "indirect_scheme": "vbbi",
+    "scd_stall_cycles": 7,
+    "scd_tables": 2,
+    "jte_cap": 16,
+    "clock_mhz": 1234,
+}
+
+
+class TestConfigSignature:
+    def test_equal_configs_equal_signatures(self):
+        assert config_signature(cortex_a5()) == config_signature(cortex_a5())
+
+    @pytest.mark.parametrize("field", sorted(_FIELD_OVERRIDES))
+    def test_any_field_change_changes_signature(self, field):
+        base = cortex_a5()
+        changed = base.with_changes(**{field: _FIELD_OVERRIDES[field]})
+        assert getattr(changed, field) != getattr(base, field), field
+        assert config_signature(changed) != config_signature(base), field
+
+    def test_presets_have_distinct_signatures(self):
+        signatures = {
+            name: config_signature(factory())
+            for name, factory in CONFIG_PRESETS.items()
+        }
+        assert len(set(signatures.values())) == len(signatures)
+
+
+class TestSimCacheKey:
+    def test_equal_inputs_equal_keys(self):
+        a = sim_cache_key("lua", "scd", "fibo", "sim", cortex_a5(), {"n": 5})
+        b = sim_cache_key("lua", "scd", "fibo", "sim", cortex_a5(), {"n": 5})
+        assert a == b
+
+    def test_kwargs_order_is_canonicalized(self):
+        forward = dict([("alpha", 1), ("beta", 2)])
+        backward = dict([("beta", 2), ("alpha", 1)])
+        assert sim_cache_key(
+            "lua", "scd", "fibo", "sim", None, forward
+        ) == sim_cache_key("lua", "scd", "fibo", "sim", None, backward)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(vm="js"),
+            dict(scheme="baseline"),
+            dict(workload="nbody"),
+            dict(scale="fpga"),
+            dict(kwargs={"n": 6}),
+            dict(kwargs={"n": 5, "extra": True}),
+            dict(kwargs={}),
+        ],
+    )
+    def test_any_coordinate_change_changes_key(self, change):
+        base_args = dict(
+            vm="lua", scheme="scd", workload="fibo", scale="sim",
+            kwargs={"n": 5},
+        )
+        base = sim_cache_key(
+            base_args["vm"], base_args["scheme"], base_args["workload"],
+            base_args["scale"], None, base_args["kwargs"],
+        )
+        varied_args = {**base_args, **change}
+        varied = sim_cache_key(
+            varied_args["vm"], varied_args["scheme"], varied_args["workload"],
+            varied_args["scale"], None, varied_args["kwargs"],
+        )
+        assert varied != base
+
+    def test_config_reaches_the_key(self):
+        base = sim_cache_key("lua", "scd", "fibo", "sim", cortex_a5(), {})
+        varied = sim_cache_key(
+            "lua", "scd", "fibo", "sim",
+            cortex_a5().with_changes(jte_cap=8), {},
+        )
+        assert varied != base
+
+    def test_non_json_kwargs_fall_back_to_repr(self):
+        """default=repr keeps exotic kwarg values from crashing the key."""
+        a = sim_cache_key("lua", "scd", "w", "sim", None, {"x": (1, 2)})
+        b = sim_cache_key("lua", "scd", "w", "sim", None, {"x": (1, 2)})
+        c = sim_cache_key("lua", "scd", "w", "sim", None, {"x": (1, 3)})
+        assert a == b != c
+
+    def test_simjob_kwargs_tuple_order_irrelevant(self):
+        job_a = SimJob(
+            "fibo", "lua", "scd", kwargs=(("n", 5), ("check_output", False))
+        )
+        job_b = SimJob(
+            "fibo", "lua", "scd", kwargs=(("check_output", False), ("n", 5))
+        )
+        assert job_a.cache_key() == job_b.cache_key()
+
+
+class TestShardStability:
+    def test_entry_path_stable_across_processes(self, tmp_path):
+        """Pool workers must resolve a key to the same shard file."""
+        cache = ResultCache("stable", root=tmp_path)
+        key = sim_cache_key("lua", "scd", "fibo", "sim", cortex_a5(), {"n": 5})
+        local = cache.entry_path(key)
+        script = (
+            "import sys\n"
+            "from repro.harness.cache import ResultCache, sim_cache_key\n"
+            "from repro.uarch.config import cortex_a5\n"
+            f"cache = ResultCache('stable', root={str(tmp_path)!r})\n"
+            "key = sim_cache_key('lua', 'scd', 'fibo', 'sim', cortex_a5(),"
+            " {'n': 5})\n"
+            "print(cache.entry_path(key))\n"
+            "print(key)\n"
+        )
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parent.parent / "src"
+        env["PYTHONPATH"] = f"{src}{os.pathsep}" + env.get("PYTHONPATH", "")
+        remote = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        remote_path, remote_key = remote.stdout.strip().splitlines()
+        assert remote_key == key
+        assert remote_path == str(local)
+
+    def test_distinct_keys_shard_to_distinct_files(self, tmp_path):
+        cache = ResultCache("spread", root=tmp_path)
+        keys = [
+            sim_cache_key("lua", "scd", f"w{i}", "sim", None, {})
+            for i in range(64)
+        ]
+        paths = {cache.entry_path(key) for key in keys}
+        assert len(paths) == len(keys)

@@ -1,0 +1,151 @@
+"""CLI behavior: trace flags, -j parsing, and the verify subcommand."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.verify
+from repro.harness import parallel
+from repro.harness.cli import main
+from repro.vm import capture
+
+
+@pytest.fixture(autouse=True)
+def _reset_cli_globals():
+    """The CLI installs process-wide defaults; undo them after each test."""
+    yield
+    parallel.set_default_workers(None)
+    capture.set_default_trace_mode(None)
+
+
+class TestTraceFlags:
+    def test_record_sets_process_default(self):
+        assert main(["--record", "list"]) == 0
+        assert capture.resolve_trace_mode() == "record"
+
+    def test_replay_sets_process_default(self):
+        assert main(["--replay", "list"]) == 0
+        assert capture.resolve_trace_mode() == "replay"
+
+    def test_no_trace_cache_disables_tracing(self):
+        assert main(["--no-trace-cache", "list"]) == 0
+        assert capture.resolve_trace_mode() == "off"
+
+    def test_default_mode_is_auto(self):
+        assert main(["list"]) == 0
+        assert capture.resolve_trace_mode() == "auto"
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--record", "--replay"],
+            ["--record", "--no-trace-cache"],
+            ["--replay", "--no-trace-cache"],
+        ],
+    )
+    def test_trace_flags_mutually_exclusive(self, flags):
+        with pytest.raises(SystemExit) as excinfo:
+            main(flags + ["list"])
+        assert excinfo.value.code == 2
+
+
+class TestJobsFlag:
+    def test_j_installs_default_worker_count(self):
+        assert main(["-j", "2", "list"]) == 0
+        assert parallel.DEFAULT_WORKERS == 2
+        assert parallel.resolve_workers() == min(2, os.cpu_count())
+
+    def test_workers_capped_at_cpu_count(self):
+        assert main(["-j", "99999", "list"]) == 0
+        assert parallel.resolve_workers() == os.cpu_count()
+
+    def test_workers_floor_is_one(self):
+        assert parallel.resolve_workers(0) == 1
+        assert parallel.resolve_workers(-3) == 1
+
+    def test_non_integer_j_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["-j", "two", "list"])
+        assert excinfo.value.code == 2
+
+
+class TestVerifySubcommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code = main(
+            ["verify", "--seed", "3", "--iters", "1", "--pool-every", "0",
+             "--no-shrink"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verify seed=3" in out
+        assert "OK" in out
+
+    def test_discrepancies_exit_nonzero(self, monkeypatch, capsys):
+        class FakeReport:
+            ok = False
+            discrepancies = [
+                type(
+                    "D",
+                    (),
+                    {"describe": lambda self: "seed=1 fake failure",
+                     "source": "print(1);", "seed": 1,
+                     "kind": "path-mismatch", "detail": "x"},
+                )()
+            ]
+
+            def summary(self):
+                return "verify seed=1: 1 DISCREPANCIES"
+
+        class FakeRunner:
+            def __init__(self, **kwargs):
+                pass
+
+            def run(self):
+                return FakeReport()
+
+        recorded = []
+        monkeypatch.setattr(repro.verify, "DifferentialRunner", FakeRunner)
+        monkeypatch.setattr(
+            repro.verify, "minimize_and_record",
+            lambda discrepancies: recorded.extend(discrepancies) or [],
+        )
+        code = main(["verify", "--iters", "1"])
+        assert code == 1
+        assert "fake failure" in capsys.readouterr().err
+        assert recorded  # the shrinker was invoked on the failures
+
+    def test_no_shrink_skips_minimizer(self, monkeypatch):
+        class FakeReport:
+            ok = False
+            discrepancies = [
+                type("D", (), {"describe": lambda self: "d"})()
+            ]
+
+            def summary(self):
+                return "summary"
+
+        monkeypatch.setattr(
+            repro.verify, "DifferentialRunner",
+            lambda **kwargs: type("R", (), {"run": lambda self: FakeReport()})(),
+        )
+
+        def exploding(discrepancies):
+            raise AssertionError("minimizer must not run under --no-shrink")
+
+        monkeypatch.setattr(repro.verify, "minimize_and_record", exploding)
+        assert main(["verify", "--iters", "1", "--no-shrink"]) == 1
+
+    def test_rejects_unknown_arguments(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["verify", "--bogus"])
+        assert excinfo.value.code == 2
+
+
+class TestListCommand:
+    def test_lists_schemes_and_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "scd" in out

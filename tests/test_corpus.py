@@ -1,0 +1,27 @@
+"""Replay the committed regression corpus through the differential checks.
+
+Every program under ``tests/corpus/`` once exposed a cross-path
+discrepancy or invariant violation (see the ``#`` header of each file).
+This test re-runs each through the full differential sweep — every
+scheme, every execution path, both VMs — and demands a clean bill.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import CORPUS_DIR, DifferentialRunner, load_corpus
+
+_ENTRIES = list(load_corpus())
+
+
+def test_corpus_is_not_empty():
+    assert _ENTRIES, f"no corpus entries found under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "path,source", _ENTRIES, ids=[path.stem for path, _ in _ENTRIES]
+)
+def test_corpus_program_passes_all_differential_checks(path, source):
+    found = DifferentialRunner().check_source(source)
+    assert not found, [d.describe() for d in found]

@@ -1,0 +1,258 @@
+"""The differential verification subsystem (repro.verify)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import SimResult
+from repro.core.simulation import SCHEMES, simulate
+from repro.lang import parse, unparse
+from repro.uarch import scd as scd_module
+from repro.uarch.config import cortex_a5
+from repro.verify import (
+    CheckedMachine,
+    DifferentialRunner,
+    InvariantViolation,
+    check_result,
+    generate_program,
+    run_verify,
+    shrink_source,
+)
+from repro.verify.generator import SIZE_PROFILES
+
+from conftest import run_both
+
+
+# -- program generator --------------------------------------------------------
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_program(42)
+        b = generate_program(42)
+        assert a.source == b.source
+        assert a.size == b.size
+
+    def test_distinct_seeds_distinct_programs(self):
+        sources = {generate_program(seed).source for seed in range(8)}
+        assert len(sources) == 8
+
+    @pytest.mark.parametrize("seed", [0, 3, 11, 29])
+    def test_unparse_parse_round_trip(self, seed):
+        source = generate_program(seed).source
+        assert unparse(parse(source)) == source
+
+    @pytest.mark.parametrize("seed", [0, 3, 11, 29])
+    def test_runs_on_both_vms_with_identical_output(self, seed):
+        program = generate_program(seed)
+        output = run_both(program.source)
+        assert output  # the epilogue always prints the live state
+
+    def test_explicit_size_profile(self):
+        for size in SIZE_PROFILES:
+            program = generate_program(1, size=size)
+            assert program.size == size
+
+
+# -- invariant checks ---------------------------------------------------------
+
+
+def _result(**overrides) -> SimResult:
+    base = simulate(
+        "v",
+        vm="lua",
+        scheme="scd",
+        source="print(1 + 2);",
+        check_output=False,
+    )
+    if not overrides:
+        return base
+    fields = {name: getattr(base, name) for name in base.__dataclass_fields__}
+    fields.update(overrides)
+    return SimResult(**fields)
+
+
+class TestCheckResult:
+    def test_accepts_a_real_run(self):
+        check_result(_result(), "scd")
+
+    def test_rejects_breakdown_not_summing_to_cycles(self):
+        broken = _result(cycles=_result().cycles + 1)
+        with pytest.raises(InvariantViolation, match="breakdown"):
+            check_result(broken, "scd")
+
+    def test_rejects_scd_counters_on_non_scd_scheme(self):
+        with pytest.raises(InvariantViolation, match="non-SCD"):
+            check_result(_result(), "baseline")
+
+    def test_rejects_scd_run_without_dispatch_traffic(self):
+        silent = _result(bop_hits=0, bop_misses=0, jte_inserts=0)
+        with pytest.raises(InvariantViolation, match="no bop"):
+            check_result(silent, "scd")
+
+
+class TestCheckedMachine:
+    def test_logs_scd_traffic(self):
+        result_log = []
+
+        def probe(machine, runner):
+            result_log.extend(machine.dispatch_log)
+
+        simulate(
+            "v",
+            vm="lua",
+            scheme="scd",
+            source="print(1 + 2);",
+            check_output=False,
+            machine_factory=CheckedMachine,
+            probe=probe,
+        )
+        kinds = {entry[0] for entry in result_log}
+        assert kinds == {"bop", "jru", "flush"}
+
+    def test_flush_invariant_catches_leaked_jtes(self):
+        machine = CheckedMachine(cortex_a5())
+        machine.scd.load_op(5, table=0)
+        machine.jru(0x100, 0x2000, table=0)
+        assert machine.btb.jte_count == 1
+        # Sabotage: make the BTB "forget" one JTE is resident so the flush
+        # count disagrees with the resident count.
+        machine.btb._jte_count = 2
+        with pytest.raises((InvariantViolation, AssertionError)):
+            machine.jte_flush()
+
+
+# -- the differential runner --------------------------------------------------
+
+
+class TestDifferentialRunner:
+    def test_clean_sweep(self):
+        report = run_verify(seed=0, iters=2, pool_every=2)
+        assert report.ok, [d.describe() for d in report.discrepancies]
+        assert report.programs == 2
+        assert report.pool_checks == 1
+        # record + 4 schemes x (live, replay, replay-memo) + scd oracle,
+        # per VM.
+        assert report.runs == 2 * 2 * (1 + len(SCHEMES) * 3 + 1)
+
+    def test_catches_corrupted_jru_install(self, monkeypatch):
+        """Breaking the SCD miss path must be caught (acceptance check)."""
+        original = scd_module.ScdUnit.jru
+
+        def corrupted(self, target, table=0):
+            return original(self, target ^ 0x40, table)
+
+        monkeypatch.setattr(scd_module.ScdUnit, "jru", corrupted)
+        runner = DifferentialRunner(vms=("lua",), schemes=("baseline", "scd"))
+        found = runner.check_source(generate_program(0).source)
+        assert any(d.kind in ("scd-oracle", "path-mismatch") for d in found), [
+            d.describe() for d in found
+        ]
+
+    def test_catches_wrong_bop_hit_target(self, monkeypatch):
+        from repro.uarch.btb import BranchTargetBuffer
+
+        original = BranchTargetBuffer.lookup_jte
+
+        def corrupted(self, opcode, branch_id=0):
+            target = original(self, opcode, branch_id)
+            return None if target is None else target ^ 0x40
+
+        monkeypatch.setattr(BranchTargetBuffer, "lookup_jte", corrupted)
+        runner = DifferentialRunner(vms=("lua",), schemes=("baseline", "scd"))
+        found = runner.check_source(generate_program(0).source)
+        assert any(d.kind == "scd-oracle" for d in found), [
+            d.describe() for d in found
+        ]
+
+    def test_catches_cross_vm_divergence(self, monkeypatch):
+        """Corrupting one VM's arithmetic trips the cross-VM oracle."""
+        import repro.vm.lua.interp as lua_interp
+
+        original = lua_interp.arith
+
+        def skewed(op, a, b):
+            result = original(op, a, b)
+            if op == "+" and isinstance(result, int):
+                return result + 1
+            return result
+
+        monkeypatch.setattr(lua_interp, "arith", skewed)
+        runner = DifferentialRunner(schemes=("baseline",))
+        found = runner.check_source(generate_program(0, size="tiny").source)
+        assert found, "corrupted lua arithmetic went unnoticed"
+
+    def test_catches_live_vs_replay_divergence(self, monkeypatch):
+        """A bug that only bites re-interpretation diverges live vs replay."""
+        import repro.vm.lua.interp as lua_interp
+        from repro.vm.lua import LuaVM
+
+        instantiations = {"n": 0}
+        original_from_source = LuaVM.from_source.__func__
+
+        def counting(cls, *args, **kwargs):
+            instantiations["n"] += 1
+            return original_from_source(cls, *args, **kwargs)
+
+        monkeypatch.setattr(LuaVM, "from_source", classmethod(counting))
+        original_arith = lua_interp.arith
+
+        def skewed(op, a, b):
+            result = original_arith(op, a, b)
+            # The record run (VM #1) stays clean; the live run (VM #2)
+            # diverges — exactly the shape of an interpretation-order bug.
+            if (
+                op == "+"
+                and instantiations["n"] >= 2
+                and isinstance(result, int)
+            ):
+                return result + 1
+            return result
+
+        monkeypatch.setattr(lua_interp, "arith", skewed)
+        runner = DifferentialRunner(vms=("lua",), schemes=("baseline",))
+        found = runner.check_source(generate_program(0, size="tiny").source)
+        assert any(d.kind in ("path-mismatch", "error") for d in found), [
+            d.describe() for d in found
+        ]
+
+
+# -- the shrinker -------------------------------------------------------------
+
+
+class TestShrinker:
+    def test_deletes_irrelevant_statements(self):
+        source = generate_program(4, size="tiny").source
+        marker = source.splitlines()[0]  # first declaration
+
+        def still_fails(candidate):
+            try:
+                run_both(candidate)
+            except Exception:
+                return False
+            return marker in candidate
+
+        small = shrink_source(source, still_fails)
+        assert marker in small
+        assert len(small.splitlines()) < len(source.splitlines())
+        run_both(small)  # the survivor still executes cleanly
+
+    def test_requires_failing_input(self):
+        with pytest.raises(ValueError):
+            shrink_source("print(1);", lambda s: False)
+
+    def test_corpus_round_trip(self, tmp_path):
+        from repro.verify import load_corpus, write_corpus_entry
+
+        source = "print(1 + 2);\n"
+        path = write_corpus_entry(
+            source, seed=9, kind="path-mismatch", detail="cycles differ",
+            corpus_dir=tmp_path,
+        )
+        assert path.exists()
+        entries = list(load_corpus(tmp_path))
+        assert len(entries) == 1
+        loaded_path, loaded_source = entries[0]
+        assert loaded_path == path
+        assert loaded_source.strip() == source.strip()
+        run_both(loaded_source)
