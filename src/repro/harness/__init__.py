@@ -22,7 +22,10 @@ from repro.harness.parallel import (
     METRICS,
     SimJob,
     SimJobError,
+    SimJobsFailed,
     run_jobs,
+    set_default_job_timeout,
+    set_default_retries,
     set_default_workers,
 )
 
@@ -32,8 +35,11 @@ __all__ = [
     "METRICS",
     "SimJob",
     "SimJobError",
+    "SimJobsFailed",
     "run_experiment",
     "run_jobs",
     "run_matrix",
+    "set_default_job_timeout",
+    "set_default_retries",
     "set_default_workers",
 ]

@@ -10,11 +10,17 @@ Layout (v3+): one JSON file per entry under ``<root>/v<N>/<name>/``, named
 by a hash of the key.  Writes go through a per-process temp file and
 ``os.replace``, so any number of worker processes (see
 :mod:`repro.harness.parallel`) can populate one cache directory
-concurrently without locks, and a torn or corrupt entry is read back as a
-miss rather than poisoning the run.  Earlier versions used one monolithic
-``results-v2.json`` that was re-serialized in full on every ``put`` and
-corrupted under concurrent writers; bumping :data:`CACHE_VERSION` makes
-those files invisible (and :meth:`ResultCache.clear` deletes them).
+concurrently without locks.  A missing entry is a plain miss; a torn,
+corrupt or key-mismatched entry is *quarantined* — moved to
+``<root>/quarantine/<name>/`` with a ``.reason.txt`` sidecar explaining
+what was wrong — instead of being silently re-parsed (and re-failed) on
+every later run.  Quarantine events are counted in
+:data:`repro.harness.parallel.METRICS`.  Stale ``*.tmp`` droppings left
+behind by crashed writers are swept on store construction.  Earlier
+versions used one monolithic ``results-v2.json`` that was re-serialized
+in full on every ``put`` and corrupted under concurrent writers; bumping
+:data:`CACHE_VERSION` makes those files invisible (and
+:meth:`ResultCache.clear` deletes them).
 """
 
 from __future__ import annotations
@@ -23,9 +29,11 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 
 from repro.core.results import SimResult
+from repro.harness import faults
 from repro.uarch.config import CoreConfig, cortex_a5
 from repro.vm.capture import RecordedTrace, TraceFormatError
 
@@ -33,12 +41,72 @@ from repro.vm.capture import RecordedTrace, TraceFormatError
 #: change behaviour.  v3 introduced the sharded per-entry layout.
 CACHE_VERSION = 3
 
+#: Wall-clock instant this process (or, under ``fork``, its parent)
+#: imported the cache layer.  ``*.tmp`` files older than this were left
+#: by a crashed writer of an earlier run and are swept on store
+#: construction; younger ones may be a live sibling's in-flight write.
+_PROCESS_START = time.time()
+
 
 def _cache_dir() -> Path:
     override = os.environ.get("SCD_REPRO_CACHE_DIR")
     if override:
         return Path(override)
     return Path.home() / ".cache" / "scd-repro"
+
+
+def _sweep_stale_tmp(path: Path) -> int:
+    """Remove ``*.tmp`` droppings in *path* older than this process."""
+    if not path.is_dir():
+        return 0
+    removed = 0
+    for tmp in path.glob("*.tmp"):
+        try:
+            if tmp.stat().st_mtime < _PROCESS_START:
+                tmp.unlink()
+                removed += 1
+        except OSError:  # raced with another sweeper or a live writer
+            continue
+    return removed
+
+
+def _quarantine_entry(
+    root: Path, store: str, path: Path, reason: str
+) -> Path | None:
+    """Move a corrupt entry file to ``<root>/quarantine/<store>/``.
+
+    A ``<name>.reason.txt`` sidecar records why.  Returns the new
+    location, or ``None`` if another process won the race (or the root
+    is unwritable) — either way the caller treats the probe as a miss.
+    """
+    quarantine_dir = root / "quarantine" / store
+    dest = quarantine_dir / path.name
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        os.replace(path, dest)
+    except OSError:
+        return None
+    try:
+        dest.with_name(dest.name + ".reason.txt").write_text(
+            f"store: {store}\n"
+            f"entry: {path}\n"
+            f"reason: {reason}\n"
+            f"quarantined_at: {time.strftime('%Y-%m-%dT%H:%M:%S%z')}\n"
+        )
+    except OSError:
+        pass
+    # Imported late: parallel imports this module at load time.
+    from repro.harness.parallel import METRICS
+
+    METRICS.quarantined += 1
+    return dest
+
+
+def _corrupt_shard_hook(path: Path) -> None:
+    """Give the fault-injection layer a chance to corrupt a fresh shard."""
+    plan = faults.get_plan()
+    if plan is not None:
+        plan.on_shard_write(path)
 
 
 def config_signature(config: CoreConfig) -> str:
@@ -103,6 +171,7 @@ class ResultCache:
         path: the store's entry directory.
         hits / misses: per-instance probe counters (the harness summary
             reports them).
+        tmp_swept: stale ``*.tmp`` files removed at construction.
     """
 
     def __init__(self, name: str = "results", root: str | Path | None = None):
@@ -111,6 +180,7 @@ class ResultCache:
         self.path = self.root / f"v{CACHE_VERSION}" / name
         self.hits = 0
         self.misses = 0
+        self.tmp_swept = _sweep_stale_tmp(self.path)
         # Per-key memo of *hits only*.  Entries are immutable once written
         # (simulations are deterministic), so replaying a previously-read
         # value is always correct — but a miss is never memoized, so
@@ -129,14 +199,24 @@ class ResultCache:
         if memo is not None:
             self.hits += 1
             return memo
+        path = self.entry_path(key)
         try:
-            entry = json.loads(self.entry_path(key).read_text())
+            text = path.read_text()
+        except OSError:
+            # Missing entry (or unreadable store): a plain miss.
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(text)
             if entry.get("key") != key:
-                raise ValueError("entry key mismatch")
+                raise ValueError("entry key mismatch (collision or moved file)")
             result = SimResult.from_dict(entry["result"])
-        except (OSError, ValueError, TypeError, KeyError):
-            # Missing, torn, corrupt, hash-collided or schema-mismatched
-            # entries all read as misses.
+        except (ValueError, TypeError, KeyError, AttributeError) as exc:
+            # Torn, corrupt, hash-collided or schema-mismatched: move the
+            # entry out of the way so it is not re-parsed every run.
+            _quarantine_entry(
+                self.root, self.name, path, f"{type(exc).__name__}: {exc}"
+            )
             self.misses += 1
             return None
         self._memo[key] = result
@@ -160,6 +240,7 @@ class ResultCache:
                     tmp.unlink()
                 except OSError:
                     pass
+        _corrupt_shard_hook(path)
         self._memo[key] = result
 
     def clear(self) -> None:
@@ -184,13 +265,14 @@ class TraceStore:
 
     Shares the v3 cache layout and write discipline of
     :class:`ResultCache` — one file per entry named by a hash of the key,
-    temp-file + ``os.replace`` writes — but holds the columnar binary
-    artifacts of :mod:`repro.vm.capture` (``.bin`` entries) instead of
-    JSON results.  Keys come from :func:`repro.vm.capture.trace_key` and
-    embed the trace-format version, so a format bump invalidates stale
-    traces rather than misreading them; corrupt, truncated or
-    version-mismatched files read back as a miss (the
-    :class:`~repro.vm.capture.TraceFormatError` contract).
+    temp-file + ``os.replace`` writes, stale-tmp sweep at construction —
+    but holds the columnar binary artifacts of :mod:`repro.vm.capture`
+    (``.bin`` entries) instead of JSON results.  Keys come from
+    :func:`repro.vm.capture.trace_key` and embed the trace-format
+    version, so a format bump invalidates stale traces rather than
+    misreading them; a corrupt, truncated or version-mismatched file
+    (the :class:`~repro.vm.capture.TraceFormatError` contract) reads
+    back as a miss and is quarantined with a reason sidecar.
     """
 
     def __init__(self, name: str = "traces", root: str | Path | None = None):
@@ -199,6 +281,7 @@ class TraceStore:
         self.path = self.root / f"v{CACHE_VERSION}" / name
         self.hits = 0
         self.misses = 0
+        self.tmp_swept = _sweep_stale_tmp(self.path)
         # Hits-only memo, mirroring ResultCache: traces are immutable once
         # written, but a miss is never memoized so concurrent recorders
         # are picked up on the next probe.
@@ -213,11 +296,18 @@ class TraceStore:
         if memo is not None:
             self.hits += 1
             return memo
+        path = self.entry_path(key)
         try:
-            trace = RecordedTrace.from_bytes(self.entry_path(key).read_bytes())
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            trace = RecordedTrace.from_bytes(data)
             if trace.key != key:
                 raise TraceFormatError("entry key mismatch")
-        except (OSError, TraceFormatError):
+        except TraceFormatError as exc:
+            _quarantine_entry(self.root, self.name, path, str(exc))
             self.misses += 1
             return None
         self._memo[key] = trace
@@ -238,6 +328,7 @@ class TraceStore:
                     tmp.unlink()
                 except OSError:
                     pass
+        _corrupt_shard_hook(path)
         self._memo[key] = trace
 
     def clear(self) -> None:

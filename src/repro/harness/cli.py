@@ -13,13 +13,20 @@ Commands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.core.simulation import SCHEMES, simulate
+from repro.harness import faults
 from repro.harness.cache import DEFAULT_CACHE, DEFAULT_TRACE_STORE
 from repro.harness.experiments import EXPERIMENTS, run_experiment
-from repro.harness.parallel import METRICS, set_default_workers
+from repro.harness.parallel import (
+    METRICS,
+    set_default_job_timeout,
+    set_default_retries,
+    set_default_workers,
+)
 from repro.uarch.config import CONFIG_PRESETS
 from repro.vm.capture import set_default_trace_mode
 from repro.workloads import workload_names
@@ -142,6 +149,32 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for experiment fan-out "
         "(default: SCD_REPRO_JOBS or the CPU count; 1 = in-process)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-job retry budget before a sweep aborts "
+        "(default: SCD_REPRO_RETRIES or 2)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-job timeout in seconds for pooled sweeps; a timed-out "
+        "job is retried on a fresh pool (default: SCD_REPRO_JOB_TIMEOUT "
+        "or no timeout)",
+    )
+    parser.add_argument(
+        "--fault",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault for testing the degraded paths: "
+        "kill-worker:N, fail-job:N, delay-job:N:SECONDS or corrupt-shard:N "
+        "(repeatable; equivalent to SCD_FAULT)",
+    )
     trace_group = parser.add_mutually_exclusive_group()
     trace_group.add_argument(
         "--record",
@@ -216,6 +249,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs is not None:
         set_default_workers(args.jobs)
+    if args.retries is not None:
+        set_default_retries(args.retries)
+    if args.job_timeout is not None:
+        set_default_job_timeout(args.job_timeout)
+    if args.fault:
+        spec_text = ",".join(args.fault)
+        try:
+            faults.parse_specs(spec_text)
+        except ValueError as exc:
+            parser.error(str(exc))
+        os.environ[faults.FAULT_ENV] = spec_text
+        faults.reset_plan_cache()
     if args.record:
         set_default_trace_mode("record")
     elif args.replay:

@@ -8,12 +8,22 @@ provides the scheduling layer:
 * :func:`run_jobs` — run a batch of jobs, fanning cache misses out to a
   :class:`~concurrent.futures.ProcessPoolExecutor` and returning results
   in input order regardless of completion order.  ``workers=1`` (or a
-  single miss) degrades gracefully to in-process execution; a crashed or
-  failed grid point raises :class:`SimJobError` naming its
-  ``(vm, scheme, workload)`` key instead of hanging the run.
-* :data:`METRICS` — per-process throughput counters (simulations run,
-  cache hits, trace events replayed, summed simulation wall time) that the
-  CLI prints after each experiment.
+  single miss) degrades gracefully to in-process execution.
+* :data:`METRICS` — per-process throughput and fault counters
+  (simulations run, cache hits, trace events replayed, retries,
+  timeouts, worker deaths, quarantined entries) that the CLI prints
+  after each experiment.
+
+Failures are retried, not fatal: a grid point whose worker dies
+(OOM-kill, segfault), raises, or exceeds its per-job timeout is
+re-submitted on a fresh pool up to :func:`resolve_retries` times with
+exponential backoff, while every already-completed future is salvaged.
+If the pool itself keeps breaking, the remaining points degrade to
+in-process execution.  Only when a point has spent its whole retry
+budget does the batch raise — a single aggregated
+:class:`SimJobsFailed` naming *every* exhausted ``(vm, scheme,
+workload)`` key with its last traceback.  Deterministic fault injection
+for all of these paths lives in :mod:`repro.harness.faults`.
 
 Workers share one sharded cache directory (see
 :mod:`repro.harness.cache`); its atomic per-entry writes make concurrent
@@ -26,8 +36,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.core.results import SimResult
@@ -38,12 +50,35 @@ from repro.harness.cache import (
     TraceStore,
     sim_cache_key,
 )
+from repro.harness.faults import get_plan as get_fault_plan
 from repro.native.model import get_model
 from repro.uarch.config import CoreConfig, cortex_a5
 from repro.vm.capture import resolve_trace_mode
 
 #: Process-wide worker-count override, installed by the CLI's ``-j`` flag.
 DEFAULT_WORKERS: int | None = None
+
+#: Per-job retry budget when neither the call, the CLI nor
+#: ``SCD_REPRO_RETRIES`` says otherwise: each grid point may be
+#: re-submitted this many times before it counts as exhausted.
+DEFAULT_RETRIES = 2
+
+#: Base of the exponential retry backoff (seconds); override with
+#: ``SCD_REPRO_RETRY_BACKOFF`` (tests set it to 0).
+DEFAULT_RETRY_BACKOFF_S = 0.1
+
+#: Backoff ceiling, so a long retry chain cannot stall a sweep for minutes.
+_BACKOFF_CAP_S = 5.0
+
+#: After this many consecutive broken-pool rounds the remaining grid
+#: points run in-process: a host that keeps killing fresh pools will not
+#: stop doing so for round three.
+_POOL_BREAK_LIMIT = 2
+
+#: Process-wide overrides installed by the CLI (``--retries`` /
+#: ``--job-timeout``).
+DEFAULT_RETRIES_OVERRIDE: int | None = None
+DEFAULT_JOB_TIMEOUT: float | None = None
 
 
 def set_default_workers(workers: int | None) -> None:
@@ -52,16 +87,32 @@ def set_default_workers(workers: int | None) -> None:
     DEFAULT_WORKERS = workers
 
 
+def set_default_retries(retries: int | None) -> None:
+    """Install *retries* as the process-wide default retry budget."""
+    global DEFAULT_RETRIES_OVERRIDE
+    DEFAULT_RETRIES_OVERRIDE = retries
+
+
+def set_default_job_timeout(timeout: float | None) -> None:
+    """Install *timeout* (seconds) as the process-wide per-job timeout."""
+    global DEFAULT_JOB_TIMEOUT
+    DEFAULT_JOB_TIMEOUT = timeout
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Resolve an explicit/default/environment worker count (>= 1).
 
     Priority: explicit argument, :func:`set_default_workers` (the CLI
     ``-j`` flag), the ``SCD_REPRO_JOBS`` environment variable, then
-    ``os.cpu_count()``.  The result is capped at ``os.cpu_count()``:
-    these are CPU-bound simulations, so oversubscribing a small host only
-    adds pool and context-switch overhead (``-j 4`` on a 1-CPU box used
-    to post a 0.88x "speedup"); the cap also lets the single-worker case
-    fall back to in-process execution in :func:`run_jobs`.
+    ``os.cpu_count()``.  A rejected ``SCD_REPRO_JOBS`` value — not an
+    integer, zero, or negative — is reported with a one-line
+    :class:`RuntimeWarning` naming the value, then ignored (it used to
+    be clamped or dropped silently).  The result is capped at
+    ``os.cpu_count()``: these are CPU-bound simulations, so
+    oversubscribing a small host only adds pool and context-switch
+    overhead (``-j 4`` on a 1-CPU box used to post a 0.88x "speedup");
+    the cap also lets the single-worker case fall back to in-process
+    execution in :func:`run_jobs`.
     """
     cpus = os.cpu_count() or 1
     if workers is None:
@@ -70,12 +121,87 @@ def resolve_workers(workers: int | None = None) -> int:
         env = os.environ.get("SCD_REPRO_JOBS", "")
         if env:
             try:
-                workers = int(env)
+                value = int(env)
             except ValueError:
-                workers = None
+                value = None
+            if value is None or value < 1:
+                warnings.warn(
+                    f"ignoring SCD_REPRO_JOBS={env!r}: expected a positive "
+                    "integer worker count",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                workers = value
     if workers is None:
         workers = cpus
     return max(1, min(int(workers), cpus))
+
+
+def resolve_retries(retries: int | None = None) -> int:
+    """Resolve the per-job retry budget (>= 0).
+
+    Priority: explicit argument, :func:`set_default_retries` (the CLI
+    ``--retries`` flag), the ``SCD_REPRO_RETRIES`` environment variable,
+    then :data:`DEFAULT_RETRIES`.  A non-integer environment value is
+    warned about and ignored.
+    """
+    if retries is None:
+        retries = DEFAULT_RETRIES_OVERRIDE
+    if retries is None:
+        env = os.environ.get("SCD_REPRO_RETRIES", "")
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring SCD_REPRO_RETRIES={env!r}: expected an integer",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    if retries is None:
+        retries = DEFAULT_RETRIES
+    return max(0, int(retries))
+
+
+def resolve_job_timeout(timeout: float | None = None) -> float | None:
+    """Resolve the per-job timeout in seconds (``None`` disables it).
+
+    Priority: explicit argument, :func:`set_default_job_timeout` (the
+    CLI ``--job-timeout`` flag), then ``SCD_REPRO_JOB_TIMEOUT``.  The
+    clock starts at submission, so on a saturated pool queue wait counts
+    against the budget; timeouts only apply to pooled execution (an
+    in-process job cannot be interrupted).
+    """
+    if timeout is None:
+        timeout = DEFAULT_JOB_TIMEOUT
+    if timeout is None:
+        env = os.environ.get("SCD_REPRO_JOB_TIMEOUT", "")
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                warnings.warn(
+                    f"ignoring SCD_REPRO_JOB_TIMEOUT={env!r}: expected a "
+                    "number of seconds",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    if timeout is not None and timeout <= 0:
+        return None
+    return float(timeout) if timeout is not None else None
+
+
+def _retry_backoff_s(attempt: int) -> float:
+    """Exponential backoff before retry *attempt* (1-based), capped."""
+    base = DEFAULT_RETRY_BACKOFF_S
+    env = os.environ.get("SCD_REPRO_RETRY_BACKOFF", "")
+    if env:
+        try:
+            base = float(env)
+        except ValueError:
+            pass
+    return max(0.0, min(_BACKOFF_CAP_S, base * (2 ** max(0, attempt - 1))))
 
 
 @dataclass
@@ -91,6 +217,10 @@ class ThroughputMetrics:
     replay_wall_s: float = 0.0
     interp_wall_s: float = 0.0
     memo_events: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    worker_deaths: int = 0
+    quarantined: int = 0
 
     def record_hit(self) -> None:
         self.cache_hits += 1
@@ -119,6 +249,10 @@ class ThroughputMetrics:
         self.replay_wall_s = 0.0
         self.interp_wall_s = 0.0
         self.memo_events = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.worker_deaths = 0
+        self.quarantined = 0
 
     def trace_savings_s(self) -> float | None:
         """Estimated wall time the sweep saved by replaying recorded
@@ -132,6 +266,23 @@ class ThroughputMetrics:
             return None
         interp_rate = self.events_interpreted / self.interp_wall_s
         return self.events_replayed / interp_rate - self.replay_wall_s
+
+    def fault_counts(self) -> dict[str, int]:
+        """The degraded-path counters, in footer order."""
+        return {
+            "retried": self.retries,
+            "timed out": self.timeouts,
+            "worker deaths": self.worker_deaths,
+            "quarantined": self.quarantined,
+        }
+
+    def fault_summary(self) -> str:
+        """Comma-joined non-zero fault counters, or ``""`` for a clean run."""
+        return ", ".join(
+            f"{count} {label}"
+            for label, count in self.fault_counts().items()
+            if count
+        )
 
     def summary(self, wall_s: float | None = None) -> str:
         """One-line human summary, e.g. for the CLI footer."""
@@ -150,6 +301,9 @@ class ThroughputMetrics:
             if self.memo_events:
                 reuse += f" ({self.memo_events:,} memoized)"
             parts.append(reuse)
+        faults = self.fault_summary()
+        if faults:
+            parts.append(f"faults: {faults}")
         if wall_s is not None:
             parts.append(f"wall {wall_s:.2f}s")
         return "[" + "; ".join(parts) + "]"
@@ -203,6 +357,46 @@ class SimJobError(RuntimeError):
         )
 
 
+class SimJobsFailed(SimJobError):
+    """One or more grid points exhausted their retry budget.
+
+    Raised once per batch, after retries are spent, naming every failed
+    key.  Attributes:
+
+    * ``failures`` — ``(job, detail)`` pairs; *detail* is the last
+      traceback or diagnostic of that grid point.
+    * ``keys`` — the ``(vm, scheme, workload)`` key of every failure.
+    * ``completed`` — grid points that did finish (their results are in
+      the shared cache; a re-run will not repeat them).
+
+    ``job``/``key`` mirror the first failure so handlers written against
+    :class:`SimJobError` keep working.
+    """
+
+    def __init__(self, failures, completed: int = 0):
+        self.failures = list(failures)
+        if not self.failures:
+            raise ValueError("SimJobsFailed requires at least one failure")
+        self.keys = tuple(job.key3 for job, _ in self.failures)
+        self.job = self.failures[0][0]
+        self.key = self.job.key3
+        self.completed = completed
+        lines = [
+            f"{len(self.failures)} simulation job(s) failed after retries "
+            f"were exhausted ({completed} completed grid point(s) were "
+            "salvaged into the cache):"
+        ]
+        for job, detail in self.failures:
+            lines.append(
+                f"- (vm={job.vm!r}, scheme={job.scheme!r}, "
+                f"workload={job.workload!r}):"
+            )
+            lines.extend(
+                "    " + line for line in str(detail).splitlines() or [""]
+            )
+        RuntimeError.__init__(self, "\n".join(lines))
+
+
 def execute_job(
     job: SimJob,
     cache: ResultCache | None = None,
@@ -227,6 +421,9 @@ def execute_job(
         if hit is not None:
             METRICS.record_hit()
             return hit, {"cached": True}
+    fault_plan = get_fault_plan()
+    if fault_plan is not None:
+        fault_plan.on_job_start(job)
     if trace_store is None and cache is not None:
         trace_store = TraceStore(root=cache.root)
     meta: dict = {}
@@ -257,10 +454,12 @@ def _pool_run(
     """Worker-process body.  Never raises: failures come back as values so
     the parent can surface the grid key instead of a bare pool traceback."""
     try:
+        quarantined_before = METRICS.quarantined
         cache = None
         if cache_name is not None:
             cache = ResultCache(cache_name, root=cache_root)
         result, meta = execute_job(job, cache, trace_mode=trace_mode)
+        meta["quarantined"] = METRICS.quarantined - quarantined_before
         return ("ok", result, meta)
     except BaseException:
         return ("error", traceback.format_exc(), {})
@@ -283,10 +482,233 @@ def _prewarm_models(jobs) -> None:
         get_model(vm, strategy)
 
 
+def _shutdown_pool(pool, futures, kill: bool = False) -> None:
+    """Shut *pool* down without leaking live workers.
+
+    Cancels every queued future first, optionally terminates the worker
+    processes (a timed-out job may never return on its own), then waits
+    for the pool to drain.  The old error path used
+    ``shutdown(wait=False, cancel_futures=True)``, which left in-flight
+    workers burning CPU and writing the cache after the run had already
+    aborted.
+    """
+    for future in futures:
+        future.cancel()
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):  # already gone
+                pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_serial(misses, cache, trace_mode, retries, resolved) -> None:
+    """In-process execution of *misses* with bounded per-job retries."""
+    trace_store = TraceStore(root=cache.root) if cache is not None else None
+    failures = []
+    for key, job in misses:
+        detail = ""
+        for attempt in range(retries + 1):
+            if attempt:
+                METRICS.retries += 1
+                time.sleep(_retry_backoff_s(attempt))
+            try:
+                result, _ = execute_job(
+                    job, cache, trace_store=trace_store, trace_mode=trace_mode
+                )
+            except Exception:
+                detail = traceback.format_exc()
+                continue
+            resolved[key] = result
+            break
+        else:
+            failures.append((job, detail))
+    if failures:
+        raise SimJobsFailed(failures, completed=len(resolved))
+
+
+def _consume_future(future, futures, resolved, failed, state) -> None:
+    """Fold one finished future into results or this round's failures."""
+    key, job = futures[future]
+    try:
+        status, payload, meta = future.result()
+    except Exception as exc:
+        # BrokenProcessPool & friends: the worker died without reporting
+        # (OOM-kill, segfault) — name the grid point and retry it.
+        if not state["broke"]:
+            METRICS.worker_deaths += 1
+            state["broke"] = True
+        failed.append(
+            (key, job, f"worker died: {type(exc).__name__}: {exc}", True)
+        )
+        return
+    if status != "ok":
+        failed.append((key, job, payload, True))
+        return
+    resolved[key] = payload
+    METRICS.quarantined += int(meta.get("quarantined", 0))
+    if meta.get("cached"):
+        METRICS.record_hit()
+    else:
+        METRICS.record_sim(meta)
+
+
+def _pool_round(
+    pending, workers, cache_name, cache_root, trace_mode, job_timeout, resolved
+):
+    """One submission round on a fresh pool.
+
+    Every future that completes is salvaged into *resolved* even when
+    the pool breaks mid-round.  Returns ``(failed, broke)``: *failed*
+    lists ``(key, job, detail, counted)`` — ``counted=False`` marks jobs
+    that were merely collateral of a pool teardown and are requeued
+    without charging an attempt — and *broke* reports whether a worker
+    died or the pool had to be torn down.
+    """
+    pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+    failed: list = []
+    state = {"broke": False}
+    kill_pool = False
+    futures: dict = {}
+    try:
+        submitted_at = time.monotonic()
+        for key, job in pending:
+            future = pool.submit(_pool_run, job, cache_name, cache_root, trace_mode)
+            futures[future] = (key, job)
+        deadlines = (
+            {future: submitted_at + job_timeout for future in futures}
+            if job_timeout is not None
+            else {}
+        )
+        waiting = set(futures)
+        while waiting:
+            timeout = None
+            if deadlines:
+                timeout = max(
+                    0.0,
+                    min(deadlines[f] for f in waiting) - time.monotonic(),
+                )
+            done, _ = wait(waiting, timeout=timeout, return_when=FIRST_COMPLETED)
+            for future in done:
+                _consume_future(future, futures, resolved, failed, state)
+            waiting -= done
+            if deadlines and waiting:
+                now = time.monotonic()
+                expired = {f for f in waiting if deadlines[f] <= now}
+                for future in expired:
+                    key, job = futures[future]
+                    METRICS.timeouts += 1
+                    failed.append(
+                        (key, job, f"timed out after {job_timeout:g}s", True)
+                    )
+                    if not future.cancel():
+                        # Already running: the only way to reclaim the
+                        # worker is to tear the whole pool down.
+                        kill_pool = True
+                waiting -= expired
+            if kill_pool and waiting:
+                # Salvage whatever finished in the meantime; requeue the
+                # rest without charging them an attempt — they were not
+                # at fault.
+                done, not_done = wait(waiting, timeout=0)
+                for future in done:
+                    _consume_future(future, futures, resolved, failed, state)
+                for future in not_done:
+                    future.cancel()
+                    key, job = futures[future]
+                    failed.append(
+                        (key, job,
+                         "requeued: pool torn down after a job timeout",
+                         False)
+                    )
+                waiting = set()
+    finally:
+        _shutdown_pool(pool, futures, kill=kill_pool)
+    return failed, state["broke"] or kill_pool
+
+
+def _run_degraded(
+    pending, cache, trace_mode, retries, attempts, last_failure, resolved
+) -> None:
+    """In-process fallback after repeated pool breakage, honouring each
+    job's remaining retry budget."""
+    trace_store = TraceStore(root=cache.root) if cache is not None else None
+    for key, job in pending:
+        while True:
+            try:
+                result, _ = execute_job(
+                    job, cache, trace_store=trace_store, trace_mode=trace_mode
+                )
+            except Exception:
+                last_failure[key] = (job, traceback.format_exc())
+                attempts[key] += 1
+                if attempts[key] > retries:
+                    break
+                METRICS.retries += 1
+                time.sleep(_retry_backoff_s(attempts[key]))
+                continue
+            resolved[key] = result
+            break
+
+
+def _run_pool(
+    misses, workers, cache, trace_mode, retries, job_timeout, resolved
+) -> None:
+    """Pooled execution of *misses* with retry rounds and salvage."""
+    _prewarm_models(job for _, job in misses)
+    cache_name = cache.name if cache is not None else None
+    cache_root = str(cache.root) if cache is not None else None
+    attempts = {key: 0 for key, _ in misses}
+    last_failure: dict = {}
+    pending = list(misses)
+    broken_rounds = 0
+    retry_round = 0
+    while pending:
+        failed, broke = _pool_round(
+            pending, workers, cache_name, cache_root, trace_mode,
+            job_timeout, resolved,
+        )
+        broken_rounds = broken_rounds + 1 if broke else 0
+        retry_next = []
+        for key, job, detail, counted in failed:
+            last_failure[key] = (job, detail)
+            if counted:
+                attempts[key] += 1
+            if attempts[key] > retries:
+                continue  # exhausted; aggregated after the loop
+            retry_next.append((key, job))
+            if counted:
+                METRICS.retries += 1
+        pending = retry_next
+        if not pending:
+            break
+        if broken_rounds >= _POOL_BREAK_LIMIT:
+            # Fresh pools keep dying on this host; stop feeding it
+            # workers and finish the remaining points in-process.
+            _run_degraded(
+                pending, cache, trace_mode, retries, attempts,
+                last_failure, resolved,
+            )
+            break
+        retry_round += 1
+        time.sleep(_retry_backoff_s(retry_round))
+    exhausted = [
+        last_failure[key]
+        for key, _ in misses
+        if key not in resolved and key in last_failure
+    ]
+    if exhausted:
+        raise SimJobsFailed(exhausted, completed=len(resolved))
+
+
 def run_jobs(
     jobs,
     workers: int | None = None,
     cache: ResultCache | None = DEFAULT_CACHE,
+    retries: int | None = None,
+    job_timeout: float | None = None,
 ) -> list[SimResult]:
     """Run every job and return results in input order.
 
@@ -295,12 +717,26 @@ def run_jobs(
     process pool of :func:`resolve_workers` workers — or in-process when
     that resolves to 1 or there is at most one miss.
 
+    A failed grid point — worker death, job exception, or per-job
+    timeout (pooled runs only; see :func:`resolve_job_timeout`) — is
+    retried up to :func:`resolve_retries` times with exponential
+    backoff, on a fresh pool, while completed futures are salvaged; the
+    pool degrades to in-process execution if it keeps breaking.
+
     Raises:
-        SimJobError: a grid point raised or its worker died; the error
-            names the failing ``(vm, scheme, workload)`` key.
+        SimJobsFailed: one or more grid points still failed after the
+            retry budget; the single aggregated error names *every*
+            exhausted ``(vm, scheme, workload)`` key with its last
+            traceback.  (A :class:`SimJobError` subclass, so existing
+            handlers keep working.)
     """
     jobs = list(jobs)
     workers = resolve_workers(workers)
+    retries = resolve_retries(retries)
+    job_timeout = resolve_job_timeout(job_timeout)
+    # Resolve the fault plan up front so SCD_FAULT_DIR is exported before
+    # any worker is forked (workers must share the parent's counters).
+    get_fault_plan()
     sinks: dict[str, list[int]] = {}
     resolved: dict[str, SimResult] = {}
     misses: list[tuple[str, SimJob]] = []
@@ -320,46 +756,11 @@ def run_jobs(
 
     trace_mode = resolve_trace_mode()
     if misses and (workers <= 1 or len(misses) == 1):
-        trace_store = TraceStore(root=cache.root) if cache is not None else None
-        for key, job in misses:
-            try:
-                result, _ = execute_job(
-                    job, cache, trace_store=trace_store, trace_mode=trace_mode
-                )
-            except Exception as exc:
-                raise SimJobError(job, f"{type(exc).__name__}: {exc}") from exc
-            resolved[key] = result
+        _run_serial(misses, cache, trace_mode, retries, resolved)
     elif misses:
-        _prewarm_models(job for _, job in misses)
-        cache_name = cache.name if cache is not None else None
-        cache_root = str(cache.root) if cache is not None else None
-        pool = ProcessPoolExecutor(max_workers=min(workers, len(misses)))
-        try:
-            futures = {
-                pool.submit(
-                    _pool_run, job, cache_name, cache_root, trace_mode
-                ): (key, job)
-                for key, job in misses
-            }
-            for future in as_completed(futures):
-                key, job = futures[future]
-                try:
-                    status, payload, meta = future.result()
-                except Exception as exc:
-                    # BrokenProcessPool & friends: the worker died without
-                    # reporting (OOM-kill, segfault) — name the grid point.
-                    raise SimJobError(
-                        job, f"worker died: {type(exc).__name__}: {exc}"
-                    ) from exc
-                if status != "ok":
-                    raise SimJobError(job, payload)
-                resolved[key] = payload
-                if meta.get("cached"):
-                    METRICS.record_hit()
-                else:
-                    METRICS.record_sim(meta)
-        finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+        _run_pool(
+            misses, workers, cache, trace_mode, retries, job_timeout, resolved
+        )
 
     results: list[SimResult] = [None] * len(jobs)  # type: ignore[list-item]
     for key, indices in sinks.items():

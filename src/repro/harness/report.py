@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.results import geomean
 from repro.harness.cache import DEFAULT_CACHE
+from repro.harness.parallel import METRICS
 from repro.harness.experiments import (
     PAPER,
     figure2,
@@ -242,5 +243,18 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
         + he.text
         + "\n```"
     )
+
+    # Run health: surfaced only when this regeneration hit a degraded
+    # path (retried jobs, per-job timeouts, dead workers, quarantined
+    # cache entries) — the numbers the sweep survived, not hid.
+    faults = METRICS.fault_summary()
+    if faults:
+        sections.append(
+            "## Run health\n\n"
+            f"This regeneration degraded but recovered: {faults}. "
+            "Quarantined entries live under `<cache-root>/quarantine/` "
+            "with a `.reason.txt` sidecar each; see docs/TESTING.md "
+            "(failure semantics) for what every counter means."
+        )
 
     return "\n\n".join(sections) + "\n"

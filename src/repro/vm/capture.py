@@ -31,6 +31,7 @@ import json
 import os
 import struct
 import sys
+import warnings
 import zlib
 from array import array
 
@@ -125,13 +126,24 @@ def resolve_trace_mode(mode: str | None = None) -> str:
     Priority: explicit argument, :func:`set_default_trace_mode` (the CLI
     ``--record/--replay/--no-trace-cache`` flags), the ``SCD_REPRO_TRACE``
     environment variable, then ``"auto"`` (replay when a trace exists,
-    record otherwise).
+    record otherwise).  An explicit or CLI-installed mode must be valid
+    (:class:`ValueError` otherwise); an unrecognised *environment* value
+    is reported with a one-line warning and ignored — a typo in
+    ``SCD_REPRO_TRACE`` should not abort a whole sweep.
     """
     if mode is None:
         mode = _DEFAULT_MODE
     if mode is None:
-        mode = os.environ.get("SCD_REPRO_TRACE") or None
-    if mode is None:
+        env = os.environ.get("SCD_REPRO_TRACE") or None
+        if env is not None:
+            if env in TRACE_MODES:
+                return env
+            warnings.warn(
+                f"ignoring SCD_REPRO_TRACE={env!r}: expected one of "
+                f"{TRACE_MODES}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return "auto"
     return _check_mode(mode)
 

@@ -1,4 +1,4 @@
-"""CLI behavior: trace flags, -j parsing, and the verify subcommand."""
+"""CLI behavior: trace flags, -j parsing, fault flags, and verify."""
 
 from __future__ import annotations
 
@@ -7,17 +7,23 @@ import os
 import pytest
 
 import repro.verify
-from repro.harness import parallel
+from repro.harness import faults, parallel
 from repro.harness.cli import main
 from repro.vm import capture
 
 
 @pytest.fixture(autouse=True)
-def _reset_cli_globals():
+def _reset_cli_globals(monkeypatch):
     """The CLI installs process-wide defaults; undo them after each test."""
+    monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+    faults.reset_plan_cache()
     yield
     parallel.set_default_workers(None)
+    parallel.set_default_retries(None)
+    parallel.set_default_job_timeout(None)
     capture.set_default_trace_mode(None)
+    os.environ.pop(faults.FAULT_ENV, None)
+    faults.reset_plan_cache()
 
 
 class TestTraceFlags:
@@ -68,6 +74,30 @@ class TestJobsFlag:
     def test_non_integer_j_rejected(self):
         with pytest.raises(SystemExit) as excinfo:
             main(["-j", "two", "list"])
+        assert excinfo.value.code == 2
+
+
+class TestFaultToleranceFlags:
+    def test_retries_installs_process_default(self):
+        assert main(["--retries", "5", "list"]) == 0
+        assert parallel.resolve_retries() == 5
+
+    def test_job_timeout_installs_process_default(self):
+        assert main(["--job-timeout", "1.5", "list"]) == 0
+        assert parallel.resolve_job_timeout() == 1.5
+
+    def test_fault_flag_exports_env_spec(self):
+        assert main(
+            ["--fault", "kill-worker:2", "--fault", "corrupt-shard:0", "list"]
+        ) == 0
+        assert os.environ[faults.FAULT_ENV] == "kill-worker:2,corrupt-shard:0"
+        plan = faults.get_plan()
+        assert plan is not None
+        assert {s.kind for s in plan.specs} == {"kill-worker", "corrupt-shard"}
+
+    def test_malformed_fault_spec_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--fault", "explode:1", "list"])
         assert excinfo.value.code == 2
 
 
