@@ -17,7 +17,7 @@ The four evaluation schemes of the paper are available:
 """
 
 from repro.core.simulation import simulate, SCHEMES, scheme_parts
-from repro.core.results import SimResult, geomean, speedup
+from repro.core.results import SimResult, geomean, geomean_or_none, speedup
 from repro.core.tuning import (
     CapTuningResult,
     find_optimal_jte_cap,
@@ -30,6 +30,7 @@ __all__ = [
     "scheme_parts",
     "SimResult",
     "geomean",
+    "geomean_or_none",
     "speedup",
     "CapTuningResult",
     "find_optimal_jte_cap",

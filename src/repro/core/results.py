@@ -92,3 +92,16 @@ def geomean(values) -> float:
     if any(v <= 0 for v in values):
         raise ValueError("geomean requires positive values")
     return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_or_none(values) -> float | None:
+    """:func:`geomean`, degraded to ``None`` on empty or non-positive input.
+
+    Report and experiment code renders the ``None`` as ``"n/a"`` so one
+    degenerate grid point (a zero speedup, an empty workload set) costs a
+    summary cell instead of crashing the whole sweep.
+    """
+    values = list(values)
+    if not values or any(v <= 0 for v in values):
+        return None
+    return geomean(values)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.results import SimResult
 from repro.native.model import ModelRunner, get_model
 from repro.uarch.config import CoreConfig, cortex_a5
@@ -148,14 +149,15 @@ def simulate(
             expected = bench.expected_output(scale=scale)
 
     mode = resolve_trace_mode(trace_mode) if trace_store is not None else "off"
-    machine = (machine_factory or Machine)(config)
-    model = get_model(vm, strategy)
-    runner = ModelRunner(
-        model,
-        machine,
-        context_switch_interval=context_switch_interval,
-        context_switch_policy=context_switch_policy,
-    )
+    with obs.span("compile", vm=vm, scheme=scheme):
+        machine = (machine_factory or Machine)(config)
+        model = get_model(vm, strategy)
+        runner = ModelRunner(
+            model,
+            machine,
+            context_switch_interval=context_switch_interval,
+            context_switch_policy=context_switch_policy,
+        )
     runner.start()
 
     recorded = None
@@ -163,7 +165,9 @@ def simulate(
     if mode != "off":
         key = trace_key(vm, source, max_steps)
         if mode != "record":
-            recorded = trace_store.get(key)
+            with obs.span("cache", store="traces") as cache_span:
+                recorded = trace_store.get(key)
+                cache_span.annotate(hit=recorded is not None)
         if recorded is None and mode == "replay":
             raise TraceMissError(
                 f"no recorded trace for {vm}/{workload} "
@@ -172,21 +176,29 @@ def simulate(
     memo = None
     if recorded is not None:
         # Replay the recorded columns; the guest VM never runs.
-        if replay_memo:
-            memo = SteadyStateMemo(machine, runner)
-            replay_events_memo(recorded, runner, memo)
-        else:
-            replay_events(recorded, runner.on_event)
+        with obs.span("replay", memo=replay_memo) as phase:
+            if replay_memo:
+                memo = SteadyStateMemo(machine, runner)
+                replay_events_memo(recorded, runner, memo)
+            else:
+                replay_events(recorded, runner.on_event)
+            phase.annotate(events=runner.events)
         output = list(recorded.output)
         guest_steps = recorded.guest_steps
     else:
-        guest = _make_vm(vm, source, max_steps)
+        with obs.span("compile", vm=vm, guest=True):
+            guest = _make_vm(vm, source, max_steps)
         if mode != "off":
-            recorder = TraceRecorder(runner.on_event)
-            output = guest.run(trace=recorder.hook)
-            trace_store.put(key, recorder.seal(output, guest.steps))
+            with obs.span("record") as phase:
+                recorder = TraceRecorder(runner.on_event)
+                output = guest.run(trace=recorder.hook)
+                phase.annotate(events=runner.events)
+            with obs.span("cache", store="traces"):
+                trace_store.put(key, recorder.seal(output, guest.steps))
         else:
-            output = guest.run(trace=runner.on_event)
+            with obs.span("simulate") as phase:
+                output = guest.run(trace=runner.on_event)
+                phase.annotate(events=runner.events)
         guest_steps = guest.steps
     runner.finish()
 
@@ -207,6 +219,10 @@ def simulate(
         metrics["replayed"] = recorded is not None
         metrics["memo_hits"] = memo.hits if memo is not None else 0
         metrics["memo_events"] = memo.events_skipped if memo is not None else 0
+        # Per-component uarch counter export: the telemetry layer attaches
+        # it to the job span, `scd-repro profile` prints it.  One small
+        # dict per multi-second simulation — noise next to the run itself.
+        metrics["uarch"] = stats.component_counters()
     return SimResult(
         vm=vm,
         scheme=scheme,

@@ -99,6 +99,9 @@ def _quarantine_entry(
     from repro.harness.parallel import METRICS
 
     METRICS.quarantined += 1
+    from repro import obs
+
+    obs.event("quarantine", store=store, entry=path.name, reason=reason)
     return dest
 
 

@@ -7,16 +7,19 @@ Commands::
     scd-repro figure7              # any experiment id from the registry
     scd-repro all                  # every experiment, in paper order
     scd-repro report               # regenerate EXPERIMENTS.md content
+    scd-repro profile fibo         # bytecode + uarch profile of one workload
     scd-repro clear-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
+from repro import obs
 from repro.core.simulation import SCHEMES, simulate
 from repro.harness import faults
 from repro.harness.cache import DEFAULT_CACHE, DEFAULT_TRACE_STORE
@@ -127,6 +130,51 @@ def _cmd_verify(args) -> int:
     return 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.vm.profile import profile_workload
+
+    with obs.span("experiment", experiment=f"profile:{args.workload}"):
+        profile = profile_workload(args.workload, vm=args.vm)
+        run_metrics: dict = {}
+        simulate(
+            args.workload,
+            vm=args.vm,
+            scheme=args.scheme,
+            config=CONFIG_PRESETS[args.machine](),
+            metrics=run_metrics,
+        )
+    uarch = run_metrics.get("uarch", {})
+    if args.json:
+        payload = profile.to_dict(top=args.top)
+        payload["machine"] = args.machine
+        payload["scheme"] = args.scheme
+        payload["uarch"] = uarch
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    steps = max(profile.steps, 1)
+    print(f"{args.vm}/{args.workload}: {profile.steps} bytecodes executed")
+    print("\ntop opcodes:")
+    for name, count in profile.top_opcodes(args.top):
+        print(f"  {name:<24} {count:>12}  {count / steps:7.2%}")
+    print("\ntop adjacent pairs (superinstruction candidates):")
+    for name, count in profile.top_pairs(args.top):
+        print(f"  {name:<36} {count:>12}")
+    print("\ndispatch-site mix:")
+    for site, share in profile.site_mix().items():
+        print(f"  {site:<12} {share:7.2%}")
+    print(f"\nuarch counters ({args.scheme} on {args.machine}):")
+    for component, counters in uarch.items():
+        print(f"  {component}:")
+        for key, value in counters.items():
+            if isinstance(value, dict):
+                print(f"    {key}:")
+                for sub_key, sub_value in value.items():
+                    print(f"      {sub_key:<22} {sub_value}")
+            else:
+                print(f"    {key:<24} {value}")
+    return 0
+
+
 def _cmd_clear_cache(_args) -> int:
     DEFAULT_CACHE.clear()
     DEFAULT_TRACE_STORE.clear()
@@ -174,6 +222,15 @@ def main(argv: list[str] | None = None) -> int:
         help="inject a deterministic fault for testing the degraded paths: "
         "kill-worker:N, fail-job:N, delay-job:N:SECONDS or corrupt-shard:N "
         "(repeatable; equivalent to SCD_FAULT)",
+    )
+    parser.add_argument(
+        "--trace-log",
+        metavar="PATH",
+        default=None,
+        help="write a span-trace JSONL log of this invocation to PATH; "
+        "pool workers append to the same file (equivalent to "
+        "SCD_TRACE_LOG; validate with 'python -m repro.obs PATH', "
+        "schema in docs/OBSERVABILITY.md)",
     )
     trace_group = parser.add_mutually_exclusive_group()
     trace_group.add_argument(
@@ -238,6 +295,29 @@ def main(argv: list[str] | None = None) -> int:
         help="report failures without minimizing them into tests/corpus/",
     )
 
+    profile_parser = sub.add_parser(
+        "profile",
+        help="dynamic bytecode profile + per-component uarch counters "
+        "for one workload",
+    )
+    profile_parser.add_argument("workload", choices=workload_names())
+    profile_parser.add_argument("--vm", choices=("lua", "js"), default="lua")
+    profile_parser.add_argument(
+        "--scheme",
+        choices=SCHEMES + ("ttc", "cascaded", "ittage", "superinst"),
+        default="scd",
+    )
+    profile_parser.add_argument(
+        "--machine", choices=tuple(CONFIG_PRESETS), default="cortex-a5"
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="rows per histogram (default 10)",
+    )
+    profile_parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
     for name in EXPERIMENTS:
         sub.add_parser(name, help=f"reproduce {name}")
     sub.add_parser("all", help="run every experiment")
@@ -267,6 +347,21 @@ def main(argv: list[str] | None = None) -> int:
         set_default_trace_mode("replay")
     elif args.no_trace_cache:
         set_default_trace_mode("off")
+    trace_log = args.trace_log or os.environ.get(obs.TRACE_ENV)
+    if trace_log:
+        obs.configure(trace_log)
+    try:
+        with obs.span("sweep", command=args.command) as sweep:
+            code = _dispatch(args)
+            # The run's throughput/fault counters land on the sweep close,
+            # so one record summarizes the whole invocation.
+            sweep.annotate(exit_code=code, **METRICS.as_dict())
+        return code
+    finally:
+        obs.close()
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         return _cmd_list(args)
     if args.command == "run":
@@ -277,6 +372,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
     return _cmd_experiment(args.command)

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.results import SimResult, geomean
+from repro import obs
+from repro.core.results import SimResult, geomean, geomean_or_none
 from repro.harness.cache import DEFAULT_CACHE, ResultCache
 from repro.harness.parallel import SimJob, execute_job, run_jobs
-from repro.harness.tables import format_bar_chart, format_table, pct
+from repro.harness.tables import fmt, format_bar_chart, format_table, pct
 from repro.power.model import AreaPowerModel, edp_improvement
 from repro.uarch.config import CoreConfig, cortex_a5, cortex_a8, rocket
 from repro.workloads import workload_names
@@ -114,14 +115,18 @@ _NON_BASE = ("threaded", "vbbi", "scd")
 
 
 def _speedups(matrix: dict, workloads, schemes=_NON_BASE) -> dict:
-    """Per-scheme speedup lists (+geomean appended) over the baseline."""
+    """Per-scheme speedup lists (+geomean appended) over the baseline.
+
+    The appended geomean degrades to ``None`` (rendered ``"n/a"``) when
+    a degenerate point makes it undefined, instead of killing the sweep.
+    """
     out = {}
     for scheme in schemes:
         values = [
             matrix[(w, "baseline")].cycles / matrix[(w, scheme)].cycles
             for w in workloads
         ]
-        values.append(geomean(values))
+        values.append(geomean_or_none(values))
         out[scheme] = values
     return out
 
@@ -149,11 +154,13 @@ def figure2(vm: str = "lua", cache=DEFAULT_CACHE) -> ExperimentResult:
         other_series.append(other)
         rows.append([name, f"{dispatch:.2f}", f"{other:.2f}", f"{total:.2f}",
                      f"{dispatch / total * 100 if total else 0:.0f}%"])
-    gd, go = geomean([max(v, 1e-3) for v in dispatch_series]), geomean(
-        [max(v, 1e-3) for v in other_series]
-    )
-    rows.append(["GEOMEAN", f"{gd:.2f}", f"{go:.2f}", f"{gd + go:.2f}",
-                 f"{gd / (gd + go) * 100:.0f}%"])
+    gd = geomean_or_none([max(v, 1e-3) for v in dispatch_series])
+    go = geomean_or_none([max(v, 1e-3) for v in other_series])
+    if gd is not None and go is not None:
+        rows.append(["GEOMEAN", f"{gd:.2f}", f"{go:.2f}", f"{gd + go:.2f}",
+                     f"{gd / (gd + go) * 100:.0f}%"])
+    else:
+        rows.append(["GEOMEAN", "n/a", "n/a", "n/a", "n/a"])
     text = format_table(
         ["benchmark", "dispatch-jump MPKI", "other MPKI", "total", "dispatch share"],
         rows,
@@ -185,8 +192,10 @@ def figure3(vm: str = "lua", cache=DEFAULT_CACHE) -> ExperimentResult:
     for name, result in zip(workloads, results):
         fractions.append(result.dispatch_fraction)
         rows.append([name, f"{result.dispatch_fraction * 100:.1f}%"])
-    mean = geomean(fractions)
-    rows.append(["GEOMEAN", f"{mean * 100:.1f}%"])
+    mean = geomean_or_none(fractions)
+    rows.append(
+        ["GEOMEAN", "n/a" if mean is None else f"{mean * 100:.1f}%"]
+    )
     text = format_table(
         ["benchmark", "dispatch instructions"],
         rows,
@@ -227,7 +236,7 @@ def figure7(cache=DEFAULT_CACHE) -> ExperimentResult:
         speedups = _speedups(matrices[vm], workloads)
         data[vm] = speedups
         rows = [
-            [w] + [f"{speedups[s][i]:.3f}" for s in _NON_BASE]
+            [w] + [fmt(speedups[s][i]) for s in _NON_BASE]
             for i, w in enumerate(workloads + ["GEOMEAN"])
         ]
         chunks.append(
@@ -256,11 +265,11 @@ def figure8(cache=DEFAULT_CACHE) -> ExperimentResult:
                 matrix[(w, scheme)].instructions / matrix[(w, "baseline")].instructions
                 for w in workloads
             ]
-            values.append(geomean(values))
+            values.append(geomean_or_none(values))
             norm[scheme] = values
         data[vm] = norm
         rows = [
-            [w] + [f"{norm[s][i]:.3f}" for s in _NON_BASE]
+            [w] + [fmt(norm[s][i]) for s in _NON_BASE]
             for i, w in enumerate(workloads + ["GEOMEAN"])
         ]
         chunks.append(
@@ -287,11 +296,11 @@ def _mpki_figure(metric: str, figure_id: str, title: str, cache) -> ExperimentRe
         values = {}
         for scheme in _ALL_SCHEMES:
             series = [getattr(matrix[(w, scheme)], metric) for w in workloads]
-            series.append(geomean([max(v, 1e-3) for v in series]))
+            series.append(geomean_or_none([max(v, 1e-3) for v in series]))
             values[scheme] = series
         data[vm] = values
         rows = [
-            [w] + [f"{values[s][i]:.2f}" for s in _ALL_SCHEMES]
+            [w] + [fmt(values[s][i], ".2f") for s in _ALL_SCHEMES]
             for i, w in enumerate(workloads + ["GEOMEAN"])
         ]
         chunks.append(
@@ -343,8 +352,10 @@ def table4(cache=DEFAULT_CACHE) -> ExperimentResult:
     geo_row = ["GEOMEAN", "", ""]
     summary = {}
     for scheme in ("threaded", "scd"):
-        geo_saving = geomean([1 + s for s in savings[scheme]]) - 1
-        geo_speed = geomean([1 + s for s in speedups[scheme]]) - 1
+        geo_saving = geomean_or_none([1 + s for s in savings[scheme]])
+        geo_speed = geomean_or_none([1 + s for s in speedups[scheme]])
+        geo_saving = geo_saving - 1 if geo_saving is not None else None
+        geo_speed = geo_speed - 1 if geo_speed is not None else None
         summary[scheme] = {"savings": geo_saving, "speedup": geo_speed}
         geo_row += ["", "", pct(geo_saving, 2), pct(geo_speed, 2)]
     rows.append(geo_row)
@@ -466,9 +477,9 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
                 / lookup[(vm, "size", size, "scd", w)].cycles
                 for w in workloads
             ]
-            by_size[size] = geomean(values)
+            by_size[size] = geomean_or_none(values)
         data[f"{vm}_by_size"] = by_size
-        rows = [[str(size), f"{by_size[size]:.3f}"] for size in BTB_SIZES]
+        rows = [[str(size), fmt(by_size[size])] for size in BTB_SIZES]
         chunks.append(
             format_table(
                 ["BTB entries", "SCD geomean speedup"],
@@ -484,9 +495,9 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
                 / lookup[(vm, "cap", cap, "scd", w)].cycles
                 for w in workloads
             ]
-            by_cap[cap if cap else "inf"] = geomean(values)
+            by_cap[cap if cap else "inf"] = geomean_or_none(values)
         data[f"{vm}_by_cap"] = by_cap
-        rows = [[str(cap), f"{value:.3f}"] for cap, value in by_cap.items()]
+        rows = [[str(cap), fmt(value)] for cap, value in by_cap.items()]
         chunks.append(
             format_table(
                 ["JTE cap", "SCD geomean speedup (BTB=64)"],
@@ -516,15 +527,19 @@ def higher_end(cache=DEFAULT_CACHE) -> ExperimentResult:
             1 - matrix[(w, "scd")].instructions / matrix[(w, "baseline")].instructions
             for w in workloads
         ]
+        speedup_geo = geomean_or_none(speedups)
+        inst_geo = geomean_or_none([1 + i for i in inst])
         data[vm] = {
-            "speedup_geomean": geomean(speedups),
-            "inst_reduction_geomean": geomean([1 + i for i in inst]) - 1,
+            "speedup_geomean": speedup_geo,
+            "inst_reduction_geomean": (
+                inst_geo - 1 if inst_geo is not None else None
+            ),
         }
         rows = [
             [w, f"{speedups[i]:.3f}", pct(inst[i])] for i, w in enumerate(workloads)
         ]
-        rows.append(["GEOMEAN", f"{geomean(speedups):.3f}",
-                     pct(geomean([1 + i for i in inst]) - 1)])
+        rows.append(["GEOMEAN", fmt(speedup_geo),
+                     pct(data[vm]["inst_reduction_geomean"])])
         chunks.append(
             format_table(
                 ["benchmark", "SCD speedup", "inst reduction"],
@@ -551,8 +566,8 @@ def ablation_stall_policy(cache=DEFAULT_CACHE) -> ExperimentResult:
             base = cached_simulate(w, "lua", "baseline", cache=cache)
             scd = cached_simulate(w, "lua", "scd", config=config, cache=cache)
             values.append(base.cycles / scd.cycles)
-        data[policy] = geomean(values)
-        rows.append([policy, f"{geomean(values):.3f}"])
+        data[policy] = geomean_or_none(values)
+        rows.append([policy, fmt(data[policy])])
     text = format_table(
         ["bop policy", "SCD geomean speedup (lua)"],
         rows,
@@ -578,8 +593,8 @@ def ablation_context_switch(cache=DEFAULT_CACHE) -> ExperimentResult:
             )
             values.append(base.cycles / scd.cycles)
         label = "never" if interval is None else str(interval)
-        data[label] = geomean(values)
-        rows.append([label, f"{geomean(values):.3f}"])
+        data[label] = geomean_or_none(values)
+        rows.append([label, fmt(data[label])])
     text = format_table(
         ["switch every N bytecodes", "SCD geomean speedup (lua)"],
         rows,
@@ -601,8 +616,8 @@ def ablation_indirect_predictors(cache=DEFAULT_CACHE) -> ExperimentResult:
             base = cached_simulate(w, "lua", "baseline", cache=cache)
             cand = cached_simulate(w, "lua", scheme, cache=cache)
             values.append(base.cycles / cand.cycles)
-        data[scheme] = geomean(values)
-        rows.append([scheme, f"{geomean(values):.3f}"])
+        data[scheme] = geomean_or_none(values)
+        rows.append([scheme, fmt(data[scheme])])
     text = format_table(
         ["scheme", "geomean speedup (lua)"],
         rows,
@@ -629,11 +644,11 @@ def ablation_software_techniques(cache=DEFAULT_CACHE) -> ExperimentResult:
             speed_values.append(base.cycles / cand.cycles)
             inst_values.append(cand.instructions / base.instructions)
         data[scheme] = {
-            "speedup": geomean(speed_values),
-            "inst_ratio": geomean(inst_values),
+            "speedup": geomean_or_none(speed_values),
+            "inst_ratio": geomean_or_none(inst_values),
         }
         rows.append(
-            [scheme, f"{geomean(speed_values):.3f}", f"{geomean(inst_values):.3f}"]
+            [scheme, fmt(data[scheme]["speedup"]), fmt(data[scheme]["inst_ratio"])]
         )
     text = format_table(
         ["technique", "geomean speedup (lua)", "inst ratio"],
@@ -663,8 +678,8 @@ def ablation_switch_policy(cache=DEFAULT_CACHE) -> ExperimentResult:
                 context_switch_policy=policy,
             )
             values.append(base.cycles / scd.cycles)
-        data[policy] = geomean(values)
-        rows.append([policy, f"{geomean(values):.3f}"])
+        data[policy] = geomean_or_none(values)
+        rows.append([policy, fmt(data[policy])])
     text = format_table(
         ["JTE policy at switch", f"SCD geomean speedup (lua, switch every {interval})"],
         rows,
@@ -724,11 +739,13 @@ EXPERIMENTS = {
 
 
 def run_experiment(name: str, cache=DEFAULT_CACHE) -> ExperimentResult:
-    """Run one registered experiment by name."""
+    """Run one registered experiment by name (as an ``experiment`` span
+    when a trace log is live, so its jobs nest under it)."""
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         ) from None
-    return fn(cache=cache)
+    with obs.span("experiment", experiment=name):
+        return fn(cache=cache)

@@ -151,6 +151,12 @@ class FaultPlan:
         for spec in self._job_specs:
             if spec.nth != tick:
                 continue
+            from repro import obs
+
+            obs.event(
+                "fault_injected", fault=spec.kind, tick=tick,
+                vm=job.vm, scheme=job.scheme, workload=job.workload,
+            )
             if spec.kind == "kill-worker":
                 if multiprocessing.parent_process() is not None:
                     os._exit(KILL_EXIT_CODE)

@@ -40,8 +40,9 @@ import time
 import traceback
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
+from repro import obs
 from repro.core.results import SimResult
 from repro.core.simulation import scheme_parts, simulate
 from repro.harness.cache import (
@@ -240,19 +241,20 @@ class ThroughputMetrics:
             self.interp_wall_s += wall
 
     def reset(self) -> None:
-        self.sims = 0
-        self.cache_hits = 0
-        self.events = 0
-        self.sim_wall_s = 0.0
-        self.events_replayed = 0
-        self.events_interpreted = 0
-        self.replay_wall_s = 0.0
-        self.interp_wall_s = 0.0
-        self.memo_events = 0
-        self.retries = 0
-        self.timeouts = 0
-        self.worker_deaths = 0
-        self.quarantined = 0
+        """Zero *every* counter, by dataclass-field introspection.
+
+        The old hand-written list silently missed the PR-4 fault
+        counters, so a second CLI subcommand in the same process opened
+        with the previous run's retries/timeouts/worker-deaths in its
+        footer.  Resetting from ``fields()`` makes a forgotten new
+        counter impossible rather than merely unlikely.
+        """
+        for spec in fields(self):
+            setattr(self, spec.name, spec.default)
+
+    def as_dict(self) -> dict:
+        """Every counter as a plain dict (sweep-span and report export)."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
 
     def trace_savings_s(self) -> float | None:
         """Estimated wall time the sweep saved by replaying recorded
@@ -413,36 +415,53 @@ def execute_job(
 
     Returns ``(result, meta)`` where *meta* carries the throughput
     metadata of :func:`repro.core.simulation.simulate` plus a ``cached``
-    flag.  Records into :data:`METRICS`.
+    flag.  Records into :data:`METRICS`.  When a trace log is live (see
+    :mod:`repro.obs`) each call emits a ``job`` span with the grid key,
+    cache outcome and per-component uarch counters attached.
     """
-    key = job.cache_key()
-    if cache is not None:
-        hit = cache.get(key)
-        if hit is not None:
-            METRICS.record_hit()
-            return hit, {"cached": True}
-    fault_plan = get_fault_plan()
-    if fault_plan is not None:
-        fault_plan.on_job_start(job)
-    if trace_store is None and cache is not None:
-        trace_store = TraceStore(root=cache.root)
-    meta: dict = {}
-    result = simulate(
-        job.workload,
-        vm=job.vm,
-        scheme=job.scheme,
-        config=job.resolved_config(),
+    with obs.span(
+        "job", vm=job.vm, scheme=job.scheme, workload=job.workload,
         scale=job.scale,
-        metrics=meta,
-        trace_store=trace_store,
-        trace_mode=trace_mode,
-        **dict(job.kwargs),
-    )
-    if cache is not None:
-        cache.put(key, result)
-    METRICS.record_sim(meta)
-    meta["cached"] = False
-    return result, meta
+    ) as job_span:
+        key = job.cache_key()
+        if cache is not None:
+            with obs.span("cache", store="results") as probe:
+                hit = cache.get(key)
+                probe.annotate(hit=hit is not None)
+            if hit is not None:
+                METRICS.record_hit()
+                job_span.annotate(cached=True)
+                return hit, {"cached": True}
+        fault_plan = get_fault_plan()
+        if fault_plan is not None:
+            fault_plan.on_job_start(job)
+        if trace_store is None and cache is not None:
+            trace_store = TraceStore(root=cache.root)
+        meta: dict = {}
+        result = simulate(
+            job.workload,
+            vm=job.vm,
+            scheme=job.scheme,
+            config=job.resolved_config(),
+            scale=job.scale,
+            metrics=meta,
+            trace_store=trace_store,
+            trace_mode=trace_mode,
+            **dict(job.kwargs),
+        )
+        if cache is not None:
+            with obs.span("cache", store="results", op="put"):
+                cache.put(key, result)
+        METRICS.record_sim(meta)
+        meta["cached"] = False
+        job_span.annotate(
+            cached=False,
+            events=meta.get("events", 0),
+            wall_s=round(meta.get("wall_s", 0.0), 6),
+            replayed=bool(meta.get("replayed")),
+            uarch=meta.get("uarch", {}),
+        )
+        return result, meta
 
 
 def _pool_run(
@@ -450,10 +469,17 @@ def _pool_run(
     cache_name: str | None,
     cache_root: str | None,
     trace_mode: str | None = None,
+    trace_parent: str | None = None,
 ):
     """Worker-process body.  Never raises: failures come back as values so
-    the parent can surface the grid key instead of a bare pool traceback."""
+    the parent can surface the grid key instead of a bare pool traceback.
+
+    *trace_parent* is the span the parent process was inside when it
+    submitted this job; when a trace log is exported (``SCD_TRACE_LOG``)
+    the worker appends its spans there, rooted under that id, so the
+    parent's log holds the whole merged tree."""
     try:
+        obs.adopt_worker(trace_parent)
         quarantined_before = METRICS.quarantined
         cache = None
         if cache_name is not None:
@@ -574,8 +600,12 @@ def _pool_round(
     futures: dict = {}
     try:
         submitted_at = time.monotonic()
+        trace_parent = obs.current_span_id()
         for key, job in pending:
-            future = pool.submit(_pool_run, job, cache_name, cache_root, trace_mode)
+            future = pool.submit(
+                _pool_run, job, cache_name, cache_root, trace_mode,
+                trace_parent,
+            )
             futures[future] = (key, job)
         deadlines = (
             {future: submitted_at + job_timeout for future in futures}

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from repro.core.results import geomean
 from repro.harness.cache import DEFAULT_CACHE
 from repro.harness.parallel import METRICS
+from repro.obs.regress import render_telemetry_section
 from repro.harness.experiments import (
     PAPER,
     figure2,
@@ -18,7 +18,7 @@ from repro.harness.experiments import (
     table4,
     table5,
 )
-from repro.harness.tables import format_table, pct
+from repro.harness.tables import fmt, format_table, pct
 
 
 def _comparison_table(rows) -> str:
@@ -29,8 +29,15 @@ def _comparison_table(rows) -> str:
     )
 
 
-def _verdict(paper: float, measured: float, band: float) -> str:
-    if paper == 0:
+def _verdict(paper: float, measured: float | None, band: float) -> str:
+    """Paper-vs-measured verdict for one summary quantity.
+
+    ``n/a`` when the comparison is meaningless: the paper value is zero,
+    the measurement is zero (a degenerate/empty workload set — claiming
+    "same direction" there would dress up a non-result), or the summary
+    statistic itself degraded to ``None``.
+    """
+    if paper == 0 or measured is None or measured == 0:
         return "n/a"
     if abs(measured - paper) <= band:
         return "MATCH"
@@ -39,26 +46,46 @@ def _verdict(paper: float, measured: float, band: float) -> str:
     return "DIVERGES"
 
 
+def _dispatch_share(fig2_data: dict) -> float | None:
+    """Dispatch-jump share of all misprediction events, or ``None`` for a
+    degenerate workload set with no mispredictions at all (the old code
+    divided by the zero total and crashed the whole report)."""
+    dispatch = sum(fig2_data["dispatch_mpki"])
+    total = dispatch + sum(fig2_data["other_mpki"])
+    if total <= 0:
+        return None
+    return dispatch / total
+
+
+def _minus_one(value: float | None) -> float | None:
+    return value - 1 if value is not None else None
+
+
 def generate_report(cache=DEFAULT_CACHE) -> str:
     """Compute every experiment and render the paper-vs-measured report."""
     sections: list[str] = []
 
     # Figures 2-3.
     fig2 = figure2(cache=cache)
-    dispatch_share = sum(fig2.data["dispatch_mpki"]) / (
-        sum(fig2.data["dispatch_mpki"]) + sum(fig2.data["other_mpki"])
-    )
+    dispatch_share = _dispatch_share(fig2.data)
     fig3 = figure3(cache=cache)
+    share_text = (
+        "n/a (no misprediction events)"
+        if dispatch_share is None
+        else f"{dispatch_share:.0%} of misprediction events"
+    )
+    fig3_geomean = fig3.data["geomean"]
     sections.append(
         "## Figure 2 — branch MPKI breakdown (Lua baseline)\n\n"
         "Paper: most baseline mispredictions come from the dispatch "
         f"indirect jump.  Measured: the dispatch jump accounts for "
-        f"{dispatch_share:.0%} of misprediction events.\n\n```\n{fig2.text}\n```"
+        f"{share_text}.\n\n```\n{fig2.text}\n```"
     )
     sections.append(
         "## Figure 3 — dispatch-instruction fraction (Lua baseline)\n\n"
         f"Paper: \"more than 25%\" on average.  Measured geomean: "
-        f"{fig3.data['geomean']:.1%}.\n\n```\n{fig3.text}\n```"
+        f"{'n/a' if fig3_geomean is None else format(fig3_geomean, '.1%')}."
+        f"\n\n```\n{fig3.text}\n```"
     )
 
     # Figure 7.
@@ -66,7 +93,7 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
     rows = []
     for vm in ("lua", "js"):
         for scheme in ("threaded", "vbbi", "scd"):
-            measured = fig7.data[vm][scheme][-1] - 1
+            measured = _minus_one(fig7.data[vm][scheme][-1])
             paper = PAPER[f"fig7_{vm}"][scheme]
             rows.append(
                 [
@@ -88,7 +115,7 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
     fig8 = figure8(cache=cache)
     rows = []
     for vm in ("lua", "js"):
-        measured = fig8.data[vm]["scd"][-1] - 1
+        measured = _minus_one(fig8.data[vm]["scd"][-1])
         paper = PAPER[f"fig8_{vm}_scd"]
         rows.append(
             [
@@ -111,7 +138,11 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
     rows = []
     for vm, key in (("lua", "fig9_lua_scd"), ("js", "fig9_js_scd")):
         series = fig9.data[vm]
-        measured = series["scd"][-1] / series["baseline"][-1] - 1
+        measured = (
+            series["scd"][-1] / series["baseline"][-1] - 1
+            if series["scd"][-1] is not None and series["baseline"][-1]
+            else None
+        )
         rows.append(
             [
                 f"{vm} SCD branch-MPKI delta",
@@ -135,13 +166,13 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
         [
             "lua baseline I-cache MPKI",
             f"{PAPER['fig10_lua_baseline_mpki']:.2f}",
-            f"{lua['baseline'][-1]:.2f}",
+            fmt(lua["baseline"][-1], ".2f"),
             "same regime",
         ],
         [
             "lua jump-threading I-cache MPKI",
             f"{PAPER['fig10_lua_threaded_mpki']:.2f}",
-            f"{lua['threaded'][-1]:.2f}",
+            fmt(lua["threaded"][-1], ".2f"),
             "direction only (see notes)",
         ],
     ]
@@ -243,6 +274,10 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
         + he.text
         + "\n```"
     )
+
+    # Telemetry: this regeneration's throughput, diffed against the
+    # recorded benchmark baseline (see repro.obs.regress).
+    sections.append("## Telemetry\n\n" + render_telemetry_section(METRICS))
 
     # Run health: surfaced only when this regeneration hit a degraded
     # path (retried jobs, per-job timeouts, dead workers, quarantined

@@ -87,6 +87,19 @@ def format_bar_chart(
     return "\n".join(lines)
 
 
-def pct(value: float, digits: int = 1) -> str:
-    """Format a ratio as a signed percent string (0.102 -> '+10.2%')."""
+def pct(value: float | None, digits: int = 1) -> str:
+    """Format a ratio as a signed percent string (0.102 -> '+10.2%').
+
+    ``None`` — a degraded summary statistic, see
+    :func:`repro.core.results.geomean_or_none` — renders as ``"n/a"``.
+    """
+    if value is None:
+        return "n/a"
     return f"{value * 100:+.{digits}f}%"
+
+
+def fmt(value: float | None, spec: str = ".3f") -> str:
+    """``format(value, spec)`` with ``None`` rendered as ``"n/a"``."""
+    if value is None:
+        return "n/a"
+    return format(value, spec)

@@ -1,0 +1,45 @@
+"""``repro.obs`` — structured telemetry for the reproduction harness.
+
+Three pieces:
+
+* :mod:`repro.obs.trace` — hierarchical timed spans (sweep → experiment
+  → job → phases) written as versioned JSONL through a process-safe
+  sink that merges worker-process events into the parent's log.
+* :mod:`repro.obs.schema` — the read side: parse a log, rebuild the
+  span tree, and validate it (``python -m repro.obs trace.jsonl``).
+* :mod:`repro.obs.regress` — diff a run's throughput summary against
+  ``BENCH_dispatch.json`` for the report's "Telemetry" section.
+
+The tracer is off by default and every instrumentation point costs one
+attribute check when off, so telemetry-free runs keep their throughput.
+Enable it with ``scd-repro --trace-log PATH <command>`` or the
+``SCD_TRACE_LOG`` environment variable; see ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.trace import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    TRACE_ENV,
+    TRACER,
+    active,
+    adopt_worker,
+    close,
+    configure,
+    current_span_id,
+    event,
+    span,
+)
+
+__all__ = [
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "TRACE_ENV",
+    "TRACER",
+    "active",
+    "adopt_worker",
+    "close",
+    "configure",
+    "current_span_id",
+    "event",
+    "span",
+]

@@ -1,0 +1,51 @@
+"""Trace-log validator CLI: ``python -m repro.obs TRACE.jsonl``.
+
+Exit status 0 when the log parses, every span is closed and every
+worker event is rooted in the parent process; 1 otherwise (CI fails the
+build on that).  ``--expect-workers N`` additionally requires spans
+from at least N distinct worker processes — the parallel-sweep smoke
+uses it to prove the merge actually happened.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.schema import summarize, validate_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="validate a scd-trace JSONL span log",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace log")
+    parser.add_argument(
+        "--expect-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require spans from at least N worker processes",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress the summary"
+    )
+    args = parser.parse_args(argv)
+
+    log = validate_file(args.trace)
+    if not args.quiet:
+        print(summarize(log))
+    workers = len(log.worker_pids())
+    if workers < args.expect_workers:
+        log.errors.append(
+            f"expected spans from >= {args.expect_workers} worker "
+            f"process(es), found {workers}"
+        )
+    for error in log.errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    return 1 if log.errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""Hierarchical span tracing with a process-safe JSONL sink.
+
+The harness runs sweeps as trees of timed work — sweep → experiment →
+job → {cache, compile, record, replay, simulate} — across several
+processes at once.  This module records that tree as versioned JSONL so
+a slow sweep, a wrong counter or a diverging figure can be interrogated
+after the fact (see ``docs/OBSERVABILITY.md`` for the schema).
+
+One :class:`Tracer` per process writes to a shared log file:
+
+* The parent process calls :func:`configure`, which truncates the log,
+  writes the ``meta`` record and exports the path via ``SCD_TRACE_LOG``
+  — the same export discipline the fault-injection layer uses for
+  ``SCD_FAULT_DIR`` (:mod:`repro.harness.faults`), so pool workers see
+  it whether they were forked or spawned.
+* Worker processes call :func:`adopt_worker` with the span id the
+  parent was inside at submission time; their spans append to the same
+  file, rooted under that remote parent, so one log holds the whole
+  merged tree.
+
+Every record is serialized to one line and written with a single
+``os.write`` on an ``O_APPEND`` descriptor, which the kernel applies
+atomically, so concurrent writers interleave whole lines, never bytes.
+Records are kept small (attribute payloads are bounded counter dicts)
+to stay comfortably within that guarantee.
+
+When no log is configured, :func:`span` returns a shared no-op context
+manager and :func:`event` returns immediately — telemetry-off runs pay
+one attribute check per call site, nothing more.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+#: Stamped on every record as ``"v"``; bump when a field changes meaning.
+SCHEMA_VERSION = 1
+
+#: Schema family name stamped on the ``meta`` record.
+SCHEMA_NAME = "scd-trace"
+
+#: Environment variable carrying the active log path into workers.
+TRACE_ENV = "SCD_TRACE_LOG"
+
+
+class Span:
+    """One open span.  Close it with :meth:`Tracer.end` (the context
+    manager from :func:`span` does this for you)."""
+
+    __slots__ = ("id", "name", "parent", "t0", "attrs")
+
+    def __init__(self, span_id: str, name: str, parent: str | None, t0: float):
+        self.id = span_id
+        self.name = name
+        self.parent = parent
+        self.t0 = t0
+        self.attrs: dict = {}
+
+
+class Tracer:
+    """Per-process span stack writing to one shared JSONL sink."""
+
+    def __init__(self):
+        self._fd: int | None = None
+        self.path: str | None = None
+        self._stack: list[Span] = []
+        self._seq = 0
+        self._adopted: str | None = None
+        self._pid: int | None = None
+        self._exported = False
+
+    @property
+    def active(self) -> bool:
+        return self._fd is not None
+
+    @property
+    def current_id(self) -> str | None:
+        """The innermost open span id (falling back to the adopted remote
+        parent in worker processes), or ``None`` at the root."""
+        if self._stack:
+            return self._stack[-1].id
+        return self._adopted
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def configure(self, path: str | os.PathLike) -> None:
+        """Start a fresh trace log at *path* and export it to workers."""
+        self.close()
+        self._open(os.fspath(path), truncate=True)
+        os.environ[TRACE_ENV] = self.path
+        self._exported = True
+        self._write(
+            {
+                "v": SCHEMA_VERSION,
+                "kind": "meta",
+                "schema": SCHEMA_NAME,
+                "pid": os.getpid(),
+                "t": time.time(),
+                "argv": list(sys.argv),
+            }
+        )
+
+    def adopt(self, parent_id: str | None) -> bool:
+        """Enter worker mode: append to the parent's exported log, rooting
+        new spans under the remote *parent_id*.  No-op (returning False)
+        when no log is exported.  Safe to call once per job on a reused
+        pool worker; only the first call in a process opens the file."""
+        path = os.environ.get(TRACE_ENV, "")
+        if not path:
+            return False
+        pid = os.getpid()
+        if self._fd is None or self.path != path or self._pid != pid:
+            # A forked child inherits the parent's descriptor and span
+            # stack; the descriptor would be safe to share (O_APPEND),
+            # but the stack belongs to the parent — start clean.
+            self._open(path, truncate=False)
+        self._stack = []
+        self._adopted = parent_id
+        return True
+
+    def close(self) -> None:
+        """Stop tracing: close the sink and drop the exported path."""
+        if self._fd is not None:
+            os.close(self._fd)
+        self._fd = None
+        self.path = None
+        self._stack = []
+        self._seq = 0
+        self._adopted = None
+        self._pid = None
+        if self._exported:
+            os.environ.pop(TRACE_ENV, None)
+            self._exported = False
+
+    def _open(self, path: str, truncate: bool) -> None:
+        if self._fd is not None:
+            # E.g. a forked worker replacing the descriptor it inherited.
+            os.close(self._fd)
+        flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
+        if truncate:
+            flags |= os.O_TRUNC
+        self._fd = os.open(path, flags, 0o644)
+        self.path = path
+        self._pid = os.getpid()
+        self._exported = False
+
+    # -- records -----------------------------------------------------------
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=repr) + "\n"
+        os.write(self._fd, line.encode("utf-8"))
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{os.getpid():x}-{self._seq:x}"
+
+    def start(self, name: str, attrs: dict | None = None) -> Span:
+        span = Span(self._next_id(), name, self.current_id, time.perf_counter())
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "span_start",
+            "id": span.id,
+            "parent": span.parent,
+            "name": name,
+            "pid": os.getpid(),
+            "t": time.time(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._stack.append(span)
+        self._write(record)
+        return span
+
+    def end(self, span: Span) -> None:
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()  # mismatched ends: drop abandoned children
+        if self._stack:
+            self._stack.pop()
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "span_end",
+            "id": span.id,
+            "name": span.name,
+            "pid": os.getpid(),
+            "t": time.time(),
+            "dur_s": round(time.perf_counter() - span.t0, 9),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+
+    def event(self, name: str, **attrs) -> None:
+        """A point-in-time record attached to the current span."""
+        if not self.active:
+            return
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "event",
+            "parent": self.current_id,
+            "name": name,
+            "pid": os.getpid(),
+            "t": time.time(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+
+
+#: The process-wide tracer (one sink per process, like ``METRICS``).
+TRACER = Tracer()
+
+
+class _NullSpan:
+    """Shared no-op returned by :func:`span` when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager opening a span on entry and closing it on exit.
+
+    :meth:`annotate` accumulates attributes onto the ``span_end`` record
+    — counters measured *during* the span land on its close, so readers
+    get one record per finished unit of work."""
+
+    __slots__ = ("_name", "_start_attrs", "_span")
+
+    def __init__(self, name: str, attrs: dict):
+        self._name = name
+        self._start_attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self):
+        self._span = TRACER.start(self._name, self._start_attrs or None)
+        return self
+
+    def annotate(self, **attrs) -> None:
+        if self._span is not None:
+            self._span.attrs.update(attrs)
+
+    def __exit__(self, exc_type, exc, tb):
+        if self._span is not None:
+            if exc_type is not None:
+                self._span.attrs["error"] = f"{exc_type.__name__}: {exc}"
+            TRACER.end(self._span)
+        return False
+
+
+def configure(path: str | os.PathLike) -> None:
+    """Start tracing this process (and its future workers) into *path*."""
+    TRACER.configure(path)
+
+
+def close() -> None:
+    """Stop tracing and close the sink (idempotent)."""
+    TRACER.close()
+
+
+def active() -> bool:
+    """Whether a trace log is currently configured in this process."""
+    return TRACER.active
+
+
+def span(name: str, **attrs):
+    """Open a timed span named *name*; use as a context manager.
+
+    Attributes passed here land on the ``span_start`` record; attributes
+    added through ``annotate`` land on ``span_end``.  Returns a shared
+    no-op when tracing is off."""
+    if not TRACER.active:
+        return _NULL_SPAN
+    return _SpanContext(name, attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Emit a point-in-time event under the current span (no-op when off)."""
+    TRACER.event(name, **attrs)
+
+
+def current_span_id() -> str | None:
+    """The ambient span id to hand to workers, or ``None`` when off."""
+    if not TRACER.active:
+        return None
+    return TRACER.current_id
+
+
+def adopt_worker(parent_id: str | None) -> bool:
+    """Join the parent's exported trace log from a worker process."""
+    return TRACER.adopt(parent_id)

@@ -152,6 +152,54 @@ class MachineStats:
         )
         return dispatch / self.instructions
 
+    def component_counters(self) -> dict:
+        """Counters grouped by microarchitectural structure.
+
+        The telemetry layer (:mod:`repro.obs`) attaches this export to
+        every job span, so a per-job BTB/JTE, cache, predictor and
+        stall-breakdown record survives the sweep instead of being
+        collapsed into the handful of summary metrics in
+        :class:`~repro.core.results.SimResult`.  Derived rates are
+        rounded so the JSONL records stay compact and diff cleanly.
+        """
+        return {
+            "pipeline": {
+                "cycles": self.cycles,
+                "instructions": self.instructions,
+                "cpi": round(self.cpi, 6),
+                "stall_breakdown": dict(self.cycle_breakdown),
+            },
+            "predictors": {
+                "branches": self.branches,
+                "branch_mispredicts": self.branch_mispredicts,
+                "indirect_jumps": self.indirect_jumps,
+                "indirect_mispredicts": self.indirect_mispredicts,
+                "ras_mispredicts": self.ras_mispredicts,
+                "branch_mpki": round(self.branch_mpki, 4),
+                "mispredicts_by_category": dict(self.mispredicts_by_category),
+            },
+            "btb": {
+                "target_misses": self.btb_target_misses,
+                "jte_inserts": self.jte_inserts,
+                "jte_flushes": self.jte_flushes,
+                "bop_hits": self.bop_hits,
+                "bop_misses": self.bop_misses,
+                "scd_stall_cycles": self.scd_stall_cycles,
+            },
+            "caches": {
+                "icache_accesses": self.icache_accesses,
+                "icache_misses": self.icache_misses,
+                "icache_mpki": round(self.icache_mpki, 4),
+                "dcache_accesses": self.dcache_accesses,
+                "dcache_misses": self.dcache_misses,
+                "dcache_mpki": round(self.dcache_mpki, 4),
+            },
+            "tlb": {
+                "itlb_misses": self.itlb_misses,
+                "dtlb_misses": self.dtlb_misses,
+            },
+        }
+
     # -- delta support (steady-state replay memo) --------------------------
 
     def counter_snapshot(self) -> tuple:

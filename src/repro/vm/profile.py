@@ -56,6 +56,24 @@ class BytecodeProfile:
             Site(site).name: self.sites[site] / total for site in sorted(self.sites)
         }
 
+    def to_dict(self, top: int = 10) -> dict:
+        """JSON-ready summary (``scd-repro profile --json``)."""
+        return {
+            "vm": self.vm,
+            "steps": self.steps,
+            "top_opcodes": [
+                {"op": name, "count": count}
+                for name, count in self.top_opcodes(top)
+            ],
+            "top_pairs": [
+                {"pair": name, "count": count}
+                for name, count in self.top_pairs(top)
+            ],
+            "site_mix": {
+                name: round(share, 6) for name, share in self.site_mix().items()
+            },
+        }
+
     def pair_coverage(self, pairs) -> float:
         """Fraction of dynamic steps covered by fusing *pairs* greedily.
 

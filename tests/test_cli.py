@@ -1,14 +1,17 @@
-"""CLI behavior: trace flags, -j parsing, fault flags, and verify."""
+"""CLI behavior: trace flags, -j parsing, fault flags, verify, telemetry."""
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
 
 import repro.verify
+from repro import obs
 from repro.harness import faults, parallel
 from repro.harness.cli import main
+from repro.harness.parallel import METRICS
 from repro.vm import capture
 
 
@@ -16,6 +19,7 @@ from repro.vm import capture
 def _reset_cli_globals(monkeypatch):
     """The CLI installs process-wide defaults; undo them after each test."""
     monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+    monkeypatch.delenv(obs.TRACE_ENV, raising=False)
     faults.reset_plan_cache()
     yield
     parallel.set_default_workers(None)
@@ -23,7 +27,10 @@ def _reset_cli_globals(monkeypatch):
     parallel.set_default_job_timeout(None)
     capture.set_default_trace_mode(None)
     os.environ.pop(faults.FAULT_ENV, None)
+    os.environ.pop(obs.TRACE_ENV, None)
     faults.reset_plan_cache()
+    obs.close()
+    METRICS.reset()
 
 
 class TestTraceFlags:
@@ -179,3 +186,86 @@ class TestListCommand:
         out = capsys.readouterr().out
         assert "experiments:" in out
         assert "scd" in out
+
+
+class TestTraceLogFlag:
+    def test_writes_valid_trace_with_sweep_span(self, tmp_path):
+        from repro.obs.schema import validate_file
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["--trace-log", str(path), "list"]) == 0
+        log = validate_file(path)
+        assert log.ok, log.errors
+        (sweep,) = log.by_name("sweep")
+        assert sweep.attrs["command"] == "list"
+        assert sweep.attrs["exit_code"] == 0
+        # The sweep close carries every throughput/fault counter.
+        assert "retries" in sweep.attrs
+        assert "sims" in sweep.attrs
+
+    def test_env_var_equivalent(self, tmp_path, monkeypatch):
+        from repro.obs.schema import validate_file
+
+        path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV, str(path))
+        assert main(["list"]) == 0
+        assert validate_file(path).ok
+
+    def test_tracer_closed_after_invocation(self, tmp_path):
+        assert main(["--trace-log", str(tmp_path / "t.jsonl"), "list"]) == 0
+        assert not obs.active()
+        assert obs.TRACE_ENV not in os.environ
+
+
+class TestFooterReset:
+    def test_footer_clean_across_back_to_back_invocations(
+        self, monkeypatch, capsys
+    ):
+        """Counters left over from one invocation must not leak into the
+        next footer (the hand-written reset() used to miss the fault
+        counters)."""
+
+        class StubResult:
+            text = "stub experiment output"
+
+        monkeypatch.setattr(
+            "repro.harness.cli.run_experiment", lambda name: StubResult()
+        )
+        for _ in range(2):
+            # Simulate a previous run's stale degraded-path counters.
+            METRICS.retries = 3
+            METRICS.timeouts = 2
+            METRICS.worker_deaths = 1
+            METRICS.quarantined = 4
+            assert main(["figure3"]) == 0
+            err = capsys.readouterr().err
+            assert "faults:" not in err
+            for label in ("retried", "timed out", "worker deaths",
+                          "quarantined"):
+                assert label not in err
+
+
+class TestProfileSubcommand:
+    def test_text_output_sections(self, capsys):
+        assert main(["profile", "fibo", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top opcodes:" in out
+        assert "superinstruction candidates" in out
+        assert "dispatch-site mix:" in out
+        assert "uarch counters (scd on cortex-a5):" in out
+        assert "branch_mpki" in out
+
+    def test_json_output_parses(self, capsys):
+        assert main(["profile", "fibo", "--json", "--scheme", "baseline"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vm"] == "lua"
+        assert payload["scheme"] == "baseline"
+        assert payload["steps"] > 0
+        assert payload["top_opcodes"]
+        assert set(payload["uarch"]) >= {"pipeline", "predictors", "btb",
+                                         "caches"}
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["profile", "not-a-workload"])
+        assert excinfo.value.code == 2

@@ -1,7 +1,18 @@
 """Unit tests for the report helpers (generation itself runs in benchmarks)."""
 
+import math
+
+import pytest
+
+from repro.core.results import geomean_or_none
 from repro.harness.experiments import PAPER
-from repro.harness.report import _comparison_table, _verdict
+from repro.harness.report import (
+    _comparison_table,
+    _dispatch_share,
+    _minus_one,
+    _verdict,
+)
+from repro.harness.tables import fmt, pct
 
 
 class TestVerdict:
@@ -16,6 +27,65 @@ class TestVerdict:
 
     def test_zero_paper_value(self):
         assert _verdict(0.0, 0.1, band=0.01) == "n/a"
+
+    def test_zero_measured_is_na_not_same_direction(self):
+        # A zero measurement is a degenerate run, not a confirmation.
+        assert _verdict(0.1, 0.0, band=0.01) == "n/a"
+
+    def test_none_measured_is_na(self):
+        assert _verdict(0.1, None, band=0.01) == "n/a"
+
+
+class TestDispatchShare:
+    def test_normal_share(self):
+        data = {"dispatch_mpki": [3.0, 1.0], "other_mpki": [1.0, 3.0]}
+        assert _dispatch_share(data) == 0.5
+
+    def test_zero_total_returns_none(self):
+        # The old code raised ZeroDivisionError here and killed the report.
+        data = {"dispatch_mpki": [0.0, 0.0], "other_mpki": [0.0]}
+        assert _dispatch_share(data) is None
+
+    def test_empty_series_returns_none(self):
+        assert _dispatch_share({"dispatch_mpki": [], "other_mpki": []}) is None
+
+
+class TestMinusOne:
+    def test_value(self):
+        assert _minus_one(1.25) == pytest.approx(0.25)
+
+    def test_none_propagates(self):
+        assert _minus_one(None) is None
+
+
+class TestGeomeanOrNone:
+    def test_matches_geomean_on_positive_values(self):
+        assert geomean_or_none([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_none(self):
+        assert geomean_or_none([]) is None
+
+    def test_zero_value_is_none(self):
+        # geomean of a set containing 0 is mathematically 0 but raises in
+        # log space; degrading to None keeps the report alive.
+        assert geomean_or_none([1.0, 0.0]) is None
+
+    def test_negative_value_is_none(self):
+        assert geomean_or_none([2.0, -1.0]) is None
+
+    def test_accepts_generator(self):
+        assert geomean_or_none(x for x in (1.0, 1.0)) == pytest.approx(1.0)
+
+
+class TestNoneRendering:
+    def test_pct_none(self):
+        assert pct(None) == "n/a"
+
+    def test_fmt_none(self):
+        assert fmt(None) == "n/a"
+
+    def test_fmt_value(self):
+        assert fmt(math.pi, ".2f") == "3.14"
 
 
 class TestComparisonTable:

@@ -1,0 +1,347 @@
+"""Telemetry subsystem: span tracer, JSONL schema, worker merge, regress.
+
+Golden-schema tests pin the wire format (field names, version tag,
+parent/child nesting) so a refactor that silently changes the JSONL
+breaks here, not in a consumer.  The worker-merge tests run a real
+pooled sweep and validate the merged tree with the same validator CI
+uses (``python -m repro.obs``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro import obs
+from repro.harness.parallel import (
+    METRICS,
+    SimJob,
+    ThroughputMetrics,
+    run_jobs,
+)
+from repro.obs.schema import (
+    KNOWN_SPANS,
+    read_records,
+    validate_file,
+    validate_records,
+)
+from repro.obs.regress import render_telemetry_section, telemetry_diff
+from repro.obs.trace import SCHEMA_NAME, SCHEMA_VERSION, TRACE_ENV
+
+#: Same tiny grid the fault tests use: cheap, but four real grid points.
+GRID = tuple(
+    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", 8)))
+    for w in ("fibo", "n-sieve")
+    for scheme in ("baseline", "scd")
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer(monkeypatch):
+    """Every test starts and ends with tracing off and no exported path."""
+    monkeypatch.delenv(TRACE_ENV, raising=False)
+    obs.close()
+    METRICS.reset()
+    yield
+    obs.close()
+    METRICS.reset()
+
+
+@pytest.fixture
+def pool_cpus(monkeypatch):
+    """Pretend >= 2 CPUs so run_jobs takes the pooled path on any host."""
+    monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 2)
+
+
+class TestGoldenSchema:
+    """Pin the exact JSONL field names and version tag."""
+
+    def test_meta_record_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        obs.close()
+        meta = read_records(path)[0]
+        assert meta["kind"] == "meta"
+        assert meta["schema"] == SCHEMA_NAME == "scd-trace"
+        assert meta["v"] == SCHEMA_VERSION == 1
+        assert isinstance(meta["pid"], int)
+        assert isinstance(meta["t"], float)
+        assert isinstance(meta["argv"], list)
+
+    def test_span_start_end_fields(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep", command="list") as sweep:
+            sweep.annotate(exit_code=0)
+        obs.close()
+        _, start, end = read_records(path)
+        assert start["kind"] == "span_start"
+        assert set(start) == {"v", "kind", "id", "parent", "name", "pid", "t",
+                              "attrs"}
+        assert start["name"] == "sweep"
+        assert start["parent"] is None
+        assert start["attrs"] == {"command": "list"}
+        assert end["kind"] == "span_end"
+        assert set(end) == {"v", "kind", "id", "name", "pid", "t", "dur_s",
+                            "attrs"}
+        assert end["id"] == start["id"]
+        assert end["dur_s"] >= 0
+        # annotate() lands on the close record, start attrs on the open.
+        assert end["attrs"] == {"exit_code": 0}
+
+    def test_event_fields_and_parent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            parent = obs.current_span_id()
+            obs.event("quarantine", store="results", reason="corrupt")
+        obs.close()
+        event = next(r for r in read_records(path) if r["kind"] == "event")
+        assert event["name"] == "quarantine"
+        assert event["parent"] == parent
+        assert event["attrs"] == {"store": "results", "reason": "corrupt"}
+
+    def test_nesting_parent_child(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            with obs.span("experiment", experiment="figure3"):
+                with obs.span("job", vm="lua"):
+                    pass
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+        (sweep,) = log.by_name("sweep")
+        (experiment,) = log.by_name("experiment")
+        (job,) = log.by_name("job")
+        assert experiment.parent == sweep.id
+        assert job.parent == experiment.id
+        assert [child.id for child in sweep.children] == [experiment.id]
+        assert all(name in KNOWN_SPANS for name in ("sweep", "job"))
+
+    def test_error_lands_on_span_end(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with pytest.raises(ValueError):
+            with obs.span("job"):
+                raise ValueError("boom")
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+        (job,) = log.by_name("job")
+        assert job.attrs["error"] == "ValueError: boom"
+
+
+class TestTracerLifecycle:
+    def test_off_by_default_is_noop(self, tmp_path):
+        assert not obs.active()
+        with obs.span("sweep") as span:
+            span.annotate(anything=1)  # must not raise
+        obs.event("ping")
+        assert obs.current_span_id() is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_configure_exports_and_close_pops_env(self, tmp_path):
+        import os
+
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        assert os.environ[TRACE_ENV] == str(path)
+        assert obs.active()
+        obs.close()
+        assert TRACE_ENV not in os.environ
+        assert not obs.active()
+        obs.close()  # idempotent
+
+    def test_reconfigure_truncates(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            pass
+        obs.configure(path)
+        obs.close()
+        records = read_records(path)
+        assert [r["kind"] for r in records] == ["meta"]
+
+
+class TestValidator:
+    def _meta(self, pid=1000):
+        return {"v": 1, "kind": "meta", "schema": "scd-trace", "pid": pid,
+                "t": 0.0}
+
+    def _span(self, span_id, pid, parent=None, name="job", closed=True):
+        records = [{"v": 1, "kind": "span_start", "id": span_id,
+                    "parent": parent, "name": name, "pid": pid, "t": 0.0}]
+        if closed:
+            records.append({"v": 1, "kind": "span_end", "id": span_id,
+                            "name": name, "pid": pid, "t": 1.0, "dur_s": 1.0})
+        return records
+
+    def test_empty_trace_is_error(self):
+        assert not validate_records([]).ok
+
+    def test_missing_meta_is_error(self):
+        log = validate_records(self._span("a-1", 1000))
+        assert any("must be meta" in e for e in log.errors)
+
+    def test_version_mismatch_is_error(self):
+        records = [self._meta(), {"v": 99, "kind": "event", "parent": None,
+                                  "name": "x", "pid": 1000, "t": 0.0}]
+        log = validate_records(records)
+        assert any("version" in e for e in log.errors)
+
+    def test_unclosed_span_is_error(self):
+        records = [self._meta()] + self._span("a-1", 1000, closed=False)
+        log = validate_records(records)
+        assert any("unclosed span a-1" in e for e in log.errors)
+
+    def test_dangling_parent_is_error(self):
+        records = [self._meta()] + self._span("a-1", 1000, parent="ghost")
+        log = validate_records(records)
+        assert any("dangling parent ghost" in e for e in log.errors)
+
+    def test_orphaned_worker_span_is_error(self):
+        # A worker-pid span with no ancestry into the root process: the
+        # merge never happened (e.g. adopt_worker was skipped).
+        records = [self._meta(pid=1000)] + self._span("b-1", 2000)
+        log = validate_records(records)
+        assert any("orphaned worker span b-1" in e for e in log.errors)
+
+    def test_adopted_worker_span_is_not_orphaned(self):
+        records = (
+            [self._meta(pid=1000)]
+            + self._span("a-1", 1000, name="sweep")
+            + self._span("b-1", 2000, parent="a-1")
+        )
+        log = validate_records(records)
+        assert log.ok, log.errors
+        assert log.worker_pids() == {2000}
+
+    def test_cli_validator_exit_codes(self, tmp_path, capsys):
+        from repro.obs.__main__ import main as validate_main
+
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            pass
+        obs.close()
+        assert validate_main([str(path)]) == 0
+        assert validate_main([str(path), "--expect-workers", "1"]) == 1
+        assert "worker" in capsys.readouterr().err
+
+
+@pytest.mark.usefixtures("pool_cpus")
+class TestWorkerMerge:
+    def test_parallel_sweep_merges_worker_spans(self, tmp_path, tmp_cache):
+        path = tmp_path / "sweep.jsonl"
+        obs.configure(path)
+        with obs.span("sweep", command="test"):
+            results = run_jobs(GRID, workers=2, cache=tmp_cache)
+        obs.close()
+        assert len(results) == len(GRID)
+
+        log = validate_file(path)
+        assert log.ok, log.errors
+        jobs = log.by_name("job")
+        assert len(jobs) == len(GRID)
+        # The pool really forked: job spans come from worker pids, and
+        # every one of them is rooted in the parent's sweep span.
+        assert log.worker_pids(), "expected spans from worker processes"
+        for job in jobs:
+            assert job.attrs["cached"] is False
+            assert job.attrs["events"] > 0
+            assert "pipeline" in job.attrs["uarch"]
+            assert "btb" in job.attrs["uarch"]
+            # Phase children account for (most of) the job wall time and
+            # never exceed it.
+            child_time = sum(c.dur_s for c in job.children)
+            assert 0 < child_time <= job.dur_s * 1.05 + 0.01
+
+    def test_cached_rerun_marks_job_spans(self, tmp_path, tmp_cache):
+        run_jobs(GRID, workers=1, cache=tmp_cache)  # populate
+        path = tmp_path / "rerun.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            run_jobs(GRID, workers=2, cache=tmp_cache)
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+        assert all(job.attrs["cached"] for job in log.by_name("job"))
+
+
+class TestMetricsReset:
+    def test_reset_clears_every_field(self):
+        metrics = ThroughputMetrics()
+        for index, spec in enumerate(fields(metrics), start=1):
+            setattr(metrics, spec.name, index)  # every counter non-default
+        metrics.reset()
+        for spec in fields(metrics):
+            assert getattr(metrics, spec.name) == spec.default, spec.name
+
+    def test_as_dict_covers_every_field(self):
+        metrics = ThroughputMetrics(retries=3, quarantined=1)
+        exported = metrics.as_dict()
+        assert set(exported) == {spec.name for spec in fields(metrics)}
+        assert exported["retries"] == 3
+        assert exported["quarantined"] == 1
+
+    def test_fault_counters_absent_after_reset_summary(self):
+        metrics = ThroughputMetrics(
+            retries=2, timeouts=1, worker_deaths=1, quarantined=4
+        )
+        metrics.reset()
+        summary = metrics.summary(0.5)
+        for label in ("retried", "timed out", "worker deaths", "quarantined"):
+            assert label not in summary
+
+
+class TestRegress:
+    BENCH = {
+        "guard": {"min_events_per_s": 3000},
+        "hot_path": {"events_per_s": 100_000},
+        "trace_replay": {"replay_events_per_s": 500_000},
+    }
+
+    def _metrics(self, **kwargs):
+        metrics = ThroughputMetrics()
+        for name, value in kwargs.items():
+            setattr(metrics, name, value)
+        return metrics
+
+    def test_ok_verdict_at_or_above_floor(self):
+        rows = telemetry_diff(
+            self._metrics(events=30_000, sim_wall_s=1.0), self.BENCH
+        )
+        assert rows[0]["metric"] == "simulation events/s"
+        assert rows[0]["verdict"] == "ok"
+
+    def test_regressed_below_guard_floor(self):
+        rows = telemetry_diff(
+            self._metrics(events=100, sim_wall_s=1.0), self.BENCH
+        )
+        assert rows[0]["verdict"] == "REGRESSED"
+
+    def test_idle_run_is_na(self):
+        rows = telemetry_diff(self._metrics(), self.BENCH)
+        assert [row["verdict"] for row in rows] == ["n/a"] * 3
+
+    def test_render_without_baseline(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.obs.regress.find_bench", lambda path=None: None
+        )
+        text = render_telemetry_section(self._metrics(), wall_s=1.0)
+        assert "no BENCH_dispatch.json baseline" in text
+        assert "n/a" in text
+
+    def test_render_with_baseline(self, tmp_path, monkeypatch):
+        bench_path = tmp_path / "BENCH_dispatch.json"
+        bench_path.write_text(json.dumps(self.BENCH))
+        text = render_telemetry_section(
+            self._metrics(sims=2, events=30_000, sim_wall_s=1.0),
+            bench_path=bench_path,
+        )
+        assert "2 simulation(s)" in text
+        assert "ok" in text
+        assert "30,000" in text
