@@ -81,6 +81,8 @@ def simulate(
     trace_store=None,
     trace_mode: str | None = None,
     replay_memo: bool = True,
+    use_kernel: bool | None = None,
+    memo_store=None,
     machine_factory=None,
     probe=None,
 ) -> SimResult:
@@ -125,6 +127,18 @@ def simulate(
         replay_memo: enable the steady-state timing memo on replayed runs
             (exact by construction; set False for the belt-and-braces
             event-by-event replay path).
+        use_kernel: force the exec-compiled replay kernels on (True) or
+            off (False); ``None`` resolves through
+            :func:`repro.native.kernel.kernel_enabled` (CLI default, then
+            ``SCD_REPRO_KERNEL``, then on).
+        memo_store: optional :class:`repro.harness.cache.MemoStore`.  When
+            given together with a replayed trace and ``replay_memo``, the
+            steady-state memo's transition table is loaded from (and, when
+            it learned new transitions, saved back to) the store — so a
+            second process skips the warm-up chunks the first one already
+            simulated.  Keys embed the memo format version, the trace key,
+            the full timing config and the model's structural digest; any
+            drift reads as a miss, never a mis-applied memo.
         machine_factory: callable building the timing machine from the
             resolved :class:`CoreConfig` (default :class:`Machine`).  The
             verify subsystem passes an instrumented subclass here.
@@ -157,6 +171,7 @@ def simulate(
             machine,
             context_switch_interval=context_switch_interval,
             context_switch_policy=context_switch_policy,
+            use_kernel=use_kernel,
         )
     runner.start()
 
@@ -174,15 +189,49 @@ def simulate(
                 "(run once with --record or trace_mode='auto' first)"
             )
     memo = None
+    memo_codec = memo_store_key = None
     if recorded is not None:
         # Replay the recorded columns; the guest VM never runs.
         with obs.span("replay", memo=replay_memo) as phase:
             if replay_memo:
                 memo = SteadyStateMemo(machine, runner)
+                if memo_store is not None:
+                    from repro.harness.cache import memo_key
+                    from repro.uarch.pipeline import MemoFormatError
+                    from repro.vm.capture import MEMO_CHUNK_EVENTS
+
+                    memo_codec = model.memo_codec()
+                    memo_store_key = memo_key(
+                        key,
+                        scheme,
+                        config,
+                        context_switch_interval,
+                        context_switch_policy,
+                        model.structure_digest(),
+                        MEMO_CHUNK_EVENTS,
+                    )
+                    with obs.span("cache", store="memos") as memo_span:
+                        payload = memo_store.get(memo_store_key)
+                        if payload is not None:
+                            try:
+                                memo.import_payload(
+                                    payload, memo_codec, memo_store_key
+                                )
+                            except MemoFormatError:
+                                # Structurally valid frame, unbindable
+                                # interior: fall back to an empty memo.
+                                pass
+                        memo_span.annotate(entries=memo.loaded)
                 replay_events_memo(recorded, runner, memo)
             else:
-                replay_events(recorded, runner.on_event)
+                replay_events(recorded, runner.on_event, runner=runner)
             phase.annotate(events=runner.events)
+        if memo is not None and memo.dirty and memo_store_key is not None:
+            with obs.span("cache", store="memos"):
+                memo_store.put(
+                    memo_store_key,
+                    memo.export_payload(memo_codec, memo_store_key),
+                )
         output = list(recorded.output)
         guest_steps = recorded.guest_steps
     else:
@@ -219,6 +268,10 @@ def simulate(
         metrics["replayed"] = recorded is not None
         metrics["memo_hits"] = memo.hits if memo is not None else 0
         metrics["memo_events"] = memo.events_skipped if memo is not None else 0
+        metrics["memo_loaded"] = memo.loaded if memo is not None else 0
+        kernel = runner.kernel
+        metrics["kernel_events"] = kernel.kernel_events if kernel else 0
+        metrics["fallback_events"] = kernel.fallback_events if kernel else 0
         # Per-component uarch counter export: the telemetry layer attaches
         # it to the job span, `scd-repro profile` prints it.  One small
         # dict per multi-second simulation — noise next to the run itself.

@@ -263,6 +263,120 @@ class ResultCache:
                 pass
 
 
+def memo_key(
+    trace_key: str,
+    scheme: str,
+    config: CoreConfig,
+    context_switch_interval: int | None,
+    context_switch_policy: str,
+    structure_digest: str,
+    chunk_events: int,
+) -> str:
+    """Canonical store key of one persisted steady-state memo table.
+
+    Memo entries are transitions of the *joint* (machine, runner) state
+    under a fixed event stream, so the key embeds everything that shapes
+    either: the trace identity (which itself embeds the trace-format
+    version), the scheme and full timing config, the OS-interaction
+    model, the native model's structural digest (handler/block layout —
+    a model edit must invalidate persisted digests), the chunking grain
+    and :data:`~repro.uarch.pipeline.MEMO_FORMAT_VERSION`.  Any drift in
+    any of these reads as a store miss, never as a mis-applied memo.
+    """
+    from repro.uarch.pipeline import MEMO_FORMAT_VERSION
+
+    return "|".join([
+        "memo",
+        f"v{MEMO_FORMAT_VERSION}",
+        trace_key,
+        scheme,
+        config_signature(config),
+        f"cs{context_switch_interval}/{context_switch_policy}",
+        structure_digest,
+        f"chunk{chunk_events}",
+    ])
+
+
+class MemoStore:
+    """A sharded, concurrency-safe store of persisted steady-state memos.
+
+    Same v3 layout and write discipline as :class:`TraceStore` (one
+    ``.bin`` entry per key, temp-file + ``os.replace`` writes, stale-tmp
+    sweep), holding the framed payloads of
+    :meth:`repro.uarch.pipeline.SteadyStateMemo.export_payload`.  Reads
+    validate the magic/version/CRC frame via
+    :func:`repro.uarch.pipeline.check_memo_frame`; a torn or stale shard
+    is quarantined with a reason sidecar and read as a miss.  The pickled
+    interior is *not* decoded here — binding tokens back to live model
+    objects needs the model's codec, so deeper defects surface as
+    :class:`~repro.uarch.pipeline.MemoFormatError` at import time and the
+    caller falls back to an empty memo.
+
+    Unlike traces, memo entries are *append-mostly*: a later session can
+    legitimately overwrite a shard with a superset table, so no key
+    echo-check beyond the payload's own embedded key (verified by
+    ``import_payload``) is needed.
+    """
+
+    def __init__(self, name: str = "memos", root: str | Path | None = None):
+        self.name = name
+        self.root = Path(root) if root is not None else _cache_dir()
+        self.path = self.root / f"v{CACHE_VERSION}" / name
+        self.hits = 0
+        self.misses = 0
+        self.tmp_swept = _sweep_stale_tmp(self.path)
+
+    def entry_path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.path / f"{digest}.bin"
+
+    def get(self, key: str) -> bytes | None:
+        """Return the framed payload for *key*, or None on miss.
+
+        Frame-level corruption (bad magic, stale version, CRC mismatch)
+        quarantines the shard.
+        """
+        from repro.uarch.pipeline import MemoFormatError, check_memo_frame
+
+        path = self.entry_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            check_memo_frame(data)
+        except MemoFormatError as exc:
+            _quarantine_entry(self.root, self.name, path, str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data
+
+    def put(self, key: str, payload: bytes) -> None:
+        path = self.entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+        _corrupt_shard_hook(path)
+
+    def clear(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        if self.path.is_dir():
+            shutil.rmtree(self.path, ignore_errors=True)
+        elif self.path.exists():
+            self.path.unlink()
+
+
 class TraceStore:
     """A sharded, concurrency-safe store of recorded VM trace streams.
 
@@ -347,3 +461,4 @@ class TraceStore:
 #: Process-wide default cache instances.
 DEFAULT_CACHE = ResultCache()
 DEFAULT_TRACE_STORE = TraceStore()
+DEFAULT_MEMO_STORE = MemoStore()

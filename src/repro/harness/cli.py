@@ -22,7 +22,11 @@ import time
 from repro import obs
 from repro.core.simulation import SCHEMES, simulate
 from repro.harness import faults
-from repro.harness.cache import DEFAULT_CACHE, DEFAULT_TRACE_STORE
+from repro.harness.cache import (
+    DEFAULT_CACHE,
+    DEFAULT_MEMO_STORE,
+    DEFAULT_TRACE_STORE,
+)
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.parallel import (
     METRICS,
@@ -131,7 +135,33 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from repro.vm.profile import profile_workload
+    from repro.vm.profile import profile_workload, suggest_fusion
+
+    if args.suggest_fusion:
+        with obs.span("experiment", experiment=f"fusion:{args.workload}"):
+            profile = profile_workload(args.workload, vm=args.vm)
+        rows = suggest_fusion(profile, count=args.top)
+        if args.json:
+            print(json.dumps(
+                {"vm": args.vm, "workload": args.workload, "pairs": rows},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        prefix = "Op" if args.vm == "lua" else "JsOp"
+        print(
+            f"# {args.vm}/{args.workload}: top {len(rows)} fusible pairs "
+            f"({profile.steps} bytecodes; * = already in the table)"
+        )
+        print("FUSED_PAIRS: tuple = (")
+        for row in rows:
+            entry = f"    ({prefix}.{row['first']}, {prefix}.{row['second']}),"
+            mark = "*" if row["in_table"] else " "
+            print(
+                f"{entry:<44}# {mark} {row['count']:>10,} dyn, "
+                f"cum {row['coverage']:6.2%}"
+            )
+        print(")")
+        return 0
 
     with obs.span("experiment", experiment=f"profile:{args.workload}"):
         profile = profile_workload(args.workload, vm=args.vm)
@@ -178,8 +208,10 @@ def _cmd_profile(args) -> int:
 def _cmd_clear_cache(_args) -> int:
     DEFAULT_CACHE.clear()
     DEFAULT_TRACE_STORE.clear()
+    DEFAULT_MEMO_STORE.clear()
     print(f"cleared {DEFAULT_CACHE.path}")
     print(f"cleared {DEFAULT_TRACE_STORE.path}")
+    print(f"cleared {DEFAULT_MEMO_STORE.path}")
     return 0
 
 
@@ -231,6 +263,13 @@ def main(argv: list[str] | None = None) -> int:
         "pool workers append to the same file (equivalent to "
         "SCD_TRACE_LOG; validate with 'python -m repro.obs PATH', "
         "schema in docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--no-kernel",
+        action="store_true",
+        help="disable the exec-compiled replay kernels for this invocation "
+        "and use the event-by-event interpreted path (equivalent to "
+        "SCD_REPRO_KERNEL=0; results are byte-identical either way)",
     )
     trace_group = parser.add_mutually_exclusive_group()
     trace_group.add_argument(
@@ -317,6 +356,13 @@ def main(argv: list[str] | None = None) -> int:
     profile_parser.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
+    profile_parser.add_argument(
+        "--suggest-fusion",
+        action="store_true",
+        help="rank straight-line adjacent opcode pairs by dynamic count "
+        "and print them in the backend FUSED_PAIRS table format "
+        "(superinstruction selection aid)",
+    )
 
     for name in EXPERIMENTS:
         sub.add_parser(name, help=f"reproduce {name}")
@@ -341,6 +387,10 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
         os.environ[faults.FAULT_ENV] = spec_text
         faults.reset_plan_cache()
+    if args.no_kernel:
+        from repro.native.kernel import set_kernel_enabled
+
+        set_kernel_enabled(False)
     if args.record:
         set_default_trace_mode("record")
     elif args.replay:

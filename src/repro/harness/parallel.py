@@ -47,6 +47,7 @@ from repro.core.results import SimResult
 from repro.core.simulation import scheme_parts, simulate
 from repro.harness.cache import (
     DEFAULT_CACHE,
+    MemoStore,
     ResultCache,
     TraceStore,
     sim_cache_key,
@@ -218,6 +219,9 @@ class ThroughputMetrics:
     replay_wall_s: float = 0.0
     interp_wall_s: float = 0.0
     memo_events: int = 0
+    memo_loaded: int = 0
+    kernel_events: int = 0
+    fallback_events: int = 0
     retries: int = 0
     timeouts: int = 0
     worker_deaths: int = 0
@@ -236,9 +240,12 @@ class ThroughputMetrics:
             self.events_replayed += events
             self.replay_wall_s += wall
             self.memo_events += int(meta.get("memo_events", 0))
+            self.memo_loaded += int(meta.get("memo_loaded", 0))
         else:
             self.events_interpreted += events
             self.interp_wall_s += wall
+        self.kernel_events += int(meta.get("kernel_events", 0))
+        self.fallback_events += int(meta.get("fallback_events", 0))
 
     def reset(self) -> None:
         """Zero *every* counter, by dataclass-field introspection.
@@ -301,8 +308,16 @@ class ThroughputMetrics:
             if saved is not None:
                 reuse += f", ~{saved:.1f}s saved"
             if self.memo_events:
-                reuse += f" ({self.memo_events:,} memoized)"
+                reuse += f" ({self.memo_events:,} memoized"
+                if self.memo_loaded:
+                    reuse += f", {self.memo_loaded} entries from store"
+                reuse += ")"
             parts.append(reuse)
+        if self.kernel_events or self.fallback_events:
+            parts.append(
+                f"kernel: {self.kernel_events:,} compiled vs "
+                f"{self.fallback_events:,} fallback events"
+            )
         faults = self.fault_summary()
         if faults:
             parts.append(f"faults: {faults}")
@@ -404,6 +419,7 @@ def execute_job(
     cache: ResultCache | None = None,
     trace_store: TraceStore | None = None,
     trace_mode: str | None = None,
+    memo_store: MemoStore | None = None,
 ) -> tuple[SimResult, dict]:
     """Run one job in-process, consulting and populating *cache*.
 
@@ -411,7 +427,9 @@ def execute_job(
     :class:`TraceStore` sharing the cache's root is wired in, so the
     first simulation of each (vm, workload) pair records its event stream
     and every later scheme/config replays it instead of re-interpreting
-    (see :mod:`repro.vm.capture`).
+    (see :mod:`repro.vm.capture`).  A :class:`MemoStore` is wired in the
+    same way, so replayed jobs import steady-state memo tables persisted
+    by earlier sessions and export any transitions they learn.
 
     Returns ``(result, meta)`` where *meta* carries the throughput
     metadata of :func:`repro.core.simulation.simulate` plus a ``cached``
@@ -437,6 +455,8 @@ def execute_job(
             fault_plan.on_job_start(job)
         if trace_store is None and cache is not None:
             trace_store = TraceStore(root=cache.root)
+        if memo_store is None and cache is not None:
+            memo_store = MemoStore(root=cache.root)
         meta: dict = {}
         result = simulate(
             job.workload,
@@ -447,6 +467,7 @@ def execute_job(
             metrics=meta,
             trace_store=trace_store,
             trace_mode=trace_mode,
+            memo_store=memo_store,
             **dict(job.kwargs),
         )
         if cache is not None:
@@ -459,6 +480,9 @@ def execute_job(
             events=meta.get("events", 0),
             wall_s=round(meta.get("wall_s", 0.0), 6),
             replayed=bool(meta.get("replayed")),
+            kernel_events=meta.get("kernel_events", 0),
+            fallback_events=meta.get("fallback_events", 0),
+            memo_loaded=meta.get("memo_loaded", 0),
             uarch=meta.get("uarch", {}),
         )
         return result, meta

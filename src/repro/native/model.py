@@ -13,6 +13,7 @@ the timing model.
 from __future__ import annotations
 
 import functools
+import hashlib
 
 from repro.isa.program import BasicBlock, Program, ProgramLayout
 from repro.native import js_model, lua_model
@@ -317,10 +318,40 @@ class NativeInterpreterModel:
             for stub_name in tuple(BUILTINS) + ("_precall",)
         }
         self._plans: dict[tuple[int, int], tuple] = {}
+        self._memo_codec: MemoCodec | None = None
+        self._structure_digest: str | None = None
 
     @property
     def code_size_bytes(self) -> int:
         return self.program.size_bytes
+
+    def memo_codec(self) -> MemoCodec:
+        """Tokenizer binding memo entries to this model's identity objects."""
+        codec = self._memo_codec
+        if codec is None:
+            codec = self._memo_codec = MemoCodec(self)
+        return codec
+
+    def structure_digest(self) -> str:
+        """Digest of the assembled program's replay-visible structure.
+
+        Embedded in persisted-memo store keys: a memo is only rebindable
+        onto a model whose blocks have the same names, addresses and
+        sizes (assembly is deterministic per (vm, strategy), so in
+        practice this changes exactly when the model generation code
+        does).
+        """
+        digest = self._structure_digest
+        if digest is None:
+            blake = hashlib.blake2b(digest_size=16)
+            blake.update(f"{self.vm_kind}:{self.strategy}\n".encode())
+            for block in self.program.blocks:
+                blake.update(
+                    f"{block.name}:{block.start_pc}:{block.end_pc}:"
+                    f"{block.n_insts}:{block.category}\n".encode()
+                )
+            digest = self._structure_digest = blake.hexdigest()
+        return digest
 
     def replay_plan(self, op: int, site: int) -> tuple:
         """The flat per-(opcode, site) replay recipe.
@@ -382,6 +413,54 @@ class NativeInterpreterModel:
                 self.replay_plan(op, site)
 
 
+class MemoCodec:
+    """Maps model-identity objects inside memo entries to stable tokens.
+
+    Persisted :class:`repro.uarch.pipeline.SteadyStateMemo` entries embed
+    basic blocks (in counter deltas) and handler runtimes (the threaded
+    previous-handler slot) by object identity.  Blocks tokenize to their
+    unique assembly names and handlers to their opcode, both of which are
+    deterministic per (vm, strategy) — so a fresh process rebinds them to
+    its own structurally-identical objects.
+    """
+
+    __slots__ = ("_handlers", "_handler_ops", "_blocks", "_block_names")
+
+    def __init__(self, model: NativeInterpreterModel):
+        self._handlers = model.handlers
+        self._handler_ops = {id(h): op for op, h in model.handlers.items()}
+        self._blocks = {b.name: b for b in model.program.blocks}
+        self._block_names = {id(b): b.name for b in model.program.blocks}
+
+    def block_token(self, block) -> str:
+        return self._block_names[id(block)]
+
+    def block(self, name: str):
+        return self._blocks[name]
+
+    def _handler_token(self, handler):
+        return self._handler_ops[id(handler)] if handler is not None else None
+
+    def _handler(self, token):
+        return self._handlers[token] if token is not None else None
+
+    def tokenize_runner_digest(self, digest: tuple) -> tuple:
+        cursor, phase, prev, pending = digest
+        return (cursor, phase, self._handler_token(prev), pending)
+
+    def bind_runner_digest(self, digest: tuple) -> tuple:
+        cursor, phase, prev, pending = digest
+        return (cursor, phase, self._handler(prev), pending)
+
+    def tokenize_runner_end(self, end: tuple) -> tuple:
+        cursor, prev, pending = end
+        return (cursor, self._handler_token(prev), pending)
+
+    def bind_runner_end(self, end: tuple) -> tuple:
+        cursor, prev, pending = end
+        return (cursor, self._handler(prev), pending)
+
+
 @functools.lru_cache(maxsize=None)
 def get_model(vm_kind: str, strategy: str) -> NativeInterpreterModel:
     """Cached model factory (assembly is reused across runs)."""
@@ -407,6 +486,13 @@ class ModelRunner:
         context_switch_policy: ``"flush"`` (the paper's preferred policy,
             re-populate through the slow path) or ``"save"`` (the OS saves
             and restores JTEs, paying per-entry overhead instead).
+        use_kernel: force the exec-compiled replay kernels on/off; ``None``
+            resolves through :func:`repro.native.kernel.kernel_enabled`
+            (CLI default, then ``SCD_REPRO_KERNEL``, then on).  Kernels
+            only ever bind to machines of exact type :class:`Machine` —
+            subclasses (the verifier's ``CheckedMachine``) keep the
+            interpreted path so their instrumentation is never inlined
+            past.
     """
 
     def __init__(
@@ -415,6 +501,7 @@ class ModelRunner:
         machine: Machine,
         context_switch_interval: int | None = None,
         context_switch_policy: str = "flush",
+        use_kernel: bool | None = None,
     ):
         if context_switch_policy not in ("flush", "save"):
             raise ValueError(
@@ -438,11 +525,29 @@ class ModelRunner:
         self.on_event = (
             self._on_event_buffered if self._is_superinst else self._replay
         )
+        self.kernel = None
+        if type(machine) is Machine:
+            from repro.native.kernel import BoundKernel, kernel_enabled
+
+            if kernel_enabled(use_kernel):
+                self.kernel = BoundKernel(self)
+                self.on_event = self.kernel.entry
 
     @property
     def events(self) -> int:
         """Guest trace events replayed so far."""
+        if self.kernel is not None:
+            self.kernel.flush()
         return self._events
+
+    def flush_pending_counts(self) -> None:
+        """Fold kernel-deferred block counts / event tallies in.
+
+        No-op on the interpreted path; the steady-state memo calls this
+        before every digest or counter snapshot.
+        """
+        if self.kernel is not None:
+            self.kernel.flush()
 
     def start(self) -> None:
         """Program the SCD registers and pre-build the replay plans."""
@@ -456,6 +561,8 @@ class ModelRunner:
         if self._pending is not None:
             event, self._pending = self._pending, None
             self._replay(*event)
+        if self.kernel is not None:
+            self.kernel.flush()
         if self._is_scd:
             self.machine.jte_flush()
 

@@ -86,6 +86,31 @@ class Cache:
             ways.insert(0, line)
         return True
 
+    def probe_line(self, line: int) -> bool:
+        """:meth:`access_line` with the access count deferred to the
+        caller.  The replay kernels inline the MRU fast path and batch
+        access counts per kernel invocation; this services the non-MRU
+        remainder (LRU update, miss count)."""
+        ways = self._sets[line & self._set_mask]
+        if ways and ways[0] == line:
+            return True
+        try:
+            position = ways.index(line)
+        except ValueError:
+            self.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.ways:
+                ways.pop()
+            return False
+        if position:
+            ways.pop(position)
+            ways.insert(0, line)
+        return True
+
+    def probe(self, address: int) -> bool:
+        """:meth:`access` with the access count deferred to the caller."""
+        return self.probe_line(address >> self.line_shift)
+
     def contains(self, address: int) -> bool:
         """Non-updating probe (testing aid)."""
         line = address >> self.line_shift
@@ -103,8 +128,11 @@ class Cache:
 
     def restore_state(self, digest: tuple) -> None:
         """Install a replacement state captured by :meth:`state_digest`
-        (counters are left untouched)."""
-        self._sets = [list(ways) for ways in digest]
+        (counters are left untouched).  Mutates ``_sets`` in place — the
+        replay kernels bind the set list by identity."""
+        sets = self._sets
+        for index, ways in enumerate(digest):
+            sets[index] = list(ways)
 
     @property
     def miss_rate(self) -> float:

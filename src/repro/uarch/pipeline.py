@@ -18,6 +18,11 @@ so MPKI figures (Figures 2, 9, 10) fall out of the same run.
 
 from __future__ import annotations
 
+import pickle
+import struct
+import textwrap
+import zlib
+
 from repro.isa.program import BasicBlock
 from repro.uarch.btb import BranchTargetBuffer
 from repro.uarch.caches import Cache, Tlb
@@ -121,106 +126,12 @@ class Machine:
         return self.dram.access(address)
 
     # -- instruction execution ---------------------------------------------------
-
-    def exec_block(self, block: BasicBlock, daddrs: tuple = ()) -> None:
-        """Retire one basic block plus its data accesses.
-
-        Args:
-            block: the static block being executed.
-            daddrs: byte addresses of this execution's loads/stores (the
-                native model supplies them; order does not matter).
-
-        Instruction and category totals are accumulated as per-block
-        execution counts and folded in by :meth:`finalize` (hot-path
-        optimisation); cycles and miss events are exact as they happen.
-        """
-        counts = self._block_counts
-        counts[block] = counts.get(block, 0) + 1
-        stats = self.stats
-        width = self._issue_width
-        n = block.n_insts
-        stats.cycles += n if width == 1 else (n + width - 1) // width
-
-        # Instruction fetch: every line the block spans (cached footprint).
-        lines = block.lines_cache
-        if lines is None:
-            lines = tuple(
-                range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1)
-            )
-            block.lines_cache = lines
-            block.page_cache = block.start_pc >> Tlb.PAGE_SHIFT
-        if block.page_cache != self._last_ipage:
-            self._last_ipage = block.page_cache
-            if not self.itlb.access(block.start_pc):
-                stats.itlb_misses += 1
-                self._stall(self.config.tlb_miss_penalty, "itlb_stall")
-        icache = self.icache
-        for line in lines:
-            if not icache.access_line(line):
-                stats.icache_misses += 1
-                self._stall(
-                    self.config.icache.hit_latency
-                    + self._fill_latency(line << self._line_shift),
-                    "icache_stall",
-                )
-
-        # Data accesses.
-        if daddrs:
-            dcache = self.dcache
-            dcache_hit_latency = self.config.dcache.hit_latency
-            for address in daddrs:
-                dpage = address >> Tlb.PAGE_SHIFT
-                if dpage != self._last_dpage:
-                    self._last_dpage = dpage
-                    if not self.dtlb.access(address):
-                        stats.dtlb_misses += 1
-                        self._stall(self.config.tlb_miss_penalty, "dtlb_stall")
-                stats.dcache_accesses += 1
-                if not dcache.access(address):
-                    stats.dcache_misses += 1
-                    self._stall(
-                        dcache_hit_latency + self._fill_latency(address),
-                        "dcache_stall",
-                    )
-
-    def exec_blocks(self, blocks: tuple) -> None:
-        """Retire several data-access-free blocks back to back.
-
-        Accounting is identical to calling :meth:`exec_block` on each
-        element in order with empty ``daddrs``; batching exists purely to
-        cut per-event Python call overhead on the replay hot path (the
-        dispatch-slow-path and operand blocks of every guest bytecode).
-        """
-        counts = self._block_counts
-        stats = self.stats
-        width = self._issue_width
-        icache = self.icache
-        itlb = self.itlb
-        config = self.config
-        for block in blocks:
-            counts[block] = counts.get(block, 0) + 1
-            n = block.n_insts
-            stats.cycles += n if width == 1 else (n + width - 1) // width
-            lines = block.lines_cache
-            if lines is None:
-                lines = tuple(
-                    range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1)
-                )
-                block.lines_cache = lines
-                block.page_cache = block.start_pc >> Tlb.PAGE_SHIFT
-            if block.page_cache != self._last_ipage:
-                self._last_ipage = block.page_cache
-                if not itlb.access(block.start_pc):
-                    stats.itlb_misses += 1
-                    self._stall(config.tlb_miss_penalty, "itlb_stall")
-            for line in lines:
-                if not icache.access_line(line):
-                    stats.icache_misses += 1
-                    self._stall(
-                        config.icache.hit_latency
-                        + self._fill_latency(line << self._line_shift),
-                        "icache_stall",
-                    )
+    #
+    # ``exec_block`` / ``exec_blocks`` are generated from the shared
+    # accounting templates below (see ``_build_exec_methods``) so the
+    # line-footprint / ITLB logic exists exactly once — the same source of
+    # truth the replay-kernel compiler (:mod:`repro.native.kernel`) inlines
+    # via the ``kernel_*_lines`` specializers.
 
     def finalize(self) -> MachineStats:
         """Fold deferred per-block counts into the statistics and return them.
@@ -534,6 +445,569 @@ class Machine:
         self._last_dpage = -1
 
 
+# -- generated block-retirement accounting ------------------------------------
+#
+# One template is the single source of truth for per-block instruction-fetch
+# accounting (issue slots, line footprint, ITLB page check, I-cache probes)
+# and one for data accesses (DTLB page check, D-cache probes).  Both
+# ``Machine.exec_block`` and ``Machine.exec_blocks`` are exec-compiled from
+# them, and the ``kernel_*_lines`` specializers below emit constant-folded
+# projections of the same logic for the replay-kernel compiler
+# (:mod:`repro.native.kernel`).  Keeping every copy generated from one
+# fragment is what makes kernel inlining trustworthy: there is no second
+# hand-maintained implementation to drift.
+
+#: Instruction-side accounting for one block.  Free names: ``self``,
+#: ``block``, ``counts``, ``stats``, ``width``, ``itlb_access``,
+#: ``icache_access`` (bound in the generated preamble) and ``PAGE_SHIFT``
+#: (exec global).  The ``<< 6`` line-to-address shift is guaranteed by the
+#: constructor's 64-byte-line check.
+_IFETCH_SRC = """\
+counts[block] = counts.get(block, 0) + 1
+n = block.n_insts
+stats.cycles += n if width == 1 else (n + width - 1) // width
+lines = block.lines_cache
+if lines is None:
+    lines = tuple(range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1))
+    block.lines_cache = lines
+    block.page_cache = block.start_pc >> PAGE_SHIFT
+if block.page_cache != self._last_ipage:
+    self._last_ipage = block.page_cache
+    if not itlb_access(block.start_pc):
+        stats.itlb_misses += 1
+        self._stall(self.config.tlb_miss_penalty, "itlb_stall")
+for line in lines:
+    if not icache_access(line):
+        stats.icache_misses += 1
+        self._stall(
+            self.config.icache.hit_latency + self._fill_latency(line << 6),
+            "icache_stall",
+        )
+"""
+
+#: Data-side accounting for one ``daddrs`` tuple.  Free names: ``self``,
+#: ``daddrs``, ``stats``, ``PAGE_SHIFT``.
+_DACCESS_SRC = """\
+if daddrs:
+    dcache_access = self.dcache.access
+    dcache_hit_latency = self.config.dcache.hit_latency
+    for address in daddrs:
+        dpage = address >> PAGE_SHIFT
+        if dpage != self._last_dpage:
+            self._last_dpage = dpage
+            if not self.dtlb.access(address):
+                stats.dtlb_misses += 1
+                self._stall(self.config.tlb_miss_penalty, "dtlb_stall")
+        stats.dcache_accesses += 1
+        if not dcache_access(address):
+            stats.dcache_misses += 1
+            self._stall(
+                dcache_hit_latency + self._fill_latency(address),
+                "dcache_stall",
+            )
+"""
+
+
+def _build_exec_methods():
+    """Exec-compile ``exec_block`` / ``exec_blocks`` from the templates."""
+    source = (
+        "def exec_block(self, block, daddrs=()):\n"
+        "    counts = self._block_counts\n"
+        "    stats = self.stats\n"
+        "    width = self._issue_width\n"
+        "    itlb_access = self.itlb.access\n"
+        "    icache_access = self.icache.access_line\n"
+        + textwrap.indent(_IFETCH_SRC, "    ")
+        + textwrap.indent(_DACCESS_SRC, "    ")
+        + "\n"
+        "def exec_blocks(self, blocks):\n"
+        "    counts = self._block_counts\n"
+        "    stats = self.stats\n"
+        "    width = self._issue_width\n"
+        "    itlb_access = self.itlb.access\n"
+        "    icache_access = self.icache.access_line\n"
+        "    for block in blocks:\n"
+        + textwrap.indent(_IFETCH_SRC, "        ")
+    )
+    namespace = {"PAGE_SHIFT": Tlb.PAGE_SHIFT}
+    code = compile(source, "<repro.uarch.pipeline generated>", "exec")
+    exec(code, namespace)
+    exec_block = namespace["exec_block"]
+    exec_blocks = namespace["exec_blocks"]
+    exec_block.__qualname__ = "Machine.exec_block"
+    exec_block.__doc__ = (
+        "Retire one basic block plus its data accesses.\n\n"
+        "Args:\n"
+        "    block: the static block being executed.\n"
+        "    daddrs: byte addresses of this execution's loads/stores (the\n"
+        "        native model supplies them; order does not matter).\n\n"
+        "Instruction and category totals are accumulated as per-block\n"
+        "execution counts and folded in by :meth:`finalize` (hot-path\n"
+        "optimisation); cycles and miss events are exact as they happen.\n"
+        "Generated from ``_IFETCH_SRC`` / ``_DACCESS_SRC``."
+    )
+    exec_blocks.__qualname__ = "Machine.exec_blocks"
+    exec_blocks.__doc__ = (
+        "Retire several data-access-free blocks back to back.\n\n"
+        "Accounting is identical to calling :meth:`exec_block` on each\n"
+        "element in order with empty ``daddrs``; batching exists purely to\n"
+        "cut per-event Python call overhead on the replay hot path.\n"
+        "Generated from ``_IFETCH_SRC``."
+    )
+    return exec_block, exec_blocks
+
+
+Machine.exec_block, Machine.exec_blocks = _build_exec_methods()
+
+
+# -- kernel specializers -------------------------------------------------------
+#
+# Constant-folded projections of the templates above, emitted as source
+# lines for the replay-kernel compiler.  Name contract (bound in every
+# kernel's closure preamble): ``m`` (machine), ``stats``, ``counts``
+# (``m._block_counts``), ``IS`` / ``DS`` (``icache._sets`` /
+# ``dcache._sets`` — identity-stable, see ``Cache.restore_state``),
+# ``icp`` / ``dcp`` (``icache.probe_line`` / ``dcache.probe``), ``itlb``
+# (``itlb.access``), ``dtlb`` (``dtlb.access``), ``stall`` (``m._stall``),
+# ``fill`` (``m._fill_latency``), ``TLBP`` (``config.tlb_miss_penalty``),
+# ``ICLAT`` / ``DCLAT`` (L1 hit latencies).
+#
+# The cache MRU fast path (``ways and ways[0] == line``, the overwhelmingly
+# common case on the replay hot path) is inlined; the count-deferred
+# ``probe``/``probe_line`` methods service the remainder.  Issue-slot
+# cycles, ``counts[block]`` increments and cache access counts are *not*
+# emitted here — the compiler merges the constants across a straight-line
+# region and defers them into per-kernel cells (every emitter returns its
+# access count for that purpose).
+
+
+def block_issue_slots(block, width: int) -> int:
+    """Issue slots one execution of *block* retires (templates' first line)."""
+    n = block.n_insts
+    return n if width == 1 else (n + width - 1) // width
+
+
+def block_footprint(block):
+    """(lines, page) footprint of *block*, priming the per-block caches the
+    same way the generated methods do."""
+    lines = block.lines_cache
+    if lines is None:
+        lines = tuple(range(block.start_pc >> 6, (block.end_pc - 1 >> 6) + 1))
+        block.lines_cache = lines
+        block.page_cache = block.start_pc >> Tlb.PAGE_SHIFT
+    return lines, block.page_cache
+
+
+def kernel_ifetch_lines(block, known_ipage, set_mask: int):
+    """Source lines for one block's instruction-side probes.
+
+    Args:
+        block: the static block.
+        known_ipage: the I-page statically guaranteed current when these
+            lines run (page-check elision), or ``None`` if unknown.
+        set_mask: the I-cache's set index mask (config shape).
+
+    Returns:
+        ``(lines, page, accesses)``: emitted source lines, the I-page
+        current after they run (feed it forward as the next block's
+        ``known_ipage``) and the number of I-cache accesses the caller
+        must account.
+    """
+    footprint, page = block_footprint(block)
+    start_pc = block.start_pc
+    out = []
+    if known_ipage is None:
+        out += [
+            f"if m._last_ipage != {page}:",
+            f"    m._last_ipage = {page}",
+            f"    if not itlb({start_pc}):",
+            "        stats.itlb_misses += 1",
+            "        stall(TLBP, 'itlb_stall')",
+        ]
+    elif known_ipage != page:
+        out += [
+            f"m._last_ipage = {page}",
+            f"if not itlb({start_pc}):",
+            "    stats.itlb_misses += 1",
+            "    stall(TLBP, 'itlb_stall')",
+        ]
+    for line in footprint:
+        out += [
+            f"_w = IS[{line & set_mask}]",
+            f"if not _w or _w[0] != {line}:",
+            f"    if not icp({line}):",
+            "        stats.icache_misses += 1",
+            f"        stall(ICLAT + fill({line << 6}), 'icache_stall')",
+        ]
+    return out, page, len(footprint)
+
+
+def kernel_daccess_const_lines(address: int, known_dpage, shift: int, set_mask: int):
+    """Source lines for one compile-time-constant data access.
+
+    Returns ``(lines, page)`` with the D-page current afterwards; the
+    access itself is one deferred D-cache access for the caller.
+    """
+    page = address >> Tlb.PAGE_SHIFT
+    line = address >> shift
+    out = []
+    if known_dpage is None:
+        out += [
+            f"if m._last_dpage != {page}:",
+            f"    m._last_dpage = {page}",
+            f"    if not dtlb({address}):",
+            "        stats.dtlb_misses += 1",
+            "        stall(TLBP, 'dtlb_stall')",
+        ]
+    elif known_dpage != page:
+        out += [
+            f"m._last_dpage = {page}",
+            f"if not dtlb({address}):",
+            "    stats.dtlb_misses += 1",
+            "    stall(TLBP, 'dtlb_stall')",
+        ]
+    out += [
+        f"_w = DS[{line & set_mask}]",
+        f"if not _w or _w[0] != {line}:",
+        f"    if not dcp({address}):",
+        "        stats.dcache_misses += 1",
+        f"        stall(DCLAT + fill({address}), 'dcache_stall')",
+    ]
+    return out, page
+
+
+def kernel_daccess_expr_lines(expr: str, shift: int, set_mask: int):
+    """Source lines for one data access whose address is the runtime
+    expression *expr* (e.g. the guest-code fetch address).  Leaves the
+    D-page unknown; one deferred D-cache access for the caller."""
+    return [
+        f"_a = {expr}",
+        f"_p = _a >> {Tlb.PAGE_SHIFT}",
+        "if _p != m._last_dpage:",
+        "    m._last_dpage = _p",
+        "    if not dtlb(_a):",
+        "        stats.dtlb_misses += 1",
+        "        stall(TLBP, 'dtlb_stall')",
+        f"_l = _a >> {shift}",
+        f"_w = DS[_l & {set_mask}]",
+        "if not _w or _w[0] != _l:",
+        "    if not dcp(_a):",
+        "        stats.dcache_misses += 1",
+        "        stall(DCLAT + fill(_a), 'dcache_stall')",
+    ]
+
+
+def kernel_daddrs_loop_lines(var: str, shift: int, set_mask: int):
+    """Source lines for a runtime ``daddrs`` tuple (the dynamic remainder
+    the constant specializer cannot fold).  Leaves the D-page unknown.
+    Accesses are variable-count, so they are accounted inline here (both
+    the stats counter and the cache object's own counter)."""
+    return [
+        f"if {var}:",
+        f"    for _a in {var}:",
+        f"        _p = _a >> {Tlb.PAGE_SHIFT}",
+        "        if _p != m._last_dpage:",
+        "            m._last_dpage = _p",
+        "            if not dtlb(_a):",
+        "                stats.dtlb_misses += 1",
+        "                stall(TLBP, 'dtlb_stall')",
+        f"        _l = _a >> {shift}",
+        f"        _w = DS[_l & {set_mask}]",
+        "        if not _w or _w[0] != _l:",
+        "            if not dcp(_a):",
+        "                stats.dcache_misses += 1",
+        "                stall(DCLAT + fill(_a), 'dcache_stall')",
+        f"    _n = len({var})",
+        "    stats.dcache_accesses += _n",
+        "    DCO.accesses += _n",
+    ]
+
+
+# Control-transfer specializers.  Additional preamble names: ``PRED``
+# (``m.predictor``), ``PG`` / ``PL`` (its tournament components, or
+# ``None``), ``BTBO`` (``m.btb``), ``btbl`` / ``btbi``
+# (``btb.lookup`` / ``btb.insert``), ``SCDU`` (``m.scd``), ``BRP`` /
+# ``DRP`` (branch / decode-redirect penalties).  Predictor tables and BTB
+# sets are read through the owning object per use (one attribute load)
+# so ``restore_state`` replacing them cannot stale a binding.
+
+
+def kernel_predictor_sig(predictor):
+    """Geometry signature of a direction predictor, or ``None`` when the
+    kind is not inlinable (the compiler falls back to method calls)."""
+    from repro.uarch.predictors import (
+        BimodalPredictor,
+        GsharePredictor,
+        LocalPredictor,
+        TournamentPredictor,
+    )
+
+    kind = type(predictor)
+    if kind is TournamentPredictor:
+        g, l = predictor.global_component, predictor.local_component
+        return (
+            "tournament",
+            g.entries, g._history_mask,
+            l.entries, l._history_mask,
+            predictor.choice_entries,
+        )
+    if kind is GsharePredictor:
+        return ("gshare", predictor.entries, predictor._history_mask)
+    if kind is BimodalPredictor:
+        return ("bimodal", predictor.entries)
+    if kind is LocalPredictor:
+        return ("local", predictor.entries, predictor._history_mask)
+    return None
+
+
+def _btb_pc_index(pc: int, btb_sets: int) -> int:
+    """Compile-time ``BranchTargetBuffer._index_pc``."""
+    word = pc >> 2
+    if not (btb_sets & (btb_sets - 1)):
+        return word & (btb_sets - 1)
+    return word % btb_sets
+
+
+def _counter_lines(table_expr: str, index: str, counter: str, taken: bool):
+    """2-bit saturating counter update: read into *counter*, then train."""
+    if taken:
+        return [
+            f"{counter} = {table_expr}[{index}]",
+            f"if {counter} < 3:",
+            f"    {table_expr}[{index}] = {counter} + 1",
+        ]
+    return [
+        f"{counter} = {table_expr}[{index}]",
+        f"if {counter} > 0:",
+        f"    {table_expr}[{index}] = {counter} - 1",
+    ]
+
+
+def _observe_lines(pc: int, taken: bool, pred_sig):
+    """Inline ``predictor.observe(pc, taken)`` for a constant branch;
+    leaves the correctness flag in ``_ok``.  Returns ``None`` when the
+    predictor kind is not inlinable."""
+    word = pc >> 2
+    bit = 1 if taken else 0
+    verdict = ">= 2" if taken else "< 2"
+    kind = pred_sig[0] if pred_sig else None
+    if kind == "tournament":
+        _, ge, ghm, le, lhm, ce = pred_sig
+        li = word % le
+        ci = word % ce
+        out = [
+            "_gt = PG._table",
+            "_gh = PG.history",
+            f"_gi = ({word} ^ _gh) % {ge}",
+        ]
+        out += _counter_lines("_gt", "_gi", "_gc", taken)
+        out += [
+            f"PG.history = ((_gh << 1) | {bit}) & {ghm}",
+            "_lhs = PL._histories",
+            f"_lh = _lhs[{li}]",
+            "_lcs = PL._counters",
+        ]
+        out += _counter_lines("_lcs", "_lh", "_lc", taken)
+        out += [
+            f"_lhs[{li}] = ((_lh << 1) | {bit}) & {lhm}",
+            f"_gok = _gc {verdict}",
+            f"_lok = _lc {verdict}",
+            "_ch = PRED._choice",
+            f"_cc = _ch[{ci}]",
+            "if _gok != _lok:",
+            "    if _gok:",
+            "        if _cc < 3:",
+            f"            _ch[{ci}] = _cc + 1",
+            "    elif _cc > 0:",
+            f"        _ch[{ci}] = _cc - 1",
+            "_ok = _gok if _cc >= 2 else _lok",
+        ]
+        return out
+    if kind == "gshare":
+        _, ge, ghm = pred_sig
+        out = [
+            "_gt = PRED._table",
+            "_gh = PRED.history",
+            f"_gi = ({word} ^ _gh) % {ge}",
+        ]
+        out += _counter_lines("_gt", "_gi", "_gc", taken)
+        out += [
+            f"PRED.history = ((_gh << 1) | {bit}) & {ghm}",
+            f"_ok = _gc {verdict}",
+        ]
+        return out
+    if kind == "bimodal":
+        _, entries = pred_sig
+        bi = word % entries
+        out = ["_bt = PRED._table"]
+        out += _counter_lines("_bt", str(bi), "_bc", taken)
+        out += [f"_ok = _bc {verdict}"]
+        return out
+    if kind == "local":
+        _, le, lhm = pred_sig
+        li = word % le
+        out = [
+            "_lhs = PRED._histories",
+            f"_lh = _lhs[{li}]",
+            "_lcs = PRED._counters",
+        ]
+        out += _counter_lines("_lcs", "_lh", "_lc", taken)
+        out += [
+            f"_lhs[{li}] = ((_lh << 1) | {bit}) & {lhm}",
+            f"_ok = _lc {verdict}",
+        ]
+        return out
+    return None
+
+
+def _btb_mru_lookup_lines(key: int, btb_sets: int, jte: bool = False):
+    """MRU-way fast path of ``btb.lookup``/``lookup_jte`` for a constant
+    key: leaves the predicted target (or ``None``) in ``_t``.  A hit in
+    way 0 needs no LRU touch; anything else takes the method."""
+    if jte:
+        opcode = key & 0xFFFF_FFFF
+        if not (btb_sets & (btb_sets - 1)):
+            index = opcode & (btb_sets - 1)
+        else:
+            index = opcode % btb_sets
+        flag = "_e[1]"
+        call = f"jtel({opcode}, {key >> 32})"
+    else:
+        index = _btb_pc_index(key, btb_sets)
+        flag = "not _e[1]"
+        call = f"btbl({key})"
+    return [
+        f"_e = BTBO._sets[{index}][0]",
+        f"if _e[0] and {flag} and _e[2] == {key}:",
+        "    _t = _e[3]",
+        "else:",
+        f"    _t = {call}",
+    ]
+
+
+def kernel_cond_lines(pc: int, taken: bool, category: str, pred_sig, btb_sets: int):
+    """Inline ``m.cond_branch(pc, taken, category)`` for constant
+    arguments.  Does NOT emit ``stats.branches += 1`` — the caller defers
+    it (always-executed) or emits it inline (conditional region).
+    Returns ``None`` when the predictor is not inlinable."""
+    observe = _observe_lines(pc, taken, pred_sig)
+    if observe is None:
+        return None
+    out = list(observe)
+    if taken:
+        out += [
+            "if _ok:",
+        ]
+        out += ["    " + line for line in _btb_mru_lookup_lines(pc, btb_sets)]
+        out += [
+            "    if _t is None:",
+            "        stats.btb_target_misses += 1",
+            "        stats.mispredicts_by_category['btb_target_miss'] += 1",
+            "        stall(DRP, 'branch_penalty')",
+            f"        btbi({pc}, {pc + 8})",
+            "else:",
+            "    stats.branch_mispredicts += 1",
+            f"    stats.mispredicts_by_category[{category!r}] += 1",
+            "    stall(BRP, 'branch_penalty')",
+            f"    btbi({pc}, {pc + 8})",
+        ]
+    else:
+        out += [
+            "if not _ok:",
+            "    stats.branch_mispredicts += 1",
+            f"    stats.mispredicts_by_category[{category!r}] += 1",
+            "    stall(BRP, 'branch_penalty')",
+        ]
+    return out
+
+
+def kernel_direct_jump_lines(pc: int, target: int, btb_sets: int):
+    """Inline ``m.direct_jump(pc, target)`` for constant arguments."""
+    out = list(_btb_mru_lookup_lines(pc, btb_sets))
+    out += [
+        "if _t is None:",
+        "    stats.btb_target_misses += 1",
+        "    stats.mispredicts_by_category['btb_target_miss'] += 1",
+        "    stall(DRP, 'branch_penalty')",
+        f"    btbi({pc}, {target})",
+    ]
+    return out
+
+
+def kernel_indirect_jump_lines(
+    pc: int, target: int, hint, category: str, scheme: str, btb_sets: int
+):
+    """Inline ``m.indirect_jump(pc, target, hint, category)`` for the BTB
+    and VBBI schemes (constant key either way).  Does NOT emit
+    ``stats.indirect_jumps += 1`` — caller's responsibility, as with
+    :func:`kernel_cond_lines`.  Returns ``None`` for history-based
+    schemes (ttc/ittage/cascaded), which stay method calls."""
+    if scheme == "vbbi" and hint is not None:
+        key = pc ^ ((hint * _VBBI_HASH) & 0xFFFF_FFFC)
+    elif scheme in ("btb", "vbbi"):
+        key = pc
+    else:
+        return None
+    out = list(_btb_mru_lookup_lines(key, btb_sets))
+    out += [
+        f"if _t != {target}:",
+        f"    btbi({key}, {target})",
+        "    stats.indirect_mispredicts += 1",
+        f"    stats.mispredicts_by_category[{category!r}] += 1",
+        "    stall(BRP, 'branch_penalty')",
+    ]
+    return out
+
+
+def kernel_load_op_lines(bytecode: int, table: int, scd_tables: int):
+    """Inline ``m.load_op(bytecode, table)``: deposit the masked opcode
+    into ``Rop``.  The mask register is runtime state (``setmask``), so
+    the AND stays dynamic."""
+    if not 0 <= table < scd_tables:
+        raise ValueError(f"jump-table id {table} out of range")
+    return [
+        f"SCDU._rop_data[{table}] = {bytecode} & SCDU._masks[{table}]",
+        f"SCDU._rop_valid[{table}] = True",
+    ]
+
+
+# -- memo persistence format ---------------------------------------------------
+
+#: Bump on ANY change to memo entry structure, state-digest layout, counter
+#: layout, or the replay semantics they summarize.  The version is embedded
+#: both in the frame header and in the store key, so stale shards read as
+#: misses rather than poisoning replay.
+MEMO_FORMAT_VERSION = 1
+
+_MEMO_MAGIC = b"SCDMEM"
+_MEMO_FRAME = struct.Struct("<6sHI")  # magic, version, payload CRC-32
+
+
+class MemoFormatError(ValueError):
+    """A persisted memo payload is corrupt, stale, or mis-keyed."""
+
+
+def check_memo_frame(data: bytes) -> None:
+    """Validate a serialized memo's magic/version/CRC frame.
+
+    Raises :class:`MemoFormatError` on any defect; cheap enough for the
+    store to run on every read so corruption quarantines instead of
+    propagating.
+    """
+    try:
+        magic, version, crc = _MEMO_FRAME.unpack_from(data, 0)
+    except struct.error as exc:
+        raise MemoFormatError(f"short memo frame: {exc}") from exc
+    if magic != _MEMO_MAGIC:
+        raise MemoFormatError("bad memo magic")
+    if version != MEMO_FORMAT_VERSION:
+        raise MemoFormatError(
+            f"memo format v{version}, expected v{MEMO_FORMAT_VERSION}"
+        )
+    if zlib.crc32(data[_MEMO_FRAME.size:]) != crc:
+        raise MemoFormatError("memo payload CRC mismatch")
+
+
 class SteadyStateMemo:
     """Steady-state timing memo for recorded-trace replay.
 
@@ -576,7 +1050,10 @@ class SteadyStateMemo:
         "hits",
         "misses",
         "events_skipped",
+        "dirty",
+        "loaded",
         "_entries",
+        "_flush",
         "_probe_digest",
         "_begin_digest",
         "_begin_counters",
@@ -588,7 +1065,15 @@ class SteadyStateMemo:
         self.hits = 0
         self.misses = 0
         self.events_skipped = 0
+        #: True once this session memoized a transition not present at
+        #: import time — i.e. the persisted payload would gain entries.
+        self.dirty = False
+        #: Entries installed from a persisted payload.
+        self.loaded = 0
         self._entries: dict = {}
+        # Replay kernels defer per-block counts and event tallies into
+        # cells; they must land before any digest/snapshot is taken.
+        self._flush = getattr(runner, "flush_pending_counts", None)
         self._probe_digest: tuple | None = None
         self._begin_digest: tuple | None = None
         self._begin_counters: tuple | None = None
@@ -599,6 +1084,8 @@ class SteadyStateMemo:
     def try_apply(self, key: bytes, n_events: int) -> bool:
         """Apply the memoized effect of chunk *key* if the current state
         matches the entry's begin state.  Returns True when applied."""
+        if self._flush is not None:
+            self._flush()
         entry = self._entries.get(key)
         if entry is None:
             self._probe_digest = None
@@ -620,6 +1107,8 @@ class SteadyStateMemo:
 
     def begin(self) -> None:
         """Snapshot state and counters before simulating a chunk live."""
+        if self._flush is not None:
+            self._flush()
         probe = self._probe_digest
         self._begin_digest = probe if probe is not None else self._digest()
         self._probe_digest = None
@@ -627,6 +1116,8 @@ class SteadyStateMemo:
 
     def commit(self, key: bytes) -> None:
         """Memoize the transition of the chunk just simulated live."""
+        if self._flush is not None:
+            self._flush()
         self.misses += 1
         begin_digest = self._begin_digest
         self._begin_digest = None
@@ -637,6 +1128,8 @@ class SteadyStateMemo:
             self._begin_counters = None
             return
         end = self.machine.state_digest()
+        if key not in entries:
+            self.dirty = True
         entries[key] = (
             begin_digest,
             self.machine.counter_delta(self._begin_counters),
@@ -645,3 +1138,91 @@ class SteadyStateMemo:
             self.runner.memo_end_state(),
         )
         self._begin_counters = None
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_payload(self, codec, key: str) -> bytes:
+        """Serialize the entry table for the harness MemoStore.
+
+        Model-identity objects (handler runtimes, basic blocks) are
+        tokenized through *codec* (see
+        :meth:`repro.native.model.NativeInterpreterModel.memo_codec`) so a
+        fresh process — whose model objects have different identities but
+        identical structure — can re-bind them.  *key* is the store key;
+        it is embedded so a hash-colliding shard is rejected on import.
+        """
+        entries = []
+        for chunk_key, (begin, delta, machine_end, runner_end) in self._entries.items():
+            entries.append((
+                chunk_key,
+                (begin[0], codec.tokenize_runner_digest(begin[1])),
+                _tokenize_delta(delta, codec),
+                machine_end,
+                codec.tokenize_runner_end(runner_end),
+            ))
+        blob = pickle.dumps(
+            (MEMO_FORMAT_VERSION, key, entries),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        payload = zlib.compress(blob, 6)
+        return _MEMO_FRAME.pack(
+            _MEMO_MAGIC, MEMO_FORMAT_VERSION, zlib.crc32(payload)
+        ) + payload
+
+    def import_payload(self, data: bytes, codec, key: str) -> int:
+        """Install entries persisted by :meth:`export_payload`.
+
+        Returns the number of entries installed.  Raises
+        :class:`MemoFormatError` on any structural defect (the store
+        quarantines frame-level corruption before we get here, but the
+        pickled interior can still disappoint).  Entries already present
+        live win — they are equal by construction when keys match.
+        """
+        check_memo_frame(data)
+        try:
+            version, stored_key, entries = pickle.loads(
+                zlib.decompress(data[_MEMO_FRAME.size:])
+            )
+        except Exception as exc:
+            raise MemoFormatError(f"undecodable memo payload: {exc}") from exc
+        if version != MEMO_FORMAT_VERSION:
+            raise MemoFormatError(f"memo payload format v{version}")
+        if stored_key != key:
+            raise MemoFormatError("memo payload key mismatch")
+        installed = 0
+        table = self._entries
+        try:
+            for chunk_key, begin, delta, machine_end, runner_end in entries:
+                if chunk_key in table:
+                    continue
+                if len(table) >= self.MAX_ENTRIES:
+                    break
+                table[chunk_key] = (
+                    (begin[0], codec.bind_runner_digest(begin[1])),
+                    _bind_delta(delta, codec),
+                    machine_end,
+                    codec.bind_runner_end(runner_end),
+                )
+                installed += 1
+        except Exception as exc:
+            raise MemoFormatError(f"unbindable memo entry: {exc}") from exc
+        self.loaded += installed
+        return installed
+
+
+def _tokenize_delta(delta: tuple, codec) -> tuple:
+    stats_delta, block_delta, flat_delta = delta
+    return (
+        stats_delta,
+        tuple((codec.block_token(b), inc) for b, inc in block_delta),
+        flat_delta,
+    )
+
+
+def _bind_delta(delta: tuple, codec) -> tuple:
+    stats_delta, block_delta, flat_delta = delta
+    return (
+        stats_delta,
+        tuple((codec.block(name), inc) for name, inc in block_delta),
+        flat_delta,
+    )

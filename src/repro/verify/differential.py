@@ -48,8 +48,18 @@ from repro.vm.capture import trace_key
 #: out around ~20k actual steps; anything past this is a runaway).
 VERIFY_MAX_STEPS = 2_000_000
 
-#: The execution paths every (vm, scheme) pair is run through.
-PATHS = ("live", "record", "replay", "replay-memo")
+#: The execution paths every (vm, scheme) pair is run through.  The
+#: ``-nokernel`` variants force the event-by-event interpreted replay
+#: path (``use_kernel=False``), pinning the exec-compiled kernels'
+#: byte-identity against the reference implementation.
+PATHS = (
+    "live",
+    "record",
+    "replay",
+    "replay-memo",
+    "replay-nokernel",
+    "replay-memo-nokernel",
+)
 
 
 @dataclass
@@ -200,6 +210,14 @@ class DifferentialRunner:
                         )
                         results["replay-memo"] = self._sim(
                             source, vm, scheme, store, "replay", memo=True
+                        )
+                        results["replay-nokernel"] = self._sim(
+                            source, vm, scheme, store, "replay",
+                            memo=False, use_kernel=False,
+                        )
+                        results["replay-memo-nokernel"] = self._sim(
+                            source, vm, scheme, store, "replay",
+                            memo=True, use_kernel=False,
                         )
                     except InvariantViolation as exc:
                         fail(vm, scheme, "invariant", str(exc))

@@ -494,11 +494,17 @@ def _replay_pools(trace: RecordedTrace) -> tuple:
     return daddr_pool, builtin_pool, cost_pool
 
 
-def replay_events(trace: RecordedTrace, on_event) -> int:
-    """Drive every recorded event through *on_event*.  Returns the count."""
+def replay_events(trace: RecordedTrace, on_event, runner=None) -> int:
+    """Drive every recorded event through *on_event*.  Returns the count.
+
+    When *runner* carries a direct-dispatch replay kernel (see
+    :class:`repro.native.kernel.BoundKernel`), events index its kernel
+    table straight from the columns — same semantics as *on_event*,
+    minus one call per event.
+    """
     daddr_pool, builtin_pool, cost_pool = _replay_pools(trace)
     columns = trace.columns
-    for op, site, taken, callee, daddr_id, builtin_id, cost_id in zip(
+    stream = zip(
         columns["ops"],
         columns["sites"],
         columns["takens"],
@@ -506,7 +512,20 @@ def replay_events(trace: RecordedTrace, on_event) -> int:
         columns["daddr_ids"],
         columns["builtin_ids"],
         columns["cost_ids"],
-    ):
+    )
+    kernel = getattr(runner, "kernel", None)
+    if kernel is not None and kernel.direct:
+        table = kernel.table
+        for op, site, taken, callee, daddr_id, builtin_id, cost_id in stream:
+            table[op, site](
+                taken,
+                callee,
+                daddr_pool[daddr_id],
+                builtin_pool[builtin_id],
+                cost_pool[cost_id],
+            )
+        return trace.n_events
+    for op, site, taken, callee, daddr_id, builtin_id, cost_id in stream:
         on_event(
             op,
             site,
@@ -546,21 +565,33 @@ def replay_events_memo(
     builtin_ids = columns["builtin_ids"]
     cost_ids = columns["cost_ids"]
     on_event = runner.on_event
+    kernel = getattr(runner, "kernel", None)
+    table = kernel.table if kernel is not None and kernel.direct else None
     for chunk, key in enumerate(trace.chunk_keys(chunk_events)):
         start = chunk * chunk_events
         stop = min(n_events, start + chunk_events)
         if memo.try_apply(key, stop - start):
             continue
         memo.begin()
-        for index in range(start, stop):
-            on_event(
-                ops[index],
-                sites[index],
-                takens[index],
-                callees[index],
-                daddr_pool[daddr_ids[index]],
-                builtin_pool[builtin_ids[index]],
-                cost_pool[cost_ids[index]],
-            )
+        if table is not None:
+            for index in range(start, stop):
+                table[ops[index], sites[index]](
+                    takens[index],
+                    callees[index],
+                    daddr_pool[daddr_ids[index]],
+                    builtin_pool[builtin_ids[index]],
+                    cost_pool[cost_ids[index]],
+                )
+        else:
+            for index in range(start, stop):
+                on_event(
+                    ops[index],
+                    sites[index],
+                    takens[index],
+                    callees[index],
+                    daddr_pool[daddr_ids[index]],
+                    builtin_pool[builtin_ids[index]],
+                    cost_pool[cost_ids[index]],
+                )
         memo.commit(key)
     return n_events

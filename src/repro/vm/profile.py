@@ -110,3 +110,45 @@ def profile_workload(name: str, vm: str = "lua", scale: str = "sim") -> Bytecode
     from repro.workloads import workload
 
     return profile_source(workload(name).source(scale=scale), vm=vm)
+
+
+def suggest_fusion(profile: BytecodeProfile, count: int = 16) -> list[dict]:
+    """Rank fusible adjacent opcode pairs for the superinst scheme.
+
+    Candidates are restricted the same way the model assembler restricts
+    ``FUSED_PAIRS``: both opcodes must be straight-line handlers (no guest
+    branch, no work loop, no call-out) — anything else cannot be fused
+    without duplicating continuation logic.  Rows come back ordered by
+    dynamic pair count with a running :meth:`BytecodeProfile.pair_coverage`
+    upper bound, and flag whether the pair is already in the model's
+    current table (``scd-repro profile --suggest-fusion`` renders them in
+    the ``FUSED_PAIRS`` source format for pasting into the backend).
+    """
+    from repro.native import js_model, lua_model
+
+    backend = lua_model if profile.vm == "lua" else js_model
+    specs = backend.HANDLER_SPECS
+
+    def fusible(op) -> bool:
+        spec = specs.get(op)
+        return spec is not None and not (
+            spec.guest_branch or spec.has_work_loop or spec.calls_out
+        )
+
+    current = {tuple(pair) for pair in backend.FUSED_PAIRS}
+    rows: list[dict] = []
+    chosen: list[tuple] = []
+    for (first, second), n in profile.pairs.most_common():
+        if len(rows) >= count:
+            break
+        if not (fusible(first) and fusible(second)):
+            continue
+        chosen.append((first, second))
+        rows.append({
+            "first": profile._name(first),
+            "second": profile._name(second),
+            "count": n,
+            "in_table": (first, second) in current,
+            "coverage": profile.pair_coverage(chosen),
+        })
+    return rows

@@ -331,6 +331,51 @@ class TestShardQuarantine:
         reason = files[0].with_name(files[0].name + ".reason.txt")
         assert "reason:" in reason.read_text()
 
+    def test_corrupt_memo_entry_quarantined_with_reason(self, tmp_path):
+        """A bit-flipped persisted memo shard fails its CRC frame on
+        read, moves to quarantine, and the replay falls back to an empty
+        memo with byte-identical results."""
+        from repro.core.simulation import simulate
+        from repro.harness.cache import MemoStore
+
+        source = (
+            'var i = 0;\nwhile (i < 5000) { i = i + 1; }\n'
+            'print("done " .. i);\n'
+        )
+        store = TraceStore(root=tmp_path)
+        memos = MemoStore(root=tmp_path)
+        simulate(
+            "loop", vm="lua", scheme="scd", source=source,
+            trace_store=store, trace_mode="record",
+        )
+        reference = simulate(
+            "loop", vm="lua", scheme="scd", source=source,
+            trace_store=store, trace_mode="replay", memo_store=memos,
+        )
+        entries = list(memos.path.glob("*.bin"))
+        assert entries
+        blob = bytearray(entries[0].read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        entries[0].write_bytes(bytes(blob))
+        before = METRICS.quarantined
+        fresh = MemoStore(root=tmp_path)
+        meta: dict = {}
+        result = simulate(
+            "loop", vm="lua", scheme="scd", source=source,
+            trace_store=TraceStore(root=tmp_path), trace_mode="replay",
+            memo_store=fresh, metrics=meta,
+        )
+        assert meta["memo_loaded"] == 0
+        assert result.to_dict() == reference.to_dict()
+        assert METRICS.quarantined == before + 1
+        quarantine_dir = tmp_path / "quarantine" / "memos"
+        files = list(quarantine_dir.glob("*.bin"))
+        assert len(files) == 1
+        reason = files[0].with_name(files[0].name + ".reason.txt")
+        assert "reason:" in reason.read_text()
+        # The slot was re-learned and re-persisted by the fallback run.
+        assert list(fresh.path.glob("*.bin"))
+
     def test_missing_entry_is_not_quarantined(self, tmp_path):
         cache = ResultCache("missing", root=tmp_path)
         assert cache.get("never-written") is None
