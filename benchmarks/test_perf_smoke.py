@@ -105,6 +105,7 @@ def test_dispatch_throughput_guard(tmp_path):
         "min_events_per_s": MIN_EVENTS_PER_S,
         "min_trace_speedup": MIN_TRACE_SPEEDUP,
         "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+        "min_batch_speedup": MIN_BATCH_SPEEDUP,
         "skipped": bool(os.environ.get("SCD_SKIP_PERF_GUARD")),
     })
 
@@ -227,9 +228,13 @@ def test_kernel_replay_speedup(tmp_path):
     simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
 
     def with_kernel(enabled: bool):
+        # Batch replay is pinned off on both sides so this section
+        # isolates the kernel layer; test_batch_replay_speedup measures
+        # the batch layer against this kernel-only baseline.
         return tuple(
             SimJob(j.workload, j.vm, j.scheme,
-                   kwargs=j.kwargs + (("use_kernel", enabled),))
+                   kwargs=j.kwargs
+                   + (("use_kernel", enabled), ("use_batch", False)))
             for j in TRACE_GRID
         )
 
@@ -307,4 +312,103 @@ def test_kernel_replay_speedup(tmp_path):
     assert speedup >= MIN_KERNEL_SPEEDUP, (
         f"compiled kernels only {speedup:.2f}x over interpreted replay "
         f"< {MIN_KERNEL_SPEEDUP:.1f}x (see {BENCH_PATH.name})"
+    )
+
+
+#: Chunk-compiled batch (superblock) replay must beat the per-event
+#: kernel path by at least this factor (measured ~1.6x on the TRACE_GRID
+#: with cold memos; generous floor for slow runners).
+MIN_BATCH_SPEEDUP = 1.25
+
+
+def test_batch_replay_speedup(tmp_path):
+    """Warm-replay sweep with superblock batch replay on vs off.
+
+    Both sides run with the exec-compiled kernels enabled; the batch-on
+    side additionally segments periodic trace runs into superblocks and
+    replays each repetition through one chunk-compiled function.  Records
+    the TRACE_GRID once, replays it through two isolated cache roots
+    (copied traces, so neither side inherits the other's persisted
+    steady-state memos), and asserts byte-identity plus the
+    ``MIN_BATCH_SPEEDUP`` floor over the per-event kernel path.
+    """
+    simulate("fibo", vm="lua", scheme="scd", n=8, check_output=False)
+
+    def with_batch(enabled: bool):
+        return tuple(
+            SimJob(j.workload, j.vm, j.scheme,
+                   kwargs=j.kwargs + (("use_batch", enabled),))
+            for j in TRACE_GRID
+        )
+
+    import shutil
+
+    from repro.harness.cache import CACHE_VERSION
+
+    shared = tmp_path / "shared"
+    try:
+        set_default_trace_mode("record")
+        run_jobs(
+            TRACE_GRID, workers=1,
+            cache=ResultCache("perf-batch-seed", root=shared),
+        )
+        traces = shared / f"v{CACHE_VERSION}" / "traces"
+        for side in ("on", "off"):
+            shutil.copytree(
+                traces, tmp_path / side / f"v{CACHE_VERSION}" / "traces"
+            )
+
+        set_default_trace_mode("replay")
+        METRICS.reset()
+        start = time.perf_counter()
+        batch_on = run_jobs(
+            with_batch(True), workers=1,
+            cache=ResultCache("perf-batch-on", root=tmp_path / "on"),
+        )
+        wall_on = time.perf_counter() - start
+        rate_on = (
+            METRICS.events_replayed / METRICS.replay_wall_s
+            if METRICS.replay_wall_s > 0 else 0.0
+        )
+        batch_events = METRICS.batch_events
+        superblocks = METRICS.superblocks
+
+        METRICS.reset()
+        start = time.perf_counter()
+        batch_off = run_jobs(
+            with_batch(False), workers=1,
+            cache=ResultCache("perf-batch-off", root=tmp_path / "off"),
+        )
+        wall_off = time.perf_counter() - start
+        rate_off = (
+            METRICS.events_replayed / METRICS.replay_wall_s
+            if METRICS.replay_wall_s > 0 else 0.0
+        )
+    finally:
+        set_default_trace_mode(None)
+
+    # The batch layer's contract: byte-identical results, only faster.
+    assert batch_on == batch_off
+
+    speedup = wall_off / wall_on if wall_on > 0 else float("inf")
+    _update_bench("batch_replay", {
+        "grid_points": len(TRACE_GRID),
+        "wall_s_batch_on": round(wall_on, 3),
+        "wall_s_batch_off": round(wall_off, 3),
+        "speedup_batch_over_kernel": round(speedup, 3),
+        "replay_events_per_s_batch_on": round(rate_on, 1),
+        "replay_events_per_s_batch_off": round(rate_off, 1),
+        "batch_events": batch_events,
+        "superblocks": superblocks,
+    })
+
+    # The superblocks must carry the steady-state share of the events.
+    assert batch_events > 0
+    assert superblocks > 0
+
+    if os.environ.get("SCD_SKIP_PERF_GUARD"):
+        return
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batch replay only {speedup:.2f}x over per-event kernel replay "
+        f"< {MIN_BATCH_SPEEDUP:.1f}x (see {BENCH_PATH.name})"
     )

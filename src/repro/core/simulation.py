@@ -82,6 +82,7 @@ def simulate(
     trace_mode: str | None = None,
     replay_memo: bool = True,
     use_kernel: bool | None = None,
+    use_batch: bool | None = None,
     memo_store=None,
     machine_factory=None,
     probe=None,
@@ -131,6 +132,10 @@ def simulate(
             off (False); ``None`` resolves through
             :func:`repro.native.kernel.kernel_enabled` (CLI default, then
             ``SCD_REPRO_KERNEL``, then on).
+        use_batch: force chunk-compiled batch (superblock) replay on
+            (True) or off (False) on top of the kernels; ``None``
+            resolves through :func:`repro.native.batch.batch_enabled`
+            (CLI default, then ``SCD_REPRO_BATCH``, then on).
         memo_store: optional :class:`repro.harness.cache.MemoStore`.  When
             given together with a replayed trace and ``replay_memo``, the
             steady-state memo's transition table is loaded from (and, when
@@ -172,6 +177,7 @@ def simulate(
             context_switch_interval=context_switch_interval,
             context_switch_policy=context_switch_policy,
             use_kernel=use_kernel,
+            use_batch=use_batch,
         )
     runner.start()
 
@@ -272,6 +278,8 @@ def simulate(
         kernel = runner.kernel
         metrics["kernel_events"] = kernel.kernel_events if kernel else 0
         metrics["fallback_events"] = kernel.fallback_events if kernel else 0
+        metrics["batch_events"] = kernel.batch_events if kernel else 0
+        metrics["superblocks"] = kernel.superblocks if kernel else 0
         # Per-component uarch counter export: the telemetry layer attaches
         # it to the job span, `scd-repro profile` prints it.  One small
         # dict per multi-second simulation — noise next to the run itself.

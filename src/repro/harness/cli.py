@@ -8,6 +8,8 @@ Commands::
     scd-repro all                  # every experiment, in paper order
     scd-repro report               # regenerate EXPERIMENTS.md content
     scd-repro profile fibo         # bytecode + uarch profile of one workload
+    scd-repro bench                # BENCH_dispatch.json vs its guard floors
+    scd-repro bench --update       # regenerate it from the perf-smoke grid
     scd-repro clear-cache
 """
 
@@ -135,15 +137,25 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    from repro.vm.profile import profile_workload, suggest_fusion
+    from repro.vm.profile import (
+        profile_workload,
+        suggest_fusion,
+        suggest_superblocks,
+    )
 
     if args.suggest_fusion:
         with obs.span("experiment", experiment=f"fusion:{args.workload}"):
             profile = profile_workload(args.workload, vm=args.vm)
         rows = suggest_fusion(profile, count=args.top)
+        seq_rows = suggest_superblocks(profile, count=args.top)
         if args.json:
             print(json.dumps(
-                {"vm": args.vm, "workload": args.workload, "pairs": rows},
+                {
+                    "vm": args.vm,
+                    "workload": args.workload,
+                    "pairs": rows,
+                    "sequences": seq_rows,
+                },
                 indent=2, sort_keys=True,
             ))
             return 0
@@ -160,6 +172,20 @@ def _cmd_profile(args) -> int:
                 f"{entry:<44}# {mark} {row['count']:>10,} dyn, "
                 f"cum {row['coverage']:6.2%}"
             )
+        print(")")
+        print(
+            f"\n# top {len(seq_rows)} recurring kernel-key sequences "
+            "(batch superblock candidates, canonical rotation; "
+            "(op, site) pairs as the segmenter keys them)"
+        )
+        print("SUPERBLOCK_BODIES: tuple = (")
+        for row in seq_rows:
+            print(
+                f"    # period {row['period']}, {row['events']:,} events "
+                f"({row['share']:.2%}): {' '.join(row['names'])}"
+            )
+            keys = ", ".join(f"({op}, {site})" for op, site in row["keys"])
+            print(f"    ({keys}),")
         print(")")
         return 0
 
@@ -203,6 +229,80 @@ def _cmd_profile(args) -> int:
             else:
                 print(f"    {key:<24} {value}")
     return 0
+
+
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.obs import regress
+
+    if args.update:
+        suite = (
+            Path(__file__).resolve().parents[3]
+            / "benchmarks" / "test_perf_smoke.py"
+        )
+        if not suite.is_file():
+            print(f"perf-smoke suite not found at {suite}", file=sys.stderr)
+            return 1
+        import pytest
+
+        env_key = "SCD_SKIP_PERF_GUARD"
+        previous = os.environ.get(env_key)
+        if not args.guard:
+            # Regeneration is about recording this host's numbers, not
+            # judging them; floors are re-checked below and by CI.
+            os.environ[env_key] = "1"
+        try:
+            code = pytest.main(["-q", "-p", "no:cacheprovider", str(suite)])
+        finally:
+            if not args.guard:
+                if previous is None:
+                    os.environ.pop(env_key, None)
+                else:
+                    os.environ[env_key] = previous
+        if code != 0:
+            return int(code)
+
+    found = regress.find_bench()
+    bench = regress.load_bench()
+    if bench is None:
+        print(
+            f"no {regress.BENCH_NAME} found; run 'scd-repro bench --update'",
+            file=sys.stderr,
+        )
+        return 1
+    guard = bench.get("guard", {})
+    checks = (
+        ("hot path events/s",
+         bench.get("hot_path", {}).get("events_per_s"),
+         guard.get("min_events_per_s")),
+        ("trace replay events/s",
+         bench.get("trace_replay", {}).get("replay_events_per_s"),
+         guard.get("min_events_per_s")),
+        ("warm-over-cold speedup",
+         bench.get("trace_replay", {}).get("speedup_warm_over_cold"),
+         guard.get("min_trace_speedup")),
+        ("kernel-over-interpreted speedup",
+         bench.get("kernel_replay", {}).get("speedup_kernel_over_interpreted"),
+         guard.get("min_kernel_speedup")),
+        ("batch-over-kernel speedup",
+         bench.get("batch_replay", {}).get("speedup_batch_over_kernel"),
+         guard.get("min_batch_speedup")),
+    )
+    print(f"# {found}")
+    below = 0
+    for name, measured, floor in checks:
+        if measured is None or floor is None:
+            verdict = "n/a"
+        elif measured >= floor:
+            verdict = "ok"
+        else:
+            verdict = "BELOW FLOOR"
+            below = 1
+        shown = "n/a" if measured is None else f"{measured:,.1f}"
+        limit = "n/a" if floor is None else f"{floor:,.1f}"
+        print(f"  {name:<33} {shown:>12}  (floor {limit:>9})  {verdict}")
+    return below
 
 
 def _cmd_clear_cache(_args) -> int:
@@ -270,6 +370,13 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the exec-compiled replay kernels for this invocation "
         "and use the event-by-event interpreted path (equivalent to "
         "SCD_REPRO_KERNEL=0; results are byte-identical either way)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable chunk-compiled batch (superblock) replay for this "
+        "invocation and fall back to the per-event kernels (equivalent "
+        "to SCD_REPRO_BATCH=0; results are byte-identical either way)",
     )
     trace_group = parser.add_mutually_exclusive_group()
     trace_group.add_argument(
@@ -361,7 +468,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="rank straight-line adjacent opcode pairs by dynamic count "
         "and print them in the backend FUSED_PAIRS table format "
-        "(superinstruction selection aid)",
+        "(superinstruction selection aid), plus recurring kernel-key "
+        "sequences (length 3-8) in the batch segmenter's (op, site) form",
+    )
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="show BENCH_dispatch.json against its guard floors; "
+        "--update regenerates it from the perf-smoke grid",
+    )
+    bench_parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rerun benchmarks/test_perf_smoke.py and rewrite "
+        "BENCH_dispatch.json deterministically (records without "
+        "asserting floors, like SCD_SKIP_PERF_GUARD=1)",
+    )
+    bench_parser.add_argument(
+        "--guard",
+        action="store_true",
+        help="with --update, also enforce the perf floors while "
+        "regenerating (fails like CI would)",
     )
 
     for name in EXPERIMENTS:
@@ -391,6 +518,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.native.kernel import set_kernel_enabled
 
         set_kernel_enabled(False)
+    if args.no_batch:
+        from repro.native.batch import set_batch_enabled
+
+        set_batch_enabled(False)
     if args.record:
         set_default_trace_mode("record")
     elif args.replay:
@@ -424,6 +555,8 @@ def _dispatch(args) -> int:
         return _cmd_verify(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
     return _cmd_experiment(args.command)

@@ -222,6 +222,8 @@ class ThroughputMetrics:
     memo_loaded: int = 0
     kernel_events: int = 0
     fallback_events: int = 0
+    batch_events: int = 0
+    superblocks: int = 0
     retries: int = 0
     timeouts: int = 0
     worker_deaths: int = 0
@@ -246,6 +248,8 @@ class ThroughputMetrics:
             self.interp_wall_s += wall
         self.kernel_events += int(meta.get("kernel_events", 0))
         self.fallback_events += int(meta.get("fallback_events", 0))
+        self.batch_events += int(meta.get("batch_events", 0))
+        self.superblocks += int(meta.get("superblocks", 0))
 
     def reset(self) -> None:
         """Zero *every* counter, by dataclass-field introspection.
@@ -317,6 +321,11 @@ class ThroughputMetrics:
             parts.append(
                 f"kernel: {self.kernel_events:,} compiled vs "
                 f"{self.fallback_events:,} fallback events"
+            )
+        if self.batch_events:
+            parts.append(
+                f"batch: {self.batch_events:,} events in "
+                f"{self.superblocks} superblocks"
             )
         faults = self.fault_summary()
         if faults:
@@ -482,6 +491,8 @@ def execute_job(
             replayed=bool(meta.get("replayed")),
             kernel_events=meta.get("kernel_events", 0),
             fallback_events=meta.get("fallback_events", 0),
+            batch_events=meta.get("batch_events", 0),
+            superblocks=meta.get("superblocks", 0),
             memo_loaded=meta.get("memo_loaded", 0),
             uarch=meta.get("uarch", {}),
         )

@@ -125,6 +125,11 @@ class _Emitter:
             self.btb_sets,
             self.scheme,
             self.scd_tables,
+            self.iways,
+            self.dways,
+            self.btb_ways,
+            self.btb_policy,
+            self.itlb_entries,
         ) = shape
         self.body: list[str] = []
         self.refs: list = []
@@ -154,6 +159,37 @@ class _Emitter:
         for line in lines:
             self.emit(line, depth)
 
+    # -- uarch projection hooks ------------------------------------------------
+    # The batch superblock emitter (:mod:`repro.native.batch`) overrides
+    # these with fully-inlined variants (slow paths included); everything
+    # above them — page tracking, deferral bookkeeping, emission order —
+    # is shared between the two compilers.
+
+    def _ifetch(self, block, known_ipage):
+        return kernel_ifetch_lines(block, known_ipage, self.imask)
+
+    def _dconst(self, address: int, known_dpage):
+        return kernel_daccess_const_lines(
+            address, known_dpage, self.dshift, self.dmask
+        )
+
+    def _dexpr(self, expr: str):
+        return kernel_daccess_expr_lines(expr, self.dshift, self.dmask)
+
+    def _dloop(self, var: str):
+        return kernel_daddrs_loop_lines(var, self.dshift, self.dmask)
+
+    def _cond(self, pc: int, taken: bool, category: str):
+        return kernel_cond_lines(pc, taken, category, self.pred_sig, self.btb_sets)
+
+    def _dj(self, pc: int, target: int):
+        return kernel_direct_jump_lines(pc, target, self.btb_sets)
+
+    def _ij(self, pc: int, target: int, hint, category: str):
+        return kernel_indirect_jump_lines(
+            pc, target, hint, category, self.scheme, self.btb_sets
+        )
+
     # -- block inlining --------------------------------------------------------
 
     def inline_static_block(self, block) -> None:
@@ -165,7 +201,7 @@ class _Emitter:
         else:
             entry[1] += 1
         self.static_cycles += block_issue_slots(block, self.width)
-        lines, page, accesses = kernel_ifetch_lines(block, self.ipage, self.imask)
+        lines, page, accesses = self._ifetch(block, self.ipage)
         self.ic_acc += accesses
         self.emit_lines(lines)
         self.ipage = page
@@ -179,7 +215,7 @@ class _Emitter:
         self.emit(f"counts[{name}] = counts_get({name}, 0) + 1", depth)
         slots = block_issue_slots(block, self.width)
         self.emit(f"stats.cycles += {slots}", depth)
-        lines, page, accesses = kernel_ifetch_lines(block, page_in, self.imask)
+        lines, page, accesses = self._ifetch(block, page_in)
         if accesses:
             self.emit(f"ICO.accesses += {accesses}", depth)
         self.emit_lines(lines, depth)
@@ -188,20 +224,18 @@ class _Emitter:
     # -- data accesses ---------------------------------------------------------
 
     def daccess_const(self, address: int) -> None:
-        lines, page = kernel_daccess_const_lines(
-            address, self.dpage, self.dshift, self.dmask
-        )
+        lines, page = self._dconst(address, self.dpage)
         self.dc_acc += 1
         self.emit_lines(lines)
         self.dpage = page
 
     def daccess_expr(self, expr: str) -> None:
-        self.emit_lines(kernel_daccess_expr_lines(expr, self.dshift, self.dmask))
+        self.emit_lines(self._dexpr(expr))
         self.dc_acc += 1
         self.dpage = None
 
     def daddrs_loop(self, var: str = "daddrs") -> None:
-        self.emit_lines(kernel_daddrs_loop_lines(var, self.dshift, self.dmask))
+        self.emit_lines(self._dloop(var))
         self.dpage = None
 
     # -- control transfers -----------------------------------------------------
@@ -217,7 +251,7 @@ class _Emitter:
         caller already accounted it (the other arm of an exhaustive
         if/else).
         """
-        lines = kernel_cond_lines(pc, taken, category, self.pred_sig, self.btb_sets)
+        lines = self._cond(pc, taken, category)
         if lines is None:
             self.emit(f"cond({pc}, {taken}, {category!r})", depth)
             return
@@ -229,15 +263,13 @@ class _Emitter:
 
     def dj_const(self, pc: int, target: int, depth: int = 0) -> None:
         """Inline a constant unconditional direct jump."""
-        self.emit_lines(kernel_direct_jump_lines(pc, target, self.btb_sets), depth)
+        self.emit_lines(self._dj(pc, target), depth)
 
     def ij_const(self, pc: int, target: int, hint, category: str) -> None:
         """Inline a constant indirect jump (BTB/VBBI schemes); falls back
         to the ``ij`` method for history-based predictors.  Straight-line
         context only (``stats.indirect_jumps`` is deferred)."""
-        lines = kernel_indirect_jump_lines(
-            pc, target, hint, category, self.scheme, self.btb_sets
-        )
+        lines = self._ij(pc, target, hint, category)
         if lines is None:
             self.emit(f"ij({pc}, {target}, {hint}, {category!r})")
             return
@@ -247,6 +279,11 @@ class _Emitter:
     def lop_const(self, bytecode: int, table: int) -> None:
         """Inline the ``<inst>.op`` deposit."""
         self.emit_lines(kernel_load_op_lines(bytecode, table, self.scd_tables))
+
+    def bop_open(self, pc: int, table: int) -> None:
+        """Open the SCD slow-path conditional: subsequent depth-1 lines
+        run only on a ``bop`` miss."""
+        self.emit(f"if bop({pc}, {table}) is None:")
 
     @property
     def static_pairs(self) -> tuple:
@@ -268,8 +305,11 @@ _PREAMBLE = """\
     DCO = m.dcache
     itlb = m.itlb.access
     dtlb = m.dtlb.access
+    ITLBO = m.itlb
+    DTLBO = m.dtlb
     stall = m._stall
     fill = m._fill_latency
+    CB = stats.cycle_breakdown
     PRED = m.predictor
     PG = getattr(m.predictor, "global_component", None)
     PL = getattr(m.predictor, "local_component", None)
@@ -287,6 +327,8 @@ _PREAMBLE = """\
     ebs = m.exec_blocks
     call = m.call
     mret = m.ret
+    rasp = m.ras.push
+    rasq = m.ras.pop
     lop = m.load_op
     bop = m.bop
     jru = m.jru
@@ -294,6 +336,8 @@ _PREAMBLE = """\
     TLBP = m.config.tlb_miss_penalty
     ICLAT = m.config.icache.hit_latency
     DCLAT = m.config.dcache.hit_latency
+    SSP = m.config.scd_stall_policy == 'fallthrough'
+    SSC = m.config.scd_stall_cycles
     INTERVAL = r.context_switch_interval
     SAVE = r.context_switch_policy == "save"
     cnt = [0]
@@ -349,7 +393,7 @@ def _emit_dispatch(em: _Emitter, model, dispatch, handler, op: int, site: int) -
         em.lop_const(op & model.opcode_mask, site)
         em.inline_static_block(dispatch.bop_block)
         fast_page = em.ipage
-        em.emit(f"if bop({dispatch.bop_pc}, {site}) is None:")
+        em.bop_open(dispatch.bop_pc, site)
         page = em.inline_cond_block(dispatch.decode, 1, fast_page)
         page = em.inline_cond_block(dispatch.bound, 1, page)
         em.cond_const(dispatch.bound_pc, False, "bound_check", depth=1, defer=False)
@@ -440,6 +484,27 @@ def _emit_tail(em: _Emitter, model, handler) -> None:
             em.dj_const(tail[0], tail[1])
 
 
+def emit_event_core(em: _Emitter, model, op: int, site: int,
+                    daddrs_var: str = "daddrs"):
+    """Emit the dispatch + handler body + tail of one event.
+
+    The shared per-event core of the single-event kernels and the batch
+    superblock compiler (:mod:`repro.native.batch`): everything between
+    the event prologue (counter/cursor bookkeeping, which differs
+    between the two) and the next event.  Expects ``fa`` (the guest-code
+    fetch address) and the handler-kind dynamic locals (*daddrs_var*,
+    and ``taken``/``callee``/``builtin``/``cost`` where the kind
+    consumes them) to be live.  Returns the handler runtime (for kind
+    queries).
+    """
+    handler = model.handlers[op]
+    dispatch = model.dispatchers.get(site) or model.dispatchers[0]
+    _emit_dispatch(em, model, dispatch, handler, op, site)
+    _emit_handler_body(em, handler, daddrs_var)
+    _emit_tail(em, model, handler)
+    return handler
+
+
 @functools.lru_cache(maxsize=None)
 def _compiled_kernel(vm_kind: str, strategy: str, op: int, site: int, shape: tuple):
     """Compile one (opcode, site) kernel for a model/config shape.
@@ -458,9 +523,6 @@ def _compiled_kernel(vm_kind: str, strategy: str, op: int, site: int, shape: tup
     deferred_stats)``; the maker is called as
     ``make(runner, machine, refs) -> (kernel, cell)``.
     """
-    model = get_model(vm_kind, strategy)
-    handler = model.handlers[op]
-    dispatch = model.dispatchers.get(site) or model.dispatchers[0]
     em = _Emitter(shape)
     has_cs = em.has_cs
     em.emit("cnt[0] += 1")
@@ -471,9 +533,7 @@ def _compiled_kernel(vm_kind: str, strategy: str, op: int, site: int, shape: tup
     em.emit("cur = (r._code_cursor + 4) & 16383")
     em.emit("r._code_cursor = cur")
     em.emit(f"fa = {_GUEST_CODE_BASE} + cur")
-    _emit_dispatch(em, model, dispatch, handler, op, site)
-    _emit_handler_body(em, handler)
-    _emit_tail(em, model, handler)
+    emit_event_core(em, get_model(vm_kind, strategy), op, site)
     make = _assemble(
         em,
         "taken, callee, daddrs, builtin, cost",
@@ -530,6 +590,13 @@ def _compiled_fused(
 
 # -- runtime binding -----------------------------------------------------------
 
+#: Registration kinds for the deferred counter cells in
+#: :attr:`BoundKernel._regs`: which throughput counter the cell's events
+#: fold into at flush time.
+REG_KERNEL = 0
+REG_FALLBACK = 1
+REG_BATCH = 2
+
 
 class _LazyTable(dict):
     """Dict whose misses build-and-cache through the owning kernel."""
@@ -568,10 +635,15 @@ class BoundKernel:
         "compiled",
         "kernel_events",
         "fallback_events",
+        "batch_enabled",
+        "batch_events",
+        "superblocks",
+        "batch",
+        "sb_table",
         "_regs",
     )
 
-    def __init__(self, runner):
+    def __init__(self, runner, use_batch: bool | None = None):
         self.runner = runner
         self.machine = runner.machine
         self.model = runner.model
@@ -585,6 +657,19 @@ class BoundKernel:
         #: the replay loops use this to skip even the entry call.
         self.direct = not runner._is_superinst
         self.entry = self._on_event if self.direct else self._on_event_buffered
+        # Batch (superblock) replay rides on the direct kernel table: the
+        # fusion-buffered strategies reorder events through the pending
+        # slot, which the columnar executor cannot replicate.
+        self.batch_events = 0
+        self.superblocks = 0
+        self.batch = None
+        self.sb_table = None
+        if self.direct:
+            from repro.native.batch import batch_enabled
+
+            self.batch_enabled = batch_enabled(use_batch)
+        else:
+            self.batch_enabled = False
 
     # -- event entry points ----------------------------------------------------
 
@@ -624,6 +709,11 @@ class BoundKernel:
             machine.btb.n_sets,
             machine.config.indirect_scheme,
             machine.scd.tables,
+            machine.icache.ways,
+            machine.dcache.ways,
+            machine.btb.ways,
+            machine.btb.policy,
+            machine.itlb.entries,
         )
 
     def _build(self, key):
@@ -639,7 +729,7 @@ class BoundKernel:
             return self._fallback(op, site)
         make, refs, pairs, deferred, weight, dstats = compiled
         kernel, cell = make(runner, self.machine, refs)
-        self._regs.append((cell, pairs, deferred, weight, False, dstats))
+        self._regs.append((cell, pairs, deferred, weight, REG_KERNEL, dstats))
         self.compiled += 1
         obs.event(
             "kernel_compile",
@@ -665,7 +755,7 @@ class BoundKernel:
             return self._fallback_fused(op_a, op_b)
         make, refs, pairs, deferred, weight, dstats = compiled
         kernel, cell = make(runner, self.machine, refs)
-        self._regs.append((cell, pairs, deferred, weight, False, dstats))
+        self._regs.append((cell, pairs, deferred, weight, REG_KERNEL, dstats))
         self.compiled += 1
         obs.event(
             "kernel_compile",
@@ -677,7 +767,7 @@ class BoundKernel:
     def _fallback(self, op, site):
         """Interpreted-path wrapper counted as fallback events."""
         cell = [0]
-        self._regs.append((cell, (), 0, 1, True, None))
+        self._regs.append((cell, (), 0, 1, REG_FALLBACK, None))
         replay = self.runner._replay
         obs.event(
             "kernel_fallback",
@@ -693,7 +783,7 @@ class BoundKernel:
 
     def _fallback_fused(self, op_a, op_b):
         cell = [0]
-        self._regs.append((cell, (), 0, 2, True, None))
+        self._regs.append((cell, (), 0, 2, REG_FALLBACK, None))
         runner = self.runner
         fused_rt = self.model.fused[(op_a, op_b)]
 
@@ -705,6 +795,17 @@ class BoundKernel:
 
     # -- deferred accounting ---------------------------------------------------
 
+    def register_cell(
+        self, cell, pairs, deferred, weight, kind, dstats
+    ) -> None:
+        """Register a deferred counter cell for :meth:`flush`.
+
+        The batch superblock compiler registers its per-sequence cells
+        here (kind :data:`REG_BATCH`) so memo boundaries and finish()
+        fold them exactly like single-event kernel cells.
+        """
+        self._regs.append((cell, pairs, deferred, weight, kind, dstats))
+
     def flush(self) -> None:
         """Fold every pending counter cell into the machine and runner."""
         machine = self.machine
@@ -712,18 +813,20 @@ class BoundKernel:
         counts = machine._block_counts
         counts_get = counts.get
         deferred_events = 0
-        for cell, pairs, deferred, weight, is_fallback, dstats in self._regs:
+        for cell, pairs, deferred, weight, kind, dstats in self._regs:
             n = cell[0]
             if not n:
                 continue
             cell[0] = 0
             deferred_events += n * deferred
-            if is_fallback:
+            if kind == REG_KERNEL:
+                self.kernel_events += n * weight
+            elif kind == REG_FALLBACK:
                 self.fallback_events += n * weight
             else:
-                self.kernel_events += n * weight
+                self.batch_events += n * weight
             if dstats is not None:
-                ic_acc, dc_acc, cycles, branches, ijumps = dstats
+                ic_acc, dc_acc, cycles, branches, ijumps = dstats[:5]
                 if ic_acc:
                     machine.icache.accesses += n * ic_acc
                 if dc_acc:
@@ -735,6 +838,14 @@ class BoundKernel:
                     stats.branches += n * branches
                 if ijumps:
                     stats.indirect_jumps += n * ijumps
+                if len(dstats) > 5:
+                    # Batch superblocks additionally defer unconditional
+                    # TLB access counts.
+                    itlb_acc, dtlb_acc = dstats[5:]
+                    if itlb_acc:
+                        machine.itlb.accesses += n * itlb_acc
+                    if dtlb_acc:
+                        machine.dtlb.accesses += n * dtlb_acc
             for block, mult in pairs:
                 counts[block] = counts_get(block, 0) + n * mult
         if deferred_events:

@@ -493,6 +493,10 @@ class ModelRunner:
             subclasses (the verifier's ``CheckedMachine``) keep the
             interpreted path so their instrumentation is never inlined
             past.
+        use_batch: force chunk-compiled batch (superblock) replay on/off
+            on top of the kernels; ``None`` resolves through
+            :func:`repro.native.batch.batch_enabled` (CLI default, then
+            ``SCD_REPRO_BATCH``, then on).  Moot when kernels are off.
     """
 
     def __init__(
@@ -502,6 +506,7 @@ class ModelRunner:
         context_switch_interval: int | None = None,
         context_switch_policy: str = "flush",
         use_kernel: bool | None = None,
+        use_batch: bool | None = None,
     ):
         if context_switch_policy not in ("flush", "save"):
             raise ValueError(
@@ -530,7 +535,7 @@ class ModelRunner:
             from repro.native.kernel import BoundKernel, kernel_enabled
 
             if kernel_enabled(use_kernel):
-                self.kernel = BoundKernel(self)
+                self.kernel = BoundKernel(self, use_batch=use_batch)
                 self.on_event = self.kernel.entry
 
     @property

@@ -105,6 +105,46 @@ def telemetry_diff(metrics, bench: dict | None) -> list[dict]:
             "verdict": "n/a" if replay_rate is None else "ok",
         }
     )
+
+    # Kernel- and batch-replay floors: the measured column is this run's
+    # replayed rate attributed to each tier (they share the replay wall
+    # clock, so rates are indicative); the verdict checks the *recorded*
+    # baseline speedup against its guard floor, which is portable.
+    kernel = bench.get("kernel_replay", {})
+    kernel_floor = bench.get("guard", {}).get("min_kernel_speedup")
+    kernel_rate = _rate(metrics.kernel_events, metrics.replay_wall_s)
+    verdict = "n/a"
+    if kernel_rate is not None:
+        speedup = kernel.get("speedup_kernel_over_interpreted")
+        verdict = "ok"
+        if kernel_floor and speedup is not None and speedup < kernel_floor:
+            verdict = "REGRESSED"
+    rows.append(
+        {
+            "metric": "kernel replay events/s",
+            "measured": kernel_rate,
+            "reference": kernel.get("replay_events_per_s_kernel_on"),
+            "verdict": verdict,
+        }
+    )
+
+    batch = bench.get("batch_replay", {})
+    batch_floor = bench.get("guard", {}).get("min_batch_speedup")
+    batch_rate = _rate(metrics.batch_events, metrics.replay_wall_s)
+    verdict = "n/a"
+    if batch_rate is not None:
+        speedup = batch.get("speedup_batch_over_kernel")
+        verdict = "ok"
+        if batch_floor and speedup is not None and speedup < batch_floor:
+            verdict = "REGRESSED"
+    rows.append(
+        {
+            "metric": "batch replay events/s",
+            "measured": batch_rate,
+            "reference": batch.get("replay_events_per_s_batch_on"),
+            "verdict": verdict,
+        }
+    )
     return rows
 
 

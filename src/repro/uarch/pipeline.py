@@ -783,79 +783,103 @@ def _counter_lines(table_expr: str, index: str, counter: str, taken: bool):
     ]
 
 
-def _observe_lines(pc: int, taken: bool, pred_sig):
+def _observe_lines(pc: int, taken: bool, pred_sig, fold=None, hoist=False):
     """Inline ``predictor.observe(pc, taken)`` for a constant branch;
     leaves the correctness flag in ``_ok``.  Returns ``None`` when the
-    predictor kind is not inlinable."""
+    predictor kind is not inlinable.
+
+    *fold* is the superblock compiler's history constant-fold: a
+    ``(global_index, local_history)`` pair whose non-``None`` entries
+    are the compile-time-known table indices at this observe (the
+    history registers sit at their per-repetition fixed point, so the
+    shift-register updates are elided entirely — the rep maps the fixed
+    point to itself).  *hoist* switches table references to the
+    ``_GT``/``_LHS``/``_LCS``/``_CH``/``_BT`` locals a superblock binds
+    once per call instead of per-branch attribute loads.
+
+    The chooser read is deferred into the disagreement arm: when both
+    components agree the outcome does not depend on the choice counter
+    and no update happens, matching ``TournamentPredictor.observe``
+    (which reads the pre-update counter) statement-for-statement.
+    """
     word = pc >> 2
     bit = 1 if taken else 0
     verdict = ">= 2" if taken else "< 2"
     kind = pred_sig[0] if pred_sig else None
+    gi, lh = (fold[0], fold[1]) if fold is not None else (None, None)
     if kind == "tournament":
         _, ge, ghm, le, lhm, ce = pred_sig
         li = word % le
         ci = word % ce
-        out = [
-            "_gt = PG._table",
-            "_gh = PG.history",
-            f"_gi = ({word} ^ _gh) % {ge}",
-        ]
-        out += _counter_lines("_gt", "_gi", "_gc", taken)
+        gt = "_GT" if hoist else "PG._table"
+        lhs = "_LHS" if hoist else "PL._histories"
+        lcs = "_LCS" if hoist else "PL._counters"
+        ch = "_CH" if hoist else "PRED._choice"
+        out = []
+        if gi is not None:
+            out += _counter_lines(gt, str(gi), "_gc", taken)
+        else:
+            out += [
+                "_gh = PG.history",
+                f"_gi = ({word} ^ _gh) % {ge}",
+            ]
+            out += _counter_lines(gt, "_gi", "_gc", taken)
+            out.append(f"PG.history = ((_gh << 1) | {bit}) & {ghm}")
+        if lh is not None:
+            out += _counter_lines(lcs, str(lh), "_lc", taken)
+        else:
+            out.append(f"_lh = {lhs}[{li}]")
+            out += _counter_lines(lcs, "_lh", "_lc", taken)
+            out.append(f"{lhs}[{li}] = ((_lh << 1) | {bit}) & {lhm}")
         out += [
-            f"PG.history = ((_gh << 1) | {bit}) & {ghm}",
-            "_lhs = PL._histories",
-            f"_lh = _lhs[{li}]",
-            "_lcs = PL._counters",
-        ]
-        out += _counter_lines("_lcs", "_lh", "_lc", taken)
-        out += [
-            f"_lhs[{li}] = ((_lh << 1) | {bit}) & {lhm}",
             f"_gok = _gc {verdict}",
             f"_lok = _lc {verdict}",
-            "_ch = PRED._choice",
-            f"_cc = _ch[{ci}]",
-            "if _gok != _lok:",
+            "if _gok == _lok:",
+            "    _ok = _gok",
+            "else:",
+            f"    _cc = {ch}[{ci}]",
+            "    _ok = _gok if _cc >= 2 else _lok",
             "    if _gok:",
             "        if _cc < 3:",
-            f"            _ch[{ci}] = _cc + 1",
+            f"            {ch}[{ci}] = _cc + 1",
             "    elif _cc > 0:",
-            f"        _ch[{ci}] = _cc - 1",
-            "_ok = _gok if _cc >= 2 else _lok",
+            f"        {ch}[{ci}] = _cc - 1",
         ]
         return out
     if kind == "gshare":
         _, ge, ghm = pred_sig
-        out = [
-            "_gt = PRED._table",
-            "_gh = PRED.history",
-            f"_gi = ({word} ^ _gh) % {ge}",
-        ]
-        out += _counter_lines("_gt", "_gi", "_gc", taken)
-        out += [
-            f"PRED.history = ((_gh << 1) | {bit}) & {ghm}",
-            f"_ok = _gc {verdict}",
-        ]
+        gt = "_GT" if hoist else "PRED._table"
+        out = []
+        if gi is not None:
+            out += _counter_lines(gt, str(gi), "_gc", taken)
+        else:
+            out += [
+                "_gh = PRED.history",
+                f"_gi = ({word} ^ _gh) % {ge}",
+            ]
+            out += _counter_lines(gt, "_gi", "_gc", taken)
+            out.append(f"PRED.history = ((_gh << 1) | {bit}) & {ghm}")
+        out.append(f"_ok = _gc {verdict}")
         return out
     if kind == "bimodal":
         _, entries = pred_sig
         bi = word % entries
-        out = ["_bt = PRED._table"]
-        out += _counter_lines("_bt", str(bi), "_bc", taken)
+        bt = "_BT" if hoist else "PRED._table"
+        out = _counter_lines(bt, str(bi), "_bc", taken)
         out += [f"_ok = _bc {verdict}"]
         return out
     if kind == "local":
         _, le, lhm = pred_sig
         li = word % le
-        out = [
-            "_lhs = PRED._histories",
-            f"_lh = _lhs[{li}]",
-            "_lcs = PRED._counters",
-        ]
-        out += _counter_lines("_lcs", "_lh", "_lc", taken)
-        out += [
-            f"_lhs[{li}] = ((_lh << 1) | {bit}) & {lhm}",
-            f"_ok = _lc {verdict}",
-        ]
+        lhs = "_LHS" if hoist else "PRED._histories"
+        lcs = "_LCS" if hoist else "PRED._counters"
+        if lh is not None:
+            out = _counter_lines(lcs, str(lh), "_lc", taken)
+        else:
+            out = [f"_lh = {lhs}[{li}]"]
+            out += _counter_lines(lcs, "_lh", "_lc", taken)
+            out.append(f"{lhs}[{li}] = ((_lh << 1) | {bit}) & {lhm}")
+        out.append(f"_ok = _lc {verdict}")
         return out
     return None
 
@@ -969,6 +993,571 @@ def kernel_load_op_lines(bytecode: int, table: int, scd_tables: int):
         f"SCDU._rop_data[{table}] = {bytecode} & SCDU._masks[{table}]",
         f"SCDU._rop_valid[{table}] = True",
     ]
+
+
+# Batch-replay projections: the same specializations with every slow path
+# inlined.  A single-event kernel body runs once per event sighting, so
+# its non-MRU cache probes, TLB walks, BTB scans and stall bookkeeping
+# stay method calls to bound code size; a superblock body runs for whole
+# steady-state runs, so these variants inline the full LRU update, miss
+# fill and stall accounting.  Additional preamble names: ``CB``
+# (``stats.cycle_breakdown``), ``ITLBO`` / ``DTLBO`` (the TLB objects).
+# Mutable containers (cache way lists, BTB sets, TLB page lists) are
+# re-read through the owning object per use — ``restore_state`` and the
+# context-switch paths replace or clear the inner lists, so no list may
+# be cached across an access.
+
+
+def batch_stall_const_lines(amount: str, reason: str):
+    """Inline ``m._stall(<bound constant>, reason)``.  The guard mirrors
+    ``_stall``'s: zero-penalty configs must not grow 0-valued breakdown
+    keys (``cycle_breakdown`` is a Counter whose item set is compared)."""
+    return [
+        f"if {amount}:",
+        f"    stats.cycles += {amount}",
+        f"    CB[{reason!r}] += {amount}",
+    ]
+
+
+def _batch_tlb_lines(obj: str, page, kind: str, pages_var=None):
+    """Inline ``Tlb.access`` for *page* (a literal or expression); *kind*
+    is ``'i'`` or ``'d'``.  Includes the caller-side miss accounting the
+    kernel helpers emit around the ``itlb``/``dtlb`` call.  *pages_var*
+    names a page list the superblock hoisted once per call (the list is
+    only ever mutated in place within a call — ``flush`` clears it,
+    ``restore_state`` rebinds only between calls)."""
+    ps = pages_var or "_ps"
+    out = [f"{obj}.accesses += 1"]
+    if pages_var is None:
+        out.append(f"_ps = {obj}._pages")
+    out += [
+        f"if not {ps} or {ps}[0] != {page}:",
+        f"    if {page} in {ps}:",
+        f"        {ps}.remove({page})",
+        f"        {ps}.insert(0, {page})",
+        "    else:",
+        f"        {obj}.misses += 1",
+        f"        {ps}.insert(0, {page})",
+        f"        if len({ps}) > {obj}.entries:",
+        f"            {ps}.pop()",
+        f"        stats.{kind}tlb_misses += 1",
+    ]
+    out += [
+        "        " + line
+        for line in batch_stall_const_lines("TLBP", f"{kind}tlb_stall")
+    ]
+    return out
+
+
+def _batch_icache_probe_lines(line: int, set_mask: int, ways: int,
+                              setvar=None):
+    """Inline ``icache.probe_line`` + miss stall for a constant line.
+
+    Two-way sets replace the O(n) ``remove``/``insert`` promote with an
+    index swap: given ``_w[0] != line``, membership in a 2-entry set is
+    exactly ``_w[1] == line``, and promotion of ``[x, line]`` is
+    ``[line, x]`` either way.  *setvar* names a way list the superblock
+    hoisted once per call (way lists are only ever mutated in place
+    within a call; ``restore_state`` rebinds only between calls)."""
+    w = setvar or "_w"
+    if ways == 2:
+        promote = [
+            f"    if len({w}) > 1 and {w}[1] == {line}:",
+            f"        {w}[1] = {w}[0]",
+            f"        {w}[0] = {line}",
+        ]
+    else:
+        promote = [
+            f"    if {line} in {w}:",
+            f"        {w}.remove({line})",
+            f"        {w}.insert(0, {line})",
+        ]
+    head = [] if setvar else [f"_w = IS[{line & set_mask}]"]
+    return head + [
+        f"if not {w} or {w}[0] != {line}:",
+    ] + promote + [
+        "    else:",
+        "        ICO.misses += 1",
+        f"        {w}.insert(0, {line})",
+        f"        if len({w}) > {ways}:",
+        f"            {w}.pop()",
+        "        stats.icache_misses += 1",
+        f"        _c = ICLAT + fill({line << 6})",
+        "        if _c:",
+        "            stats.cycles += _c",
+        "            CB['icache_stall'] += _c",
+    ]
+
+
+def _batch_dcache_probe_lines(line_expr, idx_expr, addr_expr, ways: int,
+                              setvar=None):
+    """Inline ``dcache.probe`` + miss stall; operands may be literals or
+    expression strings.  *setvar* as in
+    :func:`_batch_icache_probe_lines`."""
+    w = setvar or "_w"
+    if ways == 2:
+        promote = [
+            f"    if len({w}) > 1 and {w}[1] == {line_expr}:",
+            f"        {w}[1] = {w}[0]",
+            f"        {w}[0] = {line_expr}",
+        ]
+    else:
+        promote = [
+            f"    if {line_expr} in {w}:",
+            f"        {w}.remove({line_expr})",
+            f"        {w}.insert(0, {line_expr})",
+        ]
+    head = [] if setvar else [f"_w = DS[{idx_expr}]"]
+    return head + [
+        f"if not {w} or {w}[0] != {line_expr}:",
+    ] + promote + [
+        "    else:",
+        "        DCO.misses += 1",
+        f"        {w}.insert(0, {line_expr})",
+        f"        if len({w}) > {ways}:",
+        f"            {w}.pop()",
+        "        stats.dcache_misses += 1",
+        f"        _c = DCLAT + fill({addr_expr})",
+        "        if _c:",
+        "            stats.cycles += _c",
+        "            CB['dcache_stall'] += _c",
+    ]
+
+
+def batch_ifetch_lines(block, known_ipage, set_mask: int, ways: int,
+                       known=None, cond=False, setvars=None, pages_var=None,
+                       record=None, fold=None):
+    """:func:`kernel_ifetch_lines` with TLB walk, LRU update, miss fill
+    and stalls inlined.  Same contract: ``(lines, page, accesses)``.
+
+    *known* is the emitter's per-set MRU map (``set -> line``): a probe
+    whose line is already MRU in its set is a complete no-op in the
+    model (access counts ride the deferred cell, the MRU check fails
+    closed, no list mutates), so it can be elided at compile time; any
+    emitted probe leaves its line MRU regardless of hit or miss, so the
+    map is refreshed in emission order.  *cond* marks a conditionally-
+    executed context: facts may be consumed (they were established
+    unconditionally before the arm) but not asserted, and a probe inside
+    the arm invalidates its set's fact.  *setvars* maps set index to a
+    hoisted way-list name (filled here, bound once in the superblock
+    prologue); *pages_var* names the hoisted ITLB page list.
+
+    *record* (pass one of the superblock steady-state fold) is a list
+    that receives one ``(page_form, page, probes)`` entry describing
+    this call: ``page_form`` is ``'check'`` (runtime page test),
+    ``'forced'`` (known page transition) or ``None``, and ``probes`` are
+    the ``(set, line)`` pairs actually emitted after MRU elision.
+    *fold* (pass two) is ``(folded_sets, page_action)``: probes of a
+    folded set elide — the superblock guard pins the set to its
+    per-repetition LRU fixed point, on which every probe is an MRU-order
+    hit cycling the list back to itself — but still assert MRU facts;
+    ``page_action`` resolves the page test against the guarded entry
+    page (``'skip'``/``'static'`` elide it, ``'probe'`` forces the
+    transition with a runtime TLB walk, ``'keep'`` leaves it alone)."""
+    footprint, page = block_footprint(block)
+    out = []
+    action = fold[1] if fold is not None else "keep"
+    probes = []
+    if known_ipage is None:
+        page_form = "check"
+        if action == "keep":
+            out.append(f"if m._last_ipage != {page}:")
+            out.append(f"    m._last_ipage = {page}")
+            out += ["    " + line
+                    for line in _batch_tlb_lines("ITLBO", page, "i",
+                                                 pages_var)]
+        elif action == "probe":
+            out.append(f"m._last_ipage = {page}")
+            out += _batch_tlb_lines("ITLBO", page, "i", pages_var)
+    elif known_ipage != page:
+        page_form = "forced"
+        if action in ("keep", "probe"):
+            out.append(f"m._last_ipage = {page}")
+            out += _batch_tlb_lines("ITLBO", page, "i", pages_var)
+    else:
+        page_form = None
+    if record is not None:
+        record.append((page_form, page, probes))
+    for line in footprint:
+        index = line & set_mask
+        if known is not None:
+            if known.get(index) == line:
+                continue
+            if cond:
+                known.pop(index, None)
+            else:
+                known[index] = line
+        probes.append((index, line))
+        if fold is not None and index in fold[0]:
+            continue
+        setvar = None
+        if setvars is not None:
+            setvar = setvars.setdefault(index, f"_wi{index}")
+        out += _batch_icache_probe_lines(line, set_mask, ways, setvar)
+    return out, page, len(footprint)
+
+
+def batch_daccess_const_lines(
+    address: int, known_dpage, shift: int, set_mask: int, ways: int,
+    known=None, cond=False, setvars=None, pages_var=None,
+):
+    """:func:`kernel_daccess_const_lines`, slow paths inlined.  *known*,
+    *cond*, *setvars* and *pages_var* behave as in
+    :func:`batch_ifetch_lines`."""
+    page = address >> Tlb.PAGE_SHIFT
+    line = address >> shift
+    out = []
+    if known_dpage is None:
+        out.append(f"if m._last_dpage != {page}:")
+        out.append(f"    m._last_dpage = {page}")
+        out += ["    " + line
+                for line in _batch_tlb_lines("DTLBO", page, "d", pages_var)]
+    elif known_dpage != page:
+        out.append(f"m._last_dpage = {page}")
+        out += _batch_tlb_lines("DTLBO", page, "d", pages_var)
+    index = line & set_mask
+    if known is not None:
+        if known.get(index) == line:
+            return out, page
+        if cond:
+            known.pop(index, None)
+        else:
+            known[index] = line
+    setvar = None
+    if setvars is not None:
+        setvar = setvars.setdefault(index, f"_wd{index}")
+    out += _batch_dcache_probe_lines(line, index, address, ways, setvar)
+    return out, page
+
+
+def batch_daccess_expr_lines(expr: str, shift: int, set_mask: int, ways: int):
+    """:func:`kernel_daccess_expr_lines`, slow paths inlined."""
+    out = [
+        f"_a = {expr}",
+        f"_p = _a >> {Tlb.PAGE_SHIFT}",
+        "if _p != m._last_dpage:",
+        "    m._last_dpage = _p",
+    ]
+    out += ["    " + line for line in _batch_tlb_lines("DTLBO", "_p", "d")]
+    out.append(f"_l = _a >> {shift}")
+    out += _batch_dcache_probe_lines("_l", f"_l & {set_mask}", "_a", ways)
+    return out
+
+
+def batch_daddrs_loop_lines(var: str, shift: int, set_mask: int, ways: int):
+    """:func:`kernel_daddrs_loop_lines`, slow paths inlined."""
+    out = [
+        f"if {var}:",
+        f"    for _a in {var}:",
+        f"        _p = _a >> {Tlb.PAGE_SHIFT}",
+        "        if _p != m._last_dpage:",
+        "            m._last_dpage = _p",
+    ]
+    out += [
+        "            " + line for line in _batch_tlb_lines("DTLBO", "_p", "d")
+    ]
+    out.append(f"        _l = _a >> {shift}")
+    out += [
+        "        " + line
+        for line in _batch_dcache_probe_lines("_l", f"_l & {set_mask}", "_a", ways)
+    ]
+    out += [
+        f"    _n = len({var})",
+        "    stats.dcache_accesses += _n",
+        "    DCO.accesses += _n",
+    ]
+    return out
+
+
+def _batch_btb_lookup_lines(key: int, btb_sets: int, btb_ways: int, policy: str):
+    """Inline ``btb.lookup(key)``: MRU probe, then scan with (LRU-policy)
+    promotion.  Leaves the predicted target or ``None`` in ``_t``."""
+    index = _btb_pc_index(key, btb_sets)
+    out = [
+        f"_e = BTBO._sets[{index}][0]",
+        f"if _e[0] and not _e[1] and _e[2] == {key}:",
+        "    _t = _e[3]",
+        "else:",
+        "    _t = None",
+        f"    _s = BTBO._sets[{index}]",
+        f"    for _bp in range(1, {btb_ways}):",
+        "        _e = _s[_bp]",
+        f"        if _e[0] and not _e[1] and _e[2] == {key}:",
+        "            _t = _e[3]",
+    ]
+    if policy == "lru":
+        out += [
+            "            _s.pop(_bp)",
+            "            _s.insert(0, _e)",
+        ]
+    out.append("            break")
+    return out
+
+
+def batch_btb_insert_lines(
+    key: int, target: int, btb_sets: int, btb_ways: int, policy: str
+):
+    """Inline ``btb.insert(key, target)``.
+
+    Mirrors ``insert`` exactly: a hit updates the target (and promotes
+    under LRU); otherwise the victim is the first invalid non-JTE way,
+    else the LRU (last) non-JTE way or the round-robin rotation over the
+    candidate list; a set full of JTEs installs nothing.  Victims are
+    never valid JTEs, so ``_jte_count`` needs no adjustment.  ``_rr`` is
+    re-read per use (``restore_state`` replaces the list)."""
+    if policy == "rr":
+        index = _btb_pc_index(key, btb_sets)
+        return [
+            f"_s = BTBO._sets[{index}]",
+            f"for _bp in range({btb_ways}):",
+            "    _e = _s[_bp]",
+            f"    if _e[0] and not _e[1] and _e[2] == {key}:",
+            f"        _e[3] = {target}",
+            "        break",
+            "else:",
+            f"    _cl = [_bp for _bp in range({btb_ways})"
+            " if not (_s[_bp][0] and _s[_bp][1])]",
+            "    if _cl:",
+            "        _v = -1",
+            "        for _bp in _cl:",
+            "            if not _s[_bp][0]:",
+            "                _v = _bp",
+            "                break",
+            "        if _v < 0:",
+            "            _r = BTBO._rr",
+            f"            _r[{index}] = (_r[{index}] + 1) % len(_cl)",
+            f"            _v = _cl[_r[{index}]]",
+            f"        _s[_v] = [True, False, {key}, {target}]",
+        ]
+    if policy != "lru":
+        return None
+    index = _btb_pc_index(key, btb_sets)
+    return [
+        f"_s = BTBO._sets[{index}]",
+        f"for _bp in range({btb_ways}):",
+        "    _e = _s[_bp]",
+        f"    if _e[0] and not _e[1] and _e[2] == {key}:",
+        f"        _e[3] = {target}",
+        "        if _bp:",
+        "            _s.pop(_bp)",
+        "            _s.insert(0, _e)",
+        "        break",
+        "else:",
+        "    _v = _lv = -1",
+        f"    for _bp in range({btb_ways}):",
+        "        _e = _s[_bp]",
+        "        if not (_e[0] and _e[1]):",
+        "            _lv = _bp",
+        "            if not _e[0]:",
+        "                _v = _bp",
+        "                break",
+        "    if _v < 0:",
+        "        _v = _lv",
+        "    if _v >= 0:",
+        "        _s.pop(_v)",
+        f"        _s.insert(0, [True, False, {key}, {target}])",
+    ]
+
+
+def _batch_btb_insert_or_call(
+    key: int, target: int, btb_sets: int, btb_ways: int, policy: str
+):
+    lines = batch_btb_insert_lines(key, target, btb_sets, btb_ways, policy)
+    return lines if lines is not None else [f"btbi({key}, {target})"]
+
+
+def batch_cond_lines(
+    pc: int, taken: bool, category: str, pred_sig,
+    btb_sets: int, btb_ways: int, policy: str,
+    fold=None, hoist=False,
+):
+    """:func:`kernel_cond_lines` with BTB scan, insert and stalls inlined.
+    Same contract (``stats.branches`` stays the caller's); *fold* and
+    *hoist* pass through to :func:`_observe_lines`.
+
+    A three-element *fold* whose third entry is true marks a
+    saturation-elided observe: the superblock's runtime guard has proved
+    every counter this branch reads sits at its agreeing saturated fixed
+    point, so the prediction is correct, no predictor state changes
+    (saturating writes are no-ops, histories are at their fixed points,
+    agreeing components never touch the chooser) and the whole observe
+    reduces to the correctly-predicted outcome.  A not-taken branch then
+    emits nothing at all; a taken branch keeps only the BTB MRU check
+    (a pure read when it hits) with the full lookup/miss/insert path
+    behind it."""
+    if fold is not None and len(fold) > 2 and fold[2]:
+        if not taken:
+            return []
+        index = _btb_pc_index(pc, btb_sets)
+        cold = list(_batch_btb_lookup_lines(pc, btb_sets, btb_ways, policy))
+        cold += [
+            "if _t is None:",
+            "    stats.btb_target_misses += 1",
+            "    stats.mispredicts_by_category['btb_target_miss'] += 1",
+        ]
+        cold += [
+            "    " + line
+            for line in batch_stall_const_lines("DRP", "branch_penalty")
+        ]
+        cold += [
+            "    " + line
+            for line in _batch_btb_insert_or_call(
+                pc, pc + 8, btb_sets, btb_ways, policy
+            )
+        ]
+        return [
+            f"_e = BTBO._sets[{index}][0]",
+            f"if not (_e[0] and not _e[1] and _e[2] == {pc}):",
+        ] + ["    " + line for line in cold]
+    observe = _observe_lines(pc, taken, pred_sig, fold=fold, hoist=hoist)
+    if observe is None:
+        return None
+    out = list(observe)
+    if taken:
+        insert = _batch_btb_insert_or_call(
+            pc, pc + 8, btb_sets, btb_ways, policy
+        )
+        out.append("if _ok:")
+        out += [
+            "    " + line
+            for line in _batch_btb_lookup_lines(pc, btb_sets, btb_ways, policy)
+        ]
+        out += [
+            "    if _t is None:",
+            "        stats.btb_target_misses += 1",
+            "        stats.mispredicts_by_category['btb_target_miss'] += 1",
+        ]
+        out += [
+            "        " + line
+            for line in batch_stall_const_lines("DRP", "branch_penalty")
+        ]
+        out += ["        " + line for line in insert]
+        out += [
+            "else:",
+            "    stats.branch_mispredicts += 1",
+            f"    stats.mispredicts_by_category[{category!r}] += 1",
+        ]
+        out += [
+            "    " + line
+            for line in batch_stall_const_lines("BRP", "branch_penalty")
+        ]
+        out += ["    " + line for line in insert]
+    else:
+        out += [
+            "if not _ok:",
+            "    stats.branch_mispredicts += 1",
+            f"    stats.mispredicts_by_category[{category!r}] += 1",
+        ]
+        out += [
+            "    " + line
+            for line in batch_stall_const_lines("BRP", "branch_penalty")
+        ]
+    return out
+
+
+def batch_direct_jump_lines(
+    pc: int, target: int, btb_sets: int, btb_ways: int, policy: str
+):
+    """:func:`kernel_direct_jump_lines` with scan/insert/stall inlined."""
+    out = list(_batch_btb_lookup_lines(pc, btb_sets, btb_ways, policy))
+    out += [
+        "if _t is None:",
+        "    stats.btb_target_misses += 1",
+        "    stats.mispredicts_by_category['btb_target_miss'] += 1",
+    ]
+    out += [
+        "    " + line
+        for line in batch_stall_const_lines("DRP", "branch_penalty")
+    ]
+    out += [
+        "    " + line
+        for line in _batch_btb_insert_or_call(pc, target, btb_sets, btb_ways, policy)
+    ]
+    return out
+
+
+def batch_bop_lines(table: int, btb_sets: int, btb_ways: int, policy: str):
+    """Inline ``m.bop(pc, table)`` + ``Scd.bop`` + ``Btb.lookup_jte``.
+
+    Leaves the fast-path target or ``None`` in ``_t``.  ``Rop`` data is
+    runtime state (the mask register), so the JTE key and set index stay
+    dynamic; everything else — the stall, the hit/miss accounting, the
+    JTE set scan — is open-coded.  The fallthrough stall policy is a
+    config constant (``SSP``) hoisted into the preamble."""
+    if not (btb_sets & (btb_sets - 1)):
+        index = f"_d & {btb_sets - 1}"
+    else:
+        index = f"_d % {btb_sets}"
+    key = (
+        f"({table} << 32) | (_d & 4294967295)" if table
+        else "_d & 4294967295"
+    )
+    out = [
+        "if SSP:",
+        "    stats.bop_misses += 1",
+        "    _t = None",
+        "else:",
+        "    if SSC:",
+        "        stats.cycles += SSC",
+        "        CB['scd_stall'] += SSC",
+        "    stats.scd_stall_cycles += SSC",
+        "    _t = None",
+        f"    if SCDU._rop_valid[{table}]:",
+        f"        _d = SCDU._rop_data[{table}]",
+        f"        _s = BTBO._sets[{index}]",
+        f"        _k = {key}",
+        f"        for _bp in range({btb_ways}):",
+        "            _e = _s[_bp]",
+        "            if _e[0] and _e[1] and _e[2] == _k:",
+        "                _t = _e[3]",
+    ]
+    if policy == "lru":
+        out += [
+            "                if _bp:",
+            "                    _s.pop(_bp)",
+            "                    _s.insert(0, _e)",
+        ]
+    out += [
+        "                break",
+        "        if _t is not None:",
+        f"            SCDU._rop_valid[{table}] = False",
+        "            stats.bop_hits += 1",
+        "        else:",
+        "            stats.bop_misses += 1",
+        "    else:",
+        "        stats.bop_misses += 1",
+    ]
+    return out
+
+
+def batch_indirect_jump_lines(
+    pc: int, target: int, hint, category: str, scheme: str,
+    btb_sets: int, btb_ways: int, policy: str,
+):
+    """:func:`kernel_indirect_jump_lines` with scan/insert/stall inlined.
+    Same contract (``stats.indirect_jumps`` stays the caller's; history-
+    based schemes return ``None``)."""
+    if scheme == "vbbi" and hint is not None:
+        key = pc ^ ((hint * _VBBI_HASH) & 0xFFFF_FFFC)
+    elif scheme in ("btb", "vbbi"):
+        key = pc
+    else:
+        return None
+    out = list(_batch_btb_lookup_lines(key, btb_sets, btb_ways, policy))
+    out.append(f"if _t != {target}:")
+    out += [
+        "    " + line
+        for line in _batch_btb_insert_or_call(key, target, btb_sets, btb_ways, policy)
+    ]
+    out += [
+        "    stats.indirect_mispredicts += 1",
+        f"    stats.mispredicts_by_category[{category!r}] += 1",
+    ]
+    out += [
+        "    " + line
+        for line in batch_stall_const_lines("BRP", "branch_penalty")
+    ]
+    return out
 
 
 # -- memo persistence format ---------------------------------------------------

@@ -51,12 +51,18 @@ VERIFY_MAX_STEPS = 2_000_000
 #: The execution paths every (vm, scheme) pair is run through.  The
 #: ``-nokernel`` variants force the event-by-event interpreted replay
 #: path (``use_kernel=False``), pinning the exec-compiled kernels'
-#: byte-identity against the reference implementation.
+#: byte-identity against the reference implementation.  The ``-nobatch``
+#: variants keep the kernels but disable superblock batch replay
+#: (``use_batch=False``), pinning the chunk-compiled path — which the
+#: plain ``replay``/``replay-memo`` runs exercise by default — against
+#: the per-event kernel ladder.
 PATHS = (
     "live",
     "record",
     "replay",
     "replay-memo",
+    "replay-nobatch",
+    "replay-memo-nobatch",
     "replay-nokernel",
     "replay-memo-nokernel",
 )
@@ -210,6 +216,14 @@ class DifferentialRunner:
                         )
                         results["replay-memo"] = self._sim(
                             source, vm, scheme, store, "replay", memo=True
+                        )
+                        results["replay-nobatch"] = self._sim(
+                            source, vm, scheme, store, "replay",
+                            memo=False, use_batch=False,
+                        )
+                        results["replay-memo-nobatch"] = self._sim(
+                            source, vm, scheme, store, "replay",
+                            memo=True, use_batch=False,
                         )
                         results["replay-nokernel"] = self._sim(
                             source, vm, scheme, store, "replay",

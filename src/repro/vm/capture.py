@@ -177,6 +177,7 @@ class RecordedTrace:
         "guest_steps",
         "key",
         "_chunk_cache",
+        "_batch_plan",
     )
 
     def __init__(
@@ -198,6 +199,7 @@ class RecordedTrace:
         self.guest_steps = guest_steps
         self.key = key
         self._chunk_cache: tuple | None = None
+        self._batch_plan: tuple | None = None
 
     # -- serialization ----------------------------------------------------
 
@@ -500,8 +502,18 @@ def replay_events(trace: RecordedTrace, on_event, runner=None) -> int:
     When *runner* carries a direct-dispatch replay kernel (see
     :class:`repro.native.kernel.BoundKernel`), events index its kernel
     table straight from the columns — same semantics as *on_event*,
-    minus one call per event.
+    minus one call per event.  When batch replay is enabled on top, the
+    steady-state regions of the trace run through chunk-compiled
+    superblocks instead (see :mod:`repro.native.batch`).
     """
+    kernel = getattr(runner, "kernel", None)
+    if kernel is not None and kernel.direct and kernel.batch_enabled:
+        from repro.native.batch import batch_replay_for
+
+        batch = batch_replay_for(runner, trace)
+        if batch is not None:
+            batch.run_range(0, trace.n_events)
+            return trace.n_events
     daddr_pool, builtin_pool, cost_pool = _replay_pools(trace)
     columns = trace.columns
     stream = zip(
@@ -513,7 +525,6 @@ def replay_events(trace: RecordedTrace, on_event, runner=None) -> int:
         columns["builtin_ids"],
         columns["cost_ids"],
     )
-    kernel = getattr(runner, "kernel", None)
     if kernel is not None and kernel.direct:
         table = kernel.table
         for op, site, taken, callee, daddr_id, builtin_id, cost_id in stream:
@@ -567,13 +578,20 @@ def replay_events_memo(
     on_event = runner.on_event
     kernel = getattr(runner, "kernel", None)
     table = kernel.table if kernel is not None and kernel.direct else None
+    batch = None
+    if table is not None and kernel.batch_enabled:
+        from repro.native.batch import batch_replay_for
+
+        batch = batch_replay_for(runner, trace)
     for chunk, key in enumerate(trace.chunk_keys(chunk_events)):
         start = chunk * chunk_events
         stop = min(n_events, start + chunk_events)
         if memo.try_apply(key, stop - start):
             continue
         memo.begin()
-        if table is not None:
+        if batch is not None:
+            batch.run_range(start, stop)
+        elif table is not None:
             for index in range(start, stop):
                 table[ops[index], sites[index]](
                     takens[index],

@@ -16,6 +16,29 @@ from repro.vm.lua.opcodes import Op as LuaOp
 from repro.vm.trace import Site
 
 
+#: Loop-body lengths tracked as superblock candidates: the batch
+#: segmenter (:func:`repro.native.batch.find_periodic_runs`) compiles
+#: periodic kernel-key runs; profile-side we count back-to-back repeats
+#: of the last ``n`` keys for ``n`` in this inclusive range.
+SEQ_MIN_LEN = 3
+SEQ_MAX_LEN = 8
+
+
+def _canonical_rotation(seq: tuple) -> tuple:
+    """The lexicographically smallest rotation — different phases of the
+    same loop body aggregate under one counter key."""
+    return min(seq[i:] + seq[:i] for i in range(len(seq)))
+
+
+def _is_primitive(seq: tuple) -> bool:
+    """True when *seq* is not itself a repetition of a shorter body (a
+    period-3 loop also matches every length-6 window; count it once)."""
+    n = len(seq)
+    return not any(
+        n % p == 0 and seq == seq[p:] + seq[:p] for p in range(1, n)
+    )
+
+
 @dataclass
 class BytecodeProfile:
     """Dynamic execution profile of one VM run.
@@ -26,6 +49,9 @@ class BytecodeProfile:
         opcodes: opcode -> dynamic count.
         pairs: (opcode, next_opcode) -> dynamic count.
         sites: dispatch site -> dynamic count.
+        sequences: canonical ``(opcode, site)`` kernel-key sequence ->
+            dynamic events spent repeating it back-to-back (steady-state
+            loop bodies; the batch segmenter's superblock candidates).
     """
 
     vm: str
@@ -33,6 +59,7 @@ class BytecodeProfile:
     opcodes: Counter = field(default_factory=Counter)
     pairs: Counter = field(default_factory=Counter)
     sites: Counter = field(default_factory=Counter)
+    sequences: Counter = field(default_factory=Counter)
 
     def _name(self, op: int) -> str:
         enum_type = LuaOp if self.vm == "lua" else JsOp
@@ -47,6 +74,18 @@ class BytecodeProfile:
         return [
             (f"{self._name(a)}+{self._name(b)}", n)
             for (a, b), n in self.pairs.most_common(count)
+        ]
+
+    def top_sequences(self, count: int = 10) -> list[tuple[str, int]]:
+        """Most-repeated kernel-key sequences as (rendered, events)."""
+        return [
+            (
+                " ".join(
+                    f"{self._name(op)}@{Site(site).name}" for op, site in keys
+                ),
+                n,
+            )
+            for keys, n in self.sequences.most_common(count)
         ]
 
     def site_mix(self) -> dict[str, float]:
@@ -68,6 +107,10 @@ class BytecodeProfile:
             "top_pairs": [
                 {"pair": name, "count": count}
                 for name, count in self.top_pairs(top)
+            ],
+            "top_sequences": [
+                {"sequence": name, "events": count}
+                for name, count in self.top_sequences(top)
             ],
             "site_mix": {
                 name: round(share, 6) for name, share in self.site_mix().items()
@@ -91,6 +134,11 @@ def profile_source(source: str, vm: str = "lua", max_steps: int = 50_000_000) ->
     """Run *source* on the chosen VM and collect its dynamic profile."""
     profile = BytecodeProfile(vm=vm)
     previous: list = [None]
+    # Sliding window of the last 2 * SEQ_MAX_LEN (opcode, site) kernel
+    # keys: a step extends a steady-state body of length n when the last
+    # n keys equal the n before them (the same back-to-back periodicity
+    # the batch segmenter verifies on the recorded columns).
+    window: list = []
 
     def trace(op, site, taken, callee, daddrs, builtin, cost):
         profile.opcodes[op] += 1
@@ -98,6 +146,16 @@ def profile_source(source: str, vm: str = "lua", max_steps: int = 50_000_000) ->
         if previous[0] is not None:
             profile.pairs[(previous[0], op)] += 1
         previous[0] = op
+        window.append((op, site))
+        if len(window) > 2 * SEQ_MAX_LEN:
+            del window[0]
+        for n in range(SEQ_MIN_LEN, SEQ_MAX_LEN + 1):
+            if len(window) < 2 * n:
+                break
+            gram = tuple(window[-n:])
+            if gram != tuple(window[-2 * n:-n]) or not _is_primitive(gram):
+                continue
+            profile.sequences[_canonical_rotation(gram)] += 1
 
     guest = (LuaVM if vm == "lua" else JsVM).from_source(source, max_steps=max_steps)
     guest.run(trace=trace)
@@ -150,5 +208,32 @@ def suggest_fusion(profile: BytecodeProfile, count: int = 16) -> list[dict]:
             "count": n,
             "in_table": (first, second) in current,
             "coverage": profile.pair_coverage(chosen),
+        })
+    return rows
+
+
+def suggest_superblocks(profile: BytecodeProfile, count: int = 16) -> list[dict]:
+    """Rank recurring kernel-key sequences (batch superblock candidates).
+
+    The profile-side analogue of the batch segmenter
+    (:func:`repro.native.batch.find_periodic_runs`): each row is one
+    steady-state loop body — a canonical-rotation ``(opcode, site)``
+    kernel-key sequence of length :data:`SEQ_MIN_LEN` to
+    :data:`SEQ_MAX_LEN` — ranked by the dynamic events spent repeating
+    it back-to-back.  ``keys`` carries the numeric ``(op, site)`` pairs
+    the segmenter keys runs on, so rows paste directly into
+    segmenter-shaped fixtures; ``share`` approximates the trace coverage
+    a compiled superblock for that body would claim.
+    """
+    rows: list[dict] = []
+    for keys, events in profile.sequences.most_common(count):
+        rows.append({
+            "keys": [[int(op), int(site)] for op, site in keys],
+            "names": [
+                f"{profile._name(op)}@{Site(site).name}" for op, site in keys
+            ],
+            "period": len(keys),
+            "events": events,
+            "share": events / max(profile.steps, 1),
         })
     return rows

@@ -325,7 +325,39 @@ class TestRegress:
 
     def test_idle_run_is_na(self):
         rows = telemetry_diff(self._metrics(), self.BENCH)
-        assert [row["verdict"] for row in rows] == ["n/a"] * 3
+        assert [row["verdict"] for row in rows] == ["n/a"] * 5
+
+    def test_kernel_and_batch_floor_rows(self):
+        """The kernel/batch rows verdict on the *recorded* baseline
+        speedup vs its guard floor (portable), only when this run did
+        comparable work."""
+        bench = {
+            "guard": {"min_kernel_speedup": 1.3, "min_batch_speedup": 1.25},
+            "kernel_replay": {
+                "speedup_kernel_over_interpreted": 1.9,
+                "replay_events_per_s_kernel_on": 400_000,
+            },
+            "batch_replay": {
+                "speedup_batch_over_kernel": 1.1,
+                "replay_events_per_s_batch_on": 600_000,
+            },
+        }
+        metrics = self._metrics(
+            kernel_events=10_000, batch_events=8_000, replay_wall_s=1.0
+        )
+        rows = {row["metric"]: row for row in telemetry_diff(metrics, bench)}
+        kernel = rows["kernel replay events/s"]
+        assert kernel["verdict"] == "ok"
+        assert kernel["reference"] == 400_000
+        batch = rows["batch replay events/s"]
+        assert batch["verdict"] == "REGRESSED"  # 1.1 < 1.25 floor
+        assert batch["reference"] == 600_000
+        # A run with no kernel/batch work reads n/a on both rows.
+        idle_rows = {
+            row["metric"]: row for row in telemetry_diff(self._metrics(), bench)
+        }
+        assert idle_rows["kernel replay events/s"]["verdict"] == "n/a"
+        assert idle_rows["batch replay events/s"]["verdict"] == "n/a"
 
     def test_render_without_baseline(self, monkeypatch):
         monkeypatch.setattr(

@@ -132,8 +132,9 @@ class TestDifferentialRunner:
         assert report.programs == 2
         assert report.pool_checks == 1
         # record + 4 schemes x (live, replay, replay-memo,
-        # replay-nokernel, replay-memo-nokernel) + scd oracle, per VM.
-        assert report.runs == 2 * 2 * (1 + len(SCHEMES) * 5 + 1)
+        # replay-nobatch, replay-memo-nobatch, replay-nokernel,
+        # replay-memo-nokernel) + scd oracle, per VM.
+        assert report.runs == 2 * 2 * (1 + len(SCHEMES) * 7 + 1)
 
     def test_catches_corrupted_jru_install(self, monkeypatch):
         """Breaking the SCD miss path must be caught (acceptance check)."""
