@@ -20,6 +20,15 @@ import time
 from pathlib import Path
 
 from repro.core.simulation import simulate
+from repro.harness.bench import (
+    GUARD_FLOORS,
+    MIN_BATCH_SPEEDUP,
+    MIN_EVENTS_PER_S,
+    MIN_KERNEL_SPEEDUP,
+    MIN_TRACE_SPEEDUP,
+    perf_grid,
+    trace_grid,
+)
 from repro.harness.cache import ResultCache
 from repro.harness.parallel import METRICS, SimJob, run_jobs
 from repro.vm.capture import set_default_trace_mode
@@ -39,35 +48,11 @@ def _update_bench(section: str, payload: dict) -> None:
     record[section] = payload
     BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
-#: Extremely generous floor — the live hot path does ~60k events/s and
-#: warm trace replay ~375k events/s on a single 2020s laptop core with
-#: the exec-compiled kernels; anything under this means the hot path
-#: regressed by an order of magnitude (or the runner is pathological,
-#: in which case set SCD_SKIP_PERF_GUARD=1).
-MIN_EVENTS_PER_S = 8000.0
 
-GRID = tuple(
-    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", 10)))
-    for w in ("fibo", "n-sieve", "random", "pidigits")
-    for scheme in ("baseline", "scd")
-)
-
-#: A warm trace-cache sweep must beat re-interpreting the same grid by at
-#: least this factor (measured ~7.3x on one core with the compiled
-#: kernels; the floor leaves room for slow runners).
-MIN_TRACE_SPEEDUP = 4.0
-
-#: The same 8 (workload, scheme) points as GRID at steady-state input
-#: sizes: long enough that the guest-interpretation cost the trace cache
-#: removes — and, on ``random``, the steady-state memo — actually shows.
-#: ``random`` runs >100 loop iterations per 4096-event memo chunk, so the
-#: memo engages after its first key lap; the other three are
-#: recursion/array/bignum shaped and exercise the plain replay path.
-TRACE_GRID = tuple(
-    SimJob(w, "lua", scheme, kwargs=(("check_output", False), ("n", n)))
-    for w, n in (("fibo", 14), ("n-sieve", 200), ("random", 24000), ("pidigits", 40))
-    for scheme in ("baseline", "scd")
-)
+# Grids and guard floors are shared with `scd-repro bench` via
+# repro.harness.bench — the single source of truth for both.
+GRID = perf_grid()
+TRACE_GRID = trace_grid()
 
 
 def _grid_wall(workers: int, root: Path) -> float:
@@ -102,10 +87,7 @@ def test_dispatch_throughput_guard(tmp_path):
         "cpu_count": os.cpu_count(),
     })
     _update_bench("guard", {
-        "min_events_per_s": MIN_EVENTS_PER_S,
-        "min_trace_speedup": MIN_TRACE_SPEEDUP,
-        "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
-        "min_batch_speedup": MIN_BATCH_SPEEDUP,
+        **GUARD_FLOORS,
         "skipped": bool(os.environ.get("SCD_SKIP_PERF_GUARD")),
     })
 
@@ -209,12 +191,6 @@ def test_trace_replay_speedup(tmp_path):
     )
 
 
-#: Warm replay with compiled kernels must beat the interpreted
-#: event-by-event path by at least this factor (measured ~2x without the
-#: memo, more with it; generous floor for slow runners).
-MIN_KERNEL_SPEEDUP = 1.3
-
-
 def test_kernel_replay_speedup(tmp_path):
     """Warm-replay sweep with exec-compiled kernels on vs off.
 
@@ -313,12 +289,6 @@ def test_kernel_replay_speedup(tmp_path):
         f"compiled kernels only {speedup:.2f}x over interpreted replay "
         f"< {MIN_KERNEL_SPEEDUP:.1f}x (see {BENCH_PATH.name})"
     )
-
-
-#: Chunk-compiled batch (superblock) replay must beat the per-event
-#: kernel path by at least this factor (measured ~1.6x on the TRACE_GRID
-#: with cold memos; generous floor for slow runners).
-MIN_BATCH_SPEEDUP = 1.25
 
 
 def test_batch_replay_speedup(tmp_path):

@@ -1,0 +1,40 @@
+"""Corpus-scale workload pipeline: build, run and report over populations.
+
+The paper's figure-level claims rest on 11 registry workloads; this
+package re-validates them over *populations* of generated programs:
+
+* :mod:`repro.corpus.builder` — seeded, stratified corpus emission
+  (opcode-mix strata x size tiers) with a versioned ``manifest.json``;
+  same seed, byte-identical manifest.
+* :mod:`repro.corpus.runner` — batch ingestion through the fault-tolerant
+  job pool with per-file ok/error/skip accounting and reason-sidecar
+  quarantine; one bad program never aborts the corpus.
+* :mod:`repro.corpus.report` — per-stratum and whole-corpus geomean
+  speedups plus dispatch-MPKI / BTB-miss-MPKI distributions rendered as
+  percentiles, as a "Corpus" report section.
+
+CLI: ``scd-repro corpus build|run|report`` (see
+:mod:`repro.harness.cli`).
+"""
+
+from repro.corpus.builder import (
+    CORPUS_FORMAT,
+    CORPUS_VERSION,
+    build_corpus,
+    load_manifest,
+    plan_corpus,
+)
+from repro.corpus.runner import CorpusRunSummary, run_corpus
+from repro.corpus.report import corpus_section, load_results
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "CORPUS_VERSION",
+    "CorpusRunSummary",
+    "build_corpus",
+    "corpus_section",
+    "load_manifest",
+    "load_results",
+    "plan_corpus",
+    "run_corpus",
+]

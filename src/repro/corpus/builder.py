@@ -1,0 +1,163 @@
+"""Seeded corpus builder: stratified synthetic programs + manifest.
+
+A corpus is a directory:
+
+.. code-block:: text
+
+    <root>/
+      manifest.json                 versioned index (the source of truth)
+      programs/<stratum>/<name>.scd rendered scriptlet sources
+
+``manifest.json`` carries one row per program — seed, stratum, size tier
+and a sha256 digest of the rendered source — and is serialized
+canonically (sorted keys, fixed indent, trailing newline), so rebuilding
+with the same ``(seed, size, strata)`` triple produces a byte-identical
+manifest.  The digest lets the runner detect bit-rot or tampering before
+spending simulation time on a file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import obs
+from repro.verify.generator import CORPUS_STRATA, STRATA
+from repro.workloads.synthetic import SyntheticWorkload, synthesize
+
+#: Manifest format identity; bump the version on layout changes.
+CORPUS_FORMAT = "scd-corpus"
+CORPUS_VERSION = 1
+
+#: Size-tier rotation over program indices (small-biased like the
+#: verify sweep's seed-drawn size distribution).
+SIZE_TIERS = ("tiny", "small", "small", "medium")
+
+#: Multiplier decorrelating per-program seeds across corpus seeds
+#: (corpus seed S, index i -> program seed S * _SEED_STRIDE + i).
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One planned corpus program (manifest row, pre-generation)."""
+
+    name: str
+    seed: int
+    size: str
+    stratum: str
+
+
+def plan_corpus(seed: int, size: int, strata=None) -> list[ProgramSpec]:
+    """Deterministic corpus plan: *size* programs round-robined over
+    *strata* (default :data:`~repro.verify.generator.CORPUS_STRATA`) and
+    cycled through :data:`SIZE_TIERS`."""
+    strata = tuple(strata) if strata else CORPUS_STRATA
+    for name in strata:
+        if name not in STRATA:
+            raise ValueError(
+                f"unknown stratum {name!r}; expected one of {tuple(STRATA)}"
+            )
+    if size < 1:
+        raise ValueError("corpus size must be >= 1")
+    return [
+        ProgramSpec(
+            name=f"p{index:05d}",
+            seed=seed * _SEED_STRIDE + index,
+            size=SIZE_TIERS[index % len(SIZE_TIERS)],
+            stratum=strata[index % len(strata)],
+        )
+        for index in range(size)
+    ]
+
+
+def _program_path(root: Path, spec: ProgramSpec) -> Path:
+    return root / "programs" / spec.stratum / f"{spec.name}.scd"
+
+
+def build_corpus(
+    root, seed: int, size: int, strata=None, force: bool = False
+) -> dict:
+    """Emit a stratified corpus under *root* and return its manifest.
+
+    Refuses to overwrite an existing corpus unless *force* is set (the
+    manifest is the marker).  Emits a ``corpus`` span annotated with
+    per-stratum program counts.
+    """
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    if manifest_path.exists() and not force:
+        raise FileExistsError(
+            f"corpus already exists at {manifest_path} (use force=True / "
+            "--force to rebuild)"
+        )
+    specs = plan_corpus(seed, size, strata)
+    with obs.span(
+        "corpus", op="build", root=str(root), seed=seed, size=size
+    ) as span:
+        rows = []
+        per_stratum: dict[str, int] = {}
+        for spec in specs:
+            program = synthesize(spec.name, spec.seed, spec.size, spec.stratum)
+            path = _program_path(root, spec)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(program.source_text, encoding="utf-8")
+            rows.append({
+                "name": spec.name,
+                "seed": spec.seed,
+                "size": spec.size,
+                "stratum": spec.stratum,
+                "digest": program.digest,
+                "path": path.relative_to(root).as_posix(),
+            })
+            per_stratum[spec.stratum] = per_stratum.get(spec.stratum, 0) + 1
+        manifest = {
+            "format": CORPUS_FORMAT,
+            "version": CORPUS_VERSION,
+            "seed": seed,
+            "size": size,
+            "strata": sorted(per_stratum),
+            "programs": rows,
+        }
+        manifest_path.write_text(
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        span.annotate(**{f"stratum_{k}": v for k, v in sorted(per_stratum.items())})
+    return manifest
+
+
+def load_manifest(root) -> dict:
+    """Load and sanity-check a corpus manifest."""
+    root = Path(root)
+    manifest_path = root / "manifest.json"
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no corpus manifest at {manifest_path}; run `scd-repro corpus "
+            "build` first"
+        ) from None
+    if manifest.get("format") != CORPUS_FORMAT:
+        raise ValueError(f"{manifest_path} is not a {CORPUS_FORMAT} manifest")
+    if manifest.get("version") != CORPUS_VERSION:
+        raise ValueError(
+            f"unsupported corpus manifest version "
+            f"{manifest.get('version')!r} (expected {CORPUS_VERSION})"
+        )
+    return manifest
+
+
+def load_program(root, row: dict) -> SyntheticWorkload:
+    """Materialize one manifest row from its on-disk source file."""
+    root = Path(root)
+    source = (root / row["path"]).read_text(encoding="utf-8")
+    return SyntheticWorkload(
+        name=row["name"],
+        stratum=row["stratum"],
+        size=row["size"],
+        seed=row["seed"],
+        source_text=source,
+        digest=row["digest"],
+    )

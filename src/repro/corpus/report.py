@@ -1,0 +1,143 @@
+"""Corpus aggregation: stratified geomeans and MPKI distributions.
+
+Reads ``<root>/results.json`` (written by :mod:`repro.corpus.runner`)
+and renders the "Corpus" report section: per-stratum and whole-corpus
+geomean speedup per (vm, scheme), and dispatch-MPKI / BTB-miss-MPKI
+distributions as p10/p50/p90 percentiles — distributions, not means,
+because the population view is the point of running a corpus at all.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.results import geomean_or_none
+from repro.harness.tables import fmt, format_table
+
+from repro.corpus.runner import RESULTS_FORMAT, RESULTS_VERSION
+
+#: Percentiles rendered for every MPKI distribution row.
+PERCENTILES = (10, 50, 90)
+
+
+def load_results(root) -> dict:
+    """Load and sanity-check a corpus results file."""
+    root = Path(root)
+    path = root / "results.json"
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no corpus results at {path}; run `scd-repro corpus run` first"
+        ) from None
+    if payload.get("format") != RESULTS_FORMAT:
+        raise ValueError(f"{path} is not a {RESULTS_FORMAT} file")
+    if payload.get("version") != RESULTS_VERSION:
+        raise ValueError(
+            f"unsupported corpus results version {payload.get('version')!r} "
+            f"(expected {RESULTS_VERSION})"
+        )
+    return payload
+
+
+def percentile(values, q: float) -> float | None:
+    """Deterministic linear-interpolation percentile (``q`` in 0..100)."""
+    ordered = sorted(values)
+    if not ordered:
+        return None
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _strata_order(payload: dict) -> list[str]:
+    """Strata present in the rows, sorted, with the whole-corpus
+    pseudo-stratum ``all`` appended."""
+    present = sorted({row["stratum"] for row in payload["rows"]})
+    return present + ["all"]
+
+
+def _rows_for(payload: dict, stratum: str, vm: str, scheme: str) -> list[dict]:
+    return [
+        row
+        for row in payload["rows"]
+        if row["vm"] == vm and row["scheme"] == scheme
+        and (stratum == "all" or row["stratum"] == stratum)
+    ]
+
+
+def speedup_table(payload: dict) -> list[list]:
+    """Per-(stratum, vm, scheme) program counts and geomean speedups.
+
+    Baseline rows are omitted (their speedup is identically 1.0); rows
+    without a baseline reference render ``n/a``.
+    """
+    table = []
+    for stratum in _strata_order(payload):
+        for vm in payload["vms"]:
+            for scheme in payload["schemes"]:
+                if scheme == "baseline":
+                    continue
+                rows = _rows_for(payload, stratum, vm, scheme)
+                speedups = [r["speedup"] for r in rows if "speedup" in r]
+                table.append([
+                    stratum, vm, scheme, len(rows),
+                    geomean_or_none(speedups),
+                ])
+    return table
+
+
+def mpki_table(payload: dict, metrics=("dispatch_mpki", "btb_miss_mpki")) -> list[list]:
+    """Per-(stratum, vm, scheme, metric) percentile rows."""
+    table = []
+    for stratum in _strata_order(payload):
+        for vm in payload["vms"]:
+            for scheme in payload["schemes"]:
+                rows = _rows_for(payload, stratum, vm, scheme)
+                for metric in metrics:
+                    values = [row[metric] for row in rows]
+                    table.append(
+                        [stratum, vm, scheme, metric]
+                        + [percentile(values, q) for q in PERCENTILES]
+                    )
+    return table
+
+
+def corpus_section(root) -> str:
+    """The "## Corpus" report section for the corpus at *root*."""
+    payload = load_results(root)
+    accounting = payload["accounting"]
+    lines = [
+        "## Corpus",
+        "",
+        (
+            f"{accounting['total']} program(s) (seed "
+            f"{payload['corpus_seed']}): {accounting['ok']} ok, "
+            f"{accounting['error']} error, {accounting['skipped']} skipped."
+        ),
+        "",
+        format_table(
+            ["stratum", "vm", "scheme", "programs", "geomean speedup"],
+            [
+                [stratum, vm, scheme, str(count), fmt(value, ".3f")]
+                for stratum, vm, scheme, count, value in speedup_table(payload)
+            ],
+            title="Speedup over baseline dispatch (per stratum)",
+        ),
+        "",
+        format_table(
+            ["stratum", "vm", "scheme", "metric"]
+            + [f"p{q}" for q in PERCENTILES],
+            [
+                row[:4] + [fmt(value, ".3f") for value in row[4:]]
+                for row in mpki_table(payload)
+            ],
+            title="MPKI distributions (per stratum percentiles)",
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,295 @@
+"""Batch corpus ingestion through the fault-tolerant job pool.
+
+Walks a built corpus (see :mod:`repro.corpus.builder`), verifies each
+program's manifest digest, and runs every intact program on the
+requested VMs x dispatch schemes through
+:func:`repro.harness.parallel.run_jobs_partial` — the same retry /
+salvage / degrade ladder as figure sweeps, but failures come back as
+per-file accounting instead of aborting the batch.
+
+Every program ends in exactly one state:
+
+* ``ok`` — all its grid points simulated (and, with two VMs, both VMs
+  printed identical output);
+* ``error`` — integrity failure (missing file, digest mismatch), any
+  grid point exhausted its retry budget, or a cross-VM output mismatch.
+  The reason lands in ``<root>/quarantine/<name>.reason.txt``;
+* ``skipped`` — excluded by a ``--stratum``/``--limit`` filter.
+
+``ok + error + skipped == corpus size`` always.  Results are written to
+``<root>/results.json`` canonically (sorted keys, rounded floats, no
+wall-clock), so a serial run and a ``-j2`` run of the same corpus are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import obs
+from repro.core.simulation import SCHEMES
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import METRICS, SimJob, run_jobs_partial
+from repro.workloads.synthetic import program_digest
+
+from repro.corpus.builder import load_manifest
+
+#: Results format identity; bump on layout changes.
+RESULTS_FORMAT = "scd-corpus-results"
+RESULTS_VERSION = 1
+
+#: Step ceiling per program (generated programs terminate far below it;
+#: the ceiling converts a generator bug into an ``error`` row, not a hang).
+CORPUS_MAX_STEPS = 2_000_000
+
+#: Default VM pair (both guest VMs, as the paper evaluates).
+DEFAULT_VMS = ("lua", "js")
+
+
+@dataclass
+class CorpusRunSummary:
+    """Per-file accounting of one corpus run.
+
+    ``ok + error + skipped == total`` (the corpus size); *quarantined*
+    counts cache shards the cache layer quarantined during the run
+    (corrupt/torn entries — degraded but recovered, reported so faults
+    are never silent).
+    """
+
+    root: Path
+    total: int = 0
+    ok: int = 0
+    error: int = 0
+    skipped: int = 0
+    by_stratum: dict = field(default_factory=dict)
+    errors: dict = field(default_factory=dict)   # name -> first reason line
+    quarantined: int = 0
+
+    def check(self) -> None:
+        if self.ok + self.error + self.skipped != self.total:
+            raise AssertionError(
+                f"corpus accounting does not sum: ok={self.ok} + "
+                f"error={self.error} + skipped={self.skipped} != "
+                f"total={self.total}"
+            )
+
+
+def _quarantine(root: Path, name: str, reason: str) -> None:
+    """Drop a reason sidecar for a failed program (mirrors the cache
+    layer's quarantine discipline)."""
+    quarantine = root / "quarantine"
+    quarantine.mkdir(parents=True, exist_ok=True)
+    (quarantine / f"{name}.reason.txt").write_text(
+        reason.rstrip() + "\n", encoding="utf-8"
+    )
+    obs.event("corpus_quarantine", program=name, reason=reason.splitlines()[0])
+
+
+def _result_row(name: str, row: dict, vm: str, scheme: str, result) -> dict:
+    mpki_denom = max(result.instructions, 1)
+    btb_mpki = 1000.0 * result.mispredicts_by_category.get(
+        "btb_target_miss", 0
+    ) / mpki_denom
+    return {
+        "program": name,
+        "stratum": row["stratum"],
+        "size": row["size"],
+        "vm": vm,
+        "scheme": scheme,
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+        "guest_steps": result.guest_steps,
+        "dispatch_mpki": round(result.dispatch_mpki(), 6),
+        "branch_mpki": round(result.branch_mpki, 6),
+        "btb_miss_mpki": round(btb_mpki, 6),
+    }
+
+
+def run_corpus(
+    root,
+    vms=DEFAULT_VMS,
+    schemes=SCHEMES,
+    workers: int | None = None,
+    limit: int | None = None,
+    strata=None,
+    cache: ResultCache | None = None,
+    retries: int | None = None,
+    job_timeout: float | None = None,
+) -> CorpusRunSummary:
+    """Run every corpus program on *vms* x *schemes*; never aborts on one
+    bad file.  Returns the per-file accounting summary; detailed rows land
+    in ``<root>/results.json``.
+
+    *cache* defaults to a corpus-private result cache under
+    ``<root>/cache`` (which also auto-wires the trace/memo stores, so one
+    VM records each program once and every other scheme replays it).
+    """
+    root = Path(root)
+    manifest = load_manifest(root)
+    vms = tuple(vms)
+    schemes = tuple(schemes)
+    strata = tuple(strata) if strata else None
+    if cache is None:
+        cache = ResultCache("corpus", root=root / "cache")
+
+    programs = manifest["programs"]
+    summary = CorpusRunSummary(root=root, total=len(programs))
+    quarantined_before = METRICS.quarantined
+
+    with obs.span(
+        "corpus", op="run", root=str(root), programs=len(programs),
+        vms=",".join(vms), schemes=",".join(schemes),
+    ) as span:
+        # -- select + integrity-check --------------------------------------
+        outcomes: dict[str, str] = {}
+        reasons: dict[str, str] = {}
+        sources: dict[str, str] = {}
+        selected = []
+        taken = 0
+        for row in programs:
+            name = row["name"]
+            stratum = row["stratum"]
+            tally = summary.by_stratum.setdefault(
+                stratum, {"total": 0, "ok": 0, "error": 0, "skipped": 0}
+            )
+            tally["total"] += 1
+            if (strata and stratum not in strata) or (
+                limit is not None and taken >= limit
+            ):
+                outcomes[name] = "skipped"
+                continue
+            taken += 1
+            path = root / row["path"]
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                outcomes[name] = "error"
+                reasons[name] = f"unreadable program file {row['path']}: {exc}"
+                continue
+            if program_digest(source) != row["digest"]:
+                outcomes[name] = "error"
+                reasons[name] = (
+                    f"digest mismatch for {row['path']}: file does not match "
+                    "manifest (corrupted or tampered source)"
+                )
+                continue
+            sources[name] = source
+            selected.append(row)
+
+        # -- simulate through the fault-tolerant pool ----------------------
+        jobs = []
+        grid = []
+        for row in selected:
+            for vm in vms:
+                for scheme in schemes:
+                    jobs.append(SimJob(
+                        workload=f"corpus:{row['name']}",
+                        vm=vm,
+                        scheme=scheme,
+                        kwargs=(
+                            ("source", sources[row["name"]]),
+                            ("check_output", False),
+                            ("max_steps", CORPUS_MAX_STEPS),
+                        ),
+                    ))
+                    grid.append((row, vm, scheme))
+        results, failures = run_jobs_partial(
+            jobs, workers=workers, cache=cache, retries=retries,
+            job_timeout=job_timeout,
+        )
+        failed_names: dict[str, str] = {}
+        for job, detail in failures:
+            name = job.workload.split(":", 1)[1]
+            line = (
+                f"simulation failed (vm={job.vm}, scheme={job.scheme}): "
+                + str(detail).strip().splitlines()[-1]
+            )
+            failed_names.setdefault(name, line)
+
+        # -- fold grid points into per-program outcomes --------------------
+        by_program: dict[str, dict] = {}
+        for (row, vm, scheme), result in zip(grid, results):
+            if result is not None:
+                by_program.setdefault(row["name"], {})[(vm, scheme)] = result
+        rows_out = []
+        for row in selected:
+            name = row["name"]
+            if name in failed_names:
+                outcomes[name] = "error"
+                reasons[name] = failed_names[name]
+                continue
+            cells = by_program.get(name, {})
+            # Cross-VM oracle: with both VMs present, their printed output
+            # must agree (scheme choice cannot change guest semantics, so
+            # one scheme's comparison covers them all).
+            if len(vms) > 1:
+                outputs = {vm: cells[(vm, schemes[0])].output for vm in vms}
+                if len(set(outputs.values())) > 1:
+                    outcomes[name] = "error"
+                    reasons[name] = (
+                        "cross-VM output mismatch: "
+                        + " vs ".join(
+                            f"{vm}:{len(out)} line(s)"
+                            for vm, out in outputs.items()
+                        )
+                    )
+                    continue
+            outcomes[name] = "ok"
+            for vm in vms:
+                baseline = cells.get((vm, "baseline"))
+                for scheme in schemes:
+                    out = _result_row(name, row, vm, scheme, cells[(vm, scheme)])
+                    if baseline is not None:
+                        out["speedup"] = round(
+                            baseline.cycles / max(cells[(vm, scheme)].cycles, 1),
+                            6,
+                        )
+                    rows_out.append(out)
+
+        # -- accounting + artifacts ----------------------------------------
+        for row in programs:
+            name = row["name"]
+            outcome = outcomes[name]
+            summary.by_stratum[row["stratum"]][outcome] += 1
+            setattr(summary, outcome, getattr(summary, outcome) + 1)
+            if outcome == "error":
+                reason = reasons.get(name, "unknown failure")
+                summary.errors[name] = reason.splitlines()[0]
+                _quarantine(root, name, reason)
+        summary.quarantined = METRICS.quarantined - quarantined_before
+        summary.check()
+
+        payload = {
+            "format": RESULTS_FORMAT,
+            "version": RESULTS_VERSION,
+            "corpus_seed": manifest["seed"],
+            "vms": list(vms),
+            "schemes": list(schemes),
+            "accounting": {
+                "total": summary.total,
+                "ok": summary.ok,
+                "error": summary.error,
+                "skipped": summary.skipped,
+                "by_stratum": summary.by_stratum,
+            },
+            "outcomes": outcomes,
+            "rows": sorted(
+                rows_out,
+                key=lambda r: (r["program"], r["vm"], r["scheme"]),
+            ),
+        }
+        (root / "results.json").write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        span.annotate(
+            ok=summary.ok, error=summary.error, skipped=summary.skipped,
+            quarantined=summary.quarantined,
+            **{
+                f"stratum_{name}_ok": tally["ok"]
+                for name, tally in sorted(summary.by_stratum.items())
+            },
+        )
+    return summary

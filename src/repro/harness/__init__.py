@@ -24,6 +24,7 @@ from repro.harness.parallel import (
     SimJobError,
     SimJobsFailed,
     run_jobs,
+    run_jobs_partial,
     set_default_job_timeout,
     set_default_retries,
     set_default_workers,
@@ -38,6 +39,7 @@ __all__ = [
     "SimJobsFailed",
     "run_experiment",
     "run_jobs",
+    "run_jobs_partial",
     "run_matrix",
     "set_default_job_timeout",
     "set_default_retries",

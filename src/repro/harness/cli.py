@@ -10,6 +10,9 @@ Commands::
     scd-repro profile fibo         # bytecode + uarch profile of one workload
     scd-repro bench                # BENCH_dispatch.json vs its guard floors
     scd-repro bench --update       # regenerate it from the perf-smoke grid
+    scd-repro corpus build --seed 7 --size 256   # stratified corpus + manifest
+    scd-repro corpus run -j2       # batch-run it with per-file accounting
+    scd-repro corpus report        # stratified geomeans + MPKI percentiles
     scd-repro clear-cache
 """
 
@@ -101,12 +104,12 @@ def _cmd_all(_args) -> int:
     return 0
 
 
-def _cmd_report(_args) -> int:
+def _cmd_report(args) -> int:
     from repro.harness.report import generate_report
 
     METRICS.reset()
     start = time.perf_counter()
-    print(generate_report())
+    print(generate_report(corpus=getattr(args, "corpus", None)))
     # The summary's "trace reuse" part shows the per-sweep time saved by
     # replaying recorded event streams instead of re-interpreting.
     print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
@@ -271,23 +274,12 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    from repro.harness.bench import BENCH_CHECKS
+
     guard = bench.get("guard", {})
-    checks = (
-        ("hot path events/s",
-         bench.get("hot_path", {}).get("events_per_s"),
-         guard.get("min_events_per_s")),
-        ("trace replay events/s",
-         bench.get("trace_replay", {}).get("replay_events_per_s"),
-         guard.get("min_events_per_s")),
-        ("warm-over-cold speedup",
-         bench.get("trace_replay", {}).get("speedup_warm_over_cold"),
-         guard.get("min_trace_speedup")),
-        ("kernel-over-interpreted speedup",
-         bench.get("kernel_replay", {}).get("speedup_kernel_over_interpreted"),
-         guard.get("min_kernel_speedup")),
-        ("batch-over-kernel speedup",
-         bench.get("batch_replay", {}).get("speedup_batch_over_kernel"),
-         guard.get("min_batch_speedup")),
+    checks = tuple(
+        (label, bench.get(section, {}).get(field), guard.get(floor_key))
+        for label, section, field, floor_key in BENCH_CHECKS
     )
     print(f"# {found}")
     below = 0
@@ -303,6 +295,68 @@ def _cmd_bench(args) -> int:
         limit = "n/a" if floor is None else f"{floor:,.1f}"
         print(f"  {name:<33} {shown:>12}  (floor {limit:>9})  {verdict}")
     return below
+
+
+def _cmd_corpus(args) -> int:
+    from pathlib import Path
+
+    from repro.corpus import build_corpus, corpus_section, run_corpus
+
+    root = Path(args.root)
+    if args.corpus_command == "build":
+        strata = tuple(args.strata.split(",")) if args.strata else None
+        manifest = build_corpus(
+            root, seed=args.seed, size=args.size, strata=strata,
+            force=args.force,
+        )
+        print(
+            f"built corpus of {manifest['size']} program(s) at {root} "
+            f"(seed {manifest['seed']})"
+        )
+        per_stratum: dict[str, int] = {}
+        for row in manifest["programs"]:
+            per_stratum[row["stratum"]] = per_stratum.get(row["stratum"], 0) + 1
+        for name, count in sorted(per_stratum.items()):
+            print(f"  {name:<10} {count}")
+        return 0
+
+    if args.corpus_command == "run":
+        vms = ("lua", "js") if args.vm == "both" else (args.vm,)
+        schemes = tuple(args.schemes.split(",")) if args.schemes else SCHEMES
+        workers = args.corpus_jobs if args.corpus_jobs is not None else args.jobs
+        METRICS.reset()
+        start = time.perf_counter()
+        summary = run_corpus(
+            root,
+            vms=vms,
+            schemes=schemes,
+            workers=workers,
+            limit=args.limit,
+            strata=tuple(args.stratum) if args.stratum else None,
+        )
+        print(
+            f"corpus run ({root}): {summary.ok} ok, {summary.error} error, "
+            f"{summary.skipped} skipped of {summary.total}"
+        )
+        for name, tally in sorted(summary.by_stratum.items()):
+            print(
+                f"  {name:<10} ok {tally['ok']:>5}  error {tally['error']:>5}"
+                f"  skipped {tally['skipped']:>5}"
+            )
+        for name, reason in sorted(summary.errors.items()):
+            print(f"  quarantined {name}: {reason}", file=sys.stderr)
+        if summary.quarantined:
+            print(
+                f"  cache shards quarantined during run: {summary.quarantined}",
+                file=sys.stderr,
+            )
+        print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
+        # Per-file failures are accounting, not an abort; the exit code
+        # reflects whether the batch produced a trustworthy results file.
+        return 0
+
+    print(corpus_section(root))
+    return 0
 
 
 def _cmd_clear_cache(_args) -> int:
@@ -491,10 +545,90 @@ def main(argv: list[str] | None = None) -> int:
         "regenerating (fails like CI would)",
     )
 
+    corpus_parser = sub.add_parser(
+        "corpus",
+        help="build / run / report a stratified synthetic program corpus",
+    )
+    corpus_sub = corpus_parser.add_subparsers(
+        dest="corpus_command", required=True
+    )
+    corpus_build = corpus_sub.add_parser(
+        "build",
+        help="generate a seeded stratified corpus and its manifest.json",
+    )
+    corpus_build.add_argument(
+        "--root", default="scd-corpus", metavar="DIR",
+        help="corpus directory (default: scd-corpus)",
+    )
+    corpus_build.add_argument(
+        "--seed", type=int, default=0, help="corpus seed (default 0)"
+    )
+    corpus_build.add_argument(
+        "--size", type=int, default=256, metavar="N",
+        help="number of programs (default 256)",
+    )
+    corpus_build.add_argument(
+        "--strata", default=None, metavar="S1,S2",
+        help="comma-separated stratum names to round-robin over "
+        "(default: arith,call,branch,table-str)",
+    )
+    corpus_build.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing corpus at --root",
+    )
+    corpus_run = corpus_sub.add_parser(
+        "run",
+        help="run every corpus program on the VM/scheme grid with "
+        "per-file ok/error/skip accounting (one bad file never aborts "
+        "the batch)",
+    )
+    corpus_run.add_argument(
+        "--root", default="scd-corpus", metavar="DIR",
+        help="corpus directory (default: scd-corpus)",
+    )
+    corpus_run.add_argument(
+        "-j", "--jobs", type=int, default=None, dest="corpus_jobs",
+        metavar="N",
+        help="worker processes for the corpus grid (same as the global "
+        "-j, placed here so it can follow the subcommand)",
+    )
+    corpus_run.add_argument(
+        "--vm", choices=("lua", "js", "both"), default="both",
+        help="guest VM(s) to run; 'both' adds the cross-VM output oracle",
+    )
+    corpus_run.add_argument(
+        "--schemes", default=None, metavar="S1,S2",
+        help="comma-separated dispatch schemes "
+        f"(default: {','.join(SCHEMES)})",
+    )
+    corpus_run.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="run only the first N selected programs (rest are skipped)",
+    )
+    corpus_run.add_argument(
+        "--stratum", action="append", default=None, metavar="NAME",
+        help="restrict to one stratum (repeatable)",
+    )
+    corpus_report = corpus_sub.add_parser(
+        "report",
+        help="render the stratified Corpus section from results.json",
+    )
+    corpus_report.add_argument(
+        "--root", default="scd-corpus", metavar="DIR",
+        help="corpus directory (default: scd-corpus)",
+    )
+
     for name in EXPERIMENTS:
         sub.add_parser(name, help=f"reproduce {name}")
     sub.add_parser("all", help="run every experiment")
-    sub.add_parser("report", help="regenerate the EXPERIMENTS.md body")
+    report_parser = sub.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md body"
+    )
+    report_parser.add_argument(
+        "--corpus", default=None, metavar="DIR",
+        help="append the Corpus section for the corpus at DIR "
+        "(requires a prior 'corpus run')",
+    )
     sub.add_parser(
         "clear-cache", help="drop cached simulation results and recorded traces"
     )
@@ -557,6 +691,8 @@ def _dispatch(args) -> int:
         return _cmd_profile(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
     return _cmd_experiment(args.command)

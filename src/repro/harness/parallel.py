@@ -565,8 +565,13 @@ def _shutdown_pool(pool, futures, kill: bool = False) -> None:
     pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _run_serial(misses, cache, trace_mode, retries, resolved) -> None:
-    """In-process execution of *misses* with bounded per-job retries."""
+def _run_serial(misses, cache, trace_mode, retries, resolved) -> list:
+    """In-process execution of *misses* with bounded per-job retries.
+
+    Returns the ``(job, detail)`` pairs that exhausted their budget;
+    callers decide whether that is fatal (:func:`run_jobs`) or merely
+    per-file accounting (:func:`run_jobs_partial`).
+    """
     trace_store = TraceStore(root=cache.root) if cache is not None else None
     failures = []
     for key, job in misses:
@@ -586,8 +591,7 @@ def _run_serial(misses, cache, trace_mode, retries, resolved) -> None:
             break
         else:
             failures.append((job, detail))
-    if failures:
-        raise SimJobsFailed(failures, completed=len(resolved))
+    return failures
 
 
 def _consume_future(future, futures, resolved, failed, state) -> None:
@@ -720,8 +724,11 @@ def _run_degraded(
 
 def _run_pool(
     misses, workers, cache, trace_mode, retries, job_timeout, resolved
-) -> None:
-    """Pooled execution of *misses* with retry rounds and salvage."""
+) -> list:
+    """Pooled execution of *misses* with retry rounds and salvage.
+
+    Returns the exhausted ``(job, detail)`` pairs (see
+    :func:`_run_serial`)."""
     _prewarm_models(job for _, job in misses)
     cache_name = cache.name if cache is not None else None
     cache_root = str(cache.root) if cache is not None else None
@@ -759,13 +766,11 @@ def _run_pool(
             break
         retry_round += 1
         time.sleep(_retry_backoff_s(retry_round))
-    exhausted = [
+    return [
         last_failure[key]
         for key, _ in misses
         if key not in resolved and key in last_failure
     ]
-    if exhausted:
-        raise SimJobsFailed(exhausted, completed=len(resolved))
 
 
 def run_jobs(
@@ -795,6 +800,47 @@ def run_jobs(
             traceback.  (A :class:`SimJobError` subclass, so existing
             handlers keep working.)
     """
+    results, failures, completed = _execute_jobs(
+        jobs, workers, cache, retries, job_timeout
+    )
+    if failures:
+        raise SimJobsFailed(failures, completed=completed)
+    return results
+
+
+def run_jobs_partial(
+    jobs,
+    workers: int | None = None,
+    cache: ResultCache | None = DEFAULT_CACHE,
+    retries: int | None = None,
+    job_timeout: float | None = None,
+) -> tuple[list, list]:
+    """Like :func:`run_jobs`, but failures are data, not an exception.
+
+    Returns ``(results, failures)``: *results* is in input order with
+    ``None`` at every grid point that exhausted its retry budget, and
+    *failures* lists ``(job, detail)`` pairs for those points.  The
+    corpus runner (:mod:`repro.corpus`) uses this to keep per-file
+    accounting — one bad program must never abort the batch.
+
+    The execution engine is shared with :func:`run_jobs` bit for bit
+    (same cache resolution, pool, retry/salvage/degrade ladder), so a
+    partial run populates the same caches a strict run would.
+    """
+    jobs = list(jobs)
+    results, failures, _ = _execute_jobs(
+        jobs, workers, cache, retries, job_timeout
+    )
+    return results, failures
+
+
+def _execute_jobs(jobs, workers, cache, retries, job_timeout):
+    """Shared engine of :func:`run_jobs` / :func:`run_jobs_partial`.
+
+    Returns ``(results, failures, completed)`` where *results* carries
+    ``None`` for exhausted grid points and *completed* counts distinct
+    resolved cache keys (hits included).
+    """
     jobs = list(jobs)
     workers = resolve_workers(workers)
     retries = resolve_retries(retries)
@@ -820,16 +866,17 @@ def run_jobs(
             misses.append((key, job))
 
     trace_mode = resolve_trace_mode()
+    failures: list = []
     if misses and (workers <= 1 or len(misses) == 1):
-        _run_serial(misses, cache, trace_mode, retries, resolved)
+        failures = _run_serial(misses, cache, trace_mode, retries, resolved)
     elif misses:
-        _run_pool(
+        failures = _run_pool(
             misses, workers, cache, trace_mode, retries, job_timeout, resolved
         )
 
-    results: list[SimResult] = [None] * len(jobs)  # type: ignore[list-item]
+    results: list[SimResult | None] = [None] * len(jobs)
     for key, indices in sinks.items():
-        result = resolved[key]
+        result = resolved.get(key)
         for index in indices:
             results[index] = result
-    return results
+    return results, failures, len(resolved)

@@ -61,8 +61,13 @@ def _minus_one(value: float | None) -> float | None:
     return value - 1 if value is not None else None
 
 
-def generate_report(cache=DEFAULT_CACHE) -> str:
-    """Compute every experiment and render the paper-vs-measured report."""
+def generate_report(cache=DEFAULT_CACHE, corpus=None) -> str:
+    """Compute every experiment and render the paper-vs-measured report.
+
+    With *corpus* set to a built-and-run corpus directory (see
+    :mod:`repro.corpus`), the stratified Corpus section is appended after
+    the paper figures.
+    """
     sections: list[str] = []
 
     # Figures 2-3.
@@ -274,6 +279,13 @@ def generate_report(cache=DEFAULT_CACHE) -> str:
         + he.text
         + "\n```"
     )
+
+    # Corpus: population-scale validation of the headline effect, when a
+    # built-and-run corpus directory is supplied.
+    if corpus is not None:
+        from repro.corpus import corpus_section
+
+        sections.append(corpus_section(corpus))
 
     # Telemetry: this regeneration's throughput, diffed against the
     # recorded benchmark baseline (see repro.obs.regress).

@@ -31,6 +31,7 @@ REQUIRED_FIELDS = {
 #: is the reference for docs and golden tests.
 KNOWN_SPANS = (
     "sweep",
+    "corpus",
     "experiment",
     "job",
     "cache",

@@ -62,6 +62,94 @@ SIZE_PROFILES = {
 }
 
 
+@dataclass(frozen=True)
+class Stratum:
+    """An opcode-mix stratum: multiplicative biases on statement choice.
+
+    ``stmt_weights`` maps a statement kind (the keys used by
+    :meth:`ProgramGenerator._gen_statement`) to a multiplier applied on
+    top of the base weight; absent kinds keep weight ``1.0``.  The
+    multipliers reshape the *probabilities* of each statement kind
+    without changing how many RNG draws are consumed, so the default
+    ``mixed`` stratum is byte-identical to the historical generator.
+    """
+
+    name: str
+    stmt_weights: dict = field(default_factory=dict)
+    #: Pool ``_declare_scalar`` draws the declared type from.
+    scalar_types: tuple = ("int", "int", "int", "str", "bool", "float")
+    #: Probability gate for emitting a bare call statement.
+    callstmt_p: float = 0.25
+    #: Probability gate for offering an early return inside functions.
+    return_p: float = 0.15
+    #: Added to the size profile's max function count.
+    extra_functions: int = 0
+    #: Lower bound on the number of generated functions.
+    min_functions: int = 0
+
+
+#: Opcode-mix strata for corpus stratification.  ``mixed`` preserves the
+#: historical (unbiased) distribution; the others skew the statement mix
+#: toward one opcode class (arithmetic, calls, branches, tables/strings).
+STRATA = {
+    "mixed": Stratum(name="mixed"),
+    "arith": Stratum(
+        name="arith",
+        stmt_weights={
+            "scalar": 2.5, "assign": 4.0, "array": 0.2, "map": 0.1,
+            "container": 0.25, "pushpop": 0.1, "print": 0.4,
+            "if": 0.3, "while": 0.5, "for": 1.5,
+        },
+        scalar_types=("int", "int", "int", "int", "float", "float"),
+        callstmt_p=0.1,
+    ),
+    "call": Stratum(
+        name="call",
+        stmt_weights={
+            "callstmt": 4.0, "scalar": 0.8, "array": 0.5, "map": 0.3,
+            "container": 0.5, "pushpop": 0.3, "if": 0.8,
+        },
+        callstmt_p=0.9,
+        extra_functions=2,
+        min_functions=1,
+    ),
+    "branch": Stratum(
+        name="branch",
+        stmt_weights={
+            "if": 4.0, "while": 3.5, "for": 2.5, "exit": 3.0,
+            "assign": 0.8, "array": 0.4, "map": 0.2, "container": 0.4,
+            "pushpop": 0.2, "print": 0.5,
+        },
+    ),
+    "table-str": Stratum(
+        name="table-str",
+        stmt_weights={
+            "array": 5.0, "map": 4.0, "container": 5.0, "pushpop": 4.0,
+            "scalar": 1.2, "assign": 0.7, "if": 0.6, "for": 1.2,
+        },
+        scalar_types=("str", "str", "str", "int", "bool", "float"),
+    ),
+}
+
+#: Strata a stratified corpus cycles through (``mixed`` is the verify
+#: sweep's default and deliberately not part of the skewed rotation).
+CORPUS_STRATA = ("arith", "call", "branch", "table-str")
+
+
+def resolve_stratum(stratum) -> Stratum:
+    """Coerce a stratum name or :class:`Stratum` into a :class:`Stratum`."""
+    if isinstance(stratum, Stratum):
+        return stratum
+    if stratum is None:
+        return STRATA["mixed"]
+    try:
+        return STRATA[stratum]
+    except KeyError:
+        raise ValueError(
+            f"unknown stratum {stratum!r}; expected one of {tuple(STRATA)}"
+        ) from None
+
+
 @dataclass
 class _Scope:
     """Visible names with their static types."""
@@ -101,6 +189,7 @@ class GeneratedProgram:
         module: the AST module.
         source: rendered source text (what the VMs compile).
         est_steps: static upper-bound estimate of executed guest steps.
+        stratum: name of the opcode-mix stratum that shaped it.
     """
 
     seed: int
@@ -108,23 +197,29 @@ class GeneratedProgram:
     module: ast.Module
     source: str
     est_steps: int
+    stratum: str = "mixed"
 
 
 class ProgramGenerator:
     """Deterministic random program builder.
 
     Args:
-        seed: RNG seed; equal seeds produce byte-identical programs.
+        seed: RNG seed; equal (seed, size, stratum) triples produce
+            byte-identical programs.
         size: one of :data:`SIZE_PROFILES`.
+        stratum: a :data:`STRATA` name or :class:`Stratum` instance
+            biasing the statement mix toward one opcode class.
     """
 
-    def __init__(self, seed: int, size: str = "small"):
+    def __init__(self, seed: int, size: str = "small", stratum="mixed"):
         if size not in SIZE_PROFILES:
             raise ValueError(f"unknown size {size!r}; expected {tuple(SIZE_PROFILES)}")
         self.seed = seed
         self.size = size
+        self.stratum = resolve_stratum(stratum)
         self.rng = random.Random(seed)
         self.budget, self.max_functions, self.max_depth = SIZE_PROFILES[size]
+        self.max_functions += self.stratum.extra_functions
         self.spent = 0
         self._names = 0
         self._mult = 1
@@ -409,7 +504,7 @@ class ProgramGenerator:
     # -- statements --------------------------------------------------------
 
     def _declare_scalar(self, scope: _Scope, mult: int, in_loop: bool) -> ast.Node:
-        type_ = self.rng.choice(("int", "int", "int", "str", "bool", "float"))
+        type_ = self.rng.choice(self.stratum.scalar_types)
         name = self._fresh("v")
         self._spend(3, mult)
         # Generate the initializer before registering the name: the new
@@ -589,10 +684,14 @@ class ProgramGenerator:
             options += [("if", 3), ("for", 3), ("while", 2)]
         if in_loop:
             options.append(("exit", 1))
-        if ctx.get("return_type") and rng.random() < 0.15:
+        if ctx.get("return_type") and rng.random() < self.stratum.return_p:
             options.append(("return", 2))
-        if rng.random() < 0.25 and self.functions:
+        if rng.random() < self.stratum.callstmt_p and self.functions:
             options.append(("callstmt", 2))
+        # Stratum bias: rescale weights without touching the RNG stream,
+        # so the default (all-1.0) stratum reproduces historical programs.
+        bias = self.stratum.stmt_weights
+        options = [(kind, weight * bias.get(kind, 1.0)) for kind, weight in options]
         total = sum(weight for _, weight in options)
         pick = rng.random() * total
         for kind, weight in options:
@@ -677,7 +776,8 @@ class ProgramGenerator:
     def generate(self) -> GeneratedProgram:
         rng = self.rng
         body: list = []
-        for _ in range(rng.randint(0, self.max_functions)):
+        lo = min(self.stratum.min_functions, self.max_functions)
+        for _ in range(rng.randint(lo, self.max_functions)):
             body.append(self._gen_function())
         scope = _Scope()
         # Always seed at least one int so the epilogue prints something.
@@ -695,6 +795,7 @@ class ProgramGenerator:
             module=module,
             source=unparse(module),
             est_steps=self.spent,
+            stratum=self.stratum.name,
         )
 
     def _epilogue(self, scope: _Scope) -> list:
@@ -722,15 +823,19 @@ class ProgramGenerator:
         return statements
 
 
-def generate_program(seed: int, size: str | None = None) -> GeneratedProgram:
+def generate_program(
+    seed: int, size: str | None = None, stratum=None
+) -> GeneratedProgram:
     """Generate the deterministic program for *seed*.
 
     When *size* is ``None``, the profile is itself drawn from the seed
     (favouring small programs), so a verify sweep mixes sizes without any
-    extra configuration.
+    extra configuration.  *stratum* (a :data:`STRATA` name or
+    :class:`Stratum`) biases the opcode mix; ``None`` keeps the historic
+    unbiased ``mixed`` distribution.
     """
     if size is None:
         size = random.Random(("size", seed).__repr__()).choice(
             ("tiny", "small", "small", "small", "medium")
         )
-    return ProgramGenerator(seed, size).generate()
+    return ProgramGenerator(seed, size, stratum=stratum).generate()

@@ -178,6 +178,24 @@ class _FunctionCompiler:
             self._const_index[key] = index
         return index
 
+    def _name_rk(self, name: str, scratch: int | None = None) -> int:
+        """RK operand for the global-name constant *name*.
+
+        An RK field holds 8 bits of constant index; ORing a larger index
+        with ``RK_CONST_BIT`` would silently alias a low-index constant
+        (reading or clobbering the wrong global).  Indices above 0xFF are
+        spilled to a register with LOADK (whose Bx field is 18 bits) and
+        the register form is returned instead — *scratch* names the
+        register to use, or one is reserved (caller releases it).
+        """
+        index = self.add_const(name)
+        if index <= 0xFF:
+            return RK_CONST_BIT | index
+        if scratch is None:
+            scratch = self._reserve(1)
+        self.emit_abx(Op.LOADK, scratch, index)
+        return scratch
+
     def rk(self, node: ast.Node) -> int | None:
         """RK operand for *node* if it is a small-index constant."""
         if isinstance(node, ast.Literal):
@@ -222,9 +240,7 @@ class _FunctionCompiler:
     def _assign_global(self, name: str, value: ast.Node) -> None:
         mark = self.free_reg
         value_rk, _ = self._rk_or_reg(value)
-        key_rk = RK_CONST_BIT | self.add_const(name)
-        if (key_rk & ~RK_CONST_BIT) > 0xFF:
-            raise CompileError(f"too many constants for global {name!r}")
+        key_rk = self._name_rk(name)
         self.emit(Op.SETTABUP, 0, key_rk, value_rk)
         self._release_to(mark)
 
@@ -434,7 +450,7 @@ class _FunctionCompiler:
             if register != dest:
                 self.emit(Op.MOVE, dest, register, 0)
             return
-        key_rk = RK_CONST_BIT | self.add_const(node.id)
+        key_rk = self._name_rk(node.id, scratch=dest)
         self.emit(Op.GETTABUP, dest, 0, key_rk)
 
     _ARITH_OPS = {
@@ -562,7 +578,7 @@ class _FunctionCompiler:
         ):
             raise CompileError(f"call to undefined function {node.callee!r}", node.line)
         base = self._reserve(1)
-        key_rk = RK_CONST_BIT | self.add_const(node.callee)
+        key_rk = self._name_rk(node.callee, scratch=base)
         self.emit(Op.GETTABUP, base, 0, key_rk)
         for offset, arg in enumerate(node.args):
             register = self._reserve(1)

@@ -130,6 +130,61 @@ class BytecodeProfile:
         return min(1.0, 2 * covered / self.steps)
 
 
+#: Opcode class membership per VM, by opcode *name*.  These are the
+#: classes the corpus strata target (arithmetic, calls, branches,
+#: table/string traffic); anything unlisted counts as "other".
+OPCODE_CLASSES = {
+    "lua": {
+        "arith": (
+            "ADD", "SUB", "MUL", "DIV", "MOD", "POW", "UNM", "IDIV",
+        ),
+        "call": ("CALL", "TAILCALL", "RETURN", "CLOSURE", "SELF", "VARARG"),
+        "branch": (
+            "JMP", "EQ", "LT", "LE", "TEST", "TESTSET",
+            "FORLOOP", "FORPREP", "TFORLOOP",
+        ),
+        "table_str": (
+            "GETTABLE", "SETTABLE", "NEWTABLE", "SETLIST",
+            "CONCAT", "LEN",
+        ),
+    },
+    "js": {
+        "arith": ("ADD", "SUB", "MUL", "DIV", "MOD", "NEG", "INTDIV"),
+        "call": ("CALL", "CALLGNAME", "RETURN"),
+        "branch": (
+            "GOTO", "IFEQ", "IFNE", "EQ", "NE", "LT", "LE", "GT", "GE",
+            "AND", "OR", "NOT", "LOOPHEAD",
+        ),
+        "table_str": (
+            "GETELEM", "SETELEM", "INITELEM", "NEWARRAY", "NEWOBJECT",
+            "LENGTH", "CONCAT", "STRING",
+        ),
+    },
+}
+
+
+def class_mix(profile: BytecodeProfile) -> dict[str, float]:
+    """Dynamic opcode-class shares of a profile (sums to 1.0).
+
+    Buckets every executed opcode into the :data:`OPCODE_CLASSES` classes
+    (plus ``other``) — the measurement side of corpus stratification: a
+    stratum claiming to be arithmetic-heavy should move the ``arith``
+    share, and :mod:`tests.test_corpus_pipeline` asserts it does.
+    """
+    classes = OPCODE_CLASSES[profile.vm]
+    enum_type = LuaOp if profile.vm == "lua" else JsOp
+    by_name = {enum_type(op).name: n for op, n in profile.opcodes.items()}
+    total = sum(by_name.values()) or 1
+    mix = {}
+    seen = 0
+    for cls, names in classes.items():
+        count = sum(by_name.get(name, 0) for name in names)
+        mix[cls] = count / total
+        seen += count
+    mix["other"] = (total - seen) / total
+    return mix
+
+
 def profile_source(source: str, vm: str = "lua", max_steps: int = 50_000_000) -> BytecodeProfile:
     """Run *source* on the chosen VM and collect its dynamic profile."""
     profile = BytecodeProfile(vm=vm)

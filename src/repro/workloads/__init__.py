@@ -15,5 +15,18 @@ from repro.workloads.registry import (
     workload,
     workload_names,
 )
+from repro.workloads.synthetic import (
+    SyntheticWorkload,
+    program_digest,
+    synthesize,
+)
 
-__all__ = ["Workload", "WORKLOADS", "workload", "workload_names"]
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "SyntheticWorkload",
+    "program_digest",
+    "synthesize",
+    "workload",
+    "workload_names",
+]

@@ -1,0 +1,70 @@
+"""Synthetic corpus workloads: generated programs wearing the Workload API.
+
+The registry workloads (:mod:`repro.workloads.registry`) are the paper's
+11 hand-written benchmarks; a corpus (:mod:`repro.corpus`) adds thousands
+of generator-derived programs.  :class:`SyntheticWorkload` gives each of
+those the same ``source(n, scale)`` surface as a registry
+:class:`~repro.workloads.registry.Workload`, so harness code that only
+needs source text treats both populations uniformly.  There is no
+``reference`` oracle — corpus programs are validated cross-VM (both VMs
+must print the same lines), not against Python ground truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def program_digest(source: str) -> str:
+    """Content digest used by corpus manifests and integrity checks."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """One corpus program with a Workload-shaped surface.
+
+    Attributes:
+        name: corpus-unique program name (e.g. ``p00042``).
+        stratum: opcode-mix stratum that generated it.
+        size: generator size-profile name.
+        seed: generator seed.
+        source_text: rendered scriptlet source.
+        digest: sha256 of ``source_text`` (manifest integrity anchor).
+    """
+
+    name: str
+    stratum: str
+    size: str
+    seed: int
+    source_text: str
+    digest: str
+
+    def source(self, n: int | None = None, scale: str = "sim") -> str:
+        """Mirror :meth:`Workload.source`; *n*/*scale* are ignored
+        (generated programs carry no ``@N@`` placeholder)."""
+        return self.source_text
+
+    @property
+    def label(self) -> str:
+        """Grid-key label: namespaced so corpus rows can never collide
+        with registry workload names in shared caches or reports."""
+        return f"corpus:{self.name}"
+
+
+def synthesize(name: str, seed: int, size: str, stratum: str) -> SyntheticWorkload:
+    """Deterministically (re)build one corpus program from its manifest row."""
+    # Imported lazily: repro.workloads must stay importable from
+    # repro.core.simulation, which sits below repro.verify.
+    from repro.verify.generator import generate_program
+
+    program = generate_program(seed, size, stratum=stratum)
+    return SyntheticWorkload(
+        name=name,
+        stratum=program.stratum,
+        size=size,
+        seed=seed,
+        source_text=program.source,
+        digest=program_digest(program.source),
+    )

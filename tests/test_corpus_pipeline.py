@@ -1,0 +1,331 @@
+"""End-to-end corpus pipeline: build -> run -> report.
+
+Covers the corpus subsystem's contracts:
+
+* manifest determinism — same seed rebuilds byte-identically, different
+  seeds diverge, every requested stratum is covered;
+* accounting — every program ends in exactly one of ok/error/skipped and
+  the counts sum to the corpus size, including under tampering;
+* run determinism — results.json is byte-identical serial vs ``-j2``,
+  and under an injected ``corrupt-shard`` cache fault (degraded but
+  recovered, with the quarantine reported);
+* stratum skew — each opcode-mix stratum measurably raises its target
+  opcode class over the mixed baseline on both VMs;
+* the ``scd-repro corpus build|run|report`` CLI surface.
+
+The corpora here are tiny (4-8 programs) and mostly single-VM /
+two-scheme so the suite stays tier-1 fast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.corpus import build_corpus, corpus_section, load_manifest, run_corpus
+from repro.corpus.builder import load_program, plan_corpus
+from repro.corpus.report import load_results, percentile
+from repro.harness import faults, parallel
+from repro.harness.cache import ResultCache
+from repro.harness.cli import main
+from repro.harness.parallel import METRICS
+from repro.verify.generator import CORPUS_STRATA, generate_program
+from repro.vm import capture
+from repro.vm.profile import class_mix, profile_source
+from repro.workloads.synthetic import program_digest
+
+
+@pytest.fixture(autouse=True)
+def _reset_globals(monkeypatch):
+    """CLI calls install process-wide defaults; undo them after each test."""
+    monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+    monkeypatch.delenv("SCD_FAULT_DIR", raising=False)
+    monkeypatch.delenv(obs.TRACE_ENV, raising=False)
+    monkeypatch.setenv("SCD_REPRO_RETRY_BACKOFF", "0")
+    faults.reset_plan_cache()
+    yield
+    parallel.set_default_workers(None)
+    parallel.set_default_retries(None)
+    parallel.set_default_job_timeout(None)
+    capture.set_default_trace_mode(None)
+    os.environ.pop(faults.FAULT_ENV, None)
+    os.environ.pop("SCD_FAULT_DIR", None)
+    faults.reset_plan_cache()
+    obs.close()
+    METRICS.reset()
+
+
+def _build(root, seed=3, size=4, **kwargs):
+    return build_corpus(root, seed=seed, size=size, **kwargs)
+
+
+def _run(root, tmp_path, tag, workers=1, **kwargs):
+    """Run a corpus through a private result cache (so two runs of the
+    same corpus cannot resolve each other's grid points)."""
+    kwargs.setdefault("vms", ("lua",))
+    kwargs.setdefault("schemes", ("baseline", "scd"))
+    cache = ResultCache(f"corpus-test-{tag}", root=tmp_path / f"cache-{tag}")
+    return run_corpus(root, workers=workers, cache=cache, **kwargs)
+
+
+class TestBuild:
+    def test_same_seed_rebuilds_byte_identical_manifest(self, tmp_path):
+        _build(tmp_path / "a", seed=11, size=8)
+        _build(tmp_path / "b", seed=11, size=8)
+        a = (tmp_path / "a" / "manifest.json").read_bytes()
+        b = (tmp_path / "b" / "manifest.json").read_bytes()
+        assert a == b
+
+    def test_different_seed_changes_manifest(self, tmp_path):
+        _build(tmp_path / "a", seed=11, size=8)
+        _build(tmp_path / "b", seed=12, size=8)
+        a = (tmp_path / "a" / "manifest.json").read_bytes()
+        b = (tmp_path / "b" / "manifest.json").read_bytes()
+        assert a != b
+
+    def test_every_stratum_covered_and_sources_match_digests(self, tmp_path):
+        manifest = _build(tmp_path / "c", seed=5, size=8)
+        assert sorted(manifest["strata"]) == sorted(CORPUS_STRATA)
+        by_stratum = {row["stratum"] for row in manifest["programs"]}
+        assert by_stratum == set(CORPUS_STRATA)
+        for row in manifest["programs"]:
+            program = load_program(tmp_path / "c", row)
+            assert program_digest(program.source_text) == row["digest"]
+
+    def test_manifest_roundtrip_and_overwrite_guard(self, tmp_path):
+        root = tmp_path / "c"
+        built = _build(root, seed=5, size=4)
+        assert load_manifest(root) == json.loads(
+            json.dumps(built)  # what load_manifest sees: the JSON image
+        )
+        with pytest.raises(FileExistsError):
+            _build(root, seed=5, size=4)
+        rebuilt = _build(root, seed=6, size=4, force=True)
+        assert rebuilt["seed"] == 6
+
+    def test_plan_rejects_unknown_stratum_and_bad_size(self):
+        with pytest.raises(ValueError, match="unknown stratum"):
+            plan_corpus(0, 4, strata=("no-such-stratum",))
+        with pytest.raises(ValueError, match="size"):
+            plan_corpus(0, 0)
+
+
+class TestRunAccounting:
+    def test_accounting_sums_and_rows_cover_ok_grid(self, tmp_path):
+        root = tmp_path / "c"
+        _build(root)
+        summary = _run(root, tmp_path, "clean")
+        assert summary.ok == summary.total == 4
+        assert summary.error == summary.skipped == 0
+        assert summary.ok + summary.error + summary.skipped == summary.total
+        per_stratum = summary.by_stratum
+        assert sum(t["total"] for t in per_stratum.values()) == summary.total
+        payload = load_results(root)
+        # one row per ok program x vm x scheme
+        assert len(payload["rows"]) == summary.ok * 1 * 2
+        assert set(payload["outcomes"].values()) == {"ok"}
+        for row in payload["rows"]:
+            if row["scheme"] == "scd":
+                assert "speedup" in row
+
+    def test_tampered_source_quarantined_not_fatal(self, tmp_path):
+        root = tmp_path / "c"
+        manifest = _build(root)
+        victim = manifest["programs"][1]
+        path = root / victim["path"]
+        path.write_text(path.read_text() + "\nlet tampered = 1;\n")
+        summary = _run(root, tmp_path, "tamper")
+        assert summary.error == 1 and summary.ok == 3
+        assert summary.ok + summary.error + summary.skipped == summary.total
+        reason = (
+            root / "quarantine" / f"{victim['name']}.reason.txt"
+        ).read_text()
+        assert "digest mismatch" in reason
+        assert victim["name"] in summary.errors
+        payload = load_results(root)
+        assert payload["outcomes"][victim["name"]] == "error"
+        assert payload["accounting"]["error"] == 1
+
+    def test_limit_and_stratum_filters_account_as_skipped(self, tmp_path):
+        root = tmp_path / "c"
+        _build(root, size=8)
+        summary = _run(root, tmp_path, "lim", limit=2)
+        assert (summary.ok, summary.skipped) == (2, 6)
+        summary = _run(root, tmp_path, "strat", strata=("arith",))
+        assert summary.ok == 2 and summary.skipped == 6
+        assert summary.by_stratum["arith"]["ok"] == 2
+        assert summary.by_stratum["call"]["skipped"] == 2
+
+
+class TestRunDeterminism:
+    def test_serial_and_j2_results_byte_identical(self, tmp_path):
+        root = tmp_path / "c"
+        _build(root)
+        _run(root, tmp_path, "serial", workers=1)
+        serial = (root / "results.json").read_bytes()
+        _run(root, tmp_path, "pool", workers=2)
+        pooled = (root / "results.json").read_bytes()
+        assert serial == pooled
+
+    def test_corrupt_shard_fault_degrades_but_completes(
+        self, tmp_path, monkeypatch
+    ):
+        root = tmp_path / "c"
+        _build(root)
+        _run(root, tmp_path, "ref", workers=1)
+        reference = (root / "results.json").read_bytes()
+
+        # A faulted run tears its 0th cache-shard write mid-flight; the
+        # run itself completes with full accounting and identical results
+        # (the torn entry is only read back later).
+        monkeypatch.setenv(faults.FAULT_ENV, "corrupt-shard:0")
+        monkeypatch.setenv("SCD_FAULT_DIR", str(tmp_path / "fault-state"))
+        faults.reset_plan_cache()
+        shared = ResultCache("corpus-test-fault", root=tmp_path / "cache-f")
+        summary = run_corpus(
+            root, vms=("lua",), schemes=("baseline", "scd"),
+            workers=1, cache=shared,
+        )
+        assert summary.ok == summary.total
+        assert (root / "results.json").read_bytes() == reference
+
+        # A later session over the same cache root (fresh result
+        # namespace, shared trace store — the perf-suite pattern) reads
+        # the torn shard: the cache layer quarantines it with a reason
+        # sidecar, re-records the trace, and the degradation is
+        # reported — never silent.
+        monkeypatch.delenv(faults.FAULT_ENV)
+        faults.reset_plan_cache()
+        warm = ResultCache("corpus-test-fault2", root=tmp_path / "cache-f")
+        summary = run_corpus(
+            root, vms=("lua",), schemes=("baseline", "scd"),
+            workers=1, cache=warm,
+        )
+        assert summary.ok == summary.total
+        assert summary.quarantined > 0
+        assert (root / "results.json").read_bytes() == reference
+        sidecars = list(
+            (tmp_path / "cache-f").rglob("quarantine/**/*.reason.txt")
+        )
+        assert sidecars
+
+
+class TestStratumSkew:
+    #: stratum name -> opcode class it must amplify (see OPCODE_CLASSES).
+    TARGETS = {
+        "arith": "arith",
+        "call": "call",
+        "branch": "branch",
+        "table-str": "table_str",
+    }
+
+    @staticmethod
+    def _mean_share(stratum: str, target: str, vm: str,
+                    seeds=(0, 1, 2)) -> float:
+        shares = []
+        for seed in seeds:
+            program = generate_program(seed, "small", stratum=stratum)
+            profile = profile_source(program.source, vm=vm)
+            shares.append(class_mix(profile)[target])
+        return sum(shares) / len(shares)
+
+    @pytest.mark.parametrize("vm", ["lua", "js"])
+    @pytest.mark.parametrize("stratum", sorted(TARGETS))
+    def test_stratum_raises_its_target_class(self, stratum, vm):
+        target = self.TARGETS[stratum]
+        skewed = self._mean_share(stratum, target, vm)
+        # Baseline: the mixed stratum's mean for the *same* target class
+        # over the same seeds.
+        mixed = self._mean_share("mixed", target, vm)
+        assert skewed > mixed, (
+            f"{stratum} stratum does not skew {self.TARGETS[stratum]} on "
+            f"{vm}: {skewed:.4f} <= mixed {mixed:.4f}"
+        )
+
+
+class TestReport:
+    def test_percentile_interpolation(self):
+        assert percentile([], 50) is None
+        assert percentile([7.0], 90) == 7.0
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+        assert percentile([1.0, 2.0, 3.0, 4.0], 10) == pytest.approx(1.3)
+        assert percentile([4.0, 1.0, 3.0, 2.0], 90) == pytest.approx(3.7)
+
+    def test_corpus_section_renders_strata_and_percentiles(self, tmp_path):
+        root = tmp_path / "c"
+        _build(root)
+        _run(root, tmp_path, "rep")
+        section = corpus_section(root)
+        assert section.startswith("## Corpus")
+        assert "4 program(s) (seed 3): 4 ok, 0 error, 0 skipped." in section
+        for stratum in CORPUS_STRATA:
+            assert stratum in section
+        assert "geomean speedup" in section
+        assert "dispatch_mpki" in section and "btb_miss_mpki" in section
+        assert "p10" in section and "p50" in section and "p90" in section
+        # whole-corpus pseudo-stratum
+        assert "\nall " in section
+
+
+class TestCli:
+    def test_build_run_report_end_to_end(self, tmp_path, capsys):
+        root = str(tmp_path / "c")
+        assert main(["corpus", "build", "--root", root,
+                     "--seed", "5", "--size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "built corpus of 4 program(s)" in out
+
+        # Rebuild without --force refuses; argparse surface stays intact.
+        with pytest.raises(FileExistsError):
+            main(["corpus", "build", "--root", root,
+                  "--seed", "5", "--size", "4"])
+
+        assert main(["corpus", "run", "--root", root, "-j2",
+                     "--vm", "lua", "--schemes", "baseline,scd"]) == 0
+        out = capsys.readouterr().out
+        assert "4 ok, 0 error, 0 skipped of 4" in out
+
+        assert main(["corpus", "report", "--root", root]) == 0
+        out = capsys.readouterr().out
+        assert "## Corpus" in out
+        assert "geomean speedup" in out
+
+    def test_run_with_corrupt_shard_fault_flag(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setenv("SCD_FAULT_DIR", str(tmp_path / "fault-state"))
+        root = str(tmp_path / "c")
+        assert main(["corpus", "build", "--root", root,
+                     "--seed", "9", "--size", "2"]) == 0
+        capsys.readouterr()
+        # Faulted run: tears its 0th cache-shard write but completes with
+        # full accounting (the corpus cache lives under <root>/cache).
+        # -j1 keeps the shard-write order deterministic, so tick 0 lands
+        # on the first program's trace shard.
+        assert main(["--fault", "corrupt-shard:0",
+                     "corpus", "run", "--root", root, "-j1",
+                     "--vm", "lua", "--schemes", "baseline,scd"]) == 0
+        captured = capsys.readouterr()
+        assert "2 ok, 0 error, 0 skipped of 2" in captured.out
+        reference = (tmp_path / "c" / "results.json").read_bytes()
+        # Drop the result-entry namespace (keep traces/memos), then
+        # re-run clean: the replay reads the torn trace shard, the cache
+        # layer quarantines it, and the CLI reports the degradation on
+        # stderr.
+        import shutil
+
+        from repro.harness.cache import CACHE_VERSION
+
+        shutil.rmtree(
+            tmp_path / "c" / "cache" / f"v{CACHE_VERSION}" / "corpus"
+        )
+        monkeypatch.delenv(faults.FAULT_ENV)
+        faults.reset_plan_cache()
+        assert main(["corpus", "run", "--root", root,
+                     "--vm", "lua", "--schemes", "baseline,scd"]) == 0
+        captured = capsys.readouterr()
+        assert "2 ok, 0 error, 0 skipped of 2" in captured.out
+        assert "quarantined" in captured.err
+        assert (tmp_path / "c" / "results.json").read_bytes() == reference
