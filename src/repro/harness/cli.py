@@ -359,6 +359,150 @@ def _cmd_corpus(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import run_service
+
+    def ready(address) -> None:
+        host, port = address
+        print(f"sweep service listening on {host}:{port}", flush=True)
+
+    # Explicit per-instance limits, never the process-wide set_default_*
+    # overrides: the service is long-running and concurrent, so its
+    # worker/retry/timeout choices are scheduler state, not globals a
+    # second sweep could clobber mid-flight.
+    try:
+        return asyncio.run(
+            run_service(
+                host=args.host,
+                port=args.port,
+                workers=args.jobs,
+                retries=args.retries,
+                job_timeout=args.job_timeout,
+                queue_depth=args.queue_depth,
+                max_inflight=args.max_inflight,
+                budget=args.client_budget,
+                ready=ready,
+            )
+        )
+    except KeyboardInterrupt:
+        print("sweep service interrupted; exiting", file=sys.stderr)
+        return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import protocol
+    from repro.service.client import (
+        ServiceError,
+        SweepClient,
+        SweepRejected,
+    )
+
+    if not args.workloads and not (args.shutdown or args.stats):
+        print(
+            "submit: nothing to do (need --workloads, --stats or "
+            "--shutdown)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        client = SweepClient(args.host, args.port, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    code = 0
+    with client:
+        if args.workloads:
+            grid: dict = {
+                "workloads": args.workloads.split(","),
+                "vms": (
+                    ["lua", "js"] if args.vm == "both" else [args.vm]
+                ),
+                "schemes": (
+                    args.schemes.split(",") if args.schemes
+                    else list(SCHEMES)
+                ),
+            }
+            if args.machine != "cortex-a5":
+                grid["machine"] = args.machine
+            kwargs: dict = {}
+            if args.n is not None:
+                kwargs["n"] = args.n
+            if args.no_check_output:
+                kwargs["check_output"] = False
+            if kwargs:
+                grid["kwargs"] = kwargs
+            entries = protocol.expand_grid(grid)
+            done_count = [0]
+
+            def on_event(event: dict) -> None:
+                done_count[0] += 1
+                entry = entries[event["index"]]
+                label = (
+                    f"{entry['vm']}/{entry['workload']}/{entry['scheme']}"
+                )
+                how = "ok" if event.get("ok") else "FAILED"
+                notes = [
+                    note
+                    for note, flag in (
+                        ("cached", event.get("cached")),
+                        ("deduped", event.get("deduped")),
+                    )
+                    if flag
+                ]
+                suffix = f" ({', '.join(notes)})" if notes else ""
+                print(
+                    f"[{done_count[0]}/{len(entries)}] {label} "
+                    f"{how}{suffix}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+            try:
+                outcome = client.submit(grid=grid, on_event=on_event)
+            except SweepRejected as exc:
+                print(f"submit: rejected: {exc}", file=sys.stderr)
+                return 3
+            except ServiceError as exc:
+                print(f"submit: {exc}", file=sys.stderr)
+                return 2
+            done = outcome.done
+            print(
+                f"request {done.get('id')}: {done.get('ok')} ok, "
+                f"{done.get('failed')} failed of {done.get('jobs')} "
+                f"({done.get('unique')} unique, {done.get('deduped')} "
+                f"deduped, {done.get('cached')} cached)"
+            )
+            for index, detail in outcome.failures():
+                entry = entries[index]
+                first = detail.strip().splitlines()[-1] if detail else ""
+                print(
+                    f"  FAILED {entry['vm']}/{entry['workload']}/"
+                    f"{entry['scheme']}: {first}",
+                    file=sys.stderr,
+                )
+            if args.json:
+                print(
+                    json.dumps(
+                        [
+                            None if result is None else result.to_dict()
+                            for result in outcome.results
+                        ],
+                        indent=2,
+                        sort_keys=True,
+                    )
+                )
+            if not outcome.ok:
+                code = 1
+        if args.stats:
+            reply = client.stats()
+            print(json.dumps(reply["scheduler"], indent=2, sort_keys=True))
+        if args.shutdown:
+            client.shutdown()
+    return code
+
+
 def _cmd_clear_cache(_args) -> int:
     DEFAULT_CACHE.clear()
     DEFAULT_TRACE_STORE.clear()
@@ -373,6 +517,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="scd-repro",
         description="Short-Circuit Dispatch (ISCA 2016) reproduction harness",
+        # Without this, a subcommand option like `submit --n` is grabbed
+        # by the top-level abbreviation matcher (ambiguous against
+        # --no-kernel/--no-batch/--no-trace-cache) before dispatch.
+        allow_abbrev=False,
     )
     parser.add_argument(
         "-j",
@@ -618,6 +766,90 @@ def main(argv: list[str] | None = None) -> int:
         help="corpus directory (default: scd-corpus)",
     )
 
+    from repro.service.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the sweep service: a local multi-client server that "
+        "deduplicates in-flight grid points across concurrent sweeps "
+        "(protocol in docs/SERVICE.md)",
+    )
+    serve_parser.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"bind address (default {DEFAULT_HOST}; loopback only)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=f"TCP port (default {DEFAULT_PORT}; 0 picks a free one)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="global backpressure: refuse new unique grid points once "
+        "this many are unresolved (default 4096)",
+    )
+    serve_parser.add_argument(
+        "--max-inflight", type=int, default=1024, metavar="N",
+        help="per-client cap on unresolved grid points (default 1024)",
+    )
+    serve_parser.add_argument(
+        "--client-budget", type=int, default=None, metavar="N",
+        help="per-client lifetime job budget; submissions past it get a "
+        "structured over-budget rejection (default: unlimited)",
+    )
+
+    submit_parser = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running 'scd-repro serve' instance "
+        "and stream its progress",
+    )
+    submit_parser.add_argument(
+        "--host", default=DEFAULT_HOST,
+        help=f"service address (default {DEFAULT_HOST})",
+    )
+    submit_parser.add_argument(
+        "--port", type=int, default=DEFAULT_PORT, metavar="N",
+        help=f"service port (default {DEFAULT_PORT})",
+    )
+    submit_parser.add_argument(
+        "--workloads", default=None, metavar="W1,W2",
+        help="comma-separated workload names to sweep",
+    )
+    submit_parser.add_argument(
+        "--vm", choices=("lua", "js", "both"), default="lua",
+        help="guest VM(s) for the grid (default lua)",
+    )
+    submit_parser.add_argument(
+        "--schemes", default=None, metavar="S1,S2",
+        help=f"comma-separated dispatch schemes (default: {','.join(SCHEMES)})",
+    )
+    submit_parser.add_argument(
+        "--machine", choices=tuple(CONFIG_PRESETS), default="cortex-a5",
+    )
+    submit_parser.add_argument(
+        "--n", type=int, default=None, metavar="N",
+        help="workload size parameter forwarded to every grid point",
+    )
+    submit_parser.add_argument(
+        "--no-check-output", action="store_true",
+        help="skip guest-output verification (smaller n values need this)",
+    )
+    submit_parser.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="client-side read timeout in seconds (default 600)",
+    )
+    submit_parser.add_argument(
+        "--json", action="store_true",
+        help="print the results (input order) as JSON on stdout",
+    )
+    submit_parser.add_argument(
+        "--stats", action="store_true",
+        help="print the server's scheduler statistics",
+    )
+    submit_parser.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and exit (after any sweep)",
+    )
+
     for name in EXPERIMENTS:
         sub.add_parser(name, help=f"reproduce {name}")
     sub.add_parser("all", help="run every experiment")
@@ -693,6 +925,10 @@ def _dispatch(args) -> int:
         return _cmd_bench(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
     return _cmd_experiment(args.command)

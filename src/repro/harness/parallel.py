@@ -195,14 +195,24 @@ def resolve_job_timeout(timeout: float | None = None) -> float | None:
 
 
 def _retry_backoff_s(attempt: int) -> float:
-    """Exponential backoff before retry *attempt* (1-based), capped."""
+    """Exponential backoff before retry *attempt* (1-based), capped.
+
+    A malformed ``SCD_REPRO_RETRY_BACKOFF`` is warned about and ignored,
+    matching the warn-and-fall-back discipline of every other resolver
+    (``SCD_REPRO_JOBS``/``RETRIES``/``JOB_TIMEOUT``).
+    """
     base = DEFAULT_RETRY_BACKOFF_S
     env = os.environ.get("SCD_REPRO_RETRY_BACKOFF", "")
     if env:
         try:
             base = float(env)
         except ValueError:
-            pass
+            warnings.warn(
+                f"ignoring SCD_REPRO_RETRY_BACKOFF={env!r}: expected a "
+                "number of seconds",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return max(0.0, min(_BACKOFF_CAP_S, base * (2 ** max(0, attempt - 1))))
 
 
@@ -429,6 +439,7 @@ def execute_job(
     trace_store: TraceStore | None = None,
     trace_mode: str | None = None,
     memo_store: MemoStore | None = None,
+    metrics: ThroughputMetrics | None = None,
 ) -> tuple[SimResult, dict]:
     """Run one job in-process, consulting and populating *cache*.
 
@@ -442,10 +453,16 @@ def execute_job(
 
     Returns ``(result, meta)`` where *meta* carries the throughput
     metadata of :func:`repro.core.simulation.simulate` plus a ``cached``
-    flag.  Records into :data:`METRICS`.  When a trace log is live (see
-    :mod:`repro.obs`) each call emits a ``job`` span with the grid key,
-    cache outcome and per-component uarch counters attached.
+    flag.  Records into *metrics* — callers that need per-request
+    isolation (the sweep service runs many concurrent clients through
+    one process) pass their own :class:`ThroughputMetrics`; the default
+    is the process-wide :data:`METRICS` the CLI footer prints.  When a
+    trace log is live (see :mod:`repro.obs`) each call emits a ``job``
+    span with the grid key, cache outcome and per-component uarch
+    counters attached.
     """
+    if metrics is None:
+        metrics = METRICS
     with obs.span(
         "job", vm=job.vm, scheme=job.scheme, workload=job.workload,
         scale=job.scale,
@@ -456,7 +473,7 @@ def execute_job(
                 hit = cache.get(key)
                 probe.annotate(hit=hit is not None)
             if hit is not None:
-                METRICS.record_hit()
+                metrics.record_hit()
                 job_span.annotate(cached=True)
                 return hit, {"cached": True}
         fault_plan = get_fault_plan()
@@ -482,7 +499,7 @@ def execute_job(
         if cache is not None:
             with obs.span("cache", store="results", op="put"):
                 cache.put(key, result)
-        METRICS.record_sim(meta)
+        metrics.record_sim(meta)
         meta["cached"] = False
         job_span.annotate(
             cached=False,
@@ -565,7 +582,9 @@ def _shutdown_pool(pool, futures, kill: bool = False) -> None:
     pool.shutdown(wait=True, cancel_futures=True)
 
 
-def _run_serial(misses, cache, trace_mode, retries, resolved) -> list:
+def _run_serial(
+    misses, cache, trace_mode, retries, resolved, metrics, on_result=None
+) -> list:
     """In-process execution of *misses* with bounded per-job retries.
 
     Returns the ``(job, detail)`` pairs that exhausted their budget;
@@ -578,23 +597,28 @@ def _run_serial(misses, cache, trace_mode, retries, resolved) -> list:
         detail = ""
         for attempt in range(retries + 1):
             if attempt:
-                METRICS.retries += 1
+                metrics.retries += 1
                 time.sleep(_retry_backoff_s(attempt))
             try:
-                result, _ = execute_job(
-                    job, cache, trace_store=trace_store, trace_mode=trace_mode
+                result, meta = execute_job(
+                    job, cache, trace_store=trace_store,
+                    trace_mode=trace_mode, metrics=metrics,
                 )
             except Exception:
                 detail = traceback.format_exc()
                 continue
             resolved[key] = result
+            if on_result is not None:
+                on_result(key, result, meta)
             break
         else:
             failures.append((job, detail))
     return failures
 
 
-def _consume_future(future, futures, resolved, failed, state) -> None:
+def _consume_future(
+    future, futures, resolved, failed, state, metrics, on_result=None
+) -> None:
     """Fold one finished future into results or this round's failures."""
     key, job = futures[future]
     try:
@@ -603,7 +627,7 @@ def _consume_future(future, futures, resolved, failed, state) -> None:
         # BrokenProcessPool & friends: the worker died without reporting
         # (OOM-kill, segfault) — name the grid point and retry it.
         if not state["broke"]:
-            METRICS.worker_deaths += 1
+            metrics.worker_deaths += 1
             state["broke"] = True
         failed.append(
             (key, job, f"worker died: {type(exc).__name__}: {exc}", True)
@@ -613,15 +637,18 @@ def _consume_future(future, futures, resolved, failed, state) -> None:
         failed.append((key, job, payload, True))
         return
     resolved[key] = payload
-    METRICS.quarantined += int(meta.get("quarantined", 0))
+    metrics.quarantined += int(meta.get("quarantined", 0))
     if meta.get("cached"):
-        METRICS.record_hit()
+        metrics.record_hit()
     else:
-        METRICS.record_sim(meta)
+        metrics.record_sim(meta)
+    if on_result is not None:
+        on_result(key, payload, meta)
 
 
 def _pool_round(
-    pending, workers, cache_name, cache_root, trace_mode, job_timeout, resolved
+    pending, workers, cache_name, cache_root, trace_mode, job_timeout,
+    resolved, metrics, on_result=None,
 ):
     """One submission round on a fresh pool.
 
@@ -661,14 +688,17 @@ def _pool_round(
                 )
             done, _ = wait(waiting, timeout=timeout, return_when=FIRST_COMPLETED)
             for future in done:
-                _consume_future(future, futures, resolved, failed, state)
+                _consume_future(
+                    future, futures, resolved, failed, state, metrics,
+                    on_result,
+                )
             waiting -= done
             if deadlines and waiting:
                 now = time.monotonic()
                 expired = {f for f in waiting if deadlines[f] <= now}
                 for future in expired:
                     key, job = futures[future]
-                    METRICS.timeouts += 1
+                    metrics.timeouts += 1
                     failed.append(
                         (key, job, f"timed out after {job_timeout:g}s", True)
                     )
@@ -683,7 +713,10 @@ def _pool_round(
                 # at fault.
                 done, not_done = wait(waiting, timeout=0)
                 for future in done:
-                    _consume_future(future, futures, resolved, failed, state)
+                    _consume_future(
+                        future, futures, resolved, failed, state, metrics,
+                        on_result,
+                    )
                 for future in not_done:
                     future.cancel()
                     key, job = futures[future]
@@ -699,7 +732,8 @@ def _pool_round(
 
 
 def _run_degraded(
-    pending, cache, trace_mode, retries, attempts, last_failure, resolved
+    pending, cache, trace_mode, retries, attempts, last_failure, resolved,
+    metrics, on_result=None,
 ) -> None:
     """In-process fallback after repeated pool breakage, honouring each
     job's remaining retry budget."""
@@ -707,23 +741,27 @@ def _run_degraded(
     for key, job in pending:
         while True:
             try:
-                result, _ = execute_job(
-                    job, cache, trace_store=trace_store, trace_mode=trace_mode
+                result, meta = execute_job(
+                    job, cache, trace_store=trace_store,
+                    trace_mode=trace_mode, metrics=metrics,
                 )
             except Exception:
                 last_failure[key] = (job, traceback.format_exc())
                 attempts[key] += 1
                 if attempts[key] > retries:
                     break
-                METRICS.retries += 1
+                metrics.retries += 1
                 time.sleep(_retry_backoff_s(attempts[key]))
                 continue
             resolved[key] = result
+            if on_result is not None:
+                on_result(key, result, meta)
             break
 
 
 def _run_pool(
-    misses, workers, cache, trace_mode, retries, job_timeout, resolved
+    misses, workers, cache, trace_mode, retries, job_timeout, resolved,
+    metrics, on_result=None,
 ) -> list:
     """Pooled execution of *misses* with retry rounds and salvage.
 
@@ -740,7 +778,7 @@ def _run_pool(
     while pending:
         failed, broke = _pool_round(
             pending, workers, cache_name, cache_root, trace_mode,
-            job_timeout, resolved,
+            job_timeout, resolved, metrics, on_result,
         )
         broken_rounds = broken_rounds + 1 if broke else 0
         retry_next = []
@@ -752,7 +790,7 @@ def _run_pool(
                 continue  # exhausted; aggregated after the loop
             retry_next.append((key, job))
             if counted:
-                METRICS.retries += 1
+                metrics.retries += 1
         pending = retry_next
         if not pending:
             break
@@ -761,7 +799,7 @@ def _run_pool(
             # workers and finish the remaining points in-process.
             _run_degraded(
                 pending, cache, trace_mode, retries, attempts,
-                last_failure, resolved,
+                last_failure, resolved, metrics, on_result,
             )
             break
         retry_round += 1
@@ -779,6 +817,8 @@ def run_jobs(
     cache: ResultCache | None = DEFAULT_CACHE,
     retries: int | None = None,
     job_timeout: float | None = None,
+    metrics: ThroughputMetrics | None = None,
+    on_result=None,
 ) -> list[SimResult]:
     """Run every job and return results in input order.
 
@@ -793,6 +833,16 @@ def run_jobs(
     backoff, on a fresh pool, while completed futures are salvaged; the
     pool degrades to in-process execution if it keeps breaking.
 
+    *metrics* selects the :class:`ThroughputMetrics` instance counters
+    land in (default: the process-wide :data:`METRICS`); concurrent
+    callers sharing one process pass their own instance so counters
+    cannot cross-contaminate.  *on_result* is an incremental completion
+    callback invoked as ``on_result(cache_key, result, meta)`` from the
+    calling thread the moment each distinct cache key resolves — cache
+    hits fire it immediately, pooled completions fire it as futures are
+    consumed (out of input order).  Exhausted failures never fire it;
+    they are reported in bulk when the batch returns.
+
     Raises:
         SimJobsFailed: one or more grid points still failed after the
             retry budget; the single aggregated error names *every*
@@ -801,7 +851,7 @@ def run_jobs(
             handlers keep working.)
     """
     results, failures, completed = _execute_jobs(
-        jobs, workers, cache, retries, job_timeout
+        jobs, workers, cache, retries, job_timeout, metrics, on_result
     )
     if failures:
         raise SimJobsFailed(failures, completed=completed)
@@ -814,6 +864,8 @@ def run_jobs_partial(
     cache: ResultCache | None = DEFAULT_CACHE,
     retries: int | None = None,
     job_timeout: float | None = None,
+    metrics: ThroughputMetrics | None = None,
+    on_result=None,
 ) -> tuple[list, list]:
     """Like :func:`run_jobs`, but failures are data, not an exception.
 
@@ -825,16 +877,20 @@ def run_jobs_partial(
 
     The execution engine is shared with :func:`run_jobs` bit for bit
     (same cache resolution, pool, retry/salvage/degrade ladder), so a
-    partial run populates the same caches a strict run would.
+    partial run populates the same caches a strict run would.  *metrics*
+    and *on_result* behave exactly as in :func:`run_jobs`; the sweep
+    service (:mod:`repro.service`) is the main consumer of both.
     """
     jobs = list(jobs)
     results, failures, _ = _execute_jobs(
-        jobs, workers, cache, retries, job_timeout
+        jobs, workers, cache, retries, job_timeout, metrics, on_result
     )
     return results, failures
 
 
-def _execute_jobs(jobs, workers, cache, retries, job_timeout):
+def _execute_jobs(
+    jobs, workers, cache, retries, job_timeout, metrics=None, on_result=None
+):
     """Shared engine of :func:`run_jobs` / :func:`run_jobs_partial`.
 
     Returns ``(results, failures, completed)`` where *results* carries
@@ -845,6 +901,8 @@ def _execute_jobs(jobs, workers, cache, retries, job_timeout):
     workers = resolve_workers(workers)
     retries = resolve_retries(retries)
     job_timeout = resolve_job_timeout(job_timeout)
+    if metrics is None:
+        metrics = METRICS
     # Resolve the fault plan up front so SCD_FAULT_DIR is exported before
     # any worker is forked (workers must share the parent's counters).
     get_fault_plan()
@@ -860,18 +918,23 @@ def _execute_jobs(jobs, workers, cache, retries, job_timeout):
         sinks[key] = [index]
         hit = cache.get(key) if cache is not None else None
         if hit is not None:
-            METRICS.record_hit()
+            metrics.record_hit()
             resolved[key] = hit
+            if on_result is not None:
+                on_result(key, hit, {"cached": True})
         else:
             misses.append((key, job))
 
     trace_mode = resolve_trace_mode()
     failures: list = []
     if misses and (workers <= 1 or len(misses) == 1):
-        failures = _run_serial(misses, cache, trace_mode, retries, resolved)
+        failures = _run_serial(
+            misses, cache, trace_mode, retries, resolved, metrics, on_result
+        )
     elif misses:
         failures = _run_pool(
-            misses, workers, cache, trace_mode, retries, job_timeout, resolved
+            misses, workers, cache, trace_mode, retries, job_timeout,
+            resolved, metrics, on_result,
         )
 
     results: list[SimResult | None] = [None] * len(jobs)

@@ -26,8 +26,10 @@ from repro.obs.trace import (
     close,
     configure,
     current_span_id,
+    end_span,
     event,
     span,
+    start_span,
 )
 
 __all__ = [
@@ -40,6 +42,8 @@ __all__ = [
     "close",
     "configure",
     "current_span_id",
+    "end_span",
     "event",
     "span",
+    "start_span",
 ]

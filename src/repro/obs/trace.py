@@ -31,6 +31,7 @@ one attribute check per call site, nothing more.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import sys
@@ -67,7 +68,12 @@ class Tracer:
         self._fd: int | None = None
         self.path: str | None = None
         self._stack: list[Span] = []
-        self._seq = 0
+        # itertools.count: a single C-level next() per id, so two threads
+        # (the sweep service writes detached spans from the event loop
+        # while a batch thread writes ambient ones) can never mint the
+        # same sequence number.  Never reset: ids only need uniqueness
+        # within one process, not to restart per log.
+        self._seq = itertools.count(1)
         self._adopted: str | None = None
         self._pid: int | None = None
         self._exported = False
@@ -122,13 +128,20 @@ class Tracer:
         return True
 
     def close(self) -> None:
-        """Stop tracing: close the sink and drop the exported path."""
+        """Stop tracing: close the sink and drop the exported path.
+
+        Idempotent and safe at any point in the lifecycle — after a
+        failed :meth:`configure`, called twice in a row, or while spans
+        are still open (their eventual ``end`` becomes a no-op rather
+        than a write to a dead or recycled descriptor)."""
         if self._fd is not None:
-            os.close(self._fd)
-        self._fd = None
+            fd, self._fd = self._fd, None
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already-closed fd
+                pass
         self.path = None
         self._stack = []
-        self._seq = 0
         self._adopted = None
         self._pid = None
         if self._exported:
@@ -138,7 +151,12 @@ class Tracer:
     def _open(self, path: str, truncate: bool) -> None:
         if self._fd is not None:
             # E.g. a forked worker replacing the descriptor it inherited.
-            os.close(self._fd)
+            # Drop the attribute *before* closing so a failure below can
+            # never leave a stale fd number behind (closing it again
+            # later would hit EBADF — or worse, a recycled descriptor).
+            fd, self._fd = self._fd, None
+            os.close(fd)
+        self.path = None
         flags = os.O_WRONLY | os.O_CREAT | os.O_APPEND
         if truncate:
             flags |= os.O_TRUNC
@@ -150,12 +168,17 @@ class Tracer:
     # -- records -----------------------------------------------------------
 
     def _write(self, record: dict) -> None:
+        if self._fd is None:
+            # The sink was closed (or never opened) while this span was
+            # in flight — e.g. the sweep service shutting down with a
+            # request still draining.  Dropping the record is the only
+            # safe option; raising would turn teardown into a crash.
+            return
         line = json.dumps(record, separators=(",", ":"), default=repr) + "\n"
         os.write(self._fd, line.encode("utf-8"))
 
     def _next_id(self) -> str:
-        self._seq += 1
-        return f"{os.getpid():x}-{self._seq:x}"
+        return f"{os.getpid():x}-{next(self._seq):x}"
 
     def start(self, name: str, attrs: dict | None = None) -> Span:
         span = Span(self._next_id(), name, self.current_id, time.perf_counter())
@@ -179,6 +202,48 @@ class Tracer:
             self._stack.pop()  # mismatched ends: drop abandoned children
         if self._stack:
             self._stack.pop()
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "span_end",
+            "id": span.id,
+            "name": span.name,
+            "pid": os.getpid(),
+            "t": time.time(),
+            "dur_s": round(time.perf_counter() - span.t0, 9),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+
+    def start_detached(
+        self, name: str, parent: str | None = None, attrs: dict | None = None
+    ) -> Span:
+        """Open a span with an explicit *parent*, bypassing the ambient
+        stack.
+
+        The ambient stack is per-process, which makes it wrong for code
+        whose spans overlap rather than nest — the asyncio sweep service
+        keeps many request spans open at once across tasks and threads.
+        A detached span never touches the stack, so it is safe to start
+        and end from any thread; close it with :meth:`end_detached`.
+        """
+        span = Span(self._next_id(), name, parent, time.perf_counter())
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": "span_start",
+            "id": span.id,
+            "parent": span.parent,
+            "name": name,
+            "pid": os.getpid(),
+            "t": time.time(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+        return span
+
+    def end_detached(self, span: Span) -> None:
+        """Close a span from :meth:`start_detached` (stack untouched)."""
         record = {
             "v": SCHEMA_VERSION,
             "kind": "span_end",
@@ -290,6 +355,33 @@ def span(name: str, **attrs):
 def event(name: str, **attrs) -> None:
     """Emit a point-in-time event under the current span (no-op when off)."""
     TRACER.event(name, **attrs)
+
+
+def start_span(name: str, parent: str | None = None, **attrs):
+    """Open a detached span under *parent* (an explicit span id).
+
+    Unlike :func:`span`, the handle is a plain object you may carry
+    across asyncio tasks and threads and close later with
+    :func:`end_span`; the ambient span stack is never involved.  Returns
+    ``None`` when tracing is off (and :func:`end_span` accepts that).
+    """
+    if not TRACER.active:
+        return None
+    return TRACER.start_detached(name, parent, attrs or None)
+
+
+def end_span(span, **attrs) -> None:
+    """Close a detached span from :func:`start_span` (no-op on ``None``).
+
+    *attrs* are merged onto the ``span_end`` record.  Ending a span
+    after :func:`close` is a silent no-op — the record is dropped, never
+    written to a dead descriptor.
+    """
+    if span is None:
+        return
+    if attrs:
+        span.attrs.update(attrs)
+    TRACER.end_detached(span)
 
 
 def current_span_id() -> str | None:

@@ -1,0 +1,62 @@
+"""``repro.service`` — sweep-as-a-service on top of the harness engine.
+
+A long-running asyncio front-end (``scd-repro serve``) that accepts
+sweep requests from many concurrent clients over a local TCP socket,
+expands them to :class:`~repro.harness.parallel.SimJob` grids, and —
+the point of the exercise — **deduplicates in-flight grid points across
+clients by cache key**: at any instant each distinct simulation runs at
+most once, and its result feeds every waiter.  N clients submitting
+overlapping sweeps cost the union of their unique grid points, not the
+sum.
+
+Pieces:
+
+* :mod:`repro.service.protocol` — the versioned newline-delimited JSON
+  wire format, job-entry validation and grid expansion.
+* :mod:`repro.service.scheduler` — the in-flight flight table, batch
+  prioritization onto :func:`~repro.harness.parallel.run_jobs_partial`,
+  per-batch metrics isolation and queue-depth backpressure.
+* :mod:`repro.service.server` — the asyncio TCP server, per-client
+  admission control (in-flight caps, lifetime job budgets) and result
+  streaming.
+* :mod:`repro.service.client` — the blocking client the ``scd-repro
+  submit`` CLI uses.
+
+See ``docs/SERVICE.md`` for the protocol reference and semantics.
+"""
+
+from repro.service.client import (
+    ServiceError,
+    SubmitOutcome,
+    SweepClient,
+    SweepRejected,
+)
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+from repro.service.scheduler import Rejected, Request, SweepScheduler
+from repro.service.server import (
+    ServiceLimits,
+    SweepServer,
+    run_service,
+)
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Rejected",
+    "Request",
+    "ServiceError",
+    "ServiceLimits",
+    "SubmitOutcome",
+    "SweepClient",
+    "SweepRejected",
+    "SweepScheduler",
+    "SweepServer",
+    "run_service",
+]

@@ -1,0 +1,205 @@
+"""Blocking client for the sweep service: ``scd-repro submit``.
+
+A deliberately small synchronous client over a stdlib socket — the
+asyncio machinery lives server-side; a submitting process just writes
+one line and reads lines until its request is done.  Results arrive as
+:class:`~repro.core.results.SimResult` objects rebuilt from the wire
+(byte-identical to what a local :func:`run_jobs` of the same grid
+returns), in the submitted order, with per-job provenance (cache hit?
+deduped against another client's in-flight sweep?) and the ``repro.obs``
+span id of each grid point's flight for trace correlation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from repro.core.results import SimResult
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """Transport- or protocol-level failure talking to the service."""
+
+
+class SweepRejected(ServiceError):
+    """The server refused a submission; carries the structured code."""
+
+    def __init__(self, code: str, message: str):
+        self.code = code
+        super().__init__(f"{code}: {message}")
+
+
+class SubmitOutcome:
+    """Everything one submission produced, in input order."""
+
+    def __init__(self, accepted: dict, jobs: int):
+        self.accepted = accepted
+        self.results: list[SimResult | None] = [None] * jobs
+        self.job_events: list[dict | None] = [None] * jobs
+        self.done: dict = {}
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.done) and self.done.get("failed", 1) == 0
+
+    @property
+    def deduped(self) -> int:
+        return int(self.accepted.get("deduped", 0))
+
+    @property
+    def unique(self) -> int:
+        return int(self.accepted.get("unique", 0))
+
+    def failures(self) -> list[tuple[int, str]]:
+        return [
+            (index, event.get("detail", ""))
+            for index, event in enumerate(self.job_events)
+            if event is not None and not event.get("ok")
+        ]
+
+
+class SweepClient:
+    """One connection to a running sweep server.
+
+    Usable as a context manager; one in-flight submission at a time
+    (the server supports more per connection, but a blocking client
+    has nothing to do with the interleaved stream).
+    """
+
+    def __init__(
+        self,
+        host: str = protocol.DEFAULT_HOST,
+        port: int = protocol.DEFAULT_PORT,
+        timeout: float | None = 600.0,
+    ):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach sweep service at {host}:{port}: {exc} "
+                "(is 'scd-repro serve' running?)"
+            ) from exc
+        self._sock.settimeout(timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self.hello = self._read()
+        if self.hello.get("type") != "hello":
+            raise ServiceError(
+                f"expected hello, got {self.hello.get('type')!r}"
+            )
+        if self.hello.get("v") != protocol.PROTOCOL_VERSION:
+            raise ServiceError(
+                f"protocol version mismatch: server {self.hello.get('v')!r}"
+                f" != client {protocol.PROTOCOL_VERSION}"
+            )
+
+    def __enter__(self) -> "SweepClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    # -- wire --------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        try:
+            self._file.write(protocol.encode(message))
+            self._file.flush()
+        except OSError as exc:
+            raise ServiceError(f"send failed: {exc}") from exc
+
+    def _read(self) -> dict:
+        try:
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"read failed: {exc}") from exc
+        if not line:
+            raise ServiceError("server closed the connection")
+        try:
+            return protocol.decode(line)
+        except protocol.ProtocolError as exc:
+            raise ServiceError(f"bad server message: {exc}") from exc
+
+    # -- verbs -------------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._send({"type": "ping"})
+        return self._read().get("type") == "pong"
+
+    def stats(self) -> dict:
+        self._send({"type": "stats"})
+        reply = self._read()
+        if reply.get("type") != "stats-reply":
+            raise ServiceError(f"expected stats-reply, got {reply!r}")
+        return reply
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit (acknowledged with ``bye``)."""
+        self._send({"type": "shutdown"})
+        self._read()
+
+    def submit(
+        self,
+        jobs: list[dict] | None = None,
+        grid: dict | None = None,
+        on_event=None,
+    ) -> SubmitOutcome:
+        """Submit a sweep and block until every grid point resolves.
+
+        Exactly one of *jobs* (explicit job entries) or *grid* (the
+        cross-product shorthand) must be given.  *on_event* sees every
+        raw ``job`` message as it streams in, before the outcome is
+        complete — progress display hooks in there.
+
+        Raises :class:`SweepRejected` on a structured admission refusal
+        (over-budget / over-inflight / queue-full / bad-request); the
+        connection remains usable afterwards.
+        """
+        if (jobs is None) == (grid is None):
+            raise ValueError("submit needs exactly one of jobs= or grid=")
+        request_id = f"c{next(self._ids)}"
+        message: dict = {"type": "submit", "id": request_id}
+        if jobs is not None:
+            message["jobs"] = list(jobs)
+            total = len(jobs)
+        else:
+            message["grid"] = grid
+            total = len(protocol.expand_grid(grid))
+        self._send(message)
+        reply = self._read()
+        if reply.get("type") == "rejected":
+            raise SweepRejected(
+                reply.get("code", "rejected"), reply.get("message", "")
+            )
+        if reply.get("type") != "accepted":
+            raise ServiceError(f"expected accepted, got {reply!r}")
+        outcome = SubmitOutcome(reply, total)
+        while True:
+            event = self._read()
+            kind = event.get("type")
+            if kind == "job":
+                index = event.get("index")
+                if not isinstance(index, int) or not (0 <= index < total):
+                    raise ServiceError(f"job event with bad index: {event}")
+                outcome.job_events[index] = event
+                if event.get("ok"):
+                    outcome.results[index] = SimResult.from_dict(
+                        event["result"]
+                    )
+                if on_event is not None:
+                    on_event(event)
+            elif kind == "done":
+                outcome.done = event
+                return outcome
+            else:
+                raise ServiceError(
+                    f"unexpected message mid-request: {event}"
+                )

@@ -1,0 +1,183 @@
+"""Wire protocol of the sweep service: newline-delimited JSON.
+
+Every message is one JSON object on one line, UTF-8, ``\\n``-terminated
+— trivially debuggable with ``nc`` and safe to parse incrementally.
+The protocol is versioned (:data:`PROTOCOL_VERSION`) and the server's
+``hello`` message states its version plus the admission-control limits
+in force, so clients can fail fast on a mismatch.
+
+Client → server message types::
+
+    submit    {"type": "submit", "id": "r1", "jobs": [...]}        or
+              {"type": "submit", "id": "r1", "grid": {...}}
+    ping      {"type": "ping"}
+    stats     {"type": "stats"}
+    shutdown  {"type": "shutdown"}
+
+Server → client::
+
+    hello     protocol version + limits (sent once per connection)
+    accepted  the request was admitted; total/unique/deduped job counts
+    rejected  structured admission refusal: code in {"bad-request",
+              "over-budget", "over-inflight", "queue-full"}
+    job       one grid point resolved (streamed as keys complete, out
+              of input order); carries the original index, the result
+              (or failure detail), cache/dedup provenance and the
+              ``repro.obs`` span id of the grid point's flight
+    done      every grid point of the request resolved; summary counts
+    pong / stats-reply / bye / error
+
+A *job entry* names one grid point::
+
+    {"workload": "fibo", "vm": "lua", "scheme": "scd",
+     "machine": "cortex-a5", "scale": "sim", "kwargs": {"n": 8}}
+
+``grid`` is the cross-product shorthand the CLI uses: ``workloads`` x
+``vms`` x ``schemes`` with shared ``machine``/``scale``/``kwargs``.
+Expansion and validation live here (:func:`parse_submit`) so the server
+and any future client agree on one definition of a well-formed sweep.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.simulation import SCHEMES
+from repro.harness.parallel import SimJob
+from repro.uarch.config import CONFIG_PRESETS
+from repro.workloads import workload_names
+
+#: Bump on any incompatible wire change; the ``hello`` message carries it.
+PROTOCOL_VERSION = 1
+
+#: Generous per-line bound for the asyncio stream reader: a submit
+#: message naming a few thousand grid points fits comfortably.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Default TCP endpoint — loopback only; the service is a local daemon,
+#: not an internet-facing one.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7645
+
+#: Dispatch schemes a job entry may name (the grid schemes plus the
+#: extension schemes the CLI's ``run`` accepts).
+ALL_SCHEMES = SCHEMES + ("ttc", "cascaded", "ittage", "superinst")
+
+#: Rejection codes the server emits; ``rejected.code`` is always one of
+#: these, so clients can switch on it instead of parsing prose.
+REJECT_BAD_REQUEST = "bad-request"
+REJECT_OVER_BUDGET = "over-budget"
+REJECT_OVER_INFLIGHT = "over-inflight"
+REJECT_QUEUE_FULL = "queue-full"
+
+
+class ProtocolError(ValueError):
+    """A malformed message or job spec; *code* is a rejection code."""
+
+    def __init__(self, message: str, code: str = REJECT_BAD_REQUEST):
+        self.code = code
+        super().__init__(message)
+
+
+def encode(message: dict) -> bytes:
+    """One message as a compact JSON line (the only framing there is)."""
+    return (
+        json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one received line; raises :class:`ProtocolError` if it is
+    not a JSON object or carries no string ``type``."""
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"not JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message is not a JSON object")
+    if not isinstance(message.get("type"), str):
+        raise ProtocolError("message has no string 'type'")
+    return message
+
+
+def job_from_entry(entry: dict) -> SimJob:
+    """Validate one job entry and build its :class:`SimJob`.
+
+    Unknown workloads/VMs/schemes/machines and non-object kwargs are
+    :class:`ProtocolError`, not server tracebacks: admission control
+    should refuse a bad sweep before it costs anything.
+    """
+    if not isinstance(entry, dict):
+        raise ProtocolError("job entry is not an object")
+    workload = entry.get("workload")
+    if workload not in workload_names():
+        raise ProtocolError(f"unknown workload {workload!r}")
+    vm = entry.get("vm", "lua")
+    if vm not in ("lua", "js"):
+        raise ProtocolError(f"unknown vm {vm!r}")
+    scheme = entry.get("scheme", "scd")
+    if scheme not in ALL_SCHEMES:
+        raise ProtocolError(f"unknown scheme {scheme!r}")
+    machine = entry.get("machine")
+    if machine is not None and machine not in CONFIG_PRESETS:
+        raise ProtocolError(f"unknown machine {machine!r}")
+    scale = entry.get("scale", "sim")
+    if scale not in ("sim", "fpga"):
+        raise ProtocolError(f"unknown scale {scale!r}")
+    kwargs = entry.get("kwargs") or {}
+    if not isinstance(kwargs, dict):
+        raise ProtocolError("kwargs is not an object")
+    for name in kwargs:
+        if not isinstance(name, str):
+            raise ProtocolError(f"kwarg name {name!r} is not a string")
+    # cortex-a5 is the default config; passing None keeps the cache key
+    # identical to jobs submitted without a machine at all.
+    config = None
+    if machine is not None and machine != "cortex-a5":
+        config = CONFIG_PRESETS[machine]()
+    return SimJob(
+        workload=workload,
+        vm=vm,
+        scheme=scheme,
+        config=config,
+        scale=scale,
+        kwargs=tuple(sorted(kwargs.items())),
+    )
+
+
+def expand_grid(grid: dict) -> list[dict]:
+    """Expand the ``grid`` shorthand into explicit job entries."""
+    if not isinstance(grid, dict):
+        raise ProtocolError("grid is not an object")
+    workloads = grid.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        raise ProtocolError("grid.workloads must be a non-empty list")
+    vms = grid.get("vms", ["lua"])
+    schemes = grid.get("schemes", ["scd"])
+    if not isinstance(vms, list) or not vms:
+        raise ProtocolError("grid.vms must be a non-empty list")
+    if not isinstance(schemes, list) or not schemes:
+        raise ProtocolError("grid.schemes must be a non-empty list")
+    shared = {
+        key: grid[key]
+        for key in ("machine", "scale", "kwargs")
+        if key in grid
+    }
+    return [
+        {"workload": workload, "vm": vm, "scheme": scheme, **shared}
+        for vm in vms
+        for workload in workloads
+        for scheme in schemes
+    ]
+
+
+def parse_submit(message: dict) -> list[SimJob]:
+    """Expand and validate a ``submit`` message into its job list."""
+    entries = message.get("jobs")
+    if entries is None and "grid" in message:
+        entries = expand_grid(message["grid"])
+    if not isinstance(entries, list) or not entries:
+        raise ProtocolError("submit carries no jobs (need 'jobs' or 'grid')")
+    return [job_from_entry(entry) for entry in entries]

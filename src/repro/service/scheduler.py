@@ -1,0 +1,457 @@
+"""In-flight dedup scheduler: many clients, one backend, union cost.
+
+The scheduler is the reason the service exists.  Every submitted grid
+point is identified by its :meth:`SimJob.cache_key`; at any instant
+each distinct key has at most one *flight* — a single backend execution
+whose result feeds every waiter.  Two clients submitting 75%-overlapping
+sweeps therefore cost the union of their unique grid points, not the
+sum: the overlap is simulated exactly once and fanned out (the same
+amortization inference stacks get from request dedup/batching in front
+of an expensive model).
+
+Execution reuses the harness engine untouched: queued flights are taken
+in prioritized batches (most-waited-on first, FIFO within a tier) and
+run through :func:`repro.harness.parallel.run_jobs_partial` on a single
+worker thread, with a fresh per-batch :class:`ThroughputMetrics` (never
+the process-wide singleton — concurrent sweeps must not contaminate
+each other's counters) and the engine's incremental ``on_result``
+callback marshalled onto the event loop, so every waiter streams each
+grid point the moment it resolves rather than at batch end.
+
+Admission control here is the global knob: :meth:`SweepScheduler.submit`
+refuses new *unique* work once the number of unresolved flights would
+exceed ``queue_depth`` (joining an existing flight is free — dedup adds
+no backend load and is never refused).  Per-client budgets live in the
+server (:mod:`repro.service.server`).
+
+Tracing: when a log is configured the scheduler emits a ``service``
+span for its lifetime, a ``request`` span per admitted submission, a
+``flight`` span per unique grid point, and a ``batch`` span per backend
+round; pool workers root their ``job`` spans under the current batch,
+so the merged tree shows exactly which client paid for which
+simulation and which ones rode along for free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, fields
+
+from repro import obs
+from repro.harness.cache import DEFAULT_CACHE, ResultCache
+from repro.harness.parallel import (
+    SimJob,
+    ThroughputMetrics,
+    run_jobs_partial,
+)
+from repro.service.protocol import (
+    REJECT_QUEUE_FULL,
+    ProtocolError,
+)
+
+
+class Rejected(ProtocolError):
+    """An admission refusal (carries the structured rejection code)."""
+
+
+#: Default cap on unresolved flights (queued + running unique grid
+#: points) before new unique work is refused with ``queue-full``.
+DEFAULT_QUEUE_DEPTH = 4096
+
+
+@dataclass
+class _Flight:
+    """One unique in-flight grid point and everyone waiting on it."""
+
+    key: str
+    job: SimJob
+    order: int
+    waiters: list = field(default_factory=list)  # (Request, index) pairs
+    span: object = None
+
+
+class Request:
+    """One admitted submission: its jobs, progress stream and tallies.
+
+    The scheduler pushes protocol-shaped event dicts into
+    :attr:`events` as grid points resolve (a ``job`` message per index,
+    a ``done`` message, then ``None`` as the end-of-stream sentinel);
+    the server's writer task drains the queue onto the socket.
+    """
+
+    def __init__(self, request_id: str, client: str, jobs: list[SimJob]):
+        self.id = request_id
+        self.client = client
+        self.jobs = jobs
+        self.results: list = [None] * len(jobs)
+        self.events: asyncio.Queue = asyncio.Queue()
+        self.pending = len(jobs)
+        self.unique = 0
+        self.deduped = 0
+        self.cached = 0
+        self.ok = 0
+        self.failed = 0
+        self.span = None
+
+    @property
+    def done(self) -> bool:
+        return self.pending == 0
+
+    def _resolve_index(
+        self, index: int, result, detail: str | None, meta: dict,
+        flight: _Flight, deduped: bool,
+    ) -> None:
+        cached = bool(meta.get("cached"))
+        if result is not None:
+            self.results[index] = result
+            self.ok += 1
+            if cached:
+                self.cached += 1
+        else:
+            self.failed += 1
+        event = {
+            "type": "job",
+            "id": self.id,
+            "index": index,
+            "ok": result is not None,
+            "cached": cached,
+            "deduped": deduped,
+            "span": flight.span.id if flight.span is not None else None,
+        }
+        if result is not None:
+            event["result"] = result.to_dict()
+        else:
+            event["detail"] = detail or "simulation failed"
+        self.events.put_nowait(event)
+        self.pending -= 1
+        if self.pending == 0:
+            self._finish()
+
+    def _finish(self) -> None:
+        summary = {
+            "type": "done",
+            "id": self.id,
+            "jobs": len(self.jobs),
+            "ok": self.ok,
+            "failed": self.failed,
+            "cached": self.cached,
+            "unique": self.unique,
+            "deduped": self.deduped,
+        }
+        self.events.put_nowait(summary)
+        self.events.put_nowait(None)
+        obs.end_span(
+            self.span,
+            ok=self.ok,
+            failed=self.failed,
+            cached=self.cached,
+            unique=self.unique,
+            deduped=self.deduped,
+        )
+        self.span = None
+
+
+class SweepScheduler:
+    """Owns the flight table, the batch loop and the backend thread.
+
+    Single-threaded discipline: every mutation of the flight table and
+    every Request resolution happens on the event loop thread — the
+    backend thread only runs simulations and marshals completions back
+    with ``call_soon_threadsafe``.  That makes the join-vs-create race
+    (a client submitting key K while K's batch is completing) a
+    non-issue: whichever callback runs first on the loop settles it.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int | None = None,
+        cache: ResultCache | None = DEFAULT_CACHE,
+        retries: int | None = None,
+        job_timeout: float | None = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    ):
+        self.workers = workers
+        self.cache = cache
+        self.retries = retries
+        self.job_timeout = job_timeout
+        self.queue_depth = max(1, int(queue_depth))
+        self._inflight: dict[str, _Flight] = {}
+        self._queued: list[_Flight] = []
+        self._order = itertools.count()
+        self._request_ids = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._drain_task: asyncio.Task | None = None
+        # One thread: batches are serialized so the ambient span stack
+        # (and the process pool) has a single backend owner.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="scd-batch"
+        )
+        self._service_span = None
+        self._stopping = False
+        # Lifetime counters, reported by the ``stats`` verb.
+        self.requests = 0
+        self.jobs_submitted = 0
+        self.jobs_deduped = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.batches = 0
+        self.metrics = ThroughputMetrics()  # aggregate across batches
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._service_span = obs.start_span(
+            "service", parent=obs.current_span_id(),
+            queue_depth=self.queue_depth,
+        )
+        self._drain_task = self._loop.create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Finish the running batch, fail never-run flights, close up."""
+        self._stopping = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        # The batch thread cannot be cancelled; wait it out off-loop so
+        # its call_soon_threadsafe completions still get serviced.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown
+        )
+        await asyncio.sleep(0)  # deliver any just-marshalled completions
+        for flight in list(self._inflight.values()):
+            self._resolve_failure(flight.key, "scheduler stopped")
+        obs.end_span(
+            self._service_span,
+            requests=self.requests,
+            jobs=self.jobs_submitted,
+            deduped=self.jobs_deduped,
+            completed=self.jobs_completed,
+            failed=self.jobs_failed,
+            batches=self.batches,
+        )
+        self._service_span = None
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, jobs: list[SimJob], client: str = "?") -> Request:
+        """Admit a sweep: join in-flight keys, queue the unique rest.
+
+        Must be called from the event loop thread.  Raises
+        :class:`Rejected` (``queue-full``) when the new unique keys
+        would push unresolved flights past ``queue_depth``; dedup joins
+        never count against the queue.
+        """
+        keys = [job.cache_key() for job in jobs]
+        new_keys: dict[str, SimJob] = {}
+        for key, job in zip(keys, jobs):
+            if key not in self._inflight:
+                new_keys.setdefault(key, job)
+        if len(self._inflight) + len(new_keys) > self.queue_depth:
+            raise Rejected(
+                f"queue depth {self.queue_depth} would be exceeded "
+                f"({len(self._inflight)} in flight, "
+                f"{len(new_keys)} new unique)",
+                code=REJECT_QUEUE_FULL,
+            )
+        request = Request(f"q{next(self._request_ids)}", client, list(jobs))
+        request.span = obs.start_span(
+            "request",
+            parent=(
+                self._service_span.id
+                if self._service_span is not None else None
+            ),
+            client=client, jobs=len(jobs),
+        )
+        self.requests += 1
+        self.jobs_submitted += len(jobs)
+        for index, (key, job) in enumerate(zip(keys, jobs)):
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight(key=key, job=job, order=next(self._order))
+                flight.span = obs.start_span(
+                    "flight",
+                    parent=(
+                        self._service_span.id
+                        if self._service_span is not None else None
+                    ),
+                    vm=job.vm, scheme=job.scheme, workload=job.workload,
+                )
+                self._inflight[key] = flight
+                self._queued.append(flight)
+                request.unique += 1
+            else:
+                request.deduped += 1
+                self.jobs_deduped += 1
+            flight.waiters.append((request, index))
+        if self._wake is not None:
+            self._wake.set()
+        return request
+
+    def pending_flights(self) -> int:
+        """Unresolved unique grid points (queued + running)."""
+        return len(self._inflight)
+
+    def stats(self) -> dict:
+        return {
+            "requests": self.requests,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_deduped": self.jobs_deduped,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "batches": self.batches,
+            "in_flight": len(self._inflight),
+            "queued": len(self._queued),
+            "metrics": self.metrics.as_dict(),
+        }
+
+    # -- batch loop --------------------------------------------------------
+
+    def _take_batch(self) -> list[_Flight]:
+        """Everything currently queued, most-waited-on first.
+
+        Prioritizing by waiter count gets shared grid points (the ones
+        several clients are blocked on) through the backend first; FIFO
+        order breaks ties so no flight starves.
+        """
+        batch = sorted(
+            self._queued, key=lambda f: (-len(f.waiters), f.order)
+        )
+        self._queued = []
+        return batch
+
+    async def _drain(self) -> None:
+        assert self._wake is not None and self._loop is not None
+        while not self._stopping:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._queued and not self._stopping:
+                batch = self._take_batch()
+                await self._loop.run_in_executor(
+                    self._executor, self._run_batch, batch
+                )
+
+    def _run_batch(self, flights: list[_Flight]) -> None:
+        """Backend-thread body: one run_jobs_partial over the batch.
+
+        Per-batch metrics keep concurrent sweeps out of each other's
+        counters; completions are marshalled to the loop thread as the
+        engine reports them, so waiters see progress mid-batch.
+        """
+        assert self._loop is not None
+        metrics = ThroughputMetrics()
+        batch_span = obs.start_span(
+            "batch",
+            parent=(
+                self._service_span.id
+                if self._service_span is not None else None
+            ),
+            jobs=len(flights),
+        )
+        # Root this thread's ambient spans (serial cache probes, worker
+        # job spans) under the batch, exactly like a pool worker does.
+        obs.adopt_worker(batch_span.id if batch_span is not None else None)
+
+        def on_result(key: str, result, meta: dict) -> None:
+            self._loop.call_soon_threadsafe(
+                self._resolve_success, key, result, dict(meta)
+            )
+
+        try:
+            _, failures = run_jobs_partial(
+                [flight.job for flight in flights],
+                workers=self.workers,
+                cache=self.cache,
+                retries=self.retries,
+                job_timeout=self.job_timeout,
+                metrics=metrics,
+                on_result=on_result,
+            )
+        except BaseException:
+            # The engine itself blew up (not a per-job failure): every
+            # flight in this batch fails with the same diagnosis.
+            detail = traceback.format_exc()
+            for flight in flights:
+                self._loop.call_soon_threadsafe(
+                    self._resolve_failure, flight.key, detail
+                )
+            obs.end_span(batch_span, error=detail.splitlines()[-1])
+            # Swallow: the failure already reached every waiter; raising
+            # here would kill the drain loop and strand later requests.
+            return
+        for job, detail in failures:
+            self._loop.call_soon_threadsafe(
+                self._resolve_failure, job.cache_key(), str(detail)
+            )
+        self._loop.call_soon_threadsafe(self._fold_metrics, metrics)
+        obs.end_span(batch_span, **metrics.as_dict())
+
+    def _fold_metrics(self, batch_metrics: ThroughputMetrics) -> None:
+        """Fold one batch's counters into the service-lifetime aggregate."""
+        self.batches += 1
+        for spec in fields(ThroughputMetrics):
+            setattr(
+                self.metrics, spec.name,
+                getattr(self.metrics, spec.name)
+                + getattr(batch_metrics, spec.name),
+            )
+
+    # -- resolution (event loop thread only) -------------------------------
+
+    def _pop_flight(self, key: str) -> _Flight | None:
+        flight = self._inflight.pop(key, None)
+        if flight is not None and flight in self._queued:
+            # Failed before its batch ran (scheduler stopping).
+            self._queued.remove(flight)
+        return flight
+
+    def _resolve_success(self, key: str, result, meta: dict) -> None:
+        flight = self._pop_flight(key)
+        if flight is None:
+            return
+        obs.end_span(
+            flight.span,
+            ok=True,
+            cached=bool(meta.get("cached")),
+            waiters=len(flight.waiters),
+        )
+        for request, index in flight.waiters:
+            self.jobs_completed += 1
+            request._resolve_index(
+                index, result, None, meta, flight,
+                self._is_dedup(flight, request, index),
+            )
+
+    def _resolve_failure(self, key: str, detail: str) -> None:
+        flight = self._pop_flight(key)
+        if flight is None:
+            return
+        obs.end_span(flight.span, ok=False, waiters=len(flight.waiters))
+        for request, index in flight.waiters:
+            self.jobs_failed += 1
+            request._resolve_index(
+                index, None, detail, {}, flight,
+                self._is_dedup(flight, request, index),
+            )
+
+    @staticmethod
+    def _is_dedup(flight: _Flight, request: Request, index: int) -> bool:
+        """Whether (request, index) joined a flight someone else opened.
+
+        The flight's first waiter is its creator; every other waiter —
+        other requests, or duplicate indices within the same request —
+        rode along without adding backend load.
+        """
+        return flight.waiters[0] != (request, index)

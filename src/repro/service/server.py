@@ -1,0 +1,338 @@
+"""The asyncio front-end: ``scd-repro serve``.
+
+A long-running local TCP daemon speaking the newline-delimited JSON
+protocol of :mod:`repro.service.protocol`.  The server owns nothing
+clever — it authenticates nothing (loopback only), simulates nothing,
+and keeps no results; it admits requests, hands their grids to the
+:class:`~repro.service.scheduler.SweepScheduler`, and streams each
+client its own view of the shared progress.
+
+Per-client admission control lives here, on top of the scheduler's
+global queue-depth backpressure:
+
+* ``max_inflight`` — a connection may have at most this many grid
+  points unresolved at once (``over-inflight`` rejection: back off and
+  resubmit).
+* ``budget`` — a connection may submit at most this many grid points
+  over its lifetime (``over-budget`` rejection: the clear signal a
+  runaway client gets instead of quietly starving everyone else).
+
+A rejection refuses one submission; the connection stays usable and
+other clients are untouched.  ``shutdown`` (or SIGINT/SIGTERM on the
+process) drains the running batch, fails never-run flights, and exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from dataclasses import dataclass
+
+from repro.service import protocol
+from repro.service.scheduler import Rejected, Request, SweepScheduler
+
+
+@dataclass
+class ServiceLimits:
+    """Per-connection admission knobs (``None`` = unlimited budget)."""
+
+    max_inflight: int = 1024
+    budget: int | None = None
+
+
+class _Connection:
+    """Book-keeping for one client socket."""
+
+    _ids = 0
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        _Connection._ids += 1
+        self.name = f"client-{_Connection._ids}"
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.inflight = 0
+        self.budget_used = 0
+        self.tasks: set[asyncio.Task] = set()
+
+    async def send(self, message: dict) -> None:
+        async with self.write_lock:
+            self.writer.write(protocol.encode(message))
+            await self.writer.drain()
+
+
+class SweepServer:
+    """Accepts connections and runs the message loop per client."""
+
+    def __init__(
+        self,
+        scheduler: SweepScheduler,
+        host: str = protocol.DEFAULT_HOST,
+        port: int = protocol.DEFAULT_PORT,
+        limits: ServiceLimits | None = None,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self.limits = limits or ServiceLimits()
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — authoritative when port 0 was asked."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        await self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle,
+            self.host,
+            self.port,
+            limit=protocol.MAX_LINE_BYTES,
+        )
+        self.port = self.address[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` message (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Hang up on still-connected clients *before* the loop tears
+        # down, so their handler tasks finish cleanly instead of being
+        # cancelled mid-read by asyncio.run's shutdown sweep.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+        await self.scheduler.stop()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            await conn.send(
+                {
+                    "type": "hello",
+                    "v": protocol.PROTOCOL_VERSION,
+                    "server": "scd-repro",
+                    "client": conn.name,
+                    "max_inflight": self.limits.max_inflight,
+                    "budget": self.limits.budget,
+                }
+            )
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError, ValueError,
+                ):  # oversized line
+                    await conn.send(
+                        {
+                            "type": "error",
+                            "code": protocol.REJECT_BAD_REQUEST,
+                            "message": "message exceeds the line limit",
+                        }
+                    )
+                    break
+                if not line:
+                    break
+                await self._dispatch(conn, line)
+        except (ConnectionError, BrokenPipeError):
+            pass  # client vanished; its flights keep feeding other waiters
+        except asyncio.CancelledError:
+            pass  # server shutting down with this client still connected
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            for stream_task in conn.tasks:
+                stream_task.cancel()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, conn: _Connection, line: bytes) -> None:
+        try:
+            message = protocol.decode(line)
+        except protocol.ProtocolError as exc:
+            await conn.send(
+                {
+                    "type": "error",
+                    "code": exc.code,
+                    "message": str(exc),
+                }
+            )
+            return
+        kind = message["type"]
+        if kind == "ping":
+            await conn.send({"type": "pong"})
+        elif kind == "stats":
+            await conn.send(
+                {
+                    "type": "stats-reply",
+                    "scheduler": self.scheduler.stats(),
+                    "client": {
+                        "name": conn.name,
+                        "inflight": conn.inflight,
+                        "budget_used": conn.budget_used,
+                    },
+                }
+            )
+        elif kind == "shutdown":
+            await conn.send({"type": "bye"})
+            self.request_shutdown()
+        elif kind == "submit":
+            await self._submit(conn, message)
+        else:
+            await conn.send(
+                {
+                    "type": "error",
+                    "code": protocol.REJECT_BAD_REQUEST,
+                    "message": f"unknown message type {kind!r}",
+                }
+            )
+
+    async def _submit(self, conn: _Connection, message: dict) -> None:
+        client_id = message.get("id")
+        try:
+            jobs = protocol.parse_submit(message)
+            self._admit(conn, len(jobs))
+            request = self.scheduler.submit(jobs, client=conn.name)
+        except protocol.ProtocolError as exc:  # includes Rejected
+            await conn.send(
+                {
+                    "type": "rejected",
+                    "id": client_id,
+                    "code": exc.code,
+                    "message": str(exc),
+                }
+            )
+            return
+        conn.inflight += len(jobs)
+        conn.budget_used += len(jobs)
+        await conn.send(
+            {
+                "type": "accepted",
+                "id": client_id,
+                "request": request.id,
+                "jobs": len(jobs),
+                "unique": request.unique,
+                "deduped": request.deduped,
+                "span": (
+                    request.span.id if request.span is not None else None
+                ),
+            }
+        )
+        task = asyncio.get_running_loop().create_task(
+            self._stream(conn, client_id, request)
+        )
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    def _admit(self, conn: _Connection, jobs: int) -> None:
+        """Per-client admission checks; raises :class:`Rejected`."""
+        budget = self.limits.budget
+        if budget is not None and conn.budget_used + jobs > budget:
+            raise Rejected(
+                f"per-client budget of {budget} job(s) exceeded "
+                f"({conn.budget_used} used, {jobs} requested)",
+                code=protocol.REJECT_OVER_BUDGET,
+            )
+        if conn.inflight + jobs > self.limits.max_inflight:
+            raise Rejected(
+                f"per-client in-flight limit of {self.limits.max_inflight} "
+                f"job(s) exceeded ({conn.inflight} in flight, "
+                f"{jobs} requested); wait for progress and resubmit",
+                code=protocol.REJECT_OVER_INFLIGHT,
+            )
+
+    async def _stream(
+        self, conn: _Connection, client_id, request: Request
+    ) -> None:
+        """Forward one request's event stream onto the client socket.
+
+        The client's ``id`` is stamped over the scheduler's internal
+        request id so responses correlate with what the client sent.  A
+        dead socket stops the writes but the queue is still drained —
+        the request's accounting (and every *other* waiter of its
+        flights) must finish regardless.
+        """
+        dead = False
+        while True:
+            event = await request.events.get()
+            if event is None:
+                break
+            if client_id is not None:
+                event = {**event, "id": client_id}
+            if event["type"] == "done":
+                conn.inflight -= len(request.jobs)
+            if not dead:
+                try:
+                    await conn.send(event)
+                except (ConnectionError, BrokenPipeError, RuntimeError):
+                    dead = True
+
+
+async def run_service(
+    *,
+    host: str = protocol.DEFAULT_HOST,
+    port: int = protocol.DEFAULT_PORT,
+    workers: int | None = None,
+    retries: int | None = None,
+    job_timeout: float | None = None,
+    queue_depth: int | None = None,
+    max_inflight: int = 1024,
+    budget: int | None = None,
+    cache=None,
+    ready=None,
+) -> int:
+    """Construct, announce and run the service until shutdown.
+
+    *ready* is an optional callback invoked with the bound ``(host,
+    port)`` once the socket is listening (the CLI prints it; tests grab
+    the ephemeral port from it).
+    """
+    from repro.harness.cache import DEFAULT_CACHE
+    from repro.service.scheduler import DEFAULT_QUEUE_DEPTH
+
+    scheduler = SweepScheduler(
+        workers=workers,
+        cache=DEFAULT_CACHE if cache is None else cache,
+        retries=retries,
+        job_timeout=job_timeout,
+        queue_depth=(
+            DEFAULT_QUEUE_DEPTH if queue_depth is None else queue_depth
+        ),
+    )
+    server = SweepServer(
+        scheduler,
+        host=host,
+        port=port,
+        limits=ServiceLimits(max_inflight=max_inflight, budget=budget),
+    )
+    await server.start()
+    if ready is not None:
+        ready(server.address)
+    try:
+        await server.serve_until_shutdown()
+    finally:
+        await server.stop()
+    return 0

@@ -133,6 +133,77 @@ class TestRunJobs:
         assert resolve_workers(0) == 1
 
 
+class TestMetricsAndCallbacks:
+    """The per-call metrics/on_result hooks the sweep service relies on."""
+
+    def test_explicit_metrics_leave_singleton_untouched(self, tmp_cache):
+        from repro.harness.parallel import ThroughputMetrics
+
+        own = ThroughputMetrics()
+        run_jobs(SMALL[:2], workers=1, cache=tmp_cache, metrics=own)
+        assert own.sims == 2
+        assert METRICS.sims == 0 and METRICS.cache_hits == 0
+
+    def test_on_result_fires_once_per_distinct_key(self, tmp_cache):
+        seen = []
+        run_jobs(
+            [SMALL[0], SMALL[0], SMALL[1]], workers=1, cache=tmp_cache,
+            on_result=lambda key, result, meta: seen.append((key, meta)),
+        )
+        # The repeated job is one distinct key: two callbacks, not three.
+        assert sorted(key for key, _ in seen) == sorted(
+            {j.cache_key() for j in SMALL[:2]}
+        )
+        assert all(not meta.get("cached") for _, meta in seen)
+
+    def test_on_result_reports_cache_hits(self, tmp_cache):
+        run_jobs([SMALL[0]], workers=1, cache=tmp_cache)
+        seen = []
+        results = run_jobs(
+            [SMALL[0]], workers=1, cache=tmp_cache,
+            on_result=lambda key, result, meta: seen.append((result, meta)),
+        )
+        ((result, meta),) = seen
+        assert meta.get("cached") is True
+        assert result == results[0]
+
+    def test_exhausted_failure_never_fires_on_result(self, tmp_cache):
+        from repro.harness.parallel import run_jobs_partial
+
+        bad = SimJob("no-such-workload", "lua", "scd")
+        seen = []
+        resolved, failures = run_jobs_partial(
+            [bad, SMALL[0]], workers=1, cache=tmp_cache, retries=0,
+            on_result=lambda key, result, meta: seen.append(key),
+        )
+        assert [job for job, _ in failures] == [bad]
+        assert seen == [SMALL[0].cache_key()]
+
+
+class TestRetryBackoffResolver:
+    def test_malformed_env_warns_and_falls_back(self, monkeypatch):
+        from repro.harness.parallel import (
+            DEFAULT_RETRY_BACKOFF_S,
+            _retry_backoff_s,
+        )
+
+        monkeypatch.setenv("SCD_REPRO_RETRY_BACKOFF", "soon-ish")
+        with pytest.warns(RuntimeWarning, match="soon-ish"):
+            backoff = _retry_backoff_s(1)
+        assert backoff == DEFAULT_RETRY_BACKOFF_S
+
+    def test_well_formed_env_is_silent(self, monkeypatch):
+        import warnings
+
+        from repro.harness.parallel import _retry_backoff_s
+
+        monkeypatch.setenv("SCD_REPRO_RETRY_BACKOFF", "0.25")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert _retry_backoff_s(1) == 0.25
+            assert _retry_backoff_s(2) == 0.5
+
+
 def _worker_put(root, name, job_args):
     cache = ResultCache(name, root=root)
     job = SimJob(*job_args, kwargs=(("check_output", False), ("n", 8)))

@@ -166,6 +166,103 @@ class TestTracerLifecycle:
         assert [r["kind"] for r in records] == ["meta"]
 
 
+class TestTeardownSafety:
+    """Sink teardown is idempotent and safe at any lifecycle point."""
+
+    def test_close_after_failed_configure(self, tmp_path):
+        # Point the sink at a path whose parent does not exist: the
+        # open fails, and the tracer must be left fully closed — a
+        # later close() cannot touch a stale (possibly recycled) fd.
+        with pytest.raises(OSError):
+            obs.configure(tmp_path / "missing-dir" / "t.jsonl")
+        assert not obs.active()
+        obs.close()  # must not raise
+
+    def test_reconfigure_after_failed_configure(self, tmp_path):
+        with pytest.raises(OSError):
+            obs.configure(tmp_path / "missing-dir" / "t.jsonl")
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)  # recovers cleanly
+        with obs.span("sweep"):
+            pass
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+
+    def test_failed_reconfigure_does_not_leave_stale_fd(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with pytest.raises(OSError):
+            obs.configure(tmp_path / "missing-dir" / "t.jsonl")
+        assert not obs.active()
+        obs.close()  # the old fd is already gone; must not re-close it
+
+    def test_double_close(self, tmp_path):
+        obs.configure(tmp_path / "t.jsonl")
+        obs.close()
+        obs.close()
+
+    def test_spans_started_before_close_end_quietly(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        span = obs.TRACER.start("sweep")
+        obs.close()
+        obs.TRACER.end(span)  # dropped, not written to a dead fd
+        detached = obs.start_span("service")
+        obs.end_span(detached)
+        obs.event("ping")
+        # Only what happened before close() is on disk.
+        kinds = [r["kind"] for r in read_records(path)]
+        assert kinds == ["meta", "span_start"]
+
+    def test_end_span_none_is_noop(self):
+        obs.end_span(None)  # tracing off: start_span returned None
+        assert obs.start_span("service") is None
+
+
+class TestDetachedSpans:
+    """The explicit-parent API used by the async service layer."""
+
+    def test_detached_span_records_with_explicit_parent(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        with obs.span("sweep"):
+            service = obs.start_span(
+                "service", parent=obs.current_span_id(), queue_depth=8
+            )
+            # Detached spans never touch the ambient stack: a span
+            # opened while one is outstanding still nests under the
+            # ambient parent, not under the detached span.
+            assert obs.current_span_id() != service.id
+            with obs.span("job", vm="lua"):
+                pass
+            obs.end_span(service, requests=3)
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+        (sweep,) = log.by_name("sweep")
+        (svc,) = log.by_name("service")
+        (job,) = log.by_name("job")
+        assert svc.parent == sweep.id
+        assert job.parent == sweep.id
+        assert svc.attrs["queue_depth"] == 8
+        assert svc.attrs["requests"] == 3
+
+    def test_concurrent_detached_spans_interleave(self, tmp_path):
+        # The shape asyncio produces: overlapping request lifetimes
+        # that a stack could not represent.
+        path = tmp_path / "t.jsonl"
+        obs.configure(path)
+        first = obs.start_span("request", client="a")
+        second = obs.start_span("request", client="b")
+        obs.end_span(first)
+        obs.end_span(second)
+        obs.close()
+        log = validate_file(path)
+        assert log.ok, log.errors
+        assert len(log.by_name("request")) == 2
+
+
 class TestValidator:
     def _meta(self, pid=1000):
         return {"v": 1, "kind": "meta", "schema": "scd-trace", "pid": pid,

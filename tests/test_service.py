@@ -1,0 +1,434 @@
+"""Sweep-as-a-service: protocol, dedup scheduler, server admission.
+
+The load-bearing property is the dedup invariant: at any instant each
+distinct cache key has at most one backend flight, and its result feeds
+every waiter — N overlapping sweeps cost the union of their unique grid
+points, not the sum.  The scheduler tests prove it deterministically
+(two submissions landing in the same event-loop tick); the end-to-end
+test proves it over real sockets with a merged trace, counting actual
+backend simulations the same way CI's service-smoke job does.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import SimJob, run_jobs
+from repro.obs.schema import validate_file
+from repro.service import protocol
+from repro.service.client import SweepClient, SweepRejected
+from repro.service.scheduler import Rejected, SweepScheduler
+from repro.service.server import run_service
+
+KW = {"check_output": False, "n": 8}
+
+#: 4-job grid A and a 50%-overlapping grid B: union is 6 unique keys.
+GRID_A = {
+    "workloads": ["fibo", "n-sieve"],
+    "vms": ["lua"],
+    "schemes": ["baseline", "scd"],
+    "kwargs": KW,
+}
+GRID_B = {
+    "workloads": ["fibo", "spectral-norm"],
+    "vms": ["lua"],
+    "schemes": ["baseline", "scd"],
+    "kwargs": KW,
+}
+
+
+def jobs_of(grid: dict) -> list[SimJob]:
+    return [protocol.job_from_entry(e) for e in protocol.expand_grid(grid)]
+
+
+def union_keys(*grids: dict) -> set[str]:
+    return {
+        job.cache_key() for grid in grids for job in jobs_of(grid)
+    }
+
+
+class TestProtocol:
+    def test_encode_decode_round_trip(self):
+        message = {"type": "ping", "nested": {"a": [1, 2]}}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"not json\n")
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(b"[1, 2]\n")  # not an object
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode(json.dumps({"no": "type"}).encode() + b"\n")
+
+    def test_job_from_entry_builds_simjob(self):
+        job = protocol.job_from_entry(
+            {"workload": "fibo", "vm": "lua", "scheme": "scd", "kwargs": KW}
+        )
+        assert job == SimJob(
+            "fibo", "lua", "scd",
+            kwargs=tuple(sorted(KW.items())),
+        )
+
+    def test_job_from_entry_default_machine_aliases_cache_key(self):
+        # "cortex-a5" must map to config=None so the service-built job
+        # shares cache entries with locally-run default-machine sweeps.
+        named = protocol.job_from_entry(
+            {"workload": "fibo", "vm": "lua", "scheme": "scd",
+             "machine": "cortex-a5"}
+        )
+        implicit = protocol.job_from_entry(
+            {"workload": "fibo", "vm": "lua", "scheme": "scd"}
+        )
+        assert named.cache_key() == implicit.cache_key()
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            {"workload": "no-such-workload", "vm": "lua", "scheme": "scd"},
+            {"workload": "fibo", "vm": "no-such-vm", "scheme": "scd"},
+            {"workload": "fibo", "vm": "lua", "scheme": "no-such-scheme"},
+            {"workload": "fibo", "vm": "lua", "scheme": "scd",
+             "machine": "no-such-machine"},
+            {"workload": "fibo", "vm": "lua", "scheme": "scd",
+             "kwargs": "not-a-dict"},
+            "not-a-dict",
+        ],
+    )
+    def test_job_from_entry_rejects_bad_entries(self, entry):
+        with pytest.raises(protocol.ProtocolError) as err:
+            protocol.job_from_entry(entry)
+        assert err.value.code == protocol.REJECT_BAD_REQUEST
+
+    def test_expand_grid_is_full_cross_product(self):
+        entries = protocol.expand_grid(GRID_A)
+        assert len(entries) == 4
+        assert {(e["workload"], e["scheme"]) for e in entries} == {
+            ("fibo", "baseline"), ("fibo", "scd"),
+            ("n-sieve", "baseline"), ("n-sieve", "scd"),
+        }
+
+    def test_parse_submit_needs_exactly_one_payload(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_submit({"type": "submit"})
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_submit(
+                {"type": "submit", "jobs": [], "grid": GRID_A}
+            )
+        with pytest.raises(protocol.ProtocolError):
+            protocol.parse_submit({"type": "submit", "jobs": []})
+
+
+class TestSchedulerDedup:
+    """Deterministic dedup proofs: submissions land in the same tick."""
+
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_same_tick_overlap_joins_flights(self, tmp_path):
+        cache = ResultCache("svc", root=tmp_path)
+
+        async def scenario():
+            scheduler = SweepScheduler(workers=1, cache=cache)
+            await scheduler.start()
+            try:
+                # No await between the submits: request B *must* find
+                # request A's flights still queued and join them.
+                req_a = scheduler.submit(jobs_of(GRID_A), client="a")
+                req_b = scheduler.submit(jobs_of(GRID_B), client="b")
+                assert req_a.unique == 4 and req_a.deduped == 0
+                assert req_b.unique == 2 and req_b.deduped == 2
+                assert scheduler.pending_flights() == len(
+                    union_keys(GRID_A, GRID_B)
+                )
+                await asyncio.gather(
+                    self._drain_events(req_a), self._drain_events(req_b)
+                )
+            finally:
+                await scheduler.stop()
+            return scheduler, req_a, req_b
+
+        scheduler, req_a, req_b = self._run(scenario())
+        assert req_a.ok == 4 and req_a.failed == 0
+        assert req_b.ok == 4 and req_b.failed == 0
+        assert scheduler.jobs_deduped == 2
+        # The backend saw exactly the union: 6 simulations, 0 cache hits.
+        assert scheduler.metrics.sims == 6
+        assert scheduler.metrics.cache_hits == 0
+        # Every waiter of a shared flight got the identical object.
+        shared = [
+            (ia, ib)
+            for ia, ja in enumerate(jobs_of(GRID_A))
+            for ib, jb in enumerate(jobs_of(GRID_B))
+            if ja.cache_key() == jb.cache_key()
+        ]
+        assert len(shared) == 2
+        for ia, ib in shared:
+            assert req_a.results[ia] == req_b.results[ib]
+
+    def test_results_match_clean_serial_run(self, tmp_path):
+        cache = ResultCache("svc", root=tmp_path / "svc")
+
+        async def scenario():
+            scheduler = SweepScheduler(workers=1, cache=cache)
+            await scheduler.start()
+            try:
+                request = scheduler.submit(jobs_of(GRID_A), client="a")
+                await self._drain_events(request)
+            finally:
+                await scheduler.stop()
+            return request
+
+        request = self._run(scenario())
+        serial = run_jobs(
+            jobs_of(GRID_A), workers=1,
+            cache=ResultCache("serial", root=tmp_path / "serial"),
+        )
+        assert request.results == serial
+
+    def test_failed_flight_fails_every_waiter(self, tmp_path):
+        # Bypass protocol validation on purpose: a job whose workload
+        # does not exist fails in the backend, and that failure must
+        # reach both requests waiting on the shared key.
+        bad = SimJob("no-such-workload", "lua", "scd")
+        cache = ResultCache("svc", root=tmp_path)
+
+        async def scenario():
+            scheduler = SweepScheduler(workers=1, cache=cache, retries=0)
+            await scheduler.start()
+            try:
+                req_a = scheduler.submit([bad], client="a")
+                req_b = scheduler.submit([bad], client="b")
+                events = await asyncio.gather(
+                    self._drain_events(req_a), self._drain_events(req_b)
+                )
+            finally:
+                await scheduler.stop()
+            return req_a, req_b, events
+
+        req_a, req_b, events = self._run(scenario())
+        assert req_a.failed == 1 and req_b.failed == 1
+        for stream in events:
+            (job_event,) = [e for e in stream if e["type"] == "job"]
+            assert job_event["ok"] is False
+            assert job_event["detail"]
+
+    def test_queue_full_refuses_before_mutating(self, tmp_path):
+        cache = ResultCache("svc", root=tmp_path)
+        scheduler = SweepScheduler(
+            workers=1, cache=cache, queue_depth=2
+        )
+        # submit() needs no running loop until a drain wake-up matters,
+        # so admission logic is testable synchronously.
+        jobs = jobs_of(GRID_A)  # 4 unique keys > depth 2
+        with pytest.raises(Rejected) as err:
+            scheduler.submit(jobs, client="greedy")
+        assert err.value.code == protocol.REJECT_QUEUE_FULL
+        # The refused submission left no partial state behind.
+        assert scheduler.pending_flights() == 0
+        assert scheduler.requests == 0 and scheduler.jobs_submitted == 0
+
+    def test_dedup_join_is_never_refused(self, tmp_path):
+        cache = ResultCache("svc", root=tmp_path)
+        scheduler = SweepScheduler(workers=1, cache=cache, queue_depth=1)
+        job = jobs_of(GRID_A)[0]
+        scheduler.submit([job], client="first")  # fills the queue
+        # Same key again: zero new unique work, admitted at full depth.
+        request = scheduler.submit([job], client="second")
+        assert request.deduped == 1 and request.unique == 0
+        assert scheduler.pending_flights() == 1
+
+    @staticmethod
+    async def _drain_events(request) -> list[dict]:
+        events = []
+        while True:
+            event = await request.events.get()
+            if event is None:
+                return events
+            events.append(event)
+
+
+class _Server:
+    """A real served instance on an ephemeral port, for socket tests."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.cache = ResultCache("svc", root=tmp_path / "svc-cache")
+        self._ready = threading.Event()
+        self._addr = None
+        kwargs.setdefault("workers", 1)
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(
+                run_service(
+                    port=0, cache=self.cache, ready=self._set_addr,
+                    **kwargs,
+                )
+            ),
+            daemon=True,
+        )
+        self._thread.start()
+        assert self._ready.wait(20), "service did not come up"
+
+    def _set_addr(self, addr):
+        self._addr = addr
+        self._ready.set()
+
+    def client(self, **kwargs) -> SweepClient:
+        host, port = self._addr
+        return SweepClient(host, port, **kwargs)
+
+    def stop(self):
+        with self.client() as c:
+            c.shutdown()
+        self._thread.join(20)
+        assert not self._thread.is_alive(), "service did not shut down"
+
+
+class TestServiceEndToEnd:
+    """Socket-level tests against a real served instance."""
+
+    def test_dedup_proof_two_concurrent_clients(self, tmp_path):
+        """The acceptance criterion, end to end.
+
+        Cold cache, two concurrent clients, 50% grid overlap: the
+        merged trace must show exactly ``len(union)`` backend
+        simulations (non-cached ``job`` spans and results-store cache
+        puts), and each client's results must be byte-identical to a
+        clean serial ``run_jobs`` of its own grid.
+        """
+        trace = tmp_path / "trace.jsonl"
+        obs.configure(trace)
+        try:
+            server = _Server(tmp_path)
+            outcomes = {}
+
+            def submit(name, grid, delay):
+                # Stagger B slightly so A's accept usually lands first;
+                # the union invariant holds for any interleaving (an
+                # overlap key is either joined in flight or served from
+                # the result cache — never re-simulated).
+                if delay:
+                    threading.Event().wait(delay)
+                with server.client() as client:
+                    outcomes[name] = client.submit(grid=grid)
+
+            threads = [
+                threading.Thread(target=submit, args=("a", GRID_A, 0)),
+                threading.Thread(target=submit, args=("b", GRID_B, 0.1)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(120)
+            server.stop()
+        finally:
+            obs.close()
+
+        union = union_keys(GRID_A, GRID_B)
+        assert len(union) == 6
+
+        for name, grid in (("a", GRID_A), ("b", GRID_B)):
+            outcome = outcomes[name]
+            assert outcome.ok, outcome.failures()
+            serial = run_jobs(
+                jobs_of(grid), workers=1,
+                cache=ResultCache("serial", root=tmp_path / "serial"),
+            )
+            assert outcome.results == serial
+            # Byte-identity survives the JSON wire round-trip.
+            assert [r.to_dict() for r in outcome.results] == [
+                r.to_dict() for r in serial
+            ]
+
+        # Overlap accounting: the 2 shared keys were paid for once;
+        # whoever arrived second saw them as deduped or cache-hits.
+        second_hand = sum(
+            outcomes[n].done["deduped"] + outcomes[n].done["cached"]
+            for n in ("a", "b")
+        )
+        assert second_hand == 2
+
+        log = validate_file(trace)
+        assert log.ok, log.errors
+        simulated = [
+            s for s in log.by_name("job")
+            if s.attrs.get("cached") is False
+        ]
+        puts = [
+            s for s in log.by_name("cache")
+            if s.attrs.get("op") == "put"
+            and s.attrs.get("store") == "results"
+        ]
+        assert len(simulated) == len(union)
+        assert len(puts) == len(union)
+
+    def test_over_budget_rejected_while_other_client_completes(
+        self, tmp_path
+    ):
+        server = _Server(tmp_path, budget=2)
+        try:
+            with server.client() as greedy, server.client() as modest:
+                with pytest.raises(SweepRejected) as err:
+                    greedy.submit(grid=GRID_A)  # 4 jobs > budget 2
+                assert err.value.code == protocol.REJECT_OVER_BUDGET
+                # The refusal cost nothing and broke nothing: the
+                # greedy connection stays usable and the modest
+                # client's sweep runs to completion.
+                assert greedy.ping()
+                small = {**GRID_A, "workloads": ["fibo"]}  # 2 jobs
+                outcome = modest.submit(grid=small)
+                assert outcome.ok and outcome.done["ok"] == 2
+                # Budget is per-connection lifetime: a second modest
+                # submission overflows its own budget too.
+                with pytest.raises(SweepRejected) as err:
+                    modest.submit(grid=small)
+                assert err.value.code == protocol.REJECT_OVER_BUDGET
+        finally:
+            server.stop()
+
+    def test_over_inflight_rejection(self, tmp_path):
+        server = _Server(tmp_path, max_inflight=2)
+        try:
+            with server.client() as client:
+                with pytest.raises(SweepRejected) as err:
+                    client.submit(grid=GRID_A)  # 4 jobs > in-flight cap 2
+                assert err.value.code == protocol.REJECT_OVER_INFLIGHT
+                assert client.ping()
+        finally:
+            server.stop()
+
+    def test_bad_grid_rejected_with_structured_code(self, tmp_path):
+        server = _Server(tmp_path)
+        try:
+            with server.client() as client:
+                with pytest.raises(SweepRejected) as err:
+                    client.submit(
+                        grid={**GRID_A, "workloads": ["no-such-workload"]}
+                    )
+                assert err.value.code == protocol.REJECT_BAD_REQUEST
+        finally:
+            server.stop()
+
+    def test_ping_stats_and_cached_resubmit(self, tmp_path):
+        server = _Server(tmp_path)
+        try:
+            with server.client() as client:
+                assert client.ping()
+                small = {**GRID_A, "workloads": ["fibo"]}
+                first = client.submit(grid=small)
+                assert first.ok and first.done["cached"] == 0
+                # Same grid again: flights resolved, so this is pure
+                # result-cache traffic — zero new simulations.
+                second = client.submit(grid=small)
+                assert second.ok and second.done["cached"] == 2
+                assert second.results == first.results
+                stats = client.stats()
+                assert stats["scheduler"]["jobs_completed"] == 4
+                assert stats["scheduler"]["metrics"]["sims"] == 2
+                assert stats["client"]["budget_used"] == 4
+        finally:
+            server.stop()
