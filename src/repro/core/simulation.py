@@ -223,10 +223,14 @@ def simulate(
                                 memo.import_payload(
                                     payload, memo_codec, memo_store_key
                                 )
-                            except MemoFormatError:
+                            except MemoFormatError as exc:
                                 # Structurally valid frame, unbindable
-                                # interior: fall back to an empty memo.
-                                pass
+                                # interior (e.g. a geometry-mismatched
+                                # BTB digest): quarantine the shard and
+                                # fall back to an empty memo.
+                                memo_store.quarantine(
+                                    memo_store_key, str(exc)
+                                )
                         memo_span.annotate(entries=memo.loaded)
                 replay_events_memo(recorded, runner, memo)
             else:

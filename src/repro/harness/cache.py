@@ -38,8 +38,10 @@ from repro.uarch.config import CoreConfig, cortex_a5
 from repro.vm.capture import RecordedTrace, TraceFormatError
 
 #: Bump when the native model, uarch model, workloads or the cache layout
-#: change behaviour.  v3 introduced the sharded per-entry layout.
-CACHE_VERSION = 3
+#: change behaviour.  v3 introduced the sharded per-entry layout.  v4: the
+#: BTB round-robin victim rotation was fixed (physical-way pointer), which
+#: changes simulated figures for SCD runs with JTE/branch set contention.
+CACHE_VERSION = 4
 
 #: Wall-clock instant this process (or, under ``fork``, its parent)
 #: imported the cache layer.  ``*.tmp`` files older than this were left
@@ -121,7 +123,12 @@ def config_signature(config: CoreConfig) -> str:
         str(config.decode_redirect_penalty),
         config.direction_predictor,
         json.dumps(config.predictor_params, sort_keys=True),
-        f"{config.btb_entries}/{config.btb_ways}/{config.btb_policy}",
+        f"{config.btb_entries}/{config.btb_ways}/{config.btb_policy}"
+        f"/{config.btb_index}",
+        "+".join(
+            f"{lv.entries}/{lv.ways}/{lv.policy}/{lv.index}/{lv.latency}"
+            for lv in config.btb_levels
+        ) or "flat",
         str(config.ras_depth),
         f"ic{config.icache.size_bytes}w{config.icache.ways}",
         f"dc{config.dcache.size_bytes}w{config.dcache.ways}",
@@ -367,6 +374,20 @@ class MemoStore:
                 except OSError:
                     pass
         _corrupt_shard_hook(path)
+
+    def quarantine(self, key: str, reason: str) -> None:
+        """Quarantine the shard behind *key* after a deep-decode failure.
+
+        :meth:`get` only validates the outer frame; when
+        ``import_payload`` later rejects the pickled interior
+        (:class:`~repro.uarch.pipeline.MemoFormatError` — e.g. a
+        geometry-mismatched BTB digest), the caller reports the shard
+        here so it lands next to the frame-level corruption instead of
+        being re-served on every run.
+        """
+        path = self.entry_path(key)
+        if path.exists():
+            _quarantine_entry(self.root, self.name, path, reason)
 
     def clear(self) -> None:
         self.hits = 0

@@ -84,10 +84,13 @@ def _cmd_run(args) -> int:
     return 0
 
 
-def _cmd_experiment(name: str) -> int:
+def _cmd_experiment(name: str, geometry: str | None = None) -> int:
     METRICS.reset()
     start = time.perf_counter()
-    result = run_experiment(name)
+    if geometry is not None:
+        result = run_experiment(name, geometry=geometry)
+    else:
+        result = run_experiment(name)
     print(result.text)
     print(METRICS.summary(time.perf_counter() - start), file=sys.stderr)
     return 0
@@ -851,7 +854,15 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     for name in EXPERIMENTS:
-        sub.add_parser(name, help=f"reproduce {name}")
+        exp_parser = sub.add_parser(name, help=f"reproduce {name}")
+        if name == "figure11":
+            from repro.uarch.config import BTB_GEOMETRIES
+
+            exp_parser.add_argument(
+                "--geometry", default=None, choices=sorted(BTB_GEOMETRIES),
+                help="run the sweep on a measured multi-level BTB geometry "
+                "instead of the flat Table-II BTB",
+            )
     sub.add_parser("all", help="run every experiment")
     report_parser = sub.add_parser(
         "report", help="regenerate the EXPERIMENTS.md body"
@@ -931,7 +942,7 @@ def _dispatch(args) -> int:
         return _cmd_submit(args)
     if args.command == "clear-cache":
         return _cmd_clear_cache(args)
-    return _cmd_experiment(args.command)
+    return _cmd_experiment(args.command, geometry=getattr(args, "geometry", None))
 
 
 if __name__ == "__main__":

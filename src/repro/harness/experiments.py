@@ -9,7 +9,7 @@ paper-vs-measured side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro import obs
 from repro.core.results import SimResult, geomean, geomean_or_none
@@ -17,7 +17,14 @@ from repro.harness.cache import DEFAULT_CACHE, ResultCache
 from repro.harness.parallel import SimJob, execute_job, run_jobs
 from repro.harness.tables import fmt, format_bar_chart, format_table, pct
 from repro.power.model import AreaPowerModel, edp_improvement
-from repro.uarch.config import CoreConfig, cortex_a5, cortex_a8, rocket
+from repro.uarch.config import (
+    BTB_GEOMETRIES,
+    CoreConfig,
+    cortex_a5,
+    cortex_a8,
+    rocket,
+    with_btb_geometry,
+)
 from repro.workloads import workload_names
 
 #: Published summary numbers (geomeans unless noted) for the comparison
@@ -437,16 +444,45 @@ BTB_SIZES = (64, 128, 256, 512)
 JTE_CAPS = (4, 16, None)
 
 
-def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
+def figure11(cache=DEFAULT_CACHE, geometry: str | None = None) -> ExperimentResult:
     """Sensitivity to BTB size (a,b) and to the JTE cap at BTB=64 (c,d).
 
     Both sweeps for both VMs are submitted as one :func:`run_jobs` batch;
     duplicated points (e.g. the BTB=64 baselines shared between the size
     and cap sweeps) dedupe by cache key and simulate once.
+
+    With *geometry* set to a key of
+    :data:`repro.uarch.config.BTB_GEOMETRIES`, the sweep runs on that
+    measured multi-level front end instead of the flat Table-II BTB: the
+    size axis scales the *main* BTB level through 1/8x..1x of its measured
+    capacity (halving keeps the set count a power of two, so hashed
+    indexing stays legal) and the cap sweep runs at the smallest scaled
+    size.  The nano level is left at its measured geometry throughout.
     """
     workloads = list(workload_names())
-    data: dict = {"sizes": list(BTB_SIZES), "caps": [c if c else "inf" for c in JTE_CAPS]}
-    small = cortex_a5().with_changes(btb_entries=64)
+    if geometry is None:
+        sizes = list(BTB_SIZES)
+
+        def sized(entries: int) -> CoreConfig:
+            return cortex_a5().with_changes(btb_entries=entries)
+
+    else:
+        base = with_btb_geometry(cortex_a5(), geometry)
+        nominal = base.btb_levels[1].entries
+        sizes = [nominal // 8, nominal // 4, nominal // 2, nominal]
+
+        def sized(entries: int) -> CoreConfig:
+            main = replace(base.btb_levels[1], entries=entries)
+            return base.with_changes(
+                btb_levels=(base.btb_levels[0], main),
+                btb_entries=entries,
+                btb_ways=main.ways,
+            )
+
+    small = sized(sizes[0])
+    data: dict = {"sizes": sizes, "caps": [c if c else "inf" for c in JTE_CAPS]}
+    if geometry is not None:
+        data["geometry"] = geometry
 
     jobs: list[SimJob] = []
     labels: list[tuple] = []
@@ -456,8 +492,8 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
         labels.append(label + (w,))
 
     for vm in ("lua", "js"):
-        for size in BTB_SIZES:
-            config = cortex_a5().with_changes(btb_entries=size)
+        for size in sizes:
+            config = sized(size)
             for w in workloads:
                 add((vm, "size", size, "baseline"), w, vm, "baseline", config)
                 add((vm, "size", size, "scd"), w, vm, "scd", config)
@@ -468,10 +504,12 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
                 add((vm, "cap", cap, "scd"), w, vm, "scd", config)
     lookup = dict(zip(labels, run_jobs(jobs, cache=cache)))
 
+    suffix = f" [{geometry}]" if geometry is not None else ""
+    size_label = "BTB entries" if geometry is None else "main-BTB entries"
     chunks = []
     for vm in ("lua", "js"):
         by_size = {}
-        for size in BTB_SIZES:
+        for size in sizes:
             values = [
                 lookup[(vm, "size", size, "baseline", w)].cycles
                 / lookup[(vm, "size", size, "scd", w)].cycles
@@ -479,12 +517,15 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
             ]
             by_size[size] = geomean_or_none(values)
         data[f"{vm}_by_size"] = by_size
-        rows = [[str(size), fmt(by_size[size])] for size in BTB_SIZES]
+        rows = [[str(size), fmt(by_size[size])] for size in sizes]
         chunks.append(
             format_table(
-                ["BTB entries", "SCD geomean speedup"],
+                [size_label, "SCD geomean speedup"],
                 rows,
-                title=f"Figure 11({'a' if vm == 'lua' else 'b'}): BTB-size sensitivity ({vm})",
+                title=(
+                    f"Figure 11({'a' if vm == 'lua' else 'b'}): "
+                    f"BTB-size sensitivity ({vm}){suffix}"
+                ),
             )
         )
 
@@ -500,14 +541,19 @@ def figure11(cache=DEFAULT_CACHE) -> ExperimentResult:
         rows = [[str(cap), fmt(value)] for cap, value in by_cap.items()]
         chunks.append(
             format_table(
-                ["JTE cap", "SCD geomean speedup (BTB=64)"],
+                ["JTE cap", f"SCD geomean speedup ({size_label}={sizes[0]})"],
                 rows,
-                title=f"Figure 11({'c' if vm == 'lua' else 'd'}): JTE-cap sensitivity ({vm})",
+                title=(
+                    f"Figure 11({'c' if vm == 'lua' else 'd'}): "
+                    f"JTE-cap sensitivity ({vm}){suffix}"
+                ),
             )
         )
-    return ExperimentResult(
-        "figure11", "BTB-size and JTE-cap sensitivity", data, "\n\n".join(chunks)
+    exp_id = "figure11" if geometry is None else f"figure11@{geometry}"
+    title = "BTB-size and JTE-cap sensitivity" + (
+        f" ({geometry} measured geometry)" if geometry is not None else ""
     )
+    return ExperimentResult(exp_id, title, data, "\n\n".join(chunks))
 
 
 # -- Section VI-C2 ------------------------------------------------------------------
@@ -738,14 +784,32 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, cache=DEFAULT_CACHE) -> ExperimentResult:
+def run_experiment(
+    name: str, cache=DEFAULT_CACHE, geometry: str | None = None
+) -> ExperimentResult:
     """Run one registered experiment by name (as an ``experiment`` span
-    when a trace log is live, so its jobs nest under it)."""
+    when a trace log is live, so its jobs nest under it).
+
+    *geometry* selects a measured BTB geometry axis and is only accepted
+    by ``figure11``.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"
         ) from None
+    kwargs = {}
+    if geometry is not None:
+        if name != "figure11":
+            raise ValueError(
+                f"--geometry only applies to figure11, not {name!r}"
+            )
+        if geometry not in BTB_GEOMETRIES:
+            raise ValueError(
+                f"unknown geometry {geometry!r}; "
+                f"available: {', '.join(BTB_GEOMETRIES)}"
+            )
+        kwargs["geometry"] = geometry
     with obs.span("experiment", experiment=name):
-        return fn(cache=cache)
+        return fn(cache=cache, **kwargs)

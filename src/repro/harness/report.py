@@ -19,6 +19,7 @@ from repro.harness.experiments import (
     table5,
 )
 from repro.harness.tables import fmt, format_table, pct
+from repro.uarch.config import BTB_GEOMETRIES
 
 
 def _comparison_table(rows) -> str:
@@ -257,6 +258,21 @@ def generate_report(cache=DEFAULT_CACHE, corpus=None) -> str:
         "coverage against branch-target capacity.\n\n```\n"
         + fig11.text
         + "\n```"
+    )
+
+    # Figure 11 on the measured multi-level Arm geometries.
+    geo_chunks = []
+    for geometry in sorted(BTB_GEOMETRIES):
+        geo = figure11(cache=cache, geometry=geometry)
+        geo_chunks.append("```\n" + geo.text + "\n```")
+    sections.append(
+        "## Figure 11 on measured Arm BTB geometries\n\n"
+        "The same sweep on the measured two-level (nano + main) front ends "
+        "of `BTB_GEOMETRIES` (reverse-engineered Cortex-A72/A76 shapes: "
+        "hashed main-level indexing, tree-pLRU replacement, extra redirect "
+        "bubbles on main-level-only hits).  The size axis scales the main "
+        "level from 1/8x to 1x of its measured capacity; the nano level is "
+        "fixed.\n\n" + "\n\n".join(geo_chunks)
     )
 
     # Higher-end core.

@@ -451,9 +451,15 @@ class _BatchEmitter(_Emitter):
         )
 
     def bop_open(self, pc: int, table: int) -> None:
-        self.emit_lines(batch_bop_lines(
+        lines = batch_bop_lines(
             table, self.btb_sets, self.btb_ways, self.btb_policy
-        ))
+        )
+        if lines is None:
+            # Non-inlinable BTB: the method does its own accounting (and,
+            # for multi-level geometries, the late-hit stall).
+            self.emit(f"_t = bop({pc}, {table})")
+        else:
+            self.emit_lines(lines)
         self.emit("if _t is None:")
 
     def daddrs_loop(self, var: str = "daddrs") -> None:

@@ -49,6 +49,7 @@ from repro.native.model import (
 from repro.native.specs import work_loop_iterations
 from repro.uarch.pipeline import (
     block_issue_slots,
+    btb_inline_sig,
     kernel_cond_lines,
     kernel_daccess_const_lines,
     kernel_daccess_expr_lines,
@@ -699,6 +700,13 @@ class BoundKernel:
     def _shape(self) -> tuple:
         runner = self.runner
         machine = self.machine
+        # A None BTB signature (multi-level, xor-indexed or pLRU buffers)
+        # keeps every BTB-touching event a Machine method call — the
+        # specializers only open-code single-level mod-indexed lru/rr.
+        btb_sig = btb_inline_sig(machine.btb)
+        btb_sets, btb_ways, btb_policy = (
+            btb_sig if btb_sig is not None else (None, 0, None)
+        )
         return (
             machine._issue_width,
             runner.context_switch_interval is not None,
@@ -706,13 +714,13 @@ class BoundKernel:
             machine.dcache.line_shift,
             machine.dcache._set_mask,
             kernel_predictor_sig(machine.predictor),
-            machine.btb.n_sets,
+            btb_sets,
             machine.config.indirect_scheme,
             machine.scd.tables,
             machine.icache.ways,
             machine.dcache.ways,
-            machine.btb.ways,
-            machine.btb.policy,
+            btb_ways,
+            btb_policy,
             machine.itlb.entries,
         )
 

@@ -11,6 +11,13 @@ Replacement follows the paper's default policy: an incoming JTE may evict a
 BTB entry, but an incoming BTB entry may never evict a JTE.  A configurable
 cap bounds the number of resident JTEs (the Section IV / Figure 11(c,d)
 mitigation for small BTBs).
+
+Beyond the paper's idealized single-level buffer, this module models the
+front-end features reverse-engineered on real Arm cores ("Branch Target
+Buffer Reverse Engineering on Arm", PAPERS.md): tree-pLRU way replacement
+(``policy="plru"``), XOR-folded set indexing (``index="xor"``) and a
+two-level nano/main hierarchy (:class:`MultiLevelBtb`) whose main-level
+hits cost extra redirect bubbles.
 """
 
 from __future__ import annotations
@@ -27,9 +34,13 @@ class BranchTargetBuffer:
         entries: total entry count (must be ``sets * ways``).
         ways: associativity; ``ways == entries`` gives a fully-associative
             buffer (the Rocket configuration).
-        policy: ``"lru"`` or ``"rr"`` (round-robin) way replacement.
+        policy: ``"lru"``, ``"rr"`` (round-robin) or ``"plru"`` (tree
+            pseudo-LRU; requires a power-of-two way count) way replacement.
         jte_cap: maximum simultaneous JTEs, or ``None`` for unbounded
             (the paper's default "∞" setting).
+        index: ``"mod"`` (paper-style word-address modulo) or ``"xor"``
+            (upper index bits folded in, as measured on Arm main BTBs;
+            requires a power-of-two set count).
     """
 
     def __init__(
@@ -38,38 +49,63 @@ class BranchTargetBuffer:
         ways: int = 2,
         policy: str = "lru",
         jte_cap: int | None = None,
+        index: str = "mod",
     ):
         if entries <= 0 or ways <= 0:
             raise ValueError("entries and ways must be positive")
         if entries % ways:
             raise ValueError(f"entries ({entries}) not divisible by ways ({ways})")
-        if policy not in ("lru", "rr"):
+        if policy not in ("lru", "rr", "plru"):
             raise ValueError(f"unknown replacement policy {policy!r}")
+        if policy == "plru" and ways & (ways - 1):
+            raise ValueError(
+                f"plru needs a power-of-two way count, got {ways}"
+            )
+        if index not in ("mod", "xor"):
+            raise ValueError(f"unknown index function {index!r}")
         self.entries = entries
         self.ways = ways
         self.policy = policy
         self.jte_cap = jte_cap
+        self.index = index
         self.n_sets = entries // ways
         self._set_mask = self.n_sets - 1
         if self.n_sets & self._set_mask:
             # Non-power-of-two set counts (e.g. the 62-entry Rocket BTB,
             # fully associative so n_sets == 1) index by modulo instead.
             self._set_mask = None
+        if index == "xor" and self._set_mask is None:
+            raise ValueError(
+                f"xor indexing needs a power-of-two set count, got {self.n_sets}"
+            )
+        self._set_bits = max(self.n_sets.bit_length() - 1, 1)
         self._sets: list[list[list]] = [
             [[False, False, 0, 0] for _ in range(ways)] for _ in range(self.n_sets)
         ]
+        #: Physical index of the way most recently replaced by round-robin
+        #: (the next victim search rotates onward from it).
         self._rr: list[int] = [0] * self.n_sets
+        #: Per-set tree-pLRU bit vector (``ways - 1`` internal nodes; bit
+        #: value 1 means the right subtree is the LRU side).
+        self._plru: list[int] = [0] * self.n_sets
         self._jte_count = 0
+        #: Ordinary inserts dropped because every way held a JTE (the
+        #: JTE-priority starvation cost surfaced in component counters).
+        self.install_blocked = 0
 
     # -- indexing ----------------------------------------------------------
 
     def _index_pc(self, pc: int) -> int:
         word = pc >> 2
+        if self.index == "xor":
+            return (word ^ (word >> self._set_bits)) & self._set_mask
         if self._set_mask is not None:
             return word & self._set_mask
         return word % self.n_sets
 
     def _index_jte(self, opcode: int) -> int:
+        if self.index == "xor":
+            return (opcode ^ (opcode >> self._set_bits)) & self._set_mask
         if self._set_mask is not None:
             return opcode & self._set_mask
         return opcode % self.n_sets
@@ -80,11 +116,47 @@ class BranchTargetBuffer:
 
     # -- replacement helpers ------------------------------------------------
 
-    def _touch(self, ways: list[list], position: int) -> None:
-        """Promote a hit entry to MRU under LRU."""
-        if self.policy == "lru" and position:
-            entry = ways.pop(position)
-            ways.insert(0, entry)
+    def _touch(self, set_index: int, ways: list[list], position: int) -> None:
+        """Promote a hit entry to MRU (LRU reorders; pLRU flips tree bits)."""
+        if self.policy == "lru":
+            if position:
+                entry = ways.pop(position)
+                ways.insert(0, entry)
+        elif self.policy == "plru":
+            self._plru_touch(set_index, position)
+
+    def _plru_touch(self, set_index: int, position: int) -> None:
+        """Point every tree node on *position*'s path away from it."""
+        bits = self._plru[set_index]
+        node, lo, hi = 0, 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) >> 1
+            if position < mid:
+                bits |= 1 << node  # LRU side is now the right subtree
+                node, hi = 2 * node + 1, mid
+            else:
+                bits &= ~(1 << node)  # LRU side is now the left subtree
+                node, lo = 2 * node + 2, mid
+        self._plru[set_index] = bits
+
+    def _plru_victim(self, set_index: int, candidates: list[int]) -> int:
+        """Walk the pLRU tree toward the LRU leaf, detouring around
+        subtrees that hold no eligible candidate."""
+        bits = self._plru[set_index]
+        node, lo, hi = 0, 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) >> 1
+            if (bits >> node) & 1:  # LRU side is the right subtree
+                pick = (mid, hi, 2 * node + 2)
+                alt = (lo, mid, 2 * node + 1)
+            else:
+                pick = (lo, mid, 2 * node + 1)
+                alt = (mid, hi, 2 * node + 2)
+            if any(pick[0] <= way < pick[1] for way in candidates):
+                lo, hi, node = pick
+            else:
+                lo, hi, node = alt
+        return lo
 
     def _victim(self, set_index: int, candidates: list[int]) -> int:
         """Pick a victim way index among *candidates* (non-empty)."""
@@ -93,9 +165,20 @@ class BranchTargetBuffer:
             if not ways[position][_VALID]:
                 return position
         if self.policy == "rr":
-            # Round-robin over the candidate list.
-            self._rr[set_index] = (self._rr[set_index] + 1) % len(candidates)
-            return candidates[self._rr[set_index]]
+            # Rotate over *physical* way indices starting after the last
+            # replaced way, skipping ineligible ways.  The pointer always
+            # names a physical way, so its meaning survives candidate
+            # lists of different shapes (ordinary inserts exclude JTE
+            # ways; at-cap JTE inserts include only JTE ways).
+            pointer = self._rr[set_index]
+            for offset in range(1, self.ways + 1):
+                way = (pointer + offset) % self.ways
+                if way in candidates:
+                    self._rr[set_index] = way
+                    return way
+            raise AssertionError("non-empty candidate list had no way")
+        if self.policy == "plru":
+            return self._plru_victim(set_index, candidates)
         # LRU: list order is recency order, so the last candidate is LRU.
         return candidates[-1]
 
@@ -109,6 +192,8 @@ class BranchTargetBuffer:
             ways.insert(0, entry)
         else:
             ways[position] = entry
+            if self.policy == "plru":
+                self._plru_touch(set_index, position)
         if entry[_JTE]:
             self._jte_count += 1
 
@@ -116,10 +201,11 @@ class BranchTargetBuffer:
 
     def lookup(self, pc: int) -> int | None:
         """Predicted target for the control transfer at *pc*, or ``None``."""
-        ways = self._sets[self._index_pc(pc)]
+        set_index = self._index_pc(pc)
+        ways = self._sets[set_index]
         for position, entry in enumerate(ways):
             if entry[_VALID] and not entry[_JTE] and entry[_KEY] == pc:
-                self._touch(ways, position)
+                self._touch(set_index, ways, position)
                 return entry[_TARGET]
         return None
 
@@ -129,14 +215,15 @@ class BranchTargetBuffer:
         Returns:
             True if the entry is resident afterwards.  False when every way
             of the set is occupied by JTEs, which (by the JTE-priority
-            policy) an ordinary entry may not evict.
+            policy) an ordinary entry may not evict; such drops are counted
+            in :attr:`install_blocked`.
         """
         set_index = self._index_pc(pc)
         ways = self._sets[set_index]
         for position, entry in enumerate(ways):
             if entry[_VALID] and not entry[_JTE] and entry[_KEY] == pc:
                 entry[_TARGET] = target
-                self._touch(ways, position)
+                self._touch(set_index, ways, position)
                 return True
         candidates = [
             position
@@ -144,20 +231,37 @@ class BranchTargetBuffer:
             if not (entry[_VALID] and entry[_JTE])
         ]
         if not candidates:
+            self.install_blocked += 1
             return False
         position = self._victim(set_index, candidates)
         self._install(set_index, position, [True, False, pc, target])
         return True
+
+    def update_if_present(self, pc: int, target: int) -> bool:
+        """Refresh the target of *pc* only when it is already resident.
+
+        Used by :class:`MultiLevelBtb` to keep an upper level coherent on
+        inserts without letting insert traffic allocate into it.
+        """
+        set_index = self._index_pc(pc)
+        ways = self._sets[set_index]
+        for position, entry in enumerate(ways):
+            if entry[_VALID] and not entry[_JTE] and entry[_KEY] == pc:
+                entry[_TARGET] = target
+                self._touch(set_index, ways, position)
+                return True
+        return False
 
     # -- JTE (opcode-indexed) side -------------------------------------------
 
     def lookup_jte(self, opcode: int, branch_id: int = 0) -> int | None:
         """SCD fast path: target address for *opcode*, or ``None`` (bop miss)."""
         key = self._jte_key(branch_id, opcode)
-        ways = self._sets[self._index_jte(opcode)]
+        set_index = self._index_jte(opcode)
+        ways = self._sets[set_index]
         for position, entry in enumerate(ways):
             if entry[_VALID] and entry[_JTE] and entry[_KEY] == key:
-                self._touch(ways, position)
+                self._touch(set_index, ways, position)
                 return entry[_TARGET]
         return None
 
@@ -176,7 +280,7 @@ class BranchTargetBuffer:
         for position, entry in enumerate(ways):
             if entry[_VALID] and entry[_JTE] and entry[_KEY] == key:
                 entry[_TARGET] = target
-                self._touch(ways, position)
+                self._touch(set_index, ways, position)
                 return True
         at_cap = self.jte_cap is not None and self._jte_count >= self.jte_cap
         if at_cap:
@@ -222,7 +326,9 @@ class BranchTargetBuffer:
         * the incremental ``_jte_count`` equals a full recount;
         * the JTE population never exceeds ``jte_cap``;
         * every set holds exactly ``ways`` ways;
-        * no two valid entries of a set share a (kind, key) pair.
+        * no two valid entries of a set share a (kind, key) pair;
+        * every round-robin pointer names a physical way;
+        * every pLRU bit vector fits the ``ways - 1`` tree nodes.
         """
         recount = 0
         for set_index, ways in enumerate(self._sets):
@@ -247,27 +353,76 @@ class BranchTargetBuffer:
         assert self.jte_cap is None or recount <= self.jte_cap, (
             f"JTE population {recount} exceeds cap {self.jte_cap}"
         )
+        assert len(self._rr) == self.n_sets and all(
+            0 <= pointer < self.ways for pointer in self._rr
+        ), "round-robin pointer outside the physical way range"
+        tree_limit = 1 << (self.ways - 1)
+        assert len(self._plru) == self.n_sets and all(
+            0 <= bits < tree_limit for bits in self._plru
+        ), "pLRU bit vector wider than the tree"
 
     def state_digest(self) -> tuple:
         """Structural snapshot: every entry (in recency order under LRU)
-        plus the round-robin pointers.  Equal digests guarantee identical
-        future lookup/replacement behaviour."""
+        plus the round-robin pointers and pLRU trees.  Equal digests
+        guarantee identical future lookup/replacement behaviour."""
         return (
             tuple(
                 tuple(entry) for ways in self._sets for entry in ways
             ),
             tuple(self._rr),
+            tuple(self._plru),
         )
 
+    def validate_digest(self, digest: tuple) -> None:
+        """Check that *digest* fits this buffer's geometry without
+        installing it.
+
+        Raises:
+            ValueError: when the digest's shape does not match (truncated
+                or mis-keyed persisted state must quarantine, not silently
+                resize the BTB).
+        """
+        if not isinstance(digest, tuple) or len(digest) != 3:
+            raise ValueError(
+                f"BTB digest must be a 3-tuple, got {type(digest).__name__}"
+                f"[{len(digest) if isinstance(digest, tuple) else '?'}]"
+            )
+        entries, rr, plru = digest
+        if len(entries) != self.entries:
+            raise ValueError(
+                f"BTB digest holds {len(entries)} entries, geometry has "
+                f"{self.entries}"
+            )
+        if any(len(entry) != 4 for entry in entries):
+            raise ValueError("malformed BTB digest entry (expected 4 fields)")
+        if len(rr) != self.n_sets or any(
+            not (0 <= pointer < self.ways) for pointer in rr
+        ):
+            raise ValueError(
+                f"BTB digest round-robin state does not fit "
+                f"{self.n_sets} sets x {self.ways} ways"
+            )
+        tree_limit = 1 << (self.ways - 1)
+        if len(plru) != self.n_sets or any(
+            not (0 <= bits < tree_limit) for bits in plru
+        ):
+            raise ValueError(
+                f"BTB digest pLRU state does not fit {self.n_sets} sets "
+                f"of {self.ways}-way trees"
+            )
+
     def restore_state(self, digest: tuple) -> None:
-        """Install a state captured by :meth:`state_digest`."""
-        entries, rr = digest
+        """Install a state captured by :meth:`state_digest`; validates the
+        shape first (see :meth:`validate_digest`)."""
+        self.validate_digest(digest)
+        entries, rr, plru = digest
         ways = self.ways
         self._sets = [
             [list(entry) for entry in entries[base : base + ways]]
             for base in range(0, len(entries), ways)
         ]
         self._rr = list(rr)
+        self._plru = list(plru)
         self._jte_count = sum(
             1 for entry in entries if entry[_VALID] and entry[_JTE]
         )
@@ -292,4 +447,156 @@ class BranchTargetBuffer:
             "entries": self.entries,
             "jtes": self.jte_count,
             "btb_entries": self.btb_entry_count,
+        }
+
+
+class MultiLevelBtb:
+    """A two-level nano/main BTB hierarchy with the SCD overlay in the main.
+
+    Models the front ends measured on larger Arm cores: a tiny zero-bubble
+    *nano* level backed by a large *main* level whose hits redirect fetch a
+    few cycles late.  The public interface matches
+    :class:`BranchTargetBuffer`, so :class:`~repro.uarch.pipeline.Machine`
+    and :class:`~repro.uarch.scd.ScdUnit` drive either transparently.
+
+    Semantics:
+
+    * ``lookup`` probes nano then main; a main hit fills the nano level.
+      :attr:`hit_level` records which level answered (-1 for a miss) so the
+      pipeline can charge the main level's extra redirect latency.
+    * ``insert`` allocates into main only; a nano-resident entry is
+      refreshed in place (never newly allocated) so the levels cannot
+      disagree about a target.
+    * JTEs live exclusively in the main level (``bop``/``jru``/``jte.flush``
+      address the large structure; the nano level holds branch targets
+      only), so the JTE-priority and cap rules are unchanged.
+
+    Args:
+        levels: two level-geometry descriptors (``entries``, ``ways``,
+            ``policy``, ``index``, ``latency`` attributes — see
+            :class:`repro.uarch.config.BtbLevelConfig`), nano first.
+        jte_cap: forwarded to the main level.
+    """
+
+    def __init__(self, levels, jte_cap: int | None = None):
+        if len(levels) != 2:
+            raise ValueError(
+                f"MultiLevelBtb models exactly 2 levels, got {len(levels)}"
+            )
+        self.nano = BranchTargetBuffer(
+            entries=levels[0].entries,
+            ways=levels[0].ways,
+            policy=levels[0].policy,
+            index=levels[0].index,
+        )
+        self.main = BranchTargetBuffer(
+            entries=levels[1].entries,
+            ways=levels[1].ways,
+            policy=levels[1].policy,
+            jte_cap=jte_cap,
+            index=levels[1].index,
+        )
+        self.levels = (self.nano, self.main)
+        self.latencies = tuple(level.latency for level in levels)
+        self.jte_cap = jte_cap
+        self.entries = self.nano.entries + self.main.entries
+        #: Level that answered the most recent lookup/lookup_jte
+        #: (0 = nano, 1 = main, -1 = miss).  Transient — consumed by the
+        #: pipeline immediately after the probe, never digested.
+        self.hit_level = -1
+        #: Hits per level, monotonic across a run (memo counter-delta'd).
+        self.level_hits = [0, 0]
+
+    # -- BTB (PC-indexed) side ----------------------------------------------
+
+    def lookup(self, pc: int) -> int | None:
+        target = self.nano.lookup(pc)
+        if target is not None:
+            self.hit_level = 0
+            self.level_hits[0] += 1
+            return target
+        target = self.main.lookup(pc)
+        if target is not None:
+            self.hit_level = 1
+            self.level_hits[1] += 1
+            self.nano.insert(pc, target)
+            return target
+        self.hit_level = -1
+        return None
+
+    def insert(self, pc: int, target: int) -> bool:
+        self.nano.update_if_present(pc, target)
+        return self.main.insert(pc, target)
+
+    # -- JTE (opcode-indexed) side -------------------------------------------
+
+    def lookup_jte(self, opcode: int, branch_id: int = 0) -> int | None:
+        target = self.main.lookup_jte(opcode, branch_id)
+        if target is not None:
+            self.hit_level = 1
+            self.level_hits[1] += 1
+        else:
+            self.hit_level = -1
+        return target
+
+    def insert_jte(self, opcode: int, target: int, branch_id: int = 0) -> bool:
+        return self.main.insert_jte(opcode, target, branch_id)
+
+    def flush_jtes(self) -> int:
+        return self.main.flush_jtes()
+
+    def flush_all(self) -> None:
+        self.nano.flush_all()
+        self.main.flush_all()
+        self.hit_level = -1
+
+    # -- inspection -----------------------------------------------------------
+
+    @property
+    def install_blocked(self) -> int:
+        """Blocked ordinary installs (main level only; the nano level holds
+        no JTEs, so its inserts can never be blocked)."""
+        return self.main.install_blocked + self.nano.install_blocked
+
+    @property
+    def jte_count(self) -> int:
+        return self.main.jte_count
+
+    @property
+    def btb_entry_count(self) -> int:
+        return self.nano.btb_entry_count + self.main.btb_entry_count
+
+    def check_invariants(self) -> None:
+        """Both levels' structural rules, plus the hierarchy's own:
+        the nano level never holds a JTE."""
+        self.nano.check_invariants()
+        self.main.check_invariants()
+        assert self.nano.jte_count == 0, (
+            f"{self.nano.jte_count} JTEs resident in the nano level"
+        )
+
+    def state_digest(self) -> tuple:
+        return (self.nano.state_digest(), self.main.state_digest())
+
+    def validate_digest(self, digest: tuple) -> None:
+        """Shape-check a digest against both levels (see
+        :meth:`BranchTargetBuffer.validate_digest`)."""
+        if not isinstance(digest, tuple) or len(digest) != 2:
+            raise ValueError(
+                "multi-level BTB digest must be a (nano, main) pair"
+            )
+        self.nano.validate_digest(digest[0])
+        self.main.validate_digest(digest[1])
+
+    def restore_state(self, digest: tuple) -> None:
+        self.validate_digest(digest)
+        self.nano.restore_state(digest[0])
+        self.main.restore_state(digest[1])
+
+    def occupancy(self) -> dict:
+        return {
+            "entries": self.entries,
+            "jtes": self.jte_count,
+            "btb_entries": self.btb_entry_count,
+            "levels": [level.occupancy() for level in self.levels],
         }

@@ -33,6 +33,41 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class BtbLevelConfig:
+    """Geometry of one level of a multi-level BTB hierarchy.
+
+    Attributes:
+        entries / ways: level capacity and associativity.
+        policy: way-replacement policy (``lru`` / ``rr`` / ``plru``).
+        index: set-index function (``mod`` / ``xor``).
+        latency: extra redirect bubbles when this level (and not a faster
+            one) supplies the target — 0 for a nano level that steers the
+            very next fetch, 2-3 for a large main level.
+    """
+
+    entries: int
+    ways: int
+    policy: str = "plru"
+    index: str = "mod"
+    latency: int = 0
+
+    def validate(self) -> None:
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("BTB level entries and ways must be positive")
+        if self.entries % self.ways:
+            raise ValueError(
+                f"BTB level entries ({self.entries}) not divisible by "
+                f"ways ({self.ways})"
+            )
+        if self.policy not in ("lru", "rr", "plru"):
+            raise ValueError(f"unknown BTB level policy {self.policy!r}")
+        if self.index not in ("mod", "xor"):
+            raise ValueError(f"unknown BTB level index {self.index!r}")
+        if self.latency < 0:
+            raise ValueError("BTB level latency must be non-negative")
+
+
+@dataclass(frozen=True)
 class CoreConfig:
     """Complete parameter bundle for one simulated machine.
 
@@ -56,6 +91,12 @@ class CoreConfig:
     btb_entries: int = 256
     btb_ways: int = 2
     btb_policy: str = "rr"
+    btb_index: str = "mod"
+    #: Multi-level BTB hierarchy (nano, main), or empty for the paper's
+    #: single-level model.  When set, the flat ``btb_*`` fields are ignored
+    #: by the machine (``with_btb_geometry`` keeps them mirroring the main
+    #: level for reporting) and JTEs live in the main level.
+    btb_levels: tuple = ()
     ras_depth: int = 8
     icache: CacheConfig = CacheConfig(16 * 1024, 2)
     dcache: CacheConfig = CacheConfig(32 * 1024, 4)
@@ -84,6 +125,17 @@ class CoreConfig:
             raise ValueError("penalties must be non-negative")
         if self.btb_entries % self.btb_ways:
             raise ValueError("btb_entries must be divisible by btb_ways")
+        if self.btb_policy not in ("lru", "rr", "plru"):
+            raise ValueError(f"unknown BTB policy {self.btb_policy!r}")
+        if self.btb_index not in ("mod", "xor"):
+            raise ValueError(f"unknown BTB index function {self.btb_index!r}")
+        if self.btb_levels and len(self.btb_levels) != 2:
+            raise ValueError(
+                f"btb_levels must be empty or (nano, main), got "
+                f"{len(self.btb_levels)} levels"
+            )
+        for level in self.btb_levels:
+            level.validate()
         if self.indirect_scheme not in ("btb", "vbbi", "ttc", "ittage", "cascaded"):
             raise ValueError(f"unknown indirect scheme {self.indirect_scheme!r}")
         if self.scd_stall_policy not in ("stall", "fallthrough"):
@@ -147,3 +199,49 @@ CONFIG_PRESETS = {
     "rocket": rocket,
     "cortex-a8": cortex_a8,
 }
+
+
+#: Measured two-level (nano, main) BTB geometries for real Arm cores, from
+#: "Branch Target Buffer Reverse Engineering on Arm" (PAPERS.md) cross-checked
+#: against Arm's software optimization guides.  Simplifications relative to
+#: the measurements: the nano and micro levels of the larger cores are merged
+#: into one zero-bubble level, the main level's measured 2-3 cycle redirect
+#: cost is modelled as whole bubbles, and banking/port conflicts are ignored.
+#: The main levels use the XOR-folded set index and tree-pLRU replacement
+#: observed in the reverse-engineering study; the Cortex-A76 main level is
+#: 6-way (not a power of two), so its tree-pLRU is approximated by true LRU.
+BTB_GEOMETRIES = {
+    "cortex-a72": (
+        BtbLevelConfig(entries=64, ways=4, policy="lru", index="mod", latency=0),
+        BtbLevelConfig(entries=2048, ways=4, policy="plru", index="xor", latency=2),
+    ),
+    "cortex-a76": (
+        BtbLevelConfig(entries=64, ways=4, policy="lru", index="mod", latency=0),
+        BtbLevelConfig(entries=6144, ways=6, policy="lru", index="xor", latency=2),
+    ),
+}
+
+
+def with_btb_geometry(config: CoreConfig, geometry: str) -> CoreConfig:
+    """Return *config* fronted by a measured multi-level BTB geometry.
+
+    The flat ``btb_*`` fields are mirrored from the main level so existing
+    reporting (config signatures, tables keyed on ``btb_entries``) stays
+    meaningful; the machine itself builds from ``btb_levels``.
+    """
+    try:
+        levels = BTB_GEOMETRIES[geometry]
+    except KeyError:
+        raise ValueError(
+            f"unknown BTB geometry {geometry!r}; "
+            f"known: {', '.join(sorted(BTB_GEOMETRIES))}"
+        ) from None
+    main = levels[1]
+    return config.with_changes(
+        name=f"{config.name}+{geometry}-btb",
+        btb_levels=levels,
+        btb_entries=main.entries,
+        btb_ways=main.ways,
+        btb_policy=main.policy,
+        btb_index=main.index,
+    )

@@ -24,7 +24,7 @@ import textwrap
 import zlib
 
 from repro.isa.program import BasicBlock
-from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.btb import BranchTargetBuffer, MultiLevelBtb
 from repro.uarch.caches import Cache, Tlb
 from repro.uarch.config import CoreConfig
 from repro.uarch.memory import DramModel
@@ -62,12 +62,20 @@ class Machine:
         self.predictor = make_direction_predictor(
             config.direction_predictor, **config.predictor_params
         )
-        self.btb = BranchTargetBuffer(
-            entries=config.btb_entries,
-            ways=config.btb_ways,
-            policy=config.btb_policy,
-            jte_cap=config.jte_cap,
-        )
+        if config.btb_levels:
+            self.btb = MultiLevelBtb(config.btb_levels, jte_cap=config.jte_cap)
+            #: Per-level extra redirect bubbles; ``None`` marks the
+            #: single-level model (no late-hit charging, BTB ops inlinable).
+            self._btb_latency: tuple | None = self.btb.latencies
+        else:
+            self.btb = BranchTargetBuffer(
+                entries=config.btb_entries,
+                ways=config.btb_ways,
+                policy=config.btb_policy,
+                jte_cap=config.jte_cap,
+                index=config.btb_index,
+            )
+            self._btb_latency = None
         self.ras = ReturnAddressStack(config.ras_depth)
         self.ttc = TaggedTargetCache() if config.indirect_scheme == "ttc" else None
         self.ittage = (
@@ -149,6 +157,12 @@ class Machine:
             retired = block.n_insts * count
             stats.instructions += retired
             by_category[block.category] += retired
+        stats.btb_install_blocked = self.btb.install_blocked
+        stats.btb_level_hits = (
+            tuple(self.btb.level_hits)
+            if isinstance(self.btb, MultiLevelBtb)
+            else (0, 0)
+        )
         stalls = sum(
             cycles
             for reason, cycles in stats.cycle_breakdown.items()
@@ -215,6 +229,15 @@ class Machine:
         if cascaded is not None:
             self.cascaded.restore_state(cascaded)
 
+    def _btb_counters(self) -> tuple:
+        """BTB-local monotonic counters ``finalize`` folds in afterwards:
+        blocked installs plus the per-level hit counts (zero for the
+        single-level model, which does not track them)."""
+        btb = self.btb
+        if isinstance(btb, MultiLevelBtb):
+            return (btb.install_blocked, btb.level_hits[0], btb.level_hits[1])
+        return (btb.install_blocked, 0, 0)
+
     def counter_snapshot(self) -> tuple:
         """Every counter the memo must replay as a delta: the stats block,
         the deferred per-block retirement counts, and the component-local
@@ -231,7 +254,8 @@ class Machine:
                 self.itlb.accesses, self.itlb.misses,
                 self.dtlb.accesses, self.dtlb.misses,
                 self.dram.accesses, self.dram.row_hits,
-            ),
+            )
+            + self._btb_counters(),
         )
 
     def counter_delta(self, before: tuple) -> tuple:
@@ -251,7 +275,7 @@ class Machine:
             self.itlb.accesses, self.itlb.misses,
             self.dtlb.accesses, self.dtlb.misses,
             self.dram.accesses, self.dram.row_hits,
-        )
+        ) + self._btb_counters()
         flat_delta = tuple(now - prev for now, prev in zip(flat_now, flat_before))
         return (
             self.stats.counter_delta(stats_before),
@@ -266,7 +290,8 @@ class Machine:
         for block, increment in block_delta:
             counts[block] = counts.get(block, 0) + increment
         (ic_a, ic_m, dc_a, dc_m, l2_a, l2_m,
-         it_a, it_m, dt_a, dt_m, dr_a, dr_h) = flat_delta
+         it_a, it_m, dt_a, dt_m, dr_a, dr_h,
+         btb_blocked, nano_hits, main_hits) = flat_delta
         self.icache.accesses += ic_a
         self.icache.misses += ic_m
         self.dcache.accesses += dc_a
@@ -280,8 +305,26 @@ class Machine:
         self.dtlb.misses += dt_m
         self.dram.accesses += dr_a
         self.dram.row_hits += dr_h
+        btb = self.btb
+        if isinstance(btb, MultiLevelBtb):
+            btb.main.install_blocked += btb_blocked
+            btb.level_hits[0] += nano_hits
+            btb.level_hits[1] += main_hits
+        else:
+            btb.install_blocked += btb_blocked
 
     # -- control transfers ---------------------------------------------------------
+
+    def _btb_level_stall(self) -> None:
+        """Charge the redirect bubbles of a prediction supplied by a slow
+        BTB level.  Multi-level geometries only — reads the transient
+        ``hit_level`` left by the immediately preceding lookup."""
+        level = self.btb.hit_level
+        if level >= 0:
+            latency = self._btb_latency[level]
+            if latency:
+                self.stats.btb_late_hits += 1
+                self._stall(latency, "btb_late_hit")
 
     def cond_branch(self, pc: int, taken: bool, category: str = "branch") -> bool:
         """Resolve a conditional direct branch.  Returns True on mispredict."""
@@ -294,13 +337,16 @@ class Machine:
             if taken:
                 self.btb.insert(pc, pc + 8)  # target value is opaque here
             return True
-        if taken and self.btb.lookup(pc) is None:
-            # Predicted taken but the front end had no target: redirect at
-            # decode.  This is the JTE-contention cost of Section IV.
-            stats.btb_target_misses += 1
-            stats.mispredicts_by_category["btb_target_miss"] += 1
-            self._stall(self.config.decode_redirect_penalty, "branch_penalty")
-            self.btb.insert(pc, pc + 8)
+        if taken:
+            if self.btb.lookup(pc) is None:
+                # Predicted taken but the front end had no target: redirect
+                # at decode.  This is the JTE-contention cost of Section IV.
+                stats.btb_target_misses += 1
+                stats.mispredicts_by_category["btb_target_miss"] += 1
+                self._stall(self.config.decode_redirect_penalty, "branch_penalty")
+                self.btb.insert(pc, pc + 8)
+            elif self._btb_latency is not None:
+                self._btb_level_stall()
         return False
 
     def direct_jump(self, pc: int, target: int) -> None:
@@ -310,6 +356,8 @@ class Machine:
             self.stats.mispredicts_by_category["btb_target_miss"] += 1
             self._stall(self.config.decode_redirect_penalty, "branch_penalty")
             self.btb.insert(pc, target)
+        elif self._btb_latency is not None:
+            self._btb_level_stall()
 
     def indirect_jump(
         self,
@@ -335,6 +383,8 @@ class Machine:
             predicted = self.btb.lookup(key)
             if predicted != target:
                 self.btb.insert(key, target)
+            elif self._btb_latency is not None:
+                self._btb_level_stall()
         elif scheme == "ttc":
             predicted = self.ttc.predict(pc)
             self.ttc.update(pc, target)
@@ -348,6 +398,8 @@ class Machine:
             predicted = self.btb.lookup(pc)
             if predicted != target:
                 self.btb.insert(pc, target)
+            elif self._btb_latency is not None:
+                self._btb_level_stall()
         if predicted != target:
             stats.indirect_mispredicts += 1
             stats.mispredicts_by_category[category] += 1
@@ -396,6 +448,8 @@ class Machine:
         target = self.scd.bop(table)
         if target is not None:
             self.stats.bop_hits += 1
+            if self._btb_latency is not None:
+                self._btb_level_stall()
         else:
             self.stats.bop_misses += 1
         return target
@@ -760,8 +814,28 @@ def kernel_predictor_sig(predictor):
     return None
 
 
+def btb_inline_sig(btb):
+    """Inline signature ``(n_sets, ways, policy)`` of a BTB whose
+    operations the kernel/batch compilers may open-code, or ``None`` when
+    they must stay :class:`Machine` method calls.
+
+    The BTB specializers below assume a single-level, modulo-indexed
+    buffer under LRU or round-robin replacement.  Multi-level hierarchies
+    (late-hit stall charging), XOR indexing and tree-pLRU replacement all
+    fall outside that shape, so such configurations keep every
+    BTB-touching event on the method path — the ladder rungs then agree
+    by construction because they run the same code.
+    """
+    if type(btb) is not BranchTargetBuffer:
+        return None
+    if btb.index != "mod" or btb.policy not in ("lru", "rr"):
+        return None
+    return (btb.n_sets, btb.ways, btb.policy)
+
+
 def _btb_pc_index(pc: int, btb_sets: int) -> int:
-    """Compile-time ``BranchTargetBuffer._index_pc``."""
+    """Compile-time ``BranchTargetBuffer._index_pc`` (``mod`` indexing —
+    :func:`btb_inline_sig` gates the xor case off the inline path)."""
     word = pc >> 2
     if not (btb_sets & (btb_sets - 1)):
         return word & (btb_sets - 1)
@@ -913,7 +987,10 @@ def kernel_cond_lines(pc: int, taken: bool, category: str, pred_sig, btb_sets: i
     """Inline ``m.cond_branch(pc, taken, category)`` for constant
     arguments.  Does NOT emit ``stats.branches += 1`` — the caller defers
     it (always-executed) or emits it inline (conditional region).
-    Returns ``None`` when the predictor is not inlinable."""
+    Returns ``None`` when the predictor is not inlinable, or when a taken
+    branch would touch a non-inlinable BTB (``btb_sets is None``)."""
+    if btb_sets is None and taken:
+        return None
     observe = _observe_lines(pc, taken, pred_sig)
     if observe is None:
         return None
@@ -946,7 +1023,11 @@ def kernel_cond_lines(pc: int, taken: bool, category: str, pred_sig, btb_sets: i
 
 
 def kernel_direct_jump_lines(pc: int, target: int, btb_sets: int):
-    """Inline ``m.direct_jump(pc, target)`` for constant arguments."""
+    """Inline ``m.direct_jump(pc, target)`` for constant arguments.
+    A non-inlinable BTB reduces to the bound method call (the method does
+    all its own accounting)."""
+    if btb_sets is None:
+        return [f"dj({pc}, {target})"]
     out = list(_btb_mru_lookup_lines(pc, btb_sets))
     out += [
         "if _t is None:",
@@ -965,7 +1046,10 @@ def kernel_indirect_jump_lines(
     and VBBI schemes (constant key either way).  Does NOT emit
     ``stats.indirect_jumps += 1`` — caller's responsibility, as with
     :func:`kernel_cond_lines`.  Returns ``None`` for history-based
-    schemes (ttc/ittage/cascaded), which stay method calls."""
+    schemes (ttc/ittage/cascaded) and non-inlinable BTBs, which stay
+    method calls."""
+    if btb_sets is None:
+        return None
     if scheme == "vbbi" and hint is not None:
         key = pc ^ ((hint * _VBBI_HASH) & 0xFFFF_FFFC)
     elif scheme in ("btb", "vbbi"):
@@ -1301,9 +1385,11 @@ def batch_btb_insert_lines(
 
     Mirrors ``insert`` exactly: a hit updates the target (and promotes
     under LRU); otherwise the victim is the first invalid non-JTE way,
-    else the LRU (last) non-JTE way or the round-robin rotation over the
-    candidate list; a set full of JTEs installs nothing.  Victims are
-    never valid JTEs, so ``_jte_count`` needs no adjustment.  ``_rr`` is
+    else the LRU (last) non-JTE way or the round-robin rotation over
+    *physical* way indices skipping JTE-held ways (matching ``_victim`` —
+    the pointer names the last-replaced physical way); a set full of JTEs
+    installs nothing and counts ``install_blocked``.  Victims are never
+    valid JTEs, so ``_jte_count`` needs no adjustment.  ``_rr`` is
     re-read per use (``restore_state`` replaces the list)."""
     if policy == "rr":
         index = _btb_pc_index(key, btb_sets)
@@ -1325,9 +1411,16 @@ def batch_btb_insert_lines(
             "                break",
             "        if _v < 0:",
             "            _r = BTBO._rr",
-            f"            _r[{index}] = (_r[{index}] + 1) % len(_cl)",
-            f"            _v = _cl[_r[{index}]]",
+            f"            _p = _r[{index}]",
+            f"            for _o in range(1, {btb_ways} + 1):",
+            f"                _bp = (_p + _o) % {btb_ways}",
+            "                if _bp in _cl:",
+            f"                    _r[{index}] = _bp",
+            "                    _v = _bp",
+            "                    break",
             f"        _s[_v] = [True, False, {key}, {target}]",
+            "    else:",
+            "        BTBO.install_blocked += 1",
         ]
     if policy != "lru":
         return None
@@ -1356,6 +1449,8 @@ def batch_btb_insert_lines(
         "    if _v >= 0:",
         "        _s.pop(_v)",
         f"        _s.insert(0, [True, False, {key}, {target}])",
+        "    else:",
+        "        BTBO.install_blocked += 1",
     ]
 
 
@@ -1385,6 +1480,8 @@ def batch_cond_lines(
     emits nothing at all; a taken branch keeps only the BTB MRU check
     (a pure read when it hits) with the full lookup/miss/insert path
     behind it."""
+    if btb_sets is None and taken:
+        return None
     if fold is not None and len(fold) > 2 and fold[2]:
         if not taken:
             return []
@@ -1459,6 +1556,8 @@ def batch_direct_jump_lines(
     pc: int, target: int, btb_sets: int, btb_ways: int, policy: str
 ):
     """:func:`kernel_direct_jump_lines` with scan/insert/stall inlined."""
+    if btb_sets is None:
+        return [f"dj({pc}, {target})"]
     out = list(_batch_btb_lookup_lines(pc, btb_sets, btb_ways, policy))
     out += [
         "if _t is None:",
@@ -1483,7 +1582,10 @@ def batch_bop_lines(table: int, btb_sets: int, btb_ways: int, policy: str):
     runtime state (the mask register), so the JTE key and set index stay
     dynamic; everything else — the stall, the hit/miss accounting, the
     JTE set scan — is open-coded.  The fallthrough stall policy is a
-    config constant (``SSP``) hoisted into the preamble."""
+    config constant (``SSP``) hoisted into the preamble.  Returns ``None``
+    for non-inlinable BTBs (the caller falls back to ``m.bop``)."""
+    if btb_sets is None:
+        return None
     if not (btb_sets & (btb_sets - 1)):
         index = f"_d & {btb_sets - 1}"
     else:
@@ -1536,7 +1638,9 @@ def batch_indirect_jump_lines(
 ):
     """:func:`kernel_indirect_jump_lines` with scan/insert/stall inlined.
     Same contract (``stats.indirect_jumps`` stays the caller's; history-
-    based schemes return ``None``)."""
+    based schemes and non-inlinable BTBs return ``None``)."""
+    if btb_sets is None:
+        return None
     if scheme == "vbbi" and hint is not None:
         key = pc ^ ((hint * _VBBI_HASH) & 0xFFFF_FFFC)
     elif scheme in ("btb", "vbbi"):
@@ -1566,7 +1670,10 @@ def batch_indirect_jump_lines(
 #: layout, or the replay semantics they summarize.  The version is embedded
 #: both in the frame header and in the store key, so stale shards read as
 #: misses rather than poisoning replay.
-MEMO_FORMAT_VERSION = 1
+#: v2: BTB digests grew pLRU state (3-tuple), the flat counter tuple grew
+#: the blocked-install / per-level-hit slots, and ``btb_late_hits`` joined
+#: the stats scalars.
+MEMO_FORMAT_VERSION = 2
 
 _MEMO_MAGIC = b"SCDMEM"
 _MEMO_FRAME = struct.Struct("<6sHI")  # magic, version, payload CRC-32
@@ -1780,12 +1887,24 @@ class SteadyStateMemo:
             raise MemoFormatError("memo payload key mismatch")
         installed = 0
         table = self._entries
+        n_parts = len(self.machine.state_digest())
         try:
             for chunk_key, begin, delta, machine_end, runner_end in entries:
                 if chunk_key in table:
                     continue
                 if len(table) >= self.MAX_ENTRIES:
                     break
+                if machine_end is not None:
+                    # A truncated or mis-keyed shard must quarantine, not
+                    # silently install a wrong-shaped machine state.  The
+                    # BTB check is the deep one (restore_state would
+                    # otherwise rebuild its sets from whatever it gets).
+                    if (
+                        not isinstance(machine_end, tuple)
+                        or len(machine_end) != n_parts
+                    ):
+                        raise ValueError("machine end-state digest shape")
+                    self.machine.btb.validate_digest(machine_end[3])
                 table[chunk_key] = (
                     (begin[0], codec.bind_runner_digest(begin[1])),
                     _bind_delta(delta, codec),

@@ -26,6 +26,7 @@ SCALAR_FIELDS = (
     "jte_inserts",
     "jte_flushes",
     "scd_stall_cycles",
+    "btb_late_hits",
     "icache_accesses",
     "icache_misses",
     "dcache_accesses",
@@ -67,6 +68,15 @@ class MachineStats:
         jte_inserts / jte_flushes: SCD BTB-overlay maintenance events.
         scd_stall_cycles: bubbles inserted waiting for ``Rop`` (stall
             policy, Section III-B).
+        btb_late_hits: correct predictions supplied by a slower BTB level
+            (multi-level geometries only), each costing that level's
+            redirect latency.
+        btb_install_blocked: ordinary BTB installs dropped because every
+            way of the set held a JTE (folded from the BTB at finalize;
+            shows JTE-priority starvation).
+        btb_level_hits: per-level hit counts, nano first (folded from the
+            BTB at finalize; ``(0, 0)`` for single-level models, which do
+            not track per-level hits).
         icache_*/dcache_*: cache accesses and misses.
         itlb_misses / dtlb_misses: TLB misses.
         cycle_breakdown: cycles attributed to ``base``, ``branch_penalty``,
@@ -88,6 +98,9 @@ class MachineStats:
     jte_inserts: int = 0
     jte_flushes: int = 0
     scd_stall_cycles: int = 0
+    btb_late_hits: int = 0
+    btb_install_blocked: int = 0
+    btb_level_hits: tuple = (0, 0)
     icache_accesses: int = 0
     icache_misses: int = 0
     dcache_accesses: int = 0
@@ -185,6 +198,9 @@ class MachineStats:
                 "bop_hits": self.bop_hits,
                 "bop_misses": self.bop_misses,
                 "scd_stall_cycles": self.scd_stall_cycles,
+                "install_blocked": self.btb_install_blocked,
+                "late_hits": self.btb_late_hits,
+                "level_hits": list(self.btb_level_hits),
             },
             "caches": {
                 "icache_accesses": self.icache_accesses,

@@ -19,6 +19,7 @@ Three layers, all driven by :mod:`repro.verify.differential`:
 
 from __future__ import annotations
 
+from repro.uarch.btb import MultiLevelBtb
 from repro.uarch.config import CoreConfig
 from repro.uarch.pipeline import Machine
 
@@ -137,8 +138,13 @@ def end_state_probe(machine: Machine, runner) -> None:
 
     * every cache/TLB counts ``0 <= misses <= accesses``;
     * the finalized stats mirror the component counters they are derived
-      from (I-cache, D-cache, TLBs);
-    * the BTB is structurally consistent and respects the JTE cap;
+      from (I-cache, D-cache, TLBs, BTB blocked installs and level hits);
+    * the BTB is structurally consistent and respects the JTE cap (for
+      multi-level geometries this includes the per-level rules: every
+      replacement pointer in range, no JTE in the nano level — see
+      :meth:`~repro.uarch.btb.MultiLevelBtb.check_invariants`);
+    * a multi-level front end never charges more late hits than its slow
+      levels answered; a single-level front end charges none;
     * after the interpreter-exit ``jte.flush`` of an SCD run, no JTE is
       resident and every ``Rop`` is invalid.
     """
@@ -175,6 +181,30 @@ def end_state_probe(machine: Machine, runner) -> None:
         machine.btb.check_invariants()
     except AssertionError as exc:
         raise InvariantViolation(f"end-of-run BTB check: {exc}") from exc
+    if stats.btb_install_blocked != machine.btb.install_blocked:
+        raise InvariantViolation(
+            f"stats.btb_install_blocked = {stats.btb_install_blocked} but "
+            f"the BTB counted {machine.btb.install_blocked}"
+        )
+    if isinstance(machine.btb, MultiLevelBtb):
+        if tuple(stats.btb_level_hits) != tuple(machine.btb.level_hits):
+            raise InvariantViolation(
+                f"stats.btb_level_hits = {stats.btb_level_hits} but the "
+                f"BTB counted {tuple(machine.btb.level_hits)}"
+            )
+        if any(hits < 0 for hits in machine.btb.level_hits):
+            raise InvariantViolation(
+                f"negative BTB level hit count: {machine.btb.level_hits}"
+            )
+        if stats.btb_late_hits > machine.btb.level_hits[1]:
+            raise InvariantViolation(
+                f"{stats.btb_late_hits} late hits charged but the main "
+                f"level only answered {machine.btb.level_hits[1]} lookups"
+            )
+    elif stats.btb_late_hits:
+        raise InvariantViolation(
+            f"single-level BTB charged {stats.btb_late_hits} late hits"
+        )
     if runner.model.strategy == "scd":
         if machine.btb.jte_count != 0:
             raise InvariantViolation(

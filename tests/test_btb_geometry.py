@@ -1,0 +1,208 @@
+"""Measured Arm BTB geometries: machine wiring, replay-ladder identity,
+per-level counters and persisted-memo shape validation.
+
+The multi-level / hashed / tree-pLRU front-end shapes are deliberately
+non-inlinable (``btb_inline_sig`` returns None for them), so every rung of
+the replay ladder — interpreted, exec-compiled kernels, chunk-compiled
+batch — drives the same Machine methods.  These tests pin the resulting
+byte-identity and the geometry plumbing around it.
+"""
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.core.simulation import simulate
+from repro.harness.cache import MemoStore, TraceStore, memo_key
+from repro.harness.experiments import run_experiment
+from repro.native.model import ModelRunner, get_model
+from repro.uarch.btb import MultiLevelBtb
+from repro.uarch.config import BTB_GEOMETRIES, cortex_a5, with_btb_geometry
+from repro.uarch.pipeline import (
+    _MEMO_FRAME,
+    Machine,
+    MemoFormatError,
+    SteadyStateMemo,
+    btb_inline_sig,
+)
+from repro.vm.capture import MEMO_CHUNK_EVENTS, trace_key
+
+LOOP_SRC = 'var i = 0;\nwhile (i < 2000) { i = i + 1; }\nprint("done " .. i);\n'
+
+
+def _sig(result):
+    return (
+        result.cycles,
+        result.instructions,
+        result.cpi,
+        result.branch_mpki,
+        result.bop_hits,
+        result.bop_misses,
+        result.jte_inserts,
+        tuple(sorted(result.mispredicts_by_category.items())),
+        tuple(sorted(result.cycle_breakdown.items())),
+        result.output,
+    )
+
+
+def _geo_config(geometry):
+    return with_btb_geometry(cortex_a5(), geometry)
+
+
+class TestGeometryWiring:
+    @pytest.mark.parametrize("geometry", sorted(BTB_GEOMETRIES))
+    def test_machine_builds_multilevel(self, geometry):
+        machine = Machine(_geo_config(geometry))
+        assert isinstance(machine.btb, MultiLevelBtb)
+        assert machine.btb.latencies == tuple(
+            level.latency for level in BTB_GEOMETRIES[geometry]
+        )
+        assert btb_inline_sig(machine.btb) is None
+
+    def test_flat_config_still_inlines(self):
+        machine = Machine(cortex_a5())
+        sig = btb_inline_sig(machine.btb)
+        assert sig == (128, 2, "rr")  # 256 entries / 2 ways, Table II policy
+
+    def test_hashed_or_plru_flat_btb_does_not_inline(self):
+        hashed = Machine(cortex_a5().with_changes(btb_index="xor"))
+        assert btb_inline_sig(hashed.btb) is None
+        plru = Machine(cortex_a5().with_changes(btb_policy="plru"))
+        assert btb_inline_sig(plru.btb) is None
+
+    def test_unknown_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            with_btb_geometry(cortex_a5(), "cortex-m0")
+
+    def test_geometry_only_for_figure11(self):
+        with pytest.raises(ValueError):
+            run_experiment("figure7", geometry="cortex-a72")
+        with pytest.raises(ValueError):
+            run_experiment("figure11", geometry="not-a-core")
+
+
+class TestGeometryLadderIdentity:
+    """Interpreted / kernel / batch rungs are byte-identical under every
+    measured geometry (the figure11 --geometry acceptance gate)."""
+
+    @pytest.mark.parametrize("geometry", sorted(BTB_GEOMETRIES))
+    @pytest.mark.parametrize("scheme", ("baseline", "scd"))
+    def test_live_identity(self, geometry, scheme):
+        config = _geo_config(geometry)
+        interp = simulate("loop", vm="lua", scheme=scheme, source=LOOP_SRC,
+                          config=config, use_kernel=False, use_batch=False)
+        kernel = simulate("loop", vm="lua", scheme=scheme, source=LOOP_SRC,
+                          config=config, use_kernel=True, use_batch=False)
+        batch = simulate("loop", vm="lua", scheme=scheme, source=LOOP_SRC,
+                         config=config, use_kernel=True, use_batch=True)
+        assert _sig(interp) == _sig(kernel) == _sig(batch)
+
+    def test_replay_memo_identity(self, tmp_path):
+        """Trace replay with the steady-state memo (counter deltas over the
+        extended 15-slot snapshot) matches the event-by-event path."""
+        config = _geo_config("cortex-a72")
+        store = TraceStore(root=tmp_path)
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 config=config, trace_store=store, trace_mode="record")
+        results = [
+            simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                     config=config, trace_store=store, trace_mode="replay",
+                     replay_memo=memo)
+            for memo in (True, False)
+        ]
+        assert _sig(results[0]) == _sig(results[1])
+
+
+class TestGeometryCounters:
+    def test_level_hits_surface_in_component_counters(self):
+        meta: dict = {}
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 config=_geo_config("cortex-a72"), metrics=meta)
+        btb = meta["uarch"]["btb"]
+        nano_hits, main_hits = btb["level_hits"]
+        assert nano_hits > 0            # the hot loop settles into the nano level
+        assert main_hits > 0            # first hits fill it from the main level
+        assert btb["install_blocked"] >= 0
+        # Every main-level-only hit costs redirect bubbles; the nano level
+        # is free.  The stall counter can never exceed the main hit count.
+        assert 0 < btb["late_hits"] <= main_hits
+
+    def test_flat_config_reports_zero_levels(self):
+        meta: dict = {}
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC, metrics=meta)
+        assert meta["uarch"]["btb"]["level_hits"] == [0, 0]
+        assert meta["uarch"]["btb"]["late_hits"] == 0
+
+    def test_install_blocked_surfaces(self):
+        # A 4-entry fully-occupied-by-JTEs BTB blocks ordinary installs.
+        config = cortex_a5().with_changes(btb_entries=4, btb_ways=2)
+        meta: dict = {}
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 config=config, metrics=meta)
+        assert meta["uarch"]["btb"]["install_blocked"] > 0
+
+
+class TestMemoShapeValidation:
+    def _persist_memo(self, tmp_path):
+        store = TraceStore(root=tmp_path)
+        memos = MemoStore(root=tmp_path)
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 trace_store=store, trace_mode="auto")
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 trace_store=store, trace_mode="replay", memo_store=memos)
+        key = memo_key(
+            trace_key("lua", LOOP_SRC, 100_000_000), "scd", cortex_a5(),
+            None, "flush", get_model("lua", "scd").structure_digest(),
+            MEMO_CHUNK_EVENTS,
+        )
+        payload = memos.get(key)
+        assert payload is not None
+        return store, memos, key, payload
+
+    def test_import_rejects_geometry_mismatched_btb_digest(self, tmp_path):
+        """A payload recorded on the flat BTB must not bind into a machine
+        with a measured multi-level geometry: the BTB digest no longer fits
+        and import raises instead of silently rebuilding the wrong state."""
+        _, _, key, payload = self._persist_memo(tmp_path)
+        _, _, entries = pickle.loads(
+            zlib.decompress(payload[_MEMO_FRAME.size:])
+        )
+        assert any(entry[3] is not None for entry in entries)  # real end-states
+        machine = Machine(_geo_config("cortex-a72"))
+        model = get_model("lua", "scd")
+        runner = ModelRunner(model, machine)
+        memo = SteadyStateMemo(machine, runner)
+        with pytest.raises(MemoFormatError):
+            memo.import_payload(payload, model.memo_codec(), key)
+        assert memo.loaded == 0
+
+    def test_miskeyed_shard_quarantined_during_simulate(self, tmp_path):
+        """simulate() quarantines a shard whose interior fails deep
+        validation (here: planted under another config's key) and still
+        completes with correct results."""
+        store, memos, _, payload = self._persist_memo(tmp_path)
+        geo_config = _geo_config("cortex-a72")
+        geo_key = memo_key(
+            trace_key("lua", LOOP_SRC, 100_000_000), "scd", geo_config,
+            None, "flush", get_model("lua", "scd").structure_digest(),
+            MEMO_CHUNK_EVENTS,
+        )
+        memos.put(geo_key, payload)  # mis-keyed: frame is valid, interior is not
+        simulate("loop", vm="lua", scheme="scd", source=LOOP_SRC,
+                 config=geo_config, trace_store=store, trace_mode="record")
+        meta: dict = {}
+        reference = simulate(
+            "loop", vm="lua", scheme="scd", source=LOOP_SRC, config=geo_config,
+            trace_store=store, trace_mode="replay", replay_memo=False,
+        )
+        result = simulate(
+            "loop", vm="lua", scheme="scd", source=LOOP_SRC, config=geo_config,
+            trace_store=store, trace_mode="replay", memo_store=memos,
+            metrics=meta,
+        )
+        assert meta["memo_loaded"] == 0
+        assert _sig(result) == _sig(reference)
+        quarantine = memos.root / "quarantine" / memos.name
+        assert list(quarantine.glob("*.bin"))
+        assert list(quarantine.glob("*.reason.txt"))

@@ -3,7 +3,8 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.uarch.btb import BranchTargetBuffer
+from repro.uarch.btb import BranchTargetBuffer, MultiLevelBtb
+from repro.uarch.config import BtbLevelConfig
 
 
 class TestBasicBtb:
@@ -52,7 +53,15 @@ class TestBasicBtb:
         with pytest.raises(ValueError):
             BranchTargetBuffer(entries=0)
         with pytest.raises(ValueError):
-            BranchTargetBuffer(entries=8, ways=2, policy="plru")
+            BranchTargetBuffer(entries=8, ways=2, policy="fifo")
+        with pytest.raises(ValueError):
+            # pLRU's binary tree needs a power-of-two way count.
+            BranchTargetBuffer(entries=18, ways=3, policy="plru")
+        with pytest.raises(ValueError):
+            # XOR folding needs a power-of-two set count (6 sets here).
+            BranchTargetBuffer(entries=12, ways=2, index="xor")
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(entries=8, ways=2, index="hash")
 
 
 class TestJteOverlay:
@@ -161,6 +170,331 @@ class TestOccupancy:
         btb.insert_jte(2, 2)
         occ = btb.occupancy()
         assert occ == {"entries": 8, "jtes": 1, "btb_entries": 1}
+
+
+class TestRoundRobinDrift:
+    """Regression for the RR pointer corruption fixed in this revision.
+
+    The old ``_victim`` advanced ``_rr[set] = (_rr[set] + 1) % len(candidates)``
+    and returned ``candidates[_rr[set]]`` — i.e. the pointer was an index
+    into whatever candidate list the *current* insert happened to build.
+    An at-cap JTE insert (candidate list = resident JTE ways only, often a
+    single way) therefore clamped the pointer to near zero, and the next
+    ordinary insert resumed rotation from the wrong physical way.
+    """
+
+    def _drifted_btb(self):
+        # 4 sets x 4 ways; PCs 0x00..0x50 and opcodes 0/4 all map to set 0.
+        btb = BranchTargetBuffer(entries=16, ways=4, policy="rr", jte_cap=1)
+        for way, pc in enumerate((0x00, 0x10, 0x20, 0x30)):
+            btb.insert(pc, 0x1000 + way)  # fills ways 0-3 via invalid scan
+        btb.insert(0x40, 0x1004)      # rotates to way 1, evicts 0x10
+        btb.insert_jte(0, 0xA)        # below cap: rotates to way 2
+        btb.insert_jte(4, 0xB)        # at cap: may only replace the way-2 JTE
+        return btb
+
+    def test_at_cap_jte_insert_does_not_reset_pointer(self):
+        btb = self._drifted_btb()
+        assert btb._rr[0] == 2  # old code corrupted this to (2 + 1) % 1 == 0
+        btb.check_invariants()
+
+    def test_rotation_resumes_from_physical_way(self):
+        btb = self._drifted_btb()
+        # Next ordinary insert must rotate onward from way 2 and (skipping
+        # nothing here) evict way 3.  The old code rotated the corrupted
+        # pointer over candidates [0, 1, 3] and evicted way 1 — the entry
+        # for 0x40 that round-robin order says is the youngest in the set.
+        btb.insert(0x50, 0x1005)
+        assert btb.lookup(0x40) == 0x1004
+        assert btb.lookup(0x30) is None
+        assert btb.lookup(0x50) == 0x1005
+        btb.check_invariants()
+
+    def test_pointer_always_physical(self):
+        """Adversarial mix of at-cap JTE and ordinary inserts keeps every
+        pointer inside the physical way range."""
+        btb = BranchTargetBuffer(entries=8, ways=4, policy="rr", jte_cap=1)
+        for i in range(64):
+            btb.insert(i * 4, i)
+            btb.insert_jte(i % 8, i)
+            btb.check_invariants()
+
+
+class TestPlru:
+    def test_fill_then_evict_lru_way(self):
+        btb = BranchTargetBuffer(entries=4, ways=4, policy="plru")
+        pcs = (0x100, 0x104, 0x108, 0x10C)
+        for i, pc in enumerate(pcs):
+            btb.insert(pc, i)
+        btb.insert(0x200, 99)  # way 0 (pcs[0]) is the tree's LRU leaf
+        assert btb.lookup(pcs[0]) is None
+        assert all(btb.lookup(pc) is not None for pc in pcs[1:])
+
+    def test_touch_protects_on_hit(self):
+        btb = BranchTargetBuffer(entries=4, ways=4, policy="plru")
+        pcs = (0x100, 0x104, 0x108, 0x10C)
+        for i, pc in enumerate(pcs):
+            btb.insert(pc, i)
+        btb.lookup(pcs[0])     # promote the would-be victim
+        btb.insert(0x200, 99)  # tree now points into the other subtree
+        assert btb.lookup(pcs[0]) == 0
+        assert btb.lookup(pcs[2]) is None
+
+    def test_victim_detours_around_jtes(self):
+        btb = BranchTargetBuffer(entries=4, ways=4, policy="plru")
+        btb.insert_jte(7, 0x700)           # occupies way 0
+        for i, pc in enumerate((0x100, 0x104, 0x108)):
+            btb.insert(pc, i)              # ways 1-3
+        btb.insert(0x200, 99)              # LRU leaf is the JTE way: detour
+        assert btb.lookup_jte(7) == 0x700
+        assert btb.lookup(0x100) is None   # way 1, the detoured victim
+        btb.check_invariants()
+
+
+class TestXorIndex:
+    def test_hit_and_miss(self):
+        btb = BranchTargetBuffer(entries=16, ways=2, index="xor")
+        btb.insert(0x1234, 0x9000)
+        assert btb.lookup(0x1234) == 0x9000
+        assert btb.lookup(0x1238) is None
+        btb.insert_jte(42, 0x7000)
+        assert btb.lookup_jte(42) == 0x7000
+
+    def test_folding_changes_set_mapping(self):
+        # Words 1 and 8 share set 1 under xor folding ((8 ^ 1) & 7) but
+        # live in different sets under plain modulo.
+        direct = BranchTargetBuffer(entries=8, ways=1, index="mod")
+        hashed = BranchTargetBuffer(entries=8, ways=1, index="xor")
+        for btb in (direct, hashed):
+            btb.insert(1 << 2, 0xA)
+            btb.insert(8 << 2, 0xB)
+        assert direct.lookup(1 << 2) == 0xA
+        assert hashed.lookup(1 << 2) is None  # evicted by the conflicting insert
+        assert hashed.lookup(8 << 2) == 0xB
+
+
+class TestInstallBlocked:
+    def test_blocked_inserts_counted(self):
+        btb = BranchTargetBuffer(entries=2, ways=2)
+        btb.insert_jte(1, 0x100)
+        btb.insert_jte(2, 0x200)
+        assert btb.install_blocked == 0
+        assert not btb.insert(0x300, 3)
+        assert not btb.insert(0x304, 4)
+        assert btb.install_blocked == 2
+        btb.flush_jtes()
+        assert btb.insert(0x300, 3)
+        assert btb.install_blocked == 2
+
+
+class TestDigestRestore:
+    def _populated(self, **kwargs):
+        btb = BranchTargetBuffer(entries=16, ways=4, policy="rr", jte_cap=3,
+                                 **kwargs)
+        for i in range(12):
+            btb.insert(i * 4, i)
+        for opcode in range(5):
+            btb.insert_jte(opcode, 0x700 + opcode)
+        return btb
+
+    def test_round_trip(self):
+        btb = self._populated()
+        digest = btb.state_digest()
+        fresh = BranchTargetBuffer(entries=16, ways=4, policy="rr", jte_cap=3)
+        fresh.restore_state(digest)
+        assert fresh.state_digest() == digest
+        assert fresh.jte_count == btb.jte_count
+        fresh.check_invariants()
+        # Future behaviour matches: same insert lands on the same victim.
+        btb.insert(0x80, 0xAA)
+        fresh.insert(0x80, 0xAA)
+        assert fresh.state_digest() == btb.state_digest()
+
+    def test_geometry_mismatch_rejected(self):
+        digest = self._populated().state_digest()
+        bigger = BranchTargetBuffer(entries=32, ways=4)
+        with pytest.raises(ValueError):
+            bigger.restore_state(digest)
+        # Same entry count, different associativity: the rr/plru vectors
+        # no longer fit the set count.
+        reshaped = BranchTargetBuffer(entries=16, ways=2)
+        with pytest.raises(ValueError):
+            reshaped.restore_state(digest)
+
+    def test_legacy_flat_digest_rejected(self):
+        """The pre-revision digest (a bare tuple of entries, no rr/plru
+        state) must be rejected, not silently misinterpreted."""
+        btb = self._populated()
+        legacy = btb.state_digest()[0]
+        fresh = BranchTargetBuffer(entries=16, ways=4)
+        with pytest.raises(ValueError):
+            fresh.restore_state(legacy)
+
+    def test_corrupt_replacement_state_rejected(self):
+        btb = self._populated()
+        entries, rr, plru = btb.state_digest()
+        fresh = BranchTargetBuffer(entries=16, ways=4, policy="rr")
+        with pytest.raises(ValueError):
+            fresh.restore_state((entries, (9,) * len(rr), plru))
+        with pytest.raises(ValueError):
+            fresh.restore_state((entries, rr, (1 << 8,) * len(plru)))
+        with pytest.raises(ValueError):
+            fresh.restore_state((entries[:-1], rr, plru))
+
+
+class TestMultiLevel:
+    def _levels(self, main_entries=64, main_ways=4, policy="plru", index="xor"):
+        return (
+            BtbLevelConfig(entries=8, ways=2, policy="lru", index="mod",
+                           latency=0),
+            BtbLevelConfig(entries=main_entries, ways=main_ways, policy=policy,
+                           index=index, latency=2),
+        )
+
+    def test_main_hit_fills_nano(self):
+        btb = MultiLevelBtb(self._levels())
+        btb.insert(0x100, 0x9000)
+        assert btb.nano.lookup(0x100) is None  # inserts go to main only
+        assert btb.lookup(0x100) == 0x9000
+        assert btb.hit_level == 1
+        assert btb.lookup(0x100) == 0x9000     # now answered by the nano fill
+        assert btb.hit_level == 0
+        assert btb.level_hits == [1, 1]
+
+    def test_miss_sets_hit_level(self):
+        btb = MultiLevelBtb(self._levels())
+        assert btb.lookup(0x100) is None
+        assert btb.hit_level == -1
+
+    def test_insert_refreshes_stale_nano_copy(self):
+        btb = MultiLevelBtb(self._levels())
+        btb.insert(0x100, 0x9000)
+        btb.lookup(0x100)              # promote into the nano level
+        btb.insert(0x100, 0x9004)      # retarget: both levels must agree
+        assert btb.nano.lookup(0x100) == 0x9004
+        assert btb.main.lookup(0x100) == 0x9004
+
+    def test_jtes_live_in_main_only(self):
+        btb = MultiLevelBtb(self._levels(), jte_cap=2)
+        btb.insert_jte(3, 0x700)
+        assert btb.lookup_jte(3) == 0x700
+        assert btb.hit_level == 1
+        assert btb.nano.jte_count == 0
+        assert btb.jte_count == 1
+        btb.insert_jte(4, 0x704)
+        assert not btb.insert_jte(5, 0x708)  # at cap, set 5 holds no JTE
+        assert btb.jte_count == 2
+        assert btb.flush_jtes() == 2
+        assert btb.jte_count == 0
+        btb.check_invariants()
+
+    def test_digest_round_trip(self):
+        levels = self._levels()
+        btb = MultiLevelBtb(levels, jte_cap=4)
+        for i in range(20):
+            btb.insert(i * 4, i)
+            btb.lookup(i * 4)
+        for opcode in range(6):
+            btb.insert_jte(opcode, 0x700 + opcode)
+        digest = btb.state_digest()
+        fresh = MultiLevelBtb(levels, jte_cap=4)
+        fresh.restore_state(digest)
+        assert fresh.state_digest() == digest
+        fresh.check_invariants()
+
+    def test_digest_level_mismatch_rejected(self):
+        btb = MultiLevelBtb(self._levels())
+        flat = BranchTargetBuffer(entries=64, ways=4)
+        with pytest.raises(ValueError):
+            btb.restore_state(flat.state_digest())
+        other = MultiLevelBtb(self._levels(main_entries=128))
+        with pytest.raises(ValueError):
+            other.restore_state(btb.state_digest())
+
+    def test_two_levels_required(self):
+        with pytest.raises(ValueError):
+            MultiLevelBtb(self._levels()[:1])
+
+
+POLICIES = ("lru", "rr", "plru")
+
+
+@st.composite
+def _btb_ops(draw):
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(
+                    ["insert", "insert_jte", "lookup", "lookup_jte", "flush"]
+                ),
+                st.integers(0, 60),
+            ),
+            max_size=120,
+        )
+    )
+
+
+def _apply(btb, action, value):
+    if action == "insert":
+        btb.insert(value * 4, value)
+    elif action == "insert_jte":
+        btb.insert_jte(value, value, branch_id=value % 3)
+    elif action == "lookup":
+        btb.lookup(value * 4)
+    elif action == "lookup_jte":
+        btb.lookup_jte(value, branch_id=value % 3)
+    else:
+        btb.flush_jtes()
+
+
+@given(
+    policy=st.sampled_from(POLICIES),
+    cap=st.sampled_from([None, 0, 2, 6]),
+    index=st.sampled_from(["mod", "xor"]),
+    ops=_btb_ops(),
+)
+@settings(max_examples=60, deadline=None, derandomize=True)
+def test_policy_invariants_and_digest_round_trip(policy, cap, index, ops):
+    """Every policy/cap/index combination keeps structural invariants
+    through mixed insert/JTE/flush streams, and its digest restores into a
+    behaviourally identical fresh buffer (derandomized for CI)."""
+    make = lambda: BranchTargetBuffer(  # noqa: E731
+        entries=16, ways=4, policy=policy, jte_cap=cap, index=index
+    )
+    btb = make()
+    for action, value in ops:
+        _apply(btb, action, value)
+        btb.check_invariants()
+    digest = btb.state_digest()
+    fresh = make()
+    fresh.restore_state(digest)
+    fresh.check_invariants()
+    assert fresh.state_digest() == digest
+    assert fresh.jte_count == btb.jte_count
+    # The clone's future replacement decisions track the original's.
+    for action, value in ops[:20]:
+        _apply(btb, action, value)
+        _apply(fresh, action, value)
+    assert fresh.state_digest() == btb.state_digest()
+
+
+@given(ops=_btb_ops())
+@settings(max_examples=40, deadline=None, derandomize=True)
+def test_multilevel_invariants_and_digest_round_trip(ops):
+    levels = (
+        BtbLevelConfig(entries=8, ways=2, policy="lru", index="mod"),
+        BtbLevelConfig(entries=32, ways=4, policy="plru", index="xor",
+                       latency=2),
+    )
+    btb = MultiLevelBtb(levels, jte_cap=4)
+    for action, value in ops:
+        _apply(btb, action, value)
+        btb.check_invariants()
+    digest = btb.state_digest()
+    fresh = MultiLevelBtb(levels, jte_cap=4)
+    fresh.restore_state(digest)
+    fresh.check_invariants()
+    assert fresh.state_digest() == digest
 
 
 @given(
